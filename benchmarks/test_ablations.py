@@ -1,0 +1,213 @@
+"""Ablation benches for the design choices DESIGN.md section 4 calls out.
+
+Each ablation flips one modelling decision and checks the paper-shaped
+result *depends on it* — i.e. the mechanism, not a coincidence, produces the
+figure.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments.fig9_affinity import CORES, build_consumer, build_producer
+from repro.kernelir.analysis import LaunchContext
+from repro.openmp import OpenMPRuntime
+from repro.openmp.env import OmpEnv
+from repro.simcpu.device import CPUDeviceModel
+from repro.simcpu.scheduler import default_local_size
+from repro.simcpu.spec import CPUSpec, XEON_E5645
+from repro.simgpu.device import GPUDeviceModel
+from repro.simgpu.spec import GPUSpec, GTX580
+from repro.suite import MBENCHES
+from repro.suite.simple.square import build_square_kernel
+
+
+def _square_throughput(dev, n, wg=None, coalesce=1):
+    k = build_square_kernel(coalesce)
+    sc = {"n_per": coalesce} if coalesce > 1 else {}
+    cost = dev.kernel_cost(k, (n // coalesce,), wg, scalars=sc,
+                           buffer_bytes={"input": 4 * n, "output": 4 * n})
+    return n / cost.total_ns
+
+
+class TestA1NullPolicy:
+    """A1: the NULL-local-size default must keep small NDRanges parallel."""
+
+    def test_fixed_cap_starves_small_ndranges(self, benchmark):
+        def run():
+            naive = default_local_size((100,))               # cap-64 only
+            tuned = default_local_size((100,), min_workgroups=48)
+            return naive, tuned
+
+        naive, tuned = benchmark(run)
+        assert 100 // naive[0] < 24    # naive: fewer groups than threads
+        assert 100 // tuned[0] >= 24   # tuned: every thread has work
+
+
+class TestA2DispatchOverhead:
+    """A2: per-workgroup dispatch cost drives the Figure 1 CPU gain."""
+
+    @pytest.mark.parametrize("dispatch", [0.0, 600.0, 4800.0])
+    def test_gain_tracks_dispatch_cost(self, benchmark, dispatch):
+        spec = dataclasses.replace(XEON_E5645, workgroup_dispatch_cycles=dispatch)
+        dev = CPUDeviceModel(spec)
+
+        def gain():
+            base = _square_throughput(dev, 1_000_000)
+            co = _square_throughput(dev, 1_000_000, coalesce=1000)
+            return co / base
+
+        g = benchmark(gain)
+        if dispatch == 0.0:
+            assert g < 3.0
+        if dispatch == 4800.0:
+            assert g > 2.0
+
+    def test_zero_dispatch_removes_most_of_the_effect(self):
+        g0 = None
+        gains = {}
+        for dispatch in (0.0, 4800.0):
+            spec = dataclasses.replace(
+                XEON_E5645, workgroup_dispatch_cycles=dispatch
+            )
+            dev = CPUDeviceModel(spec)
+            base = _square_throughput(dev, 1_000_000)
+            co = _square_throughput(dev, 1_000_000, coalesce=1000)
+            gains[dispatch] = co / base
+        assert gains[4800.0] > gains[0.0]
+
+
+class TestA3GpuLatencyHiding:
+    """A3: the warp threshold drives the GPU's small-workgroup cliff."""
+
+    @pytest.mark.parametrize("need", [2.0, 18.0])
+    def test_cliff_depth_tracks_warp_threshold(self, benchmark, need):
+        spec = dataclasses.replace(GTX580, warps_to_hide_latency=need)
+        dev = GPUDeviceModel(spec)
+
+        def cliff():
+            tiny = _square_throughput(dev, 100_000, (1,))
+            big = _square_throughput(dev, 100_000, (1000,))
+            return big / tiny
+
+        c = benchmark(cliff)
+        if need == 18.0:
+            assert c > 20
+        else:
+            assert c < 200  # shallower hardware hides with fewer warps
+
+    def test_threshold_ordering(self):
+        cliffs = {}
+        for need in (2.0, 18.0):
+            spec = dataclasses.replace(GTX580, warps_to_hide_latency=need)
+            dev = GPUDeviceModel(spec)
+            tiny = _square_throughput(dev, 100_000, (1,))
+            big = _square_throughput(dev, 100_000, (1000,))
+            cliffs[need] = big / tiny
+        assert cliffs[18.0] > cliffs[2.0]
+
+
+class TestA6RuntimeQuality:
+    """A6 (paper Section II-A): "Better OpenCL implementation can have less
+    overhead" — a SnuCL-style serializing runtime shrinks the coalescing
+    effect without erasing it."""
+
+    def test_serializing_runtime_shrinks_coalescing_gain(self, benchmark):
+        def gains():
+            out = {}
+            for serialized in (False, True):
+                dev = CPUDeviceModel(workitem_serialization=serialized)
+                base = _square_throughput(dev, 1_000_000)
+                co = _square_throughput(dev, 1_000_000, coalesce=1000)
+                out[serialized] = co / base
+            return out
+
+        g = benchmark(gains)
+        assert g[True] < g[False]       # less overhead -> smaller gain
+        assert g[True] > 1.0            # but coalescing still pays
+
+    def test_serializing_runtime_is_faster_at_base(self):
+        ref = CPUDeviceModel()
+        opt = CPUDeviceModel(workitem_serialization=True)
+        assert _square_throughput(opt, 1_000_000) > _square_throughput(
+            ref, 1_000_000
+        )
+
+
+class TestA4VectorizerFragility:
+    """A4: the fragility rule creates Figure 10's chain-kernel asymmetry."""
+
+    def test_fragility_off_recovers_openmp(self, benchmark):
+        kernel = MBENCHES[0].kernel()  # chained triad
+        n = 1 << 18
+        host, scalars = MBENCHES[0].make_data((n,), np.random.default_rng(0))
+
+        def run():
+            fragile = OpenMPRuntime(functional=False).parallel_for(
+                kernel, n, buffers=host, scalars=scalars
+            )
+            robust = OpenMPRuntime(
+                functional=False, fragile_vectorizer=False
+            ).parallel_for(kernel, n, buffers=host, scalars=scalars)
+            return fragile, robust
+
+        fragile, robust = benchmark(run)
+        assert not fragile.vectorization.vectorized
+        assert robust.vectorization.vectorized
+        assert robust.time_ns < fragile.time_ns
+
+
+class TestA5ResidencyTracking:
+    """A5: cross-kernel cache residency is the mechanism behind Figure 9.
+
+    With residency tracking active, the misaligned consumer pays shared-L3
+    traffic and latency its aligned twin avoids.  Resetting the tracker
+    between the kernels (= a runtime with no cross-kernel cache awareness,
+    which is how OpenCL behaves) erases the difference entirely.
+    """
+
+    ENV = {
+        "OMP_PROC_BIND": "true",
+        "OMP_NUM_THREADS": str(CORES),
+        "GOMP_CPU_AFFINITY": f"0-{CORES - 1}",
+    }
+
+    def _consumer_time(self, misaligned, reset_residency):
+        n = 400_000
+        rt = OpenMPRuntime(env=dict(self.ENV), functional=False)
+        rng = np.random.default_rng(3)
+        data = {
+            "a": rng.random(n).astype(np.float32),
+            "b": rng.random(n).astype(np.float32),
+            "out": np.zeros(n, np.float32),
+            "c": rng.random(n).astype(np.float32),
+            "res": np.zeros(n, np.float32),
+        }
+        rt.parallel_for(build_producer(), n,
+                        buffers={k: data[k] for k in ("a", "b", "out")})
+        if reset_residency:
+            rt.residency.reset()
+        if misaligned:
+            rt.env = OmpEnv.from_dict(
+                {**self.ENV, "GOMP_CPU_AFFINITY":
+                 " ".join(str((i + 1) % CORES) for i in range(CORES))}
+            )
+        return rt.parallel_for(
+            build_consumer(), n,
+            buffers={k: data[k] for k in ("out", "c", "res")},
+        ).time_ns
+
+    def test_tracking_produces_the_figure(self, benchmark):
+        def slowdown():
+            return self._consumer_time(True, False) / self._consumer_time(
+                False, False
+            )
+
+        s = benchmark(slowdown)
+        assert s > 1.1
+
+    def test_no_tracking_erases_the_figure(self):
+        aligned = self._consumer_time(False, True)
+        misaligned = self._consumer_time(True, True)
+        assert misaligned == pytest.approx(aligned, rel=0.02)

@@ -1,0 +1,29 @@
+"""Benchmarks regenerating the affinity and vectorization figures (F9-F11)."""
+
+from repro.harness.experiments import (
+    fig9_affinity,
+    fig10_vectorization,
+    fig11_dependence_example,
+)
+
+
+def test_fig9_affinity(benchmark):
+    """Figure 9: misaligned pinning ~15% slower."""
+    r = benchmark(fig9_affinity.run, True)
+    al = r.get("aligned").points["total (ms)"]
+    mis = r.get("misaligned").points["total (ms)"]
+    assert 1.05 < mis / al < 1.45
+
+
+def test_fig10_vectorization(benchmark):
+    """Figure 10: OpenCL outperforms OpenMP on all eight MBenches."""
+    r = benchmark(fig10_vectorization.run, True)
+    for x in r.x_labels:
+        assert r.get("OpenCL").points[x] > r.get("OpenMP").points[x], x
+
+
+def test_fig11_dependence_example(benchmark):
+    """Figure 11: the dependent-FMUL loop vectorizes only under OpenCL."""
+    r = benchmark(fig11_dependence_example.run, True)
+    assert r.get("OpenCL").points["vectorized"] == 1.0
+    assert r.get("OpenMP").points["vectorized"] == 0.0

@@ -1,0 +1,42 @@
+"""Benchmarks regenerating the ILP and memory/transfer figures (F6-F8)."""
+
+from repro.harness.experiments import (
+    fig6_ilp,
+    fig7_transfer_api,
+    fig8_parboil_transfer,
+    flags_no_effect,
+)
+
+
+def test_fig6_ilp(benchmark):
+    """Figure 6: CPU scales with ILP, GPU flat."""
+    r = benchmark(fig6_ilp.run, True)
+    cpu = [r.get("CPU").points[str(k)] for k in (1, 2, 3, 4, 5)]
+    gpu = [r.get("GPU").points[str(k)] for k in (1, 2, 3, 4, 5)]
+    assert cpu == sorted(cpu) and cpu[4] > 3 * cpu[0]
+    assert max(gpu) / min(gpu) < 1.05
+
+
+def test_fig7_transfer_api(benchmark):
+    """Figure 7: mapping superior on every flag combination."""
+    r = benchmark(fig7_transfer_api.run, True)
+    for s in r.series:
+        assert all(v > 1.0 for v in s.points.values()), s.label
+
+
+def test_fig8_parboil_transfer(benchmark):
+    """Figure 8: Parboil transfer times, map < copy in both directions."""
+    r = benchmark(fig8_parboil_transfer.run, True)
+    for app in r.x_labels:
+        assert (r.get("Mapping (host to device)").points[app]
+                < r.get("Copying (host to device)").points[app])
+        assert (r.get("Mapping (device to host)").points[app]
+                < r.get("Copying (device to host)").points[app])
+
+
+def test_flags_null_result(benchmark):
+    """Section III-D text: allocation location / access flags: no effect."""
+    r = benchmark(flags_no_effect.run, True)
+    for x in r.x_labels:
+        vals = [s.points[x] for s in r.series]
+        assert (max(vals) - min(vals)) / max(vals) < 0.01

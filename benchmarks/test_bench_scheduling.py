@@ -1,0 +1,48 @@
+"""Benchmarks regenerating the thread-scheduling figures (F1-F5)."""
+
+from repro.harness.experiments import (
+    fig1_workitem_coalescing,
+    fig2_parboil_coalescing,
+    fig3_workgroup_size,
+    fig4_blackscholes_wgsize,
+    fig5_parboil_wgsize,
+)
+
+
+def test_fig1_workitem_coalescing(benchmark):
+    """Figure 1 + Table IV: CPU gains from work coalescing, GPU collapses."""
+    r = benchmark(fig1_workitem_coalescing.run, True)
+    for x in r.x_labels:
+        assert r.get("1000(CPU)").points[x] > 0.8
+        assert r.get("1000(GPU)").points[x] < 0.3
+
+
+def test_fig2_parboil_coalescing(benchmark):
+    """Figure 2: Parboil gains on CPU; RhoPhi flat."""
+    r = benchmark(fig2_parboil_coalescing.run, True)
+    assert r.get("2X").points["CP: cenergy"] > 1.05
+    assert abs(r.get("4X").points["MRI-FHD: RhoPhi"] - 1.0) < 0.15
+
+
+def test_fig3_workgroup_size(benchmark):
+    """Figure 3 + Table V: three behaviour groups."""
+    r = benchmark(fig3_workgroup_size.run, True)
+    assert r.get("case_4(CPU)").points["Square"] > 3 * r.get("case_1(CPU)").points["Square"]
+    assert r.get("case_1(GPU)").points["Matrixmul"] < 0.1
+    assert 0.85 < r.get("case_1(CPU)").points["Blackscholes"] < 1.15
+
+
+def test_fig4_blackscholes_wgsize(benchmark):
+    """Figure 4: Blackscholes flat on CPU, cliff on GPU."""
+    r = benchmark(fig4_blackscholes_wgsize.run, True)
+    cpu_vals = [v for s in r.series if "(CPU)" in s.label for v in s.points.values()]
+    assert max(cpu_vals) / min(cpu_vals) < 1.4
+    gpu_case1 = r.get("case_1(GPU)").points
+    assert all(v < 0.2 for v in gpu_case1.values())
+
+
+def test_fig5_parboil_wgsize(benchmark):
+    """Figure 5: workgroup-size sweep on CPU saturates."""
+    r = benchmark(fig5_parboil_wgsize.run, True)
+    for s in r.series:
+        assert s.points["8"] >= 0.85 * s.points["1"]

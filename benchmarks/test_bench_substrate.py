@@ -1,0 +1,89 @@
+"""Performance-tracking benchmarks of the substrate itself.
+
+These do not regenerate paper artifacts; they watch the host-side speed of
+the hot paths (lock-step interpreter, static analysis, cache simulator,
+scheduler) so substrate regressions show up in benchmark history.
+"""
+
+import numpy as np
+
+from repro.kernelir.analysis import LaunchContext, analyze_kernel
+from repro.kernelir.interp import Interpreter
+from repro.simcpu.cache import CacheHierarchy
+from repro.simcpu.device import CPUDeviceModel
+from repro.simcpu.scheduler import WorkgroupScheduler
+from repro.simcpu.spec import XEON_E5645
+from repro.suite import build_ilp_kernel
+from repro.suite.simple.blackscholes import build_blackscholes_kernel
+from repro.suite.simple.square import build_square_kernel
+
+
+def test_interpreter_elementwise_throughput(benchmark):
+    """1M-workitem elementwise kernel through the lock-step interpreter."""
+    k = build_square_kernel()
+    n = 1 << 20
+    a = np.random.default_rng(0).random(n).astype(np.float32)
+
+    def run():
+        bufs = {"input": a, "output": np.zeros(n, np.float32)}
+        Interpreter().launch(k, n, 256, buffers=bufs)
+        return bufs["output"]
+
+    out = benchmark(run)
+    assert np.allclose(out, a * a)
+
+
+def test_interpreter_looped_kernel(benchmark):
+    """ILP microbenchmark: ~2k-instruction loop body, 4k workitems."""
+    k = build_ilp_kernel(4)
+    n = 4096
+
+    def run():
+        bufs = {"data": np.ones(n, np.float32)}
+        Interpreter().launch(k, n, 256, buffers=bufs)
+        return bufs["data"]
+
+    out = benchmark(run)
+    assert np.isfinite(out).all()
+
+
+def test_static_analysis_speed(benchmark):
+    """analyze_kernel on the heaviest kernel (Black-Scholes, 192 rounds)."""
+    k = build_blackscholes_kernel()
+    ctx = LaunchContext((1280, 1280), (16, 16), {"riskfree": 0.02, "volatility": 0.3})
+    an = benchmark(analyze_kernel, k, ctx)
+    assert an.per_item.flops > 100
+
+
+def test_kernel_cost_speed(benchmark):
+    """Full CPU timing pipeline (analysis + vectorize + cache + schedule)."""
+    dev = CPUDeviceModel()
+    k = build_square_kernel(100)
+    cost = benchmark(
+        dev.kernel_cost, k, (100_000,), None,
+        scalars={"n_per": 100},
+        buffer_bytes={"input": 4 * 10_000_000, "output": 4 * 10_000_000},
+    )
+    assert cost.total_ns > 0
+
+
+def test_cache_simulator_throughput(benchmark):
+    """100k accesses through the exact hierarchy."""
+    addrs = np.random.default_rng(0).integers(0, 1 << 22, 100_000)
+
+    def run():
+        h = CacheHierarchy(4)
+        for a in addrs[:20_000]:
+            h.access(int(a) % 4, int(a))
+        return h.total_stats()["L1"].accesses
+
+    n = benchmark(run)
+    assert n == 20_000
+
+
+def test_scheduler_hetero_throughput(benchmark):
+    """Event-driven makespan over 10k heterogeneous workgroups."""
+    costs = np.random.default_rng(0).uniform(100, 10_000, 10_000).tolist()
+    sched = WorkgroupScheduler(XEON_E5645)
+    r = benchmark(sched.makespan_hetero, costs)
+    assert r.makespan_cycles > 0

@@ -1,0 +1,21 @@
+"""Benchmarks regenerating Tables I-III (experiment index: T1, T2, T3)."""
+
+from repro.harness.experiments import table1, table2_table3
+
+
+def test_table1_environment(benchmark):
+    result = benchmark(table1.run, True)
+    notes = "\n".join(result.notes)
+    assert "E5645" in notes and "GTX 580" in notes
+
+
+def test_table2_simple_apps(benchmark):
+    result = benchmark(table2_table3.run_table2, True)
+    assert len(result.notes) == 9
+    assert any("10000000" in n for n in result.notes)  # Square input 4
+
+
+def test_table3_parboil(benchmark):
+    result = benchmark(table2_table3.run_table3, True)
+    assert len(result.notes) == 5
+    assert any("64 X 512" in n for n in result.notes)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper and print them.
+
+Usage:
+    python examples/reproduce_paper.py            # full configurations
+    python examples/reproduce_paper.py --fast     # reduced sizes (seconds)
+    python examples/reproduce_paper.py fig6 fig9  # a subset
+    python examples/reproduce_paper.py --csv out/ # also write CSV files
+
+The printed series are the same rows/lines the paper's figures plot; see
+EXPERIMENTS.md for the paper-vs-measured comparison of each.
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("experiments", nargs="*",
+                    help=f"subset to run (default: all of {sorted(EXPERIMENTS)})")
+    ap.add_argument("--fast", action="store_true",
+                    help="reduced input sizes")
+    ap.add_argument("--csv", metavar="DIR",
+                    help="also write one CSV per experiment into DIR")
+    args = ap.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        ap.error(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
+
+    csv_dir = pathlib.Path(args.csv) if args.csv else None
+    if csv_dir:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+
+    t0 = time.time()
+    for name in names:
+        t = time.time()
+        result = run_experiment(name, fast=args.fast)
+        print(result.render())
+        print(f"[{name} regenerated in {time.time() - t:.1f}s host time]\n")
+        if csv_dir:
+            (csv_dir / f"{name}.csv").write_text(result.to_csv())
+    print(f"done: {len(names)} experiments in {time.time() - t0:.1f}s host time")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

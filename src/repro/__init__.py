@@ -1,0 +1,40 @@
+"""Reproduction of *OpenCL Performance Evaluation on Modern Multi Core CPUs*
+(Lee, Patel, Nigania, Kim, Kim — IPPS 2013).
+
+Subpackages
+-----------
+``repro.kernelir``
+    SIMT kernel IR, lock-step numpy interpreter, static analyses, vectorizers.
+``repro.simcpu``
+    Out-of-order multicore CPU model (Xeon E5645-like): caches, cores,
+    threads, workgroup scheduler, transfer model.
+``repro.simgpu``
+    GPU model (GTX 580-like): SMs, warps, occupancy, PCIe.
+``repro.minicl``
+    OpenCL-1.1-style runtime (platforms, contexts, queues, buffers, kernels,
+    events) running on the simulated devices in deterministic virtual time.
+``repro.openmp``
+    Conventional parallel-programming baseline: fork-join ``parallel_for``
+    with affinity and a classic loop auto-vectorizer.
+``repro.suite``
+    Every benchmark from the paper's Tables II and III plus the ILP and
+    vectorization micro-benchmarks.
+``repro.harness``
+    The paper's timing methodology and one experiment module per
+    table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import kernelir  # noqa: F401
+
+__all__ = ["kernelir", "metrics", "__version__"]
+
+
+def __getattr__(name):
+    # lazy: metrics pulls in both device models
+    if name == "metrics":
+        from . import metrics
+
+        return metrics
+    raise AttributeError(name)

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``experiments [names...] [--fast] [--csv DIR]`` — regenerate the paper's
+  tables/figures (same engine as ``examples/reproduce_paper.py``);
+* ``report <benchmark> [--size ...]`` — print the programmer-guideline
+  report (roofline, bottleneck, vectorization, occupancy) for one of the
+  suite's kernels;
+* ``list`` — list experiments and benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+
+def _suite_benchmarks():
+    from .suite import all_parboil_benchmarks, all_table2_benchmarks
+
+    out = {}
+    for b in all_table2_benchmarks() + all_parboil_benchmarks():
+        out[b.name] = b
+    return out
+
+
+def cmd_list(args) -> int:
+    from .harness.registry import EXPERIMENTS
+
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("benchmarks:")
+    for name in _suite_benchmarks():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .harness.registry import EXPERIMENTS, run_experiment
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    csv_dir = pathlib.Path(args.csv) if args.csv else None
+    if csv_dir:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        result = run_experiment(name, fast=args.fast)
+        print(result.render())
+        if csv_dir:
+            (csv_dir / f"{name}.csv").write_text(result.to_csv())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .metrics import kernel_report
+
+    benches = _suite_benchmarks()
+    if args.benchmark not in benches:
+        print(
+            f"unknown benchmark {args.benchmark!r}; try: "
+            f"{', '.join(benches)}",
+            file=sys.stderr,
+        )
+        return 2
+    bench = benches[args.benchmark]
+    gs = (
+        tuple(args.size)
+        if args.size
+        else bench.default_global_sizes[0]
+    )
+    ls = bench.default_local_size
+    host, scalars = bench.make_data(gs, np.random.default_rng(0))
+    rep = kernel_report(
+        bench.kernel(),
+        gs,
+        ls,
+        scalars={k: float(v) for k, v in scalars.items()},
+        buffer_bytes={k: v.nbytes for k, v in host.items()},
+    )
+    print(rep.render())
+    return 0
+
+
+def cmd_emit(args) -> int:
+    from .kernelir.codegen import CodegenError, to_opencl_c, to_openmp_c
+
+    benches = _suite_benchmarks()
+    if args.benchmark not in benches:
+        print(
+            f"unknown benchmark {args.benchmark!r}; try: "
+            f"{', '.join(benches)}",
+            file=sys.stderr,
+        )
+        return 2
+    kernel = benches[args.benchmark].kernel()
+    try:
+        src = (
+            to_opencl_c(kernel) if args.target == "opencl"
+            else to_openmp_c(kernel)
+        )
+    except CodegenError as e:
+        print(f"cannot emit: {e}", file=sys.stderr)
+        return 1
+    try:
+        print(src)
+    except BrokenPipeError:  # e.g. `| head`
+        pass
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments and benchmarks")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_exp = sub.add_parser("experiments", help="regenerate tables/figures")
+    p_exp.add_argument("names", nargs="*")
+    p_exp.add_argument("--fast", action="store_true")
+    p_exp.add_argument("--csv", metavar="DIR")
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    p_rep = sub.add_parser("report", help="kernel performance report")
+    p_rep.add_argument("benchmark")
+    p_rep.add_argument("--size", type=int, nargs="+",
+                       help="global work size (default: Table II/III input 1)")
+    p_rep.set_defaults(fn=cmd_report)
+
+    p_emit = sub.add_parser(
+        "emit", help="emit a suite kernel as OpenCL C or C+OpenMP source"
+    )
+    p_emit.add_argument("benchmark")
+    p_emit.add_argument("--target", choices=("opencl", "openmp"),
+                        default="opencl")
+    p_emit.set_defaults(fn=cmd_emit)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

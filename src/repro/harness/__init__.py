@@ -1,0 +1,22 @@
+"""Experiment harness: the paper's timing methodology, result reporting,
+and one experiment module per table/figure (see DESIGN.md section 3)."""
+
+from .timing import Measurement, repeat_to_target, TARGET_VIRTUAL_SECONDS
+from .report import ExperimentResult, Series
+from .runner import (
+    DeviceUnderTest,
+    cpu_dut,
+    gpu_dut,
+    make_buffers,
+    measure_app_throughput,
+    measure_kernel,
+)
+from .registry import EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "Measurement", "repeat_to_target", "TARGET_VIRTUAL_SECONDS",
+    "ExperimentResult", "Series",
+    "DeviceUnderTest", "cpu_dut", "gpu_dut", "make_buffers",
+    "measure_kernel", "measure_app_throughput",
+    "EXPERIMENTS", "run_all", "run_experiment",
+]

@@ -1,0 +1,32 @@
+"""One module per table/figure of the paper (see DESIGN.md section 3)."""
+
+from . import (
+    conclusions,
+    ext_affinity,
+    ext_omp_apps,
+    ext_portability,
+    table1,
+    table2_table3,
+    fig1_workitem_coalescing,
+    fig2_parboil_coalescing,
+    fig3_workgroup_size,
+    fig4_blackscholes_wgsize,
+    fig5_parboil_wgsize,
+    fig6_ilp,
+    fig7_transfer_api,
+    fig8_parboil_transfer,
+    fig9_affinity,
+    fig10_vectorization,
+    fig11_dependence_example,
+    flags_no_effect,
+)
+
+__all__ = [
+    "table1", "table2_table3",
+    "fig1_workitem_coalescing", "fig2_parboil_coalescing",
+    "fig3_workgroup_size", "fig4_blackscholes_wgsize",
+    "fig5_parboil_wgsize", "fig6_ilp", "fig7_transfer_api",
+    "fig8_parboil_transfer", "fig9_affinity", "fig10_vectorization",
+    "fig11_dependence_example", "flags_no_effect", "ext_affinity",
+    "ext_omp_apps", "ext_portability", "conclusions",
+]

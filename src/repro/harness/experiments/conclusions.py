@@ -1,0 +1,112 @@
+"""Section V — the paper's five conclusions, auto-verified.
+
+    1) Large workgroup size is helpful for better performance on CPUs.
+    2) Large ILP helps performance on CPUs.
+    3) On CPUs, Mapping APIs perform superior compared to explicit data
+       transfer APIs.  Memory allocation flags do not change performance.
+    4) Adding affinity support to OpenCL may help performance in some cases.
+    5) Programming model can have possible effect on compiler-supported
+       vectorization.
+
+This experiment re-derives each conclusion from the corresponding
+reproduction and reports the measured evidence and a PASS/FAIL verdict —
+a one-shot referee check of the whole repository.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..report import ExperimentResult, Series
+from . import (
+    ext_affinity,
+    fig1_workitem_coalescing,
+    fig3_workgroup_size,
+    fig6_ilp,
+    fig7_transfer_api,
+    fig10_vectorization,
+    flags_no_effect,
+)
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    verdicts: Dict[str, float] = {}
+    notes: List[str] = []
+
+    # 1) large workgroups help on CPUs
+    f3 = fig3_workgroup_size.run(fast)
+    gain = (
+        f3.get("case_4(CPU)").points["Square"]
+        / f3.get("case_1(CPU)").points["Square"]
+    )
+    ok = gain > 3
+    verdicts["1: large workgroups help (CPU)"] = float(ok)
+    notes.append(
+        f"(1) Square wg=1000 vs wg=1 on CPU: {gain:.1f}x "
+        f"-> {'PASS' if ok else 'FAIL'}"
+    )
+
+    # 2) large ILP helps on CPUs
+    f6 = fig6_ilp.run(fast)
+    slope = f6.get("CPU").points["4"] / f6.get("CPU").points["1"]
+    gpu_flat = (
+        max(f6.get("GPU").points.values()) / min(f6.get("GPU").points.values())
+    )
+    ok = slope > 2.5 and gpu_flat < 1.05
+    verdicts["2: large ILP helps (CPU)"] = float(ok)
+    notes.append(
+        f"(2) ILP-4/ILP-1 on CPU: {slope:.2f}x (GPU flat within "
+        f"{(gpu_flat - 1) * 100:.1f}%) -> {'PASS' if ok else 'FAIL'}"
+    )
+
+    # 3) mapping superior; allocation flags irrelevant
+    f7 = fig7_transfer_api.run(fast)
+    min_ratio = min(v for s in f7.series for v in s.points.values())
+    fl = flags_no_effect.run(fast)
+    max_dev = max(
+        (max(vals) - min(vals)) / max(vals)
+        for vals in (
+            [s.points[x] for s in fl.series] for x in fl.x_labels
+        )
+    )
+    ok = min_ratio > 1.0 and max_dev < 0.01
+    verdicts["3: map > copy; flags irrelevant"] = float(ok)
+    notes.append(
+        f"(3) min map/copy ratio {min_ratio:.2f} (>1), max flag deviation "
+        f"{max_dev:.2%} -> {'PASS' if ok else 'FAIL'}"
+    )
+
+    # 4) affinity support would help
+    ea = ext_affinity.run(fast)
+    totals = {s.label: s.points["total (ms)"] for s in ea.series}
+    speedup = totals["stock"] / totals["aligned"]
+    ok = speedup > 1.02
+    verdicts["4: affinity support helps"] = float(ok)
+    notes.append(
+        f"(4) aligned pinning vs stock OpenCL: {speedup:.3f}x "
+        f"-> {'PASS' if ok else 'FAIL'}"
+    )
+
+    # 5) programming model affects vectorization
+    f10 = fig10_vectorization.run(fast)
+    wins = sum(
+        1
+        for x in f10.x_labels
+        if f10.get("OpenCL").points[x] > f10.get("OpenMP").points[x]
+    )
+    ok = wins == len(f10.x_labels)
+    verdicts["5: model affects vectorization"] = float(ok)
+    notes.append(
+        f"(5) OpenCL beats OpenMP on {wins}/{len(f10.x_labels)} MBenches "
+        f"-> {'PASS' if ok else 'FAIL'}"
+    )
+
+    return ExperimentResult(
+        experiment_id="conclusions",
+        title="Section V: the paper's five conclusions, auto-verified",
+        series=[Series("verified (1=PASS)", verdicts)],
+        value_name="PASS=1 / FAIL=0",
+        notes=notes,
+    )

@@ -1,0 +1,57 @@
+"""Figure 10 — performance impact of vectorization: OpenCL vs OpenMP.
+
+Each MBench kernel runs through the OpenCL CPU runtime (implicit
+cross-workitem vectorization) and, as the same IR, through the OpenMP
+runtime (classic loop auto-vectorization with its legality rules).
+Expected: comparable numbers where the loop vectorizes (MBench1/2); OpenCL
+wins — often by about the SIMD width — where the loop vectorizer bails on
+dependences, strides, gathers, or long chains (MBench3..8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...openmp import OpenMPRuntime
+from ...suite import MBENCHES, MBench
+from ..report import ExperimentResult, Series
+from ..runner import cpu_dut, make_buffers, measure_kernel
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    n = 1 << (16 if fast else 20)
+    cpu = cpu_dut()
+    omp = OpenMPRuntime(functional=False,
+                        env={"OMP_NUM_THREADS": "12"})
+    ocl_pts: Dict[str, float] = {}
+    omp_pts: Dict[str, float] = {}
+    notes = []
+    for proto in MBENCHES:
+        bench = MBench(
+            proto.name, proto._build, proto._make_data, proto._reference,
+            proto.flops_per_item, n=n,
+            omp_should_vectorize=proto.omp_should_vectorize,
+        )
+        gs = bench.default_global_sizes[0]
+        flops = float(bench.flops_per_item) * gs[0]
+        m = measure_kernel(cpu, bench, gs, bench.default_local_size)
+        ocl_pts[bench.name] = flops / m.mean_ns
+
+        host, scalars = bench.make_data(gs, np.random.default_rng(3))
+        r = omp.parallel_for(bench.kernel(), gs[0], buffers=host, scalars=scalars)
+        omp_pts[bench.name] = flops / r.time_ns
+        notes.append(
+            f"{bench.name}: OpenMP loop vectorizer -> "
+            f"{r.vectorization.explain()}"
+        )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Performance impact of vectorization (OpenMP vs OpenCL, CPU)",
+        series=[Series("OpenMP", omp_pts), Series("OpenCL", ocl_pts)],
+        value_name="Gflop/s",
+        notes=notes,
+    )

@@ -1,0 +1,84 @@
+"""Figure 1 + Table IV — workload per workitem (work coalescing).
+
+Square and Vectoraddition are run at every Table II input size with 1, 10,
+100 and 1000 logical workitems folded into each physical workitem (total
+computation constant, Table IV gives the resulting workitem counts).
+Expected shapes (paper Section III-B1):
+
+* CPU: throughput *rises* with coalescing — fewer workgroups means less
+  thread-switching overhead — and saturates;
+* GPU: throughput *collapses* — the device loses the TLP it needs, and the
+  per-item loop destroys memory coalescing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...suite import SquareBenchmark, VectorAddBenchmark
+from ..report import ExperimentResult, Series
+from ..runner import cpu_dut, gpu_dut, make_buffers, measure_kernel
+
+__all__ = ["run", "COALESCE_FACTORS", "table4_workitem_counts"]
+
+COALESCE_FACTORS = (1, 10, 100, 1000)
+
+
+def _sizes(fast: bool):
+    sq = SquareBenchmark()
+    va = VectorAddBenchmark()
+    if fast:
+        return [(sq, [(10_000,), (100_000,)]), (va, [(110_000,)])]
+    return [
+        (sq, list(sq.default_global_sizes)),
+        (va, list(va.default_global_sizes)),
+    ]
+
+
+def table4_workitem_counts(fast: bool = False) -> List[str]:
+    """Table IV: the workitem counts for each configuration."""
+    rows = []
+    for bench, sizes in _sizes(fast):
+        for i, gs in enumerate(sizes, start=1):
+            n = gs[0]
+            counts = " / ".join(
+                str(max(n // c, 1)) for c in COALESCE_FACTORS
+            )
+            rows.append(f"{bench.name} {i}: base/10x/100x/1000x = {counts}")
+    return rows
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    cpu = cpu_dut()
+    gpu = gpu_dut()
+    series: Dict[str, Dict[str, float]] = {}
+    for c in COALESCE_FACTORS:
+        lbl = "base" if c == 1 else str(c)
+        series[f"{lbl}(CPU)"] = {}
+        series[f"{lbl}(GPU)"] = {}
+
+    for bench, sizes in _sizes(fast):
+        for i, gs in enumerate(sizes, start=1):
+            x = f"{bench.name} {i}"
+            for dut, tag in ((cpu, "CPU"), (gpu, "GPU")):
+                buffers, scalars, _ = make_buffers(dut, bench, gs)
+                base = None
+                for c in COALESCE_FACTORS:
+                    if gs[0] % c != 0:
+                        continue
+                    m = measure_kernel(
+                        dut, bench, gs, None, coalesce=c,
+                        buffers=buffers, scalars=scalars,
+                    )
+                    thr = m.throughput(gs[0])
+                    if base is None:
+                        base = thr
+                    lbl = "base" if c == 1 else str(c)
+                    series[f"{lbl}({tag})"][x] = thr / base
+
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Square / Vectoraddition with different workload per workitem",
+        series=[Series(k, v) for k, v in series.items()],
+        notes=["Table IV workitem counts:"] + table4_workitem_counts(fast),
+    )

@@ -1,0 +1,68 @@
+"""Figure 2 — Parboil benchmarks with different workload per workitem.
+
+The Parboil kernels are coalesced 2x and 4x on the CPU device.  Expected
+shape: modest gains (base < 2X <= 4X) for the short kernels, and
+``MRI-FHD: RhoPhi`` staying flat (its per-item work is already trivial and
+its workitem count small, so scheduling overhead is not the bottleneck —
+the paper: "The performance [of] the MRI-FHD:RhoPhi kernel remains same").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...suite import (
+    CPCenergyBenchmark,
+    MriFhdFHBenchmark,
+    MriFhdRhoPhiBenchmark,
+    MriQComputeQBenchmark,
+    MriQPhiMagBenchmark,
+)
+from ..report import ExperimentResult, Series
+from ..runner import cpu_dut, make_buffers, measure_kernel
+
+__all__ = ["run", "FACTORS"]
+
+FACTORS = (1, 2, 4)
+
+
+def _benches(fast: bool):
+    if fast:
+        return [
+            CPCenergyBenchmark(natoms=200),
+            MriQPhiMagBenchmark(),
+            MriQComputeQBenchmark(num_k=128),
+            MriFhdRhoPhiBenchmark(),
+            MriFhdFHBenchmark(num_k=128),
+        ]
+    return [
+        CPCenergyBenchmark(),
+        MriQPhiMagBenchmark(),
+        MriQComputeQBenchmark(),
+        MriFhdRhoPhiBenchmark(),
+        MriFhdFHBenchmark(),
+    ]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    cpu = cpu_dut()
+    series: Dict[str, Dict[str, float]] = {
+        ("base" if f == 1 else f"{f}X"): {} for f in FACTORS
+    }
+    for bench in _benches(fast):
+        gs = bench.default_global_sizes[0]
+        buffers, scalars, _ = make_buffers(cpu, bench, gs)
+        base = None
+        for f in FACTORS:
+            m = measure_kernel(
+                cpu, bench, gs, None, coalesce=f, buffers=buffers, scalars=scalars
+            )
+            thr = m.throughput(float(gs[0]))
+            if base is None:
+                base = thr
+            series["base" if f == 1 else f"{f}X"][bench.name] = thr / base
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Parboil benchmarks with different workload per workitem (CPU)",
+        series=[Series(k, v) for k, v in series.items()],
+    )

@@ -1,0 +1,110 @@
+"""Figure 3 + Table V — workgroup-size sweep on CPUs and GPUs.
+
+Table V's configurations:
+
+=============== ========= ====== ====== ====== ======
+benchmark        base      case1  case2  case3  case4
+=============== ========= ====== ====== ====== ======
+Square           NULL      1      10     100    1000
+VectorAddition   NULL      1      10     100    1000
+Matrixmul        16x16     1x1    2x2    4x4    8x8
+Blackscholes     16x16     1x1    1x2    2x2    2x4
+MatrixmulNaive   16x16     1x1    2x2    4x4    8x8
+=============== ========= ====== ====== ====== ======
+
+Expected behaviour groups (paper Section III-B2): Square/VectorAdd/Naive
+improve with workgroup size on the CPU (fewer workgroups = less scheduling
+overhead) and saturate; Matrixmul's optimum differs CPU (8x8) vs GPU
+(16x16) through the local-memory tile; Blackscholes is flat on the CPU but
+sensitive on the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...suite import (
+    BlackScholesBenchmark,
+    MatrixMulBenchmark,
+    MatrixMulNaiveBenchmark,
+    SquareBenchmark,
+    VectorAddBenchmark,
+)
+from ..report import ExperimentResult, Series
+from ..runner import DeviceUnderTest, cpu_dut, gpu_dut, make_buffers, measure_kernel
+
+__all__ = ["run", "TABLE5"]
+
+# benchmark label -> (base local, [case locals])
+TABLE5: Dict[str, Tuple[Optional[tuple], List[tuple]]] = {
+    "Square": (None, [(1,), (10,), (100,), (1000,)]),
+    "VectorAddition": (None, [(1,), (10,), (100,), (1000,)]),
+    "Matrixmul": ((16, 16), [(1, 1), (2, 2), (4, 4), (8, 8)]),
+    "Blackscholes": ((16, 16), [(1, 1), (1, 2), (2, 2), (2, 4)]),
+    "MatrixmulNaive": ((16, 16), [(1, 1), (2, 2), (4, 4), (8, 8)]),
+}
+
+
+def _bench_for(label: str, local) -> object:
+    if label == "Square":
+        return SquareBenchmark()
+    if label == "VectorAddition":
+        return VectorAddBenchmark()
+    if label == "Matrixmul":
+        # the tile size follows the launch's workgroup shape
+        return MatrixMulBenchmark(block=local[0] if local else 16)
+    if label == "Blackscholes":
+        return BlackScholesBenchmark()
+    if label == "MatrixmulNaive":
+        return MatrixMulNaiveBenchmark()
+    raise KeyError(label)
+
+
+def _gsize_for(label: str, fast: bool) -> tuple:
+    if label in ("Square", "VectorAddition"):
+        return (100_000,) if fast else (1_000_000,)
+    if label in ("Matrixmul", "MatrixmulNaive"):
+        return (128, 256) if fast else (800, 1600)
+    return (128, 128) if fast else (1280, 1280)  # Blackscholes
+
+
+def _matmul_block_safe(label: str, local) -> bool:
+    # Matrixmul's blocked kernel needs a square tile
+    return not (label == "Matrixmul" and local is not None and local[0] != local[1])
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    duts = ((cpu_dut(), "CPU"), (gpu_dut(), "GPU"))
+    labels = ["base"] + [f"case_{i}" for i in range(1, 5)]
+    series: Dict[str, Dict[str, float]] = {
+        f"{lbl}({tag})": {} for lbl in labels for _, tag in duts
+    }
+
+    for app, (base_local, cases) in TABLE5.items():
+        gs = _gsize_for(app, fast)
+        configs = [("base", base_local)] + [
+            (f"case_{i}", ls) for i, ls in enumerate(cases, start=1)
+        ]
+        for dut, tag in duts:
+            base_thr = None
+            for lbl, ls in configs:
+                if not _matmul_block_safe(app, ls):
+                    continue
+                bench = _bench_for(app, ls)
+                buffers, scalars, _ = make_buffers(dut, bench, gs)
+                m = measure_kernel(
+                    dut, bench, gs, ls, buffers=buffers, scalars=scalars
+                )
+                thr = m.throughput(float(gs[0]) * (gs[1] if len(gs) > 1 else 1))
+                if lbl == "base":
+                    base_thr = thr
+                series[f"{lbl}({tag})"][app] = thr / base_thr
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Applications with different workgroup size on CPUs and GPUs",
+        series=[Series(k, v) for k, v in series.items()],
+        notes=[
+            "base local sizes: Square/VectorAddition NULL; matrix apps 16x16 "
+            "(Table V)"
+        ],
+    )

@@ -1,0 +1,55 @@
+"""Figure 4 — Blackscholes with different workgroup size, CPU vs GPU.
+
+The paper's outlier case: on the CPU the workgroup size barely matters
+(per-workitem work dwarfs scheduling overhead), while on the GPU small
+workgroups starve the SMs of warps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...suite import BlackScholesBenchmark
+from ..report import ExperimentResult, Series
+from ..runner import cpu_dut, gpu_dut, make_buffers, measure_kernel
+
+__all__ = ["run", "CASES"]
+
+CASES = {
+    "base": (16, 16),
+    "case_1": (1, 1),
+    "case_2": (1, 2),
+    "case_3": (2, 2),
+    "case_4": (2, 4),
+}
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    sizes = [(128, 128)] if fast else [(1280, 1280), (2560, 2560)]
+    duts = ((cpu_dut(), "CPU"), (gpu_dut(), "GPU"))
+    series: Dict[str, Dict[str, float]] = {
+        f"{lbl}({tag})": {} for lbl in CASES for _, tag in duts
+    }
+    bench = BlackScholesBenchmark()
+    for i, gs in enumerate(sizes, start=1):
+        x = f"blackscholes_{i}"
+        for dut, tag in duts:
+            buffers, scalars, _ = make_buffers(dut, bench, gs)
+            base = None
+            for lbl, ls in CASES.items():
+                m = measure_kernel(
+                    dut, bench, gs, ls, buffers=buffers, scalars=scalars
+                )
+                thr = m.throughput(float(gs[0] * gs[1]))
+                if lbl == "base":
+                    base = thr
+                series[f"{lbl}({tag})"][x] = thr / base
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Blackscholes with different workgroup size on CPUs and GPUs",
+        series=[Series(k, v) for k, v in series.items()],
+        notes=[
+            "expected: CPU flat (long per-workitem workload), GPU strongly "
+            "workgroup-size dependent (warp starvation)"
+        ],
+    )

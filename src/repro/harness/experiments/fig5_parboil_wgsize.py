@@ -1,0 +1,65 @@
+"""Figure 5 — Parboil benchmarks with different workgroup size (CPU).
+
+Workgroup size is swept 1x..16x (doubling), ending at each kernel's Table
+III size; ``CP: cenergy`` is swept along both of its dimensions:
+``cenergy(X)`` = 1x8 .. 16x8, ``cenergy(Y)`` = 16x1 .. 16x16.  The paper's
+finding: throughput rises with workgroup size and saturates "when there is
+enough computation inside the workgroup".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...suite import (
+    CPCenergyBenchmark,
+    MriFhdFHBenchmark,
+    MriFhdRhoPhiBenchmark,
+    MriQComputeQBenchmark,
+    MriQPhiMagBenchmark,
+)
+from ..report import ExperimentResult, Series
+from ..runner import cpu_dut, make_buffers, measure_kernel
+
+__all__ = ["run", "SCALES"]
+
+SCALES = (1, 2, 4, 8, 16)
+
+
+def _sweeps(fast: bool) -> List[Tuple[str, object, tuple, List[tuple]]]:
+    cp = CPCenergyBenchmark(natoms=200 if fast else 4000)
+    phimag = MriQPhiMagBenchmark()
+    computeq = MriQComputeQBenchmark(num_k=128 if fast else 3072)
+    rhophi = MriFhdRhoPhiBenchmark()
+    fh = MriFhdFHBenchmark(num_k=128 if fast else 3072)
+    out = [
+        ("CP: cenergy(X)", cp, (64, 512), [(s, 8) for s in SCALES]),
+        ("CP: cenergy(Y)", cp, (64, 512), [(16, s) for s in SCALES]),
+        ("MRI-Q: computePhiMag", phimag, (3072,), [(32 * s,) for s in SCALES]),
+        ("MRI-Q: computeQ", computeq, (32768,), [(16 * s,) for s in SCALES]),
+        ("MRI-FHD: RhoPhi", rhophi, (3072,), [(32 * s,) for s in SCALES]),
+        ("MRI-FHD: FH", fh, (32768,), [(16 * s,) for s in SCALES]),
+    ]
+    return out
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    cpu = cpu_dut()
+    series: Dict[str, Dict[str, float]] = {}
+    for label, bench, gs, locals_ in _sweeps(fast):
+        buffers, scalars, _ = make_buffers(cpu, bench, gs)
+        pts: Dict[str, float] = {}
+        base = None
+        for scale, ls in zip(SCALES, locals_):
+            m = measure_kernel(cpu, bench, gs, ls, buffers=buffers, scalars=scalars)
+            thr = m.throughput(float(gs[0]) * (gs[1] if len(gs) > 1 else 1))
+            if base is None:
+                base = thr
+            pts[str(scale)] = thr / base
+        series[label] = pts
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Parboil benchmarks with different workgroup size on CPUs",
+        series=[Series(k, v) for k, v in series.items()],
+        notes=["x-axis: workgroup scale factor relative to the smallest size"],
+    )

@@ -1,0 +1,105 @@
+"""Figure 7 — mapping vs copying APIs, across all allocation-flag combos.
+
+For every simple application, application throughput (paper Equation (1):
+work / (kernel time + transfer time)) is measured with the copy APIs
+(``clEnqueueWrite/ReadBuffer``) and with the mapping APIs
+(``clEnqueueMapBuffer``), in all four combinations of
+
+* kernel-access flags: READ_ONLY/WRITE_ONLY (per the kernel's use) vs
+  READ_WRITE for everything;
+* allocation location: device memory vs host-accessible (pinned,
+  ``CL_MEM_ALLOC_HOST_PTR``).
+
+The reported value is the *ratio* map/copy.  Expected: > 1 everywhere on the
+CPU device (mapping returns a pointer into the same DRAM; copying pays a
+real memcpy), growing with the data size of the app.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ... import minicl as cl
+from ...suite import (
+    BinomialOptionBenchmark,
+    BlackScholesBenchmark,
+    HistogramBenchmark,
+    MatrixMulBenchmark,
+    PrefixSumBenchmark,
+    ReductionBenchmark,
+    SquareBenchmark,
+    VectorAddBenchmark,
+)
+from ..report import ExperimentResult, Series
+from ..runner import cpu_dut, measure_app_throughput
+
+__all__ = ["run", "COMBOS"]
+
+#: (label, use access-specific flags, allocate host-accessible)
+COMBOS = (
+    ("ReadOnly or WriteOnly, Allocation on Device", True, False),
+    ("ReadOnly or WriteOnly, Allocation on Host", True, True),
+    ("Read Write, Allocation on Device", False, False),
+    ("Read Write, Allocation on Host", False, True),
+)
+
+
+def _benches(fast: bool) -> List[tuple]:
+    if fast:
+        return [
+            (SquareBenchmark(), (100_000,)),
+            (VectorAddBenchmark(), (110_000,)),
+            (ReductionBenchmark(), (640_000,)),
+            (PrefixSumBenchmark(), (1024,)),
+        ]
+    return [
+        (SquareBenchmark(), (1_000_000,)),
+        (VectorAddBenchmark(), (1_100_000,)),
+        (MatrixMulBenchmark(), (800, 1600)),
+        (ReductionBenchmark(), (2_560_000,)),
+        (HistogramBenchmark(), (409_600,)),
+        (PrefixSumBenchmark(), (1024,)),
+        (BlackScholesBenchmark(), (1280, 1280)),
+        (BinomialOptionBenchmark(), (255_000,)),
+    ]
+
+
+def _flags_map(bench, access_specific: bool, host_alloc: bool) -> Dict[str, cl.mem_flags]:
+    kernel = bench.kernel()
+    flags: Dict[str, cl.mem_flags] = {}
+    for p in kernel.buffer_params:
+        if access_specific and p.access == "r":
+            f = cl.mem_flags.READ_ONLY
+        elif access_specific and p.access == "w":
+            f = cl.mem_flags.WRITE_ONLY
+        else:
+            f = cl.mem_flags.READ_WRITE
+        if host_alloc:
+            f |= cl.mem_flags.ALLOC_HOST_PTR
+        flags[p.name] = f
+    return flags
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    cpu = cpu_dut()
+    series: Dict[str, Dict[str, float]] = {label: {} for label, _, _ in COMBOS}
+    for bench, gs in _benches(fast):
+        ls = bench.default_local_size
+        for label, access_specific, host_alloc in COMBOS:
+            fm = _flags_map(bench, access_specific, host_alloc)
+            thr_copy = measure_app_throughput(
+                cpu, bench, gs, ls, transfer_api="copy", flags_map=fm
+            )
+            thr_map = measure_app_throughput(
+                cpu, bench, gs, ls, transfer_api="map", flags_map=fm
+            )
+            series[label][bench.name] = thr_map / thr_copy
+    return ExperimentResult(
+        experiment_id="fig7",
+        title=(
+            "Normalized application throughput of mapping over copying, all "
+            "flag combinations (CPU)"
+        ),
+        series=[Series(k, v) for k, v in series.items()],
+        value_name="throughput(map) / throughput(copy)",
+    )

@@ -1,0 +1,80 @@
+"""Figure 8 — Parboil data-transfer time, copy vs map, per direction.
+
+Parboil kernels spend little time in transfer relative to compute, so the
+paper reports raw transfer times rather than Equation-(1) throughput: the
+host-to-device time for every kernel input, and the device-to-host time for
+every kernel output, with each API.  Expected: mapping is faster in both
+directions, because on a CPU device it only returns a pointer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ... import minicl as cl
+from ...suite import (
+    CPCenergyBenchmark,
+    MriFhdFHBenchmark,
+    MriFhdRhoPhiBenchmark,
+    MriQComputeQBenchmark,
+    MriQPhiMagBenchmark,
+)
+from ..report import ExperimentResult, Series
+from ..runner import cpu_dut, make_buffers
+
+__all__ = ["run"]
+
+
+def _apps(fast: bool):
+    k = 256 if fast else 3072
+    return {
+        "CP": [CPCenergyBenchmark(natoms=200 if fast else 4000)],
+        "MRI-Q": [MriQPhiMagBenchmark(), MriQComputeQBenchmark(num_k=k)],
+        "MRI-FHD": [MriFhdRhoPhiBenchmark(), MriFhdFHBenchmark(num_k=k)],
+    }
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    cpu = cpu_dut()
+    h2d: Dict[str, Dict[str, float]] = {"Copying": {}, "Mapping": {}}
+    d2h: Dict[str, Dict[str, float]] = {"Copying": {}, "Mapping": {}}
+    for app, benches in _apps(fast).items():
+        times = {("Copying", "h2d"): 0.0, ("Mapping", "h2d"): 0.0,
+                 ("Copying", "d2h"): 0.0, ("Mapping", "d2h"): 0.0}
+        for bench in benches:
+            gs = bench.default_global_sizes[0]
+            buffers, scalars, host = make_buffers(cpu, bench, gs)
+            kernel = bench.kernel()
+            q = cpu.fresh_queue(functional=False)
+            for p in kernel.buffer_params:
+                buf = buffers[p.name]
+                if "r" in p.access:
+                    ev = q.enqueue_write_buffer(buf, host[p.name])
+                    times[("Copying", "h2d")] += ev.duration_ns
+                    view, ev = q.enqueue_map_buffer(buf, cl.map_flags.WRITE)
+                    times[("Mapping", "h2d")] += ev.duration_ns
+                    q.enqueue_unmap(buf, view)
+                if "w" in p.access:
+                    dst = np.empty_like(host[p.name])
+                    ev = q.enqueue_read_buffer(buf, dst)
+                    times[("Copying", "d2h")] += ev.duration_ns
+                    view, ev = q.enqueue_map_buffer(buf, cl.map_flags.READ)
+                    times[("Mapping", "d2h")] += ev.duration_ns
+                    q.enqueue_unmap(buf, view)
+        for api in ("Copying", "Mapping"):
+            h2d[api][app] = times[(api, "h2d")] / 1e6  # ms
+            d2h[api][app] = times[(api, "d2h")] / 1e6
+    series = [
+        Series("Copying (host to device)", h2d["Copying"]),
+        Series("Mapping (host to device)", h2d["Mapping"]),
+        Series("Copying (device to host)", d2h["Copying"]),
+        Series("Mapping (device to host)", d2h["Mapping"]),
+    ]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Parboil data transfer time with different APIs (CPU)",
+        series=series,
+        value_name="transfer time (ms)",
+    )

@@ -1,0 +1,54 @@
+"""Section III-D (text) — allocation location and access flags: no effect.
+
+The paper verifies two null results on the CPU device:
+
+* "allocation location does not have a major impact on performance...
+  because device memory and host memory reference the same main memory";
+* "we do not see a noticeable performance difference" from marking buffers
+  read-only/write-only versus read-write.
+
+This experiment measures application throughput (copy API) across the four
+flag combinations and reports the max relative deviation — it should be
+(near) zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...suite import SquareBenchmark, VectorAddBenchmark, ReductionBenchmark
+from ..report import ExperimentResult, Series
+from ..runner import cpu_dut, measure_app_throughput
+from .fig7_transfer_api import COMBOS, _flags_map
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    cpu = cpu_dut()
+    benches = [
+        (SquareBenchmark(), (100_000,) if fast else (1_000_000,)),
+        (VectorAddBenchmark(), (110_000,) if fast else (1_100_000,)),
+        (ReductionBenchmark(), (640_000,)),
+    ]
+    series: Dict[str, Dict[str, float]] = {label: {} for label, _, _ in COMBOS}
+    notes = []
+    for bench, gs in benches:
+        vals = []
+        for label, access_specific, host_alloc in COMBOS:
+            fm = _flags_map(bench, access_specific, host_alloc)
+            thr = measure_app_throughput(
+                cpu, bench, gs, bench.default_local_size,
+                transfer_api="copy", flags_map=fm,
+            )
+            series[label][bench.name] = thr
+            vals.append(thr)
+        dev = (max(vals) - min(vals)) / max(vals)
+        notes.append(f"{bench.name}: max deviation across flags = {dev:.2%}")
+    return ExperimentResult(
+        experiment_id="flags",
+        title="Allocation location / access flags have no effect (CPU, copy API)",
+        series=[Series(k, v) for k, v in series.items()],
+        value_name="app throughput (items/ns)",
+        notes=notes,
+    )

@@ -1,0 +1,46 @@
+"""Table I — the experimental environment.
+
+Reproduces the environment table from the device models' self-descriptions
+(the simulated stand-ins for the paper's Xeon E5645 + GTX 580 testbed).
+"""
+
+from __future__ import annotations
+
+from ...simcpu.spec import XEON_E5645
+from ...simgpu.spec import GTX580
+from ..report import ExperimentResult, Series
+
+__all__ = ["run", "environment_rows"]
+
+
+def environment_rows() -> list:
+    """Ordered (label, value) pairs, CPU section then GPU section."""
+    rows = [("-- CPU --", "")]
+    rows += list(XEON_E5645.describe().items())
+    rows += [("-- GPU --", "")]
+    rows += list(GTX580.describe().items())
+    rows += [
+        ("O/S", "deterministic virtual time (simulated)"),
+        ("Platform", "repro.minicl on repro.simcpu (CPU) / repro.simgpu (GPU)"),
+        ("Compiler", "repro.kernelir vectorizing interpreter"),
+    ]
+    return rows
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rows = environment_rows()
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Experimental environment",
+        series=[
+            Series(
+                "peak Gflop/s",
+                {
+                    "CPU": XEON_E5645.peak_gflops_sp,
+                    "GPU": GTX580.peak_gflops_sp,
+                },
+            )
+        ],
+        value_name="peak single-precision Gflop/s",
+        notes=[f"{k}: {v}" if v else k for k, v in rows],
+    )

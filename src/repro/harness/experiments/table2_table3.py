@@ -1,0 +1,59 @@
+"""Tables II and III — benchmark characteristics.
+
+Regenerates the global/local work-size tables directly from the benchmark
+definitions, so any drift between the suite and the paper is visible.
+"""
+
+from __future__ import annotations
+
+from ...suite import all_parboil_benchmarks, all_table2_benchmarks
+from ..report import ExperimentResult, Series
+
+__all__ = ["run_table2", "run_table3"]
+
+
+def _characteristics(benches, experiment_id: str, title: str) -> ExperimentResult:
+    notes = []
+    for b in benches:
+        k = b.kernel()
+        gs = ", ".join(
+            " X ".join(str(x) for x in cfg) for cfg in b.default_global_sizes
+        )
+        ls = (
+            "NULL"
+            if b.default_local_size is None
+            else " X ".join(str(x) for x in b.default_local_size)
+        )
+        notes.append(
+            f"{b.name} | kernel={k.name} | global work size: {gs} | "
+            f"local work size: {ls}"
+        )
+    series = [
+        Series(
+            "total workitems (first input)",
+            {b.name: float(b.launch_configs()[0].total_workitems) for b in benches},
+        )
+    ]
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        series=series,
+        value_name="workitems",
+        notes=notes,
+    )
+
+
+def run_table2(fast: bool = False) -> ExperimentResult:
+    return _characteristics(
+        all_table2_benchmarks(),
+        "table2",
+        "Characteristics of the Simple Applications",
+    )
+
+
+def run_table3(fast: bool = False) -> ExperimentResult:
+    return _characteristics(
+        all_parboil_benchmarks(),
+        "table3",
+        "Characteristics of the Parboil Benchmarks",
+    )

@@ -1,0 +1,71 @@
+"""Registry of all experiments, keyed by the paper artifact they regenerate."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .report import ExperimentResult
+from .experiments import (
+    conclusions,
+    ext_affinity,
+    ext_omp_apps,
+    ext_portability,
+    fig1_workitem_coalescing,
+    fig2_parboil_coalescing,
+    fig3_workgroup_size,
+    fig4_blackscholes_wgsize,
+    fig5_parboil_wgsize,
+    fig6_ilp,
+    fig7_transfer_api,
+    fig8_parboil_transfer,
+    fig9_affinity,
+    fig10_vectorization,
+    fig11_dependence_example,
+    flags_no_effect,
+    table1,
+    table2_table3,
+)
+
+__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]
+
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2_table3.run_table2,
+    "table3": table2_table3.run_table3,
+    "fig1": fig1_workitem_coalescing.run,
+    "fig2": fig2_parboil_coalescing.run,
+    "fig3": fig3_workgroup_size.run,
+    "fig4": fig4_blackscholes_wgsize.run,
+    "fig5": fig5_parboil_wgsize.run,
+    "fig6": fig6_ilp.run,
+    "fig7": fig7_transfer_api.run,
+    "fig8": fig8_parboil_transfer.run,
+    "fig9": fig9_affinity.run,
+    "fig10": fig10_vectorization.run,
+    "fig11": fig11_dependence_example.run,
+    "flags": flags_no_effect.run,
+    # beyond the paper: its Section III-E proposal, implemented
+    "ext_affinity": ext_affinity.run,
+    # beyond the paper: Section III-F porting applied to the whole suite
+    "ext_omp_apps": ext_omp_apps.run,
+    # beyond the paper: do the findings survive an AVX-class CPU?
+    "ext_portability": ext_portability.run,
+    # Section V: the five conclusions, auto-verified
+    "conclusions": conclusions.run,
+}
+
+
+def run_experiment(name: str, fast: bool = False) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig6"``)."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(fast)
+
+
+def run_all(fast: bool = False) -> List[ExperimentResult]:
+    """Run every experiment in paper order."""
+    return [fn(fast) for fn in EXPERIMENTS.values()]

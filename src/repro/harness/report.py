@@ -1,0 +1,94 @@
+"""Result containers and fixed-width rendering for every experiment.
+
+An experiment produces an :class:`ExperimentResult`: a set of labelled
+series over a common set of x-labels (one series per line of the paper's
+figure, one x-label per bar/point).  ``render()`` prints the same rows the
+paper's figures plot; ``to_csv()`` feeds external plotting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Series", "ExperimentResult"]
+
+
+@dataclasses.dataclass
+class Series:
+    """One labelled line/bar-group: x-label -> value."""
+
+    label: str
+    points: Dict[str, float]
+
+    def value(self, x: str) -> float:
+        return self.points[x]
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """All series of one table/figure reproduction."""
+
+    experiment_id: str      # e.g. "fig1"
+    title: str
+    series: List[Series]
+    value_name: str = "normalized throughput"
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    # -- access -----------------------------------------------------------
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    @property
+    def x_labels(self) -> List[str]:
+        seen: List[str] = []
+        for s in self.series:
+            for x in s.points:
+                if x not in seen:
+                    seen.append(x)
+        return seen
+
+    # -- rendering -----------------------------------------------------------
+    def render(self, float_fmt: str = "{:10.4g}") -> str:
+        xs = self.x_labels
+        label_w = max([len("series")] + [len(s.label) for s in self.series]) + 2
+        col_w = max([12] + [len(x) + 2 for x in xs])
+        out = io.StringIO()
+        out.write(f"== {self.experiment_id}: {self.title} ==\n")
+        out.write(f"   ({self.value_name})\n")
+        header = "series".ljust(label_w) + "".join(x.rjust(col_w) for x in xs)
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for s in self.series:
+            row = s.label.ljust(label_w)
+            for x in xs:
+                v = s.points.get(x)
+                row += (
+                    float_fmt.format(v).rjust(col_w)
+                    if v is not None
+                    else "-".rjust(col_w)
+                )
+            out.write(row + "\n")
+        for n in self.notes:
+            out.write(f"note: {n}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        xs = self.x_labels
+        lines = ["series," + ",".join(xs)]
+        for s in self.series:
+            lines.append(
+                s.label
+                + ","
+                + ",".join(
+                    "" if s.points.get(x) is None else repr(s.points[x]) for x in xs
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,174 @@
+"""Shared machinery for the experiment modules: device setup, buffer
+creation, and one-call kernel/transfer measurement through the full minicl
+stack (so every experiment exercises the same code path a user would)."""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import minicl as cl
+from ..suite.base import Benchmark, scale_global_size
+from .timing import Measurement, repeat_to_target
+
+__all__ = [
+    "DeviceUnderTest",
+    "cpu_dut",
+    "gpu_dut",
+    "measure_kernel",
+    "measure_app_throughput",
+    "make_buffers",
+]
+
+
+@dataclasses.dataclass
+class DeviceUnderTest:
+    """A context+queue pair on one simulated device."""
+
+    context: cl.Context
+    queue: cl.CommandQueue
+
+    @property
+    def device(self) -> cl.Device:
+        return self.context.device
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.device.is_gpu
+
+    def fresh_queue(self, functional: bool = False) -> cl.CommandQueue:
+        return self.context.create_command_queue(functional=functional)
+
+
+def cpu_dut(functional: bool = False) -> DeviceUnderTest:
+    ctx = cl.Context(cl.cpu_platform().devices)
+    return DeviceUnderTest(ctx, ctx.create_command_queue(functional=functional))
+
+
+def gpu_dut(functional: bool = False) -> DeviceUnderTest:
+    ctx = cl.Context(cl.gpu_platform().devices)
+    return DeviceUnderTest(ctx, ctx.create_command_queue(functional=functional))
+
+
+def make_buffers(
+    dut: DeviceUnderTest,
+    bench: Benchmark,
+    global_size: Sequence[int],
+    *,
+    flags_map: Optional[Dict[str, cl.mem_flags]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Dict[str, cl.Buffer], Dict[str, object], Dict[str, np.ndarray]]:
+    """Create minicl buffers (+host arrays) for one benchmark launch.
+
+    ``flags_map`` overrides allocation flags per buffer; the default honours
+    the kernel's declared access (READ_ONLY inputs, WRITE_ONLY outputs),
+    which is the paper's "ReadOnly or WriteOnly" configuration.
+    """
+    rng = rng or np.random.default_rng(12345)
+    host, scalars = bench.make_data(global_size, rng)
+    kernel = bench.kernel()
+    flags_map = flags_map or {}
+    buffers: Dict[str, cl.Buffer] = {}
+    for p in kernel.buffer_params:
+        arr = host[p.name]
+        if p.name in flags_map:
+            flags = flags_map[p.name]
+        elif p.access == "r":
+            flags = cl.mem_flags.READ_ONLY
+        elif p.access == "w":
+            flags = cl.mem_flags.WRITE_ONLY
+        else:
+            flags = cl.mem_flags.READ_WRITE
+        buffers[p.name] = dut.context.create_buffer(
+            flags | cl.mem_flags.COPY_HOST_PTR, hostbuf=arr
+        )
+    return buffers, scalars, host
+
+
+def measure_kernel(
+    dut: DeviceUnderTest,
+    bench: Benchmark,
+    global_size: Sequence[int],
+    local_size: Optional[Sequence[int]] = None,
+    *,
+    coalesce: int = 1,
+    max_invocations: int = 3,
+    buffers: Optional[Dict[str, cl.Buffer]] = None,
+    scalars: Optional[Dict[str, object]] = None,
+) -> Measurement:
+    """Average kernel time for one configuration, via the full minicl path."""
+    if buffers is None or scalars is None:
+        buffers, scalars, _ = make_buffers(dut, bench, global_size)
+    scalars = {**scalars, **bench.scalars_for(coalesce)}
+    launch_gs = scale_global_size(global_size, coalesce)
+
+    program = dut.context.create_program(bench.kernel(coalesce)).build()
+    k = program.create_kernel(bench.kernel(coalesce).name)
+    args = []
+    for p in k.kernel.params:
+        args.append(buffers[p.name] if p.name in buffers else scalars[p.name])
+    k.set_args(*args)
+    queue = dut.fresh_queue(functional=False)
+    return repeat_to_target(
+        lambda: queue.enqueue_nd_range_kernel(k, launch_gs, local_size),
+        max_invocations=max_invocations,
+    )
+
+
+def measure_app_throughput(
+    dut: DeviceUnderTest,
+    bench: Benchmark,
+    global_size: Sequence[int],
+    local_size: Optional[Sequence[int]] = None,
+    *,
+    transfer_api: str = "copy",
+    flags_map: Optional[Dict[str, cl.mem_flags]] = None,
+) -> float:
+    """The paper's Equation (1): work / (kernel time + transfer time).
+
+    Inputs move host->device before the kernel and outputs device->host
+    after it, with either the copy APIs (``clEnqueueWrite/ReadBuffer``) or
+    the mapping APIs (``clEnqueueMapBuffer``/unmap).
+    """
+    buffers, scalars, host = make_buffers(dut, bench, global_size,
+                                          flags_map=flags_map)
+    kernel_ir = bench.kernel()
+    queue = dut.fresh_queue(functional=False)
+
+    t0 = queue.now_ns
+    # host -> device for kernel inputs
+    for p in kernel_ir.buffer_params:
+        if "r" in p.access:
+            if transfer_api == "copy":
+                queue.enqueue_write_buffer(buffers[p.name], host[p.name])
+            else:
+                view, _ = queue.enqueue_map_buffer(
+                    buffers[p.name], cl.map_flags.WRITE
+                )
+                queue.enqueue_unmap(buffers[p.name], view)
+    # the kernel itself
+    program = dut.context.create_program(kernel_ir).build()
+    k = program.create_kernel(kernel_ir.name)
+    args = [
+        buffers[p.name] if p.name in buffers else scalars[p.name]
+        for p in kernel_ir.params
+    ]
+    k.set_args(*args)
+    queue.enqueue_nd_range_kernel(k, tuple(global_size), local_size)
+    # device -> host for kernel outputs
+    for p in kernel_ir.buffer_params:
+        if "w" in p.access:
+            if transfer_api == "copy":
+                dst = np.empty_like(host[p.name])
+                queue.enqueue_read_buffer(buffers[p.name], dst)
+            else:
+                view, _ = queue.enqueue_map_buffer(
+                    buffers[p.name], cl.map_flags.READ
+                )
+                queue.enqueue_unmap(buffers[p.name], view)
+    elapsed = queue.now_ns - t0
+    work = float(np.prod(tuple(global_size)))
+    return work / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,102 @@
+"""SIMT kernel intermediate representation, interpreter and analyses.
+
+This package is the substrate every other part of the reproduction builds on:
+benchmark kernels are authored with :class:`KernelBuilder`, executed
+functionally by :class:`Interpreter`, and costed by the device models using
+:func:`analyze_kernel` plus the vectorizers.
+"""
+
+from .types import (
+    BOOL,
+    DType,
+    F32,
+    F64,
+    I8,
+    I32,
+    I64,
+    U8,
+    U32,
+    U64,
+    common_type,
+    dtype_of_value,
+    promote,
+)
+from .ast import (
+    AtomicAdd,
+    AtomicAddLocal,
+    Assign,
+    Barrier,
+    BinOp,
+    BufferParam,
+    Call,
+    Cast,
+    Const,
+    Expr,
+    For,
+    GlobalId,
+    GlobalSize,
+    GroupId,
+    If,
+    Kernel,
+    Load,
+    LoadLocal,
+    LocalArray,
+    LocalId,
+    LocalSize,
+    NumGroups,
+    ScalarParam,
+    Select,
+    Stmt,
+    Store,
+    StoreLocal,
+    UnOp,
+    Var,
+    walk_exprs,
+    walk_stmts,
+)
+from .builder import BufferHandle, KernelBuilder, LocalHandle
+from .interp import DynamicCounters, Interpreter, KernelExecutionError, LaunchResult
+from .analysis import (
+    AccessInfo,
+    AffineIndex,
+    KernelAnalysis,
+    LatencyTable,
+    LaunchContext,
+    OpCounts,
+    affine_index,
+    analyze_kernel,
+)
+from .vectorize import (
+    LoopVectorizer,
+    OpenCLVectorizer,
+    VectorizationReport,
+    dependence_chain_length,
+)
+from .trace import KernelTrace, MemoryAccess, TracingInterpreter, trace_kernel
+from .codegen import CodegenError, to_opencl_c, to_openmp_c
+
+__all__ = [
+    # types
+    "DType", "F32", "F64", "I8", "U8", "I32", "U32", "I64", "U64", "BOOL",
+    "promote", "common_type", "dtype_of_value",
+    # ast
+    "Expr", "Const", "GlobalId", "LocalId", "GroupId", "GlobalSize",
+    "LocalSize", "NumGroups", "Var", "BinOp", "UnOp", "Call", "Load",
+    "LoadLocal", "Select", "Cast", "Stmt", "Assign", "Store", "StoreLocal",
+    "AtomicAdd", "AtomicAddLocal", "For", "If", "Barrier", "BufferParam",
+    "ScalarParam", "LocalArray", "Kernel", "walk_exprs", "walk_stmts",
+    # builder
+    "KernelBuilder", "BufferHandle", "LocalHandle",
+    # interpreter
+    "Interpreter", "LaunchResult", "DynamicCounters", "KernelExecutionError",
+    # analysis
+    "LaunchContext", "LatencyTable", "OpCounts", "AccessInfo", "AffineIndex",
+    "KernelAnalysis", "analyze_kernel", "affine_index",
+    # vectorization
+    "OpenCLVectorizer", "LoopVectorizer", "VectorizationReport",
+    "dependence_chain_length",
+    # tracing
+    "TracingInterpreter", "KernelTrace", "MemoryAccess", "trace_kernel",
+    # source generation
+    "to_opencl_c", "to_openmp_c", "CodegenError",
+]

@@ -1,0 +1,650 @@
+"""Static analysis of kernels: operation counts, ILP, memory access patterns.
+
+These analyses feed the CPU/GPU timing models:
+
+* **Operation counts** (per workitem, loop-trip weighted) drive the compute
+  term of the device models.
+* **ILP** — the ratio of total latency-weighted work to the dependence-chain
+  critical path — drives the out-of-order CPU issue model (the paper's
+  Section II-B/III-C: dependent-instruction kernels run at ILP 1 and leave
+  CPU pipelines idle; GPUs hide the latency with warps instead).
+* **Access patterns** (stride of each load/store with respect to adjacent
+  workitems) drive cache modelling and both vectorizers (the paper's
+  Section III-F: non-contiguous access defeats loop vectorization).
+
+All analyses are evaluated in a concrete :class:`LaunchContext` — scalar
+argument values and NDRange sizes are known at launch, which lets trip counts
+and strides resolve to numbers in almost every paper kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import ast as ir
+from .types import DType
+
+__all__ = [
+    "LatencyTable",
+    "LaunchContext",
+    "OpCounts",
+    "AccessInfo",
+    "KernelAnalysis",
+    "analyze_kernel",
+    "affine_index",
+    "AffineIndex",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyTable:
+    """Instruction latencies in cycles (Westmere-era SSE defaults).
+
+    These set the *relative* cost of dependence chains; the CPU core model
+    combines them with issue width and port counts.
+    """
+
+    int_op: float = 1.0
+    fp_add: float = 3.0
+    fp_mul: float = 4.0
+    fp_div: float = 20.0
+    fp_sqrt: float = 20.0
+    fp_transcendental: float = 40.0  # exp/log/sin/cos/erf/pow
+    load: float = 4.0  # L1 hit; the cache model adjusts for misses
+    store: float = 1.0
+    compare: float = 1.0
+
+    def of_binop(self, op: str, dtype: DType) -> float:
+        if op in ir.CMP_OPS or op in ("and", "or"):
+            return self.compare
+        if not dtype.is_float:
+            return self.int_op
+        if op in ("+", "-", "min", "max"):
+            return self.fp_add
+        if op == "*":
+            return self.fp_mul
+        if op in ("/", "//", "%"):
+            return self.fp_div
+        return self.fp_add
+
+    def of_call(self, fn: str) -> float:
+        if fn in ("mad", "fma"):
+            return self.fp_mul + self.fp_add
+        if fn in ("sqrt", "rsqrt"):
+            return self.fp_sqrt
+        if fn in ("fabs", "floor"):
+            return self.fp_add
+        return self.fp_transcendental
+
+
+@dataclasses.dataclass
+class LaunchContext:
+    """Concrete launch parameters used to resolve uniform expressions."""
+
+    global_size: Tuple[int, ...]
+    local_size: Tuple[int, ...]
+    scalars: Dict[str, float] = dataclasses.field(default_factory=dict)
+    latencies: LatencyTable = dataclasses.field(default_factory=LatencyTable)
+    #: trip count assumed for loops whose bounds cannot be resolved
+    default_trip: int = 1
+
+    def __post_init__(self):
+        if isinstance(self.global_size, int):
+            self.global_size = (self.global_size,)
+        if isinstance(self.local_size, int):
+            self.local_size = (self.local_size,)
+        self.global_size = tuple(int(g) for g in self.global_size)
+        self.local_size = tuple(int(l) for l in self.local_size)
+
+    @property
+    def num_groups(self) -> Tuple[int, ...]:
+        return tuple(g // l for g, l in zip(self.global_size, self.local_size))
+
+    @property
+    def total_workitems(self) -> int:
+        return int(np.prod(self.global_size))
+
+    @property
+    def workgroup_size(self) -> int:
+        return int(np.prod(self.local_size))
+
+    @property
+    def workgroup_count(self) -> int:
+        return int(np.prod(self.num_groups))
+
+
+@dataclasses.dataclass
+class OpCounts:
+    """Per-workitem dynamic operation counts (loop-trip weighted)."""
+
+    flops: float = 0.0
+    int_ops: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    local_loads: float = 0.0
+    local_stores: float = 0.0
+    atomics: float = 0.0
+    barriers: float = 0.0
+
+    def scaled(self, k: float) -> "OpCounts":
+        return OpCounts(
+            *(getattr(self, f.name) * k for f in dataclasses.fields(self))
+        )
+
+    def __iadd__(self, o: "OpCounts") -> "OpCounts":
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(o, f.name))
+        return self
+
+    @property
+    def arith_ops(self) -> float:
+        return self.flops + self.int_ops
+
+    @property
+    def mem_ops(self) -> float:
+        return self.loads + self.stores + self.local_loads + self.local_stores
+
+    def total(self) -> float:
+        return self.arith_ops + self.mem_ops + self.atomics
+
+
+# ---------------------------------------------------------------------------
+# Affine index analysis
+# ---------------------------------------------------------------------------
+
+#: symbolic key types: ("g", d) / ("l", d) / ("grp", d) ids, ("loop", name)
+Key = Tuple[str, object]
+
+
+@dataclasses.dataclass
+class AffineIndex:
+    """``const + sum(coeff[k] * k)`` over id/loop symbols.
+
+    Coefficients are concrete numbers (scalar kernel args and NDRange sizes
+    have been substituted from the launch context).
+    """
+
+    const: float = 0.0
+    coeffs: Dict[Key, float] = dataclasses.field(default_factory=dict)
+
+    def coeff(self, key: Key) -> float:
+        return self.coeffs.get(key, 0.0)
+
+    @property
+    def is_uniform(self) -> bool:
+        """Same value for every workitem (may still vary per loop iteration)."""
+        return all(k[0] == "loop" or c == 0 for k, c in self.coeffs.items())
+
+    @property
+    def vector_stride(self) -> float:
+        """Index stride between *adjacent workitems in dimension 0*.
+
+        Adjacent workitems inside one workgroup differ by +1 in both
+        ``get_global_id(0)`` and ``get_local_id(0)``, so the packet stride a
+        vectorizer sees is the sum of those coefficients.
+        """
+        return self.coeff(("g", 0)) + self.coeff(("l", 0))
+
+    def loop_stride(self, var: str) -> float:
+        return self.coeff(("loop", var))
+
+    def _combine(self, other: "AffineIndex", sign: float) -> "AffineIndex":
+        out = AffineIndex(self.const + sign * other.const, dict(self.coeffs))
+        for k, c in other.coeffs.items():
+            out.coeffs[k] = out.coeffs.get(k, 0.0) + sign * c
+        out.coeffs = {k: c for k, c in out.coeffs.items() if c != 0}
+        return out
+
+    def __add__(self, o):
+        return self._combine(o, 1.0)
+
+    def __sub__(self, o):
+        return self._combine(o, -1.0)
+
+    def scale(self, k: float) -> "AffineIndex":
+        return AffineIndex(self.const * k, {key: c * k for key, c in self.coeffs.items()})
+
+
+def affine_index(
+    e: ir.Expr,
+    ctx: LaunchContext,
+    env: Optional[Dict[str, Optional[AffineIndex]]] = None,
+) -> Optional[AffineIndex]:
+    """Resolve ``e`` to an affine form over id/loop symbols, or None.
+
+    ``env`` maps variable names to their affine forms (or None for opaque
+    values such as loaded data).
+    """
+    env = env or {}
+    if isinstance(e, ir.Const):
+        if isinstance(e.value, bool) or not isinstance(e.value, (int, float)):
+            return None
+        return AffineIndex(float(e.value))
+    if isinstance(e, ir.GlobalId):
+        return AffineIndex(0.0, {("g", e.dim): 1.0})
+    if isinstance(e, ir.LocalId):
+        return AffineIndex(0.0, {("l", e.dim): 1.0})
+    if isinstance(e, ir.GroupId):
+        return AffineIndex(0.0, {("grp", e.dim): 1.0})
+    if isinstance(e, ir.GlobalSize):
+        return AffineIndex(float(ctx.global_size[e.dim] if e.dim < len(ctx.global_size) else 1))
+    if isinstance(e, ir.LocalSize):
+        return AffineIndex(float(ctx.local_size[e.dim] if e.dim < len(ctx.local_size) else 1))
+    if isinstance(e, ir.NumGroups):
+        return AffineIndex(float(ctx.num_groups[e.dim] if e.dim < len(ctx.num_groups) else 1))
+    if isinstance(e, ir.Var):
+        if e.name in env:
+            return env[e.name]
+        if e.name in ctx.scalars:
+            v = ctx.scalars[e.name]
+            try:
+                return AffineIndex(float(v))
+            except (TypeError, ValueError):
+                return None
+        return None
+    if isinstance(e, ir.Cast):
+        return affine_index(e.operand, ctx, env)
+    if isinstance(e, ir.BinOp):
+        a = affine_index(e.lhs, ctx, env)
+        b = affine_index(e.rhs, ctx, env)
+        if a is None or b is None:
+            return None
+        if e.op == "+":
+            return a + b
+        if e.op == "-":
+            return a - b
+        if e.op == "*":
+            if not a.coeffs:
+                return b.scale(a.const)
+            if not b.coeffs:
+                return a.scale(b.const)
+            return None
+        if e.op in ("/", "//"):
+            # Division stays affine only when dividing a pure constant, or
+            # when a constant divisor divides all coefficients exactly.
+            if not b.coeffs and b.const != 0:
+                d = b.const
+                if not a.coeffs and float(a.const / d).is_integer():
+                    return AffineIndex(a.const / d)
+                if all(float(c / d).is_integer() for c in a.coeffs.values()) and float(
+                    a.const / d
+                ).is_integer():
+                    return a.scale(1.0 / d)
+            return None
+        if e.op == "%":
+            # gid % C is non-affine in general; uniform % uniform is fine.
+            if not a.coeffs and not b.coeffs and b.const != 0:
+                return AffineIndex(float(math.fmod(a.const, b.const)))
+            return None
+        if e.op == "<<" and not b.coeffs:
+            return a.scale(float(2 ** int(b.const)))
+        return None
+    if isinstance(e, ir.UnOp) and e.op == "neg":
+        a = affine_index(e.operand, ctx, env)
+        return a.scale(-1.0) if a is not None else None
+    return None
+
+
+def _uniform_value(e: ir.Expr, ctx: LaunchContext, env) -> Optional[float]:
+    a = affine_index(e, ctx, env)
+    if a is None:
+        return None
+    if a.coeffs:
+        return None
+    return a.const
+
+
+# ---------------------------------------------------------------------------
+# Access info
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class AccessInfo:
+    """One static load/store site, with its loop-trip-weighted count."""
+
+    buffer: str
+    is_store: bool
+    is_local: bool
+    count_per_item: float
+    itemsize: int
+    #: stride (in elements) between adjacent workitems; None = gather/scatter
+    vector_stride: Optional[float]
+    #: stride (in elements) per iteration of the innermost enclosing loop
+    inner_loop_stride: Optional[float]
+    #: True when the whole index is workitem-invariant
+    uniform: bool
+
+    @property
+    def pattern(self) -> str:
+        """``contiguous`` / ``uniform`` / ``strided`` / ``gather``."""
+        if self.vector_stride is None:
+            return "gather"
+        if self.uniform:
+            return "uniform"
+        if abs(self.vector_stride) == 1.0:
+            return "contiguous"
+        if self.vector_stride == 0.0:
+            return "uniform"
+        return "strided"
+
+    @property
+    def bytes_per_item(self) -> float:
+        return self.count_per_item * self.itemsize
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+
+class _Analyzer:
+    def __init__(self, kernel: ir.Kernel, ctx: LaunchContext):
+        self.kernel = kernel
+        self.ctx = ctx
+        self.lat = ctx.latencies
+        self.counts = OpCounts()
+        self.accesses: List[AccessInfo] = []
+        self.approximate = False
+        self.divergent = False
+        self._dtype_of_buffer = {p.name: p.dtype for p in kernel.buffer_params}
+        self._dtype_of_local = {a.name: a.dtype for a in kernel.local_arrays}
+        self._loop_stack: List[str] = []
+
+    # expression walk: returns (ready_time, ops_counts_added_into_self)
+    def _expr(self, e: ir.Expr, env: Dict[str, float], aenv, weight: float) -> float:
+        if isinstance(e, (ir.Const, ir._IdBase)):
+            return 0.0
+        if isinstance(e, ir.Var):
+            return env.get(e.name, 0.0)
+        if isinstance(e, ir.Cast):
+            return self._expr(e.operand, env, aenv, weight)
+        if isinstance(e, ir.BinOp):
+            t = max(
+                self._expr(e.lhs, env, aenv, weight),
+                self._expr(e.rhs, env, aenv, weight),
+            )
+            lat = self.lat.of_binop(e.op, e.dtype)
+            if e.op not in ir.CMP_OPS and e.op not in ("and", "or"):
+                if e.dtype.is_float:
+                    self.counts.flops += weight
+                else:
+                    self.counts.int_ops += weight
+            return t + lat
+        if isinstance(e, ir.UnOp):
+            t = self._expr(e.operand, env, aenv, weight)
+            if e.op == "neg" and e.dtype.is_float:
+                self.counts.flops += weight
+            return t + (self.lat.fp_add if e.dtype.is_float else self.lat.int_op)
+        if isinstance(e, ir.Call):
+            t = max((self._expr(a, env, aenv, weight) for a in e.args), default=0.0)
+            self.counts.flops += weight * (2 if e.fn in ("mad", "fma") else 1)
+            return t + self.lat.of_call(e.fn)
+        if isinstance(e, ir.Select):
+            t = max(
+                self._expr(e.cond, env, aenv, weight),
+                self._expr(e.if_true, env, aenv, weight),
+                self._expr(e.if_false, env, aenv, weight),
+            )
+            return t + self.lat.compare
+        if isinstance(e, ir.Load):
+            t = self._expr(e.index, env, aenv, weight)
+            self.counts.loads += weight
+            self._record_access(e.buffer, False, False, e.index, aenv, weight)
+            return t + self.lat.load
+        if isinstance(e, ir.LoadLocal):
+            t = self._expr(e.index, env, aenv, weight)
+            self.counts.local_loads += weight
+            self._record_access(e.array, False, True, e.index, aenv, weight)
+            return t + self.lat.load
+        raise TypeError(f"unknown expr {type(e).__name__}")  # pragma: no cover
+
+    def _record_access(self, name, is_store, is_local, index, aenv, weight):
+        aff = affine_index(index, self.ctx, aenv)
+        dt = (self._dtype_of_local if is_local else self._dtype_of_buffer)[name]
+        if aff is None:
+            vs, ls, uni = None, None, False
+        else:
+            vs = aff.vector_stride
+            ls = aff.loop_stride(self._loop_stack[-1]) if self._loop_stack else 0.0
+            uni = aff.is_uniform
+        self.accesses.append(
+            AccessInfo(
+                buffer=name,
+                is_store=is_store,
+                is_local=is_local,
+                count_per_item=weight,
+                itemsize=dt.itemsize,
+                vector_stride=vs,
+                inner_loop_stride=ls,
+                uniform=uni,
+            )
+        )
+
+    def _body(self, body, env: Dict[str, float], aenv, t0: float, weight: float) -> float:
+        """Process statements; returns the completion time of the sequence."""
+        t_end = t0
+        for s in body:
+            t_end = max(t_end, self._stmt(s, env, aenv, weight))
+        return t_end
+
+    def _stmt(self, s: ir.Stmt, env, aenv, weight: float) -> float:
+        if isinstance(s, ir.Assign):
+            t = self._expr(s.value, env, aenv, weight)
+            env[s.name] = t
+            aenv[s.name] = affine_index(s.value, self.ctx, aenv)
+            return t
+        if isinstance(s, (ir.Store, ir.StoreLocal)):
+            t = max(
+                self._expr(s.index, env, aenv, weight),
+                self._expr(s.value, env, aenv, weight),
+            )
+            if isinstance(s, ir.Store):
+                self.counts.stores += weight
+                self._record_access(s.buffer, True, False, s.index, aenv, weight)
+            else:
+                self.counts.local_stores += weight
+                self._record_access(s.array, True, True, s.index, aenv, weight)
+            return t + self.lat.store
+        if isinstance(s, (ir.AtomicAdd, ir.AtomicAddLocal)):
+            t = max(
+                self._expr(s.index, env, aenv, weight),
+                self._expr(s.value, env, aenv, weight),
+            )
+            self.counts.atomics += weight
+            name = s.buffer if isinstance(s, ir.AtomicAdd) else s.array
+            self._record_access(name, True, isinstance(s, ir.AtomicAddLocal), s.index, aenv, weight)
+            return t + self.lat.load + self.lat.store  # RMW
+        if isinstance(s, ir.Barrier):
+            self.counts.barriers += weight
+            return max(env.values(), default=0.0)
+        if isinstance(s, ir.If):
+            cond_aff = affine_index(s.cond, self.ctx, aenv)
+            if cond_aff is None or not cond_aff.is_uniform:
+                self.divergent = True
+            t_c = self._expr(s.cond, env, aenv, weight)
+            w_then = weight if not s.else_body else weight * 0.5
+            w_else = weight * 0.5
+            env_then = dict(env)
+            t1 = self._body(s.then_body, env_then, dict(aenv), t_c, w_then)
+            t2 = t_c
+            env_else = dict(env)
+            if s.else_body:
+                t2 = self._body(s.else_body, env_else, dict(aenv), t_c, w_else)
+            # merge: a variable's ready time is the worst across branches
+            for k in set(env_then) | set(env_else):
+                env[k] = max(env_then.get(k, 0.0), env_else.get(k, 0.0))
+            return max(t1, t2)
+        if isinstance(s, ir.For):
+            return self._for(s, env, aenv, weight)
+        raise TypeError(f"unknown stmt {type(s).__name__}")  # pragma: no cover
+
+    def _trip_count(self, s: ir.For, aenv) -> float:
+        start = _uniform_value(s.start, self.ctx, aenv)
+        stop = _uniform_value(s.stop, self.ctx, aenv)
+        step = _uniform_value(s.step, self.ctx, aenv)
+        if start is None or stop is None or step is None or step == 0:
+            # Per-workitem bounds: divergent; estimate with worst case if the
+            # affine coefficients allow, otherwise fall back.
+            self.divergent = True
+            self.approximate = True
+            return float(self.ctx.default_trip)
+        if step > 0:
+            return max(0.0, math.ceil((stop - start) / step))
+        return max(0.0, math.ceil((start - stop) / -step))
+
+    def _for(self, s: ir.For, env, aenv, weight: float) -> float:
+        trips = self._trip_count(s, aenv)
+        if trips <= 0:
+            return max(env.values(), default=0.0)
+        self._loop_stack.append(s.var)
+        aenv_loop = dict(aenv)
+        aenv_loop[s.var] = AffineIndex(0.0, {("loop", s.var): 1.0})
+
+        # Pass 1 establishes per-iteration counts and the environment after
+        # one iteration; pass 2 (counts and accesses discarded) measures the
+        # steady-state critical-path growth of loop-carried variables.
+        counts_before = dataclasses.replace(self.counts)
+        acc_mark = len(self.accesses)
+        env1 = dict(env)
+        t1 = self._body(
+            s.body, env1, dict(aenv_loop), max(env.values(), default=0.0), weight
+        )
+        counts_after = dataclasses.replace(self.counts)
+        acc_pass1_end = len(self.accesses)
+
+        saved_counts = dataclasses.replace(self.counts)
+        env2 = dict(env1)
+        self._body(s.body, env2, dict(aenv_loop), t1, weight)
+        self.counts = saved_counts
+        del self.accesses[acc_pass1_end:]
+
+        # per-iteration critical-path growth via carried variables
+        delta = 0.0
+        for k in env2:
+            d = env2[k] - env1.get(k, 0.0)
+            if d > 0:
+                delta = max(delta, d)
+        if delta <= 0:
+            # No loop-carried dependence: iterations are mutually independent;
+            # the chain length is one body, the throughput work is trips*body.
+            total_t = t1
+        else:
+            total_t = t1 + (trips - 1) * delta
+
+        # scale the per-iteration counts to the full trip count
+        for f in dataclasses.fields(OpCounts):
+            before = getattr(counts_before, f.name)
+            per_iter = getattr(counts_after, f.name) - before
+            setattr(self.counts, f.name, before + per_iter * trips)
+        # scale the access counts recorded during pass 1
+        for acc in self.accesses[acc_mark:acc_pass1_end]:
+            acc.count_per_item *= trips
+        self._loop_stack.pop()
+
+        # loop bookkeeping overhead (induction increment + compare)
+        self.counts.int_ops += weight * trips * 2
+        total_t += trips * self.lat.int_op
+
+        # carried vars keep their grown ready-times
+        for k in env2:
+            d = env2[k] - env1.get(k, 0.0)
+            env[k] = env1.get(k, 0.0) + max(0.0, d) * max(0.0, trips - 1)
+            aenv[k] = None  # conservatively opaque after the loop
+        return total_t
+
+
+@dataclasses.dataclass
+class KernelAnalysis:
+    """Everything the timing models need to cost one workitem."""
+
+    kernel_name: str
+    per_item: OpCounts
+    critical_path_cycles: float
+    weighted_ops_cycles: float
+    accesses: List[AccessInfo]
+    divergent_flow: bool
+    approximate: bool
+    local_mem_bytes: int
+    uses_barrier: bool
+    uses_atomics: bool
+    ctx: LaunchContext
+
+    @property
+    def ilp(self) -> float:
+        """Independent-instruction parallelism of one workitem's stream."""
+        if self.critical_path_cycles <= 0:
+            return 1.0
+        return max(1.0, self.weighted_ops_cycles / self.critical_path_cycles)
+
+    @property
+    def bytes_loaded_per_item(self) -> float:
+        return sum(a.bytes_per_item for a in self.accesses if not a.is_store and not a.is_local)
+
+    @property
+    def bytes_stored_per_item(self) -> float:
+        return sum(a.bytes_per_item for a in self.accesses if a.is_store and not a.is_local)
+
+    @property
+    def bytes_per_item(self) -> float:
+        return self.bytes_loaded_per_item + self.bytes_stored_per_item
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of global traffic (roofline x-axis)."""
+        b = self.bytes_per_item
+        return self.per_item.flops / b if b > 0 else float("inf")
+
+    @property
+    def flops_per_item(self) -> float:
+        return self.per_item.flops
+
+    def gather_fraction(self) -> float:
+        """Fraction of global accesses that are gathers/scatters."""
+        tot = sum(a.count_per_item for a in self.accesses if not a.is_local)
+        if tot == 0:
+            return 0.0
+        g = sum(
+            a.count_per_item
+            for a in self.accesses
+            if not a.is_local and a.pattern == "gather"
+        )
+        return g / tot
+
+
+def analyze_kernel(kernel: ir.Kernel, ctx: LaunchContext) -> KernelAnalysis:
+    """Run all static analyses for one launch configuration."""
+    a = _Analyzer(kernel, ctx)
+    env: Dict[str, float] = {}
+    aenv: Dict[str, Optional[AffineIndex]] = {}
+    t_end = a._body(kernel.body, env, aenv, 0.0, 1.0)
+    crit = max(t_end, max(env.values(), default=0.0))
+
+    lat = ctx.latencies
+    c = a.counts
+    weighted = (
+        c.flops * (lat.fp_mul + lat.fp_add) / 2.0
+        + c.int_ops * lat.int_op
+        + c.loads * lat.load
+        + c.stores * lat.store
+        + c.local_loads * lat.load
+        + c.local_stores * lat.store
+        + c.atomics * (lat.load + lat.store)
+    )
+    return KernelAnalysis(
+        kernel_name=kernel.name,
+        per_item=c,
+        critical_path_cycles=max(crit, 1.0),
+        weighted_ops_cycles=max(weighted, 1.0),
+        accesses=a.accesses,
+        divergent_flow=a.divergent,
+        approximate=a.approximate,
+        local_mem_bytes=kernel.local_mem_bytes,
+        uses_barrier=kernel.uses_barrier,
+        uses_atomics=kernel.uses_atomics,
+        ctx=ctx,
+    )

@@ -1,0 +1,797 @@
+"""Abstract syntax tree for the SIMT kernel IR.
+
+A kernel is a straight-line list of statements (with structured ``For``/``If``
+nesting) executed once per *workitem* over an NDRange, exactly like an OpenCL
+C kernel.  Expressions are side-effect free except ``AtomicAdd``.
+
+The same IR doubles as the representation of an OpenMP ``parallel for`` body:
+the OpenMP runtime simply interprets ``GlobalId(0)`` as the loop induction
+variable (this mirrors the paper's porting methodology, Section III-F: "We map
+multiple workitems on OpenCL to a loop to port OpenCL kernels to their OpenMP
+counterparts").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+from .types import (
+    BOOL,
+    DType,
+    F32,
+    F64,
+    I32,
+    I64,
+    common_type,
+    promote,
+)
+
+__all__ = [
+    "Expr",
+    "Const",
+    "GlobalId",
+    "LocalId",
+    "GroupId",
+    "GlobalSize",
+    "LocalSize",
+    "NumGroups",
+    "Var",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "Load",
+    "LoadLocal",
+    "Select",
+    "Cast",
+    "Stmt",
+    "Assign",
+    "Store",
+    "StoreLocal",
+    "AtomicAdd",
+    "AtomicAddLocal",
+    "For",
+    "If",
+    "Barrier",
+    "BufferParam",
+    "ScalarParam",
+    "LocalArray",
+    "Kernel",
+    "ARITH_OPS",
+    "CMP_OPS",
+    "INTRINSICS",
+    "walk_exprs",
+    "walk_stmts",
+    "as_expr",
+]
+
+# Binary operators understood by the interpreter / analyses.
+ARITH_OPS = frozenset({"+", "-", "*", "/", "//", "%", "min", "max", "&", "|", "^", "<<", ">>"})
+CMP_OPS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+LOGIC_OPS = frozenset({"and", "or"})
+
+#: intrinsic name -> (arity, result is float)
+INTRINSICS = {
+    "exp": 1,
+    "log": 1,
+    "sqrt": 1,
+    "rsqrt": 1,
+    "fabs": 1,
+    "sin": 1,
+    "cos": 1,
+    "floor": 1,
+    "erf": 1,
+    "pow": 2,
+    "mad": 3,  # a * b + c
+    "fma": 3,
+}
+
+
+class Expr:
+    """Base class of all expressions.
+
+    Operator overloads build ``BinOp``/``UnOp`` nodes so that benchmark kernels
+    read naturally (``out[i] = a[i] * a[i]`` style via the builder).
+    """
+
+    dtype: DType
+
+    # -- arithmetic -------------------------------------------------------
+    def _bin(self, op: str, other, reflected: bool = False) -> "BinOp":
+        other = as_expr(other)
+        if reflected:
+            return BinOp(op, other, self)
+        return BinOp(op, self, other)
+
+    def __add__(self, o):
+        return self._bin("+", o)
+
+    def __radd__(self, o):
+        return self._bin("+", o, True)
+
+    def __sub__(self, o):
+        return self._bin("-", o)
+
+    def __rsub__(self, o):
+        return self._bin("-", o, True)
+
+    def __mul__(self, o):
+        return self._bin("*", o)
+
+    def __rmul__(self, o):
+        return self._bin("*", o, True)
+
+    def __truediv__(self, o):
+        return self._bin("/", o)
+
+    def __rtruediv__(self, o):
+        return self._bin("/", o, True)
+
+    def __floordiv__(self, o):
+        return self._bin("//", o)
+
+    def __rfloordiv__(self, o):
+        return self._bin("//", o, True)
+
+    def __mod__(self, o):
+        return self._bin("%", o)
+
+    def __rmod__(self, o):
+        return self._bin("%", o, True)
+
+    def __and__(self, o):
+        return self._bin("&", o)
+
+    def __or__(self, o):
+        return self._bin("|", o)
+
+    def __xor__(self, o):
+        return self._bin("^", o)
+
+    def __lshift__(self, o):
+        return self._bin("<<", o)
+
+    def __rshift__(self, o):
+        return self._bin(">>", o)
+
+    def __neg__(self):
+        return UnOp("neg", self)
+
+    # -- comparisons ------------------------------------------------------
+    def __lt__(self, o):
+        return self._bin("<", o)
+
+    def __le__(self, o):
+        return self._bin("<=", o)
+
+    def __gt__(self, o):
+        return self._bin(">", o)
+
+    def __ge__(self, o):
+        return self._bin(">=", o)
+
+    def eq(self, o) -> "BinOp":
+        """Element-wise equality (``==`` is kept for Python identity use)."""
+        return self._bin("==", o)
+
+    def ne(self, o) -> "BinOp":
+        return self._bin("!=", o)
+
+    # -- structure --------------------------------------------------------
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.pretty()
+
+    def pretty(self) -> str:
+        raise NotImplementedError
+
+
+def as_expr(v) -> Expr:
+    """Coerce a Python scalar into a ``Const``; pass expressions through."""
+    if isinstance(v, Expr):
+        return v
+    return Const(v)
+
+
+@dataclasses.dataclass(frozen=True, repr=False, eq=False)
+class Const(Expr):
+    """A literal constant.  ``dtype`` is inferred unless given."""
+
+    value: object
+    dtype: DType = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.dtype is None:
+            if isinstance(self.value, bool):
+                object.__setattr__(self, "dtype", BOOL)
+            elif isinstance(self.value, int):
+                object.__setattr__(self, "dtype", I64)
+            elif isinstance(self.value, float):
+                object.__setattr__(self, "dtype", F32)
+            else:
+                raise TypeError(f"bad constant {self.value!r}")
+
+    def pretty(self) -> str:
+        return repr(self.value)
+
+
+class _IdBase(Expr):
+    """Common base for NDRange id/size queries (all integer-typed)."""
+
+    dtype = I64
+    opencl_name = "?"
+
+    def __init__(self, dim: int = 0):
+        if dim not in (0, 1, 2):
+            raise ValueError(f"NDRange dimension must be 0, 1 or 2, got {dim}")
+        self.dim = dim
+
+    def pretty(self) -> str:
+        return f"{self.opencl_name}({self.dim})"
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.dim == other.dim
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.dim))
+
+
+class GlobalId(_IdBase):
+    """``get_global_id(dim)``."""
+
+    opencl_name = "get_global_id"
+
+
+class LocalId(_IdBase):
+    """``get_local_id(dim)``."""
+
+    opencl_name = "get_local_id"
+
+
+class GroupId(_IdBase):
+    """``get_group_id(dim)``."""
+
+    opencl_name = "get_group_id"
+
+
+class GlobalSize(_IdBase):
+    """``get_global_size(dim)``."""
+
+    opencl_name = "get_global_size"
+
+
+class LocalSize(_IdBase):
+    """``get_local_size(dim)``."""
+
+    opencl_name = "get_local_size"
+
+
+class NumGroups(_IdBase):
+    """``get_num_groups(dim)``."""
+
+    opencl_name = "get_num_groups"
+
+
+@dataclasses.dataclass(frozen=True, repr=False, eq=False)
+class Var(Expr):
+    """Reference to a per-workitem variable or scalar kernel parameter."""
+
+    name: str
+    dtype: DType
+
+    def pretty(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True, repr=False, eq=False)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self):
+        if self.op not in ARITH_OPS | CMP_OPS | LOGIC_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    @property
+    def dtype(self) -> DType:  # type: ignore[override]
+        if self.op in CMP_OPS or self.op in LOGIC_OPS:
+            return BOOL
+        if self.op in ("<<", ">>", "&", "|", "^"):
+            return self.lhs.dtype
+        return promote(self.lhs.dtype, self.rhs.dtype)
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+    def pretty(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.lhs.pretty()}, {self.rhs.pretty()})"
+        return f"({self.lhs.pretty()} {self.op} {self.rhs.pretty()})"
+
+
+@dataclasses.dataclass(frozen=True, repr=False, eq=False)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op not in ("neg", "not"):
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    @property
+    def dtype(self) -> DType:  # type: ignore[override]
+        return BOOL if self.op == "not" else self.operand.dtype
+
+    def children(self):
+        return (self.operand,)
+
+    def pretty(self) -> str:
+        return f"{self.op}({self.operand.pretty()})"
+
+
+@dataclasses.dataclass(frozen=True, repr=False, eq=False)
+class Call(Expr):
+    """Intrinsic math function call (exp, sqrt, mad, ...)."""
+
+    fn: str
+    args: Tuple[Expr, ...]
+
+    def __post_init__(self):
+        if self.fn not in INTRINSICS:
+            raise ValueError(f"unknown intrinsic {self.fn!r}")
+        if len(self.args) != INTRINSICS[self.fn]:
+            raise ValueError(
+                f"{self.fn} expects {INTRINSICS[self.fn]} args, got {len(self.args)}"
+            )
+        object.__setattr__(self, "args", tuple(as_expr(a) for a in self.args))
+
+    @property
+    def dtype(self) -> DType:  # type: ignore[override]
+        dt = common_type(*(a.dtype for a in self.args))
+        return dt if dt.is_float else F32
+
+    def children(self):
+        return self.args
+
+    def pretty(self) -> str:
+        return f"{self.fn}({', '.join(a.pretty() for a in self.args)})"
+
+
+@dataclasses.dataclass(frozen=True, repr=False, eq=False)
+class Load(Expr):
+    """Read ``buffer[index]`` from a global-memory buffer parameter."""
+
+    buffer: str
+    index: Expr
+    dtype: DType
+
+    def children(self):
+        return (self.index,)
+
+    def pretty(self) -> str:
+        return f"{self.buffer}[{self.index.pretty()}]"
+
+
+@dataclasses.dataclass(frozen=True, repr=False, eq=False)
+class LoadLocal(Expr):
+    """Read from a per-workgroup ``__local`` array."""
+
+    array: str
+    index: Expr
+    dtype: DType
+
+    def children(self):
+        return (self.index,)
+
+    def pretty(self) -> str:
+        return f"local {self.array}[{self.index.pretty()}]"
+
+
+@dataclasses.dataclass(frozen=True, repr=False, eq=False)
+class Select(Expr):
+    """Ternary ``cond ? a : b`` (OpenCL ``select``)."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+    @property
+    def dtype(self) -> DType:  # type: ignore[override]
+        return promote(self.if_true.dtype, self.if_false.dtype)
+
+    def children(self):
+        return (self.cond, self.if_true, self.if_false)
+
+    def pretty(self) -> str:
+        return (
+            f"select({self.cond.pretty()}, {self.if_true.pretty()}, "
+            f"{self.if_false.pretty()})"
+        )
+
+
+@dataclasses.dataclass(frozen=True, repr=False, eq=False)
+class Cast(Expr):
+    operand: Expr
+    dtype: DType
+
+    def children(self):
+        return (self.operand,)
+
+    def pretty(self) -> str:
+        return f"({self.dtype}){self.operand.pretty()}"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of all statements."""
+
+    def pretty(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.pretty()
+
+
+@dataclasses.dataclass(repr=False)
+class Assign(Stmt):
+    """Assign a per-workitem variable (declares it on first use)."""
+
+    name: str
+    value: Expr
+
+    def __post_init__(self):
+        self.value = as_expr(self.value)
+
+    def pretty(self, indent: int = 0) -> str:
+        return "  " * indent + f"{self.name} = {self.value.pretty()}"
+
+
+@dataclasses.dataclass(repr=False)
+class Store(Stmt):
+    """``buffer[index] = value`` to global memory."""
+
+    buffer: str
+    index: Expr
+    value: Expr
+
+    def __post_init__(self):
+        self.index = as_expr(self.index)
+        self.value = as_expr(self.value)
+
+    def pretty(self, indent: int = 0) -> str:
+        return "  " * indent + f"{self.buffer}[{self.index.pretty()}] = {self.value.pretty()}"
+
+
+@dataclasses.dataclass(repr=False)
+class StoreLocal(Stmt):
+    """Store to a per-workgroup ``__local`` array."""
+
+    array: str
+    index: Expr
+    value: Expr
+
+    def __post_init__(self):
+        self.index = as_expr(self.index)
+        self.value = as_expr(self.value)
+
+    def pretty(self, indent: int = 0) -> str:
+        return (
+            "  " * indent
+            + f"local {self.array}[{self.index.pretty()}] = {self.value.pretty()}"
+        )
+
+
+@dataclasses.dataclass(repr=False)
+class AtomicAdd(Stmt):
+    """``atomic_add(&buffer[index], value)`` on global memory."""
+
+    buffer: str
+    index: Expr
+    value: Expr
+
+    def __post_init__(self):
+        self.index = as_expr(self.index)
+        self.value = as_expr(self.value)
+
+    def pretty(self, indent: int = 0) -> str:
+        return (
+            "  " * indent
+            + f"atomic_add(&{self.buffer}[{self.index.pretty()}], {self.value.pretty()})"
+        )
+
+
+@dataclasses.dataclass(repr=False)
+class AtomicAddLocal(Stmt):
+    """``atomic_add`` on a ``__local`` array."""
+
+    array: str
+    index: Expr
+    value: Expr
+
+    def __post_init__(self):
+        self.index = as_expr(self.index)
+        self.value = as_expr(self.value)
+
+    def pretty(self, indent: int = 0) -> str:
+        return (
+            "  " * indent
+            + f"atomic_add(&local {self.array}[{self.index.pretty()}], {self.value.pretty()})"
+        )
+
+
+@dataclasses.dataclass(repr=False)
+class For(Stmt):
+    """Counted loop ``for (var = start; var < stop; var += step)``.
+
+    Bounds may be per-workitem expressions; the interpreter executes the loop
+    lock-step with an activity mask, so divergent trip counts are legal (they
+    simply cost extra masked iterations).
+    """
+
+    var: str
+    start: Expr
+    stop: Expr
+    step: Expr
+    body: list
+
+    def __post_init__(self):
+        self.start = as_expr(self.start)
+        self.stop = as_expr(self.stop)
+        self.step = as_expr(self.step)
+        # Keep the caller's list object: the builder appends to it after
+        # constructing the node (context-manager pattern).
+        if not isinstance(self.body, list):
+            self.body = list(self.body)
+
+    def pretty(self, indent: int = 0) -> str:
+        head = (
+            "  " * indent
+            + f"for {self.var} in [{self.start.pretty()}, {self.stop.pretty()}) "
+            + f"step {self.step.pretty()}:"
+        )
+        return "\n".join([head] + [s.pretty(indent + 1) for s in self.body])
+
+
+@dataclasses.dataclass(repr=False)
+class If(Stmt):
+    cond: Expr
+    then_body: list
+    else_body: list = dataclasses.field(default_factory=list)
+
+    def __post_init__(self):
+        self.cond = as_expr(self.cond)
+        # Keep the caller's list objects (see For.__post_init__).
+        if not isinstance(self.then_body, list):
+            self.then_body = list(self.then_body)
+        if not isinstance(self.else_body, list):
+            self.else_body = list(self.else_body)
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + f"if {self.cond.pretty()}:"]
+        lines += [s.pretty(indent + 1) for s in self.then_body]
+        if self.else_body:
+            lines.append("  " * indent + "else:")
+            lines += [s.pretty(indent + 1) for s in self.else_body]
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(repr=False)
+class Barrier(Stmt):
+    """``barrier(CLK_LOCAL_MEM_FENCE)`` — workgroup-wide synchronization."""
+
+    def pretty(self, indent: int = 0) -> str:
+        return "  " * indent + "barrier()"
+
+
+# ---------------------------------------------------------------------------
+# Kernel container
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferParam:
+    """A ``__global`` pointer kernel argument.
+
+    ``access`` is one of ``"r"``, ``"w"``, ``"rw"`` and corresponds to how the
+    *kernel* uses the buffer (the paper's read-only/write-only discussion).
+    """
+
+    name: str
+    dtype: DType
+    access: str = "rw"
+
+    def __post_init__(self):
+        if self.access not in ("r", "w", "rw"):
+            raise ValueError(f"bad access {self.access!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalarParam:
+    """A scalar (pass-by-value) kernel argument."""
+
+    name: str
+    dtype: DType
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalArray:
+    """A ``__local`` array declared inside the kernel, sized per workgroup."""
+
+    name: str
+    dtype: DType
+    size: int
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError("local array size must be positive")
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+
+@dataclasses.dataclass
+class Kernel:
+    """A complete kernel: signature + local arrays + body.
+
+    The kernel is dimension-agnostic; the NDRange shape is supplied at launch
+    time, exactly like ``clEnqueueNDRangeKernel``.
+    """
+
+    name: str
+    params: list
+    local_arrays: list
+    body: list
+    work_dim: int = 1
+
+    def __post_init__(self):
+        if not (1 <= self.work_dim <= 3):
+            raise ValueError("work_dim must be 1, 2 or 3")
+        names = [p.name for p in self.params] + [a.name for a in self.local_arrays]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate parameter/local names in kernel {self.name}")
+        self._validate_references()
+
+    # -- convenience accessors -------------------------------------------
+    @property
+    def buffer_params(self) -> list:
+        return [p for p in self.params if isinstance(p, BufferParam)]
+
+    @property
+    def scalar_params(self) -> list:
+        return [p for p in self.params if isinstance(p, ScalarParam)]
+
+    def param(self, name: str):
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def local_array(self, name: str) -> LocalArray:
+        for a in self.local_arrays:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    @property
+    def local_mem_bytes(self) -> int:
+        """Per-workgroup __local memory usage in bytes."""
+        return sum(a.nbytes for a in self.local_arrays)
+
+    @property
+    def uses_barrier(self) -> bool:
+        return any(isinstance(s, Barrier) for s in walk_stmts(self.body))
+
+    @property
+    def uses_local_memory(self) -> bool:
+        return bool(self.local_arrays)
+
+    @property
+    def uses_atomics(self) -> bool:
+        return any(
+            isinstance(s, (AtomicAdd, AtomicAddLocal)) for s in walk_stmts(self.body)
+        )
+
+    # -- validation -------------------------------------------------------
+    def _validate_references(self) -> None:
+        buffers = {p.name for p in self.buffer_params}
+        locals_ = {a.name for a in self.local_arrays}
+        writable = {p.name for p in self.buffer_params if "w" in p.access}
+        readable = {p.name for p in self.buffer_params if "r" in p.access}
+        for stmt in walk_stmts(self.body):
+            for e in _stmt_exprs(stmt):
+                for node in walk_exprs(e):
+                    if isinstance(node, Load):
+                        if node.buffer not in buffers:
+                            raise ValueError(
+                                f"kernel {self.name}: load from unknown buffer "
+                                f"{node.buffer!r}"
+                            )
+                        if node.buffer not in readable:
+                            raise ValueError(
+                                f"kernel {self.name}: buffer {node.buffer!r} is "
+                                f"write-only but is read"
+                            )
+                    if isinstance(node, LoadLocal) and node.array not in locals_:
+                        raise ValueError(
+                            f"kernel {self.name}: unknown local array {node.array!r}"
+                        )
+            if isinstance(stmt, (Store, AtomicAdd)):
+                if stmt.buffer not in buffers:
+                    raise ValueError(
+                        f"kernel {self.name}: store to unknown buffer {stmt.buffer!r}"
+                    )
+                if stmt.buffer not in writable:
+                    raise ValueError(
+                        f"kernel {self.name}: buffer {stmt.buffer!r} is read-only "
+                        f"but is written"
+                    )
+            if isinstance(stmt, (StoreLocal, AtomicAddLocal)) and stmt.array not in locals_:
+                raise ValueError(
+                    f"kernel {self.name}: unknown local array {stmt.array!r}"
+                )
+
+    def pretty(self) -> str:
+        sig = ", ".join(
+            (f"__global {p.dtype}* {p.name} ({p.access})" if isinstance(p, BufferParam)
+             else f"{p.dtype} {p.name}")
+            for p in self.params
+        )
+        lines = [f"__kernel void {self.name}({sig})"]
+        for a in self.local_arrays:
+            lines.append(f"  __local {a.dtype} {a.name}[{a.size}];")
+        lines += [s.pretty(1) for s in self.body]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Kernel {self.name} ({len(self.params)} params)>"
+
+
+# ---------------------------------------------------------------------------
+# Walkers
+# ---------------------------------------------------------------------------
+
+
+def walk_exprs(e: Expr) -> Iterator[Expr]:
+    """Depth-first iteration over an expression tree, including ``e``."""
+    yield e
+    for c in e.children():
+        yield from walk_exprs(c)
+
+
+def _stmt_exprs(s: Stmt) -> Tuple[Expr, ...]:
+    """The expressions directly owned by a statement (non-recursive)."""
+    if isinstance(s, Assign):
+        return (s.value,)
+    if isinstance(s, (Store, AtomicAdd)):
+        return (s.index, s.value)
+    if isinstance(s, (StoreLocal, AtomicAddLocal)):
+        return (s.index, s.value)
+    if isinstance(s, For):
+        return (s.start, s.stop, s.step)
+    if isinstance(s, If):
+        return (s.cond,)
+    return ()
+
+
+def walk_stmts(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Depth-first iteration over a statement list, entering loop/if bodies."""
+    for s in body:
+        yield s
+        if isinstance(s, For):
+            yield from walk_stmts(s.body)
+        elif isinstance(s, If):
+            yield from walk_stmts(s.then_body)
+            yield from walk_stmts(s.else_body)
+
+
+def stmt_exprs(s: Stmt) -> Tuple[Expr, ...]:
+    """Public alias for the expressions directly owned by a statement."""
+    return _stmt_exprs(s)

@@ -1,0 +1,279 @@
+"""Fluent builder for kernel IR.
+
+Benchmark kernels are written against this builder so they read close to the
+OpenCL C they reproduce::
+
+    kb = KernelBuilder("square")
+    a = kb.buffer("input", F32, access="r")
+    out = kb.buffer("output", F32, access="w")
+    gid = kb.global_id(0)
+    x = kb.let("x", a[gid])
+    out[gid] = x * x          # via kb.store / BufferHandle.__setitem__
+    kernel = kb.finish()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Union
+
+from . import ast as ir
+from .types import DType, F32, I32, I64
+
+__all__ = ["KernelBuilder", "BufferHandle", "LocalHandle"]
+
+
+class BufferHandle:
+    """Indexable proxy for a ``__global`` buffer parameter."""
+
+    def __init__(self, builder: "KernelBuilder", param: ir.BufferParam):
+        self._b = builder
+        self.param = param
+
+    @property
+    def name(self) -> str:
+        return self.param.name
+
+    @property
+    def dtype(self) -> DType:
+        return self.param.dtype
+
+    def __getitem__(self, index) -> ir.Load:
+        return ir.Load(self.param.name, ir.as_expr(index), self.param.dtype)
+
+    def __setitem__(self, index, value) -> None:
+        self._b.emit(ir.Store(self.param.name, ir.as_expr(index), ir.as_expr(value)))
+
+    def atomic_add(self, index, value) -> None:
+        self._b.emit(ir.AtomicAdd(self.param.name, ir.as_expr(index), ir.as_expr(value)))
+
+
+class LocalHandle:
+    """Indexable proxy for a ``__local`` array."""
+
+    def __init__(self, builder: "KernelBuilder", decl: ir.LocalArray):
+        self._b = builder
+        self.decl = decl
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def dtype(self) -> DType:
+        return self.decl.dtype
+
+    def __getitem__(self, index) -> ir.LoadLocal:
+        return ir.LoadLocal(self.decl.name, ir.as_expr(index), self.decl.dtype)
+
+    def __setitem__(self, index, value) -> None:
+        self._b.emit(ir.StoreLocal(self.decl.name, ir.as_expr(index), ir.as_expr(value)))
+
+    def atomic_add(self, index, value) -> None:
+        self._b.emit(
+            ir.AtomicAddLocal(self.decl.name, ir.as_expr(index), ir.as_expr(value))
+        )
+
+
+class KernelBuilder:
+    """Builds a :class:`repro.kernelir.ast.Kernel` statement by statement."""
+
+    def __init__(self, name: str, work_dim: int = 1):
+        self.name = name
+        self.work_dim = work_dim
+        self._params: List[Union[ir.BufferParam, ir.ScalarParam]] = []
+        self._locals: List[ir.LocalArray] = []
+        self._body: List[ir.Stmt] = []
+        self._stack: List[List[ir.Stmt]] = [self._body]
+        self._tmp = 0
+        self._finished = False
+
+    # -- signature --------------------------------------------------------
+    def buffer(self, name: str, dtype: DType = F32, access: str = "rw") -> BufferHandle:
+        """Declare a ``__global`` buffer parameter."""
+        p = ir.BufferParam(name, dtype, access)
+        self._params.append(p)
+        return BufferHandle(self, p)
+
+    def scalar(self, name: str, dtype: DType = I32) -> ir.Var:
+        """Declare a scalar (by-value) parameter; returns a usable expression."""
+        p = ir.ScalarParam(name, dtype)
+        self._params.append(p)
+        return ir.Var(name, dtype)
+
+    def local_array(self, name: str, size: int, dtype: DType = F32) -> LocalHandle:
+        """Declare a per-workgroup ``__local`` array."""
+        a = ir.LocalArray(name, dtype, int(size))
+        self._locals.append(a)
+        return LocalHandle(self, a)
+
+    # -- NDRange queries ---------------------------------------------------
+    def global_id(self, dim: int = 0) -> ir.GlobalId:
+        return ir.GlobalId(dim)
+
+    def local_id(self, dim: int = 0) -> ir.LocalId:
+        return ir.LocalId(dim)
+
+    def group_id(self, dim: int = 0) -> ir.GroupId:
+        return ir.GroupId(dim)
+
+    def global_size(self, dim: int = 0) -> ir.GlobalSize:
+        return ir.GlobalSize(dim)
+
+    def local_size(self, dim: int = 0) -> ir.LocalSize:
+        return ir.LocalSize(dim)
+
+    def num_groups(self, dim: int = 0) -> ir.NumGroups:
+        return ir.NumGroups(dim)
+
+    # -- statements ---------------------------------------------------------
+    def emit(self, stmt: ir.Stmt) -> None:
+        if self._finished:
+            raise RuntimeError("kernel already finished")
+        self._stack[-1].append(stmt)
+
+    def let(self, name: str, value) -> ir.Var:
+        """Assign a named per-workitem variable and return a reference."""
+        value = ir.as_expr(value)
+        self.emit(ir.Assign(name, value))
+        return ir.Var(name, value.dtype)
+
+    def tmp(self, value) -> ir.Var:
+        """Assign an auto-named temporary."""
+        self._tmp += 1
+        return self.let(f"_t{self._tmp}", value)
+
+    def store(self, buf: BufferHandle, index, value) -> None:
+        buf[index] = value
+
+    def barrier(self) -> None:
+        self.emit(ir.Barrier())
+
+    # -- structured control flow -------------------------------------------
+    @contextlib.contextmanager
+    def loop(self, var: str, start, stop, step=1) -> Iterator[ir.Var]:
+        """``for var in [start, stop) step step`` as a context manager."""
+        body: List[ir.Stmt] = []
+        stmt = ir.For(var, ir.as_expr(start), ir.as_expr(stop), ir.as_expr(step), body)
+        self.emit(stmt)
+        self._stack.append(body)
+        try:
+            yield ir.Var(var, I64)
+        finally:
+            self._stack.pop()
+
+    @contextlib.contextmanager
+    def if_(self, cond) -> Iterator[None]:
+        body: List[ir.Stmt] = []
+        stmt = ir.If(ir.as_expr(cond), body, [])
+        self.emit(stmt)
+        self._stack.append(body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextlib.contextmanager
+    def else_(self) -> Iterator[None]:
+        """Open the else-branch of the most recently emitted ``If``."""
+        scope = self._stack[-1]
+        if not scope or not isinstance(scope[-1], ir.If):
+            raise RuntimeError("else_() must directly follow an if_() block")
+        stmt = scope[-1]
+        self._stack.append(stmt.else_body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    # -- intrinsics ----------------------------------------------------------
+    @staticmethod
+    def call(fn: str, *args) -> ir.Call:
+        return ir.Call(fn, tuple(ir.as_expr(a) for a in args))
+
+    @staticmethod
+    def exp(x) -> ir.Call:
+        return ir.Call("exp", (ir.as_expr(x),))
+
+    @staticmethod
+    def log(x) -> ir.Call:
+        return ir.Call("log", (ir.as_expr(x),))
+
+    @staticmethod
+    def sqrt(x) -> ir.Call:
+        return ir.Call("sqrt", (ir.as_expr(x),))
+
+    @staticmethod
+    def rsqrt(x) -> ir.Call:
+        return ir.Call("rsqrt", (ir.as_expr(x),))
+
+    @staticmethod
+    def fabs(x) -> ir.Call:
+        return ir.Call("fabs", (ir.as_expr(x),))
+
+    @staticmethod
+    def sin(x) -> ir.Call:
+        return ir.Call("sin", (ir.as_expr(x),))
+
+    @staticmethod
+    def cos(x) -> ir.Call:
+        return ir.Call("cos", (ir.as_expr(x),))
+
+    @staticmethod
+    def erf(x) -> ir.Call:
+        return ir.Call("erf", (ir.as_expr(x),))
+
+    @staticmethod
+    def floor(x) -> ir.Call:
+        return ir.Call("floor", (ir.as_expr(x),))
+
+    @staticmethod
+    def pow(x, y) -> ir.Call:
+        return ir.Call("pow", (ir.as_expr(x), ir.as_expr(y)))
+
+    @staticmethod
+    def mad(a, b, c) -> ir.Call:
+        return ir.Call("mad", (ir.as_expr(a), ir.as_expr(b), ir.as_expr(c)))
+
+    @staticmethod
+    def select(cond, if_true, if_false) -> ir.Select:
+        return ir.Select(ir.as_expr(cond), ir.as_expr(if_true), ir.as_expr(if_false))
+
+    @staticmethod
+    def min(a, b) -> ir.BinOp:
+        return ir.BinOp("min", ir.as_expr(a), ir.as_expr(b))
+
+    @staticmethod
+    def max(a, b) -> ir.BinOp:
+        return ir.BinOp("max", ir.as_expr(a), ir.as_expr(b))
+
+    @staticmethod
+    def cast(x, dtype: DType) -> ir.Cast:
+        return ir.Cast(ir.as_expr(x), dtype)
+
+    @staticmethod
+    def f32(x) -> ir.Expr:
+        """Float32 literal or cast."""
+        if isinstance(x, (int, float)) and not isinstance(x, bool):
+            return ir.Const(float(x), F32)
+        return ir.Cast(ir.as_expr(x), F32)
+
+    @staticmethod
+    def i32(x) -> ir.Expr:
+        if isinstance(x, int) and not isinstance(x, bool):
+            return ir.Const(x, I32)
+        return ir.Cast(ir.as_expr(x), I32)
+
+    # -- completion -----------------------------------------------------------
+    def finish(self) -> ir.Kernel:
+        """Validate and return the finished kernel."""
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed loop()/if_() scope at finish()")
+        self._finished = True
+        return ir.Kernel(
+            name=self.name,
+            params=list(self._params),
+            local_arrays=list(self._locals),
+            body=list(self._body),
+            work_dim=self.work_dim,
+        )

@@ -1,0 +1,293 @@
+"""Source-code generation: kernel IR -> OpenCL C, and -> C + OpenMP.
+
+The benchmark kernels are defined once as IR; this module emits them as
+
+* **OpenCL C** (`to_opencl_c`) — a compilable ``__kernel`` function, so the
+  suite can be taken to real hardware/drivers unchanged;
+* **C with OpenMP** (`to_openmp_c`) — the Section III-F port: the NDRange
+  collapses to a ``#pragma omp parallel for`` loop over ``gid0`` (only legal
+  for kernels without workgroup constructs, mirroring
+  ``OpenMPRuntime.parallel_for``'s own restriction).
+
+Generation is purely syntactic; semantics stay with the interpreter.  The
+tests check structural properties (balanced braces, declared-before-use,
+every parameter present) and a few golden kernels.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional
+
+from . import ast as ir
+from .types import BOOL, DType, F32, F64, I64
+
+__all__ = ["to_opencl_c", "to_openmp_c", "CodegenError"]
+
+
+class CodegenError(ValueError):
+    """Kernel cannot be expressed in the requested target."""
+
+
+_C_TYPES = {
+    "float": "float",
+    "double": "double",
+    "char": "char",
+    "uchar": "uchar",
+    "int": "int",
+    "uint": "uint",
+    "long": "long",
+    "ulong": "ulong",
+    "bool": "int",
+}
+
+_OMP_TYPES = dict(_C_TYPES)
+_OMP_TYPES.update({"uchar": "unsigned char", "uint": "unsigned int",
+                   "ulong": "unsigned long", "long": "long"})
+
+_BINOPS = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "%": "%",
+    "&": "&", "|": "|", "^": "^", "<<": "<<", ">>": ">>",
+    "<": "<", "<=": "<=", ">": ">", ">=": ">=", "==": "==", "!=": "!=",
+    "and": "&&", "or": "||",
+}
+
+
+class _Emitter:
+    def __init__(self, target: str):
+        assert target in ("opencl", "openmp")
+        self.target = target
+        self.types = _C_TYPES if target == "opencl" else _OMP_TYPES
+        self.out = io.StringIO()
+        self.indent = 1
+        self.declared: Dict[str, DType] = {}
+
+    # -- expressions ------------------------------------------------------
+    def expr(self, e: ir.Expr) -> str:
+        if isinstance(e, ir.Const):
+            if isinstance(e.value, bool):
+                return "1" if e.value else "0"
+            if e.dtype.is_float:
+                s = repr(float(e.value))
+                return f"{s}f" if e.dtype is F32 else s
+            return str(int(e.value))
+        if isinstance(e, ir.GlobalId):
+            if self.target == "opencl":
+                return f"get_global_id({e.dim})"
+            return f"gid{e.dim}"  # derived from the flat loop index
+        if isinstance(e, ir.LocalId):
+            self._require_opencl("get_local_id")
+            return f"get_local_id({e.dim})"
+        if isinstance(e, ir.GroupId):
+            self._require_opencl("get_group_id")
+            return f"get_group_id({e.dim})"
+        if isinstance(e, ir.GlobalSize):
+            return (f"get_global_size({e.dim})" if self.target == "opencl"
+                    else f"gs{e.dim}")
+        if isinstance(e, ir.LocalSize):
+            self._require_opencl("get_local_size")
+            return f"get_local_size({e.dim})"
+        if isinstance(e, ir.NumGroups):
+            self._require_opencl("get_num_groups")
+            return f"get_num_groups({e.dim})"
+        if isinstance(e, ir.Var):
+            return e.name
+        if isinstance(e, ir.BinOp):
+            if e.op in ("min", "max"):
+                fn = e.op if e.dtype.is_float and self.target == "opencl" else e.op
+                if self.target == "openmp" and e.dtype.is_float:
+                    fn = "fminf" if e.op == "min" else "fmaxf"
+                elif self.target == "openmp":
+                    return (f"(({self.expr(e.lhs)}) {'<' if e.op == 'min' else '>'} "
+                            f"({self.expr(e.rhs)}) ? ({self.expr(e.lhs)}) : "
+                            f"({self.expr(e.rhs)}))")
+                return f"{fn}({self.expr(e.lhs)}, {self.expr(e.rhs)})"
+            if e.op == "//":
+                return f"({self.expr(e.lhs)} / {self.expr(e.rhs)})"
+            return f"({self.expr(e.lhs)} {_BINOPS[e.op]} {self.expr(e.rhs)})"
+        if isinstance(e, ir.UnOp):
+            op = "-" if e.op == "neg" else "!"
+            return f"({op}{self.expr(e.operand)})"
+        if isinstance(e, ir.Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            fn = e.fn
+            if self.target == "openmp":
+                # single-precision libm spellings
+                fn = {
+                    "exp": "expf", "log": "logf", "sqrt": "sqrtf",
+                    "rsqrt": "1.0f/sqrtf", "fabs": "fabsf", "sin": "sinf",
+                    "cos": "cosf", "floor": "floorf", "erf": "erff",
+                    "pow": "powf", "mad": "fmaf", "fma": "fmaf",
+                }[fn]
+                if fn == "1.0f/sqrtf":
+                    return f"(1.0f/sqrtf({args}))"
+            return f"{fn}({args})"
+        if isinstance(e, ir.Load):
+            return f"{e.buffer}[{self.expr(e.index)}]"
+        if isinstance(e, ir.LoadLocal):
+            self._require_opencl("__local arrays")
+            return f"{e.array}[{self.expr(e.index)}]"
+        if isinstance(e, ir.Select):
+            return (f"(({self.expr(e.cond)}) ? ({self.expr(e.if_true)}) : "
+                    f"({self.expr(e.if_false)}))")
+        if isinstance(e, ir.Cast):
+            return f"(({self.types[e.dtype.name]})({self.expr(e.operand)}))"
+        raise CodegenError(f"cannot emit {type(e).__name__}")
+
+    def _require_opencl(self, what: str) -> None:
+        if self.target != "opencl":
+            raise CodegenError(f"{what} has no OpenMP-port equivalent")
+
+    # -- statements ---------------------------------------------------------
+    def line(self, text: str) -> None:
+        self.out.write("    " * self.indent + text + "\n")
+
+    def stmt(self, s: ir.Stmt) -> None:
+        if isinstance(s, ir.Assign):
+            rhs = self.expr(s.value)
+            dt = s.value.dtype
+            if s.name not in self.declared:
+                self.declared[s.name] = dt
+                self.line(f"{self.types[dt.name]} {s.name} = {rhs};")
+            else:
+                self.line(f"{s.name} = {rhs};")
+        elif isinstance(s, ir.Store):
+            self.line(f"{s.buffer}[{self.expr(s.index)}] = {self.expr(s.value)};")
+        elif isinstance(s, ir.StoreLocal):
+            self._require_opencl("__local arrays")
+            self.line(f"{s.array}[{self.expr(s.index)}] = {self.expr(s.value)};")
+        elif isinstance(s, ir.AtomicAdd):
+            if self.target == "opencl":
+                self.line(
+                    f"atomic_add(&{s.buffer}[{self.expr(s.index)}], "
+                    f"{self.expr(s.value)});"
+                )
+            else:
+                self.line("#pragma omp atomic")
+                self.line(
+                    f"{s.buffer}[{self.expr(s.index)}] += {self.expr(s.value)};"
+                )
+        elif isinstance(s, ir.AtomicAddLocal):
+            self._require_opencl("__local atomics")
+            self.line(
+                f"atomic_add(&{s.array}[{self.expr(s.index)}], "
+                f"{self.expr(s.value)});"
+            )
+        elif isinstance(s, ir.Barrier):
+            self._require_opencl("barrier()")
+            self.line("barrier(CLK_LOCAL_MEM_FENCE);")
+        elif isinstance(s, ir.For):
+            var = s.var
+            self.line(
+                f"for (long {var} = {self.expr(s.start)}; "
+                + (f"{var} < {self.expr(s.stop)}; "
+                   if not _is_negative_step(s) else
+                   f"{var} > {self.expr(s.stop)}; ")
+                + f"{var} += {self.expr(s.step)}) {{"
+            )
+            saved = dict(self.declared)
+            self.declared[var] = I64
+            self.indent += 1
+            for b in s.body:
+                self.stmt(b)
+            self.indent -= 1
+            self.declared = saved
+            self.line("}")
+        elif isinstance(s, ir.If):
+            self.line(f"if ({self.expr(s.cond)}) {{")
+            saved = dict(self.declared)
+            self.indent += 1
+            for b in s.then_body:
+                self.stmt(b)
+            self.indent -= 1
+            # variables first assigned inside a branch stay branch-local in
+            # C; re-declare at use outside (the builder's kernels never do
+            # this, but keep scoping sound)
+            self.declared = saved
+            if s.else_body:
+                self.line("} else {")
+                self.indent += 1
+                for b in s.else_body:
+                    self.stmt(b)
+                self.indent -= 1
+                self.declared = saved
+            self.line("}")
+        else:  # pragma: no cover - defensive
+            raise CodegenError(f"cannot emit {type(s).__name__}")
+
+
+def _is_negative_step(s: ir.For) -> bool:
+    return isinstance(s.step, ir.Const) and isinstance(s.step.value, (int, float)) \
+        and s.step.value < 0
+
+
+def to_opencl_c(kernel: ir.Kernel) -> str:
+    """Emit the kernel as OpenCL C source."""
+    em = _Emitter("opencl")
+    params = []
+    for p in kernel.params:
+        if isinstance(p, ir.BufferParam):
+            const = "const " if p.access == "r" else ""
+            params.append(f"__global {const}{_C_TYPES[p.dtype.name]}* {p.name}")
+        else:
+            params.append(f"{_C_TYPES[p.dtype.name]} {p.name}")
+            em.declared[p.name] = p.dtype
+    head = f"__kernel void {kernel.name}({', '.join(params)})"
+    body = io.StringIO()
+    body.write(head + "\n{\n")
+    for a in kernel.local_arrays:
+        body.write(f"    __local {_C_TYPES[a.dtype.name]} {a.name}[{a.size}];\n")
+    for s in kernel.body:
+        em.stmt(s)
+    body.write(em.out.getvalue())
+    body.write("}\n")
+    return body.getvalue()
+
+
+def to_openmp_c(kernel: ir.Kernel, func_name: Optional[str] = None) -> str:
+    """Emit the Section III-F OpenMP port: a parallel loop over ``gid0``.
+
+    Raises :class:`CodegenError` for kernels using workgroup constructs —
+    the same restriction `OpenMPRuntime.parallel_for` enforces.
+    """
+    if kernel.uses_barrier or kernel.uses_local_memory:
+        raise CodegenError(
+            f"kernel {kernel.name!r} uses workgroup constructs; it has no "
+            f"OpenMP loop equivalent"
+        )
+    em = _Emitter("openmp")
+    dims = kernel.work_dim
+    params = [f"long gs{d}" for d in range(dims)]
+    for p in kernel.params:
+        if isinstance(p, ir.BufferParam):
+            const = "const " if p.access == "r" else ""
+            params.append(f"{const}{_OMP_TYPES[p.dtype.name]}* {p.name}")
+        else:
+            params.append(f"{_OMP_TYPES[p.dtype.name]} {p.name}")
+            em.declared[p.name] = p.dtype
+    name = func_name or f"{kernel.name}_omp"
+    total = " * ".join(f"gs{d}" for d in range(dims))
+    body = io.StringIO()
+    body.write(f"void {name}({', '.join(params)})\n{{\n")
+    body.write(f"    const long n_items = {total};\n")
+    body.write("    #pragma omp parallel for\n")
+    body.write("    for (long gid = 0; gid < n_items; ++gid) {\n")
+    # derive per-dimension ids from the flat index (dim 0 fastest, matching
+    # the interpreter's linearization)
+    if dims == 1:
+        body.write("        const long gid0 = gid;\n")
+    else:
+        body.write("        const long gid0 = gid % gs0;\n")
+        if dims == 2:
+            body.write("        const long gid1 = gid / gs0;\n")
+        else:
+            body.write("        const long gid1 = (gid / gs0) % gs1;\n")
+            body.write("        const long gid2 = gid / (gs0 * gs1);\n")
+    em.indent = 2
+    for d in range(dims):
+        em.declared[f"gid{d}"] = I64
+    for s in kernel.body:
+        em.stmt(s)
+    body.write(em.out.getvalue())
+    body.write("    }\n}\n")
+    return body.getvalue()

@@ -1,0 +1,226 @@
+"""Memory-access trace generation from kernel execution.
+
+For small launches, the interpreter can record every global load/store each
+workitem performs (buffer, element index, byte address).  Traces serve two
+purposes:
+
+* they drive the *exact* cache simulator (:mod:`repro.simcpu.cache`) so the
+  closed-form model in :mod:`repro.simcpu.cachemodel` can be cross-validated
+  against ground truth (see ``tests/simcpu/test_trace_crosscheck.py``);
+* they let locality studies replay a kernel's traffic under different
+  workgroup-to-core placements, the microscopic version of the paper's
+  affinity experiment.
+
+Tracing multiplies interpreter cost and memory use by the access count, so
+it refuses NDRanges above ``max_items``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import ast as ir
+from .interp import Interpreter, KernelExecutionError
+
+__all__ = ["MemoryAccess", "KernelTrace", "TracingInterpreter", "trace_kernel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryAccess:
+    """One dynamic global-memory access by one workitem."""
+
+    buffer: str
+    element: int
+    byte_address: int
+    is_store: bool
+    workitem: int        # linearized global id
+    workgroup: int       # linearized group id
+
+
+@dataclasses.dataclass
+class KernelTrace:
+    """All global accesses of one launch, in program order."""
+
+    accesses: List[MemoryAccess]
+    global_size: Tuple[int, ...]
+    local_size: Tuple[int, ...]
+    #: byte base assigned to each buffer in the flat address space
+    buffer_bases: Dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def loads(self) -> Iterator[MemoryAccess]:
+        return (a for a in self.accesses if not a.is_store)
+
+    def stores(self) -> Iterator[MemoryAccess]:
+        return (a for a in self.accesses if a.is_store)
+
+    def addresses(self) -> List[int]:
+        return [a.byte_address for a in self.accesses]
+
+    def by_workitem(self) -> Dict[int, List[MemoryAccess]]:
+        out: Dict[int, List[MemoryAccess]] = {}
+        for a in self.accesses:
+            out.setdefault(a.workitem, []).append(a)
+        return out
+
+    def footprint_bytes(self, line_bytes: int = 64) -> int:
+        """Unique cache lines touched, in bytes."""
+        lines = {a.byte_address // line_bytes for a in self.accesses}
+        return len(lines) * line_bytes
+
+    def replay(self, hierarchy, placement=None) -> Dict[str, int]:
+        """Replay the trace through a :class:`CacheHierarchy`.
+
+        ``placement`` maps a workgroup id to a core (default: round-robin
+        over the hierarchy's cores, the runtime's arbitrary behaviour).
+        Returns per-level access counts.
+        """
+        counts = {"L1": 0, "L2": 0, "L3": 0, "DRAM": 0}
+        ncores = hierarchy.num_cores
+        for a in self.accesses:
+            core = (
+                placement[a.workgroup] if placement is not None
+                else a.workgroup % ncores
+            )
+            r = hierarchy.access(core, a.byte_address, is_write=a.is_store)
+            counts[r.level] += 1
+        return counts
+
+
+class TracingInterpreter(Interpreter):
+    """An interpreter that records all global memory traffic.
+
+    The lock-step design is preserved: each IR access site contributes its
+    per-lane indices in one vectorized append.  Program order between sites
+    follows statement order; lanes of one site are recorded in workitem
+    order, which matches how the serialized CPU runtime walks a workgroup.
+    """
+
+    def __init__(self, max_items: int = 1 << 16, **kw):
+        super().__init__(**kw)
+        self.max_items = int(max_items)
+        self._trace: Optional[List[Tuple[str, np.ndarray, np.ndarray, bool]]] = None
+        self._frame = None
+
+    # -- capture hooks --------------------------------------------------------
+    def _record(self, buffer: str, idx: np.ndarray, mask: np.ndarray, store: bool):
+        if self._trace is not None:
+            self._trace.append((buffer, idx[mask].copy(),
+                                np.nonzero(mask)[0], store))
+
+    def _checked_idx(self, idx, size, what, m):
+        super()._checked_idx(idx, size, what, m)
+
+    def _eval(self, e, frame, mask):
+        if isinstance(e, ir.Load) and self._trace is not None:
+            idx = np.asarray(
+                super()._eval(e.index, frame, mask)
+            )
+            idx = np.broadcast_to(idx, (frame.n,)).astype(np.int64)
+            self._record(e.buffer, idx, mask, False)
+        return super()._eval(e, frame, mask)
+
+    def _store_global(self, stmt, frame, mask):
+        idx = np.broadcast_to(
+            np.asarray(super()._eval(stmt.index, frame, mask)), (frame.n,)
+        ).astype(np.int64)
+        self._record(stmt.buffer, idx, mask, True)
+        super()._store_global(stmt, frame, mask)
+
+    def _atomic_global(self, stmt, frame, mask):
+        idx = np.broadcast_to(
+            np.asarray(super()._eval(stmt.index, frame, mask)), (frame.n,)
+        ).astype(np.int64)
+        self._record(stmt.buffer, idx, mask, False)  # RMW: read...
+        self._record(stmt.buffer, idx, mask, True)   # ...then write
+        super()._atomic_global(stmt, frame, mask)
+
+    # -- public -----------------------------------------------------------------
+    def trace(
+        self,
+        kernel: ir.Kernel,
+        global_size,
+        local_size=None,
+        buffers: Optional[Dict[str, np.ndarray]] = None,
+        scalars: Optional[Dict[str, object]] = None,
+    ) -> KernelTrace:
+        n = int(np.prod(np.atleast_1d(global_size)))
+        if n > self.max_items:
+            raise KernelExecutionError(
+                f"refusing to trace {n} workitems (max {self.max_items}); "
+                f"tracing is for small launches"
+            )
+        self._trace = []
+        try:
+            res = self.launch(
+                kernel, global_size, local_size, buffers=buffers, scalars=scalars
+            )
+        finally:
+            raw, self._trace = self._trace, None
+
+        # lay buffers out in a flat byte space, 4KiB-aligned
+        bases: Dict[str, int] = {}
+        cursor = 0
+        itemsize = {p.name: p.dtype.itemsize for p in kernel.buffer_params}
+        sizes = {name: arr.nbytes for name, arr in (buffers or {}).items()}
+        for p in kernel.buffer_params:
+            bases[p.name] = cursor
+            cursor += ((sizes.get(p.name, 0) + 4095) // 4096 + 1) * 4096
+
+        gsize, lsize = res.global_size, res.local_size
+        # group linearization mirrors the interpreter's
+        ngroups = tuple(g // l for g, l in zip(gsize, lsize))
+
+        def group_of(flat_item: int) -> int:
+            g = 0
+            stride = 1
+            gstride = 1
+            rem = flat_item
+            for d, (gs, ls) in enumerate(zip(gsize, lsize)):
+                gid_d = (flat_item // stride) % gs
+                g += (gid_d // ls) * gstride
+                stride *= gs
+                gstride *= ngroups[d]
+            return g
+
+        accesses: List[MemoryAccess] = []
+        for buffer, elems, lanes, is_store in raw:
+            base = bases[buffer]
+            isz = itemsize[buffer]
+            for e, lane in zip(elems.tolist(), lanes.tolist()):
+                accesses.append(
+                    MemoryAccess(
+                        buffer=buffer,
+                        element=int(e),
+                        byte_address=base + int(e) * isz,
+                        is_store=is_store,
+                        workitem=int(lane),
+                        workgroup=group_of(int(lane)),
+                    )
+                )
+        return KernelTrace(
+            accesses=accesses,
+            global_size=gsize,
+            local_size=lsize,
+            buffer_bases=bases,
+        )
+
+
+def trace_kernel(
+    kernel: ir.Kernel,
+    global_size,
+    local_size=None,
+    *,
+    buffers: Optional[Dict[str, np.ndarray]] = None,
+    scalars: Optional[Dict[str, object]] = None,
+    max_items: int = 1 << 16,
+) -> KernelTrace:
+    """Convenience wrapper: trace one launch."""
+    return TracingInterpreter(max_items=max_items).trace(
+        kernel, global_size, local_size, buffers=buffers, scalars=scalars
+    )

@@ -1,0 +1,136 @@
+"""Scalar type system for the kernel IR.
+
+The IR supports the small set of scalar types that the paper's kernels use
+(single/double precision floats and the integer types needed for indexing,
+histogram bins, and flag arithmetic).  Types carry their numpy dtype so the
+lock-step interpreter can evaluate expressions directly on numpy arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "F32",
+    "F64",
+    "I8",
+    "U8",
+    "I32",
+    "U32",
+    "I64",
+    "U64",
+    "BOOL",
+    "promote",
+    "common_type",
+    "dtype_of_value",
+    "ALL_TYPES",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DType:
+    """A scalar IR type.
+
+    Attributes
+    ----------
+    name:
+        OpenCL-ish spelling (``float``, ``int``, ``uchar`` ...).
+    np_dtype:
+        The numpy dtype used by the interpreter.
+    is_float:
+        True for floating point types.
+    signed:
+        True for signed integer or float types.
+    rank:
+        Promotion rank; higher rank wins in mixed arithmetic.
+    """
+
+    name: str
+    np_dtype: np.dtype
+    is_float: bool
+    signed: bool
+    rank: int
+
+    @property
+    def itemsize(self) -> int:
+        """Size of one element in bytes."""
+        return self.np_dtype.itemsize
+
+    @property
+    def is_integer(self) -> bool:
+        return not self.is_float and self.name != "bool"
+
+    @property
+    def is_bool(self) -> bool:
+        return self.name == "bool"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType({self.name})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+F32 = DType("float", np.dtype(np.float32), True, True, 80)
+F64 = DType("double", np.dtype(np.float64), True, True, 90)
+I8 = DType("char", np.dtype(np.int8), False, True, 10)
+U8 = DType("uchar", np.dtype(np.uint8), False, False, 11)
+I32 = DType("int", np.dtype(np.int32), False, True, 30)
+U32 = DType("uint", np.dtype(np.uint32), False, False, 31)
+I64 = DType("long", np.dtype(np.int64), False, True, 50)
+U64 = DType("ulong", np.dtype(np.uint64), False, False, 51)
+BOOL = DType("bool", np.dtype(np.bool_), False, False, 0)
+
+ALL_TYPES = (BOOL, I8, U8, I32, U32, I64, U64, F32, F64)
+
+_BY_NP = {t.np_dtype: t for t in ALL_TYPES}
+
+
+def from_numpy(dt: Union[np.dtype, type]) -> DType:
+    """Map a numpy dtype to the IR type; raises ``TypeError`` if unsupported."""
+    dt = np.dtype(dt)
+    try:
+        return _BY_NP[dt]
+    except KeyError:
+        raise TypeError(f"unsupported numpy dtype for kernel IR: {dt}") from None
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Binary arithmetic promotion.
+
+    Floats dominate integers; otherwise the higher-rank type wins.  This is a
+    deliberately simple lattice (the kernels in the paper never rely on C's
+    subtler conversion rules).
+    """
+    if a is b:
+        return a
+    if a.is_float or b.is_float:
+        if a.is_float and b.is_float:
+            return a if a.rank >= b.rank else b
+        return a if a.is_float else b
+    return a if a.rank >= b.rank else b
+
+
+def common_type(*dts: DType) -> DType:
+    """Fold :func:`promote` over one or more types."""
+    if not dts:
+        raise ValueError("common_type() needs at least one type")
+    out = dts[0]
+    for d in dts[1:]:
+        out = promote(out, d)
+    return out
+
+
+def dtype_of_value(v) -> DType:
+    """Infer the IR type of a Python/numpy scalar constant."""
+    if isinstance(v, (bool, np.bool_)):
+        return BOOL
+    if isinstance(v, (int, np.integer)):
+        return I64 if isinstance(v, (int, np.integer)) else I32
+    if isinstance(v, (float, np.floating)):
+        return F64 if isinstance(v, (float, np.float64)) else F32
+    raise TypeError(f"cannot infer IR dtype of {v!r}")

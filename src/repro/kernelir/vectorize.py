@@ -1,0 +1,402 @@
+"""The two vectorization strategies the paper contrasts (Sections II-E, III-F).
+
+**OpenCL implicit vectorization** (`OpenCLVectorizer`): the kernel compiler
+packs W *adjacent workitems* into one SIMD instruction stream.  Lanes belong
+to different workitems, which are independent by the SIMT contract, so *no
+dependence analysis is required* — this is the paper's explanation for why
+the OpenCL compiler vectorizes kernels whose OpenMP ports do not vectorize
+(Figure 11).  What can still defeat it, mirroring the Intel OpenCL SDK of the
+era: barriers combined with divergent control flow, atomics, and
+non-affine (gather) addressing making packing unprofitable.
+
+**Loop auto-vectorization** (`LoopVectorizer`): the classic compiler
+transform the Intel C compiler applies to OpenMP loops.  Its legality rules
+come straight from the paper and [Intel's auto-vectorization guide]:
+the loop must be countable with single entry/single exit and straight-line
+control flow; memory access must be contiguous (unit stride); and there must
+be no data dependence that vectorization's reordering would violate.  We also
+implement the paper's observed *fragility*: a true dependence chain inside
+the loop body (Figure 11's back-to-back dependent FMULs) makes the compiler
+give up even when cross-iteration independence would permit vectorization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from . import ast as ir
+from .analysis import AffineIndex, LaunchContext, affine_index
+
+__all__ = [
+    "VectorizationReport",
+    "OpenCLVectorizer",
+    "LoopVectorizer",
+    "dependence_chain_length",
+]
+
+
+@dataclasses.dataclass
+class VectorizationReport:
+    """Outcome of a vectorization attempt."""
+
+    vectorized: bool
+    width: int
+    reasons: List[str] = dataclasses.field(default_factory=list)
+    #: loop-trip-weighted memory operations by vector-lane addressing class
+    gather_ops: float = 0.0
+    contiguous_ops: float = 0.0
+    strided_ops: float = 0.0
+
+    @property
+    def effective_width(self) -> float:
+        """Speedup factor the timing model applies to the compute stream.
+
+        Gathers are emulated with scalar element inserts on SSE-class
+        hardware, so they claw back most of the vector win on memory ops;
+        the blended effective width reflects that.
+        """
+        if not self.vectorized:
+            return 1.0
+        mem = self.gather_ops + self.contiguous_ops + self.strided_ops
+        if mem == 0:
+            return float(self.width)
+        # contiguous: full width; strided: half win; gather: no win.
+        good = self.contiguous_ops + 0.5 * self.strided_ops
+        mem_factor = (good / mem) if mem else 1.0
+        return 1.0 + (self.width - 1) * max(0.1, mem_factor)
+
+    def explain(self) -> str:
+        if self.vectorized:
+            return f"vectorized (width {self.width})"
+        return "not vectorized: " + "; ".join(self.reasons)
+
+
+def _collect_loads_stores(
+    body, ctx: LaunchContext, aenv: Dict[str, Optional[AffineIndex]]
+) -> List[Tuple[bool, str, Optional[AffineIndex]]]:
+    """Flatten (is_store, buffer, affine_index) for every global access.
+
+    ``aenv`` is threaded through assignments so variable-held indices resolve.
+    Loop bodies are entered with their induction variable bound to a loop
+    symbol; If branches are both entered.
+    """
+    out: List[Tuple[bool, str, Optional[AffineIndex]]] = []
+
+    def expr(e: ir.Expr, env):
+        if isinstance(e, ir.Load):
+            out.append((False, e.buffer, affine_index(e.index, ctx, env)))
+        for c in e.children():
+            expr(c, env)
+
+    def stmts(body, env):
+        for s in body:
+            if isinstance(s, ir.Assign):
+                expr(s.value, env)
+                env[s.name] = affine_index(s.value, ctx, env)
+            elif isinstance(s, ir.Store):
+                expr(s.index, env)
+                expr(s.value, env)
+                out.append((True, s.buffer, affine_index(s.index, ctx, env)))
+            elif isinstance(s, ir.StoreLocal):
+                expr(s.index, env)
+                expr(s.value, env)
+            elif isinstance(s, (ir.AtomicAdd, ir.AtomicAddLocal)):
+                expr(s.index, env)
+                expr(s.value, env)
+            elif isinstance(s, ir.For):
+                expr(s.start, env)
+                expr(s.stop, env)
+                expr(s.step, env)
+                env2 = dict(env)
+                env2[s.var] = AffineIndex(0.0, {("loop", s.var): 1.0})
+                stmts(s.body, env2)
+            elif isinstance(s, ir.If):
+                expr(s.cond, env)
+                stmts(s.then_body, dict(env))
+                stmts(s.else_body, dict(env))
+    stmts(body, dict(aenv))
+    return out
+
+
+def _has_divergent_control_flow(kernel: ir.Kernel, ctx: LaunchContext) -> bool:
+    """True when any If condition or For bound varies across workitems."""
+
+    def check(body, env) -> bool:
+        for s in body:
+            if isinstance(s, ir.Assign):
+                env[s.name] = affine_index(s.value, ctx, env)
+            elif isinstance(s, ir.If):
+                a = affine_index(s.cond, ctx, env)
+                if a is None or not a.is_uniform:
+                    return True
+                if check(s.then_body, dict(env)) or check(s.else_body, dict(env)):
+                    return True
+            elif isinstance(s, ir.For):
+                for b in (s.start, s.stop, s.step):
+                    a = affine_index(b, ctx, env)
+                    if a is None or not a.is_uniform:
+                        return True
+                env2 = dict(env)
+                env2[s.var] = AffineIndex(0.0, {("loop", s.var): 1.0})
+                if check(s.body, env2):
+                    return True
+        return False
+
+    return check(kernel.body, {})
+
+
+#: builtins with no vector (SVML-era) implementation: a call forces the
+#: packet apart, so the kernel compiler falls back to scalar codegen.  This
+#: is what keeps the paper's erf-based Blackscholes scalar — and therefore
+#: insensitive to workgroup size on the CPU (Figure 4).
+UNVECTORIZABLE_CALLS = frozenset({"erf"})
+
+
+class OpenCLVectorizer:
+    """Implicit cross-workitem vectorization (Intel OpenCL SDK style).
+
+    Parameters
+    ----------
+    simd_width:
+        Hardware lanes for the kernel's dominant float width (4 for SSE 4.2
+    and single precision, as in the paper's Table I).
+    """
+
+    def __init__(self, simd_width: int = 4):
+        self.simd_width = int(simd_width)
+
+    def vectorize(
+        self,
+        kernel: ir.Kernel,
+        ctx: LaunchContext,
+        accesses=None,
+    ) -> VectorizationReport:
+        """``accesses`` (optional): loop-trip-weighted ``AccessInfo`` records
+        from :func:`analyze_kernel`; when given, the gather/contiguous blend
+        is weighted by dynamic access counts instead of static sites."""
+        reasons: List[str] = []
+        # Lanes are separate workitems — dependences between instructions of
+        # one workitem do NOT block packing (the Figure 11 point).
+        if kernel.uses_atomics:
+            reasons.append("kernel uses atomics")
+        if kernel.uses_barrier and _has_divergent_control_flow(kernel, ctx):
+            reasons.append("barrier under divergent control flow")
+        scalar_calls = sorted(
+            {
+                e.fn
+                for s in ir.walk_stmts(kernel.body)
+                for root in ir.stmt_exprs(s)
+                for e in ir.walk_exprs(root)
+                if isinstance(e, ir.Call) and e.fn in UNVECTORIZABLE_CALLS
+            }
+        )
+        if scalar_calls:
+            reasons.append(
+                f"calls scalar-only builtins: {', '.join(scalar_calls)}"
+            )
+        wg = ctx.workgroup_size
+        if wg < self.simd_width:
+            reasons.append(
+                f"workgroup size {wg} smaller than SIMD width {self.simd_width}"
+            )
+
+        gather = contig = strided = 0.0
+        if accesses is not None:
+            for a in accesses:
+                if a.is_local:
+                    continue
+                w = a.count_per_item
+                if a.vector_stride is None:
+                    gather += w
+                elif abs(a.vector_stride) <= 1.0:
+                    contig += w  # includes uniform (broadcast) accesses
+                elif abs(a.vector_stride) <= 8.0:
+                    strided += w
+                else:
+                    gather += w
+        else:
+            for _is_store, _buf, aff in _collect_loads_stores(kernel.body, ctx, {}):
+                if aff is None:
+                    gather += 1
+                else:
+                    vs = abs(aff.vector_stride)
+                    if vs <= 1.0:
+                        contig += 1  # includes uniform (broadcast) accesses
+                    elif vs <= 8.0:
+                        strided += 1
+                    else:
+                        # lanes land in unrelated cache lines: the codegen
+                        # falls back to element inserts — a gather in all
+                        # but name
+                        gather += 1
+
+        if reasons:
+            return VectorizationReport(False, 1, reasons)
+        return VectorizationReport(
+            True,
+            self.simd_width,
+            [],
+            gather_ops=gather,
+            contiguous_ops=contig,
+            strided_ops=strided,
+        )
+
+
+def dependence_chain_length(body, ctx: LaunchContext) -> int:
+    """Longest chain of *truly dependent* floating-point operations in a
+    single iteration of ``body`` (unit-latency, register dataflow only).
+
+    This is the quantity the paper's Figure 11 example maximizes: six
+    dependent FMULs on the same operands.
+    """
+
+    def expr_chain(e: ir.Expr, env: Dict[str, int]) -> int:
+        if isinstance(e, ir.Var):
+            return env.get(e.name, 0)
+        base = max((expr_chain(c, env) for c in e.children()), default=0)
+        if isinstance(e, ir.BinOp) and e.op in ir.ARITH_OPS and e.dtype.is_float:
+            return base + 1
+        if isinstance(e, ir.Call):
+            return base + (2 if e.fn in ("mad", "fma") else 1)
+        return base
+
+    def walk(body, env: Dict[str, int]) -> int:
+        longest = 0
+        for s in body:
+            if isinstance(s, ir.Assign):
+                d = expr_chain(s.value, env)
+                env[s.name] = d
+                longest = max(longest, d)
+            elif isinstance(s, (ir.Store, ir.StoreLocal)):
+                longest = max(longest, expr_chain(s.value, env))
+            elif isinstance(s, (ir.AtomicAdd, ir.AtomicAddLocal)):
+                longest = max(longest, expr_chain(s.value, env) + 1)
+            elif isinstance(s, ir.For):
+                longest = max(longest, walk(s.body, env))
+            elif isinstance(s, ir.If):
+                e1, e2 = dict(env), dict(env)
+                longest = max(longest, walk(s.then_body, e1), walk(s.else_body, e2))
+                for k in set(e1) | set(e2):
+                    env[k] = max(e1.get(k, 0), e2.get(k, 0))
+        return longest
+
+    return walk(body, {})
+
+
+class LoopVectorizer:
+    """Classic loop auto-vectorization with the paper's legality rules.
+
+    The OpenMP runtime hands this the kernel body where ``get_global_id(0)``
+    plays the role of the (parallel) loop induction variable; vectorizing the
+    loop means packing W *consecutive iterations*, i.e. W consecutive values
+    of gid0.
+    """
+
+    #: dependence chains at least this long trigger the fragility bail-out
+    #: (Figure 11's inner body has a chain of 6).
+    FRAGILITY_CHAIN = 4
+
+    def __init__(self, simd_width: int = 4, fragile: bool = True):
+        self.simd_width = int(simd_width)
+        #: model the era-accurate compiler fragility; ablation A4 turns this
+        #: off to show Figure 10's asymmetry disappearing.
+        self.fragile = bool(fragile)
+
+    def vectorize(self, kernel: ir.Kernel, ctx: LaunchContext) -> VectorizationReport:
+        reasons: List[str] = []
+
+        # Rule 1: single entry/single exit, straight-line control flow.
+        if _has_divergent_control_flow(kernel, ctx):
+            reasons.append("control flow varies across iterations (not straight-line)")
+
+        # OpenMP has no workgroups: local memory/barriers are not expressible.
+        if kernel.uses_barrier or kernel.uses_local_memory:
+            reasons.append("uses workgroup constructs with no loop equivalent")
+
+        accesses = _collect_loads_stores(kernel.body, ctx, {})
+
+        # Rule 2: contiguous (unit-stride) access.
+        gather = contig = strided = 0
+        for _is_store, _buf, aff in accesses:
+            if aff is None:
+                gather += 1
+            else:
+                vs = abs(aff.vector_stride)
+                if vs <= 1.0:
+                    contig += 1
+                else:
+                    strided += 1
+        if gather:
+            reasons.append("non-affine (indirect) memory access")
+        if strided:
+            reasons.append("noncontiguous memory access (non-unit stride)")
+
+        # Rule 3: no cross-iteration data dependence.  Conservative test: a
+        # buffer both read and written where the read and write indices have
+        # different gid-coefficients or offsets may alias across iterations.
+        written: Dict[str, List[Optional[AffineIndex]]] = {}
+        read: Dict[str, List[Optional[AffineIndex]]] = {}
+        for is_store, buf, aff in accesses:
+            (written if is_store else read).setdefault(buf, []).append(aff)
+        for buf in set(written) & set(read):
+            for w in written[buf]:
+                for r in read[buf]:
+                    if w is None or r is None:
+                        reasons.append(
+                            f"possible loop-carried dependence on {buf!r} "
+                            f"(unanalyzable subscript)"
+                        )
+                        break
+                    diff = w - r
+                    if diff.coeffs or diff.const != 0:
+                        reasons.append(
+                            f"loop-carried dependence on {buf!r} "
+                            f"(write and read subscripts differ)"
+                        )
+                        break
+                else:
+                    continue
+                break
+
+        # Rule 4 (fragility): a true dependence chain inside the body makes
+        # the era's compiler bail even when the loop is formally vectorizable.
+        if self.fragile:
+            chain = dependence_chain_length(kernel.body, ctx)
+            if chain >= self.FRAGILITY_CHAIN:
+                reasons.append(
+                    f"true data dependence chain of length {chain} inside the "
+                    f"loop body (compiler gives up reordering)"
+                )
+
+        if kernel.uses_atomics:
+            reasons.append("atomic update in loop body")
+
+        scalar_calls = sorted(
+            {
+                e.fn
+                for s in ir.walk_stmts(kernel.body)
+                for root in ir.stmt_exprs(s)
+                for e in ir.walk_exprs(root)
+                if isinstance(e, ir.Call) and e.fn in UNVECTORIZABLE_CALLS
+            }
+        )
+        if scalar_calls:
+            reasons.append(
+                f"calls scalar-only math functions: {', '.join(scalar_calls)}"
+            )
+
+        # deduplicate, preserve order
+        seen = set()
+        reasons = [r for r in reasons if not (r in seen or seen.add(r))]
+
+        if reasons:
+            return VectorizationReport(False, 1, reasons)
+        return VectorizationReport(
+            True,
+            self.simd_width,
+            [],
+            gather_ops=gather,
+            contiguous_ops=contig,
+            strided_ops=strided,
+        )

@@ -1,0 +1,226 @@
+"""Programmer-facing performance metrics — the paper's "guideline".
+
+The paper's first stated contribution is "a guideline to understand the
+performance of OpenCL applications... programmers can verify whether the
+OpenCL kernel fully utilizes the computing resources".  This module turns the
+models into that guideline: for a kernel and launch configuration it reports
+
+* roofline position (arithmetic intensity vs the device's compute/bandwidth
+  ceilings) on CPU and GPU;
+* the CPU bottleneck (compute / memory / bandwidth / dependence-latency) and
+  what the paper says to do about each;
+* vectorization status with the compiler's reasons;
+* scheduling overhead share and the workgroup-size headroom;
+* GPU occupancy and its limiter.
+
+`kernel_report` renders everything as text, the shape of the "performance
+advisor" output tools like Intel's offline compiler produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from typing import Dict, Optional, Sequence, Tuple
+
+from .kernelir.analysis import KernelAnalysis, LaunchContext, analyze_kernel
+from .kernelir.ast import Kernel
+from .simcpu.device import CPUDeviceModel, KernelCost
+from .simcpu.spec import CPUSpec, XEON_E5645
+from .simgpu.device import GPUDeviceModel, GPUKernelCost
+from .simgpu.spec import GPUSpec, GTX580
+
+__all__ = ["Roofline", "roofline", "KernelReport", "kernel_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Roofline:
+    """One device's roofline evaluated at a kernel's arithmetic intensity."""
+
+    device: str
+    peak_gflops: float
+    peak_bandwidth_gbps: float
+    arithmetic_intensity: float   # flop / byte
+    attainable_gflops: float      # min(peak, AI * bandwidth)
+    achieved_gflops: float
+
+    @property
+    def ridge_point(self) -> float:
+        """AI where the device turns compute-bound (flop/byte)."""
+        return self.peak_gflops / self.peak_bandwidth_gbps
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.arithmetic_intensity < self.ridge_point
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the attainable (not absolute) roof."""
+        return (
+            self.achieved_gflops / self.attainable_gflops
+            if self.attainable_gflops > 0
+            else 0.0
+        )
+
+
+def roofline(
+    analysis: KernelAnalysis,
+    achieved_gflops: float,
+    *,
+    peak_gflops: float,
+    bandwidth_gbps: float,
+    device: str,
+) -> Roofline:
+    """Place a kernel on a device's roofline."""
+    ai = analysis.arithmetic_intensity
+    attainable = (
+        peak_gflops if ai == float("inf") else min(peak_gflops, ai * bandwidth_gbps)
+    )
+    return Roofline(
+        device=device,
+        peak_gflops=peak_gflops,
+        peak_bandwidth_gbps=bandwidth_gbps,
+        arithmetic_intensity=ai,
+        attainable_gflops=attainable,
+        achieved_gflops=achieved_gflops,
+    )
+
+
+_ADVICE = {
+    "compute": (
+        "compute-bound: the FP pipelines are the limit; check the "
+        "vectorization report and consider wider workgroups only for "
+        "scheduling amortization"
+    ),
+    "memory": (
+        "memory-latency-bound: improve locality (contiguous per-item "
+        "streams, smaller per-workgroup working sets)"
+    ),
+    "bandwidth": (
+        "bandwidth-bound: the kernel streams more bytes than the shared "
+        "L3/DRAM can carry; reduce traffic per item before anything else"
+    ),
+    "latency": (
+        "dependence-latency-bound: the kernel has low ILP (paper Section "
+        "III-C) — break long dependence chains into independent ones"
+    ),
+}
+
+
+@dataclasses.dataclass
+class KernelReport:
+    """Everything the guideline derives for one kernel + configuration."""
+
+    kernel_name: str
+    global_size: Tuple[int, ...]
+    local_size: Optional[Tuple[int, ...]]
+    analysis: KernelAnalysis
+    cpu_cost: KernelCost
+    gpu_cost: GPUKernelCost
+    cpu_roofline: Roofline
+    gpu_roofline: Roofline
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def cpu_bottleneck(self) -> str:
+        return self.cpu_cost.item.dominant()
+
+    @property
+    def cpu_advice(self) -> str:
+        return _ADVICE[self.cpu_bottleneck]
+
+    @property
+    def scheduling_overhead(self) -> float:
+        return self.cpu_cost.schedule.scheduling_overhead_fraction
+
+    @property
+    def faster_device(self) -> str:
+        return "CPU" if self.cpu_cost.total_ns <= self.gpu_cost.total_ns else "GPU"
+
+    def render(self) -> str:
+        out = io.StringIO()
+        a = self.analysis
+        w = out.write
+        w(f"kernel performance report: {self.kernel_name}\n")
+        gs = " x ".join(map(str, self.global_size))
+        ls = (
+            "NULL" if self.local_size is None
+            else " x ".join(map(str, self.local_size))
+        )
+        w(f"  NDRange: global {gs}, local {ls}\n")
+        w("\n-- work per item --\n")
+        w(f"  flops: {a.per_item.flops:.0f}   loads: {a.per_item.loads:.0f}"
+          f"   stores: {a.per_item.stores:.0f}"
+          f"   local ops: {a.per_item.local_loads + a.per_item.local_stores:.0f}\n")
+        w(f"  ILP: {a.ilp:.2f}   arithmetic intensity: "
+          f"{a.arithmetic_intensity:.3f} flop/byte\n")
+        pats = sorted({x.pattern for x in a.accesses if not x.is_local})
+        w(f"  global access patterns: {', '.join(pats) or 'none'}\n")
+        w("\n-- CPU (Intel-like) --\n")
+        vec = self.cpu_cost.vectorization
+        w(f"  vectorization: {vec.explain()}\n")
+        w(f"  time: {self.cpu_cost.total_ns / 1e6:.3f} ms   "
+          f"achieved {self.cpu_cost.gflops:.1f} Gflop/s\n")
+        r = self.cpu_roofline
+        w(f"  roofline: attainable {r.attainable_gflops:.1f} Gflop/s "
+          f"({'memory' if r.memory_bound else 'compute'} side of ridge "
+          f"{r.ridge_point:.2f}), efficiency {r.efficiency:.0%}\n")
+        w(f"  bottleneck: {self.cpu_bottleneck} -> {self.cpu_advice}\n")
+        w(f"  scheduling overhead: {self.scheduling_overhead:.1%} of CPU time "
+          f"({self.cpu_cost.schedule.threads_used} threads, "
+          f"{self.cpu_cost.schedule.rounds} rounds)\n")
+        w("\n-- GPU (GTX-580-like) --\n")
+        occ = self.gpu_cost.occupancy
+        w(f"  time: {self.gpu_cost.total_ns / 1e6:.3f} ms   "
+          f"achieved {self.gpu_cost.gflops:.1f} Gflop/s\n")
+        w(f"  occupancy: {occ.occupancy:.0%} "
+          f"({occ.workgroups_per_sm} wg/SM, limiter: {occ.limiter}, "
+          f"lane efficiency {occ.lane_efficiency:.0%})\n")
+        w(f"  latency hiding: {self.gpu_cost.sm_cost.latency_hiding:.0%}\n")
+        w(f"\n-- verdict: {self.faster_device} wins "
+          f"({min(self.cpu_cost.total_ns, self.gpu_cost.total_ns) / 1e6:.3f} ms "
+          f"vs {max(self.cpu_cost.total_ns, self.gpu_cost.total_ns) / 1e6:.3f} ms)"
+          f" --\n")
+        return out.getvalue()
+
+
+def kernel_report(
+    kernel: Kernel,
+    global_size: Sequence[int],
+    local_size: Optional[Sequence[int]] = None,
+    *,
+    scalars: Optional[Dict[str, float]] = None,
+    buffer_bytes: Optional[Dict[str, int]] = None,
+    cpu_spec: CPUSpec = XEON_E5645,
+    gpu_spec: GPUSpec = GTX580,
+) -> KernelReport:
+    """Build the full guideline report for one kernel and configuration."""
+    cpu = CPUDeviceModel(cpu_spec)
+    gpu = GPUDeviceModel(gpu_spec)
+    cpu_cost = cpu.kernel_cost(
+        kernel, global_size, local_size, scalars=scalars, buffer_bytes=buffer_bytes
+    )
+    gpu_cost = gpu.kernel_cost(
+        kernel, global_size, local_size, scalars=scalars, buffer_bytes=buffer_bytes
+    )
+    analysis = cpu_cost.analysis
+    return KernelReport(
+        kernel_name=kernel.name,
+        global_size=tuple(int(g) for g in global_size),
+        local_size=None if local_size is None else tuple(int(l) for l in local_size),
+        analysis=analysis,
+        cpu_cost=cpu_cost,
+        gpu_cost=gpu_cost,
+        cpu_roofline=roofline(
+            analysis, cpu_cost.gflops,
+            peak_gflops=cpu_spec.peak_gflops_sp,
+            bandwidth_gbps=cpu_spec.dram_bandwidth_gbps * cpu_spec.sockets,
+            device="CPU",
+        ),
+        gpu_roofline=roofline(
+            analysis, gpu_cost.gflops,
+            peak_gflops=gpu_spec.peak_gflops_sp,
+            bandwidth_gbps=gpu_spec.dram_bandwidth_gbps,
+            device="GPU",
+        ),
+    )

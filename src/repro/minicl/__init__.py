@@ -1,0 +1,61 @@
+"""minicl — an OpenCL-1.1-style runtime over simulated devices.
+
+Two APIs are offered:
+
+* the **object API** (pyopencl-flavoured): ``get_platforms`` -> ``Context``
+  -> ``CommandQueue`` / ``Buffer`` / ``Program`` / ``CLKernel``;
+* the **flat C-style API** in :mod:`repro.minicl.api` (``clCreateBuffer``,
+  ``clEnqueueMapBuffer``, ...), matching the paper's host-code narrative.
+
+Both execute functionally on numpy and advance a deterministic virtual-time
+clock using the device models in :mod:`repro.simcpu` / :mod:`repro.simgpu`.
+"""
+
+from .constants import (
+    StatusCode,
+    command_status,
+    command_type,
+    device_type,
+    map_flags,
+    mem_flags,
+)
+from .errors import (
+    CLError,
+    InvalidArgIndex,
+    InvalidBufferSize,
+    InvalidContext,
+    InvalidDevice,
+    InvalidKernelArgs,
+    InvalidKernelName,
+    InvalidMemObject,
+    InvalidOperation,
+    InvalidValue,
+    InvalidWorkDimension,
+    InvalidWorkGroupSize,
+    InvalidWorkItemSize,
+    MemObjectAllocationFailure,
+)
+from .platform import Platform, cpu_platform, get_platforms, gpu_platform
+from .device import Device
+from .context import Context
+from .buffer import Buffer
+from .event import Event, EventProfile
+from .program import CLKernel, Program
+from .queue import CommandQueue
+from .ext import EXTENSION_NAME, AffinityCommandQueue
+from . import api
+
+__all__ = [
+    "mem_flags", "map_flags", "device_type", "command_type", "command_status",
+    "StatusCode",
+    "CLError", "InvalidValue", "InvalidDevice", "InvalidContext",
+    "InvalidMemObject", "InvalidKernelName", "InvalidKernelArgs",
+    "InvalidArgIndex", "InvalidWorkDimension", "InvalidWorkGroupSize",
+    "InvalidWorkItemSize", "InvalidBufferSize", "InvalidOperation",
+    "MemObjectAllocationFailure",
+    "Platform", "get_platforms", "cpu_platform", "gpu_platform",
+    "Device", "Context", "Buffer", "Event", "EventProfile",
+    "Program", "CLKernel", "CommandQueue",
+    "AffinityCommandQueue", "EXTENSION_NAME",
+    "api",
+]

@@ -1,0 +1,150 @@
+"""Flat C-style API layer, mirroring the OpenCL 1.1 entry points.
+
+This is sugar over the object API for fidelity with the paper's text — host
+programs can be written exactly in the shape of the C host code the paper
+describes (``clGetPlatformIDs`` ... ``clEnqueueMapBuffer``)::
+
+    platforms = clGetPlatformIDs()
+    devices = clGetDeviceIDs(platforms[0], device_type.CPU)
+    ctx = clCreateContext(devices)
+    q = clCreateCommandQueue(ctx, devices[0])
+    buf = clCreateBuffer(ctx, mem_flags.READ_ONLY | mem_flags.COPY_HOST_PTR,
+                         hostbuf=a)
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .buffer import Buffer
+from .constants import device_type, map_flags, mem_flags
+from .context import Context
+from .device import Device
+from .event import Event
+from .platform import Platform, get_platforms
+from .program import CLKernel, Program
+from .queue import CommandQueue
+
+__all__ = [
+    "clGetPlatformIDs",
+    "clGetDeviceIDs",
+    "clGetDeviceInfo",
+    "clCreateContext",
+    "clCreateCommandQueue",
+    "clCreateBuffer",
+    "clCreateProgram",
+    "clCreateKernel",
+    "clSetKernelArg",
+    "clEnqueueNDRangeKernel",
+    "clEnqueueReadBuffer",
+    "clEnqueueWriteBuffer",
+    "clEnqueueCopyBuffer",
+    "clEnqueueMapBuffer",
+    "clEnqueueUnmapMemObject",
+    "clEnqueueMarkerWithWaitList",
+    "clEnqueueBarrierWithWaitList",
+    "clFinish",
+    "clFlush",
+    "clGetEventProfilingInfo",
+]
+
+
+def clGetPlatformIDs() -> List[Platform]:
+    return get_platforms()
+
+
+def clGetDeviceIDs(platform: Platform,
+                   dtype: device_type = device_type.ALL) -> List[Device]:
+    return platform.get_devices(dtype)
+
+
+def clCreateContext(devices: Sequence[Device]) -> Context:
+    return Context(devices)
+
+
+def clCreateCommandQueue(context: Context, device: Optional[Device] = None,
+                         *, profiling: bool = True,
+                         functional: bool = True) -> CommandQueue:
+    return CommandQueue(context, device, profiling=profiling, functional=functional)
+
+
+def clCreateBuffer(context: Context, flags: mem_flags, *,
+                   size: Optional[int] = None,
+                   hostbuf: Optional[np.ndarray] = None,
+                   dtype=None) -> Buffer:
+    return Buffer(context, flags, size=size, hostbuf=hostbuf, dtype=dtype)
+
+
+def clCreateProgram(context: Context, kernels) -> Program:
+    return Program(context, kernels).build()
+
+
+def clCreateKernel(program: Program, name: str) -> CLKernel:
+    return program.create_kernel(name)
+
+
+def clSetKernelArg(kernel: CLKernel, index: int, value) -> None:
+    kernel.set_arg(index, value)
+
+
+def clEnqueueNDRangeKernel(queue: CommandQueue, kernel: CLKernel,
+                           global_work_size, local_work_size=None) -> Event:
+    return queue.enqueue_nd_range_kernel(kernel, global_work_size, local_work_size)
+
+
+def clEnqueueWriteBuffer(queue: CommandQueue, buf: Buffer, src: np.ndarray,
+                         *, blocking: bool = True) -> Event:
+    return queue.enqueue_write_buffer(buf, src, blocking=blocking)
+
+
+def clEnqueueReadBuffer(queue: CommandQueue, buf: Buffer, dst: np.ndarray,
+                        *, blocking: bool = True) -> Event:
+    return queue.enqueue_read_buffer(buf, dst, blocking=blocking)
+
+
+def clEnqueueMapBuffer(queue: CommandQueue, buf: Buffer,
+                       flags: map_flags) -> Tuple[np.ndarray, Event]:
+    return queue.enqueue_map_buffer(buf, flags)
+
+
+def clEnqueueUnmapMemObject(queue: CommandQueue, buf: Buffer,
+                            mapped: np.ndarray) -> Event:
+    return queue.enqueue_unmap(buf, mapped)
+
+
+def clGetDeviceInfo(device: Device) -> dict:
+    return device.get_info()
+
+
+def clEnqueueCopyBuffer(queue: CommandQueue, src: Buffer, dst: Buffer) -> Event:
+    return queue.enqueue_copy_buffer(src, dst)
+
+
+def clEnqueueMarkerWithWaitList(queue: CommandQueue,
+                                wait_for: Optional[Sequence[Event]] = None) -> Event:
+    return queue.enqueue_marker(wait_for)
+
+
+def clEnqueueBarrierWithWaitList(queue: CommandQueue) -> Event:
+    return queue.enqueue_barrier()
+
+
+def clFinish(queue: CommandQueue) -> float:
+    return queue.finish()
+
+
+def clFlush(queue: CommandQueue) -> None:
+    queue.flush()
+
+
+def clGetEventProfilingInfo(event: Event) -> dict:
+    p = event.profile
+    return {
+        "CL_PROFILING_COMMAND_QUEUED": p.queued,
+        "CL_PROFILING_COMMAND_SUBMIT": p.submit,
+        "CL_PROFILING_COMMAND_START": p.start,
+        "CL_PROFILING_COMMAND_END": p.end,
+    }

@@ -1,0 +1,118 @@
+"""Memory objects (``clCreateBuffer``).
+
+A buffer carries a real numpy backing array, so every command has observable
+functional semantics: writes copy data in, reads copy data out, maps return
+views.  The allocation flags are honoured both functionally (USE_HOST_PTR
+shares the host array's memory; COPY_HOST_PTR snapshots it) and in the
+timing model (ALLOC_HOST_PTR marks the buffer pinned/host-resident — which,
+on the CPU device, changes nothing, the paper's Section III-D finding).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..kernelir.types import DType, from_numpy
+from .constants import mem_flags
+from .errors import InvalidBufferSize, InvalidValue
+
+__all__ = ["Buffer"]
+
+
+class Buffer:
+    """An OpenCL memory object with a numpy backing store."""
+
+    def __init__(
+        self,
+        context,
+        flags: mem_flags,
+        *,
+        size: Optional[int] = None,
+        hostbuf: Optional[np.ndarray] = None,
+        dtype: Optional[np.dtype] = None,
+    ):
+        self.context = context
+        self.flags = mem_flags(flags)
+        self._validate_flags(hostbuf)
+
+        if hostbuf is not None:
+            if hostbuf.ndim != 1:
+                raise InvalidValue("host buffers must be 1-D arrays")
+            if self.flags & mem_flags.USE_HOST_PTR:
+                self._array = hostbuf  # zero-copy: share host memory
+            else:  # COPY_HOST_PTR (or plain initialization)
+                self._array = hostbuf.copy()
+        else:
+            if size is None or size <= 0:
+                raise InvalidBufferSize("size must be positive when no hostbuf")
+            np_dtype = np.dtype(dtype or np.uint8)
+            if size % np_dtype.itemsize != 0:
+                raise InvalidBufferSize(
+                    f"size {size} not a multiple of dtype size {np_dtype.itemsize}"
+                )
+            self._array = np.zeros(size // np_dtype.itemsize, dtype=np_dtype)
+
+        self._mapped_views: list = []
+
+    def _validate_flags(self, hostbuf) -> None:
+        f = self.flags
+        rw_bits = [
+            bool(f & mem_flags.READ_WRITE),
+            bool(f & mem_flags.READ_ONLY),
+            bool(f & mem_flags.WRITE_ONLY),
+        ]
+        if sum(rw_bits) > 1:
+            raise InvalidValue("at most one of READ_WRITE/READ_ONLY/WRITE_ONLY")
+        if not any(rw_bits):
+            self.flags |= mem_flags.READ_WRITE  # OpenCL default
+        if (f & (mem_flags.USE_HOST_PTR | mem_flags.COPY_HOST_PTR)) and hostbuf is None:
+            raise InvalidValue("USE_HOST_PTR/COPY_HOST_PTR require a hostbuf")
+        if (f & mem_flags.USE_HOST_PTR) and (f & mem_flags.ALLOC_HOST_PTR):
+            raise InvalidValue("USE_HOST_PTR and ALLOC_HOST_PTR are exclusive")
+
+    # -- properties ------------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The backing store (device-side view of the data)."""
+        return self._array
+
+    @property
+    def nbytes(self) -> int:
+        return self._array.nbytes
+
+    @property
+    def size(self) -> int:
+        """Size in bytes, as CL_MEM_SIZE reports."""
+        return self._array.nbytes
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    @property
+    def ir_dtype(self) -> DType:
+        return from_numpy(self._array.dtype)
+
+    @property
+    def pinned(self) -> bool:
+        """Allocated in host-accessible (pinned) memory."""
+        return bool(self.flags & (mem_flags.ALLOC_HOST_PTR | mem_flags.USE_HOST_PTR))
+
+    @property
+    def kernel_readable(self) -> bool:
+        return not (self.flags & mem_flags.WRITE_ONLY)
+
+    @property
+    def kernel_writable(self) -> bool:
+        return not (self.flags & mem_flags.READ_ONLY)
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Buffer {self.nbytes}B {self.dtype} flags="
+            f"{self.flags!r} pinned={self.pinned}>"
+        )

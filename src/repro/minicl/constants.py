@@ -1,0 +1,79 @@
+"""OpenCL 1.1-style constants (the subset the paper's experiments exercise)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "mem_flags",
+    "map_flags",
+    "device_type",
+    "command_type",
+    "command_status",
+    "StatusCode",
+]
+
+
+class mem_flags(enum.IntFlag):
+    """``clCreateBuffer`` allocation/access flags (paper Section II-C)."""
+
+    READ_WRITE = 1 << 0
+    WRITE_ONLY = 1 << 1
+    READ_ONLY = 1 << 2
+    USE_HOST_PTR = 1 << 3
+    ALLOC_HOST_PTR = 1 << 4
+    COPY_HOST_PTR = 1 << 5
+
+
+class map_flags(enum.IntFlag):
+    """``clEnqueueMapBuffer`` flags."""
+
+    READ = 1 << 0
+    WRITE = 1 << 1
+
+
+class device_type(enum.IntFlag):
+    CPU = 1 << 1
+    GPU = 1 << 2
+    ALL = 0xFFFFFFFF
+
+
+class command_type(enum.Enum):
+    NDRANGE_KERNEL = "CL_COMMAND_NDRANGE_KERNEL"
+    READ_BUFFER = "CL_COMMAND_READ_BUFFER"
+    WRITE_BUFFER = "CL_COMMAND_WRITE_BUFFER"
+    COPY_BUFFER = "CL_COMMAND_COPY_BUFFER"
+    MAP_BUFFER = "CL_COMMAND_MAP_BUFFER"
+    UNMAP_MEM_OBJECT = "CL_COMMAND_UNMAP_MEM_OBJECT"
+    MARKER = "CL_COMMAND_MARKER"
+
+
+class command_status(enum.IntEnum):
+    QUEUED = 3
+    SUBMITTED = 2
+    RUNNING = 1
+    COMPLETE = 0
+
+
+class StatusCode(enum.IntEnum):
+    """OpenCL error codes (negated, as in the C API)."""
+
+    SUCCESS = 0
+    DEVICE_NOT_FOUND = -1
+    MEM_OBJECT_ALLOCATION_FAILURE = -4
+    OUT_OF_RESOURCES = -5
+    INVALID_VALUE = -30
+    INVALID_DEVICE = -33
+    INVALID_CONTEXT = -34
+    INVALID_MEM_OBJECT = -38
+    INVALID_PROGRAM = -44
+    INVALID_KERNEL_NAME = -46
+    INVALID_KERNEL = -48
+    INVALID_ARG_INDEX = -49
+    INVALID_ARG_VALUE = -50
+    INVALID_KERNEL_ARGS = -52
+    INVALID_WORK_DIMENSION = -53
+    INVALID_WORK_GROUP_SIZE = -54
+    INVALID_WORK_ITEM_SIZE = -55
+    INVALID_BUFFER_SIZE = -61
+    INVALID_OPERATION = -59

@@ -1,0 +1,55 @@
+"""Contexts (``clCreateContext``)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .buffer import Buffer
+from .constants import mem_flags
+from .device import Device
+from .errors import InvalidDevice
+
+__all__ = ["Context"]
+
+
+class Context:
+    """An OpenCL context over one or more devices."""
+
+    def __init__(self, devices: Sequence[Device]):
+        if not devices:
+            raise InvalidDevice("context needs at least one device")
+        self.devices: List[Device] = list(devices)
+
+    @property
+    def device(self) -> Device:
+        """Convenience accessor for single-device contexts."""
+        return self.devices[0]
+
+    # -- factory helpers (the pyopencl-style object API) ----------------------
+    def create_buffer(
+        self,
+        flags: mem_flags,
+        *,
+        size: Optional[int] = None,
+        hostbuf: Optional[np.ndarray] = None,
+        dtype=None,
+    ) -> Buffer:
+        """``clCreateBuffer``."""
+        return Buffer(self, flags, size=size, hostbuf=hostbuf, dtype=dtype)
+
+    def create_command_queue(self, device: Optional[Device] = None, **kw):
+        """``clCreateCommandQueue``; see :class:`repro.minicl.queue.CommandQueue`."""
+        from .queue import CommandQueue
+
+        return CommandQueue(self, device or self.device, **kw)
+
+    def create_program(self, kernels):
+        """``clCreateProgramWithSource`` + ``clBuildProgram`` analogue."""
+        from .program import Program
+
+        return Program(self, kernels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Context on {[d.name for d in self.devices]}>"

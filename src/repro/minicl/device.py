@@ -1,0 +1,72 @@
+"""Device objects: thin OpenCL-facing wrappers around the hardware models."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..simcpu.device import CPUDeviceModel
+from ..simgpu.device import GPUDeviceModel
+from .constants import device_type
+
+__all__ = ["Device"]
+
+Model = Union[CPUDeviceModel, GPUDeviceModel]
+
+
+class Device:
+    """One OpenCL device backed by a simulated hardware model."""
+
+    def __init__(self, model: Model):
+        self.model = model
+        self.type = device_type.GPU if model.is_gpu else device_type.CPU
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.model.is_gpu
+
+    @property
+    def max_work_group_size(self) -> int:
+        if self.is_gpu:
+            return 1024  # Fermi limit
+        return 8192     # Intel CPU runtime limit
+
+    @property
+    def max_compute_units(self) -> int:
+        if self.is_gpu:
+            return self.model.spec.num_sms
+        return self.model.spec.logical_cores
+
+    @property
+    def local_mem_size(self) -> int:
+        if self.is_gpu:
+            return self.model.spec.shared_mem_per_sm
+        return 32 * 1024  # CL_DEVICE_LOCAL_MEM_SIZE the Intel runtime reports
+
+    @property
+    def global_mem_size(self) -> int:
+        return 4 * 1024 ** 3  # paper Table I: 4GB DRAM
+
+    @property
+    def unified_memory(self) -> bool:
+        """CL_DEVICE_HOST_UNIFIED_MEMORY: true for the CPU device."""
+        return not self.is_gpu
+
+    def get_info(self) -> dict:
+        info = {
+            "CL_DEVICE_NAME": self.name,
+            "CL_DEVICE_TYPE": self.type.name,
+            "CL_DEVICE_MAX_COMPUTE_UNITS": self.max_compute_units,
+            "CL_DEVICE_MAX_WORK_GROUP_SIZE": self.max_work_group_size,
+            "CL_DEVICE_LOCAL_MEM_SIZE": self.local_mem_size,
+            "CL_DEVICE_GLOBAL_MEM_SIZE": self.global_mem_size,
+            "CL_DEVICE_HOST_UNIFIED_MEMORY": self.unified_memory,
+        }
+        info.update(self.model.describe())
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Device {self.name!r} ({self.type.name})>"

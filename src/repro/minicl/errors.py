@@ -1,0 +1,84 @@
+"""Error hierarchy mirroring OpenCL status codes."""
+
+from __future__ import annotations
+
+from .constants import StatusCode
+
+__all__ = [
+    "CLError",
+    "InvalidValue",
+    "InvalidDevice",
+    "InvalidContext",
+    "InvalidMemObject",
+    "InvalidKernelName",
+    "InvalidKernelArgs",
+    "InvalidArgIndex",
+    "InvalidWorkDimension",
+    "InvalidWorkGroupSize",
+    "InvalidWorkItemSize",
+    "InvalidBufferSize",
+    "InvalidOperation",
+    "MemObjectAllocationFailure",
+]
+
+
+class CLError(RuntimeError):
+    """Base class; carries the OpenCL status code."""
+
+    code = StatusCode.INVALID_VALUE
+
+    def __init__(self, message: str = ""):
+        super().__init__(f"{self.code.name} ({self.code.value})"
+                         + (f": {message}" if message else ""))
+
+
+class InvalidValue(CLError):
+    code = StatusCode.INVALID_VALUE
+
+
+class InvalidDevice(CLError):
+    code = StatusCode.INVALID_DEVICE
+
+
+class InvalidContext(CLError):
+    code = StatusCode.INVALID_CONTEXT
+
+
+class InvalidMemObject(CLError):
+    code = StatusCode.INVALID_MEM_OBJECT
+
+
+class InvalidKernelName(CLError):
+    code = StatusCode.INVALID_KERNEL_NAME
+
+
+class InvalidKernelArgs(CLError):
+    code = StatusCode.INVALID_KERNEL_ARGS
+
+
+class InvalidArgIndex(CLError):
+    code = StatusCode.INVALID_ARG_INDEX
+
+
+class InvalidWorkDimension(CLError):
+    code = StatusCode.INVALID_WORK_DIMENSION
+
+
+class InvalidWorkGroupSize(CLError):
+    code = StatusCode.INVALID_WORK_GROUP_SIZE
+
+
+class InvalidWorkItemSize(CLError):
+    code = StatusCode.INVALID_WORK_ITEM_SIZE
+
+
+class InvalidBufferSize(CLError):
+    code = StatusCode.INVALID_BUFFER_SIZE
+
+
+class InvalidOperation(CLError):
+    code = StatusCode.INVALID_OPERATION
+
+
+class MemObjectAllocationFailure(CLError):
+    code = StatusCode.MEM_OBJECT_ALLOCATION_FAILURE

@@ -1,0 +1,54 @@
+"""Events with virtual-time profiling (``CL_QUEUE_PROFILING_ENABLE``)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .constants import command_status, command_type
+
+__all__ = ["Event", "EventProfile"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EventProfile:
+    """The four OpenCL profiling timestamps, in virtual nanoseconds."""
+
+    queued: float
+    submit: float
+    start: float
+    end: float
+
+    @property
+    def duration_ns(self) -> float:
+        """CL_PROFILING_COMMAND_END - CL_PROFILING_COMMAND_START."""
+        return self.end - self.start
+
+
+class Event:
+    """Completion/profiling handle returned by every enqueue call."""
+
+    def __init__(self, ctype: command_type, queued: float, start: float, end: float,
+                 info: Optional[dict] = None):
+        self.command_type = ctype
+        self._profile = EventProfile(queued=queued, submit=queued, start=start, end=end)
+        self.status = command_status.COMPLETE  # in-order blocking simulation
+        #: model diagnostics (KernelCost / TransferCost) for the harness
+        self.info = info or {}
+
+    @property
+    def profile(self) -> EventProfile:
+        return self._profile
+
+    @property
+    def duration_ns(self) -> float:
+        return self._profile.duration_ns
+
+    def wait(self) -> None:
+        """No-op: the in-order virtual-time queue completes synchronously."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Event {self.command_type.value} "
+            f"[{self._profile.start:.0f}..{self._profile.end:.0f}ns]>"
+        )

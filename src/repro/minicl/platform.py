@@ -1,0 +1,74 @@
+"""Platform discovery.
+
+``get_platforms()`` plays the role of ``clGetPlatformIDs``: it returns the
+two platforms of the paper's Table I — an Intel-style CPU platform and an
+NVIDIA-style GPU platform — each exposing one simulated device.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..simcpu.device import CPUDeviceModel
+from ..simcpu.spec import CPUSpec, XEON_E5645
+from ..simgpu.device import GPUDeviceModel
+from ..simgpu.spec import GPUSpec, GTX580
+from .constants import device_type
+from .device import Device
+from .errors import InvalidDevice
+
+__all__ = ["Platform", "get_platforms", "cpu_platform", "gpu_platform"]
+
+
+class Platform:
+    """One OpenCL platform (vendor implementation) with its devices."""
+
+    def __init__(self, name: str, vendor: str, devices: List[Device]):
+        self.name = name
+        self.vendor = vendor
+        self._devices = list(devices)
+
+    def get_devices(self, dtype: device_type = device_type.ALL) -> List[Device]:
+        out = [d for d in self._devices if d.type & dtype]
+        if not out:
+            raise InvalidDevice(f"no device of type {dtype!r} on {self.name}")
+        return out
+
+    @property
+    def devices(self) -> List[Device]:
+        return list(self._devices)
+
+    def get_info(self) -> dict:
+        return {
+            "CL_PLATFORM_NAME": self.name,
+            "CL_PLATFORM_VENDOR": self.vendor,
+            "CL_PLATFORM_VERSION": "OpenCL 1.1 (simulated)",
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Platform {self.name!r}>"
+
+
+def cpu_platform(spec: Optional[CPUSpec] = None) -> Platform:
+    """The Intel-OpenCL-SDK-like CPU platform."""
+    model = CPUDeviceModel(spec or XEON_E5645)
+    return Platform(
+        "Intel-like OpenCL Platform for CPU (simulated)",
+        "repro.simcpu",
+        [Device(model)],
+    )
+
+
+def gpu_platform(spec: Optional[GPUSpec] = None) -> Platform:
+    """The NVIDIA-like GPU platform."""
+    model = GPUDeviceModel(spec or GTX580)
+    return Platform(
+        "NVidia-like OpenCL Platform for GPU (simulated)",
+        "repro.simgpu",
+        [Device(model)],
+    )
+
+
+def get_platforms() -> List[Platform]:
+    """``clGetPlatformIDs``: both platforms of the paper's testbed."""
+    return [cpu_platform(), gpu_platform()]

@@ -1,0 +1,144 @@
+"""Programs and kernel objects (``clBuildProgram``/``clCreateKernel``).
+
+A :class:`Program` holds compiled kernel IR; building runs the device's
+vectorizer once per kernel so the "compiler log" can be inspected, exactly
+the way one reads Intel's vectorization report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..kernelir.analysis import LaunchContext
+from ..kernelir.ast import BufferParam, Kernel, ScalarParam
+from .buffer import Buffer
+from .errors import (
+    InvalidArgIndex,
+    InvalidKernelArgs,
+    InvalidKernelName,
+    InvalidValue,
+)
+
+__all__ = ["Program", "CLKernel"]
+
+
+class Program:
+    """A built program: a named collection of kernels."""
+
+    def __init__(self, context, kernels: Union[Kernel, Sequence[Kernel]]):
+        if isinstance(kernels, Kernel):
+            kernels = [kernels]
+        self.context = context
+        self._kernels: Dict[str, Kernel] = {}
+        for k in kernels:
+            if k.name in self._kernels:
+                raise InvalidValue(f"duplicate kernel name {k.name!r}")
+            self._kernels[k.name] = k
+        self.build_log: Dict[str, str] = {}
+        self._built = False
+
+    def build(self) -> "Program":
+        """Produce a per-kernel vectorization report (the "compiler log")."""
+        dev = self.context.device
+        for name, k in self._kernels.items():
+            if dev.is_gpu:
+                self.build_log[name] = "SIMT codegen (warp-level execution)"
+            else:
+                # a representative context: one workgroup of the SIMD width
+                w = dev.model.vectorizer.simd_width
+                ctx = LaunchContext((max(w, 1),), (max(w, 1),))
+                rep = dev.model.vectorizer.vectorize(k, ctx)
+                self.build_log[name] = rep.explain()
+        self._built = True
+        return self
+
+    @property
+    def kernel_names(self) -> List[str]:
+        return sorted(self._kernels)
+
+    def create_kernel(self, name: str) -> "CLKernel":
+        if name not in self._kernels:
+            raise InvalidKernelName(name)
+        return CLKernel(self, self._kernels[name])
+
+
+_MISSING = object()
+
+
+class CLKernel:
+    """A kernel with bound arguments (``clSetKernelArg`` state)."""
+
+    def __init__(self, program: Program, kernel: Kernel):
+        self.program = program
+        self.kernel = kernel
+        self._args: List[object] = [_MISSING] * len(kernel.params)
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    @property
+    def num_args(self) -> int:
+        return len(self.kernel.params)
+
+    def set_arg(self, index: int, value) -> None:
+        """``clSetKernelArg``: bind a Buffer or a scalar."""
+        if not (0 <= index < len(self.kernel.params)):
+            raise InvalidArgIndex(f"arg {index} of kernel {self.name!r}")
+        p = self.kernel.params[index]
+        if isinstance(p, BufferParam):
+            if not isinstance(value, Buffer):
+                raise InvalidKernelArgs(
+                    f"arg {index} ({p.name}) of {self.name!r} expects a Buffer"
+                )
+            if value.dtype != p.dtype.np_dtype:
+                raise InvalidKernelArgs(
+                    f"arg {index} ({p.name}): buffer dtype {value.dtype} != "
+                    f"kernel param type {p.dtype.np_dtype}"
+                )
+            if "r" in p.access and not value.kernel_readable:
+                raise InvalidKernelArgs(
+                    f"arg {index} ({p.name}): kernel reads a WRITE_ONLY buffer"
+                )
+            if "w" in p.access and not value.kernel_writable:
+                raise InvalidKernelArgs(
+                    f"arg {index} ({p.name}): kernel writes a READ_ONLY buffer"
+                )
+        else:
+            assert isinstance(p, ScalarParam)
+            if isinstance(value, Buffer):
+                raise InvalidKernelArgs(
+                    f"arg {index} ({p.name}) of {self.name!r} expects a scalar"
+                )
+            value = p.dtype.np_dtype.type(value)
+        self._args[index] = value
+
+    def set_args(self, *values) -> None:
+        if len(values) != len(self.kernel.params):
+            raise InvalidKernelArgs(
+                f"{self.name!r} takes {len(self.kernel.params)} args, "
+                f"got {len(values)}"
+            )
+        for i, v in enumerate(values):
+            self.set_arg(i, v)
+
+    # -- used by the queue -----------------------------------------------------
+    def collect_args(self):
+        """(buffers by param name, scalars by param name); validates binding."""
+        buffers: Dict[str, Buffer] = {}
+        scalars: Dict[str, object] = {}
+        for p, v in zip(self.kernel.params, self._args):
+            if v is _MISSING:
+                raise InvalidKernelArgs(
+                    f"arg {p.name!r} of kernel {self.name!r} is not set"
+                )
+            if isinstance(p, BufferParam):
+                buffers[p.name] = v
+            else:
+                scalars[p.name] = v
+        return buffers, scalars
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CLKernel {self.name!r}>"

@@ -1,0 +1,303 @@
+"""In-order command queues over deterministic virtual time.
+
+Each enqueue both *does the work functionally* (numpy copies / kernel
+interpretation) and *advances the queue's virtual clock* by the device
+model's cost estimate.  Event profiling timestamps therefore behave exactly
+like ``CL_QUEUE_PROFILING_ENABLE`` timestamps, but are reproducible.
+
+``functional=False`` turns off the numpy execution (timing-only mode); the
+large parameter sweeps of the harness use it, while correctness tests and the
+examples run fully functional.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernelir.interp import Interpreter, KernelExecutionError
+from .buffer import Buffer
+from .constants import command_type, map_flags, mem_flags
+from .context import Context
+from .device import Device
+from .errors import (
+    InvalidOperation,
+    InvalidValue,
+    InvalidWorkDimension,
+    InvalidWorkGroupSize,
+    InvalidWorkItemSize,
+)
+from .event import Event
+from .program import CLKernel
+
+__all__ = ["CommandQueue"]
+
+
+class CommandQueue:
+    """An in-order queue bound to one device."""
+
+    def __init__(
+        self,
+        context: Context,
+        device: Optional[Device] = None,
+        *,
+        profiling: bool = True,
+        functional: bool = True,
+        out_of_order: bool = False,
+    ):
+        self.context = context
+        self.device = device or context.device
+        self.profiling = profiling
+        self.functional = functional
+        #: CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE: commands without explicit
+        #: event dependencies may overlap in (virtual) time.  Functional
+        #: execution still happens in enqueue order, which is correct for any
+        #: host program whose dependencies are expressed via wait lists.
+        self.out_of_order = out_of_order
+        self._interp = Interpreter()
+        self.now_ns: float = 0.0
+        #: earliest start time for new out-of-order commands (advanced by
+        #: enqueue_barrier)
+        self._floor_ns: float = 0.0
+        self.events: list = []
+
+    # -- internals --------------------------------------------------------------
+    def _complete(
+        self,
+        ctype: command_type,
+        cost_ns: float,
+        info: dict,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Event:
+        deps_end = max((e.profile.end for e in wait_for or ()), default=0.0)
+        if self.out_of_order:
+            queued = max(self._floor_ns, 0.0)
+            start = max(queued, deps_end)
+        else:
+            queued = self.now_ns
+            start = max(queued, deps_end)
+        end = start + max(0.0, cost_ns)
+        self.now_ns = max(self.now_ns, end)
+        ev = Event(ctype, queued, start, end, info)
+        self.events.append(ev)
+        return ev
+
+    def _check_sizes(
+        self, kernel: CLKernel, gsize, lsize
+    ) -> Tuple[Tuple[int, ...], Optional[Tuple[int, ...]]]:
+        if isinstance(gsize, int):
+            gsize = (gsize,)
+        gsize = tuple(int(g) for g in gsize)
+        work_dim = kernel.kernel.work_dim
+        if len(gsize) != work_dim or not (1 <= len(gsize) <= 3):
+            raise InvalidWorkDimension(
+                f"kernel {kernel.name!r} has work_dim={work_dim}, got {gsize}"
+            )
+        if any(g <= 0 for g in gsize):
+            raise InvalidValue(f"global size must be positive: {gsize}")
+        if lsize is None:
+            return gsize, None
+        if isinstance(lsize, int):
+            lsize = (lsize,)
+        lsize = tuple(int(l) for l in lsize)
+        if len(lsize) != len(gsize):
+            raise InvalidWorkItemSize(
+                f"local rank {len(lsize)} != global rank {len(gsize)}"
+            )
+        if any(l <= 0 for l in lsize):
+            raise InvalidWorkItemSize(f"local size must be positive: {lsize}")
+        wg = int(np.prod(lsize))
+        if wg > self.device.max_work_group_size:
+            raise InvalidWorkGroupSize(
+                f"workgroup of {wg} exceeds device limit "
+                f"{self.device.max_work_group_size}"
+            )
+        for g, l in zip(gsize, lsize):
+            if g % l != 0:
+                raise InvalidWorkGroupSize(
+                    f"global size {g} not divisible by local size {l}"
+                )
+        return gsize, lsize
+
+    # -- kernel execution ------------------------------------------------------
+    def enqueue_nd_range_kernel(
+        self,
+        kernel: CLKernel,
+        global_size,
+        local_size=None,
+        *,
+        global_work_offset=None,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Event:
+        """``clEnqueueNDRangeKernel`` (blocking; the queue is in-order)."""
+        gsize, lsize = self._check_sizes(kernel, global_size, local_size)
+        buffers, scalars = kernel.collect_args()
+        buffer_bytes = {name: b.nbytes for name, b in buffers.items()}
+
+        cost = self.device.model.kernel_cost(
+            kernel.kernel,
+            gsize,
+            lsize,
+            scalars={k: float(v) for k, v in scalars.items()},
+            buffer_bytes=buffer_bytes,
+        )
+        resolved_lsize = cost.local_size
+
+        if kernel.kernel.uses_local_memory:
+            if kernel.kernel.local_mem_bytes > self.device.local_mem_size:
+                raise InvalidWorkGroupSize(
+                    f"kernel needs {kernel.kernel.local_mem_bytes}B local memory; "
+                    f"device has {self.device.local_mem_size}B"
+                )
+
+        if self.functional:
+            arrays = {name: b.array for name, b in buffers.items()}
+            self._interp.launch(
+                kernel.kernel, gsize, resolved_lsize, buffers=arrays,
+                scalars=scalars, global_offset=global_work_offset,
+            )
+
+        return self._complete(
+            command_type.NDRANGE_KERNEL,
+            cost.total_ns,
+            {
+                "kernel": kernel.name,
+                "global_size": gsize,
+                "local_size": resolved_lsize,
+                "global_work_offset": global_work_offset,
+                "cost": cost,
+            },
+            wait_for,
+        )
+
+    # -- explicit copies ----------------------------------------------------------
+    def enqueue_write_buffer(
+        self, buf: Buffer, src: np.ndarray, *, blocking: bool = True,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Event:
+        """``clEnqueueWriteBuffer``: host array -> buffer (a real copy)."""
+        if src.nbytes != buf.nbytes:
+            raise InvalidValue(
+                f"write of {src.nbytes}B into buffer of {buf.nbytes}B"
+            )
+        cost = self.device.model.transfer_cost(
+            buf.nbytes, "copy", "h2d", pinned=buf.pinned
+        )
+        np.copyto(buf.array, src.reshape(buf.array.shape).astype(buf.dtype, copy=False))
+        return self._complete(
+            command_type.WRITE_BUFFER, cost.total_ns,
+            {"cost": cost, "bytes": buf.nbytes}, wait_for,
+        )
+
+    def enqueue_read_buffer(
+        self, buf: Buffer, dst: np.ndarray, *, blocking: bool = True,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Event:
+        """``clEnqueueReadBuffer``: buffer -> host array (a real copy)."""
+        if dst.nbytes != buf.nbytes:
+            raise InvalidValue(
+                f"read of {buf.nbytes}B into host array of {dst.nbytes}B"
+            )
+        cost = self.device.model.transfer_cost(
+            buf.nbytes, "copy", "d2h", pinned=buf.pinned
+        )
+        np.copyto(dst.reshape(buf.array.shape), buf.array.astype(dst.dtype, copy=False))
+        return self._complete(
+            command_type.READ_BUFFER, cost.total_ns,
+            {"cost": cost, "bytes": buf.nbytes}, wait_for,
+        )
+
+    def enqueue_copy_buffer(
+        self, src: Buffer, dst: Buffer, *,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Event:
+        """``clEnqueueCopyBuffer``: device-side buffer-to-buffer copy.
+
+        On the CPU device this is one memcpy within the shared DRAM; it
+        never crosses to the host, so it costs a single copy regardless of
+        allocation flags.
+        """
+        if src.nbytes != dst.nbytes:
+            raise InvalidValue(
+                f"copy of {src.nbytes}B into buffer of {dst.nbytes}B"
+            )
+        cost = self.device.model.transfer_cost(src.nbytes, "copy", "d2d")
+        dst.array.view(np.uint8)[:] = src.array.view(np.uint8)  # raw bytes
+        return self._complete(
+            command_type.COPY_BUFFER, cost.total_ns,
+            {"cost": cost, "bytes": src.nbytes}, wait_for,
+        )
+
+    # -- mapping --------------------------------------------------------------
+    def enqueue_map_buffer(
+        self, buf: Buffer, flags: map_flags, *,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Tuple[np.ndarray, Event]:
+        """``clEnqueueMapBuffer``: returns a pointer (numpy view), no copy.
+
+        On the CPU device host and device memory are the same DRAM, so the
+        view aliases the buffer directly and the cost is API bookkeeping
+        only — the mechanism behind the paper's Figure 7/8 result.  On the
+        GPU device the data crosses PCIe (pinned DMA) when mapped for read.
+        """
+        if not flags & (map_flags.READ | map_flags.WRITE):
+            raise InvalidValue("map flags must include READ and/or WRITE")
+        moved = buf.nbytes if (self.device.is_gpu and flags & map_flags.READ) else 0
+        cost = self.device.model.transfer_cost(
+            moved if self.device.is_gpu else buf.nbytes, "map", "d2h", pinned=True
+        )
+        view = buf.array.view()
+        buf._mapped_views.append((view, flags))
+        ev = self._complete(
+            command_type.MAP_BUFFER, cost.total_ns,
+            {"cost": cost, "bytes": buf.nbytes}, wait_for,
+        )
+        return view, ev
+
+    def enqueue_unmap(self, buf: Buffer, view: np.ndarray) -> Event:
+        """``clEnqueueUnmapMemObject``."""
+        entry = next(
+            ((v, f) for v, f in buf._mapped_views if v is view), None
+        )
+        if entry is None:
+            raise InvalidOperation("unmap of a pointer that was never mapped")
+        buf._mapped_views.remove(entry)
+        _, flags = entry
+        moved = buf.nbytes if (self.device.is_gpu and flags & map_flags.WRITE) else 0
+        if self.device.is_gpu and moved:
+            cost_ns = self.device.model.transfer_cost(
+                moved, "map", "h2d", pinned=True
+            ).total_ns
+        else:
+            cost_ns = 200.0  # release the mapping: bookkeeping only
+        return self._complete(
+            command_type.UNMAP_MEM_OBJECT, cost_ns, {"bytes": moved}
+        )
+
+    # -- sync -----------------------------------------------------------------
+    def enqueue_marker(
+        self, wait_for: Optional[Sequence[Event]] = None
+    ) -> Event:
+        """``clEnqueueMarkerWithWaitList``: completes when its dependencies
+        (or, with no list, everything enqueued so far) have completed."""
+        if wait_for is None:
+            wait_for = list(self.events)
+        return self._complete(command_type.MARKER, 0.0, {}, wait_for)
+
+    def enqueue_barrier(self) -> Event:
+        """``clEnqueueBarrierWithWaitList`` (empty list): later commands may
+        not start before everything enqueued so far has completed."""
+        ev = self.enqueue_marker()
+        self._floor_ns = max(self._floor_ns, ev.profile.end)
+        return ev
+
+    def finish(self) -> float:
+        """``clFinish``: the queue is synchronous; returns the virtual clock."""
+        return self.now_ns
+
+    def flush(self) -> None:
+        """``clFlush``: no-op for the in-order blocking queue."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CommandQueue on {self.device.name!r} t={self.now_ns:.0f}ns>"

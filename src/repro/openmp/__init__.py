@@ -1,0 +1,12 @@
+"""Conventional parallel-programming baseline (OpenMP-like runtime).
+
+Provides ``parallel_for`` with fork-join threading, static/dynamic schedules,
+``OMP_PROC_BIND``/``GOMP_CPU_AFFINITY`` thread pinning, cross-loop cache
+residency, and classic loop auto-vectorization — everything the paper
+compares OpenCL against.
+"""
+
+from .env import OmpEnv
+from .runtime import FORK_JOIN_NS, OpenMPRuntime, ParallelForResult
+
+__all__ = ["OmpEnv", "OpenMPRuntime", "ParallelForResult", "FORK_JOIN_NS"]

@@ -1,0 +1,52 @@
+"""GNU-OpenMP-style environment controls.
+
+The paper's affinity experiment (Section III-E) drives thread placement with
+``OMP_PROC_BIND`` and ``GOMP_CPU_AFFINITY``; this module parses the same
+variables from a plain dict (never from the real process environment, so
+experiments stay hermetic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..simcpu.threads import AffinityPolicy, parse_cpu_affinity
+
+__all__ = ["OmpEnv"]
+
+
+@dataclasses.dataclass
+class OmpEnv:
+    """Parsed OpenMP environment."""
+
+    num_threads: Optional[int] = None
+    schedule: str = "static"
+    chunk: Optional[int] = None
+    affinity: AffinityPolicy = dataclasses.field(default_factory=AffinityPolicy)
+
+    @classmethod
+    def from_dict(cls, env: Optional[Dict[str, str]] = None) -> "OmpEnv":
+        env = env or {}
+        num = env.get("OMP_NUM_THREADS")
+        num_threads = int(num) if num else None
+        if num_threads is not None and num_threads <= 0:
+            raise ValueError("OMP_NUM_THREADS must be positive")
+        schedule, chunk = cls._parse_schedule(env.get("OMP_SCHEDULE", "static"))
+        return cls(
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            affinity=AffinityPolicy.from_env(env),
+        )
+
+    @staticmethod
+    def _parse_schedule(value: str) -> Tuple[str, Optional[int]]:
+        kind, _, chunk_s = value.strip().partition(",")
+        kind = kind.strip().lower()
+        if kind not in ("static", "dynamic", "guided"):
+            raise ValueError(f"unknown OMP_SCHEDULE kind {kind!r}")
+        chunk = int(chunk_s) if chunk_s.strip() else None
+        if chunk is not None and chunk <= 0:
+            raise ValueError("schedule chunk must be positive")
+        return kind, chunk

@@ -1,0 +1,234 @@
+"""Fork-join ``parallel for`` runtime — the conventional-model baseline.
+
+An OpenMP "kernel" is the same IR as an OpenCL kernel, with
+``get_global_id(0)`` read as the loop induction variable (the porting recipe
+of the paper's Section III-F).  Differences from the OpenCL CPU runtime, all
+architecturally meaningful and all evaluated by the paper:
+
+* **one fork-join per loop**, not one dispatch per workgroup — the classic
+  model has far lower scheduling overhead for big iteration counts;
+* **affinity**: ``OMP_PROC_BIND``/``GOMP_CPU_AFFINITY`` pin threads to
+  cores, so consecutive ``parallel_for`` calls can reuse each core's private
+  cache (Figure 9).  Unbound runs get a fresh arbitrary placement per loop,
+  like OpenCL workgroups do;
+* **vectorization**: the *loop* auto-vectorizer with classic legality rules,
+  not the cross-workitem packer (Figures 10/11).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernelir.analysis import LatencyTable, LaunchContext, analyze_kernel
+from ..kernelir.ast import Kernel
+from ..kernelir.interp import Interpreter
+from ..kernelir.vectorize import LoopVectorizer, VectorizationReport
+from ..simcpu.cachemodel import MemoryCostModel
+from ..simcpu.core import CoreModel
+from ..simcpu.spec import CPUSpec, XEON_E5645
+from ..simcpu.threads import CoreResidencyTracker
+from .env import OmpEnv
+
+__all__ = ["OpenMPRuntime", "ParallelForResult"]
+
+#: one parallel-region fork+join (thread pool wake + barrier), nanoseconds
+FORK_JOIN_NS = 4_000.0
+#: per-scheduled-chunk overhead for dynamic scheduling
+DYNAMIC_CHUNK_NS = 300.0
+
+
+@dataclasses.dataclass
+class ParallelForResult:
+    """Timing and diagnostics of one ``parallel_for`` execution."""
+
+    time_ns: float
+    threads: int
+    placement: List[int]
+    vectorization: VectorizationReport
+    per_thread_ns: List[float]
+    iterations: int
+
+    @property
+    def gflops_of(self) -> float:  # pragma: no cover - convenience alias
+        return 0.0
+
+
+class OpenMPRuntime:
+    """Simulated OpenMP runtime bound to the CPU model.
+
+    A single runtime instance keeps per-core cache-residency state across
+    ``parallel_for`` calls, which is what makes producer/consumer affinity
+    experiments meaningful.
+    """
+
+    def __init__(
+        self,
+        spec: CPUSpec = XEON_E5645,
+        env: Optional[Dict[str, str]] = None,
+        *,
+        fragile_vectorizer: bool = True,
+        functional: bool = True,
+    ):
+        self.spec = spec
+        self.env = OmpEnv.from_dict(env)
+        self.functional = functional
+        #: fraction of the residency-miss latency visible past the prefetcher
+        self.residency_miss_visibility = 0.15
+        self.vectorizer = LoopVectorizer(spec.simd_width_f32, fragile_vectorizer)
+        self.core_model = CoreModel(spec)
+        self.mem_model = MemoryCostModel(spec)
+        self.residency = CoreResidencyTracker(spec)
+        self.latencies = LatencyTable(load=float(spec.l1_latency))
+        self._interp = Interpreter()
+        self._unbound_epoch = 0  # perturbs placement when not pinned
+        self.now_ns = 0.0
+
+    # -- placement -------------------------------------------------------------
+    def _placement(self, threads: int) -> List[int]:
+        if self.env.affinity.proc_bind:
+            return self.env.affinity.placement(threads, self.spec.logical_cores)
+        # unbound: the OS gives an arbitrary (rotating) placement per region,
+        # so cross-region cache reuse cannot be relied upon.
+        self._unbound_epoch += 1
+        off = (self._unbound_epoch * 5) % self.spec.logical_cores
+        return [(off + i) % self.spec.logical_cores for i in range(threads)]
+
+    # -- the core entry point ----------------------------------------------------
+    def parallel_for(
+        self,
+        kernel: Kernel,
+        n: int,
+        *,
+        buffers: Optional[Dict[str, np.ndarray]] = None,
+        scalars: Optional[Dict[str, object]] = None,
+        num_threads: Optional[int] = None,
+    ) -> ParallelForResult:
+        """Run ``#pragma omp parallel for`` over iterations [0, n)."""
+        if kernel.uses_barrier or kernel.uses_local_memory:
+            raise ValueError(
+                f"kernel {kernel.name!r} uses workgroup constructs; it has no "
+                f"OpenMP loop equivalent"
+            )
+        if n <= 0:
+            raise ValueError("iteration count must be positive")
+        buffers = dict(buffers or {})
+        scalars = dict(scalars or {})
+
+        threads = num_threads or self.env.num_threads or self.spec.physical_cores
+        threads = min(threads, n)
+        placement = self._placement(threads)
+
+        # --- static analysis in a whole-loop context -----------------------
+        ctx = LaunchContext((n,), (n,), {k: float(v) for k, v in scalars.items()},
+                            self.latencies)
+        analysis = analyze_kernel(kernel, ctx)
+        vec = self.vectorizer.vectorize(kernel, ctx)
+        buffer_bytes = {name: b.nbytes for name, b in buffers.items()}
+        base_mem = self.mem_model.estimate(analysis, buffer_bytes)
+
+        # --- per-thread chunks (static schedule) ----------------------------
+        chunks = self._static_chunks(n, threads)
+        per_thread_ns: List[float] = []
+        dram_share = 1.0 / max(1, min(threads, self.spec.physical_cores))
+        for t, (lo, hi) in enumerate(chunks):
+            iters = hi - lo
+            if iters <= 0:
+                per_thread_ns.append(0.0)
+                continue
+            mem = self._residency_adjusted(
+                analysis, base_mem, buffers, placement[t], lo, hi
+            )
+            item = self.core_model.item_cycles(
+                analysis, vec, mem, dram_share=dram_share
+            )
+            cycles = iters * (item.cycles + 2.0 / max(1.0, item.effective_vector_width))
+            per_thread_ns.append(self.spec.cycles_to_ns(cycles))
+
+        time_ns = FORK_JOIN_NS + max(per_thread_ns, default=0.0)
+        if self.env.schedule == "dynamic":
+            chunk = self.env.chunk or 1
+            time_ns += (n / chunk) * DYNAMIC_CHUNK_NS / threads
+
+        # --- update residency: each thread streamed its chunk ----------------
+        self._touch_residency(analysis, buffers, chunks, placement)
+
+        # --- functional execution --------------------------------------------
+        if self.functional:
+            self._interp.launch(
+                kernel, (n,), (n,), buffers=buffers, scalars=scalars
+            )
+
+        self.now_ns += time_ns
+        return ParallelForResult(
+            time_ns=time_ns,
+            threads=threads,
+            placement=placement,
+            vectorization=vec,
+            per_thread_ns=per_thread_ns,
+            iterations=n,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _static_chunks(n: int, threads: int) -> List[Tuple[int, int]]:
+        """Contiguous near-equal chunks, as OMP static scheduling yields."""
+        base, extra = divmod(n, threads)
+        out = []
+        lo = 0
+        for t in range(threads):
+            hi = lo + base + (1 if t < extra else 0)
+            out.append((lo, hi))
+            lo = hi
+        return out
+
+    def _buffer_id(self, name: str, buffers: Dict[str, np.ndarray]) -> object:
+        arr = buffers.get(name)
+        return id(arr.base if arr is not None and arr.base is not None else arr) \
+            if arr is not None else name
+
+    def _contiguous_ranges(
+        self, analysis, buffers, lo: int, hi: int
+    ) -> List[Tuple[object, int, int, float]]:
+        """(buffer_id, byte_lo, byte_hi, accesses_per_iter) per streamed buffer."""
+        out = []
+        for a in analysis.accesses:
+            if a.is_local or a.pattern != "contiguous":
+                continue
+            bid = self._buffer_id(a.buffer, buffers)
+            out.append((bid, lo * a.itemsize, hi * a.itemsize, a.count_per_item))
+        return out
+
+    def _residency_adjusted(self, analysis, base_mem, buffers, core, lo, hi):
+        """Re-cost contiguous loads whose data may sit in this core's caches.
+
+        Delegates to :func:`repro.simcpu.residency.residency_adjusted_mem`
+        (the same engine the minicl affinity extension uses): residency
+        changes both the load *latency* and the shared-L3/DRAM *traffic*.
+        """
+        from ..simcpu.residency import residency_adjusted_mem
+
+        buffer_ids = {n: self._buffer_id(n, buffers) for n in buffers}
+        buffer_bytes = {n: b.nbytes for n, b in buffers.items()}
+        return residency_adjusted_mem(
+            self.mem_model,
+            self.residency,
+            analysis,
+            base_mem,
+            core,
+            (lo, hi),
+            buffer_ids,
+            buffer_bytes,
+            visibility=self.residency_miss_visibility,
+        )
+
+    def _touch_residency(self, analysis, buffers, chunks, placement) -> None:
+        from ..simcpu.residency import touch_contiguous
+
+        buffer_ids = {n: self._buffer_id(n, buffers) for n in buffers}
+        for t, (lo, hi) in enumerate(chunks):
+            touch_contiguous(
+                self.residency, analysis, placement[t], (lo, hi), buffer_ids
+            )

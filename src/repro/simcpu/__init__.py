@@ -1,0 +1,30 @@
+"""Out-of-order multicore CPU model (Xeon E5645-like, the paper's Table I).
+
+Layers:
+
+* :mod:`spec` — hardware parameters and the runtime-cost knobs;
+* :mod:`cache` — exact set-associative cache simulator (locality studies);
+* :mod:`cachemodel` — closed-form AMAT/traffic model (large-kernel timing);
+* :mod:`core` — per-workitem out-of-order core cost (ILP/issue/memory);
+* :mod:`scheduler` — workgroup-to-thread scheduling with dispatch overhead;
+* :mod:`threads` — affinity policies and cross-kernel cache residency;
+* :mod:`device` — the assembled device model minicl executes on.
+"""
+
+from .spec import CPUSpec, XEON_E5645
+from .cache import AccessResult, Cache, CacheHierarchy, CacheStats
+from .cachemodel import MemEstimate, MemoryCostModel
+from .core import CoreModel, ItemCost
+from .scheduler import ScheduleResult, WorkgroupScheduler, default_local_size
+from .threads import AffinityPolicy, CoreResidencyTracker, parse_cpu_affinity
+from .device import CPUDeviceModel, KernelCost, TransferCost
+
+__all__ = [
+    "CPUSpec", "XEON_E5645",
+    "Cache", "CacheHierarchy", "CacheStats", "AccessResult",
+    "MemoryCostModel", "MemEstimate",
+    "CoreModel", "ItemCost",
+    "WorkgroupScheduler", "ScheduleResult", "default_local_size",
+    "AffinityPolicy", "CoreResidencyTracker", "parse_cpu_affinity",
+    "CPUDeviceModel", "KernelCost", "TransferCost",
+]

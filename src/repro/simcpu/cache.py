@@ -1,0 +1,218 @@
+"""Set-associative cache simulator and multi-level hierarchy.
+
+This is the *exact* (per-access) model.  It is used where cache state across
+kernels matters — the affinity experiment of Figure 9 tracks which core's
+private caches hold which data — and by the locality unit/property tests.
+Large-kernel timing uses the closed-form model in
+:mod:`repro.simcpu.cachemodel` instead, because simulating 10M workitems'
+accesses one by one is neither necessary nor feasible in Python.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Cache", "CacheStats", "CacheHierarchy", "AccessResult"]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0  # dirty lines pushed down on eviction
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative, write-allocate, LRU cache.
+
+    Addresses are byte addresses; the cache tracks line tags only (no data —
+    data lives in the numpy buffers of the runtime).
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int, assoc: int, latency: int,
+                 name: str = "cache"):
+        if size_bytes % (line_bytes * assoc) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by line*assoc "
+                f"({line_bytes}*{assoc})"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.latency = latency
+        self.name = name
+        self.num_sets = size_bytes // (line_bytes * assoc)
+        # each set: OrderedDict tag -> dirty flag (LRU order: oldest first)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without changing state or stats."""
+        s, tag = self._locate(addr)
+        return tag in self._sets[s]
+
+    def _evict_one(self, st: OrderedDict) -> None:
+        _, dirty = st.popitem(last=False)
+        self.stats.evictions += 1
+        if dirty:
+            self.stats.writebacks += 1
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Access one address; returns True on hit.  Misses allocate
+        (write-allocate); writes mark the line dirty (write-back)."""
+        s, tag = self._locate(addr)
+        st = self._sets[s]
+        self.stats.accesses += 1
+        if tag in st:
+            st.move_to_end(tag)
+            if is_write:
+                st[tag] = True
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(st) >= self.assoc:
+            self._evict_one(st)
+        st[tag] = is_write
+        return False
+
+    def fill(self, addr: int, dirty: bool = False) -> None:
+        """Install a line without counting an access (upper-level fill)."""
+        s, tag = self._locate(addr)
+        st = self._sets[s]
+        if tag in st:
+            st.move_to_end(tag)
+            if dirty:
+                st[tag] = True
+            return
+        if len(st) >= self.assoc:
+            self._evict_one(st)
+        st[tag] = dirty
+
+    def invalidate_all(self) -> None:
+        for st in self._sets:
+            st.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(st) for st in self._sets)
+
+
+@dataclasses.dataclass
+class AccessResult:
+    """Outcome of a hierarchy access: which level hit, and total latency."""
+
+    level: str          # "L1" / "L2" / "L3" / "DRAM"
+    latency: int        # cycles
+
+
+class CacheHierarchy:
+    """Private L1+L2 per core, shared L3 per socket, then DRAM.
+
+    This mirrors the Westmere topology the paper ran on.  ``cores`` indexes
+    *physical* cores; SMT siblings share one L1/L2 (the runtime maps logical
+    cores onto physical ones before calling in).
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        *,
+        l1_bytes: int = 64 * 1024,
+        l2_bytes: int = 256 * 1024,
+        l3_bytes: int = 12 * 1024 * 1024,
+        line_bytes: int = 64,
+        l1_assoc: int = 8,
+        l2_assoc: int = 8,
+        l3_assoc: int = 16,
+        l1_latency: int = 4,
+        l2_latency: int = 10,
+        l3_latency: int = 40,
+        dram_latency: int = 200,
+        cores_per_socket: Optional[int] = None,
+    ):
+        self.num_cores = num_cores
+        self.line_bytes = line_bytes
+        self.dram_latency = dram_latency
+        self.cores_per_socket = cores_per_socket or num_cores
+        self.l1: List[Cache] = [
+            Cache(l1_bytes, line_bytes, l1_assoc, l1_latency, f"L1[{c}]")
+            for c in range(num_cores)
+        ]
+        self.l2: List[Cache] = [
+            Cache(l2_bytes, line_bytes, l2_assoc, l2_latency, f"L2[{c}]")
+            for c in range(num_cores)
+        ]
+        n_sockets = (num_cores + self.cores_per_socket - 1) // self.cores_per_socket
+        self.l3: List[Cache] = [
+            Cache(l3_bytes, line_bytes, l3_assoc, l3_latency, f"L3[{s}]")
+            for s in range(n_sockets)
+        ]
+        self.dram_accesses = 0
+
+    def _socket(self, core: int) -> int:
+        return core // self.cores_per_socket
+
+    def access(self, core: int, addr: int, is_write: bool = False) -> AccessResult:
+        """One load/store by ``core`` at byte address ``addr``.
+
+        Writes mark the L1 line dirty (write-back, write-allocate); dirty
+        evictions surface in per-level ``stats.writebacks``.
+        """
+        if not (0 <= core < self.num_cores):
+            raise IndexError(f"core {core} out of range")
+        l1, l2 = self.l1[core], self.l2[core]
+        l3 = self.l3[self._socket(core)]
+        if l1.access(addr, is_write):
+            return AccessResult("L1", l1.latency)
+        if l2.access(addr):
+            l1.fill(addr, dirty=is_write)
+            return AccessResult("L2", l1.latency + l2.latency)
+        if l3.access(addr):
+            l2.fill(addr)
+            l1.fill(addr, dirty=is_write)
+            return AccessResult("L3", l1.latency + l2.latency + l3.latency)
+        self.dram_accesses += 1
+        l2.fill(addr)
+        l1.fill(addr, dirty=is_write)
+        return AccessResult(
+            "DRAM", l1.latency + l2.latency + l3.latency + self.dram_latency
+        )
+
+    def access_range(self, core: int, start: int, nbytes: int) -> Dict[str, int]:
+        """Stream a contiguous byte range; returns per-level line counts."""
+        out = {"L1": 0, "L2": 0, "L3": 0, "DRAM": 0}
+        first = start // self.line_bytes
+        last = (start + max(nbytes, 1) - 1) // self.line_bytes
+        for line in range(first, last + 1):
+            r = self.access(core, line * self.line_bytes)
+            out[r.level] += 1
+        return out
+
+    def total_stats(self) -> Dict[str, CacheStats]:
+        def merge(caches):
+            s = CacheStats()
+            for c in caches:
+                s.accesses += c.stats.accesses
+                s.hits += c.stats.hits
+                s.misses += c.stats.misses
+                s.evictions += c.stats.evictions
+                s.writebacks += c.stats.writebacks
+            return s
+
+        return {"L1": merge(self.l1), "L2": merge(self.l2), "L3": merge(self.l3)}

@@ -1,0 +1,180 @@
+"""The complete CPU device model: kernel timing and data-transfer timing.
+
+This is what the minicl runtime calls when its queue executes commands on the
+"Intel-like CPU platform".  All times are deterministic virtual nanoseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..kernelir.analysis import KernelAnalysis, LaunchContext, LatencyTable, analyze_kernel
+from ..kernelir.ast import Kernel
+from ..kernelir.vectorize import OpenCLVectorizer, VectorizationReport
+from .cachemodel import MemoryCostModel
+from .core import CoreModel, ItemCost
+from .scheduler import ScheduleResult, WorkgroupScheduler, default_local_size
+from .spec import CPUSpec, XEON_E5645
+
+__all__ = ["KernelCost", "TransferCost", "CPUDeviceModel"]
+
+
+@dataclasses.dataclass
+class KernelCost:
+    """Cost and diagnostics of one NDRange launch on the CPU."""
+
+    total_ns: float
+    item: ItemCost
+    schedule: ScheduleResult
+    analysis: KernelAnalysis
+    vectorization: VectorizationReport
+    local_size: Tuple[int, ...]
+
+    @property
+    def per_item_ns(self) -> float:
+        n = self.analysis.ctx.total_workitems
+        return self.total_ns / n if n else 0.0
+
+    @property
+    def gflops(self) -> float:
+        """Achieved single-precision Gflop/s for this launch."""
+        flops = self.analysis.per_item.flops * self.analysis.ctx.total_workitems
+        return flops / self.total_ns if self.total_ns > 0 else 0.0
+
+
+@dataclasses.dataclass
+class TransferCost:
+    """Cost of one host<->device data movement command."""
+
+    total_ns: float
+    api: str          # "copy" or "map"
+    nbytes: int
+    moved_bytes: int  # 0 for map on a shared-memory device
+
+
+class CPUDeviceModel:
+    """Timing model of OpenCL execution on the multicore CPU.
+
+    Key physical fact (paper Section II-C): when the CPU is the compute
+    device, host memory and device memory are *the same DRAM* behind the same
+    caches — so allocation location has no performance effect, and mapping a
+    buffer needs no data movement at all, while the copy APIs pay a real
+    memcpy through a staging allocation.
+    """
+
+    is_gpu = False
+
+    def __init__(self, spec: CPUSpec = XEON_E5645, *,
+                 vectorize: bool = True,
+                 workitem_serialization: bool = False,
+                 latencies: Optional[LatencyTable] = None):
+        self.spec = spec
+        self.vectorize_kernels = vectorize
+        #: model a SnuCL-style runtime (paper Section II-A): aggressive
+        #: compiler serialization of workitems drops most of the per-item
+        #: loop overhead, shrinking — not erasing — the Figure 1/3 effects.
+        #: "Better OpenCL implementation can have less overhead than other
+        #: suboptimal implementations."
+        self.workitem_serialization = workitem_serialization
+        self.latencies = latencies or LatencyTable(
+            load=float(spec.l1_latency),
+        )
+        self.mem_model = MemoryCostModel(spec)
+        self.core_model = CoreModel(spec)
+        self.scheduler = WorkgroupScheduler(spec)
+        self.vectorizer = OpenCLVectorizer(spec.simd_width_f32)
+
+    # -- NDRange policy ------------------------------------------------------
+    def choose_local_size(
+        self, global_size: Sequence[int], local_size: Optional[Sequence[int]]
+    ) -> Tuple[int, ...]:
+        """Apply the NULL-local-size policy when the host passes None."""
+        gs = tuple(int(g) for g in global_size)
+        if local_size is None:
+            # keep every worker thread busy: at least ~2 groups per logical core
+            return default_local_size(
+                gs, min_workgroups=2 * self.spec.logical_cores
+            )
+        return tuple(int(l) for l in local_size)
+
+    # -- kernel timing ----------------------------------------------------------
+    def kernel_cost(
+        self,
+        kernel: Kernel,
+        global_size: Sequence[int],
+        local_size: Optional[Sequence[int]] = None,
+        *,
+        scalars: Optional[Dict[str, float]] = None,
+        buffer_bytes: Optional[Dict[str, int]] = None,
+    ) -> KernelCost:
+        """Virtual time to execute one NDRange launch."""
+        gs = tuple(int(g) for g in global_size)
+        ls = self.choose_local_size(gs, local_size)
+        ctx = LaunchContext(gs, ls, dict(scalars or {}), self.latencies)
+        analysis = analyze_kernel(kernel, ctx)
+
+        if self.vectorize_kernels:
+            vec = self.vectorizer.vectorize(kernel, ctx, analysis.accesses)
+        else:
+            vec = VectorizationReport(False, 1, ["vectorization disabled"])
+
+        mem = self.mem_model.estimate(analysis, buffer_bytes)
+        threads = min(self.spec.logical_cores, ctx.workgroup_count)
+        dram_share = 1.0 / max(1, min(threads, self.spec.physical_cores))
+        item = self.core_model.item_cycles(analysis, vec, mem, dram_share=dram_share)
+
+        items_per_wg = ctx.workgroup_size
+        item_overhead = self.spec.workitem_overhead_cycles
+        if self.workitem_serialization:
+            item_overhead /= 8.0  # SnuCL-style serialized workitem loop
+        wg_cycles = items_per_wg * (
+            item.cycles + item_overhead
+            / max(1.0, item.effective_vector_width)
+        )
+        sched = self.scheduler.makespan(ctx.workgroup_count, wg_cycles)
+        total_ns = (
+            self.spec.cycles_to_ns(sched.makespan_cycles)
+            + self.spec.kernel_launch_overhead_ns
+        )
+        return KernelCost(
+            total_ns=total_ns,
+            item=item,
+            schedule=sched,
+            analysis=analysis,
+            vectorization=vec,
+            local_size=ls,
+        )
+
+    # -- transfer timing -----------------------------------------------------
+    def transfer_cost(self, nbytes: int, api: str, direction: str = "h2d",
+                      *, pinned: bool = False) -> TransferCost:
+        """Cost of a read/write (copy) or map/unmap command.
+
+        ``copy``: the runtime allocates a staging region and memcpys —
+        bandwidth-limited, so the gap versus ``map`` grows with size (the
+        paper's Figure 7/8 observation).
+
+        ``map``: returns a pointer into the same DRAM; only API bookkeeping
+        and page-table work, independent of where the buffer was "allocated"
+        (device vs host flags are both backed by the same physical memory).
+        """
+        if api == "copy":
+            bw_bytes_per_ns = self.spec.copy_bandwidth_gbps  # GB/s == bytes/ns
+            t = self.spec.copy_api_overhead_ns + nbytes / bw_bytes_per_ns
+            return TransferCost(t, "copy", nbytes, nbytes)
+        if api == "map":
+            # touch one page-table entry per 4 KiB mapped
+            pages = max(1, math.ceil(nbytes / 4096))
+            t = self.spec.map_api_overhead_ns + pages * 1.0
+            return TransferCost(t, "map", nbytes, 0)
+        raise ValueError(f"unknown transfer api {api!r}")
+
+    # -- descriptions -----------------------------------------------------------
+    def describe(self) -> dict:
+        return self.spec.describe()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name

@@ -1,0 +1,106 @@
+"""Shared residency-aware memory costing.
+
+Both runtimes that can pin computation to cores — the OpenMP runtime
+(natively) and the minicl affinity extension (the paper's Section III-E
+proposal) — cost a chunk of work the same way: contiguous loads whose byte
+ranges sit in the executing core's private caches are cheaper in latency
+*and* put no traffic on the shared L3/DRAM.  This module holds that logic so
+the two runtimes cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..kernelir.analysis import KernelAnalysis
+from .cachemodel import MemEstimate, MemoryCostModel
+from .threads import CoreResidencyTracker
+
+__all__ = [
+    "DEFAULT_MISS_VISIBILITY",
+    "contiguous_load_sites",
+    "residency_adjusted_mem",
+    "touch_contiguous",
+]
+
+#: fraction of the residency-miss latency visible past the prefetcher
+DEFAULT_MISS_VISIBILITY = 0.15
+
+
+def contiguous_load_sites(analysis: KernelAnalysis):
+    """The global load sites the residency model can reason about."""
+    return [
+        a
+        for a in analysis.accesses
+        if not a.is_local and not a.is_store and a.pattern == "contiguous"
+    ]
+
+
+def residency_adjusted_mem(
+    mem_model: MemoryCostModel,
+    tracker: CoreResidencyTracker,
+    analysis: KernelAnalysis,
+    base_mem: MemEstimate,
+    core: int,
+    item_range: Tuple[int, int],
+    buffer_ids: Dict[str, object],
+    buffer_bytes: Dict[str, int],
+    *,
+    visibility: float = DEFAULT_MISS_VISIBILITY,
+) -> MemEstimate:
+    """Re-cost contiguous loads of items [lo, hi) executing on ``core``.
+
+    Buffers the tracker has never seen keep the footprint-based baseline;
+    (partially) resident buffers get residency-based latency and traffic.
+    """
+    lo, hi = item_range
+    spec = mem_model.spec
+    baseline_lat = spec.l1_latency + spec.l2_latency
+    extra_amat = 0.0
+    l3_delta = 0.0
+    dram_delta = 0.0
+    for a in contiguous_load_sites(analysis):
+        bid = buffer_ids.get(a.buffer, a.buffer)
+        p_priv, p_l3 = tracker.residency_fraction(
+            core, bid, lo * a.itemsize, hi * a.itemsize
+        )
+        if p_priv + p_l3 <= 0.0:
+            continue
+        fp = int(buffer_bytes.get(a.buffer, spec.l3_bytes * 4))
+        base_amat, base_dram, base_l3 = mem_model.site_cost(a, fp)
+        avg_lat = tracker.avg_load_latency(
+            core, bid, lo * a.itemsize, hi * a.itemsize
+        )
+        line_fraction = min(1.0, a.itemsize / spec.line_bytes)
+        res_amat = max(0.0, avg_lat - baseline_lat) * visibility * line_fraction
+        p_dram = max(0.0, 1.0 - p_priv - p_l3)
+        res_l3 = a.itemsize * (p_l3 + p_dram)  # inclusive: DRAM crosses L3
+        res_dram = a.itemsize * p_dram
+        extra_amat += (res_amat - base_amat) * a.count_per_item
+        l3_delta += (res_l3 - base_l3) * a.count_per_item
+        dram_delta += (res_dram - base_dram) * a.count_per_item
+    return dataclasses.replace(
+        base_mem,
+        amat_cycles=max(0.0, base_mem.amat_cycles + extra_amat),
+        l3_bytes=max(0.0, base_mem.l3_bytes + l3_delta),
+        dram_bytes=max(0.0, base_mem.dram_bytes + dram_delta),
+    )
+
+
+def touch_contiguous(
+    tracker: CoreResidencyTracker,
+    analysis: KernelAnalysis,
+    core: int,
+    item_range: Tuple[int, int],
+    buffer_ids: Dict[str, object],
+) -> None:
+    """Record the byte ranges [lo, hi) streamed by contiguous accesses."""
+    lo, hi = item_range
+    if hi <= lo:
+        return
+    for a in analysis.accesses:
+        if a.is_local or a.pattern != "contiguous":
+            continue
+        bid = buffer_ids.get(a.buffer, a.buffer)
+        tracker.touch(core, bid, lo * a.itemsize, hi * a.itemsize)

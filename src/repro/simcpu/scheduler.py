@@ -1,0 +1,178 @@
+"""Workgroup-to-thread scheduling on the multicore CPU.
+
+The OpenCL CPU runtime executes each workgroup as one task on a pool of
+worker threads (one per logical core).  Dispatching a workgroup costs a
+context switch (the paper's Section II-A: "Workload size per workgroup that
+is too small makes the workgroup scheduling overhead more significant in
+total execution time on CPUs since the thread context switching overhead
+becomes larger").
+
+`makespan` is an event-driven longest-processing-time simulation so that
+heterogeneous workgroup costs (divergent kernels) are handled; the common
+uniform case reduces to simple round arithmetic, which the property tests
+check against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from .spec import CPUSpec
+
+__all__ = ["ScheduleResult", "WorkgroupScheduler", "default_local_size"]
+
+
+def _largest_divisor_at_most(n: int, cap: int) -> int:
+    """Largest divisor of ``n`` that is <= ``cap`` (>= 1)."""
+    best = 1
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            for cand in (d, n // d):
+                if cand <= cap:
+                    best = max(best, cand)
+        d += 1
+    return best
+
+
+def default_local_size(
+    global_size: Sequence[int],
+    cap: int = 64,
+    min_workgroups: Optional[int] = None,
+) -> tuple:
+    """The runtime's NULL-local-size policy.
+
+    Mirrors the conservative behaviour the paper observes: the implementation
+    picks a modest workgroup — the largest divisor of the dim-0 extent not
+    exceeding ``cap`` — which for large NDRanges creates many workgroups, and
+    therefore more scheduling overhead than a well-chosen explicit size
+    (Figure 3: "performance achieved with NULL workgroup size is less than
+    the peak performance").  For *small* NDRanges the cap is tightened so at
+    least ``min_workgroups`` groups exist and every worker thread has work.
+    """
+    gs = tuple(int(g) for g in global_size)
+    if min_workgroups:
+        cap = max(1, min(cap, gs[0] // min_workgroups))
+    return (_largest_divisor_at_most(gs[0], cap),) + (1,) * (len(gs) - 1)
+
+
+@dataclasses.dataclass
+class ScheduleResult:
+    """Outcome of scheduling all workgroups of one kernel launch."""
+
+    makespan_cycles: float
+    threads_used: int
+    rounds: int
+    dispatch_cycles_total: float
+    busy_cycles_total: float
+
+    @property
+    def scheduling_overhead_fraction(self) -> float:
+        total = self.dispatch_cycles_total + self.busy_cycles_total
+        return self.dispatch_cycles_total / total if total > 0 else 0.0
+
+
+class WorkgroupScheduler:
+    """Greedy scheduler of workgroups onto logical cores."""
+
+    def __init__(self, spec: CPUSpec):
+        self.spec = spec
+
+    def thread_speed(self, threads: int) -> float:
+        """Per-thread throughput factor under SMT sharing.
+
+        Up to one thread per physical core runs at full speed; beyond that,
+        SMT pairs share pipelines with a modest aggregate yield.
+        """
+        s = self.spec
+        if threads <= s.physical_cores:
+            return 1.0
+        smt_yield = 1.25  # 2 SMT threads ~ 1.25x one thread's throughput
+        return s.physical_cores * smt_yield / threads
+
+    def makespan(
+        self,
+        num_workgroups: int,
+        wg_cycles: float,
+        *,
+        max_threads: Optional[int] = None,
+    ) -> ScheduleResult:
+        """Uniform-cost fast path: all workgroups cost ``wg_cycles``."""
+        s = self.spec
+        threads = min(
+            max_threads or s.logical_cores, s.logical_cores, max(1, num_workgroups)
+        )
+        speed = self.thread_speed(threads)
+        per_wg = s.workgroup_dispatch_cycles + wg_cycles / speed
+        rounds = math.ceil(num_workgroups / threads)
+        return ScheduleResult(
+            makespan_cycles=rounds * per_wg,
+            threads_used=threads,
+            rounds=rounds,
+            dispatch_cycles_total=num_workgroups * s.workgroup_dispatch_cycles,
+            busy_cycles_total=num_workgroups * wg_cycles / speed,
+        )
+
+    def makespan_pinned(
+        self,
+        wg_cycle_list: Iterable[float],
+        placement: Sequence[int],
+    ) -> ScheduleResult:
+        """Makespan when every workgroup is pinned to a given logical core.
+
+        Used by the ``cl_repro_workgroup_affinity`` extension: no stealing,
+        each core serially executes exactly the workgroups pinned to it.
+        """
+        costs = list(wg_cycle_list)
+        if len(costs) != len(placement):
+            raise ValueError("placement length must match workgroup count")
+        if not costs:
+            return ScheduleResult(0.0, 0, 0, 0.0, 0.0)
+        s = self.spec
+        threads = len(set(placement))
+        speed = self.thread_speed(threads)
+        per_core: dict = {}
+        busy = 0.0
+        for core, c in zip(placement, costs):
+            work = s.workgroup_dispatch_cycles + c / speed
+            per_core[core] = per_core.get(core, 0.0) + work
+            busy += c / speed
+        return ScheduleResult(
+            makespan_cycles=max(per_core.values()),
+            threads_used=threads,
+            rounds=math.ceil(len(costs) / threads),
+            dispatch_cycles_total=len(costs) * s.workgroup_dispatch_cycles,
+            busy_cycles_total=busy,
+        )
+
+    def makespan_hetero(
+        self,
+        wg_cycle_list: Iterable[float],
+        *,
+        max_threads: Optional[int] = None,
+    ) -> ScheduleResult:
+        """Event-driven simulation for per-workgroup costs."""
+        costs = list(wg_cycle_list)
+        if not costs:
+            return ScheduleResult(0.0, 0, 0, 0.0, 0.0)
+        s = self.spec
+        threads = min(max_threads or s.logical_cores, s.logical_cores, len(costs))
+        speed = self.thread_speed(threads)
+        heap: List[float] = [0.0] * threads
+        heapq.heapify(heap)
+        busy = 0.0
+        for c in costs:
+            t = heapq.heappop(heap)
+            work = s.workgroup_dispatch_cycles + c / speed
+            busy += c / speed
+            heapq.heappush(heap, t + work)
+        return ScheduleResult(
+            makespan_cycles=max(heap),
+            threads_used=threads,
+            rounds=math.ceil(len(costs) / threads),
+            dispatch_cycles_total=len(costs) * s.workgroup_dispatch_cycles,
+            busy_cycles_total=busy,
+        )

@@ -1,0 +1,113 @@
+"""Hardware description of the modelled CPU.
+
+Defaults reproduce the paper's Table I machine: a dual-socket Intel Xeon
+E5645 ("Westmere-EP", 6 cores per socket, 2-way SMT, SSE 4.2) at 2.40 GHz.
+The paper's quoted peak of 230.4 single-precision Gflop/s corresponds to
+
+    2.40 GHz x 4 SSE lanes x 2 FP pipes (mul + add) x 12 physical cores.
+
+Cache sizes follow the paper's Table I (L1D/L2/L3 = 64K/256K/12M).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["CPUSpec", "XEON_E5645"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CPUSpec:
+    """Parameters of the out-of-order multicore CPU model."""
+
+    name: str = "Intel(R) Xeon(R) CPU E5645 (2 sockets)"
+    sockets: int = 2
+    cores_per_socket: int = 6
+    smt: int = 2
+    frequency_ghz: float = 2.40
+
+    # SIMD / pipeline
+    simd_width_f32: int = 4       # SSE 4.2: 4 single-precision lanes
+    fp_ports: int = 2             # separate multiply and add pipes
+    mem_ports: int = 1            # load/store issue per cycle (simplified)
+    int_ports: int = 2
+    issue_width: int = 4          # overall decode/issue limit
+    ooo_window: int = 96          # reorder-buffer reach used for cross-item overlap
+
+    # Cache geometry (paper Table I)
+    line_bytes: int = 64
+    l1d_bytes: int = 64 * 1024
+    l1_assoc: int = 8
+    l1_latency: int = 4
+    l2_bytes: int = 256 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 10
+    l3_bytes: int = 12 * 1024 * 1024   # shared per socket
+    l3_assoc: int = 16
+    l3_latency: int = 40
+    dram_latency: int = 200            # cycles
+    dram_bandwidth_gbps: float = 25.6  # triple-channel DDR3-1066 per socket
+    l3_bandwidth_gbps: float = 48.0    # shared L3 ring, per socket
+
+    # Software/runtime costs (the knobs the scheduling experiments exercise;
+    # values are cycles unless noted).  See benchmarks/test_ablations.py.
+    # Per-workgroup cost: task dequeue + workgroup state setup (the Intel
+    # runtime executes each workgroup as one TBB-style task).
+    workgroup_dispatch_cycles: float = 600.0
+    # Per-workitem cost of the serialized workitem loop (function-call frame,
+    # id computation); implicit vectorization divides it by the packet width.
+    workitem_overhead_cycles: float = 12.0
+    kernel_launch_overhead_ns: float = 1_500.0  # one clEnqueueNDRangeKernel
+    #: effective memcpy bandwidth for clEnqueueRead/WriteBuffer staging copies
+    copy_bandwidth_gbps: float = 6.0
+    #: fixed OpenCL API cost of a copy command (alloc + bookkeeping)
+    copy_api_overhead_ns: float = 8_000.0
+    #: fixed cost of clEnqueueMapBuffer: return a pointer, no data movement
+    map_api_overhead_ns: float = 1_500.0
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def logical_cores(self) -> int:
+        return self.physical_cores * self.smt
+
+    @property
+    def peak_gflops_sp(self) -> float:
+        """Single-precision peak (matches the paper's 230.4 Gflop/s)."""
+        return (
+            self.frequency_ghz
+            * self.simd_width_f32
+            * self.fp_ports
+            * self.physical_cores
+        )
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.cycle_ns
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.frequency_ghz
+
+    def describe(self) -> dict:
+        """Table-I-style description of the device."""
+        return {
+            "CPUs": self.name,
+            "Vector width": f"SSE 4.2, {self.simd_width_f32} single precision FP",
+            "Caches": (
+                f"L1D/L2/L3: {self.l1d_bytes // 1024}K/"
+                f"{self.l2_bytes // 1024}K/{self.l3_bytes // (1024 * 1024)}M"
+            ),
+            "FP peak performance": f"{self.peak_gflops_sp:.1f} Gflop/s",
+            "Core frequency": f"{self.frequency_ghz:.2f} GHz",
+            "Cores": f"{self.physical_cores} physical / {self.logical_cores} logical",
+        }
+
+
+#: The paper's machine.
+XEON_E5645 = CPUSpec()

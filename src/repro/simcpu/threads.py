@@ -1,0 +1,191 @@
+"""Software threads, affinity, and coarse per-core cache residency.
+
+OpenMP supports pinning threads to cores (``OMP_PROC_BIND``,
+``GOMP_CPU_AFFINITY``); OpenCL does not (the paper's Section II-D / III-E).
+This module provides:
+
+* :class:`AffinityPolicy` — parses the GNU OpenMP environment controls and
+  yields a thread -> logical-core placement;
+* :class:`CoreResidencyTracker` — a coarse, range-granular model of *which
+  data each physical core's private caches hold across kernel launches*.
+  This is what makes the Figure 9 experiment work: the producer kernel warms
+  each core's private L2 with its chunk, and the consumer kernel's cost
+  depends on whether its chunks land on the same cores (aligned) or on
+  different ones (misaligned — served from the shared L3 instead).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .spec import CPUSpec
+
+__all__ = ["AffinityPolicy", "CoreResidencyTracker", "parse_cpu_affinity"]
+
+
+def parse_cpu_affinity(value: str) -> List[int]:
+    """Parse a ``GOMP_CPU_AFFINITY``-style list: ``"0 3 1-2 4-10:2"``.
+
+    Returns the explicit CPU list (order matters: thread i is bound to
+    ``list[i % len(list)]``).
+    """
+    cpus: List[int] = []
+    for tok in value.replace(",", " ").split():
+        if "-" in tok:
+            rng, _, stride = tok.partition(":")
+            lo_s, _, hi_s = rng.partition("-")
+            lo, hi = int(lo_s), int(hi_s)
+            st = int(stride) if stride else 1
+            if st <= 0 or hi < lo:
+                raise ValueError(f"bad affinity token {tok!r}")
+            cpus.extend(range(lo, hi + 1, st))
+        else:
+            cpus.append(int(tok))
+    if not cpus:
+        raise ValueError("empty affinity list")
+    if any(c < 0 for c in cpus):
+        raise ValueError("negative CPU id in affinity list")
+    return cpus
+
+
+@dataclasses.dataclass
+class AffinityPolicy:
+    """Thread placement policy.
+
+    ``proc_bind=False`` models the OS free to migrate threads (and models
+    OpenCL, which cannot pin at all): each launch gets a fresh, arbitrary
+    placement, so cross-kernel cache reuse is not guaranteed.
+    """
+
+    proc_bind: bool = False
+    cpu_list: Optional[List[int]] = None
+
+    @classmethod
+    def from_env(cls, env: Dict[str, str]) -> "AffinityPolicy":
+        bind = env.get("OMP_PROC_BIND", "false").strip().lower() in (
+            "true",
+            "1",
+            "yes",
+            "spread",
+            "close",
+        )
+        aff = env.get("GOMP_CPU_AFFINITY")
+        cpus = parse_cpu_affinity(aff) if aff else None
+        # Setting GOMP_CPU_AFFINITY implies binding in GNU OpenMP.
+        return cls(proc_bind=bind or cpus is not None, cpu_list=cpus)
+
+    def placement(self, num_threads: int, num_cores: int) -> List[int]:
+        """Logical core for each thread id."""
+        if self.cpu_list is not None:
+            return [self.cpu_list[i % len(self.cpu_list)] % num_cores
+                    for i in range(num_threads)]
+        return [i % num_cores for i in range(num_threads)]
+
+
+class CoreResidencyTracker:
+    """Range-granular residency of buffer data in private caches and L3.
+
+    State is tracked per *physical core* (SMT siblings share caches) as an
+    LRU list of ``(buffer_id, start, end)`` byte ranges bounded by the
+    private capacity (L1d + L2), plus a per-socket LRU bounded by L3.
+    """
+
+    def __init__(self, spec: CPUSpec):
+        self.spec = spec
+        self.private_capacity = spec.l1d_bytes + spec.l2_bytes
+        self.l3_capacity = spec.l3_bytes
+        self._private: List[OrderedDict] = [
+            OrderedDict() for _ in range(spec.physical_cores)
+        ]
+        self._l3: List[OrderedDict] = [OrderedDict() for _ in range(spec.sockets)]
+
+    # -- topology helpers ----------------------------------------------------
+    def physical_of(self, logical_core: int) -> int:
+        return logical_core % self.spec.physical_cores
+
+    def socket_of(self, physical_core: int) -> int:
+        return physical_core // self.spec.cores_per_socket
+
+    # -- state update ----------------------------------------------------------
+    @staticmethod
+    def _insert(store: OrderedDict, key: Tuple, nbytes: int, capacity: int) -> None:
+        if key in store:
+            store.move_to_end(key)
+            return
+        store[key] = nbytes
+        total = sum(store.values())
+        while total > capacity and len(store) > 1:
+            _, evicted = store.popitem(last=False)
+            total -= evicted
+        if total > capacity and store:
+            # single oversized range: keep only the resident tail
+            k, _ = store.popitem(last=False)
+            store[k] = capacity
+
+    def touch(
+        self, logical_core: int, buffer_id: object, start: int, end: int
+    ) -> None:
+        """Record that ``logical_core`` streamed bytes [start, end) of buffer."""
+        if end <= start:
+            return
+        phys = self.physical_of(logical_core)
+        nbytes = end - start
+        key = (buffer_id, start, end)
+        self._insert(self._private[phys], key, nbytes, self.private_capacity)
+        self._insert(self._l3[self.socket_of(phys)], key, nbytes, self.l3_capacity)
+
+    # -- queries -------------------------------------------------------------
+    @staticmethod
+    def _overlap(store: OrderedDict, buffer_id: object, start: int, end: int) -> int:
+        got = 0
+        for (bid, s, e), resident in store.items():
+            if bid != buffer_id:
+                continue
+            # residency is the LRU *tail* of the range, i.e. its last bytes
+            res_start = max(s, e - resident)
+            lo, hi = max(start, res_start), min(end, e)
+            if hi > lo:
+                got += hi - lo
+        return got
+
+    def residency_fraction(
+        self, logical_core: int, buffer_id: object, start: int, end: int
+    ) -> Tuple[float, float]:
+        """(private_fraction, l3_fraction) of [start, end) for this core.
+
+        The L3 fraction excludes what is already private (inclusive caches:
+        private implies L3, so the returned fractions are disjoint shares).
+        """
+        if end <= start:
+            return 0.0, 0.0
+        phys = self.physical_of(logical_core)
+        total = end - start
+        priv = self._overlap(self._private[phys], buffer_id, start, end) / total
+        l3 = self._overlap(self._l3[self.socket_of(phys)], buffer_id, start, end) / total
+        l3_only = max(0.0, min(1.0, l3) - min(1.0, priv))
+        return min(1.0, priv), l3_only
+
+    def avg_load_latency(
+        self, logical_core: int, buffer_id: object, start: int, end: int
+    ) -> float:
+        """Average cycles to load one line of [start, end) from this core."""
+        s = self.spec
+        priv, l3 = self.residency_fraction(logical_core, buffer_id, start, end)
+        dram = max(0.0, 1.0 - priv - l3)
+        lat_priv = s.l1_latency + s.l2_latency
+        lat_l3 = s.l1_latency + s.l2_latency + s.l3_latency
+        lat_dram = lat_l3 + s.dram_latency
+        return priv * lat_priv + l3 * lat_l3 + dram * lat_dram
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no residency has been recorded (fast-path check)."""
+        return not any(self._private) and not any(self._l3)
+
+    def reset(self) -> None:
+        for st in self._private:
+            st.clear()
+        for st in self._l3:
+            st.clear()

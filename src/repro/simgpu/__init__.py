@@ -1,0 +1,14 @@
+"""GPU model (GTX 580-like, the paper's Table I): SMs, warps, occupancy,
+transaction-based memory coalescing, and a PCIe link for transfers."""
+
+from .spec import GPUSpec, GTX580
+from .occupancy import Occupancy, compute_occupancy
+from .sm import SMCost, SMModel
+from .device import GPUDeviceModel, GPUKernelCost, GPUTransferCost
+
+__all__ = [
+    "GPUSpec", "GTX580",
+    "Occupancy", "compute_occupancy",
+    "SMModel", "SMCost",
+    "GPUDeviceModel", "GPUKernelCost", "GPUTransferCost",
+]

@@ -1,0 +1,145 @@
+"""The complete GPU device model: kernel timing and PCIe transfer timing.
+
+Unlike the CPU-as-device case, the GPU really is a *discrete* device behind
+PCI-Express: OpenCL's disjoint-address-space assumption is physically true
+here, so both copy and map APIs move data over the link (pinned DMA for
+mapped/pinned buffers is faster, but never free — the contrast the paper
+draws with the CPU in Section III-D).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..kernelir.analysis import KernelAnalysis, LaunchContext, LatencyTable, analyze_kernel
+from ..kernelir.ast import Kernel
+from .occupancy import Occupancy, compute_occupancy
+from .sm import SMCost, SMModel
+from .spec import GPUSpec, GTX580
+
+__all__ = ["GPUKernelCost", "GPUTransferCost", "GPUDeviceModel"]
+
+
+@dataclasses.dataclass
+class GPUKernelCost:
+    """Cost and diagnostics of one NDRange launch on the GPU."""
+
+    total_ns: float
+    sm_cost: SMCost
+    occupancy: Occupancy
+    waves: int
+    analysis: KernelAnalysis
+    local_size: Tuple[int, ...]
+
+    @property
+    def gflops(self) -> float:
+        flops = self.analysis.per_item.flops * self.analysis.ctx.total_workitems
+        return flops / self.total_ns if self.total_ns > 0 else 0.0
+
+
+@dataclasses.dataclass
+class GPUTransferCost:
+    total_ns: float
+    api: str
+    nbytes: int
+    moved_bytes: int
+
+
+class GPUDeviceModel:
+    """Timing model of OpenCL execution on the discrete GPU."""
+
+    is_gpu = True
+
+    def __init__(self, spec: GPUSpec = GTX580,
+                 latencies: Optional[LatencyTable] = None):
+        self.spec = spec
+        self.latencies = latencies or LatencyTable()
+        self.sm_model = SMModel(spec)
+
+    # -- NDRange policy -----------------------------------------------------
+    def choose_local_size(
+        self, global_size: Sequence[int], local_size: Optional[Sequence[int]]
+    ) -> Tuple[int, ...]:
+        """NULL-local-size policy: the driver picks a large divisor (<=256)."""
+        gs = tuple(int(g) for g in global_size)
+        if local_size is not None:
+            return tuple(int(l) for l in local_size)
+        best = 1
+        for cand in range(1, min(256, gs[0]) + 1):
+            if gs[0] % cand == 0:
+                best = cand
+        return (best,) + (1,) * (len(gs) - 1)
+
+    # -- kernel timing ---------------------------------------------------------
+    def kernel_cost(
+        self,
+        kernel: Kernel,
+        global_size: Sequence[int],
+        local_size: Optional[Sequence[int]] = None,
+        *,
+        scalars: Optional[Dict[str, float]] = None,
+        buffer_bytes: Optional[Dict[str, int]] = None,
+    ) -> GPUKernelCost:
+        gs = tuple(int(g) for g in global_size)
+        ls = self.choose_local_size(gs, local_size)
+        ctx = LaunchContext(gs, ls, dict(scalars or {}), self.latencies)
+        analysis = analyze_kernel(kernel, ctx)
+
+        wg_size = ctx.workgroup_size
+        occ = compute_occupancy(self.spec, wg_size, kernel.local_mem_bytes)
+
+        total_wgs = ctx.workgroup_count
+        # wgs are distributed over SMs in waves
+        per_wave = self.spec.num_sms * occ.workgroups_per_sm
+        waves = max(1, math.ceil(total_wgs / per_wave))
+        # SMs actually used in the (possibly only) partial wave
+        sms_busy = min(self.spec.num_sms, math.ceil(total_wgs / occ.workgroups_per_sm))
+        resident = min(occ.workgroups_per_sm, math.ceil(total_wgs / max(1, sms_busy)))
+        dram_share = 1.0 / max(1, sms_busy)
+
+        smc = self.sm_model.workgroup_cycles(
+            analysis, occ, resident_workgroups=resident, dram_share=dram_share
+        )
+        # each SM runs ``resident`` workgroups concurrently per wave
+        # Every workgroup's instructions issue through the SM's single pipe;
+        # resident workgroups overlap latency (already in smc.latency_hiding)
+        # but not issue bandwidth.
+        wgs_per_sm_total = math.ceil(total_wgs / max(1, sms_busy))
+        cycles = wgs_per_sm_total * smc.cycles_per_workgroup
+        total_ns = (
+            self.spec.cycles_to_ns(cycles)
+            + self.spec.kernel_launch_overhead_ns
+            + total_wgs * self.spec.workgroup_dispatch_ns / self.spec.num_sms
+        )
+        return GPUKernelCost(
+            total_ns=total_ns,
+            sm_cost=smc,
+            occupancy=occ,
+            waves=waves,
+            analysis=analysis,
+            local_size=ls,
+        )
+
+    # -- transfers --------------------------------------------------------------
+    def transfer_cost(self, nbytes: int, api: str, direction: str = "h2d",
+                      *, pinned: bool = False) -> GPUTransferCost:
+        s = self.spec
+        if api == "copy":
+            bw = s.pcie_bandwidth_pinned_gbps if pinned else s.pcie_bandwidth_pageable_gbps
+            t = s.pcie_latency_ns + nbytes / bw
+            return GPUTransferCost(t, "copy", nbytes, nbytes)
+        if api == "map":
+            # mapped access uses pinned DMA; data still crosses the link
+            bw = s.pcie_bandwidth_pinned_gbps
+            t = s.pcie_latency_ns + nbytes / bw
+            return GPUTransferCost(t, "map", nbytes, nbytes)
+        raise ValueError(f"unknown transfer api {api!r}")
+
+    def describe(self) -> dict:
+        return self.spec.describe()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name

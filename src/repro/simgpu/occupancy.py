@@ -1,0 +1,80 @@
+"""Occupancy calculation: how many workgroups and warps fit per SM.
+
+Mirrors NVIDIA's occupancy calculator for the Fermi generation: a workgroup
+is resident on exactly one SM (the paper's Section II-A), and the number of
+resident workgroups is limited by the thread, warp, workgroup-slot and shared
+memory budgets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+from .spec import GPUSpec
+
+__all__ = ["Occupancy", "compute_occupancy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Occupancy:
+    """Resident state of one SM for a given kernel configuration."""
+
+    workgroup_size: int
+    warps_per_workgroup: int
+    workgroups_per_sm: int
+    #: which resource bound the residency ("threads"/"slots"/"shared"/"warps")
+    limiter: str
+    #: lanes actually used in the workgroup's warps (tail-warp waste)
+    lane_efficiency: float
+
+    @property
+    def active_warps(self) -> int:
+        return self.workgroups_per_sm * self.warps_per_workgroup
+
+    @property
+    def active_threads(self) -> int:
+        return self.workgroups_per_sm * self.workgroup_size
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the SM's maximum resident warps (the classic metric)."""
+        return 0.0 if self.workgroups_per_sm == 0 else self.active_warps / 48.0
+
+
+def compute_occupancy(
+    spec: GPUSpec, workgroup_size: int, shared_bytes_per_wg: int = 0
+) -> Occupancy:
+    """Residency of one SM for workgroups of ``workgroup_size`` threads."""
+    if workgroup_size <= 0:
+        raise ValueError("workgroup size must be positive")
+    if workgroup_size > spec.max_threads_per_sm:
+        raise ValueError(
+            f"workgroup of {workgroup_size} exceeds the SM thread limit "
+            f"{spec.max_threads_per_sm}"
+        )
+    if shared_bytes_per_wg > spec.shared_mem_per_sm:
+        raise ValueError(
+            f"workgroup needs {shared_bytes_per_wg}B shared memory; SM has "
+            f"{spec.shared_mem_per_sm}B"
+        )
+    warps_per_wg = math.ceil(workgroup_size / spec.warp_size)
+
+    limits = {
+        "threads": spec.max_threads_per_sm // workgroup_size,
+        "slots": spec.max_workgroups_per_sm,
+        "warps": spec.max_warps_per_sm // warps_per_wg,
+    }
+    if shared_bytes_per_wg > 0:
+        limits["shared"] = spec.shared_mem_per_sm // shared_bytes_per_wg
+    wgs = max(1, min(limits.values()))
+    limiter = min(limits, key=limits.get)
+    lane_eff = workgroup_size / (warps_per_wg * spec.warp_size)
+    return Occupancy(
+        workgroup_size=workgroup_size,
+        warps_per_workgroup=warps_per_wg,
+        workgroups_per_sm=wgs,
+        limiter=limiter,
+        lane_efficiency=lane_eff,
+    )

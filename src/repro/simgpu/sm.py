@@ -1,0 +1,135 @@
+"""Streaming-multiprocessor throughput model.
+
+The defining contrast with the CPU model (and the paper's core finding):
+
+* a GPU hides instruction latency with *thread-level parallelism* — given
+  enough resident warps, a dependence chain in one thread costs nothing,
+  which is why Figure 6 shows a flat ILP curve on the GTX 580;
+* take the warps away (few workitems after coalescing — Figure 1; tiny
+  workgroups — Figures 3/4) and the latency is exposed, collapsing
+  throughput.
+
+Memory cost is transaction-based: a warp's access is one 128-byte
+transaction when contiguous ("coalesced"), and up to 32 when scattered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional
+
+from ..kernelir.analysis import KernelAnalysis
+from .occupancy import Occupancy
+from .spec import GPUSpec
+
+__all__ = ["SMCost", "SMModel"]
+
+
+@dataclasses.dataclass
+class SMCost:
+    """Per-workgroup cycle cost on one SM, with diagnostics."""
+
+    cycles_per_workgroup: float
+    compute_cycles: float
+    memory_cycles: float
+    latency_hiding: float       # 0..1: fraction of latency hidden
+    effective_bytes_per_item: float
+    divergence_penalty: float
+
+
+class SMModel:
+    """Costs one workgroup's execution on one SM."""
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+
+    # -- memory -----------------------------------------------------------
+    def effective_bytes_per_item(self, analysis: KernelAnalysis) -> float:
+        """DRAM bytes per workitem, inflated by uncoalesced access.
+
+        Contiguous warp accesses move ``itemsize`` bytes per lane; a stride
+        of ``s`` elements touches ``min(32, s)`` times more transactions; a
+        gather degenerates to one transaction per lane.
+        """
+        total = 0.0
+        for a in analysis.accesses:
+            if a.is_local:
+                continue  # shared memory: on-chip
+            if a.pattern == "uniform":
+                # broadcast: one transaction per warp
+                per_item = a.itemsize / self.spec.warp_size
+            elif a.pattern == "contiguous":
+                per_item = a.itemsize
+            elif a.pattern == "strided":
+                stride = abs(a.vector_stride or 1.0)
+                # stride-s lanes span s*32*itemsize bytes -> that many
+                # transactions; capped at one 32B sector per lane.
+                inflation = min(float(self.spec.warp_size), max(1.0, stride))
+                per_item = min(a.itemsize * inflation, 32.0)
+            else:  # gather
+                per_item = 32.0  # one 32B sector per lane
+            total += per_item * a.count_per_item
+        return total
+
+    # -- compute ---------------------------------------------------------------
+    def workgroup_cycles(
+        self,
+        analysis: KernelAnalysis,
+        occ: Occupancy,
+        *,
+        resident_workgroups: Optional[int] = None,
+        dram_share: float = 1.0,
+    ) -> SMCost:
+        """Cycles for one workgroup given the SM's resident context.
+
+        ``resident_workgroups`` is how many workgroups actually share the SM
+        (may be fewer than the occupancy limit when the grid is small);
+        latency hiding depends on the *actual* resident warps.
+        """
+        s = self.spec
+        c = analysis.per_item
+        wg_items = occ.workgroup_size
+        resident = resident_workgroups if resident_workgroups is not None else occ.workgroups_per_sm
+        resident = max(1, min(resident, occ.workgroups_per_sm))
+        active_warps = resident * occ.warps_per_workgroup
+
+        # Latency hiding: warps x per-thread ILP both contribute issue slots.
+        ilp_factor = min(analysis.ilp, 2.0)
+        hiding = min(1.0, (active_warps * ilp_factor) / s.warps_to_hide_latency)
+
+        divergence = 2.0 if analysis.divergent_flow else 1.0
+
+        # issue-throughput: one warp-instruction (32 lanes) per cycle per SM
+        ops_per_item = c.arith_ops + c.mem_ops + 2.0 * c.atomics
+        warp_instructions = (
+            ops_per_item * wg_items / (s.warp_size * occ.lane_efficiency)
+        )
+        peak_cycles = warp_instructions * divergence
+        # exposed latency when under-occupied stretches issue slots
+        compute_cycles = peak_cycles / max(1e-9, min(1.0, hiding))
+
+        # memory: the SM's share of DRAM bandwidth
+        bpi = self.effective_bytes_per_item(analysis)
+        bw_bytes_per_cycle = (
+            s.dram_bandwidth_gbps * dram_share / s.shader_clock_ghz
+        )
+        memory_cycles = (
+            (bpi * wg_items) / bw_bytes_per_cycle if bw_bytes_per_cycle > 0 else 0.0
+        )
+        # un-hidden memory latency for very low occupancy
+        mem_latency = 400.0  # cycles to DRAM
+        exposed = (1.0 - min(1.0, hiding)) * mem_latency * (
+            c.mem_ops * wg_items / (s.warp_size * occ.lane_efficiency)
+        ) / max(1.0, active_warps)
+        memory_cycles += exposed
+
+        total = max(compute_cycles, memory_cycles)
+        return SMCost(
+            cycles_per_workgroup=total,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            latency_hiding=min(1.0, hiding),
+            effective_bytes_per_item=bpi,
+            divergence_penalty=divergence,
+        )

@@ -1,0 +1,73 @@
+"""Hardware description of the modelled GPU (NVIDIA GeForce GTX 580, Fermi).
+
+Paper Table I: 16 SMs, L1/global L2 = 16KB/768KB, 1.56 Tflop/s peak,
+1544 MHz shader clock.  Peak corresponds to
+
+    16 SMs x 32 CUDA cores x 2 flops (FMA) x 1.544 GHz ~ 1.58 Tflop/s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GPUSpec", "GTX580"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """Parameters of the SM/warp/occupancy GPU model."""
+
+    name: str = "NVidia GeForce GTX 580"
+    num_sms: int = 16
+    cores_per_sm: int = 32
+    warp_size: int = 32
+    max_threads_per_sm: int = 1536
+    max_warps_per_sm: int = 48
+    max_workgroups_per_sm: int = 8
+    shared_mem_per_sm: int = 48 * 1024
+    l1_bytes: int = 16 * 1024
+    l2_bytes: int = 768 * 1024
+    shader_clock_ghz: float = 1.544
+    dram_bandwidth_gbps: float = 192.4
+    #: memory transaction granularity per warp
+    transaction_bytes: int = 128
+    #: arithmetic pipeline latency; hiding it needs ~latency/issue warps
+    alu_latency_cycles: float = 18.0
+    #: warps needed per SM for full latency hiding
+    warps_to_hide_latency: float = 18.0
+
+    # runtime costs
+    kernel_launch_overhead_ns: float = 5_000.0
+    workgroup_dispatch_ns: float = 50.0  # hardware scheduler: ~negligible
+
+    # PCIe link (discrete device: host<->device crossings are real)
+    pcie_latency_ns: float = 10_000.0
+    pcie_bandwidth_pageable_gbps: float = 3.0
+    pcie_bandwidth_pinned_gbps: float = 6.0
+
+    @property
+    def peak_gflops_sp(self) -> float:
+        return self.num_sms * self.cores_per_sm * 2 * self.shader_clock_ghz
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.shader_clock_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.cycle_ns
+
+    def describe(self) -> dict:
+        return {
+            "GPUs": self.name,
+            "# SMs": str(self.num_sms),
+            "Caches": (
+                f"L1/Global L2: {self.l1_bytes // 1024}KB/"
+                f"{self.l2_bytes // 1024}KB"
+            ),
+            "FP peak performance": f"{self.peak_gflops_sp / 1000:.2f} Tflop/s",
+            "Shader Clock frequency": f"{self.shader_clock_ghz * 1000:.0f} MHz",
+        }
+
+
+#: The paper's GPU.
+GTX580 = GPUSpec()

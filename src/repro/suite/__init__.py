@@ -1,0 +1,62 @@
+"""The benchmark applications: Table II simple apps, Table III Parboil
+kernels, the Figure 6 ILP family, and the Figure 10 MBench family."""
+
+from .base import Benchmark, LaunchConfig, scale_global_size
+from .simple import (
+    BinomialOptionBenchmark,
+    BlackScholesBenchmark,
+    HistogramBenchmark,
+    MatrixMulBenchmark,
+    MatrixMulNaiveBenchmark,
+    PrefixSumBenchmark,
+    ReductionBenchmark,
+    SquareBenchmark,
+    VectorAddBenchmark,
+)
+from .parboil import (
+    CPCenergyBenchmark,
+    MriFhdFHBenchmark,
+    MriFhdRhoPhiBenchmark,
+    MriQComputeQBenchmark,
+    MriQPhiMagBenchmark,
+)
+from .ilp_micro import ILP_LEVELS, IlpMicroBenchmark, build_ilp_kernel
+from .mbench import MBENCHES, MBench, mbench_by_name
+
+__all__ = [
+    "Benchmark", "LaunchConfig", "scale_global_size",
+    "SquareBenchmark", "VectorAddBenchmark", "MatrixMulBenchmark",
+    "MatrixMulNaiveBenchmark", "ReductionBenchmark", "HistogramBenchmark",
+    "PrefixSumBenchmark", "BlackScholesBenchmark", "BinomialOptionBenchmark",
+    "CPCenergyBenchmark", "MriQPhiMagBenchmark", "MriQComputeQBenchmark",
+    "MriFhdRhoPhiBenchmark", "MriFhdFHBenchmark",
+    "IlpMicroBenchmark", "ILP_LEVELS", "build_ilp_kernel",
+    "MBench", "MBENCHES", "mbench_by_name",
+    "all_table2_benchmarks", "all_parboil_benchmarks",
+]
+
+
+def all_table2_benchmarks():
+    """Fresh instances of every Table II benchmark, paper order."""
+    return [
+        SquareBenchmark(),
+        VectorAddBenchmark(),
+        MatrixMulBenchmark(),
+        ReductionBenchmark(),
+        HistogramBenchmark(),
+        PrefixSumBenchmark(),
+        BlackScholesBenchmark(),
+        BinomialOptionBenchmark(),
+        MatrixMulNaiveBenchmark(),
+    ]
+
+
+def all_parboil_benchmarks():
+    """Fresh instances of every Table III kernel, paper order."""
+    return [
+        CPCenergyBenchmark(),
+        MriQPhiMagBenchmark(),
+        MriQComputeQBenchmark(),
+        MriFhdRhoPhiBenchmark(),
+        MriFhdFHBenchmark(),
+    ]

@@ -1,0 +1,161 @@
+"""Common protocol for the benchmark applications of Tables II and III.
+
+Every benchmark provides:
+
+* a **kernel factory** — IR for its OpenCL kernel, parameterized by the
+  work-coalescing factor used in the Figure 1/2 experiments (``coalesce`` > 1
+  folds that many logical workitems into one via an inner loop, exactly the
+  transformation the paper describes in Section III-B1);
+* **data generation** — realistic inputs sized from the Table II/III global
+  work sizes;
+* a **numpy reference** — the ground truth the functional tests check
+  against;
+* its **default NDRange configuration** from the paper's tables.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernelir.ast import Kernel
+
+__all__ = ["Benchmark", "LaunchConfig", "scale_global_size"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LaunchConfig:
+    """One (global, local) NDRange configuration."""
+
+    global_size: Tuple[int, ...]
+    local_size: Optional[Tuple[int, ...]] = None
+
+    @property
+    def total_workitems(self) -> int:
+        return int(np.prod(self.global_size))
+
+    def pretty(self) -> str:
+        g = " X ".join(str(x) for x in self.global_size)
+        l = (
+            "NULL"
+            if self.local_size is None
+            else " X ".join(str(x) for x in self.local_size)
+        )
+        return f"global={g} local={l}"
+
+
+def scale_global_size(
+    global_size: Sequence[int], coalesce: int
+) -> Tuple[int, ...]:
+    """Shrink dimension 0 by the coalescing factor (total work constant)."""
+    gs = tuple(int(g) for g in global_size)
+    if gs[0] % coalesce != 0:
+        raise ValueError(
+            f"global size {gs[0]} not divisible by coalesce factor {coalesce}"
+        )
+    return (gs[0] // coalesce,) + gs[1:]
+
+
+class Benchmark(abc.ABC):
+    """Abstract benchmark; see module docstring."""
+
+    #: short name as used in the paper's tables
+    name: str = "?"
+    #: NDRange rank
+    work_dim: int = 1
+    #: Table II/III default global sizes (one entry per input set)
+    default_global_sizes: Sequence[Tuple[int, ...]] = ()
+    #: Table II/III default local size (None = the paper's NULL)
+    default_local_size: Optional[Tuple[int, ...]] = None
+    #: whether the kernel supports the coalescing transformation
+    supports_coalescing: bool = True
+
+    # -- to implement ---------------------------------------------------------
+    @abc.abstractmethod
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        """Build the kernel IR (with the given work-coalescing factor)."""
+
+    @abc.abstractmethod
+    def make_data(
+        self, global_size: Sequence[int], rng: np.random.Generator
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """(buffers, scalars) for one launch at this NDRange."""
+
+    @abc.abstractmethod
+    def reference(
+        self,
+        buffers: Dict[str, np.ndarray],
+        scalars: Dict[str, object],
+        global_size: Sequence[int],
+    ) -> Dict[str, np.ndarray]:
+        """Expected contents of the output buffers after one launch."""
+
+    # -- provided ------------------------------------------------------------
+    def scalars_for(self, coalesce: int) -> Dict[str, object]:
+        """Extra scalar args the coalesced kernel variant needs."""
+        return {"n_per": coalesce} if coalesce > 1 else {}
+
+    def launch_configs(self) -> Tuple[LaunchConfig, ...]:
+        return tuple(
+            LaunchConfig(gs, self.default_local_size)
+            for gs in self.default_global_sizes
+        )
+
+    def output_names(self, buffers, scalars, global_size) -> Tuple[str, ...]:
+        """Buffers checked by the functional tests."""
+        return tuple(self.reference(buffers, scalars, global_size).keys())
+
+    def validate(
+        self,
+        global_size: Sequence[int],
+        *,
+        coalesce: int = 1,
+        local_size: Optional[Sequence[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+        rtol: float = 2e-4,
+        atol: float = 1e-5,
+    ) -> None:
+        """Run functionally and assert against the numpy reference."""
+        from ..kernelir.interp import Interpreter
+
+        rng = rng or np.random.default_rng(0)
+        gs = tuple(int(g) for g in global_size)
+        buffers, scalars = self.make_data(gs, rng)
+        scalars = {**scalars, **self.scalars_for(coalesce)}
+        expected = self.reference(
+            {k: v.copy() for k, v in buffers.items()}, scalars, gs
+        )
+        launch_gs = scale_global_size(gs, coalesce)
+        k = self.kernel(coalesce)
+        ls = local_size or self.default_local_size
+        if ls is not None:
+            ls = tuple(
+                min(int(l), g) for l, g in zip(ls, launch_gs)
+            )
+            # shrink to a divisor if coalescing broke divisibility
+            ls = tuple(_largest_divisor_at_most(g, l) for g, l in zip(launch_gs, ls))
+        Interpreter().launch(k, launch_gs, ls, buffers=buffers, scalars=scalars)
+        for name, exp in expected.items():
+            got = buffers[name]
+            np.testing.assert_allclose(
+                got, exp, rtol=rtol, atol=atol,
+                err_msg=f"{self.name}: buffer {name!r} mismatch",
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Benchmark {self.name}>"
+
+
+def _largest_divisor_at_most(n: int, cap: int) -> int:
+    best = 1
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            for cand in (d, n // d):
+                if cand <= cap:
+                    best = max(best, cand)
+        d += 1
+    return best

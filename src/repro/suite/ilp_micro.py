@@ -1,0 +1,112 @@
+"""ILP micro-benchmarks (paper Section III-C, Figure 6).
+
+Each benchmark in the family has an *identical* number of memory accesses,
+floating-point operations, and loop iterations; the only difference is how
+many mutually independent dependence chains the operations are divided into
+— the ILP.  With ILP=1 every multiply waits for the previous one; with ILP=k
+the out-of-order CPU can keep k chains in flight.
+
+Construction: ``TOTAL_OPS`` multiply-adds arranged as ``k`` chains, each
+``TOTAL_OPS / k`` long, walked by a loop of ``TOTAL_OPS / (k * UNROLL)``
+iterations with ``UNROLL`` chained ops per chain per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..kernelir.ast import Kernel
+from ..kernelir.builder import KernelBuilder
+from ..kernelir.types import F32, I32
+from .base import Benchmark
+
+__all__ = ["IlpMicroBenchmark", "build_ilp_kernel", "ILP_LEVELS", "TOTAL_OPS"]
+
+#: the ILP values of Figure 6's x axis
+ILP_LEVELS = (1, 2, 3, 4, 5)
+#: mads issued per loop iteration (divisible by every ILP level)
+OPS_PER_ITER = 60
+#: multiply-add operations per workitem, constant across the family
+TOTAL_OPS = 1920  # = 32 loop iterations x OPS_PER_ITER
+
+
+def build_ilp_kernel(ilp: int, total_ops: int = TOTAL_OPS) -> Kernel:
+    """A kernel with ``ilp`` independent mad-chains and fixed total work.
+
+    Loop trip count and total operation count are identical for every family
+    member: each iteration issues ``OPS_PER_ITER`` mads, split into ``ilp``
+    chains of ``OPS_PER_ITER / ilp`` *dependent* mads each.
+    """
+    if ilp <= 0 or OPS_PER_ITER % ilp != 0:
+        raise ValueError(f"ilp must divide {OPS_PER_ITER}, got {ilp}")
+    if total_ops % OPS_PER_ITER != 0:
+        raise ValueError(f"total_ops must be a multiple of {OPS_PER_ITER}")
+    trips = total_ops // OPS_PER_ITER
+    per_chain = OPS_PER_ITER // ilp
+    kb = KernelBuilder(f"ilp{ilp}")
+    a = kb.buffer("data", F32)
+    gid = kb.global_id(0)
+    seed = kb.let("seed", a[gid])
+    chains = [kb.let(f"c{i}", seed + kb.f32(float(i))) for i in range(ilp)]
+    scale = kb.f32(0.9999)
+    bump = kb.f32(1e-6)
+    with kb.loop("t", 0, trips):
+        for i in range(ilp):
+            for _ in range(per_chain):
+                chains[i] = kb.let(f"c{i}", kb.mad(chains[i], scale, bump))
+    acc = chains[0]
+    for c in chains[1:]:
+        acc = acc + c
+    # pad the prologue/epilogue so every family member executes *exactly*
+    # the same number of operations (the paper: "identical number of memory
+    # accesses, computations, and loop iterations")
+    max_level = max(ILP_LEVELS)
+    for _ in range(2 * (max_level - ilp)):
+        acc = kb.let("acc", acc + kb.f32(0.0))
+    a[gid] = acc
+    return kb.finish()
+
+
+def _chase_reference(seed: np.ndarray, ilp: int, total_ops: int) -> np.ndarray:
+    chains = [
+        (seed + np.float32(i)).astype(np.float32) for i in range(ilp)
+    ]
+    per_chain = total_ops // ilp
+    scale, bump = np.float32(0.9999), np.float32(1e-6)
+    for i in range(ilp):
+        c = chains[i]
+        for _ in range(per_chain):
+            c = (c * scale + bump).astype(np.float32)
+        chains[i] = c
+    out = chains[0]
+    for c in chains[1:]:
+        out = (out + c).astype(np.float32)
+    return out
+
+
+class IlpMicroBenchmark(Benchmark):
+    """One member of the ILP family (fixed ``ilp``)."""
+
+    work_dim = 1
+    default_local_size = (256,)
+    supports_coalescing = False
+
+    def __init__(self, ilp: int, n: int = 24 * 1024, total_ops: int = TOTAL_OPS):
+        self.ilp = ilp
+        self.total_ops = total_ops
+        self.name = f"ILP-{ilp}"
+        self.default_global_sizes = ((n,),)
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        if coalesce != 1:
+            raise ValueError("the ILP family does not support coalescing")
+        return build_ilp_kernel(self.ilp, self.total_ops)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        return ({"data": rng.random(n).astype(np.float32)}, {})
+
+    def reference(self, buffers, scalars, global_size):
+        return {"data": _chase_reference(buffers["data"], self.ilp, self.total_ops)}

@@ -1,0 +1,369 @@
+"""MBench1-8 — the vectorization micro-benchmarks of Figure 10.
+
+Each benchmark exists once as kernel IR; the OpenCL side runs it through the
+minicl CPU device (implicit cross-workitem vectorization) and the "OpenMP
+port" hands the *same* IR to :class:`repro.openmp.OpenMPRuntime`, whose loop
+auto-vectorizer applies the classic legality rules.  The family spans the
+patterns Section III-F discusses:
+
+===========  ============================================  =================
+benchmark    pattern                                        expected outcome
+===========  ============================================  =================
+MBench1      chained triad (16 dependent mads)              only OpenCL
+MBench2      iterated saxpy recurrence                      only OpenCL
+MBench3      Figure 11's dependent-FMUL loop                only OpenCL
+MBench4      non-unit-stride access                         only OpenCL
+MBench5      indirect (gather) access                       only OpenCL
+MBench6      transcendental dependence chain                only OpenCL
+MBench7      runtime-offset potential aliasing              only OpenCL
+MBench8      Horner polynomial (chained mads)               only OpenCL
+===========  ============================================  =================
+
+Matching the paper ("For the evaluated benchmarks, the OpenCL kernels
+outperform their OpenMP counterparts"), every member contains a pattern the
+loop vectorizer rejects while the cross-workitem packer does not.  The
+`both vectorize` parity cases (plain vadd/saxpy) live in the unit tests of
+:mod:`repro.kernelir.vectorize` instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..kernelir.ast import Kernel
+from ..kernelir.builder import KernelBuilder
+from ..kernelir.types import F32, I32
+from .base import Benchmark
+
+__all__ = ["MBench", "MBENCHES", "mbench_by_name"]
+
+
+class MBench(Benchmark):
+    """A vectorization micro-benchmark (see module table)."""
+
+    work_dim = 1
+    default_local_size = (256,)
+    supports_coalescing = False
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable[[], Kernel],
+        make_data: Callable[[int, np.random.Generator], Tuple[dict, dict]],
+        reference: Callable[[dict, dict], Dict[str, np.ndarray]],
+        flops_per_item: float,
+        n: int = 1 << 20,
+        omp_should_vectorize: bool = False,
+    ):
+        self.name = name
+        self._build = build
+        self._make_data = make_data
+        self._reference = reference
+        self.flops_per_item = flops_per_item
+        self.default_global_sizes = ((n,),)
+        #: ground truth for the vectorizer tests
+        self.omp_should_vectorize = omp_should_vectorize
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        if coalesce != 1:
+            raise ValueError("MBench kernels do not support coalescing")
+        return self._build()
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        return self._make_data(int(global_size[0]), rng)
+
+    def reference(self, buffers, scalars, global_size):
+        return self._reference(buffers, scalars)
+
+
+# -- builders ---------------------------------------------------------------
+
+
+def _b1_chained_triad() -> Kernel:
+    """Sixteen dependent mads per element: t = t*b + a, chained."""
+    kb = KernelBuilder("mbench1_triadchain")
+    a = kb.buffer("a", F32, access="r")
+    b = kb.buffer("b", F32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    av = kb.let("av", a[g])
+    bv = kb.let("bv", b[g])
+    t = kb.let("t", av + bv)
+    for _ in range(16):
+        t = kb.let("t", kb.mad(t, bv, av))
+    c[g] = t
+    return kb.finish()
+
+
+def _b2_saxpy_iter() -> Kernel:
+    """Iterated saxpy recurrence: y = alpha*y + x, sixteen rounds."""
+    kb = KernelBuilder("mbench2_saxpyiter")
+    x = kb.buffer("x", F32, access="r")
+    y = kb.buffer("y", F32)
+    alpha = kb.scalar("alpha", F32)
+    g = kb.global_id(0)
+    xv = kb.let("xv", x[g])
+    yv = kb.let("yv", y[g])
+    for _ in range(16):
+        yv = kb.let("yv", kb.mad(alpha, yv, xv))
+    y[g] = yv
+    return kb.finish()
+
+
+def _b3_fmul_chain() -> Kernel:
+    """Figure 11: a j-loop whose body is six truly dependent FMULs."""
+    kb = KernelBuilder("mbench3_fmulchain")
+    a = kb.buffer("a", F32)
+    b = kb.buffer("b", F32, access="r")
+    g = kb.global_id(0)
+    acc = kb.let("acc", a[g])
+    v = kb.let("v", b[g])
+    with kb.loop("j", 0, 4):
+        for _ in range(6):
+            acc = kb.let("acc", acc * v)
+    a[g] = acc
+    return kb.finish()
+
+
+def _chain_tail(kb: KernelBuilder, v, rounds: int = 16):
+    """A compute tail of ``rounds`` chained mads (keeps the benchmark
+    compute-bound so the vectorization outcome, not memory bandwidth,
+    decides the Figure 10 comparison)."""
+    t = kb.let("t", v)
+    for _ in range(rounds):
+        t = kb.let("t", kb.mad(t, kb.f32(0.98), kb.f32(0.02)))
+    return t
+
+
+def _tail_reference(v: np.ndarray, rounds: int = 16) -> np.ndarray:
+    t = v.astype(np.float32)
+    for _ in range(rounds):
+        t = (t * np.float32(0.98) + np.float32(0.02)).astype(np.float32)
+    return t
+
+
+def _b4_strided() -> Kernel:
+    kb = KernelBuilder("mbench4_strided")
+    a = kb.buffer("a", F32, access="r")
+    b = kb.buffer("b", F32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    v = kb.let("v", a[g * 2] * b[g * 2])
+    c[g] = _chain_tail(kb, v)
+    return kb.finish()
+
+
+def _b5_gather() -> Kernel:
+    kb = KernelBuilder("mbench5_gather")
+    a = kb.buffer("a", F32, access="r")
+    idx = kb.buffer("idx", I32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    v = kb.let("v", a[idx[g]] + kb.f32(1.0))
+    c[g] = _chain_tail(kb, v)
+    return kb.finish()
+
+
+def _b6_transcendental() -> Kernel:
+    kb = KernelBuilder("mbench6_transcendental")
+    a = kb.buffer("a", F32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    t = kb.let("t", kb.exp(a[g] * kb.f32(0.1)))
+    t = kb.let("t", kb.log(t + kb.f32(1.0)))
+    t = kb.let("t", kb.sqrt(t * t + kb.f32(0.5)))
+    t = kb.let("t", t * t + t)
+    c[g] = t
+    return kb.finish()
+
+
+def _b7_runtime_offset() -> Kernel:
+    """Write c[i], read c[i + off]; ``off`` is a runtime scalar, so a loop
+    vectorizer must assume the iterations may alias."""
+    kb = KernelBuilder("mbench7_offset")
+    a = kb.buffer("a", F32, access="r")
+    c = kb.buffer("c", F32)
+    off = kb.scalar("off", I32)
+    g = kb.global_id(0)
+    v = kb.let("v", a[g] + c[g + off] * kb.f32(0.5))
+    c[g] = _chain_tail(kb, v)
+    return kb.finish()
+
+
+def _b8_horner() -> Kernel:
+    kb = KernelBuilder("mbench8_horner")
+    x = kb.buffer("x", F32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    xv = kb.let("xv", x[g])
+    acc = kb.let("acc", kb.f32(0.2))
+    for coeff in _HORNER_COEFFS:
+        acc = kb.let("acc", kb.mad(acc, xv, kb.f32(coeff)))
+    c[g] = acc
+    return kb.finish()
+
+
+_HORNER_COEFFS = (
+    0.5, -0.3, 0.7, -0.1, 0.9, 0.25, -0.45, 0.15,
+    0.35, -0.05, 0.6, -0.2, 0.4, -0.35, 0.55, 0.1,
+)
+
+
+# -- data/reference pairs ------------------------------------------------------
+
+
+def _d_two(n, rng):
+    return (
+        {
+            "a": rng.standard_normal(n).astype(np.float32),
+            "b": rng.standard_normal(n).astype(np.float32),
+            "c": np.zeros(n, np.float32),
+        },
+        {},
+    )
+
+
+def _mk_benches() -> Tuple[MBench, ...]:
+    benches = []
+
+    def r1(bufs, sc):
+        a = bufs["a"].astype(np.float32)
+        b = bufs["b"].astype(np.float32)
+        t = (a + b).astype(np.float32)
+        for _ in range(16):
+            t = (t * b + a).astype(np.float32)
+        return {"c": t}
+
+    benches.append(MBench(
+        "MBench1", _b1_chained_triad, _d_two, r1, flops_per_item=33,
+    ))
+
+    def d2(n, rng):
+        return (
+            {"x": rng.standard_normal(n).astype(np.float32),
+             "y": rng.standard_normal(n).astype(np.float32)},
+            {"alpha": 0.75},
+        )
+
+    def r2(bufs, sc):
+        al = np.float32(sc["alpha"])
+        yv = bufs["y"].astype(np.float32)
+        for _ in range(16):
+            yv = (al * yv + bufs["x"]).astype(np.float32)
+        return {"y": yv}
+
+    benches.append(MBench(
+        "MBench2", _b2_saxpy_iter, d2, r2, flops_per_item=32,
+    ))
+
+    def d3(n, rng):
+        return (
+            {"a": rng.random(n).astype(np.float32),
+             "b": (rng.random(n) * 0.2 + 0.9).astype(np.float32)},
+            {},
+        )
+
+    def r3(bufs, sc):
+        acc = bufs["a"].copy()
+        for _ in range(24):
+            acc = (acc * bufs["b"]).astype(np.float32)
+        return {"a": acc}
+
+    benches.append(MBench("MBench3", _b3_fmul_chain, d3, r3, flops_per_item=24))
+
+    def d4(n, rng):
+        return (
+            {"a": rng.standard_normal(2 * n).astype(np.float32),
+             "b": rng.standard_normal(2 * n).astype(np.float32),
+             "c": np.zeros(n, np.float32)},
+            {},
+        )
+
+    benches.append(MBench(
+        "MBench4", _b4_strided, d4,
+        lambda bufs, sc: {
+            "c": _tail_reference(bufs["a"][::2] * bufs["b"][::2])
+        },
+        flops_per_item=33,
+    ))
+
+    def d5(n, rng):
+        return (
+            {"a": rng.standard_normal(n).astype(np.float32),
+             "idx": rng.integers(0, n, n, dtype=np.int32),
+             "c": np.zeros(n, np.float32)},
+            {},
+        )
+
+    benches.append(MBench(
+        "MBench5", _b5_gather, d5,
+        lambda bufs, sc: {
+            "c": _tail_reference(bufs["a"][bufs["idx"]] + np.float32(1.0))
+        },
+        flops_per_item=33,
+    ))
+
+    def d6(n, rng):
+        return (
+            {"a": rng.standard_normal(n).astype(np.float32),
+             "c": np.zeros(n, np.float32)},
+            {},
+        )
+
+    def r6(bufs, sc):
+        t = np.exp(bufs["a"].astype(np.float64) * 0.1)
+        t = np.log(t + 1.0)
+        t = np.sqrt(t * t + 0.5)
+        t = t * t + t
+        return {"c": t.astype(np.float32)}
+
+    benches.append(MBench("MBench6", _b6_transcendental, d6, r6, flops_per_item=9))
+
+    def d7(n, rng):
+        # c holds 2n entries; reads come from the disjoint upper half
+        return (
+            {"a": rng.standard_normal(n).astype(np.float32),
+             "c": rng.standard_normal(2 * n).astype(np.float32)},
+            {"off": n},
+        )
+
+    def r7(bufs, sc):
+        n = len(bufs["a"])
+        out = bufs["c"].copy()
+        out[:n] = _tail_reference(
+            bufs["a"] + bufs["c"][n:] * np.float32(0.5)
+        )
+        return {"c": out}
+
+    benches.append(MBench("MBench7", _b7_runtime_offset, d7, r7, flops_per_item=34))
+
+    def d8(n, rng):
+        return (
+            {"x": rng.standard_normal(n).astype(np.float32),
+             "c": np.zeros(n, np.float32)},
+            {},
+        )
+
+    def r8(bufs, sc):
+        x = bufs["x"].astype(np.float32)
+        acc = np.full_like(x, np.float32(0.2))
+        for coeff in _HORNER_COEFFS:
+            acc = (acc * x + np.float32(coeff)).astype(np.float32)
+        return {"c": acc}
+
+    benches.append(MBench("MBench8", _b8_horner, d8, r8, flops_per_item=32))
+    return tuple(benches)
+
+
+#: the Figure 10 family, in paper order
+MBENCHES: Tuple[MBench, ...] = _mk_benches()
+
+
+def mbench_by_name(name: str) -> MBench:
+    for b in MBENCHES:
+        if b.name == name:
+            return b
+    raise KeyError(name)

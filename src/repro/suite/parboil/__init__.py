@@ -1,0 +1,22 @@
+"""The Parboil benchmarks of the paper's Table III."""
+
+from .cp import CPCenergyBenchmark, build_cenergy_kernel
+from .mri_q import (
+    MriQComputeQBenchmark,
+    MriQPhiMagBenchmark,
+    build_computeq_kernel,
+    build_phimag_kernel,
+)
+from .mri_fhd import (
+    MriFhdFHBenchmark,
+    MriFhdRhoPhiBenchmark,
+    build_fh_kernel,
+    build_rhophi_kernel,
+)
+
+__all__ = [
+    "CPCenergyBenchmark", "MriQPhiMagBenchmark", "MriQComputeQBenchmark",
+    "MriFhdRhoPhiBenchmark", "MriFhdFHBenchmark",
+    "build_cenergy_kernel", "build_phimag_kernel", "build_computeq_kernel",
+    "build_rhophi_kernel", "build_fh_kernel",
+]

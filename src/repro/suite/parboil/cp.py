@@ -1,0 +1,109 @@
+"""Parboil ``CP`` — Coulombic Potential (kernel ``cenergy``).
+
+Table III: global 64 x 512, local 16 x 8.  Each workitem computes the
+electrostatic potential at one lattice point of a 2-D slice by summing the
+contribution of every atom (the classic direct-summation kernel).
+
+The Figure 2 experiment folds 2 or 4 x-adjacent lattice points into one
+workitem (``coalesce``), the same transformation the original CUDA kernel
+calls "unrolling".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32
+from ..base import Benchmark
+
+__all__ = ["CPCenergyBenchmark", "build_cenergy_kernel"]
+
+GRID_SPACING = 0.1
+
+
+def build_cenergy_kernel(coalesce: int = 1) -> Kernel:
+    kb = KernelBuilder("cenergy", work_dim=2)
+    atomx = kb.buffer("atomx", F32, access="r")
+    atomy = kb.buffer("atomy", F32, access="r")
+    atomz2 = kb.buffer("atomz2", F32, access="r")  # z offsets squared
+    atomq = kb.buffer("atomq", F32, access="r")
+    energy = kb.buffer("energy", F32, access="w")
+    natoms = kb.scalar("natoms", I32)
+    spacing = kb.scalar("spacing", F32)
+    width = kb.scalar("width", I32)  # full (uncoalesced) row width
+
+    gid0 = kb.global_id(0)
+    gid1 = kb.global_id(1)
+    y = kb.let("y", spacing * kb.cast(gid1, F32))
+
+    def point(xi):
+        x = kb.let("x", spacing * kb.cast(xi, F32))
+        e = kb.let("e", kb.f32(0.0))
+        with kb.loop("n", 0, natoms) as n:
+            dx = kb.let("dx", x - atomx[n])
+            dy = kb.let("dy", y - atomy[n])
+            r2 = kb.let("r2", dx * dx + dy * dy + atomz2[n])
+            e = kb.let("e", kb.mad(atomq[n], kb.rsqrt(r2), e))
+        energy[gid1 * width + xi] = e
+
+    if coalesce == 1:
+        point(gid0)
+    else:
+        n_per = kb.scalar("n_per", I32)
+        with kb.loop("j", 0, n_per) as j:
+            xi = kb.let("xi", gid0 * n_per + j)
+            point(xi)
+    return kb.finish()
+
+
+class CPCenergyBenchmark(Benchmark):
+    name = "CP: cenergy"
+    work_dim = 2
+    default_global_sizes = ((64, 512),)
+    default_local_size = (16, 8)
+
+    def __init__(self, natoms: int = 4000):
+        self.natoms = natoms
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        return build_cenergy_kernel(coalesce)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        w, h = int(global_size[0]), int(global_size[1])
+        z = (rng.random(self.natoms) * 2.0 - 1.0).astype(np.float32)
+        return (
+            {
+                "atomx": (rng.random(self.natoms) * w * GRID_SPACING).astype(
+                    np.float32
+                ),
+                "atomy": (rng.random(self.natoms) * h * GRID_SPACING).astype(
+                    np.float32
+                ),
+                # store z^2 + softening so r2 never vanishes
+                "atomz2": (z * z + 0.05).astype(np.float32),
+                "atomq": (rng.random(self.natoms) * 2.0 - 1.0).astype(np.float32),
+                "energy": np.zeros(w * h, dtype=np.float32),
+            },
+            {
+                "natoms": self.natoms,
+                "spacing": GRID_SPACING,
+                "width": w,
+            },
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        w, h = int(global_size[0]), int(global_size[1])
+        sp = float(scalars["spacing"])
+        x = (np.arange(w, dtype=np.float64) * sp)[None, :, None]
+        y = (np.arange(h, dtype=np.float64) * sp)[:, None, None]
+        ax = buffers["atomx"].astype(np.float64)[None, None, :]
+        ay = buffers["atomy"].astype(np.float64)[None, None, :]
+        az2 = buffers["atomz2"].astype(np.float64)[None, None, :]
+        q = buffers["atomq"].astype(np.float64)[None, None, :]
+        r2 = (x - ax) ** 2 + (y - ay) ** 2 + az2
+        e = (q / np.sqrt(r2)).sum(axis=2)
+        return {"energy": e.astype(np.float32).ravel()}

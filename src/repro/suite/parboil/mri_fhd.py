@@ -1,0 +1,175 @@
+"""Parboil ``MRI-FHD`` — MRI reconstruction, F^H d computation.
+
+Two kernels (Table III):
+
+* ``RhoPhi`` — global 3072, local 512: pointwise complex product of the
+  density and coil-sensitivity vectors;
+* ``FH`` — global 32768, local 256: per-voxel accumulation of cos/sin
+  weighted RhoPhi samples (same shape as MRI-Q's computeQ, complex weights).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32
+from ..base import Benchmark
+
+__all__ = [
+    "MriFhdRhoPhiBenchmark",
+    "MriFhdFHBenchmark",
+    "build_rhophi_kernel",
+    "build_fh_kernel",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+def build_rhophi_kernel(coalesce: int = 1) -> Kernel:
+    kb = KernelBuilder("RhoPhi")
+    rRho = kb.buffer("rRho", F32, access="r")
+    iRho = kb.buffer("iRho", F32, access="r")
+    rPhi = kb.buffer("rPhi", F32, access="r")
+    iPhi = kb.buffer("iPhi", F32, access="r")
+    rOut = kb.buffer("rRhoPhi", F32, access="w")
+    iOut = kb.buffer("iRhoPhi", F32, access="w")
+    gid = kb.global_id(0)
+
+    def one(idx):
+        rr = kb.let("rr", rRho[idx])
+        ir = kb.let("ir", iRho[idx])
+        rp = kb.let("rp", rPhi[idx])
+        ip = kb.let("ip", iPhi[idx])
+        rOut[idx] = rr * rp + ir * ip
+        iOut[idx] = rr * ip - ir * rp
+
+    if coalesce == 1:
+        one(gid)
+    else:
+        n_per = kb.scalar("n_per", I32)
+        with kb.loop("j", 0, n_per) as j:
+            idx = kb.let("idx", gid * n_per + j)
+            one(idx)
+    return kb.finish()
+
+
+def build_fh_kernel(coalesce: int = 1) -> Kernel:
+    kb = KernelBuilder("FH")
+    kx = kb.buffer("kx", F32, access="r")
+    ky = kb.buffer("ky", F32, access="r")
+    kz = kb.buffer("kz", F32, access="r")
+    x = kb.buffer("x", F32, access="r")
+    y = kb.buffer("y", F32, access="r")
+    z = kb.buffer("z", F32, access="r")
+    rRhoPhi = kb.buffer("rRhoPhi", F32, access="r")
+    iRhoPhi = kb.buffer("iRhoPhi", F32, access="r")
+    rFH = kb.buffer("rFH", F32, access="w")
+    iFH = kb.buffer("iFH", F32, access="w")
+    numK = kb.scalar("numK", I32)
+    gid = kb.global_id(0)
+
+    def one(idx):
+        xi = kb.let("xi", x[idx])
+        yi = kb.let("yi", y[idx])
+        zi = kb.let("zi", z[idx])
+        rf = kb.let("rf", kb.f32(0.0))
+        jf = kb.let("jf", kb.f32(0.0))
+        with kb.loop("k", 0, numK) as k:
+            arg = kb.let(
+                "arg",
+                kb.f32(TWO_PI) * (kx[k] * xi + ky[k] * yi + kz[k] * zi),
+            )
+            c = kb.let("c", kb.cos(arg))
+            s = kb.let("s", kb.sin(arg))
+            rw = kb.let("rw", rRhoPhi[k])
+            iw = kb.let("iw", iRhoPhi[k])
+            rf = kb.let("rf", rf + rw * c - iw * s)
+            jf = kb.let("jf", jf + iw * c + rw * s)
+        rFH[idx] = rf
+        iFH[idx] = jf
+
+    if coalesce == 1:
+        one(gid)
+    else:
+        n_per = kb.scalar("n_per", I32)
+        with kb.loop("j", 0, n_per) as j:
+            idx = kb.let("idx", gid * n_per + j)
+            one(idx)
+    return kb.finish()
+
+
+class MriFhdRhoPhiBenchmark(Benchmark):
+    name = "MRI-FHD: RhoPhi"
+    work_dim = 1
+    default_global_sizes = ((3072,),)
+    default_local_size = (512,)
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        return build_rhophi_kernel(coalesce)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        mk = lambda: rng.standard_normal(n).astype(np.float32)  # noqa: E731
+        return (
+            {
+                "rRho": mk(), "iRho": mk(), "rPhi": mk(), "iPhi": mk(),
+                "rRhoPhi": np.zeros(n, dtype=np.float32),
+                "iRhoPhi": np.zeros(n, dtype=np.float32),
+            },
+            {},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        rr, ir = buffers["rRho"], buffers["iRho"]
+        rp, ip = buffers["rPhi"], buffers["iPhi"]
+        return {
+            "rRhoPhi": rr * rp + ir * ip,
+            "iRhoPhi": rr * ip - ir * rp,
+        }
+
+
+class MriFhdFHBenchmark(Benchmark):
+    name = "MRI-FHD: FH"
+    work_dim = 1
+    default_global_sizes = ((32768,),)
+    default_local_size = (256,)
+
+    def __init__(self, num_k: int = 3072):
+        self.num_k = num_k
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        return build_fh_kernel(coalesce)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        k = self.num_k
+        mk = lambda m: rng.standard_normal(m).astype(np.float32)  # noqa: E731
+        return (
+            {
+                "kx": mk(k), "ky": mk(k), "kz": mk(k),
+                "x": mk(n), "y": mk(n), "z": mk(n),
+                "rRhoPhi": mk(k), "iRhoPhi": mk(k),
+                "rFH": np.zeros(n, dtype=np.float32),
+                "iFH": np.zeros(n, dtype=np.float32),
+            },
+            {"numK": k},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        arg = TWO_PI * (
+            np.outer(buffers["x"].astype(np.float64), buffers["kx"].astype(np.float64))
+            + np.outer(buffers["y"].astype(np.float64), buffers["ky"].astype(np.float64))
+            + np.outer(buffers["z"].astype(np.float64), buffers["kz"].astype(np.float64))
+        )
+        c, s = np.cos(arg), np.sin(arg)
+        rw = buffers["rRhoPhi"].astype(np.float64)[None, :]
+        iw = buffers["iRhoPhi"].astype(np.float64)[None, :]
+        return {
+            "rFH": (rw * c - iw * s).sum(axis=1).astype(np.float32),
+            "iFH": (iw * c + rw * s).sum(axis=1).astype(np.float32),
+        }

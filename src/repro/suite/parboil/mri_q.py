@@ -1,0 +1,157 @@
+"""Parboil ``MRI-Q`` — non-Cartesian MRI reconstruction, Q matrix.
+
+Two kernels (Table III):
+
+* ``computePhiMag`` — global 3072, local 512: magnitude of the complex
+  coil sensitivity, ``phiMag[k] = phiR[k]^2 + phiI[k]^2``;
+* ``computeQ`` — global 32768, local 256: for every voxel, accumulate
+  cos/sin contributions of every k-space sample.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32
+from ..base import Benchmark
+
+__all__ = [
+    "MriQPhiMagBenchmark",
+    "MriQComputeQBenchmark",
+    "build_phimag_kernel",
+    "build_computeq_kernel",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+def build_phimag_kernel(coalesce: int = 1) -> Kernel:
+    kb = KernelBuilder("computePhiMag")
+    phiR = kb.buffer("phiR", F32, access="r")
+    phiI = kb.buffer("phiI", F32, access="r")
+    phiMag = kb.buffer("phiMag", F32, access="w")
+    gid = kb.global_id(0)
+
+    def one(idx):
+        r = kb.let("r", phiR[idx])
+        i = kb.let("i", phiI[idx])
+        phiMag[idx] = r * r + i * i
+
+    if coalesce == 1:
+        one(gid)
+    else:
+        n_per = kb.scalar("n_per", I32)
+        with kb.loop("j", 0, n_per) as j:
+            idx = kb.let("idx", gid * n_per + j)
+            one(idx)
+    return kb.finish()
+
+
+def build_computeq_kernel(coalesce: int = 1) -> Kernel:
+    kb = KernelBuilder("computeQ")
+    kx = kb.buffer("kx", F32, access="r")
+    ky = kb.buffer("ky", F32, access="r")
+    kz = kb.buffer("kz", F32, access="r")
+    x = kb.buffer("x", F32, access="r")
+    y = kb.buffer("y", F32, access="r")
+    z = kb.buffer("z", F32, access="r")
+    phiMag = kb.buffer("phiMag", F32, access="r")
+    Qr = kb.buffer("Qr", F32, access="w")
+    Qi = kb.buffer("Qi", F32, access="w")
+    numK = kb.scalar("numK", I32)
+    gid = kb.global_id(0)
+
+    def one(idx):
+        xi = kb.let("xi", x[idx])
+        yi = kb.let("yi", y[idx])
+        zi = kb.let("zi", z[idx])
+        qr = kb.let("qr", kb.f32(0.0))
+        qi = kb.let("qi", kb.f32(0.0))
+        with kb.loop("k", 0, numK) as k:
+            arg = kb.let(
+                "arg",
+                kb.f32(TWO_PI) * (kx[k] * xi + ky[k] * yi + kz[k] * zi),
+            )
+            m = kb.let("m", phiMag[k])
+            qr = kb.let("qr", kb.mad(m, kb.cos(arg), qr))
+            qi = kb.let("qi", kb.mad(m, kb.sin(arg), qi))
+        Qr[idx] = qr
+        Qi[idx] = qi
+
+    if coalesce == 1:
+        one(gid)
+    else:
+        n_per = kb.scalar("n_per", I32)
+        with kb.loop("j", 0, n_per) as j:
+            idx = kb.let("idx", gid * n_per + j)
+            one(idx)
+    return kb.finish()
+
+
+class MriQPhiMagBenchmark(Benchmark):
+    name = "MRI-Q: computePhiMag"
+    work_dim = 1
+    default_global_sizes = ((3072,),)
+    default_local_size = (512,)
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        return build_phimag_kernel(coalesce)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        return (
+            {
+                "phiR": rng.standard_normal(n).astype(np.float32),
+                "phiI": rng.standard_normal(n).astype(np.float32),
+                "phiMag": np.zeros(n, dtype=np.float32),
+            },
+            {},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        return {"phiMag": buffers["phiR"] ** 2 + buffers["phiI"] ** 2}
+
+
+class MriQComputeQBenchmark(Benchmark):
+    name = "MRI-Q: computeQ"
+    work_dim = 1
+    default_global_sizes = ((32768,),)
+    default_local_size = (256,)
+
+    def __init__(self, num_k: int = 3072):
+        self.num_k = num_k
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        return build_computeq_kernel(coalesce)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        k = self.num_k
+        mk = lambda m: rng.standard_normal(m).astype(np.float32)  # noqa: E731
+        return (
+            {
+                "kx": mk(k), "ky": mk(k), "kz": mk(k),
+                "x": mk(n), "y": mk(n), "z": mk(n),
+                "phiMag": rng.random(k).astype(np.float32),
+                "Qr": np.zeros(n, dtype=np.float32),
+                "Qi": np.zeros(n, dtype=np.float32),
+            },
+            {"numK": k},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        arg = TWO_PI * (
+            np.outer(buffers["x"].astype(np.float64), buffers["kx"].astype(np.float64))
+            + np.outer(buffers["y"].astype(np.float64), buffers["ky"].astype(np.float64))
+            + np.outer(buffers["z"].astype(np.float64), buffers["kz"].astype(np.float64))
+        )
+        m = buffers["phiMag"].astype(np.float64)[None, :]
+        return {
+            "Qr": (m * np.cos(arg)).sum(axis=1).astype(np.float32),
+            "Qi": (m * np.sin(arg)).sum(axis=1).astype(np.float32),
+        }

@@ -1,0 +1,25 @@
+"""The simple applications of the paper's Table II."""
+
+from .square import SquareBenchmark, build_square_kernel
+from .vectoradd import VectorAddBenchmark, build_vectoradd_kernel
+from .matrixmul import (
+    MatrixMulBenchmark,
+    MatrixMulNaiveBenchmark,
+    build_matrixmul_kernel,
+    build_matrixmul_naive_kernel,
+)
+from .reduction import ReductionBenchmark, build_reduction_kernel
+from .histogram import HistogramBenchmark, build_histogram_kernel
+from .prefixsum import PrefixSumBenchmark, build_prefixsum_kernel
+from .blackscholes import BlackScholesBenchmark, build_blackscholes_kernel
+from .binomialoption import BinomialOptionBenchmark, build_binomialoption_kernel
+
+__all__ = [
+    "SquareBenchmark", "VectorAddBenchmark", "MatrixMulBenchmark",
+    "MatrixMulNaiveBenchmark", "ReductionBenchmark", "HistogramBenchmark",
+    "PrefixSumBenchmark", "BlackScholesBenchmark", "BinomialOptionBenchmark",
+    "build_square_kernel", "build_vectoradd_kernel", "build_matrixmul_kernel",
+    "build_matrixmul_naive_kernel", "build_reduction_kernel",
+    "build_histogram_kernel", "build_prefixsum_kernel",
+    "build_blackscholes_kernel", "build_binomialoption_kernel",
+]

@@ -1,0 +1,144 @@
+"""``Binomialoption`` — binomial-lattice option pricing.
+
+Table II: global sizes 255000 / 2550000, local 255.  One workgroup prices
+one option: workitem ``lid`` owns lattice node ``lid`` and the backward
+induction walks the tree in ``steps`` barrier-separated rounds (the standard
+GPU-SDK formulation, wg size = number of leaf nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32
+from ..base import Benchmark
+
+__all__ = ["BinomialOptionBenchmark", "build_binomialoption_kernel"]
+
+RISK_FREE = 0.02
+VOLATILITY = 0.30
+YEARS = 1.0
+
+
+def build_binomialoption_kernel() -> Kernel:
+    """One workgroup of ``steps`` items prices one option (CRR lattice)."""
+    kb = KernelBuilder("binomialoption")
+    S = kb.buffer("price", F32, access="r")
+    X = kb.buffer("strike", F32, access="r")
+    out = kb.buffer("value", F32, access="w")
+    pu = kb.scalar("pu", F32)      # discounted up-probability
+    pd_ = kb.scalar("pd", F32)     # discounted down-probability
+    vsdt = kb.scalar("vsdt", F32)  # volatility * sqrt(dt)
+    nodes = kb.local_array("nodes", 1024, F32)
+
+    lid = kb.local_id(0)
+    grp = kb.group_id(0)
+    # a workgroup of S items holds S lattice nodes = a tree of S-1 time steps
+    steps = kb.let("steps", kb.local_size(0))
+    t_steps = kb.let("t_steps", steps - 1)
+
+    s0 = kb.let("s0", S[grp])
+    x0 = kb.let("x0", X[grp])
+    # leaf price for node lid: s0 * exp(vsdt * (2*lid - (S-1)))
+    up = kb.let(
+        "up",
+        kb.exp(vsdt * (kb.f32(2.0) * kb.cast(lid, F32) - kb.cast(t_steps, F32))),
+    )
+    nodes[lid] = kb.max(s0 * up - x0, kb.f32(0.0))
+    kb.barrier()
+    with kb.loop("step", 0, t_steps) as step:
+        live = kb.let("live", t_steps - step)  # nodes [0, live) fold this round
+        nxt = kb.let("nxt", kb.min(lid + 1, steps - 1))
+        folded = kb.let("folded", pu * nodes[nxt] + pd_ * nodes[lid])
+        v = kb.let("v", kb.select(lid < live, folded, nodes[lid]))
+        kb.barrier()
+        nodes[lid] = v
+        kb.barrier()
+    with kb.if_(lid.eq(0)):
+        out[grp] = nodes[0]
+    return kb.finish()
+
+
+def _binomial_reference(
+    s0: np.ndarray, x0: np.ndarray, wg_size: int, r: float, v: float, years: float
+) -> np.ndarray:
+    """Mirror the kernel: ``wg_size`` nodes = a tree of ``wg_size - 1`` steps."""
+    t_steps = wg_size - 1
+    dt = years / t_steps
+    u = np.exp(v * np.sqrt(dt))
+    d = 1.0 / u
+    a = np.exp(r * dt)
+    p = (a - d) / (u - d)
+    df = np.exp(-r * dt)
+    pu, pd = df * p, df * (1 - p)
+    j = np.arange(wg_size, dtype=np.float64)
+    vals = np.maximum(
+        s0[:, None] * np.exp(v * np.sqrt(dt) * (2.0 * j[None, :] - t_steps))
+        - x0[:, None],
+        0.0,
+    ).astype(np.float32)
+    for live in range(t_steps, 0, -1):
+        vals[:, :live] = (
+            np.float32(pu) * vals[:, 1 : live + 1] + np.float32(pd) * vals[:, :live]
+        )
+    return vals[:, 0]
+
+
+class BinomialOptionBenchmark(Benchmark):
+    name = "Binomialoption"
+    work_dim = 1
+    default_global_sizes = ((255_000,), (2_550_000,))
+    default_local_size = (255,)
+    supports_coalescing = False
+
+    def __init__(self, steps: int = 255):
+        if steps > 1024:
+            raise ValueError("steps may not exceed the local array size (1024)")
+        self.steps = steps
+        self.default_local_size = (steps,)
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        if coalesce != 1:
+            raise ValueError("Binomialoption does not support workitem coalescing")
+        return build_binomialoption_kernel()
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n_options = int(global_size[0]) // self.steps
+        if n_options * self.steps != int(global_size[0]):
+            raise ValueError(
+                f"global size must be a multiple of steps={self.steps}"
+            )
+        dt = YEARS / (self.steps - 1)
+        u = np.exp(VOLATILITY * np.sqrt(dt))
+        d = 1.0 / u
+        a = np.exp(RISK_FREE * dt)
+        p = (a - d) / (u - d)
+        df = np.exp(-RISK_FREE * dt)
+        return (
+            {
+                "price": (rng.random(n_options) * 95.0 + 5.0).astype(np.float32),
+                "strike": (rng.random(n_options) * 99.0 + 1.0).astype(np.float32),
+                "value": np.zeros(n_options, dtype=np.float32),
+            },
+            {
+                "pu": df * p,
+                "pd": df * (1.0 - p),
+                "vsdt": VOLATILITY * np.sqrt(dt),
+            },
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        return {
+            "value": _binomial_reference(
+                buffers["price"].astype(np.float64),
+                buffers["strike"].astype(np.float64),
+                self.steps,  # workgroup size = node count
+                RISK_FREE,
+                VOLATILITY,
+                YEARS,
+            ).astype(np.float32)
+        }

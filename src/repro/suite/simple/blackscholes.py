@@ -1,0 +1,128 @@
+"""``Blackscholes`` — European option pricing, the paper's compute-heavy
+simple app.
+
+Table II: global sizes 1280x1280 and 2560x2560, local 16x16 (a 2-D NDRange
+over a matrix of options).  The kernel is a long straight-line dependence
+chain of transcendentals, which is why (Figure 4) workgroup size barely
+matters on the CPU — per-workitem work dwarfs the scheduling overhead — while
+the GPU still needs large workgroups for occupancy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import special as _sp
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32
+from ..base import Benchmark
+
+__all__ = ["BlackScholesBenchmark", "build_blackscholes_kernel"]
+
+RISK_FREE = 0.02
+VOLATILITY = 0.30
+#: the kernel prices each option across a small volatility smile and
+#: averages — this is what makes a Blackscholes workitem "relatively long
+#: compared to other applications" (paper Section III-B2 / Figure 4)
+VOL_ROUNDS = 192
+VOL_STEP = 1e-4
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+
+def build_blackscholes_kernel(vol_rounds: int = VOL_ROUNDS) -> Kernel:
+    kb = KernelBuilder("blackScholes", work_dim=2)
+    S = kb.buffer("price", F32, access="r")
+    X = kb.buffer("strike", F32, access="r")
+    T = kb.buffer("years", F32, access="r")
+    call = kb.buffer("call", F32, access="w")
+    put = kb.buffer("put", F32, access="w")
+    r = kb.scalar("riskfree", F32)
+    v0 = kb.scalar("volatility", F32)
+
+    idx = kb.let("idx", kb.global_id(1) * kb.global_size(0) + kb.global_id(0))
+    s = kb.let("s", S[idx])
+    x = kb.let("x", X[idx])
+    t = kb.let("t", T[idx])
+
+    sqrt_t = kb.let("sqrt_t", kb.sqrt(t))
+    log_sx = kb.let("log_sx", kb.log(s / x))
+    c_acc = kb.let("c_acc", kb.f32(0.0))
+    e_acc = kb.let("e_acc", kb.f32(0.0))
+    with kb.loop("round", 0, vol_rounds) as rnd:
+        v = kb.let("v", v0 + kb.cast(rnd, F32) * kb.f32(VOL_STEP))
+        d1 = kb.let(
+            "d1",
+            (log_sx + (r + kb.f32(0.5) * v * v) * t) / (v * sqrt_t),
+        )
+        d2 = kb.let("d2", d1 - v * sqrt_t)
+        # cumulative normal via erf: CND(d) = 0.5 * (1 + erf(d / sqrt(2)))
+        cnd1 = kb.let(
+            "cnd1", kb.f32(0.5) * (kb.f32(1.0) + kb.erf(d1 * kb.f32(_SQRT1_2)))
+        )
+        cnd2 = kb.let(
+            "cnd2", kb.f32(0.5) * (kb.f32(1.0) + kb.erf(d2 * kb.f32(_SQRT1_2)))
+        )
+        expRT = kb.let("expRT", kb.exp(kb.f32(0.0) - r * t))
+        c_acc = kb.let("c_acc", c_acc + (s * cnd1 - x * expRT * cnd2))
+        e_acc = kb.let("e_acc", e_acc + expRT)
+    inv = kb.f32(1.0 / vol_rounds)
+    c = kb.let("c", c_acc * inv)
+    e = kb.let("e", e_acc * inv)
+    call[idx] = c
+    put[idx] = c - s + x * e  # put-call parity on the averaged price
+    return kb.finish()
+
+
+class BlackScholesBenchmark(Benchmark):
+    name = "Blackscholes"
+    work_dim = 2
+    default_global_sizes = ((1280, 1280), (2560, 2560))
+    default_local_size = (16, 16)
+    supports_coalescing = False
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        if coalesce != 1:
+            raise ValueError("Blackscholes does not support workitem coalescing")
+        return build_blackscholes_kernel()
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(np.prod(global_size))
+        return (
+            {
+                "price": (rng.random(n) * 95.0 + 5.0).astype(np.float32),
+                "strike": (rng.random(n) * 99.0 + 1.0).astype(np.float32),
+                "years": (rng.random(n) * 9.75 + 0.25).astype(np.float32),
+                "call": np.zeros(n, dtype=np.float32),
+                "put": np.zeros(n, dtype=np.float32),
+            },
+            {"riskfree": RISK_FREE, "volatility": VOLATILITY},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        s = buffers["price"].astype(np.float64)
+        x = buffers["strike"].astype(np.float64)
+        t = buffers["years"].astype(np.float64)
+        r = float(scalars["riskfree"])
+        v0 = float(scalars["volatility"])
+        sqrt_t = np.sqrt(t)
+        log_sx = np.log(s / x)
+        cnd = lambda d: 0.5 * (1.0 + _sp.erf(d * _SQRT1_2))  # noqa: E731
+        exp_rt = np.exp(-r * t)
+        c_acc = np.zeros_like(s)
+        for rnd in range(VOL_ROUNDS):
+            v = np.float32(v0) + np.float32(rnd) * np.float32(VOL_STEP)
+            v = float(v)
+            d1 = (log_sx + (r + 0.5 * v * v) * t) / (v * sqrt_t)
+            d2 = d1 - v * sqrt_t
+            c_acc += s * cnd(d1) - x * exp_rt * cnd(d2)
+        call = c_acc / VOL_ROUNDS
+        put = call - s + x * exp_rt
+        return {
+            "call": call.astype(np.float32),
+            "put": put.astype(np.float32),
+        }

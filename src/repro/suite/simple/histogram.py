@@ -1,0 +1,76 @@
+"""``Histogram`` — 256-bin histogram with per-workgroup ``__local`` bins.
+
+Table II: global size 409600, local 256.  Each workgroup builds a private
+histogram in local memory with local atomics, then merges it into the global
+histogram — the standard GPU-SDK formulation (and a kernel OpenCL CPU
+compilers refuse to vectorize because of the atomics).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import I32, U32
+from ..base import Benchmark
+
+__all__ = ["HistogramBenchmark", "build_histogram_kernel"]
+
+BINS = 256
+
+
+def build_histogram_kernel(wg_size: int = 256) -> Kernel:
+    """Must be launched with local size ``wg_size`` (>= BINS preferred)."""
+    if wg_size < BINS or wg_size % BINS != 0:
+        raise ValueError(f"workgroup size must be a multiple of {BINS}")
+    kb = KernelBuilder("histogram256")
+    data = kb.buffer("data", I32, access="r")
+    hist = kb.buffer("hist", U32, access="rw")
+    lhist = kb.local_array("lhist", BINS, U32)
+
+    gid = kb.global_id(0)
+    lid = kb.local_id(0)
+
+    with kb.if_(lid < BINS):
+        lhist[lid] = kb.cast(0, U32)
+    kb.barrier()
+    v = kb.let("v", data[gid])
+    lhist.atomic_add(v, kb.cast(1, U32))
+    kb.barrier()
+    with kb.if_(lid < BINS):
+        hist.atomic_add(lid, lhist[lid])
+    return kb.finish()
+
+
+class HistogramBenchmark(Benchmark):
+    name = "Histogram"
+    work_dim = 1
+    default_global_sizes = ((409_600,),)
+    default_local_size = (256,)
+    supports_coalescing = False
+
+    def __init__(self, wg_size: int = 256):
+        self.wg_size = wg_size
+        self.default_local_size = (wg_size,)
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        if coalesce != 1:
+            raise ValueError("Histogram does not support workitem coalescing")
+        return build_histogram_kernel(self.wg_size)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        return (
+            {
+                "data": rng.integers(0, BINS, size=n, dtype=np.int32),
+                "hist": np.zeros(BINS, dtype=np.uint32),
+            },
+            {},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        counts = np.bincount(buffers["data"], minlength=BINS)
+        return {"hist": counts.astype(np.uint32)}

@@ -1,0 +1,142 @@
+"""``Matrixmul`` — blocked matrix multiply using ``__local`` tiles — and
+``MatrixmulNaive``, the same computation without local memory.
+
+Table II: Matrixmul global 800x1600 / 1600x3200 / 4000x8000, local 16x16;
+MatrixmulNaive the same NDRanges.  The NDRange spans the output matrix C
+(dimension 0 = columns, dimension 1 = rows):
+
+    C[h x w] = A[h x K] @ B[K x w]
+
+The blocked variant is the paper's example of a kernel whose optimal
+workgroup size differs between CPU (8x8) and GPU (16x16) because workgroup
+size selects the ``__local`` tile, hence the cache/scratchpad footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32
+from ..base import Benchmark
+
+__all__ = [
+    "MatrixMulBenchmark",
+    "MatrixMulNaiveBenchmark",
+    "build_matrixmul_kernel",
+    "build_matrixmul_naive_kernel",
+]
+
+
+def build_matrixmul_kernel(block: int = 16) -> Kernel:
+    """Tiled matmul; must be launched with local size (block, block)."""
+    if block <= 0 or block & (block - 1):
+        raise ValueError("block must be a positive power of two")
+    kb = KernelBuilder("matrixMul", work_dim=2)
+    A = kb.buffer("A", F32, access="r")
+    B = kb.buffer("B", F32, access="r")
+    C = kb.buffer("C", F32, access="w")
+    K = kb.scalar("K", I32)       # inner dimension
+    wB = kb.scalar("wB", I32)     # width of B and C
+    As = kb.local_array("As", block * block, F32)
+    Bs = kb.local_array("Bs", block * block, F32)
+
+    col = kb.global_id(0)
+    row = kb.global_id(1)
+    lx = kb.local_id(0)
+    ly = kb.local_id(1)
+
+    acc = kb.let("acc", kb.f32(0.0))
+    num_tiles = kb.let("num_tiles", K / block)
+    with kb.loop("t", 0, kb.cast(num_tiles, I32)) as t:
+        As[ly * block + lx] = A[row * K + t * block + lx]
+        Bs[ly * block + lx] = B[(t * block + ly) * wB + col]
+        kb.barrier()
+        with kb.loop("k2", 0, block) as k2:
+            acc = kb.let("acc", kb.mad(As[ly * block + k2], Bs[k2 * block + lx], acc))
+        kb.barrier()
+    C[row * wB + col] = acc
+    return kb.finish()
+
+
+def build_matrixmul_naive_kernel(coalesce: int = 1) -> Kernel:
+    """Naive matmul: one workitem computes one C element straight from DRAM."""
+    kb = KernelBuilder("matrixMulNaive", work_dim=2)
+    A = kb.buffer("A", F32, access="r")
+    B = kb.buffer("B", F32, access="r")
+    C = kb.buffer("C", F32, access="w")
+    K = kb.scalar("K", I32)
+    wB = kb.scalar("wB", I32)
+    col = kb.global_id(0)
+    row = kb.global_id(1)
+    acc = kb.let("acc", kb.f32(0.0))
+    with kb.loop("k", 0, K) as k:
+        acc = kb.let("acc", kb.mad(A[row * K + k], B[k * wB + col], acc))
+    C[row * wB + col] = acc
+    return kb.finish()
+
+
+class _MatMulBase(Benchmark):
+    work_dim = 2
+    default_global_sizes = ((800, 1600), (1600, 3200), (4000, 8000))
+    default_local_size = (16, 16)
+    supports_coalescing = False
+
+    #: inner-dimension divisor: K = width / k_div (square-ish matrices, as
+    #: the paper's matrixMul uses)
+    k_div = 1
+
+    def inner_dim(self, global_size: Sequence[int]) -> int:
+        w = int(global_size[0])
+        # round down to a multiple of 16 so every tile size (1..16) sees the
+        # same K and the Figure 3 sweep compares identical computations
+        return max(16, (w // self.k_div) // 16 * 16)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        w, h = int(global_size[0]), int(global_size[1])
+        K = self.inner_dim(global_size)
+        return (
+            {
+                "A": rng.standard_normal(h * K).astype(np.float32),
+                "B": rng.standard_normal(K * w).astype(np.float32),
+                "C": np.zeros(h * w, dtype=np.float32),
+            },
+            {"K": K, "wB": w},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        w, h = int(global_size[0]), int(global_size[1])
+        K = int(scalars["K"])
+        A = buffers["A"].reshape(h, K).astype(np.float64)
+        B = buffers["B"].reshape(K, w).astype(np.float64)
+        return {"C": (A @ B).astype(np.float32).ravel()}
+
+
+class MatrixMulBenchmark(_MatMulBase):
+    name = "Matrixmul"
+
+    def __init__(self, block: int = 16):
+        self.block = block
+        self.default_local_size = (block, block)
+
+    def inner_dim(self, global_size: Sequence[int]) -> int:
+        K = super().inner_dim(global_size)
+        # blocked kernel needs K to be a multiple of the tile edge
+        return max(self.block, (K // self.block) * self.block)
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        if coalesce != 1:
+            raise ValueError("Matrixmul does not support workitem coalescing")
+        return build_matrixmul_kernel(self.block)
+
+
+class MatrixMulNaiveBenchmark(_MatMulBase):
+    name = "MatrixmulNaive"
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        if coalesce != 1:
+            raise ValueError("MatrixmulNaive does not support workitem coalescing")
+        return build_matrixmul_naive_kernel()

@@ -1,0 +1,89 @@
+"""``Prefixsum`` — Hillis-Steele inclusive scan of one workgroup in
+``__local`` memory.
+
+Table II: global size 1024, local 1024 — a single workgroup scans the whole
+array, which is why this benchmark is tiny and barrier-dominated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32, I64
+from ..base import Benchmark
+
+__all__ = ["PrefixSumBenchmark", "build_prefixsum_kernel"]
+
+
+def build_prefixsum_kernel(n: int = 1024) -> Kernel:
+    """Inclusive scan over one workgroup of ``n`` items (power of two)."""
+    if n <= 0 or n & (n - 1):
+        raise ValueError("scan size must be a positive power of two")
+    levels = int(math.log2(n))
+    kb = KernelBuilder("prefixSum")
+    src = kb.buffer("input", F32, access="r")
+    dst = kb.buffer("output", F32, access="w")
+    temp = kb.local_array("temp", n, F32)
+
+    gid = kb.global_id(0)
+    lid = kb.local_id(0)
+
+    temp[lid] = src[gid]
+    kb.barrier()
+    with kb.loop("d", 0, levels) as d:
+        offset = kb.let("offset", kb.cast(1, I64) << d)
+        # barrier-safe formulation: read both operands, sync, then write.
+        prev_idx = kb.let("prev_idx", kb.max(lid - offset, 0))
+        addend = kb.let(
+            "addend", kb.select(lid >= offset, temp[prev_idx], kb.f32(0.0))
+        )
+        mine = kb.let("mine", temp[lid])
+        kb.barrier()
+        temp[lid] = mine + addend
+        kb.barrier()
+    dst[gid] = temp[lid]
+    return kb.finish()
+
+
+class PrefixSumBenchmark(Benchmark):
+    name = "Prefixsum"
+    work_dim = 1
+    default_global_sizes = ((1024,),)
+    default_local_size = (1024,)
+    supports_coalescing = False
+
+    def __init__(self, n: int = 1024):
+        self.n = n
+        self.default_global_sizes = ((n,),)
+        self.default_local_size = (n,)
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        if coalesce != 1:
+            raise ValueError("Prefixsum does not support workitem coalescing")
+        return build_prefixsum_kernel(self.n)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        if n != self.n:
+            raise ValueError(f"this instance scans exactly {self.n} elements")
+        return (
+            # positive inputs: keeps the float32 scan well-conditioned so the
+            # reference comparison is meaningful despite reassociation
+            {
+                "input": rng.random(n).astype(np.float32),
+                "output": np.zeros(n, dtype=np.float32),
+            },
+            {},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        return {
+            "output": np.cumsum(buffers["input"], dtype=np.float64).astype(
+                np.float32
+            )
+        }

@@ -1,0 +1,87 @@
+"""``Reduction`` — workgroup tree-reduction in ``__local`` memory.
+
+Table II: global sizes 640000 / 2560000 / 10240000, local 256.  Each
+workgroup reduces its slice to one partial sum; the host (or a second pass)
+adds the partials, as in the classic NVIDIA/AMD SDK sample.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32, I64
+from ..base import Benchmark
+
+__all__ = ["ReductionBenchmark", "build_reduction_kernel"]
+
+
+def build_reduction_kernel(wg_size: int = 256) -> Kernel:
+    """Tree reduction; must be launched with local size ``wg_size`` (pow2)."""
+    if wg_size <= 0 or wg_size & (wg_size - 1):
+        raise ValueError("workgroup size must be a positive power of two")
+    levels = int(math.log2(wg_size))
+    kb = KernelBuilder("reduce")
+    data = kb.buffer("input", F32, access="r")
+    partial = kb.buffer("partial", F32, access="w")
+    scratch = kb.local_array("scratch", wg_size, F32)
+
+    gid = kb.global_id(0)
+    lid = kb.local_id(0)
+    grp = kb.group_id(0)
+
+    scratch[lid] = data[gid]
+    kb.barrier()
+    with kb.loop("p", 0, levels) as p:
+        stride = kb.let("stride", kb.local_size(0) >> (p + 1))
+        with kb.if_(lid < stride):
+            scratch[lid] = scratch[lid] + scratch[lid + stride]
+        kb.barrier()
+    with kb.if_(lid.eq(0)):
+        partial[grp] = scratch[0]
+    return kb.finish()
+
+
+class ReductionBenchmark(Benchmark):
+    name = "Reduction"
+    work_dim = 1
+    default_global_sizes = ((640_000,), (2_560_000,), (10_240_000,))
+    default_local_size = (256,)
+    supports_coalescing = False
+
+    def __init__(self, wg_size: int = 256):
+        self.wg_size = wg_size
+        self.default_local_size = (wg_size,)
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        if coalesce != 1:
+            raise ValueError("Reduction does not support workitem coalescing")
+        return build_reduction_kernel(self.wg_size)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        if n % self.wg_size != 0:
+            raise ValueError(f"global size {n} not divisible by {self.wg_size}")
+        return (
+            {
+                "input": rng.standard_normal(n).astype(np.float32),
+                "partial": np.zeros(n // self.wg_size, dtype=np.float32),
+            },
+            {},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        n = int(global_size[0])
+        groups = buffers["input"].reshape(n // self.wg_size, self.wg_size)
+        # match the kernel's pairwise (tree) summation order for fp stability
+        acc = groups.astype(np.float32).copy()
+        width = self.wg_size
+        while width > 1:
+            half = width // 2
+            acc[:, :half] += acc[:, half:width]
+            width = half
+        return {"partial": acc[:, 0]}

@@ -1,0 +1,57 @@
+"""``Square`` — the paper's smallest kernel: ``out[i] = a[i] * a[i]``.
+
+Table II: global work sizes 10000, 100000, 1000000, 10000000; local NULL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32
+from ..base import Benchmark
+
+__all__ = ["SquareBenchmark", "build_square_kernel"]
+
+
+def build_square_kernel(coalesce: int = 1) -> Kernel:
+    """``square`` kernel; ``coalesce`` > 1 folds that many items into a loop."""
+    kb = KernelBuilder("square")
+    a = kb.buffer("input", F32, access="r")
+    out = kb.buffer("output", F32, access="w")
+    gid = kb.global_id(0)
+    if coalesce == 1:
+        x = kb.let("x", a[gid])
+        out[gid] = x * x
+    else:
+        n_per = kb.scalar("n_per", I32)
+        with kb.loop("j", 0, n_per) as j:
+            idx = kb.let("idx", gid * n_per + j)
+            x = kb.let("x", a[idx])
+            out[idx] = x * x
+    return kb.finish()
+
+
+class SquareBenchmark(Benchmark):
+    name = "Square"
+    work_dim = 1
+    default_global_sizes = ((10_000,), (100_000,), (1_000_000,), (10_000_000,))
+    default_local_size = None  # Table II: NULL
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        return build_square_kernel(coalesce)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        buffers = {
+            "input": rng.standard_normal(n).astype(np.float32),
+            "output": np.zeros(n, dtype=np.float32),
+        }
+        scalars: Dict[str, object] = {}
+        return buffers, scalars
+
+    def reference(self, buffers, scalars, global_size):
+        return {"output": buffers["input"] * buffers["input"]}

@@ -1,0 +1,59 @@
+"""``Vectoraddition`` — ``c[i] = a[i] + b[i]``.
+
+Table II: global work sizes 110000, 1100000, 5500000, 11445000; local NULL.
+The paper's flagship scheduling example: "If we create as many workitems as
+the size of arrays, we end up creating significant overhead on CPUs."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...kernelir.ast import Kernel
+from ...kernelir.builder import KernelBuilder
+from ...kernelir.types import F32, I32
+from ..base import Benchmark
+
+__all__ = ["VectorAddBenchmark", "build_vectoradd_kernel"]
+
+
+def build_vectoradd_kernel(coalesce: int = 1) -> Kernel:
+    kb = KernelBuilder("vectoadd")
+    a = kb.buffer("a", F32, access="r")
+    b = kb.buffer("b", F32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    gid = kb.global_id(0)
+    if coalesce == 1:
+        c[gid] = a[gid] + b[gid]
+    else:
+        n_per = kb.scalar("n_per", I32)
+        with kb.loop("j", 0, n_per) as j:
+            idx = kb.let("idx", gid * n_per + j)
+            c[idx] = a[idx] + b[idx]
+    return kb.finish()
+
+
+class VectorAddBenchmark(Benchmark):
+    name = "Vectoraddition"
+    work_dim = 1
+    default_global_sizes = ((110_000,), (1_100_000,), (5_500_000,), (11_445_000,))
+    default_local_size = None  # Table II: NULL
+
+    def kernel(self, coalesce: int = 1) -> Kernel:
+        return build_vectoradd_kernel(coalesce)
+
+    def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
+        n = int(global_size[0])
+        return (
+            {
+                "a": rng.standard_normal(n).astype(np.float32),
+                "b": rng.standard_normal(n).astype(np.float32),
+                "c": np.zeros(n, dtype=np.float32),
+            },
+            {},
+        )
+
+    def reference(self, buffers, scalars, global_size):
+        return {"c": buffers["a"] + buffers["b"]}

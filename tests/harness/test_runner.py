@@ -1,0 +1,86 @@
+"""Unit tests for the shared experiment runner helpers."""
+
+import numpy as np
+import pytest
+
+from repro import minicl as cl
+from repro.harness.runner import (
+    cpu_dut,
+    gpu_dut,
+    make_buffers,
+    measure_app_throughput,
+    measure_kernel,
+)
+from repro.suite import SquareBenchmark, VectorAddBenchmark
+
+
+class TestDut:
+    def test_cpu_gpu_duts(self):
+        assert not cpu_dut().is_gpu
+        assert gpu_dut().is_gpu
+
+    def test_fresh_queue_starts_at_zero(self):
+        dut = cpu_dut()
+        q1 = dut.fresh_queue()
+        assert q1.now_ns == 0.0
+
+
+class TestMakeBuffers:
+    def test_default_flags_follow_kernel_access(self):
+        dut = cpu_dut()
+        bufs, scalars, host = make_buffers(dut, VectorAddBenchmark(), (1024,))
+        assert not bufs["a"].kernel_writable   # READ_ONLY input
+        assert not bufs["c"].kernel_readable   # WRITE_ONLY output
+        assert bufs["a"].nbytes == 4096
+
+    def test_flags_map_override(self):
+        dut = cpu_dut()
+        fm = {"a": cl.mem_flags.READ_WRITE | cl.mem_flags.ALLOC_HOST_PTR}
+        bufs, _, _ = make_buffers(
+            dut, VectorAddBenchmark(), (256,), flags_map=fm
+        )
+        assert bufs["a"].pinned and bufs["a"].kernel_writable
+
+    def test_buffers_snapshot_host_data(self):
+        dut = cpu_dut()
+        bufs, _, host = make_buffers(dut, SquareBenchmark(), (256,))
+        np.testing.assert_array_equal(bufs["input"].array, host["input"])
+
+
+class TestMeasureKernel:
+    def test_returns_positive_mean(self):
+        m = measure_kernel(cpu_dut(), SquareBenchmark(), (10_000,))
+        assert m.mean_ns > 0 and m.invocations >= 1
+
+    def test_coalesce_injects_scalar(self):
+        m = measure_kernel(
+            cpu_dut(), SquareBenchmark(), (10_000,), coalesce=10
+        )
+        assert m.mean_ns > 0
+
+    def test_deterministic(self):
+        m1 = measure_kernel(cpu_dut(), SquareBenchmark(), (10_000,))
+        m2 = measure_kernel(cpu_dut(), SquareBenchmark(), (10_000,))
+        assert m1.mean_ns == m2.mean_ns
+
+
+class TestMeasureAppThroughput:
+    def test_map_beats_copy_on_cpu(self):
+        dut = cpu_dut()
+        t_copy = measure_app_throughput(
+            dut, SquareBenchmark(), (100_000,), transfer_api="copy"
+        )
+        t_map = measure_app_throughput(
+            dut, SquareBenchmark(), (100_000,), transfer_api="map"
+        )
+        assert t_map > t_copy > 0
+
+    def test_app_throughput_below_kernel_throughput(self):
+        """Equation (1): adding transfer time can only lower throughput."""
+        dut = cpu_dut()
+        m = measure_kernel(dut, SquareBenchmark(), (100_000,))
+        kernel_thr = m.throughput(100_000)
+        app_thr = measure_app_throughput(
+            dut, SquareBenchmark(), (100_000,), transfer_api="copy"
+        )
+        assert app_thr < kernel_thr

@@ -1,0 +1,85 @@
+"""Unit tests for the timing methodology and result reporting."""
+
+import pytest
+
+from repro.harness.report import ExperimentResult, Series
+from repro.harness.timing import Measurement, repeat_to_target
+from repro.minicl.constants import command_type
+from repro.minicl.event import Event
+
+
+def _event(duration):
+    return Event(command_type.MARKER, 0.0, 0.0, duration)
+
+
+class TestRepeatToTarget:
+    def test_stops_at_target(self):
+        calls = []
+
+        def enqueue():
+            calls.append(1)
+            return _event(40e9)  # 40 virtual seconds each
+
+        m = repeat_to_target(enqueue, target_seconds=90, max_invocations=10)
+        assert m.invocations == 3  # 40+40+40 >= 90
+        assert m.mean_ns == pytest.approx(40e9)
+
+    def test_caps_invocations(self):
+        m = repeat_to_target(lambda: _event(1.0), max_invocations=5)
+        assert m.invocations == 5
+
+    def test_min_invocations(self):
+        m = repeat_to_target(
+            lambda: _event(1e12), max_invocations=4, min_invocations=2
+        )
+        assert m.invocations >= 2
+
+    def test_zero_duration_breaks(self):
+        m = repeat_to_target(lambda: _event(0.0), max_invocations=10)
+        assert m.invocations == 1
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            repeat_to_target(lambda: _event(1), max_invocations=1, min_invocations=2)
+
+    def test_throughput(self):
+        m = Measurement(mean_ns=100.0, invocations=1, total_virtual_ns=100.0)
+        assert m.throughput(1000.0) == 10.0
+        assert m.mean_ms == pytest.approx(1e-4)
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            "figX",
+            "demo",
+            [
+                Series("cpu", {"a": 1.0, "b": 2.0}),
+                Series("gpu", {"a": 0.5}),
+            ],
+        )
+
+    def test_x_labels_union_in_order(self):
+        assert self.make().x_labels == ["a", "b"]
+
+    def test_get_series(self):
+        r = self.make()
+        assert r.get("cpu").value("b") == 2.0
+        with pytest.raises(KeyError):
+            r.get("tpu")
+
+    def test_render_contains_values_and_gaps(self):
+        text = self.make().render()
+        assert "figX" in text and "cpu" in text
+        assert "-" in text  # missing gpu/b slot
+
+    def test_csv(self):
+        csv = self.make().to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "series,a,b"
+        assert lines[2].startswith("gpu,0.5,")
+
+    def test_notes_rendered(self):
+        r = self.make()
+        r.notes.append("hello world")
+        assert "note: hello world" in r.render()

@@ -1,0 +1,266 @@
+"""Unit tests for the static analyses (op counts, ILP, access patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.kernelir import ast as ir
+from repro.kernelir.analysis import (
+    AffineIndex,
+    LaunchContext,
+    LatencyTable,
+    affine_index,
+    analyze_kernel,
+)
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.interp import Interpreter
+from repro.kernelir.types import F32, I32
+
+
+def ctx(gsize=(64,), lsize=(16,), **scalars):
+    return LaunchContext(gsize, lsize, scalars)
+
+
+class TestAffineIndex:
+    def test_gid_linear(self):
+        c = ctx()
+        a = affine_index(ir.GlobalId(0) * 4 + 2, c)
+        assert a.coeff(("g", 0)) == 4 and a.const == 2
+        assert a.vector_stride == 4
+
+    def test_lid_contributes_to_vector_stride(self):
+        c = ctx()
+        a = affine_index(ir.LocalId(0) + ir.GroupId(0) * 16, c)
+        assert a.vector_stride == 1  # grp is packet-constant
+
+    def test_sizes_resolve_to_constants(self):
+        c = ctx((64,), (16,))
+        a = affine_index(ir.GlobalSize(0) + ir.LocalSize(0) + ir.NumGroups(0), c)
+        assert a.const == 64 + 16 + 4 and not a.coeffs
+
+    def test_scalar_substitution(self):
+        c = ctx(w=10)
+        a = affine_index(ir.GlobalId(0) * ir.Var("w", I32), c)
+        assert a.coeff(("g", 0)) == 10
+
+    def test_nonaffine_products(self):
+        c = ctx()
+        assert affine_index(ir.GlobalId(0) * ir.GlobalId(1), c) is None
+
+    def test_load_is_opaque(self):
+        c = ctx()
+        e = ir.Load("a", ir.GlobalId(0), F32)
+        assert affine_index(e, c) is None
+
+    def test_division_by_constant(self):
+        c = ctx()
+        a = affine_index((ir.GlobalId(0) * 4) / 2, c)
+        assert a is not None and a.coeff(("g", 0)) == 2
+        assert affine_index((ir.GlobalId(0) * 3) / 2, c) is None
+
+    def test_mod_nonaffine(self):
+        c = ctx()
+        assert affine_index(ir.GlobalId(0) % 7, c) is None
+
+    def test_shift_scales(self):
+        c = ctx()
+        a = affine_index(ir.GlobalId(0) << 2, c)
+        assert a.coeff(("g", 0)) == 4
+
+    def test_env_variable_resolution(self):
+        c = ctx()
+        env = {"idx": AffineIndex(1.0, {("g", 0): 2.0})}
+        a = affine_index(ir.Var("idx", I32) + 5, c, env)
+        assert a.coeff(("g", 0)) == 2 and a.const == 6
+
+    def test_loop_symbol(self):
+        c = ctx()
+        env = {"j": AffineIndex(0.0, {("loop", "j"): 1.0})}
+        a = affine_index(ir.GlobalId(0) * 8 + ir.Var("j", I32), c, env)
+        assert a.loop_stride("j") == 1
+        assert not a.is_uniform
+        u = affine_index(ir.Var("j", I32) * 2, c, env)
+        assert u.is_uniform  # loop-varying but workitem-invariant
+
+
+def _elementwise():
+    kb = KernelBuilder("e")
+    a = kb.buffer("a", F32, access="r")
+    o = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    x = kb.let("x", a[g])
+    o[g] = x * x + 1.0
+    return kb.finish()
+
+
+class TestCounts:
+    def test_elementwise_counts(self):
+        an = analyze_kernel(_elementwise(), ctx())
+        assert an.per_item.loads == 1
+        assert an.per_item.stores == 1
+        assert an.per_item.flops == 2
+
+    def test_loop_multiplies_counts(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", kb.f32(0.0))
+        with kb.loop("i", 0, 10) as i:
+            acc = kb.let("acc", acc + a[g * 10 + i])
+        o[g] = acc
+        an = analyze_kernel(kb.finish(), ctx())
+        assert an.per_item.loads == 10
+        assert an.per_item.flops == 10
+        assert an.per_item.stores == 1
+
+    def test_nested_loops_multiply(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", kb.f32(0.0))
+        with kb.loop("i", 0, 3):
+            with kb.loop("j", 0, 4):
+                acc = kb.let("acc", acc + 1.0)
+        o[g] = acc
+        an = analyze_kernel(kb.finish(), ctx())
+        assert an.per_item.flops == 12
+
+    def test_scalar_dependent_trip_count(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        n = kb.scalar("n", I32)
+        g = kb.global_id(0)
+        acc = kb.let("acc", kb.f32(0.0))
+        with kb.loop("i", 0, n):
+            acc = kb.let("acc", acc + 1.0)
+        o[g] = acc
+        an = analyze_kernel(kb.finish(), ctx(n=25))
+        assert an.per_item.flops == 25
+        assert not an.approximate
+
+    def test_divergent_trip_marks_approximate(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        with kb.loop("i", 0, g):
+            kb.let("x", kb.f32(1.0))
+        o[g] = 0.0
+        an = analyze_kernel(kb.finish(), ctx())
+        assert an.approximate and an.divergent_flow
+
+    def test_if_else_half_weight(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        with kb.if_((g % 2).eq(0)):
+            o[g] = kb.f32(1.0) + 1.0
+        with kb.else_():
+            o[g] = kb.f32(2.0) + 2.0
+        an = analyze_kernel(kb.finish(), ctx())
+        assert an.per_item.flops == pytest.approx(1.0)  # 0.5 + 0.5
+        assert an.divergent_flow
+
+    def test_counts_match_interpreter(self):
+        """Static counts equal dynamic counts for uniform kernels."""
+        k = _elementwise()
+        n = 32
+        bufs = {"a": np.ones(n, np.float32), "o": np.zeros(n, np.float32)}
+        res = Interpreter().launch(k, n, 8, buffers=bufs, count_ops=True)
+        an = analyze_kernel(k, ctx((n,), (8,)))
+        assert res.counters.flops == an.per_item.flops * n
+        assert res.counters.loads == an.per_item.loads * n
+        assert res.counters.stores == an.per_item.stores * n
+
+
+class TestILP:
+    def _chain_kernel(self, chains, per_chain):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32)
+        g = kb.global_id(0)
+        vs = [kb.let(f"v{i}", a[g] + float(i)) for i in range(chains)]
+        with kb.loop("t", 0, 16):
+            for i in range(chains):
+                for _ in range(per_chain):
+                    vs[i] = kb.let(f"v{i}", vs[i] * 1.5)
+        acc = vs[0]
+        for v in vs[1:]:
+            acc = acc + v
+        a[g] = acc
+        return kb.finish()
+
+    def test_single_chain_ilp_is_one(self):
+        an = analyze_kernel(self._chain_kernel(1, 4), ctx())
+        assert an.ilp == pytest.approx(1.0, abs=0.35)
+
+    def test_ilp_scales_with_chains(self):
+        ilps = [
+            analyze_kernel(self._chain_kernel(k, 4), ctx()).ilp for k in (1, 2, 4)
+        ]
+        assert ilps[0] < ilps[1] < ilps[2]
+        assert ilps[2] / ilps[0] == pytest.approx(4.0, rel=0.35)
+
+    def test_independent_iterations_have_high_ilp(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        with kb.loop("i", 0, 32) as i:
+            o[g * 32 + i] = a[g * 32 + i] * 2.0
+        an = analyze_kernel(kb.finish(), ctx())
+        assert an.ilp > 4  # no loop-carried dependence
+
+
+class TestAccessPatterns:
+    def test_contiguous(self):
+        an = analyze_kernel(_elementwise(), ctx())
+        assert {a.pattern for a in an.accesses} == {"contiguous"}
+
+    def test_strided_and_uniform(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        o[g] = a[g * 2] + a[0]
+        an = analyze_kernel(kb.finish(), ctx())
+        pats = sorted(a.pattern for a in an.accesses)
+        assert pats == ["contiguous", "strided", "uniform"]
+
+    def test_gather(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        idx = kb.buffer("idx", I32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        o[g] = a[idx[g]]
+        an = analyze_kernel(kb.finish(), ctx())
+        assert any(a.pattern == "gather" for a in an.accesses)
+        assert 0 < an.gather_fraction() < 1
+
+    def test_loop_stride_recorded(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", kb.f32(0.0))
+        with kb.loop("i", 0, 8) as i:
+            acc = kb.let("acc", acc + a[g * 8 + i])
+        o[g] = acc
+        an = analyze_kernel(kb.finish(), ctx())
+        loads = [x for x in an.accesses if not x.is_store]
+        assert loads[0].inner_loop_stride == 1
+        assert loads[0].count_per_item == 8
+
+    def test_bytes_and_intensity(self):
+        an = analyze_kernel(_elementwise(), ctx())
+        assert an.bytes_loaded_per_item == 4
+        assert an.bytes_stored_per_item == 4
+        assert an.arithmetic_intensity == pytest.approx(2 / 8)
+
+
+class TestLatencyTable:
+    def test_ordering(self):
+        lt = LatencyTable()
+        assert lt.fp_div > lt.fp_mul > lt.int_op
+        assert lt.of_call("exp") > lt.of_call("sqrt") >= lt.of_call("fabs")
+        assert lt.of_binop("<", F32) == lt.compare
+        assert lt.of_binop("+", I32) == lt.int_op

@@ -1,0 +1,84 @@
+"""Property tests: the static analysis agrees with dynamic execution on
+randomly generated *uniform* kernels (no divergence, so the counts must be
+exact), and the OpenCL vectorizer accepts every such kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernelir.analysis import LaunchContext, analyze_kernel
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.interp import Interpreter
+from repro.kernelir.types import F32
+from repro.kernelir.vectorize import OpenCLVectorizer
+
+
+# a uniform kernel = a random straight-line/loop program over two buffers
+# with contiguous indexing and uniform trip counts
+@st.composite
+def uniform_kernel(draw):
+    n_stmts = draw(st.integers(1, 4))
+    trips = draw(st.integers(1, 6))
+    use_loop = draw(st.booleans())
+    ops = draw(
+        st.lists(st.sampled_from(["mul", "add", "mad"]), min_size=1, max_size=4)
+    )
+
+    kb = KernelBuilder("gen")
+    a = kb.buffer("a", F32, access="r")
+    o = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    v = kb.let("v", a[g])
+
+    def body():
+        nonlocal v
+        for op in ops:
+            if op == "mul":
+                v = kb.let("v", v * 1.001)
+            elif op == "add":
+                v = kb.let("v", v + 0.5)
+            else:
+                v = kb.let("v", kb.mad(v, 0.999, 0.001))
+
+    if use_loop:
+        with kb.loop("t", 0, trips):
+            body()
+        expect_flops = trips * sum(2 if op == "mad" else 1 for op in ops)
+    else:
+        for _ in range(n_stmts):
+            body()
+        expect_flops = n_stmts * sum(2 if op == "mad" else 1 for op in ops)
+    o[g] = v
+    return kb.finish(), expect_flops
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=uniform_kernel(), n=st.sampled_from([16, 64, 256]))
+def test_static_flops_match_dynamic(data, n):
+    kernel, expect_flops = data
+    an = analyze_kernel(kernel, LaunchContext((n,), (16,)))
+    assert an.per_item.flops == expect_flops
+    assert an.per_item.loads == 1 and an.per_item.stores == 1
+
+    bufs = {"a": np.ones(n, np.float32), "o": np.zeros(n, np.float32)}
+    res = Interpreter().launch(kernel, n, 16, buffers=bufs, count_ops=True)
+    assert res.counters.flops == expect_flops * n
+    assert res.counters.loads == n and res.counters.stores == n
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=uniform_kernel())
+def test_uniform_kernels_always_vectorize(data):
+    kernel, _ = data
+    rep = OpenCLVectorizer(4).vectorize(kernel, LaunchContext((256,), (64,)))
+    assert rep.vectorized
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=uniform_kernel())
+def test_ilp_at_least_one_and_finite(data):
+    kernel, _ = data
+    an = analyze_kernel(kernel, LaunchContext((256,), (64,)))
+    assert 1.0 <= an.ilp < 1000
+    assert an.critical_path_cycles >= 1.0
+    assert not an.divergent_flow

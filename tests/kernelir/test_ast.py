@@ -1,0 +1,182 @@
+"""Unit tests for IR AST construction, validation, and walkers."""
+
+import pytest
+
+from repro.kernelir import ast as ir
+from repro.kernelir.types import BOOL, F32, I32, I64
+
+
+def test_const_inference():
+    assert ir.Const(3).dtype is I64
+    assert ir.Const(3.0).dtype is F32
+    assert ir.Const(True).dtype is BOOL
+    with pytest.raises(TypeError):
+        ir.Const("bad")
+
+
+def test_id_nodes():
+    g = ir.GlobalId(1)
+    assert g.dim == 1
+    assert g.dtype is I64
+    assert g == ir.GlobalId(1)
+    assert g != ir.GlobalId(0)
+    assert g != ir.LocalId(1)
+    assert hash(ir.GroupId(2)) == hash(ir.GroupId(2))
+    with pytest.raises(ValueError):
+        ir.GlobalId(3)
+
+
+def test_operator_overloads_build_binops():
+    g = ir.GlobalId(0)
+    e = (g + 1) * 2 - 3
+    assert isinstance(e, ir.BinOp) and e.op == "-"
+    assert e.dtype is I64
+    # reflected
+    e2 = 1 + g
+    assert isinstance(e2, ir.BinOp) and e2.op == "+"
+    assert isinstance(-g, ir.UnOp)
+
+
+def test_comparison_dtype_is_bool():
+    g = ir.GlobalId(0)
+    assert (g < 5).dtype is BOOL
+    assert g.eq(0).dtype is BOOL
+    assert g.ne(1).dtype is BOOL
+
+
+def test_binop_promotion():
+    f = ir.Var("f", F32)
+    i = ir.Var("i", I32)
+    assert (f + i).dtype is F32
+    assert (i + i).dtype is I32
+    assert (i / i).dtype is I32  # C-style integer division
+    assert (f / i).dtype is F32
+
+
+def test_bad_binop_rejected():
+    with pytest.raises(ValueError):
+        ir.BinOp("**", ir.Const(1), ir.Const(2))
+    with pytest.raises(ValueError):
+        ir.UnOp("sqrt", ir.Const(1.0))
+
+
+def test_call_arity_and_dtype():
+    c = ir.Call("mad", (ir.Const(1.0), ir.Const(2.0), ir.Const(3.0)))
+    assert c.dtype.is_float
+    with pytest.raises(ValueError):
+        ir.Call("exp", (ir.Const(1.0), ir.Const(2.0)))
+    with pytest.raises(ValueError):
+        ir.Call("nosuch", (ir.Const(1.0),))
+
+
+def test_select_dtype():
+    s = ir.Select(ir.Const(True), ir.Var("a", F32), ir.Var("b", F32))
+    assert s.dtype is F32
+    assert len(s.children()) == 3
+
+
+def test_walk_exprs_covers_tree():
+    g = ir.GlobalId(0)
+    e = ir.Load("a", g * 2 + 1, F32)
+    kinds = [type(x).__name__ for x in ir.walk_exprs(e)]
+    assert kinds[0] == "Load"
+    assert "GlobalId" in kinds and "Const" in kinds
+
+
+def _simple_kernel(**kw):
+    body = kw.pop(
+        "body",
+        [ir.Store("out", ir.GlobalId(0), ir.Load("a", ir.GlobalId(0), F32))],
+    )
+    params = kw.pop(
+        "params",
+        [ir.BufferParam("a", F32, "r"), ir.BufferParam("out", F32, "w")],
+    )
+    return ir.Kernel("k", params, kw.pop("local_arrays", []), body, **kw)
+
+
+class TestKernelValidation:
+    def test_valid(self):
+        k = _simple_kernel()
+        assert k.buffer_params[0].name == "a"
+        assert not k.uses_barrier and not k.uses_local_memory
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            _simple_kernel(
+                params=[ir.BufferParam("a", F32, "r"), ir.BufferParam("a", F32, "w")]
+            )
+
+    def test_unknown_buffer_rejected(self):
+        with pytest.raises(ValueError, match="unknown buffer"):
+            _simple_kernel(
+                body=[ir.Store("nope", ir.GlobalId(0), ir.Const(1.0))],
+            )
+
+    def test_write_to_readonly_rejected(self):
+        with pytest.raises(ValueError, match="read-only"):
+            _simple_kernel(
+                body=[ir.Store("a", ir.GlobalId(0), ir.Const(1.0))],
+            )
+
+    def test_read_from_writeonly_rejected(self):
+        with pytest.raises(ValueError, match="write-only"):
+            _simple_kernel(
+                body=[
+                    ir.Store("out", ir.GlobalId(0), ir.Load("out", ir.GlobalId(0), F32))
+                ],
+            )
+
+    def test_bad_work_dim(self):
+        with pytest.raises(ValueError):
+            _simple_kernel(work_dim=4)
+
+    def test_bad_access_flag(self):
+        with pytest.raises(ValueError):
+            ir.BufferParam("x", F32, "rx")
+
+    def test_local_array_positive(self):
+        with pytest.raises(ValueError):
+            ir.LocalArray("s", F32, 0)
+
+    def test_local_mem_bytes(self):
+        k = _simple_kernel(local_arrays=[ir.LocalArray("s", F32, 16)])
+        assert k.local_mem_bytes == 64
+        assert k.uses_local_memory
+
+    def test_uses_atomics(self):
+        k = _simple_kernel(
+            params=[ir.BufferParam("a", F32, "r"), ir.BufferParam("out", F32, "rw")],
+            body=[ir.AtomicAdd("out", ir.GlobalId(0), ir.Const(1.0))],
+        )
+        assert k.uses_atomics
+
+
+def test_for_keeps_body_list_identity():
+    body = []
+    f = ir.For("i", ir.Const(0), ir.Const(4), ir.Const(1), body)
+    body.append(ir.Assign("x", ir.Const(1.0)))
+    assert len(f.body) == 1  # the builder relies on this aliasing
+
+
+def test_if_keeps_body_list_identity():
+    then, els = [], []
+    s = ir.If(ir.Const(True), then, els)
+    then.append(ir.Assign("x", ir.Const(1.0)))
+    els.append(ir.Assign("y", ir.Const(2.0)))
+    assert len(s.then_body) == 1 and len(s.else_body) == 1
+
+
+def test_walk_stmts_enters_nested_blocks():
+    inner = ir.Assign("x", ir.Const(1.0))
+    loop = ir.For("i", ir.Const(0), ir.Const(2), ir.Const(1), [inner])
+    cond = ir.If(ir.Const(True), [loop], [ir.Barrier()])
+    kinds = [type(s).__name__ for s in ir.walk_stmts([cond])]
+    assert kinds == ["If", "For", "Assign", "Barrier"]
+
+
+def test_pretty_renders():
+    k = _simple_kernel()
+    text = k.pretty()
+    assert "__kernel void k" in text
+    assert "out[get_global_id(0)]" in text

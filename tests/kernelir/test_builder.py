@@ -1,0 +1,124 @@
+"""Unit tests for the fluent KernelBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.kernelir import ast as ir
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.interp import Interpreter
+from repro.kernelir.types import F32, I32, U32
+
+
+def test_basic_kernel_shape():
+    kb = KernelBuilder("k")
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    n = kb.scalar("n", I32)
+    g = kb.global_id(0)
+    x = kb.let("x", a[g])
+    out[g] = x * x + n
+    k = kb.finish()
+    assert [p.name for p in k.params] == ["a", "out", "n"]
+    assert len(k.body) == 2
+
+
+def test_loop_appends_into_loop_body():
+    kb = KernelBuilder("k")
+    a = kb.buffer("a", F32)
+    g = kb.global_id(0)
+    with kb.loop("i", 0, 4) as i:
+        kb.let("t", a[g] + i)
+    k = kb.finish()
+    assert isinstance(k.body[0], ir.For)
+    assert len(k.body[0].body) == 1
+
+
+def test_nested_scopes():
+    kb = KernelBuilder("k")
+    a = kb.buffer("a", F32)
+    g = kb.global_id(0)
+    with kb.loop("i", 0, 2):
+        with kb.if_(g < 1):
+            a[g] = 1.0
+        with kb.else_():
+            a[g] = 2.0
+    k = kb.finish()
+    loop = k.body[0]
+    assert isinstance(loop.body[0], ir.If)
+    assert len(loop.body[0].then_body) == 1
+    assert len(loop.body[0].else_body) == 1
+
+
+def test_else_without_if_raises():
+    kb = KernelBuilder("k")
+    kb.buffer("a", F32)
+    with pytest.raises(RuntimeError, match="else_"):
+        with kb.else_():
+            pass
+
+
+def test_unclosed_scope_detected():
+    kb = KernelBuilder("k")
+    kb.buffer("a", F32)
+    cm = kb.loop("i", 0, 4)
+    cm.__enter__()
+    with pytest.raises(RuntimeError, match="unclosed"):
+        kb.finish()
+
+
+def test_emit_after_finish_rejected():
+    kb = KernelBuilder("k")
+    a = kb.buffer("a", F32)
+    a[kb.global_id(0)] = 1.0
+    kb.finish()
+    with pytest.raises(RuntimeError):
+        kb.let("x", 1.0)
+
+
+def test_tmp_names_unique():
+    kb = KernelBuilder("k")
+    a = kb.buffer("a", F32)
+    t1 = kb.tmp(a[kb.global_id(0)])
+    t2 = kb.tmp(t1 + 1.0)
+    assert t1.name != t2.name
+
+
+def test_local_array_and_atomics():
+    kb = KernelBuilder("k")
+    data = kb.buffer("data", I32, access="r")
+    hist = kb.buffer("hist", U32)
+    lh = kb.local_array("lh", 8, U32)
+    lid = kb.local_id(0)
+    lh[lid] = kb.cast(0, U32)
+    kb.barrier()
+    lh.atomic_add(data[kb.global_id(0)], kb.cast(1, U32))
+    kb.barrier()
+    hist.atomic_add(lid, lh[lid])
+    k = kb.finish()
+    assert k.uses_atomics and k.uses_barrier and k.uses_local_memory
+
+    # execute it: counts of values 0..7
+    rng = np.random.default_rng(0)
+    d = rng.integers(0, 8, 64, dtype=np.int32)
+    bufs = {"data": d, "hist": np.zeros(8, np.uint32)}
+    Interpreter().launch(k, 64, 8, buffers=bufs)
+    np.testing.assert_array_equal(bufs["hist"], np.bincount(d, minlength=8))
+
+
+def test_intrinsic_helpers_produce_calls():
+    kb = KernelBuilder("k")
+    x = kb.buffer("x", F32)
+    g = kb.global_id(0)
+    e = kb.mad(kb.exp(x[g]), kb.sqrt(x[g]), kb.fabs(x[g]))
+    assert isinstance(e, ir.Call) and e.fn == "mad"
+    assert isinstance(kb.select(g < 1, 1.0, 2.0), ir.Select)
+    assert kb.min(g, 4).op == "min"
+    assert kb.f32(2).dtype is F32
+    assert kb.i32(2).dtype is I32
+
+
+def test_f32_cast_of_expression():
+    kb = KernelBuilder("k")
+    g = kb.global_id(0)
+    e = kb.f32(g)
+    assert isinstance(e, ir.Cast) and e.dtype is F32

@@ -1,0 +1,125 @@
+"""Tests for OpenCL C / OpenMP C source generation."""
+
+import re
+
+import pytest
+
+from repro.kernelir.codegen import CodegenError, to_opencl_c, to_openmp_c
+from repro.suite import MBENCHES, all_parboil_benchmarks, all_table2_benchmarks
+from repro.suite.simple.square import build_square_kernel
+from repro.suite.simple.reduction import build_reduction_kernel
+from repro.suite.simple.blackscholes import build_blackscholes_kernel
+
+
+def _balanced(src: str) -> bool:
+    return src.count("{") == src.count("}") and src.count("(") == src.count(")")
+
+
+class TestOpenCLGeneration:
+    def test_square_golden_shape(self):
+        src = to_opencl_c(build_square_kernel())
+        assert "__kernel void square(" in src
+        assert "__global const float* input" in src
+        assert "__global float* output" in src
+        assert "get_global_id(0)" in src
+        assert "output[get_global_id(0)] = (x * x);" in src
+        assert _balanced(src)
+
+    def test_coalesced_square_has_loop(self):
+        src = to_opencl_c(build_square_kernel(100))
+        assert re.search(r"for \(long j = 0; j < .*n_per.*\+= 1\)", src)
+
+    def test_reduction_workgroup_constructs(self):
+        src = to_opencl_c(build_reduction_kernel(64))
+        assert "__local float scratch[64];" in src
+        assert "barrier(CLK_LOCAL_MEM_FENCE);" in src
+        assert "get_local_id(0)" in src
+        assert _balanced(src)
+
+    def test_blackscholes_intrinsics(self):
+        src = to_opencl_c(build_blackscholes_kernel())
+        for fn in ("erf(", "exp(", "log(", "sqrt("):
+            assert fn in src
+        assert _balanced(src)
+
+    @pytest.mark.parametrize(
+        "bench",
+        all_table2_benchmarks() + all_parboil_benchmarks() + list(MBENCHES),
+        ids=lambda b: b.name,
+    )
+    def test_every_suite_kernel_emits(self, bench):
+        src = to_opencl_c(bench.kernel())
+        assert src.startswith("__kernel void ")
+        assert _balanced(src)
+        # every parameter appears in the source
+        for p in bench.kernel().params:
+            assert p.name in src
+
+    def test_scalar_params_typed(self):
+        src = to_opencl_c(build_square_kernel(10))
+        assert re.search(r"\bint n_per\b", src)
+
+
+class TestOpenMPGeneration:
+    def test_square_port(self):
+        src = to_openmp_c(build_square_kernel())
+        assert "#pragma omp parallel for" in src
+        assert "for (long gid = 0; gid < n_items; ++gid)" in src
+        assert "const long gid0 = gid;" in src
+        assert "output[gid0] = (x * x);" in src
+        assert _balanced(src)
+
+    def test_libm_spellings(self):
+        src = to_openmp_c(build_blackscholes_kernel())
+        for fn in ("erff(", "expf(", "logf(", "sqrtf("):
+            assert fn in src
+
+    def test_workgroup_kernels_rejected(self):
+        with pytest.raises(CodegenError, match="workgroup constructs"):
+            to_openmp_c(build_reduction_kernel(64))
+
+    def test_custom_name(self):
+        src = to_openmp_c(build_square_kernel(), func_name="my_square")
+        assert src.startswith("void my_square(")
+
+    def test_atomic_becomes_pragma(self):
+        from repro.kernelir.builder import KernelBuilder
+        from repro.kernelir.types import I32
+
+        kb = KernelBuilder("h")
+        h = kb.buffer("h", I32)
+        h.atomic_add(kb.global_id(0) % 4, kb.i32(1))
+        src = to_openmp_c(kb.finish())
+        assert "#pragma omp atomic" in src
+        assert "+=" in src
+
+    @pytest.mark.parametrize("bench", list(MBENCHES), ids=lambda b: b.name)
+    def test_mbenches_port(self, bench):
+        src = to_openmp_c(bench.kernel())
+        assert "#pragma omp parallel for" in src
+        assert _balanced(src)
+
+
+class TestDeclarationDiscipline:
+    def test_variables_declared_once(self):
+        src = to_opencl_c(build_square_kernel())
+        assert src.count("float x =") == 1
+
+    def test_reassignment_not_redeclared(self):
+        from repro.kernelir.builder import KernelBuilder
+        from repro.kernelir.types import F32
+
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32)
+        g = kb.global_id(0)
+        v = kb.let("v", a[g])
+        v = kb.let("v", v * 2.0)
+        a[g] = v
+        src = to_opencl_c(kb.finish())
+        assert src.count("float v") == 1
+        assert "v = (v * 2.0f);" in src
+
+    def test_loop_body_declarations_scoped(self):
+        src = to_opencl_c(build_square_kernel(10))
+        # idx/x are declared inside the loop each emission run, once
+        assert src.count("long idx =") == 1

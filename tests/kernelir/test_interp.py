@@ -1,0 +1,303 @@
+"""Unit tests for the lock-step SIMT interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.kernelir import ast as ir
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.interp import Interpreter, KernelExecutionError
+from repro.kernelir.types import F32, I32, I64
+
+
+def run(kernel, gsize, lsize=None, count_ops=False, **data):
+    bufs = {k: v for k, v in data.items() if isinstance(v, np.ndarray)}
+    scalars = {k: v for k, v in data.items() if not isinstance(v, np.ndarray)}
+    res = Interpreter().launch(
+        kernel, gsize, lsize, buffers=bufs, scalars=scalars, count_ops=count_ops
+    )
+    return bufs, res
+
+
+def _copy_kernel():
+    kb = KernelBuilder("copy")
+    a = kb.buffer("a", F32, access="r")
+    o = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    o[g] = a[g]
+    return kb.finish()
+
+
+class TestLaunchValidation:
+    def test_global_local_divisibility(self):
+        with pytest.raises(KernelExecutionError, match="INVALID_WORK_GROUP_SIZE"):
+            run(_copy_kernel(), 10, 3, a=np.zeros(10, np.float32), o=np.zeros(10, np.float32))
+
+    def test_missing_buffer(self):
+        with pytest.raises(KernelExecutionError, match="missing buffer"):
+            run(_copy_kernel(), 4, a=np.zeros(4, np.float32))
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(KernelExecutionError, match="dtype"):
+            run(_copy_kernel(), 4, a=np.zeros(4, np.float64), o=np.zeros(4, np.float32))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(KernelExecutionError, match="rank"):
+            run(_copy_kernel(), (4, 4), a=np.zeros(16, np.float32), o=np.zeros(16, np.float32))
+
+    def test_missing_scalar(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        n = kb.scalar("n", I32)
+        o[kb.global_id(0)] = kb.f32(n)
+        k = kb.finish()
+        with pytest.raises(KernelExecutionError, match="missing scalar"):
+            run(k, 4, o=np.zeros(4, np.float32))
+
+    def test_nonpositive_sizes(self):
+        with pytest.raises(KernelExecutionError):
+            run(_copy_kernel(), 0, a=np.zeros(1, np.float32), o=np.zeros(1, np.float32))
+
+
+class TestIds:
+    def test_2d_ids(self):
+        kb = KernelBuilder("ids", work_dim=2)
+        o = kb.buffer("o", I64, access="w")
+        g0, g1 = kb.global_id(0), kb.global_id(1)
+        o[g1 * kb.global_size(0) + g0] = g1 * 100 + g0
+        k = kb.finish()
+        bufs, _ = run(k, (4, 3), (2, 1), o=np.zeros(12, np.int64))
+        expect = np.array([r * 100 + c for r in range(3) for c in range(4)])
+        np.testing.assert_array_equal(bufs["o"], expect)
+
+    def test_local_and_group_ids(self):
+        kb = KernelBuilder("lg")
+        o = kb.buffer("o", I64, access="w")
+        g = kb.global_id(0)
+        o[g] = kb.group_id(0) * 1000 + kb.local_id(0)
+        k = kb.finish()
+        bufs, res = run(k, 8, 4, o=np.zeros(8, np.int64))
+        np.testing.assert_array_equal(
+            bufs["o"], [0, 1, 2, 3, 1000, 1001, 1002, 1003]
+        )
+        assert res.workgroup_count == 2
+
+    def test_num_groups_and_local_size(self):
+        kb = KernelBuilder("ng")
+        o = kb.buffer("o", I64, access="w")
+        o[kb.global_id(0)] = kb.num_groups(0) * 10 + kb.local_size(0)
+        bufs, _ = run(kb.finish(), 6, 2, o=np.zeros(6, np.int64))
+        assert (bufs["o"] == 32).all()
+
+
+class TestControlFlow:
+    def test_divergent_if_else(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        with kb.if_((g % 2).eq(0)):
+            o[g] = 1.0
+        with kb.else_():
+            o[g] = 2.0
+        bufs, _ = run(kb.finish(), 6, o=np.zeros(6, np.float32))
+        np.testing.assert_array_equal(bufs["o"], [1, 2, 1, 2, 1, 2])
+
+    def test_uniform_loop_accumulation(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", kb.f32(0.0))
+        with kb.loop("i", 0, 5) as i:
+            acc = kb.let("acc", acc + kb.f32(i))
+        o[g] = acc
+        bufs, _ = run(kb.finish(), 3, o=np.zeros(3, np.float32))
+        assert (bufs["o"] == 10.0).all()
+
+    def test_divergent_loop_bounds(self):
+        # item g loops g times: o[g] = g
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", ir.Const(0))
+        with kb.loop("i", 0, g):
+            acc = kb.let("acc", acc + 1)
+        o[g] = acc
+        bufs, _ = run(kb.finish(), 6, o=np.zeros(6, np.int64))
+        np.testing.assert_array_equal(bufs["o"], np.arange(6))
+
+    def test_negative_step_loop(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", ir.Const(0))
+        with kb.loop("i", 4, 0, -1) as i:
+            acc = kb.let("acc", acc + i)
+        o[g] = acc
+        bufs, _ = run(kb.finish(), 2, o=np.zeros(2, np.int64))
+        assert (bufs["o"] == 4 + 3 + 2 + 1).all()
+
+    def test_zero_step_rejected(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        with kb.loop("i", 0, 4, 0):
+            o[kb.global_id(0)] = 1
+        with pytest.raises(KernelExecutionError, match="zero step"):
+            run(kb.finish(), 2, o=np.zeros(2, np.int64))
+
+    def test_loop_variable_restored(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        g = kb.global_id(0)
+        kb.let("i", ir.Const(99))
+        with kb.loop("i", 0, 3):
+            pass
+        o[g] = ir.Var("i", I64)
+        bufs, _ = run(kb.finish(), 2, o=np.zeros(2, np.int64))
+        assert (bufs["o"] == 99).all()
+
+    def test_runaway_loop_guard(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        with kb.loop("i", 0, 10 ** 9):
+            pass
+        o[kb.global_id(0)] = 1
+        interp = Interpreter(max_loop_iters=100)
+        with pytest.raises(KernelExecutionError, match="exceeded"):
+            interp.launch(kb.finish(), 1, buffers={"o": np.zeros(1, np.int64)})
+
+
+class TestMemory:
+    def test_out_of_bounds_load(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        o[g] = a[g + 100]
+        with pytest.raises(KernelExecutionError, match="out-of-bounds"):
+            run(kb.finish(), 4, a=np.zeros(4, np.float32), o=np.zeros(4, np.float32))
+
+    def test_out_of_bounds_store(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        o[kb.global_id(0) * 10] = 1.0
+        with pytest.raises(KernelExecutionError, match="out-of-bounds"):
+            run(kb.finish(), 4, o=np.zeros(4, np.float32))
+
+    def test_masked_lanes_do_not_fault(self):
+        # inactive lanes compute a wild index; must not raise
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        with kb.if_(g < 2):
+            o[g] = a[g]
+        with kb.else_():
+            o[g] = a[g - 2]
+        bufs, _ = run(
+            kb.finish(), 4,
+            a=np.arange(4, dtype=np.float32), o=np.zeros(4, np.float32),
+        )
+        np.testing.assert_array_equal(bufs["o"], [0, 1, 0, 1])
+
+    def test_atomic_add_global(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I32)
+        kb_g = kb.global_id(0)
+        o.atomic_add(kb_g % 2, kb.i32(1))
+        bufs, _ = run(kb.finish(), 10, o=np.zeros(2, np.int32))
+        np.testing.assert_array_equal(bufs["o"], [5, 5])
+
+    def test_local_memory_race_semantics(self):
+        # plain local stores from many items to one slot: some value wins
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        s = kb.local_array("s", 1, F32)
+        g = kb.global_id(0)
+        s[0] = kb.f32(g)
+        kb.barrier()
+        o[g] = s[0]
+        bufs, _ = run(kb.finish(), 4, 4, o=np.zeros(4, np.float32))
+        assert bufs["o"][0] in {0.0, 1.0, 2.0, 3.0}
+        assert (bufs["o"] == bufs["o"][0]).all()
+
+    def test_local_memory_per_group_isolation(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        s = kb.local_array("s", 2, F32)
+        lid = kb.local_id(0)
+        s[lid] = kb.f32(kb.group_id(0))
+        kb.barrier()
+        o[kb.global_id(0)] = s[lid]
+        bufs, _ = run(kb.finish(), 6, 2, o=np.zeros(6, np.float32))
+        np.testing.assert_array_equal(bufs["o"], [0, 0, 1, 1, 2, 2])
+
+
+class TestCounters:
+    def test_counts_scale_with_lanes(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        x = kb.let("x", a[g])
+        o[g] = x * x + 1.0
+        _, res = run(
+            kb.finish(), 8, count_ops=True,
+            a=np.zeros(8, np.float32), o=np.zeros(8, np.float32),
+        )
+        c = res.counters
+        assert c.loads == 8
+        assert c.stores == 8
+        assert c.flops == 16  # mul + add per lane
+
+    def test_masked_counts(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        with kb.if_(g < 3):
+            o[g] = kb.f32(g) * 2.0
+        _, res = run(kb.finish(), 8, count_ops=True, o=np.zeros(8, np.float32))
+        assert res.counters.stores == 3
+        assert res.counters.flops == 3
+
+    def test_barrier_counted(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        kb.barrier()
+        o[kb.global_id(0)] = 1.0
+        _, res = run(kb.finish(), 4, 2, count_ops=True, o=np.zeros(4, np.float32))
+        assert res.counters.barriers == 1
+
+
+class TestIntrinsics:
+    @pytest.mark.parametrize(
+        "fn,np_fn",
+        [
+            ("exp", np.exp),
+            ("log", lambda x: np.log(x)),
+            ("sqrt", np.sqrt),
+            ("fabs", np.abs),
+            ("sin", np.sin),
+            ("cos", np.cos),
+            ("floor", np.floor),
+        ],
+    )
+    def test_unary(self, fn, np_fn):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        o[g] = kb.call(fn, a[g])
+        x = np.linspace(0.5, 3.0, 16).astype(np.float32)
+        bufs, _ = run(kb.finish(), 16, a=x, o=np.zeros(16, np.float32))
+        np.testing.assert_allclose(bufs["o"], np_fn(x).astype(np.float32), rtol=1e-6)
+
+    def test_rsqrt_pow_mad(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        o[g] = kb.mad(kb.rsqrt(a[g]), kb.pow(a[g], 2.0), a[g])
+        x = np.linspace(1.0, 2.0, 8).astype(np.float32)
+        bufs, _ = run(kb.finish(), 8, a=x, o=np.zeros(8, np.float32))
+        np.testing.assert_allclose(
+            bufs["o"], (x ** 2 / np.sqrt(x) + x).astype(np.float32), rtol=1e-5
+        )

@@ -1,0 +1,206 @@
+"""Property-based tests: the interpreter agrees with numpy on random
+elementwise expression trees, loops and masks."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernelir import ast as ir
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.interp import Interpreter
+from repro.kernelir.types import F32, I64
+
+
+# -- random elementwise expressions -------------------------------------------
+
+def _expr_strategy(depth=3):
+    """Random arithmetic over two input arrays and safe constants."""
+    leaf = st.sampled_from(["a", "b", "1.5", "0.25", "2.0"])
+    if depth == 0:
+        return leaf
+    sub = _expr_strategy(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*", "min", "max"]), sub, sub),
+        st.tuples(st.sampled_from(["fabs", "neg"]), sub),
+    )
+
+
+def _build(node, handles, kb):
+    if isinstance(node, str):
+        if node in ("a", "b"):
+            return handles[node][kb.global_id(0)]
+        return kb.f32(float(node))
+    if len(node) == 2:
+        op, x = node
+        e = _build(x, handles, kb)
+        return kb.fabs(e) if op == "fabs" else -e
+    op, l, r = node
+    le, re_ = _build(l, handles, kb), _build(r, handles, kb)
+    if op == "min":
+        return kb.min(le, re_)
+    if op == "max":
+        return kb.max(le, re_)
+    return {"+": le + re_, "-": le - re_, "*": le * re_}[op]
+
+
+def _eval_np(node, a, b):
+    if isinstance(node, str):
+        if node == "a":
+            return a
+        if node == "b":
+            return b
+        return np.float32(float(node))
+    if len(node) == 2:
+        op, x = node
+        v = _eval_np(x, a, b)
+        return np.abs(v) if op == "fabs" else -v
+    op, l, r = node
+    lv, rv = _eval_np(l, a, b), _eval_np(r, a, b)
+    if op == "min":
+        return np.minimum(lv, rv).astype(np.float32)
+    if op == "max":
+        return np.maximum(lv, rv).astype(np.float32)
+    return {
+        "+": np.add(lv, rv, dtype=np.float32),
+        "-": np.subtract(lv, rv, dtype=np.float32),
+        "*": np.multiply(lv, rv, dtype=np.float32),
+    }[op]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tree=_expr_strategy(),
+    n=st.integers(1, 64),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_random_elementwise_matches_numpy(tree, n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-4, 4, n).astype(np.float32)
+    b = rng.uniform(-4, 4, n).astype(np.float32)
+    kb = KernelBuilder("prop")
+    ha = kb.buffer("a", F32, access="r")
+    hb = kb.buffer("b", F32, access="r")
+    ho = kb.buffer("o", F32, access="w")
+    e = _build(tree, {"a": ha, "b": hb}, kb)
+    ho[kb.global_id(0)] = e
+    bufs = {"a": a, "b": b, "o": np.zeros(n, np.float32)}
+    Interpreter().launch(kb.finish(), n, buffers=bufs)
+    np.testing.assert_allclose(
+        bufs["o"], _eval_np(tree, a, b), rtol=1e-5, atol=1e-5, equal_nan=True
+    )
+
+
+# -- loops ------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 48),
+    trips=st.integers(0, 20),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_loop_sum_matches_numpy(n, trips, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0, 1, max(n * trips, 1)).astype(np.float32)
+    kb = KernelBuilder("sum")
+    ha = kb.buffer("a", F32, access="r")
+    ho = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    acc = kb.let("acc", kb.f32(0.0))
+    with kb.loop("i", 0, trips) as i:
+        acc = kb.let("acc", acc + ha[g * trips + i])
+    ho[g] = acc
+    bufs = {"a": a, "o": np.zeros(n, np.float32)}
+    Interpreter().launch(kb.finish(), n, buffers=bufs)
+    if trips == 0:
+        expect = np.zeros(n, np.float32)
+    else:
+        expect = a[: n * trips].reshape(n, trips).astype(np.float64).sum(axis=1)
+    np.testing.assert_allclose(bufs["o"], expect, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 64),
+    thresh=st.integers(-2, 70),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_masked_if_matches_numpy(n, thresh, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, n).astype(np.float32)
+    kb = KernelBuilder("mask")
+    ha = kb.buffer("a", F32, access="r")
+    ho = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    with kb.if_(g < thresh):
+        ho[g] = ha[g] * 2.0
+    with kb.else_():
+        ho[g] = ha[g] - 1.0
+    bufs = {"a": a, "o": np.zeros(n, np.float32)}
+    Interpreter().launch(kb.finish(), n, buffers=bufs)
+    idx = np.arange(n)
+    expect = np.where(idx < thresh, a * np.float32(2.0), a - np.float32(1.0))
+    np.testing.assert_allclose(bufs["o"], expect, rtol=1e-6)
+
+
+# -- workgroup decomposition invariance ----------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    groups=st.integers(1, 8),
+    lsize=st.integers(1, 16),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_result_independent_of_workgroup_shape(groups, lsize, seed):
+    """A kernel without workgroup constructs must not care about local size."""
+    n = groups * lsize
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, n).astype(np.float32)
+    kb = KernelBuilder("wg")
+    ha = kb.buffer("a", F32, access="r")
+    ho = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    ho[g] = ha[g] * 3.0 + 1.0
+    k = kb.finish()
+    out1 = np.zeros(n, np.float32)
+    out2 = np.zeros(n, np.float32)
+    Interpreter().launch(k, n, lsize, buffers={"a": a, "o": out1})
+    Interpreter().launch(k, n, None, buffers={"a": a, "o": out2})
+    np.testing.assert_array_equal(out1, out2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    groups=st.integers(1, 6),
+    lsize=st.sampled_from([2, 4, 8]),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_groupwise_reduction_matches_numpy(groups, lsize, seed):
+    """Tree reduction in local memory is correct for any pow2 group size."""
+    import math
+
+    n = groups * lsize
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0, 1, n).astype(np.float32)
+    levels = int(math.log2(lsize))
+    kb = KernelBuilder("red")
+    ha = kb.buffer("a", F32, access="r")
+    ho = kb.buffer("o", F32, access="w")
+    s = kb.local_array("s", lsize, F32)
+    lid = kb.local_id(0)
+    s[lid] = ha[kb.global_id(0)]
+    kb.barrier()
+    with kb.loop("p", 0, levels) as p:
+        stride = kb.let("stride", kb.local_size(0) >> (p + 1))
+        with kb.if_(lid < stride):
+            s[lid] = s[lid] + s[lid + stride]
+        kb.barrier()
+    with kb.if_(lid.eq(0)):
+        ho[kb.group_id(0)] = s[0]
+    bufs = {"a": a, "o": np.zeros(groups, np.float32)}
+    Interpreter().launch(kb.finish(), n, lsize, buffers=bufs)
+    np.testing.assert_allclose(
+        bufs["o"], a.reshape(groups, lsize).sum(axis=1), rtol=1e-5
+    )

@@ -1,0 +1,130 @@
+"""Unit tests for memory-trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.interp import KernelExecutionError
+from repro.kernelir.trace import TracingInterpreter, trace_kernel
+from repro.kernelir.types import F32, I32
+
+
+def copy_kernel():
+    kb = KernelBuilder("copy")
+    a = kb.buffer("a", F32, access="r")
+    o = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    o[g] = a[g]
+    return kb.finish()
+
+
+def bufs(n):
+    return {"a": np.arange(n, dtype=np.float32), "o": np.zeros(n, np.float32)}
+
+
+class TestBasicTrace:
+    def test_one_load_one_store_per_item(self):
+        t = trace_kernel(copy_kernel(), 8, 4, buffers=bufs(8))
+        assert len(t) == 16
+        assert sum(1 for _ in t.loads()) == 8
+        assert sum(1 for _ in t.stores()) == 8
+
+    def test_elements_and_lanes(self):
+        t = trace_kernel(copy_kernel(), 8, 4, buffers=bufs(8))
+        loads = list(t.loads())
+        assert [a.element for a in loads] == list(range(8))
+        assert [a.workitem for a in loads] == list(range(8))
+        assert [a.workgroup for a in loads] == [0] * 4 + [1] * 4
+
+    def test_buffers_disjoint_in_address_space(self):
+        t = trace_kernel(copy_kernel(), 8, 4, buffers=bufs(8))
+        a_addrs = {x.byte_address for x in t.accesses if x.buffer == "a"}
+        o_addrs = {x.byte_address for x in t.accesses if x.buffer == "o"}
+        assert not (a_addrs & o_addrs)
+        assert t.buffer_bases["a"] == 0
+        assert t.buffer_bases["o"] % 4096 == 0
+
+    def test_functional_results_still_computed(self):
+        b = bufs(8)
+        trace_kernel(copy_kernel(), 8, 4, buffers=b)
+        np.testing.assert_array_equal(b["o"], b["a"])
+
+    def test_refuses_large_launches(self):
+        with pytest.raises(KernelExecutionError, match="refusing"):
+            trace_kernel(copy_kernel(), 1 << 20, buffers=bufs(1 << 20),
+                         max_items=1024)
+
+    def test_loop_accesses_traced_per_iteration(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", kb.f32(0.0))
+        with kb.loop("i", 0, 3) as i:
+            acc = kb.let("acc", acc + a[g * 3 + i])
+        o[g] = acc
+        t = trace_kernel(kb.finish(), 4, 2,
+                         buffers={"a": np.ones(12, np.float32),
+                                  "o": np.zeros(4, np.float32)})
+        assert sum(1 for _ in t.loads()) == 12
+        # per-item elements walk sequentially
+        per_item = t.by_workitem()
+        elems = [a.element for a in per_item[1] if not a.is_store]
+        assert elems == [3, 4, 5]
+
+    def test_masked_lanes_not_traced(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        with kb.if_(g < 2):
+            o[g] = a[g]
+        t = trace_kernel(kb.finish(), 8, buffers=bufs(8))
+        assert len(t) == 4  # 2 loads + 2 stores
+
+    def test_atomic_traced_as_rmw(self):
+        kb = KernelBuilder("k")
+        h = kb.buffer("h", I32)
+        h.atomic_add(kb.global_id(0) % 2, kb.i32(1))
+        t = trace_kernel(kb.finish(), 4, buffers={"h": np.zeros(2, np.int32)})
+        assert sum(1 for _ in t.loads()) == 4
+        assert sum(1 for _ in t.stores()) == 4
+
+    def test_footprint(self):
+        t = trace_kernel(copy_kernel(), 32, buffers=bufs(32))
+        # 32 floats = 2 lines per buffer
+        assert t.footprint_bytes(64) == 4 * 64
+
+
+class TestReplay:
+    def test_replay_counts_all_accesses(self):
+        from repro.simcpu.cache import CacheHierarchy
+
+        t = trace_kernel(copy_kernel(), 64, 16, buffers=bufs(64))
+        h = CacheHierarchy(4, l1_bytes=1024, l2_bytes=4096, l3_bytes=16384,
+                           cores_per_socket=4)
+        counts = t.replay(h)
+        assert sum(counts.values()) == len(t)
+
+    def test_placement_changes_hit_pattern(self):
+        """Replaying a second pass on the same vs a rotated core shows the
+        affinity effect at trace granularity."""
+        from repro.simcpu.cache import CacheHierarchy
+
+        t = trace_kernel(copy_kernel(), 64, 16, buffers=bufs(64))
+        groups = 64 // 16
+
+        h1 = CacheHierarchy(4, l1_bytes=4096, l2_bytes=8192, l3_bytes=65536,
+                            cores_per_socket=4)
+        same = {g: g for g in range(groups)}
+        t.replay(h1, same)
+        aligned = t.replay(h1, same)
+
+        h2 = CacheHierarchy(4, l1_bytes=4096, l2_bytes=8192, l3_bytes=65536,
+                            cores_per_socket=4)
+        t.replay(h2, same)
+        rotated = {g: (g + 1) % 4 for g in range(groups)}
+        misaligned = t.replay(h2, rotated)
+
+        assert aligned["L1"] > misaligned["L1"]
+        assert misaligned["L3"] > aligned["L3"]

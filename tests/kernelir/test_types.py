@@ -1,0 +1,102 @@
+"""Unit and property tests for the IR scalar type system."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernelir.types import (
+    ALL_TYPES,
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    U8,
+    U32,
+    common_type,
+    dtype_of_value,
+    from_numpy,
+    promote,
+)
+
+
+class TestBasics:
+    def test_itemsize(self):
+        assert F32.itemsize == 4
+        assert F64.itemsize == 8
+        assert I32.itemsize == 4
+        assert U8.itemsize == 1
+
+    def test_predicates(self):
+        assert F32.is_float and not F32.is_integer
+        assert I32.is_integer and not I32.is_float
+        assert BOOL.is_bool and not BOOL.is_integer
+
+    def test_str(self):
+        assert str(F32) == "float"
+        assert str(I32) == "int"
+
+    def test_from_numpy_roundtrip(self):
+        for t in ALL_TYPES:
+            assert from_numpy(t.np_dtype) is t
+
+    def test_from_numpy_rejects_unsupported(self):
+        with pytest.raises(TypeError):
+            from_numpy(np.dtype("complex64"))
+
+
+class TestPromotion:
+    def test_float_dominates_int(self):
+        assert promote(F32, I64) is F32
+        assert promote(I64, F32) is F32
+
+    def test_f64_dominates_f32(self):
+        assert promote(F32, F64) is F64
+
+    def test_int_rank(self):
+        assert promote(I32, I64) is I64
+        assert promote(U8, I32) is I32
+
+    def test_identity(self):
+        for t in ALL_TYPES:
+            assert promote(t, t) is t
+
+    @given(st.sampled_from(ALL_TYPES), st.sampled_from(ALL_TYPES))
+    def test_commutative_result_type(self, a, b):
+        # promotion is symmetric up to equal rank ties
+        ra, rb = promote(a, b), promote(b, a)
+        assert (ra.is_float, ra.rank >= min(a.rank, b.rank)) == (
+            rb.is_float,
+            rb.rank >= min(a.rank, b.rank),
+        )
+
+    @given(
+        st.sampled_from(ALL_TYPES),
+        st.sampled_from(ALL_TYPES),
+        st.sampled_from(ALL_TYPES),
+    )
+    def test_associative(self, a, b, c):
+        assert promote(promote(a, b), c) is promote(a, promote(b, c))
+
+    @given(st.sampled_from(ALL_TYPES), st.sampled_from(ALL_TYPES))
+    def test_float_closure(self, a, b):
+        if a.is_float or b.is_float:
+            assert promote(a, b).is_float
+
+    def test_common_type(self):
+        assert common_type(I32, I64, F32) is F32
+        assert common_type(I32) is I32
+        with pytest.raises(ValueError):
+            common_type()
+
+
+class TestInference:
+    def test_python_scalars(self):
+        assert dtype_of_value(True) is BOOL
+        assert dtype_of_value(3) is I64
+        assert dtype_of_value(3.5) is F64
+
+    def test_rejects_other(self):
+        with pytest.raises(TypeError):
+            dtype_of_value("x")

@@ -1,0 +1,238 @@
+"""Unit tests for both vectorization strategies (the Figure 10/11 engine)."""
+
+import pytest
+
+from repro.kernelir.analysis import LaunchContext, analyze_kernel
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32, I32, U32
+from repro.kernelir.vectorize import (
+    LoopVectorizer,
+    OpenCLVectorizer,
+    dependence_chain_length,
+)
+
+
+def ctx(gsize=(1024,), lsize=(256,), **scalars):
+    return LaunchContext(gsize, lsize, scalars)
+
+
+def vadd():
+    kb = KernelBuilder("vadd")
+    a = kb.buffer("a", F32, access="r")
+    b = kb.buffer("b", F32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    c[g] = a[g] + b[g]
+    return kb.finish()
+
+
+def saxpy():
+    kb = KernelBuilder("saxpy")
+    x = kb.buffer("x", F32, access="r")
+    y = kb.buffer("y", F32)
+    al = kb.scalar("alpha", F32)
+    g = kb.global_id(0)
+    y[g] = kb.mad(al, x[g], y[g])
+    return kb.finish()
+
+
+def chain_loop():
+    """Figure 11's pattern."""
+    kb = KernelBuilder("chain")
+    a = kb.buffer("a", F32)
+    b = kb.buffer("b", F32, access="r")
+    g = kb.global_id(0)
+    acc = kb.let("acc", a[g])
+    v = kb.let("v", b[g])
+    with kb.loop("j", 0, 4):
+        for _ in range(6):
+            acc = kb.let("acc", acc * v)
+    a[g] = acc
+    return kb.finish()
+
+
+def strided():
+    kb = KernelBuilder("strided")
+    a = kb.buffer("a", F32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    c[g] = a[g * 2]
+    return kb.finish()
+
+
+def gather():
+    kb = KernelBuilder("gather")
+    a = kb.buffer("a", F32, access="r")
+    idx = kb.buffer("idx", I32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    c[g] = a[idx[g]]
+    return kb.finish()
+
+
+class TestParity:
+    """The patterns where both compilers vectorize (kept out of the MBench
+    family, which follows the paper's all-OpenCL-wins selection)."""
+
+    @pytest.mark.parametrize("k", [vadd, saxpy])
+    def test_both_vectorize(self, k):
+        kernel = k()
+        c = ctx(alpha=1.5)
+        assert OpenCLVectorizer(4).vectorize(kernel, c).vectorized
+        assert LoopVectorizer(4).vectorize(kernel, c).vectorized
+
+
+class TestOpenCLVectorizer:
+    def test_chain_is_fine_for_simt(self):
+        rep = OpenCLVectorizer(4).vectorize(chain_loop(), ctx())
+        assert rep.vectorized and rep.width == 4
+
+    def test_atomics_block(self):
+        kb = KernelBuilder("h")
+        h = kb.buffer("h", U32)
+        h.atomic_add(kb.global_id(0) % 4, kb.cast(1, U32))
+        rep = OpenCLVectorizer(4).vectorize(kb.finish(), ctx())
+        assert not rep.vectorized
+        assert any("atomic" in r for r in rep.reasons)
+
+    def test_tiny_workgroup_blocks(self):
+        rep = OpenCLVectorizer(4).vectorize(vadd(), ctx((1024,), (2,)))
+        assert not rep.vectorized
+
+    def test_barrier_with_divergence_blocks(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        s = kb.local_array("s", 4, F32)
+        g = kb.global_id(0)
+        with kb.if_(g < 2):
+            s[kb.local_id(0)] = kb.f32(1.0)
+        kb.barrier()
+        o[g] = s[0]
+        rep = OpenCLVectorizer(4).vectorize(kb.finish(), ctx((16,), (4,)))
+        assert not rep.vectorized
+        assert any("divergent" in r for r in rep.reasons)
+
+    def test_barrier_without_divergence_ok(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        s = kb.local_array("s", 4, F32)
+        lid = kb.local_id(0)
+        s[lid] = a[kb.global_id(0)]
+        kb.barrier()
+        o[kb.global_id(0)] = s[lid]
+        rep = OpenCLVectorizer(4).vectorize(kb.finish(), ctx((16,), (4,)))
+        assert rep.vectorized
+
+    def test_erf_forces_scalar(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        o[g] = kb.erf(a[g])
+        rep = OpenCLVectorizer(4).vectorize(kb.finish(), ctx())
+        assert not rep.vectorized
+        assert any("scalar-only" in r for r in rep.reasons)
+
+    def test_effective_width_degrades_with_gathers(self):
+        full = OpenCLVectorizer(4).vectorize(vadd(), ctx())
+        g = OpenCLVectorizer(4).vectorize(gather(), ctx())
+        assert full.effective_width > g.effective_width >= 1.0
+
+    def test_weighted_accesses_override_static_sites(self):
+        kernel = vadd()
+        c = ctx()
+        an = analyze_kernel(kernel, c)
+        rep = OpenCLVectorizer(4).vectorize(kernel, c, an.accesses)
+        assert rep.contiguous_ops == 3  # 2 loads + 1 store, weight 1 each
+
+    def test_large_stride_counts_as_gather(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        c = kb.buffer("c", F32, access="w")
+        g = kb.global_id(0)
+        c[g] = a[g * 100]
+        rep = OpenCLVectorizer(4).vectorize(kb.finish(), ctx())
+        assert rep.gather_ops >= 1
+
+
+class TestLoopVectorizer:
+    def test_chain_blocks(self):
+        rep = LoopVectorizer(4).vectorize(chain_loop(), ctx())
+        assert not rep.vectorized
+        assert any("dependence chain" in r for r in rep.reasons)
+
+    def test_chain_allowed_when_fragility_off(self):
+        rep = LoopVectorizer(4, fragile=False).vectorize(chain_loop(), ctx())
+        assert rep.vectorized  # ablation A4
+
+    def test_strided_blocks(self):
+        rep = LoopVectorizer(4).vectorize(strided(), ctx())
+        assert any("noncontiguous" in r for r in rep.reasons)
+
+    def test_gather_blocks(self):
+        rep = LoopVectorizer(4).vectorize(gather(), ctx())
+        assert any("indirect" in r for r in rep.reasons)
+
+    def test_divergent_control_flow_blocks(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        with kb.if_(g < 5):
+            o[g] = kb.f32(1.0)
+        rep = LoopVectorizer(4).vectorize(kb.finish(), ctx())
+        assert any("control flow" in r for r in rep.reasons)
+
+    def test_runtime_offset_aliasing_blocks(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        c = kb.buffer("c", F32)
+        off = kb.scalar("off", I32)
+        g = kb.global_id(0)
+        c[g] = a[g] + c[g + off]
+        rep = LoopVectorizer(4).vectorize(kb.finish(), ctx(off=512))
+        assert any("loop-carried dependence" in r for r in rep.reasons)
+
+    def test_same_index_read_write_allowed(self):
+        rep = LoopVectorizer(4).vectorize(saxpy(), ctx(alpha=2.0))
+        assert rep.vectorized  # y[i] = f(y[i]) is not loop-carried
+
+    def test_workgroup_constructs_block(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", F32, access="w")
+        s = kb.local_array("s", 4, F32)
+        lid = kb.local_id(0)
+        s[lid] = kb.f32(1.0)
+        kb.barrier()
+        o[kb.global_id(0)] = s[lid]
+        rep = LoopVectorizer(4).vectorize(kb.finish(), ctx((16,), (4,)))
+        assert any("workgroup constructs" in r for r in rep.reasons)
+
+
+class TestChainLength:
+    def test_counts_dependent_float_ops(self):
+        assert dependence_chain_length(chain_loop().body, ctx()) == 6
+
+    def test_independent_ops_do_not_chain(self):
+        assert dependence_chain_length(vadd().body, ctx()) == 1
+
+    def test_mad_counts_two(self):
+        kb = KernelBuilder("k")
+        x = kb.buffer("x", F32)
+        g = kb.global_id(0)
+        v = kb.let("v", x[g])
+        v = kb.let("v", kb.mad(v, v, v))
+        v = kb.let("v", kb.mad(v, v, v))
+        x[g] = v
+        assert dependence_chain_length(kb.finish().body, ctx()) == 4
+
+    def test_branches_merge_with_max(self):
+        kb = KernelBuilder("k")
+        x = kb.buffer("x", F32)
+        g = kb.global_id(0)
+        v = kb.let("v", x[g])
+        with kb.if_(g < 2):
+            for _ in range(5):
+                v = kb.let("v", v * 2.0)
+        x[g] = v
+        assert dependence_chain_length(kb.finish().body, ctx()) == 5

@@ -1,0 +1,116 @@
+"""Unit tests for platforms, contexts, devices and buffers."""
+
+import numpy as np
+import pytest
+
+from repro import minicl as cl
+
+
+@pytest.fixture
+def ctx():
+    return cl.Context(cl.cpu_platform().devices)
+
+
+class TestPlatforms:
+    def test_two_platforms(self):
+        plats = cl.get_platforms()
+        assert len(plats) == 2
+        types = [p.devices[0].type for p in plats]
+        assert cl.device_type.CPU in types and cl.device_type.GPU in types
+
+    def test_get_devices_filters(self):
+        p = cl.cpu_platform()
+        assert p.get_devices(cl.device_type.CPU)
+        with pytest.raises(cl.InvalidDevice):
+            p.get_devices(cl.device_type.GPU)
+
+    def test_device_info(self):
+        d = cl.cpu_platform().devices[0]
+        info = d.get_info()
+        assert info["CL_DEVICE_HOST_UNIFIED_MEMORY"] is True
+        assert info["CL_DEVICE_MAX_COMPUTE_UNITS"] == 24
+        g = cl.gpu_platform().devices[0]
+        assert g.get_info()["CL_DEVICE_HOST_UNIFIED_MEMORY"] is False
+
+    def test_platform_info(self):
+        info = cl.cpu_platform().get_info()
+        assert "OpenCL 1.1" in info["CL_PLATFORM_VERSION"]
+
+    def test_context_requires_devices(self):
+        with pytest.raises(cl.InvalidDevice):
+            cl.Context([])
+
+
+class TestBufferCreation:
+    def test_from_size(self, ctx):
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=1024, dtype=np.float32)
+        assert b.nbytes == 1024
+        assert len(b) == 256
+        assert (b.array == 0).all()
+
+    def test_default_access_is_read_write(self, ctx):
+        b = ctx.create_buffer(cl.mem_flags(0), size=64)
+        assert b.kernel_readable and b.kernel_writable
+
+    def test_copy_host_ptr_snapshots(self, ctx):
+        h = np.arange(8, dtype=np.float32)
+        b = ctx.create_buffer(
+            cl.mem_flags.READ_ONLY | cl.mem_flags.COPY_HOST_PTR, hostbuf=h
+        )
+        h[0] = 99
+        assert b.array[0] == 0  # snapshot, not aliased
+        assert not b.kernel_writable
+
+    def test_use_host_ptr_aliases(self, ctx):
+        h = np.arange(8, dtype=np.float32)
+        b = ctx.create_buffer(cl.mem_flags.USE_HOST_PTR, hostbuf=h)
+        h[0] = 99
+        assert b.array[0] == 99
+        assert b.pinned
+
+    def test_alloc_host_ptr_is_pinned(self, ctx):
+        b = ctx.create_buffer(
+            cl.mem_flags.ALLOC_HOST_PTR, size=64, dtype=np.float32
+        )
+        assert b.pinned
+        b2 = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=64, dtype=np.float32)
+        assert not b2.pinned
+
+
+class TestBufferValidation:
+    def test_conflicting_access_flags(self, ctx):
+        with pytest.raises(cl.InvalidValue):
+            ctx.create_buffer(
+                cl.mem_flags.READ_ONLY | cl.mem_flags.WRITE_ONLY, size=64
+            )
+
+    def test_host_ptr_flags_need_hostbuf(self, ctx):
+        with pytest.raises(cl.InvalidValue):
+            ctx.create_buffer(cl.mem_flags.USE_HOST_PTR, size=64)
+
+    def test_use_and_alloc_exclusive(self, ctx):
+        h = np.zeros(4, np.float32)
+        with pytest.raises(cl.InvalidValue):
+            ctx.create_buffer(
+                cl.mem_flags.USE_HOST_PTR | cl.mem_flags.ALLOC_HOST_PTR, hostbuf=h
+            )
+
+    def test_bad_size(self, ctx):
+        with pytest.raises(cl.InvalidBufferSize):
+            ctx.create_buffer(cl.mem_flags.READ_WRITE, size=0)
+        with pytest.raises(cl.InvalidBufferSize):
+            ctx.create_buffer(cl.mem_flags.READ_WRITE, size=7, dtype=np.float32)
+
+    def test_2d_hostbuf_rejected(self, ctx):
+        with pytest.raises(cl.InvalidValue):
+            ctx.create_buffer(
+                cl.mem_flags.COPY_HOST_PTR, hostbuf=np.zeros((2, 2), np.float32)
+            )
+
+
+class TestErrors:
+    def test_error_codes(self):
+        e = cl.InvalidWorkGroupSize("x")
+        assert "INVALID_WORK_GROUP_SIZE" in str(e)
+        assert e.code.value == -54
+        assert isinstance(e, cl.CLError)

@@ -1,0 +1,126 @@
+"""Tests for device-side buffer copies and assorted queue behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import minicl as cl
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32, I64
+
+
+@pytest.fixture
+def cpu():
+    ctx = cl.Context(cl.cpu_platform().devices)
+    return ctx, ctx.create_command_queue()
+
+
+class TestCopyBuffer:
+    def test_copies_data(self, cpu):
+        ctx, q = cpu
+        h = np.arange(64, dtype=np.float32)
+        src = ctx.create_buffer(cl.mem_flags.COPY_HOST_PTR, hostbuf=h)
+        dst = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=256, dtype=np.float32)
+        ev = q.enqueue_copy_buffer(src, dst)
+        np.testing.assert_array_equal(dst.array, h)
+        assert ev.command_type == cl.command_type.COPY_BUFFER
+        assert ev.duration_ns > 0
+
+    def test_size_mismatch_rejected(self, cpu):
+        ctx, q = cpu
+        src = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=64, dtype=np.float32)
+        dst = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=128, dtype=np.float32)
+        with pytest.raises(cl.InvalidValue):
+            q.enqueue_copy_buffer(src, dst)
+
+    def test_copy_between_dtypes_is_bytewise(self, cpu):
+        ctx, q = cpu
+        h = np.arange(16, dtype=np.int64)
+        src = ctx.create_buffer(cl.mem_flags.COPY_HOST_PTR, hostbuf=h)
+        dst = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=128, dtype=np.float64)
+        q.enqueue_copy_buffer(src, dst)
+        np.testing.assert_array_equal(dst.array.view(np.int64), h)
+
+
+class Test3DNDRange:
+    def test_3d_kernel_executes(self, cpu):
+        ctx, q = cpu
+        kb = KernelBuilder("idx3", work_dim=3)
+        o = kb.buffer("o", I64, access="w")
+        g0, g1, g2 = kb.global_id(0), kb.global_id(1), kb.global_id(2)
+        flat = kb.let(
+            "flat",
+            (g2 * kb.global_size(1) + g1) * kb.global_size(0) + g0,
+        )
+        o[flat] = g2 * 100 + g1 * 10 + g0
+        k = ctx.create_program(kb.finish()).create_kernel("idx3")
+        n = 2 * 3 * 4
+        b = ctx.create_buffer(cl.mem_flags.WRITE_ONLY, size=8 * n, dtype=np.int64)
+        k.set_args(b)
+        q.enqueue_nd_range_kernel(k, (2, 3, 4), (1, 1, 2))
+        expect = np.array(
+            [z * 100 + y * 10 + x
+             for z in range(4) for y in range(3) for x in range(2)]
+        )
+        np.testing.assert_array_equal(b.array, expect)
+
+
+class TestPinnedScheduler:
+    def test_pinned_makespan_is_per_core_serial(self):
+        from repro.simcpu.scheduler import WorkgroupScheduler
+        from repro.simcpu.spec import XEON_E5645
+
+        s = WorkgroupScheduler(XEON_E5645)
+        d = XEON_E5645.workgroup_dispatch_cycles
+        # 3 workgroups pinned to core 0, 1 to core 1
+        r = s.makespan_pinned([100, 100, 100, 100], [0, 0, 0, 1])
+        assert r.makespan_cycles == pytest.approx(3 * (d + 100))
+        assert r.threads_used == 2
+
+    def test_pinned_balanced_matches_greedy(self):
+        from repro.simcpu.scheduler import WorkgroupScheduler
+        from repro.simcpu.spec import XEON_E5645
+
+        s = WorkgroupScheduler(XEON_E5645)
+        costs = [500.0] * 24
+        pinned = s.makespan_pinned(costs, list(range(24)))
+        greedy = s.makespan_hetero(costs)
+        assert pinned.makespan_cycles == pytest.approx(
+            greedy.makespan_cycles, rel=0.01
+        )
+
+    def test_pinned_imbalance_hurts(self):
+        from repro.simcpu.scheduler import WorkgroupScheduler
+        from repro.simcpu.spec import XEON_E5645
+
+        s = WorkgroupScheduler(XEON_E5645)
+        costs = [500.0] * 24
+        balanced = s.makespan_pinned(costs, list(range(24)))
+        skewed = s.makespan_pinned(costs, [0] * 12 + list(range(12)))
+        assert skewed.makespan_cycles > balanced.makespan_cycles
+
+    def test_length_mismatch(self):
+        from repro.simcpu.scheduler import WorkgroupScheduler
+        from repro.simcpu.spec import XEON_E5645
+
+        s = WorkgroupScheduler(XEON_E5645)
+        with pytest.raises(ValueError):
+            s.makespan_pinned([1.0, 2.0], [0])
+
+    def test_empty(self):
+        from repro.simcpu.scheduler import WorkgroupScheduler
+        from repro.simcpu.spec import XEON_E5645
+
+        s = WorkgroupScheduler(XEON_E5645)
+        assert s.makespan_pinned([], []).makespan_cycles == 0.0
+
+
+class TestWorkitemSerializationOption:
+    def test_reduces_total_time(self):
+        from repro.simcpu.device import CPUDeviceModel
+        from repro.suite.simple.square import build_square_kernel
+
+        ref = CPUDeviceModel().kernel_cost(build_square_kernel(), (100_000,))
+        opt = CPUDeviceModel(workitem_serialization=True).kernel_cost(
+            build_square_kernel(), (100_000,)
+        )
+        assert opt.total_ns < ref.total_ns

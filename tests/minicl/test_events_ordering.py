@@ -1,0 +1,108 @@
+"""Tests for event wait lists, markers/barriers, and out-of-order queues."""
+
+import numpy as np
+import pytest
+
+from repro import minicl as cl
+
+
+@pytest.fixture
+def ctx():
+    return cl.Context(cl.cpu_platform().devices)
+
+
+def _buf(ctx, n=1 << 16):
+    return ctx.create_buffer(
+        cl.mem_flags.READ_WRITE, size=4 * n, dtype=np.float32
+    ), np.zeros(n, np.float32)
+
+
+class TestInOrderWaitLists:
+    def test_wait_list_can_delay_start(self, ctx):
+        q1 = ctx.create_command_queue()
+        q2 = ctx.create_command_queue()
+        b1, h1 = _buf(ctx)
+        b2, h2 = _buf(ctx)
+        slow = q1.enqueue_write_buffer(b1, h1)
+        # q2 is fresh (t=0) but must wait for q1's event
+        dep = q2.enqueue_write_buffer(b2, h2, wait_for=[slow])
+        assert dep.profile.start >= slow.profile.end
+
+    def test_in_order_queue_serializes_without_wait_list(self, ctx):
+        q = ctx.create_command_queue()
+        b, h = _buf(ctx)
+        e1 = q.enqueue_write_buffer(b, h)
+        e2 = q.enqueue_write_buffer(b, h)
+        assert e2.profile.start == e1.profile.end
+
+
+class TestOutOfOrderQueue:
+    def test_independent_commands_overlap(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b1, h1 = _buf(ctx)
+        b2, h2 = _buf(ctx)
+        e1 = q.enqueue_write_buffer(b1, h1)
+        e2 = q.enqueue_write_buffer(b2, h2)
+        assert e2.profile.start == e1.profile.start  # concurrent
+
+    def test_wait_list_orders_dependents(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b1, h1 = _buf(ctx)
+        b2, h2 = _buf(ctx)
+        e1 = q.enqueue_write_buffer(b1, h1)
+        e2 = q.enqueue_write_buffer(b2, h2, wait_for=[e1])
+        assert e2.profile.start == e1.profile.end
+
+    def test_barrier_floors_later_commands(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b1, h1 = _buf(ctx)
+        e1 = q.enqueue_write_buffer(b1, h1)
+        bar = q.enqueue_barrier()
+        e2 = q.enqueue_write_buffer(b1, h1)
+        assert bar.profile.end >= e1.profile.end
+        assert e2.profile.start >= bar.profile.end
+
+    def test_finish_reports_latest_end(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b1, h1 = _buf(ctx)
+        b2, h2 = _buf(ctx, 1 << 20)  # much larger: later end
+        q.enqueue_write_buffer(b1, h1)
+        big = q.enqueue_write_buffer(b2, h2)
+        assert q.finish() == big.profile.end
+
+
+class TestMarker:
+    def test_marker_completes_with_all_prior_work(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b1, h1 = _buf(ctx)
+        b2, h2 = _buf(ctx, 1 << 20)
+        q.enqueue_write_buffer(b1, h1)
+        big = q.enqueue_write_buffer(b2, h2)
+        m = q.enqueue_marker()
+        assert m.profile.end == big.profile.end
+        assert m.duration_ns == 0.0
+
+    def test_marker_with_explicit_list(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b1, h1 = _buf(ctx)
+        e1 = q.enqueue_write_buffer(b1, h1)
+        q.enqueue_write_buffer(b1, h1)
+        m = q.enqueue_marker(wait_for=[e1])
+        assert m.profile.end == e1.profile.end
+
+    def test_kernel_respects_wait_list(self, ctx):
+        from repro.kernelir.builder import KernelBuilder
+        from repro.kernelir.types import F32
+
+        kb = KernelBuilder("s")
+        x = kb.buffer("x", F32)
+        x[kb.global_id(0)] = x[kb.global_id(0)] * 2.0
+        k = ctx.create_program(kb.finish()).create_kernel("s")
+
+        q = ctx.create_command_queue(out_of_order=True)
+        b, h = _buf(ctx, 1024)
+        k.set_args(b)
+        w = q.enqueue_write_buffer(b, np.ones(1024, np.float32))
+        ev = q.enqueue_nd_range_kernel(k, (1024,), (64,), wait_for=[w])
+        assert ev.profile.start == w.profile.end
+        assert (b.array == 2.0).all()

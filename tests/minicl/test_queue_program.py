@@ -1,0 +1,275 @@
+"""Integration tests: programs, kernels, queues, events — full minicl paths."""
+
+import numpy as np
+import pytest
+
+from repro import minicl as cl
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32, I32
+
+
+def vadd_kernel():
+    kb = KernelBuilder("vadd")
+    a = kb.buffer("a", F32, access="r")
+    b = kb.buffer("b", F32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    c[g] = a[g] + b[g]
+    return kb.finish()
+
+
+def scale_kernel():
+    kb = KernelBuilder("scale")
+    x = kb.buffer("x", F32)
+    s = kb.scalar("s", F32)
+    g = kb.global_id(0)
+    x[g] = x[g] * s
+    return kb.finish()
+
+
+@pytest.fixture
+def cpu():
+    ctx = cl.Context(cl.cpu_platform().devices)
+    return ctx, ctx.create_command_queue()
+
+
+@pytest.fixture
+def gpu():
+    ctx = cl.Context(cl.gpu_platform().devices)
+    return ctx, ctx.create_command_queue()
+
+
+class TestProgram:
+    def test_build_log_reports_vectorization(self, cpu):
+        ctx, _ = cpu
+        prog = ctx.create_program(vadd_kernel()).build()
+        assert "vectorized" in prog.build_log["vadd"]
+
+    def test_unknown_kernel_name(self, cpu):
+        ctx, _ = cpu
+        prog = ctx.create_program(vadd_kernel())
+        with pytest.raises(cl.InvalidKernelName):
+            prog.create_kernel("nope")
+
+    def test_duplicate_kernels_rejected(self, cpu):
+        ctx, _ = cpu
+        with pytest.raises(cl.InvalidValue):
+            ctx.create_program([vadd_kernel(), vadd_kernel()])
+
+    def test_kernel_names(self, cpu):
+        ctx, _ = cpu
+        prog = ctx.create_program([vadd_kernel(), scale_kernel()])
+        assert prog.kernel_names == ["scale", "vadd"]
+
+
+class TestSetArg:
+    def _kernel(self, ctx):
+        return ctx.create_program(vadd_kernel()).create_kernel("vadd")
+
+    def test_missing_arg_detected_at_launch(self, cpu):
+        ctx, q = cpu
+        k = self._kernel(ctx)
+        b = ctx.create_buffer(cl.mem_flags.READ_ONLY, size=16, dtype=np.float32)
+        k.set_arg(0, b)
+        with pytest.raises(cl.InvalidKernelArgs, match="not set"):
+            q.enqueue_nd_range_kernel(k, (4,))
+
+    def test_scalar_where_buffer_expected(self, cpu):
+        ctx, _ = cpu
+        k = self._kernel(ctx)
+        with pytest.raises(cl.InvalidKernelArgs):
+            k.set_arg(0, 3.0)
+
+    def test_buffer_where_scalar_expected(self, cpu):
+        ctx, _ = cpu
+        k = ctx.create_program(scale_kernel()).create_kernel("scale")
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=16, dtype=np.float32)
+        with pytest.raises(cl.InvalidKernelArgs):
+            k.set_arg(1, b)
+
+    def test_dtype_mismatch(self, cpu):
+        ctx, _ = cpu
+        k = self._kernel(ctx)
+        b = ctx.create_buffer(cl.mem_flags.READ_ONLY, size=32, dtype=np.float64)
+        with pytest.raises(cl.InvalidKernelArgs, match="dtype"):
+            k.set_arg(0, b)
+
+    def test_access_flag_enforced(self, cpu):
+        ctx, _ = cpu
+        k = self._kernel(ctx)
+        wo = ctx.create_buffer(cl.mem_flags.WRITE_ONLY, size=16, dtype=np.float32)
+        with pytest.raises(cl.InvalidKernelArgs, match="WRITE_ONLY"):
+            k.set_arg(0, wo)  # kernel reads arg 0
+        ro = ctx.create_buffer(cl.mem_flags.READ_ONLY, size=16, dtype=np.float32)
+        with pytest.raises(cl.InvalidKernelArgs, match="READ_ONLY"):
+            k.set_arg(2, ro)  # kernel writes arg 2
+
+    def test_bad_index(self, cpu):
+        ctx, _ = cpu
+        k = self._kernel(ctx)
+        with pytest.raises(cl.InvalidArgIndex):
+            k.set_arg(7, 1.0)
+
+    def test_set_args_count(self, cpu):
+        ctx, _ = cpu
+        k = self._kernel(ctx)
+        with pytest.raises(cl.InvalidKernelArgs):
+            k.set_args(1.0)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("which", ["cpu", "gpu"])
+    def test_end_to_end_correctness(self, which, cpu, gpu):
+        ctx, q = cpu if which == "cpu" else gpu
+        n = 1024
+        rng = np.random.default_rng(1)
+        ha, hb = (rng.random(n).astype(np.float32) for _ in range(2))
+        mf = cl.mem_flags
+        ba = ctx.create_buffer(mf.READ_ONLY | mf.COPY_HOST_PTR, hostbuf=ha)
+        bb = ctx.create_buffer(mf.READ_ONLY | mf.COPY_HOST_PTR, hostbuf=hb)
+        bc = ctx.create_buffer(mf.WRITE_ONLY, size=4 * n, dtype=np.float32)
+        k = ctx.create_program(vadd_kernel()).build().create_kernel("vadd")
+        k.set_args(ba, bb, bc)
+        q.enqueue_nd_range_kernel(k, (n,), (64,))
+        out = np.empty(n, np.float32)
+        q.enqueue_read_buffer(bc, out)
+        np.testing.assert_allclose(out, ha + hb, rtol=1e-6)
+
+    def test_scalar_arg_applied(self, cpu):
+        ctx, q = cpu
+        h = np.ones(16, np.float32)
+        b = ctx.create_buffer(cl.mem_flags.COPY_HOST_PTR, hostbuf=h)
+        k = ctx.create_program(scale_kernel()).create_kernel("scale")
+        k.set_args(b, 2.5)
+        q.enqueue_nd_range_kernel(k, (16,))
+        assert (b.array == 2.5).all()
+
+    def test_null_local_size_resolved(self, cpu):
+        ctx, q = cpu
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=4 * 1000, dtype=np.float32)
+        k = ctx.create_program(scale_kernel()).create_kernel("scale")
+        k.set_args(b, 1.0)
+        ev = q.enqueue_nd_range_kernel(k, (1000,), None)
+        ls = ev.info["local_size"]
+        assert 1000 % ls[0] == 0
+
+    def test_invalid_work_sizes(self, cpu):
+        ctx, q = cpu
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=64, dtype=np.float32)
+        k = ctx.create_program(scale_kernel()).create_kernel("scale")
+        k.set_args(b, 1.0)
+        with pytest.raises(cl.InvalidWorkGroupSize):
+            q.enqueue_nd_range_kernel(k, (16,), (5,))
+        with pytest.raises(cl.InvalidWorkDimension):
+            q.enqueue_nd_range_kernel(k, (4, 4))
+        with pytest.raises(cl.InvalidWorkGroupSize):
+            q.enqueue_nd_range_kernel(k, (16,), (16 * 1024,))
+
+    def test_timing_only_mode_skips_execution(self, cpu):
+        ctx, _ = cpu
+        q = ctx.create_command_queue(functional=False)
+        h = np.ones(16, np.float32)
+        b = ctx.create_buffer(cl.mem_flags.COPY_HOST_PTR, hostbuf=h)
+        k = ctx.create_program(scale_kernel()).create_kernel("scale")
+        k.set_args(b, 2.0)
+        ev = q.enqueue_nd_range_kernel(k, (16,))
+        assert (b.array == 1.0).all()  # data untouched
+        assert ev.duration_ns > 0     # but time advanced
+
+
+class TestEventsAndClock:
+    def test_event_profile_monotone(self, cpu):
+        ctx, q = cpu
+        h = np.ones(64, np.float32)
+        b = ctx.create_buffer(cl.mem_flags.COPY_HOST_PTR, hostbuf=h)
+        e1 = q.enqueue_write_buffer(b, h)
+        e2 = q.enqueue_read_buffer(b, np.empty_like(h))
+        assert e1.profile.queued <= e1.profile.start <= e1.profile.end
+        assert e1.profile.end == e2.profile.queued  # in-order queue
+        assert q.finish() == e2.profile.end
+
+    def test_wait_is_noop(self, cpu):
+        ctx, q = cpu
+        h = np.ones(4, np.float32)
+        b = ctx.create_buffer(cl.mem_flags.COPY_HOST_PTR, hostbuf=h)
+        ev = q.enqueue_write_buffer(b, h)
+        ev.wait()
+        assert ev.status == cl.command_status.COMPLETE
+
+
+class TestTransfersFunctional:
+    def test_write_read_roundtrip(self, cpu):
+        ctx, q = cpu
+        h = np.arange(32, dtype=np.float32)
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=128, dtype=np.float32)
+        q.enqueue_write_buffer(b, h)
+        out = np.empty(32, np.float32)
+        q.enqueue_read_buffer(b, out)
+        np.testing.assert_array_equal(out, h)
+
+    def test_size_mismatch(self, cpu):
+        ctx, q = cpu
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=128, dtype=np.float32)
+        with pytest.raises(cl.InvalidValue):
+            q.enqueue_write_buffer(b, np.zeros(4, np.float32))
+        with pytest.raises(cl.InvalidValue):
+            q.enqueue_read_buffer(b, np.zeros(4, np.float32))
+
+    def test_map_aliases_on_cpu(self, cpu):
+        ctx, q = cpu
+        h = np.arange(16, dtype=np.float32)
+        b = ctx.create_buffer(cl.mem_flags.COPY_HOST_PTR, hostbuf=h)
+        view, ev = q.enqueue_map_buffer(b, cl.map_flags.READ | cl.map_flags.WRITE)
+        assert np.shares_memory(view, b.array)
+        view[0] = 42.0
+        assert b.array[0] == 42.0
+        q.enqueue_unmap(b, view)
+
+    def test_map_cheaper_than_copy_on_cpu(self, cpu):
+        ctx, q = cpu
+        n = 1 << 20
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=4 * n, dtype=np.float32)
+        h = np.zeros(n, np.float32)
+        copy_ev = q.enqueue_write_buffer(b, h)
+        view, map_ev = q.enqueue_map_buffer(b, cl.map_flags.WRITE)
+        q.enqueue_unmap(b, view)
+        assert map_ev.duration_ns < copy_ev.duration_ns / 5
+
+    def test_unmap_of_unmapped_pointer(self, cpu):
+        ctx, q = cpu
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=64, dtype=np.float32)
+        with pytest.raises(cl.InvalidOperation):
+            q.enqueue_unmap(b, np.zeros(16, np.float32))
+
+    def test_bad_map_flags(self, cpu):
+        ctx, q = cpu
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=64, dtype=np.float32)
+        with pytest.raises(cl.InvalidValue):
+            q.enqueue_map_buffer(b, cl.map_flags(0))
+
+
+class TestFlatAPI:
+    def test_c_style_host_program(self):
+        api = cl.api
+        platforms = api.clGetPlatformIDs()
+        devices = api.clGetDeviceIDs(platforms[0], cl.device_type.CPU)
+        ctx = api.clCreateContext(devices)
+        q = api.clCreateCommandQueue(ctx, devices[0])
+        n = 256
+        ha = np.arange(n, dtype=np.float32)
+        hb = np.ones(n, dtype=np.float32)
+        mf = cl.mem_flags
+        ba = api.clCreateBuffer(ctx, mf.READ_ONLY | mf.COPY_HOST_PTR, hostbuf=ha)
+        bb = api.clCreateBuffer(ctx, mf.READ_ONLY | mf.COPY_HOST_PTR, hostbuf=hb)
+        bc = api.clCreateBuffer(ctx, mf.WRITE_ONLY, size=4 * n, dtype=np.float32)
+        prog = api.clCreateProgram(ctx, vadd_kernel())
+        k = api.clCreateKernel(prog, "vadd")
+        for i, arg in enumerate((ba, bb, bc)):
+            api.clSetKernelArg(k, i, arg)
+        ev = api.clEnqueueNDRangeKernel(q, k, (n,), (64,))
+        mapped, _ = api.clEnqueueMapBuffer(q, bc, cl.map_flags.READ)
+        np.testing.assert_allclose(mapped, ha + hb)
+        api.clEnqueueUnmapMemObject(q, bc, mapped)
+        api.clFinish(q)
+        prof = api.clGetEventProfilingInfo(ev)
+        assert prof["CL_PROFILING_COMMAND_END"] > prof["CL_PROFILING_COMMAND_START"]

@@ -1,0 +1,102 @@
+"""Property tests for virtual-time queue semantics under random command
+sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import minicl as cl
+
+# random command sequence: each entry is a buffer size class
+SIZES = [1 << 10, 1 << 14, 1 << 18]
+
+
+def _run_sequence(queue, ctx, sizes):
+    events = []
+    for s in sizes:
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=s, dtype=np.uint8)
+        events.append(
+            queue.enqueue_write_buffer(b, np.zeros(s, np.uint8))
+        )
+    return events
+
+
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(st.sampled_from(SIZES), min_size=1, max_size=12))
+def test_in_order_queue_is_gapless_and_monotone(sizes):
+    ctx = cl.Context(cl.cpu_platform().devices)
+    q = ctx.create_command_queue(functional=False)
+    evs = _run_sequence(q, ctx, sizes)
+    for e in evs:
+        assert e.profile.queued <= e.profile.start <= e.profile.end
+        assert e.duration_ns >= 0
+    for a, b in zip(evs, evs[1:]):
+        assert b.profile.start == a.profile.end  # back-to-back
+    assert q.finish() == evs[-1].profile.end
+
+
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(st.sampled_from(SIZES), min_size=1, max_size=12))
+def test_out_of_order_queue_overlaps_independent_commands(sizes):
+    ctx = cl.Context(cl.cpu_platform().devices)
+    q = ctx.create_command_queue(functional=False, out_of_order=True)
+    evs = _run_sequence(q, ctx, sizes)
+    assert all(e.profile.start == 0.0 for e in evs)
+    assert q.finish() == max(e.profile.end for e in evs)
+    # OOO makespan never exceeds in-order makespan for the same commands
+    ctx2 = cl.Context(cl.cpu_platform().devices)
+    q2 = ctx2.create_command_queue(functional=False)
+    evs2 = _run_sequence(q2, ctx2, sizes)
+    assert q.finish() <= q2.finish() + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.sampled_from(SIZES), min_size=2, max_size=10),
+    data=st.data(),
+)
+def test_wait_lists_respected_under_random_dags(sizes, data):
+    """Every command starts no earlier than all its dependencies end."""
+    ctx = cl.Context(cl.cpu_platform().devices)
+    q = ctx.create_command_queue(functional=False, out_of_order=True)
+    events = []
+    deps_of = []
+    for i, s in enumerate(sizes):
+        n_deps = data.draw(st.integers(0, min(i, 3)))
+        deps = (
+            data.draw(
+                st.lists(
+                    st.sampled_from(range(i)), min_size=n_deps,
+                    max_size=n_deps, unique=True,
+                )
+            )
+            if i
+            else []
+        )
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=s, dtype=np.uint8)
+        ev = q.enqueue_write_buffer(
+            b, np.zeros(s, np.uint8), wait_for=[events[d] for d in deps]
+        )
+        events.append(ev)
+        deps_of.append(deps)
+    for ev, deps in zip(events, deps_of):
+        for d in deps:
+            assert ev.profile.start >= events[d].profile.end
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pre=st.lists(st.sampled_from(SIZES), min_size=1, max_size=6),
+    post=st.lists(st.sampled_from(SIZES), min_size=1, max_size=6),
+)
+def test_barrier_separates_phases(pre, post):
+    ctx = cl.Context(cl.cpu_platform().devices)
+    q = ctx.create_command_queue(functional=False, out_of_order=True)
+    evs_pre = _run_sequence(q, ctx, pre)
+    bar = q.enqueue_barrier()
+    evs_post = _run_sequence(q, ctx, post)
+    latest_pre = max(e.profile.end for e in evs_pre)
+    assert bar.profile.end == latest_pre
+    for e in evs_post:
+        assert e.profile.start >= latest_pre

@@ -1,0 +1,66 @@
+"""Tests for ``global_work_offset`` (clEnqueueNDRangeKernel's offset arg)."""
+
+import numpy as np
+import pytest
+
+from repro import minicl as cl
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.interp import Interpreter, KernelExecutionError
+from repro.kernelir.types import F32, I64
+
+
+def id_kernel():
+    kb = KernelBuilder("ids")
+    o = kb.buffer("o", I64, access="w")
+    g = kb.global_id(0)
+    o[g] = g
+    return kb.finish()
+
+
+class TestInterpreterOffset:
+    def test_global_ids_shifted(self):
+        o = np.zeros(16, np.int64)
+        Interpreter().launch(
+            id_kernel(), 8, 4, buffers={"o": o}, global_offset=(8,)
+        )
+        np.testing.assert_array_equal(o[8:], np.arange(8, 16))
+        assert (o[:8] == 0).all()
+
+    def test_local_and_group_ids_unshifted(self):
+        kb = KernelBuilder("lg")
+        o = kb.buffer("o", I64, access="w")
+        g = kb.global_id(0)
+        o[g] = kb.group_id(0) * 100 + kb.local_id(0)
+        o_arr = np.zeros(12, np.int64)
+        Interpreter().launch(
+            kb.finish(), 8, 4, buffers={"o": o_arr}, global_offset=(4,)
+        )
+        np.testing.assert_array_equal(o_arr[4:], [0, 1, 2, 3, 100, 101, 102, 103])
+
+    def test_bad_offsets_rejected(self):
+        o = np.zeros(8, np.int64)
+        with pytest.raises(KernelExecutionError, match="rank"):
+            Interpreter().launch(
+                id_kernel(), 4, buffers={"o": o}, global_offset=(1, 2)
+            )
+        with pytest.raises(KernelExecutionError, match="non-negative"):
+            Interpreter().launch(
+                id_kernel(), 4, buffers={"o": o}, global_offset=(-1,)
+            )
+
+
+class TestQueueOffset:
+    def test_tiled_launches_cover_buffer(self):
+        """Two half-range launches with offsets == one full launch."""
+        ctx = cl.Context(cl.cpu_platform().devices)
+        q = ctx.create_command_queue()
+        n = 256
+        b = ctx.create_buffer(cl.mem_flags.WRITE_ONLY, size=8 * n, dtype=np.int64)
+        k = ctx.create_program(id_kernel()).create_kernel("ids")
+        k.set_args(b)
+        q.enqueue_nd_range_kernel(k, (n // 2,), (64,))
+        ev = q.enqueue_nd_range_kernel(
+            k, (n // 2,), (64,), global_work_offset=(n // 2,)
+        )
+        np.testing.assert_array_equal(b.array, np.arange(n))
+        assert ev.info["global_work_offset"] == (n // 2,)

@@ -1,0 +1,37 @@
+"""Unit tests for the OpenMP environment parsing."""
+
+import pytest
+
+from repro.openmp.env import OmpEnv
+
+
+class TestOmpEnv:
+    def test_defaults(self):
+        e = OmpEnv.from_dict({})
+        assert e.num_threads is None
+        assert e.schedule == "static" and e.chunk is None
+        assert not e.affinity.proc_bind
+
+    def test_num_threads(self):
+        assert OmpEnv.from_dict({"OMP_NUM_THREADS": "8"}).num_threads == 8
+        with pytest.raises(ValueError):
+            OmpEnv.from_dict({"OMP_NUM_THREADS": "0"})
+
+    def test_schedule_kinds(self):
+        e = OmpEnv.from_dict({"OMP_SCHEDULE": "dynamic,16"})
+        assert e.schedule == "dynamic" and e.chunk == 16
+        e = OmpEnv.from_dict({"OMP_SCHEDULE": "guided"})
+        assert e.schedule == "guided" and e.chunk is None
+
+    def test_bad_schedule(self):
+        with pytest.raises(ValueError):
+            OmpEnv.from_dict({"OMP_SCHEDULE": "magic"})
+        with pytest.raises(ValueError):
+            OmpEnv.from_dict({"OMP_SCHEDULE": "static,0"})
+
+    def test_affinity_wiring(self):
+        e = OmpEnv.from_dict(
+            {"OMP_PROC_BIND": "true", "GOMP_CPU_AFFINITY": "0-3"}
+        )
+        assert e.affinity.proc_bind
+        assert e.affinity.cpu_list == [0, 1, 2, 3]

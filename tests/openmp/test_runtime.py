@@ -1,0 +1,179 @@
+"""Unit/integration tests for the OpenMP-like parallel_for runtime."""
+
+import numpy as np
+import pytest
+
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32
+from repro.openmp import FORK_JOIN_NS, OpenMPRuntime
+from repro.openmp.env import OmpEnv
+
+
+def vadd():
+    kb = KernelBuilder("vadd")
+    a = kb.buffer("a", F32, access="r")
+    b = kb.buffer("b", F32, access="r")
+    c = kb.buffer("c", F32, access="w")
+    g = kb.global_id(0)
+    c[g] = a[g] + b[g]
+    return kb.finish()
+
+
+def chain_kernel():
+    kb = KernelBuilder("chain")
+    a = kb.buffer("a", F32)
+    g = kb.global_id(0)
+    v = kb.let("v", a[g])
+    for _ in range(6):
+        v = kb.let("v", v * 1.25)
+    a[g] = v
+    return kb.finish()
+
+
+def data(n, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return {
+        "a": rng.random(n).astype(np.float32),
+        "b": rng.random(n).astype(np.float32),
+        "c": np.zeros(n, np.float32),
+    }
+
+
+class TestFunctional:
+    def test_executes_correctly(self):
+        rt = OpenMPRuntime()
+        bufs = data(1000)
+        r = rt.parallel_for(vadd(), 1000, buffers=bufs)
+        np.testing.assert_allclose(bufs["c"], bufs["a"] + bufs["b"], rtol=1e-6)
+        assert r.iterations == 1000
+        assert r.time_ns >= FORK_JOIN_NS
+
+    def test_rejects_workgroup_kernels(self):
+        kb = KernelBuilder("bad")
+        o = kb.buffer("o", F32, access="w")
+        kb.barrier()
+        o[kb.global_id(0)] = 1.0
+        rt = OpenMPRuntime()
+        with pytest.raises(ValueError, match="no .*OpenMP loop equivalent"):
+            rt.parallel_for(kb.finish(), 16)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            OpenMPRuntime().parallel_for(vadd(), 0)
+
+    def test_functional_off_skips_execution(self):
+        rt = OpenMPRuntime(functional=False)
+        bufs = data(100)
+        rt.parallel_for(vadd(), 100, buffers=bufs)
+        assert (bufs["c"] == 0).all()
+
+
+class TestScheduling:
+    def test_static_chunks_cover_range(self):
+        chunks = OpenMPRuntime._static_chunks(10, 3)
+        assert chunks == [(0, 4), (4, 7), (7, 10)]
+        assert OpenMPRuntime._static_chunks(2, 8)[:2] == [(0, 1), (1, 2)]
+
+    def test_threads_capped_by_n(self):
+        rt = OpenMPRuntime(env={"OMP_NUM_THREADS": "16"}, functional=False)
+        r = rt.parallel_for(vadd(), 4, buffers=data(4))
+        assert r.threads == 4
+
+    def test_dynamic_schedule_adds_overhead(self):
+        static = OpenMPRuntime(functional=False)
+        dynamic = OpenMPRuntime(
+            env={"OMP_SCHEDULE": "dynamic,1"}, functional=False
+        )
+        n = 100_000
+        bufs = data(n)
+        t_s = static.parallel_for(vadd(), n, buffers=bufs).time_ns
+        t_d = dynamic.parallel_for(vadd(), n, buffers=bufs).time_ns
+        assert t_d > t_s
+
+    def test_more_threads_faster(self):
+        # compute-bound kernel: near-linear scaling
+        n = 1 << 20
+        bufs = {"a": np.ones(n, np.float32)}
+        t1 = OpenMPRuntime(functional=False).parallel_for(
+            chain_kernel(), n, buffers=bufs, num_threads=1
+        ).time_ns
+        t12 = OpenMPRuntime(functional=False).parallel_for(
+            chain_kernel(), n, buffers=bufs, num_threads=12
+        ).time_ns
+        assert t12 < t1 / 6
+
+    def test_memory_bound_scaling_is_sublinear(self):
+        # streaming vadd shares the memory system: adding threads helps
+        # less than linearly (bandwidth wall)
+        n = 1 << 20
+        bufs = data(n)
+        t1 = OpenMPRuntime(functional=False).parallel_for(
+            vadd(), n, buffers=bufs, num_threads=1
+        ).time_ns
+        t12 = OpenMPRuntime(functional=False).parallel_for(
+            vadd(), n, buffers=bufs, num_threads=12
+        ).time_ns
+        assert t12 < t1          # still faster...
+        assert t12 > t1 / 12     # ...but not 12x faster
+
+
+class TestAffinity:
+    ENV = {
+        "OMP_PROC_BIND": "true",
+        "OMP_NUM_THREADS": "8",
+        "GOMP_CPU_AFFINITY": "0-7",
+    }
+
+    def test_pinned_placement(self):
+        rt = OpenMPRuntime(env=self.ENV, functional=False)
+        r = rt.parallel_for(vadd(), 800, buffers=data(800))
+        assert r.placement == list(range(8))
+
+    def test_unbound_placement_varies(self):
+        rt = OpenMPRuntime(functional=False)
+        r1 = rt.parallel_for(vadd(), 800, buffers=data(800))
+        r2 = rt.parallel_for(vadd(), 800, buffers=data(800))
+        assert r1.placement != r2.placement
+
+    def test_aligned_consumer_faster_than_misaligned(self):
+        n = 400_000
+
+        def run(misaligned):
+            rt = OpenMPRuntime(env=dict(self.ENV), functional=False)
+            bufs = data(n)
+            rt.parallel_for(vadd(), n, buffers=bufs)
+            if misaligned:
+                rt.env = OmpEnv.from_dict(
+                    {**self.ENV, "GOMP_CPU_AFFINITY": "1 2 3 4 5 6 7 0"}
+                )
+            bufs2 = {"a": bufs["c"], "b": bufs["a"], "c": np.zeros(n, np.float32)}
+            return rt.parallel_for(vadd(), n, buffers=bufs2).time_ns
+
+        aligned, misaligned = run(False), run(True)
+        assert misaligned > aligned * 1.05
+
+    def test_residency_persists_across_calls(self):
+        rt = OpenMPRuntime(env=self.ENV, functional=False)
+        n = 100_000
+        bufs = data(n)
+        t_cold = rt.parallel_for(vadd(), n, buffers=bufs).time_ns
+        t_warm = rt.parallel_for(vadd(), n, buffers=bufs).time_ns
+        assert t_warm <= t_cold
+
+
+class TestVectorizationWiring:
+    def test_vectorizable_loop_reports_vectorized(self):
+        rt = OpenMPRuntime(functional=False)
+        r = rt.parallel_for(vadd(), 4096, buffers=data(4096))
+        assert r.vectorization.vectorized
+
+    def test_chain_defeats_loop_vectorizer_and_costs_more(self):
+        rt = OpenMPRuntime(functional=False)
+        n = 1 << 18
+        bufs = {"a": np.ones(n, np.float32)}
+        r = rt.parallel_for(chain_kernel(), n, buffers=bufs)
+        assert not r.vectorization.vectorized
+        rt2 = OpenMPRuntime(functional=False, fragile_vectorizer=False)
+        r2 = rt2.parallel_for(chain_kernel(), n, buffers=bufs)
+        assert r2.vectorization.vectorized
+        assert r2.time_ns < r.time_ns  # ablation A4

@@ -1,0 +1,177 @@
+"""Unit and property tests for the exact set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcpu.cache import Cache, CacheHierarchy
+
+
+class TestCache:
+    def make(self, size=1024, line=64, assoc=2, latency=4):
+        return Cache(size, line, assoc, latency)
+
+    def test_geometry(self):
+        c = self.make()
+        assert c.num_sets == 1024 // (64 * 2)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(1000, 64, 3, 4)
+
+    def test_cold_miss_then_hit(self):
+        c = self.make()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True  # same line
+        assert c.access(64) is False  # next line
+
+    def test_lru_eviction_within_set(self):
+        c = self.make(size=256, line=64, assoc=2)  # 2 sets
+        set_stride = c.num_sets * 64  # same-set addresses
+        a, b, d = 0, set_stride, 2 * set_stride
+        c.access(a)
+        c.access(b)
+        c.access(a)     # a is MRU
+        c.access(d)     # evicts b (LRU)
+        assert c.probe(a)
+        assert not c.probe(b)
+        assert c.probe(d)
+
+    def test_probe_does_not_mutate(self):
+        c = self.make()
+        c.probe(0)
+        assert c.stats.accesses == 0
+        assert not c.probe(0)
+
+    def test_fill_installs_silently(self):
+        c = self.make()
+        c.fill(128)
+        assert c.probe(128)
+        assert c.stats.accesses == 0
+
+    def test_invalidate(self):
+        c = self.make()
+        c.access(0)
+        c.invalidate_all()
+        assert not c.probe(0)
+        assert c.resident_lines == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300),
+    )
+    def test_invariants(self, addrs):
+        c = self.make(size=512, assoc=2)
+        for a in addrs:
+            c.access(a)
+        s = c.stats
+        assert s.hits + s.misses == s.accesses == len(addrs)
+        assert c.resident_lines <= c.size_bytes // c.line_bytes
+        assert 0.0 <= s.hit_rate <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=100))
+    def test_immediate_rereference_hits(self, addrs):
+        c = self.make()
+        for a in addrs:
+            c.access(a)
+            assert c.access(a)  # re-touch must hit
+
+
+class TestHierarchy:
+    def make(self, cores=4):
+        return CacheHierarchy(
+            cores,
+            l1_bytes=1024,
+            l2_bytes=4096,
+            l3_bytes=16384,
+            cores_per_socket=2,
+        )
+
+    def test_miss_goes_to_dram_then_hits_l1(self):
+        h = self.make()
+        r1 = h.access(0, 0)
+        assert r1.level == "DRAM"
+        r2 = h.access(0, 0)
+        assert r2.level == "L1"
+        assert r2.latency < r1.latency
+
+    def test_fills_propagate_down(self):
+        h = self.make()
+        h.access(0, 0)
+        assert h.l1[0].probe(0) and h.l2[0].probe(0)
+        assert h.l3[0].probe(0)
+
+    def test_private_caches_are_private(self):
+        h = self.make()
+        h.access(0, 0)
+        r = h.access(1, 0)  # other core: misses private, hits shared L3
+        assert r.level == "L3"
+
+    def test_sockets_have_separate_l3(self):
+        h = self.make()
+        h.access(0, 0)       # socket 0
+        r = h.access(2, 0)   # socket 1
+        assert r.level == "DRAM"
+
+    def test_core_range_check(self):
+        h = self.make()
+        with pytest.raises(IndexError):
+            h.access(9, 0)
+
+    def test_access_range_counts_lines(self):
+        h = self.make()
+        out = h.access_range(0, 0, 64 * 10)
+        assert sum(out.values()) == 10
+        out2 = h.access_range(0, 0, 64 * 10)
+        assert out2["L1"] == 10
+
+    def test_total_stats_merge(self):
+        h = self.make()
+        h.access(0, 0)
+        h.access(1, 64)
+        t = h.total_stats()
+        assert t["L1"].accesses == 2
+        assert t["L1"].misses == 2
+
+    def test_write_marks_dirty_and_eviction_writes_back(self):
+        h = self.make()
+        c = h.l1[0]
+        set_stride = c.num_sets * 64
+        h.access(0, 0, is_write=True)          # dirty line
+        h.access(0, set_stride)                # clean same-set line
+        h.access(0, 2 * set_stride)            # same set
+        h.access(0, 3 * set_stride)            # ...
+        # keep filling the set until the dirty line is evicted
+        k = 4
+        while c.probe(0) and k < 64:
+            h.access(0, k * set_stride)
+            k += 1
+        assert c.stats.writebacks >= 1
+
+    def test_clean_evictions_do_not_write_back(self):
+        h = self.make()
+        for i in range(64):
+            h.access(0, i * 64)  # read-only streaming through tiny L1
+        assert h.l1[0].stats.writebacks == 0
+        assert h.l1[0].stats.evictions > 0
+
+    def test_writebacks_merged_in_totals(self):
+        h = self.make()
+        c = h.l1[0]
+        set_stride = c.num_sets * 64
+        h.access(0, 0, is_write=True)
+        for k in range(1, 32):
+            h.access(0, k * set_stride)
+        assert h.total_stats()["L1"].writebacks >= 1
+
+    def test_capacity_eviction_produces_l2_hits(self):
+        h = self.make()
+        # stream more than L1 (16 lines) but less than L2 (64 lines)
+        for i in range(32):
+            h.access(0, i * 64)
+        # first line got evicted from L1 but lives in L2
+        r = h.access(0, 0)
+        assert r.level in ("L2", "L1")

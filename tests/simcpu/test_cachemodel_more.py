@@ -1,0 +1,111 @@
+"""Additional targeted tests for the analytical cache model internals."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernelir.analysis import AccessInfo
+from repro.simcpu.cachemodel import MemoryCostModel
+from repro.simcpu.spec import XEON_E5645
+
+
+def access(stride, count=1.0, is_store=False, loop_stride=0.0, uniform=False,
+           itemsize=4, is_local=False, buffer="b"):
+    return AccessInfo(
+        buffer=buffer, is_store=is_store, is_local=is_local,
+        count_per_item=count, itemsize=itemsize, vector_stride=stride,
+        inner_loop_stride=loop_stride, uniform=uniform,
+    )
+
+
+class TestGatherModel:
+    def setup_method(self):
+        self.m = MemoryCostModel(XEON_E5645)
+
+    def test_gather_amat_grows_with_footprint(self):
+        amats = [self.m._gather_amat(fp)[0]
+                 for fp in (32 << 10, 1 << 20, 8 << 20, 1 << 30)]
+        assert amats == sorted(amats)
+
+    def test_tiny_footprint_gather_is_cheap(self):
+        amat, dram = self.m._gather_amat(16 << 10)
+        assert amat == 0.0 and dram == 0.0  # fits L1
+
+    def test_huge_footprint_gather_approaches_dram(self):
+        amat, dram = self.m._gather_amat(1 << 34)
+        s = XEON_E5645
+        assert amat == pytest.approx(
+            s.l2_latency + s.l3_latency + s.dram_latency, rel=0.05
+        )
+        assert dram == pytest.approx(s.line_bytes, rel=0.05)
+
+    @settings(max_examples=40, deadline=None)
+    @given(fp=st.integers(1, 1 << 34))
+    def test_gather_amat_bounded(self, fp):
+        amat, dram = self.m._gather_amat(fp)
+        s = XEON_E5645
+        assert 0 <= amat <= s.l2_latency + s.l3_latency + s.dram_latency
+        assert 0 <= dram <= s.line_bytes
+
+
+class TestSourceLatency:
+    def setup_method(self):
+        self.m = MemoryCostModel(XEON_E5645)
+
+    @settings(max_examples=40, deadline=None)
+    @given(fp1=st.integers(1, 1 << 32), fp2=st.integers(1, 1 << 32))
+    def test_monotone_in_footprint(self, fp1, fp2):
+        lo, hi = sorted((fp1, fp2))
+        assert self.m._source_latency(lo) <= self.m._source_latency(hi)
+
+
+class TestEstimateComposition:
+    def setup_method(self):
+        self.m = MemoryCostModel(XEON_E5645)
+
+    def _analysis_with(self, accesses):
+        """A minimal KernelAnalysis stand-in carrying just the accesses."""
+        from repro.kernelir.analysis import (
+            KernelAnalysis, LaunchContext, OpCounts,
+        )
+
+        return KernelAnalysis(
+            kernel_name="x",
+            per_item=OpCounts(),
+            critical_path_cycles=1.0,
+            weighted_ops_cycles=1.0,
+            accesses=accesses,
+            divergent_flow=False,
+            approximate=False,
+            local_mem_bytes=0,
+            uses_barrier=False,
+            uses_atomics=False,
+            ctx=LaunchContext((1024,), (64,)),
+        )
+
+    def test_counts_weight_costs(self):
+        one = self._analysis_with([access(1.0, count=1)])
+        ten = self._analysis_with([access(1.0, count=10, loop_stride=1.0)])
+        fp = {"b": 1 << 30}
+        e1 = self.m.estimate(one, fp)
+        e10 = self.m.estimate(ten, fp)
+        assert e10.dram_bytes == pytest.approx(10 * e1.dram_bytes)
+
+    def test_sites_dict_aggregates(self):
+        an = self._analysis_with(
+            [access(1.0), access(1.0, is_store=True)]
+        )
+        est = self.m.estimate(an, {"b": 1 << 30})
+        assert set(est.sites) == {"b[load]", "b[store]"}
+
+    def test_local_accesses_free_regardless_of_count(self):
+        an = self._analysis_with([access(1.0, count=1000, is_local=True)])
+        est = self.m.estimate(an, {})
+        assert est.amat_cycles == 0.0 and est.dram_bytes == 0.0
+
+    def test_unknown_buffer_assumed_dram(self):
+        an = self._analysis_with([access(1.0, buffer="mystery")])
+        est = self.m.estimate(an, {})
+        assert est.dram_bytes > 0

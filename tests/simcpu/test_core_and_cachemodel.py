@@ -1,0 +1,179 @@
+"""Unit tests for the analytical cache model and the OoO core model."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernelir.analysis import (
+    AccessInfo,
+    LaunchContext,
+    OpCounts,
+    analyze_kernel,
+)
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32, I32
+from repro.kernelir.vectorize import OpenCLVectorizer, VectorizationReport
+from repro.simcpu.cachemodel import MemoryCostModel
+from repro.simcpu.core import CoreModel
+from repro.simcpu.spec import CPUSpec, XEON_E5645
+
+
+def access(pattern_stride, count=1.0, is_store=False, loop_stride=0.0,
+           uniform=False, itemsize=4):
+    return AccessInfo(
+        buffer="b",
+        is_store=is_store,
+        is_local=False,
+        count_per_item=count,
+        itemsize=itemsize,
+        vector_stride=pattern_stride,
+        inner_loop_stride=loop_stride,
+        uniform=uniform,
+    )
+
+
+def elementwise_analysis(n=1 << 20, lsize=64):
+    kb = KernelBuilder("e")
+    a = kb.buffer("a", F32, access="r")
+    o = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    o[g] = a[g] * 2.0
+    return analyze_kernel(kb.finish(), LaunchContext((n,), (lsize,)))
+
+
+class TestSiteCosts:
+    def setup_method(self):
+        self.m = MemoryCostModel(XEON_E5645)
+
+    def test_uniform_is_free(self):
+        assert self.m.site_cost(access(0.0, uniform=True), 1 << 30) == (0, 0, 0)
+
+    def test_local_is_free(self):
+        a = access(1.0)
+        a = dataclasses.replace(a, is_local=True)
+        assert self.m.site_cost(a, 1 << 30)[0] == 0.0
+
+    def test_gather_worse_than_contiguous(self):
+        fp = 1 << 30  # DRAM-sized footprint
+        contig_amat = self.m.site_cost(access(1.0), fp)[0]
+        gather_amat = self.m.site_cost(access(None), fp)[0]
+        assert gather_amat > contig_amat
+
+    def test_contiguous_l1_resident_is_free(self):
+        amat, dram, l3 = self.m.site_cost(access(1.0), 16 * 1024)
+        assert amat == 0.0 and dram == 0.0 and l3 == 0.0
+
+    def test_footprint_grades_latency(self):
+        sizes = [16 << 10, 128 << 10, 4 << 20, 1 << 30]
+        amats = [self.m.site_cost(access(1.0), s)[0] for s in sizes]
+        assert amats == sorted(amats)
+        assert amats[-1] > amats[0]
+
+    def test_dram_traffic_only_beyond_l3(self):
+        assert self.m.site_cost(access(1.0), 4 << 20)[1] == 0.0
+        assert self.m.site_cost(access(1.0), 1 << 30)[1] == 4.0
+
+    def test_l3_traffic_between_l2_and_l3(self):
+        _, dram, l3 = self.m.site_cost(access(1.0), 4 << 20)
+        assert l3 == 4.0 and dram == 0.0
+
+    def test_loop_sequential_strided_treated_as_stream(self):
+        """A stride-1000 access that walks sequentially per item (coalesced
+        kernel) costs like a contiguous stream, not like a strided one."""
+        seq = self.m.site_cost(access(1000.0, loop_stride=1.0), 1 << 30)[0]
+        hop = self.m.site_cost(access(1000.0, loop_stride=0.0), 1 << 30)[0]
+        assert seq < hop
+
+
+class TestWorkgroupFootprint:
+    def setup_method(self):
+        self.m = MemoryCostModel(XEON_E5645)
+
+    def test_uniform_counts_once(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", kb.f32(0.0))
+        with kb.loop("i", 0, 100) as i:
+            acc = kb.let("acc", acc + a[i])  # same for all items
+        o[g] = acc
+        an = analyze_kernel(kb.finish(), LaunchContext((256,), (64,)))
+        fp = self.m.workgroup_footprint(an)
+        # 100 loads x 4B shared + per-item store 4B x 64 items
+        assert fp == pytest.approx(100 * 4 + 64 * 4)
+
+    def test_spill_latency_grades(self):
+        m = self.m
+        assert m._spill_latency(1 << 10) == 0.0
+        mid = m._spill_latency(60 << 10)
+        big = m._spill_latency(1 << 20)
+        huge = m._spill_latency(1 << 28)
+        assert 0 < mid < big < huge
+
+
+class TestCoreModel:
+    def setup_method(self):
+        self.core = CoreModel(XEON_E5645)
+        self.mem_model = MemoryCostModel(XEON_E5645)
+
+    def _cost(self, analysis, vec=None, buffer_bytes=None):
+        mem = self.mem_model.estimate(analysis, buffer_bytes)
+        return self.core.item_cycles(analysis, vec, mem)
+
+    def test_vectorization_speeds_up_compute(self):
+        an = elementwise_analysis()
+        scalar = self._cost(an, None)
+        vec = self._cost(an, VectorizationReport(True, 4, [], contiguous_ops=2))
+        assert vec.cycles < scalar.cycles
+
+    def test_ilp_scaling_is_monotone(self):
+        def chain_kernel(k):
+            kb = KernelBuilder("c")
+            a = kb.buffer("a", F32)
+            g = kb.global_id(0)
+            vs = [kb.let(f"v{i}", a[g] + float(i)) for i in range(k)]
+            with kb.loop("t", 0, 64):
+                for i in range(k):
+                    for _ in range(8 // k):
+                        vs[i] = kb.let(f"v{i}", vs[i] * 1.0001)
+            acc = vs[0]
+            for v in vs[1:]:
+                acc = acc + v
+            a[g] = acc
+            return kb.finish()
+
+        ctx = LaunchContext((4096,), (256,))
+        costs = [
+            self._cost(analyze_kernel(chain_kernel(k), ctx)).cycles
+            for k in (1, 2, 4)
+        ]
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_bandwidth_bound_kicks_in_for_dram_streams(self):
+        an = elementwise_analysis()
+        c = self._cost(an, None, {"a": 1 << 30, "o": 1 << 30})
+        assert c.bandwidth_bound > 0
+        assert c.dominant() in ("bandwidth", "memory")
+
+    def test_l1_resident_kernel_is_compute_or_issue_bound(self):
+        an = elementwise_analysis()
+        c = self._cost(an, None, {"a": 8 << 10, "o": 8 << 10})
+        assert c.bandwidth_bound == 0.0
+
+    def test_dram_share_scales_bandwidth(self):
+        an = elementwise_analysis()
+        mem = self.mem_model.estimate(an, {"a": 1 << 30, "o": 1 << 30})
+        full = self.core.item_cycles(an, None, mem, dram_share=1.0)
+        shared = self.core.item_cycles(an, None, mem, dram_share=1 / 12)
+        assert shared.bandwidth_bound == pytest.approx(
+            full.bandwidth_bound * 12
+        )
+
+    def test_atomics_serialize(self):
+        kb = KernelBuilder("h")
+        h = kb.buffer("h", I32)
+        h.atomic_add(kb.global_id(0) % 4, kb.i32(1))
+        an = analyze_kernel(kb.finish(), LaunchContext((1024,), (64,)))
+        c = self._cost(an)
+        assert c.compute_bound >= 20.0

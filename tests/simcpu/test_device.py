@@ -1,0 +1,136 @@
+"""Unit tests for the assembled CPU device model (timing + transfers)."""
+
+import pytest
+
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32
+from repro.simcpu.device import CPUDeviceModel
+from repro.simcpu.spec import CPUSpec, XEON_E5645
+
+
+def square_kernel(coalesce=1):
+    from repro.suite.simple.square import build_square_kernel
+
+    return build_square_kernel(coalesce)
+
+
+class TestSpec:
+    def test_paper_peak(self):
+        assert XEON_E5645.peak_gflops_sp == pytest.approx(230.4)
+
+    def test_core_counts(self):
+        assert XEON_E5645.physical_cores == 12
+        assert XEON_E5645.logical_cores == 24
+
+    def test_describe_matches_table1(self):
+        d = XEON_E5645.describe()
+        assert "64K/256K/12M" in d["Caches"]
+        assert "230.4" in d["FP peak performance"]
+
+    def test_cycle_conversion_roundtrip(self):
+        s = XEON_E5645
+        assert s.ns_to_cycles(s.cycles_to_ns(123.0)) == pytest.approx(123.0)
+
+
+class TestNullLocalSizePolicy:
+    def setup_method(self):
+        self.dev = CPUDeviceModel()
+
+    def test_explicit_passthrough(self):
+        assert self.dev.choose_local_size((1024,), (256,)) == (256,)
+
+    def test_null_divides(self):
+        for n in (10_000, 110_000, 11_445_000):
+            (ls,) = self.dev.choose_local_size((n,), None)
+            assert n % ls == 0 and ls <= 64
+
+    def test_null_keeps_threads_busy(self):
+        (ls,) = self.dev.choose_local_size((100,), None)
+        assert 100 // ls >= 24  # at least one group per logical core
+
+
+class TestKernelCost:
+    def setup_method(self):
+        self.dev = CPUDeviceModel()
+
+    def test_more_work_takes_longer(self):
+        k = square_kernel()
+        t1 = self.dev.kernel_cost(k, (10_000,)).total_ns
+        t2 = self.dev.kernel_cost(k, (100_000,)).total_ns
+        assert t2 > t1
+
+    def test_coalescing_improves_throughput(self):
+        n = 1_000_000
+        base = self.dev.kernel_cost(square_kernel(), (n,))
+        co = self.dev.kernel_cost(
+            square_kernel(100), (n // 100,), scalars={"n_per": 100}
+        )
+        assert co.total_ns < base.total_ns
+
+    def test_tiny_workgroups_hurt(self):
+        k = square_kernel()
+        small = self.dev.kernel_cost(k, (100_000,), (1,))
+        large = self.dev.kernel_cost(k, (100_000,), (1000,))
+        assert small.total_ns > 5 * large.total_ns
+
+    def test_gflops_below_peak(self):
+        k = square_kernel()
+        c = self.dev.kernel_cost(k, (1_000_000,), (1000,))
+        assert 0 < c.gflops < XEON_E5645.peak_gflops_sp
+
+    def test_vectorization_toggle(self):
+        k = square_kernel()
+        v = CPUDeviceModel(vectorize=True).kernel_cost(k, (1_000_000,), (1000,))
+        s = CPUDeviceModel(vectorize=False).kernel_cost(k, (1_000_000,), (1000,))
+        assert not s.vectorization.vectorized
+        assert v.vectorization.vectorized
+        assert v.total_ns <= s.total_ns
+
+    def test_cost_carries_diagnostics(self):
+        c = self.dev.kernel_cost(square_kernel(), (4096,), (64,))
+        assert c.analysis.per_item.flops == 1
+        assert c.schedule.threads_used <= 24
+        assert c.item.dominant() in ("compute", "memory", "bandwidth", "latency")
+        assert c.local_size == (64,)
+        assert c.per_item_ns > 0
+
+
+class TestTransfers:
+    def setup_method(self):
+        self.dev = CPUDeviceModel()
+
+    def test_copy_scales_with_bytes(self):
+        small = self.dev.transfer_cost(1 << 10, "copy").total_ns
+        big = self.dev.transfer_cost(1 << 24, "copy").total_ns
+        assert big > small * 10
+
+    def test_map_is_cheap_and_flat(self):
+        small = self.dev.transfer_cost(1 << 10, "map").total_ns
+        big = self.dev.transfer_cost(1 << 24, "map").total_ns
+        assert big < self.dev.transfer_cost(1 << 24, "copy").total_ns / 10
+        assert big / small < 10  # near-constant (page table touches only)
+
+    def test_map_moves_no_bytes(self):
+        t = self.dev.transfer_cost(1 << 20, "map")
+        assert t.moved_bytes == 0
+        assert self.dev.transfer_cost(1 << 20, "copy").moved_bytes == 1 << 20
+
+    def test_gap_grows_with_size(self):
+        """The paper: 'The performance gap increases with ... data transfer
+        sizes.'"""
+        ratios = []
+        for size in (1 << 16, 1 << 20, 1 << 24):
+            c = self.dev.transfer_cost(size, "copy").total_ns
+            m = self.dev.transfer_cost(size, "map").total_ns
+            ratios.append(c / m)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_unknown_api_rejected(self):
+        with pytest.raises(ValueError):
+            self.dev.transfer_cost(1024, "dma")
+
+    def test_pinned_flag_changes_nothing_on_cpu(self):
+        """Allocation location: same DRAM either way (paper Section III-D)."""
+        a = self.dev.transfer_cost(1 << 20, "copy", pinned=False).total_ns
+        b = self.dev.transfer_cost(1 << 20, "copy", pinned=True).total_ns
+        assert a == b

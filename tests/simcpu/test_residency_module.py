@@ -1,0 +1,106 @@
+"""Tests for the shared residency cost engine (simcpu.residency)."""
+
+import numpy as np
+import pytest
+
+from repro.kernelir.analysis import LaunchContext, analyze_kernel
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32
+from repro.simcpu.cachemodel import MemoryCostModel
+from repro.simcpu.residency import (
+    contiguous_load_sites,
+    residency_adjusted_mem,
+    touch_contiguous,
+)
+from repro.simcpu.spec import XEON_E5645
+from repro.simcpu.threads import CoreResidencyTracker
+
+
+def two_load_kernel():
+    kb = KernelBuilder("k")
+    a = kb.buffer("a", F32, access="r")
+    b = kb.buffer("b", F32, access="r")
+    o = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    o[g] = a[g] + b[g]
+    return kb.finish()
+
+
+@pytest.fixture
+def setup():
+    n = 262_144  # 1MB buffers: past L2, so the baseline streams from L3
+    kernel = two_load_kernel()
+    analysis = analyze_kernel(kernel, LaunchContext((n,), (64,)))
+    mem_model = MemoryCostModel(XEON_E5645)
+    buffer_bytes = {"a": 4 * n, "b": 4 * n, "o": 4 * n}
+    base = mem_model.estimate(analysis, buffer_bytes)
+    tracker = CoreResidencyTracker(XEON_E5645)
+    ids = {"a": "ida", "b": "idb", "o": "ido"}
+    return n, analysis, mem_model, base, tracker, buffer_bytes, ids
+
+
+class TestSites:
+    def test_only_contiguous_global_loads(self, setup):
+        _, analysis, *_ = setup
+        sites = contiguous_load_sites(analysis)
+        assert {s.buffer for s in sites} == {"a", "b"}
+        assert all(not s.is_store for s in sites)
+
+
+class TestAdjustment:
+    def test_cold_tracker_returns_baseline(self, setup):
+        n, analysis, mm, base, tracker, bb, ids = setup
+        adj = residency_adjusted_mem(
+            mm, tracker, analysis, base, 0, (0, n), ids, bb
+        )
+        assert adj.amat_cycles == base.amat_cycles
+        assert adj.l3_bytes == base.l3_bytes
+
+    def test_private_residency_removes_traffic(self, setup):
+        n, analysis, mm, base, tracker, bb, ids = setup
+        tracker.touch(0, "ida", 0, 4 * n)
+        tracker.touch(0, "idb", 0, 4 * n)
+        adj = residency_adjusted_mem(
+            mm, tracker, analysis, base, 0, (0, n), ids, bb
+        )
+        assert adj.l3_bytes < base.l3_bytes
+        assert adj.amat_cycles <= base.amat_cycles
+
+    def test_foreign_core_residency_costs_l3(self, setup):
+        n, analysis, mm, base, tracker, bb, ids = setup
+        tracker.touch(0, "ida", 0, 4 * n)
+        home = residency_adjusted_mem(
+            mm, tracker, analysis, base, 0, (0, n), ids, bb
+        )
+        away = residency_adjusted_mem(
+            mm, tracker, analysis, base, 1, (0, n), ids, bb
+        )
+        assert away.amat_cycles > home.amat_cycles
+        assert away.l3_bytes > home.l3_bytes
+
+    def test_partial_range(self, setup):
+        n, analysis, mm, base, tracker, bb, ids = setup
+        tracker.touch(0, "ida", 0, 2 * n)  # only the first half resident
+        full = residency_adjusted_mem(
+            mm, tracker, analysis, base, 0, (0, n), ids, bb
+        )
+        first_half = residency_adjusted_mem(
+            mm, tracker, analysis, base, 0, (0, n // 2), ids, bb
+        )
+        assert first_half.l3_bytes <= full.l3_bytes
+
+
+class TestTouch:
+    def test_touch_registers_all_contiguous_buffers(self, setup):
+        n, analysis, mm, base, tracker, bb, ids = setup
+        # a slice small enough for all three buffers to stay resident
+        sl = 8192
+        touch_contiguous(tracker, analysis, 3, (0, sl), ids)
+        for bid in ("ida", "idb", "ido"):
+            p, _ = tracker.residency_fraction(3, bid, 0, 4 * sl)
+            assert p == 1.0
+
+    def test_empty_range_is_noop(self, setup):
+        n, analysis, mm, base, tracker, bb, ids = setup
+        touch_contiguous(tracker, analysis, 0, (5, 5), ids)
+        assert tracker.is_empty

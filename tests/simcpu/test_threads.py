@@ -1,0 +1,130 @@
+"""Unit tests for affinity parsing and the cache-residency tracker."""
+
+import pytest
+
+from repro.simcpu.spec import XEON_E5645
+from repro.simcpu.threads import (
+    AffinityPolicy,
+    CoreResidencyTracker,
+    parse_cpu_affinity,
+)
+
+
+class TestParseAffinity:
+    def test_simple_list(self):
+        assert parse_cpu_affinity("0 3 1") == [0, 3, 1]
+
+    def test_ranges(self):
+        assert parse_cpu_affinity("0-3") == [0, 1, 2, 3]
+
+    def test_stride(self):
+        assert parse_cpu_affinity("0-6:2") == [0, 2, 4, 6]
+
+    def test_commas(self):
+        assert parse_cpu_affinity("0,1,2") == [0, 1, 2]
+
+    @pytest.mark.parametrize("bad", ["", "3-1", "0-4:0", "-1", "a"])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_cpu_affinity(bad)
+
+
+class TestAffinityPolicy:
+    def test_from_env_binds_with_list(self):
+        p = AffinityPolicy.from_env({"GOMP_CPU_AFFINITY": "0-7"})
+        assert p.proc_bind and p.cpu_list == list(range(8))
+
+    def test_from_env_proc_bind_only(self):
+        p = AffinityPolicy.from_env({"OMP_PROC_BIND": "true"})
+        assert p.proc_bind and p.cpu_list is None
+
+    def test_unbound_default(self):
+        p = AffinityPolicy.from_env({})
+        assert not p.proc_bind
+
+    def test_placement_wraps(self):
+        p = AffinityPolicy(True, [0, 1, 2])
+        assert p.placement(5, 24) == [0, 1, 2, 0, 1]
+
+    def test_placement_default_round_robin(self):
+        p = AffinityPolicy(True)
+        assert p.placement(4, 2) == [0, 1, 0, 1]
+
+
+class TestResidencyTracker:
+    def setup_method(self):
+        self.t = CoreResidencyTracker(XEON_E5645)
+        self.cap = self.t.private_capacity
+
+    def test_untouched_buffer_has_no_residency(self):
+        p, l3 = self.t.residency_fraction(0, "buf", 0, 1000)
+        assert p == 0.0 and l3 == 0.0
+
+    def test_full_private_residency(self):
+        self.t.touch(0, "buf", 0, 1000)
+        p, l3 = self.t.residency_fraction(0, "buf", 0, 1000)
+        assert p == 1.0 and l3 == 0.0  # L3 share excludes private
+
+    def test_other_core_sees_l3_only(self):
+        self.t.touch(0, "buf", 0, 1000)
+        p, l3 = self.t.residency_fraction(1, "buf", 0, 1000)
+        assert p == 0.0 and l3 == 1.0
+
+    def test_other_socket_sees_nothing(self):
+        self.t.touch(0, "buf", 0, 1000)
+        other = XEON_E5645.cores_per_socket  # first core of socket 1
+        p, l3 = self.t.residency_fraction(other, "buf", 0, 1000)
+        assert p == 0.0 and l3 == 0.0
+
+    def test_smt_siblings_share_private_cache(self):
+        self.t.touch(0, "buf", 0, 1000)
+        sibling = XEON_E5645.physical_cores  # logical core mapping wraps
+        p, _ = self.t.residency_fraction(sibling, "buf", 0, 1000)
+        assert p == 1.0
+
+    def test_oversized_range_keeps_tail(self):
+        big = self.cap * 2
+        self.t.touch(0, "buf", 0, big)
+        p, _ = self.t.residency_fraction(0, "buf", 0, big)
+        assert 0.4 < p <= 0.51  # only the LRU tail is resident
+        # the tail end is resident, the head is not
+        p_tail, _ = self.t.residency_fraction(0, "buf", big - 100, big)
+        p_head, _ = self.t.residency_fraction(0, "buf", 0, 100)
+        assert p_tail == 1.0 and p_head == 0.0
+
+    def test_capacity_eviction(self):
+        half = self.cap // 2 + 1024
+        self.t.touch(0, "a", 0, half)
+        self.t.touch(0, "b", 0, half)
+        self.t.touch(0, "c", 0, half)  # evicts "a"
+        pa, _ = self.t.residency_fraction(0, "a", 0, half)
+        pc, _ = self.t.residency_fraction(0, "c", 0, half)
+        assert pa == 0.0 and pc == 1.0
+
+    def test_retouch_refreshes_lru(self):
+        # two ranges fit together; a third forces exactly one eviction
+        half = self.cap // 2 - 1024
+        self.t.touch(0, "a", 0, half)
+        self.t.touch(0, "b", 0, half)
+        self.t.touch(0, "a", 0, half)  # refresh a
+        self.t.touch(0, "c", 0, half)  # evicts b (the LRU entry)
+        pa, _ = self.t.residency_fraction(0, "a", 0, half)
+        pb, _ = self.t.residency_fraction(0, "b", 0, half)
+        assert pa == 1.0 and pb == 0.0
+
+    def test_avg_latency_orders(self):
+        self.t.touch(0, "buf", 0, 1000)
+        fast = self.t.avg_load_latency(0, "buf", 0, 1000)
+        l3 = self.t.avg_load_latency(1, "buf", 0, 1000)
+        cold = self.t.avg_load_latency(0, "cold", 0, 1000)
+        assert fast < l3 < cold
+
+    def test_reset(self):
+        self.t.touch(0, "buf", 0, 1000)
+        self.t.reset()
+        p, l3 = self.t.residency_fraction(0, "buf", 0, 1000)
+        assert p == 0.0 and l3 == 0.0
+
+    def test_empty_range(self):
+        self.t.touch(0, "buf", 100, 100)
+        assert self.t.residency_fraction(0, "buf", 5, 5) == (0.0, 0.0)

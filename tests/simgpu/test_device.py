@@ -1,0 +1,103 @@
+"""Unit tests for the GPU device model — the paper's GPU-side contrasts."""
+
+import pytest
+
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32
+from repro.simgpu.device import GPUDeviceModel
+from repro.simgpu.spec import GTX580
+from repro.suite import build_ilp_kernel
+from repro.suite.simple.square import build_square_kernel
+
+
+class TestSpec:
+    def test_paper_peak(self):
+        assert GTX580.peak_gflops_sp == pytest.approx(1580.0, rel=0.01)
+
+    def test_describe(self):
+        d = GTX580.describe()
+        assert d["# SMs"] == "16"
+        assert "16KB/768KB" in d["Caches"]
+
+
+class TestKernelCost:
+    def setup_method(self):
+        self.dev = GPUDeviceModel()
+
+    def test_never_exceeds_peak(self):
+        for ilp in (1, 4):
+            c = self.dev.kernel_cost(build_ilp_kernel(ilp), (96 * 1024,), (256,))
+            assert c.gflops < GTX580.peak_gflops_sp
+
+    def test_ilp_flat(self):
+        """Figure 6's GPU line: throughput independent of ILP."""
+        gf = [
+            self.dev.kernel_cost(build_ilp_kernel(k), (96 * 1024,), (256,)).gflops
+            for k in (1, 2, 4)
+        ]
+        assert max(gf) / min(gf) < 1.02
+
+    def test_small_workgroups_collapse(self):
+        k = build_square_kernel()
+        t1 = self.dev.kernel_cost(k, (100_000,), (1,)).total_ns
+        t256 = self.dev.kernel_cost(k, (100_000,), (1000,)).total_ns
+        assert t1 > 20 * t256
+
+    def test_coalescing_degrades(self):
+        """Figure 1's GPU collapse under work coalescing."""
+        n = 1_000_000
+        base = self.dev.kernel_cost(build_square_kernel(), (n,), (256,))
+        co = self.dev.kernel_cost(
+            build_square_kernel(100), (n // 100,), (250,),
+            scalars={"n_per": 100},
+        )
+        # same total elements, must be much slower coalesced
+        assert co.total_ns > 2 * base.total_ns
+
+    def test_tlp_starvation_when_few_items(self):
+        k = build_ilp_kernel(1)
+        many = self.dev.kernel_cost(k, (96 * 1024,), (256,))
+        few = self.dev.kernel_cost(k, (512,), (256,))
+        per_item_many = many.total_ns / (96 * 1024)
+        per_item_few = few.total_ns / 512
+        assert per_item_few > 2 * per_item_many
+
+    def test_null_local_size_policy(self):
+        ls = self.dev.choose_local_size((100_000,), None)
+        assert 100_000 % ls[0] == 0 and ls[0] <= 256
+
+    def test_local_mem_reduces_occupancy(self):
+        kb = KernelBuilder("k")
+        a = kb.buffer("a", F32)
+        s = kb.local_array("s", 12 * 1024, F32)  # 48KB: one wg per SM
+        lid = kb.local_id(0)
+        s[lid] = a[kb.global_id(0)]
+        kb.barrier()
+        a[kb.global_id(0)] = s[lid]
+        c = self.dev.kernel_cost(kb.finish(), (4096,), (256,))
+        assert c.occupancy.workgroups_per_sm == 1
+        assert c.occupancy.limiter == "shared"
+
+
+class TestTransfers:
+    def setup_method(self):
+        self.dev = GPUDeviceModel()
+
+    def test_pcie_is_never_free(self):
+        """Unlike the CPU device, mapping still crosses the link."""
+        m = self.dev.transfer_cost(1 << 24, "map")
+        assert m.moved_bytes == 1 << 24
+        assert m.total_ns > 1e6  # 16MB over ~6GB/s
+
+    def test_pinned_faster_than_pageable(self):
+        pageable = self.dev.transfer_cost(1 << 24, "copy", pinned=False).total_ns
+        pinned = self.dev.transfer_cost(1 << 24, "copy", pinned=True).total_ns
+        assert pinned < pageable
+
+    def test_latency_floor(self):
+        t = self.dev.transfer_cost(4, "copy").total_ns
+        assert t >= GTX580.pcie_latency_ns
+
+    def test_unknown_api(self):
+        with pytest.raises(ValueError):
+            self.dev.transfer_cost(4, "warp")

@@ -1,0 +1,78 @@
+"""Unit tests for the SM occupancy calculator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simgpu.occupancy import compute_occupancy
+from repro.simgpu.spec import GTX580
+
+
+class TestLimits:
+    def test_thread_limited(self):
+        occ = compute_occupancy(GTX580, 512)
+        assert occ.workgroups_per_sm == 3  # 1536 / 512
+        assert occ.limiter == "threads"
+
+    def test_slot_limited_for_tiny_groups(self):
+        occ = compute_occupancy(GTX580, 1)
+        assert occ.workgroups_per_sm == 8
+        assert occ.limiter == "slots"
+        assert occ.active_threads == 8
+
+    def test_shared_memory_limited(self):
+        occ = compute_occupancy(GTX580, 64, shared_bytes_per_wg=20 * 1024)
+        assert occ.workgroups_per_sm == 2
+        assert occ.limiter == "shared"
+
+    def test_warp_limited(self):
+        # 96-thread groups: 3 warps each; warp limit 48/3=16 > slots 8
+        occ = compute_occupancy(GTX580, 96)
+        assert occ.workgroups_per_sm == 8
+
+    def test_full_occupancy_config(self):
+        occ = compute_occupancy(GTX580, 192)
+        assert occ.active_threads == 1536
+        assert occ.occupancy == 1.0
+
+
+class TestLaneEfficiency:
+    def test_full_warps(self):
+        assert compute_occupancy(GTX580, 256).lane_efficiency == 1.0
+
+    def test_partial_warp_wastes_lanes(self):
+        occ = compute_occupancy(GTX580, 1)
+        assert occ.lane_efficiency == pytest.approx(1 / 32)
+        occ10 = compute_occupancy(GTX580, 10)
+        assert occ10.lane_efficiency == pytest.approx(10 / 32)
+
+    def test_odd_size_tail_warp(self):
+        occ = compute_occupancy(GTX580, 48)
+        assert occ.warps_per_workgroup == 2
+        assert occ.lane_efficiency == pytest.approx(48 / 64)
+
+
+class TestValidation:
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(GTX580, 0)
+
+    def test_rejects_oversized_group(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(GTX580, 2048)
+
+    def test_rejects_oversized_shared(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(GTX580, 64, shared_bytes_per_wg=64 * 1024)
+
+
+@settings(max_examples=50, deadline=None)
+@given(wg=st.integers(1, 1024), shared=st.integers(0, 48 * 1024))
+def test_occupancy_invariants(wg, shared):
+    occ = compute_occupancy(GTX580, wg, shared)
+    assert 1 <= occ.workgroups_per_sm <= GTX580.max_workgroups_per_sm
+    assert occ.active_threads <= GTX580.max_threads_per_sm
+    assert occ.active_warps <= GTX580.max_warps_per_sm
+    if shared:
+        assert occ.workgroups_per_sm * shared <= GTX580.shared_mem_per_sm
+    assert 0 < occ.lane_efficiency <= 1.0

@@ -1,0 +1,127 @@
+"""Direct unit tests for the SM throughput model."""
+
+import pytest
+
+from repro.kernelir.analysis import LaunchContext, analyze_kernel
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32, I32
+from repro.simgpu.occupancy import compute_occupancy
+from repro.simgpu.sm import SMModel
+from repro.simgpu.spec import GTX580
+
+
+def _analysis(build, gsize=(8192,), lsize=(256,), **scalars):
+    return analyze_kernel(build(), LaunchContext(gsize, lsize, scalars))
+
+
+def contiguous():
+    kb = KernelBuilder("c")
+    a = kb.buffer("a", F32, access="r")
+    o = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    o[g] = a[g] * 2.0
+    return kb.finish()
+
+
+def strided(s):
+    def build():
+        kb = KernelBuilder("s")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        o[g] = a[g * s] * 2.0
+        return kb.finish()
+    return build
+
+
+def gather():
+    kb = KernelBuilder("g")
+    a = kb.buffer("a", F32, access="r")
+    idx = kb.buffer("idx", I32, access="r")
+    o = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    o[g] = a[idx[g]] * 2.0
+    return kb.finish()
+
+
+def divergent():
+    kb = KernelBuilder("d")
+    o = kb.buffer("o", F32, access="w")
+    g = kb.global_id(0)
+    with kb.if_((g % 2).eq(0)):
+        o[g] = 1.0
+    with kb.else_():
+        o[g] = 2.0
+    return kb.finish()
+
+
+class TestCoalescing:
+    def setup_method(self):
+        self.sm = SMModel(GTX580)
+
+    def test_contiguous_moves_element_bytes(self):
+        bpi = self.sm.effective_bytes_per_item(_analysis(contiguous))
+        assert bpi == pytest.approx(8.0)  # 4B load + 4B store
+
+    def test_stride_inflates_traffic(self):
+        b2 = self.sm.effective_bytes_per_item(_analysis(strided(2)))
+        b8 = self.sm.effective_bytes_per_item(_analysis(strided(8)))
+        b1 = self.sm.effective_bytes_per_item(_analysis(contiguous))
+        assert b1 < b2 < b8
+
+    def test_stride_caps_at_sector(self):
+        b100 = self.sm.effective_bytes_per_item(_analysis(strided(100)))
+        b1000 = self.sm.effective_bytes_per_item(_analysis(strided(1000)))
+        assert b100 == b1000  # both one 32B sector per lane + store
+
+    def test_gather_costs_one_sector_per_lane(self):
+        bpi = self.sm.effective_bytes_per_item(_analysis(gather))
+        # idx load (4) + gather sector (32) + store (4)
+        assert bpi == pytest.approx(40.0)
+
+    def test_uniform_broadcast_nearly_free(self):
+        kb = KernelBuilder("u")
+        a = kb.buffer("a", F32, access="r")
+        o = kb.buffer("o", F32, access="w")
+        g = kb.global_id(0)
+        o[g] = a[0] * 2.0
+        an = analyze_kernel(kb.finish(), LaunchContext((8192,), (256,)))
+        bpi = self.sm.effective_bytes_per_item(an)
+        assert bpi < 5.0  # store dominates; broadcast ~1/32 of an element
+
+
+class TestLatencyHiding:
+    def setup_method(self):
+        self.sm = SMModel(GTX580)
+
+    def test_full_residency_hides_everything(self):
+        an = _analysis(contiguous)
+        occ = compute_occupancy(GTX580, 256)
+        c = self.sm.workgroup_cycles(an, occ)
+        assert c.latency_hiding == 1.0
+
+    def test_single_small_workgroup_exposes_latency(self):
+        an = _analysis(contiguous, lsize=(32,))
+        occ = compute_occupancy(GTX580, 32)
+        c = self.sm.workgroup_cycles(an, occ, resident_workgroups=1)
+        assert c.latency_hiding < 0.2
+        full = self.sm.workgroup_cycles(an, occ)
+        per_wg_exposed = c.cycles_per_workgroup
+        per_wg_hidden = full.cycles_per_workgroup
+        assert per_wg_exposed > per_wg_hidden
+
+    def test_divergence_doubles_issue(self):
+        an_d = _analysis(divergent)
+        an_c = _analysis(contiguous)
+        occ = compute_occupancy(GTX580, 256)
+        d = self.sm.workgroup_cycles(an_d, occ)
+        c = self.sm.workgroup_cycles(an_c, occ)
+        assert d.divergence_penalty == 2.0
+        assert c.divergence_penalty == 1.0
+
+    def test_dram_share_scales_memory_time(self):
+        an = _analysis(contiguous)
+        occ = compute_occupancy(GTX580, 256)
+        full = self.sm.workgroup_cycles(an, occ, dram_share=1.0)
+        sliver = self.sm.workgroup_cycles(an, occ, dram_share=1 / 16)
+        assert sliver.memory_cycles > full.memory_cycles

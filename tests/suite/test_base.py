@@ -1,0 +1,66 @@
+"""Tests for the Benchmark base-class machinery itself."""
+
+import numpy as np
+import pytest
+
+from repro.suite.base import (
+    Benchmark,
+    LaunchConfig,
+    _largest_divisor_at_most,
+    scale_global_size,
+)
+from repro.suite import SquareBenchmark
+
+
+class TestScaleGlobalSize:
+    def test_scales_dim0_only(self):
+        assert scale_global_size((1000, 7), 10) == (100, 7)
+
+    def test_identity(self):
+        assert scale_global_size((123,), 1) == (123,)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            scale_global_size((1001,), 10)
+
+
+class TestLargestDivisor:
+    @pytest.mark.parametrize(
+        "n,cap,expect",
+        [(100, 64, 50), (64, 64, 64), (97, 64, 1), (10_000, 64, 50),
+         (1, 64, 1), (48, 7, 6)],
+    )
+    def test_values(self, n, cap, expect):
+        assert _largest_divisor_at_most(n, cap) == expect
+
+
+class TestLaunchConfig:
+    def test_pretty_and_totals(self):
+        c = LaunchConfig((16, 8), (4, 2))
+        assert c.pretty() == "global=16 X 8 local=4 X 2"
+        assert c.total_workitems == 128
+
+
+class TestScalarsFor:
+    def test_default_injection(self):
+        b = SquareBenchmark()
+        assert b.scalars_for(1) == {}
+        assert b.scalars_for(100) == {"n_per": 100}
+
+    def test_output_names(self):
+        b = SquareBenchmark()
+        bufs, sc = b.make_data((64,), np.random.default_rng(0))
+        assert b.output_names(bufs, sc, (64,)) == ("output",)
+
+
+class TestValidateAdjustsLocalSize:
+    def test_local_shrinks_to_divisor(self):
+        """validate() adapts an oversized default local size to the small
+        test NDRange instead of failing on divisibility."""
+        b = SquareBenchmark()
+        # default local is None; force a large explicit one
+        b.validate((100,), local_size=(64,))  # 64 does not divide 100 -> 50
+
+    def test_abstract_interface_enforced(self):
+        with pytest.raises(TypeError):
+            Benchmark()  # abstract

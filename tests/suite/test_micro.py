@@ -1,0 +1,99 @@
+"""Tests for the ILP and MBench micro-benchmark families."""
+
+import numpy as np
+import pytest
+
+from repro.kernelir.analysis import LaunchContext, analyze_kernel
+from repro.kernelir.vectorize import LoopVectorizer, OpenCLVectorizer
+from repro.suite import (
+    ILP_LEVELS,
+    IlpMicroBenchmark,
+    MBENCHES,
+    MBench,
+    build_ilp_kernel,
+    mbench_by_name,
+)
+from repro.suite.ilp_micro import OPS_PER_ITER, TOTAL_OPS
+
+
+class TestIlpFamily:
+    def test_total_work_identical_across_family(self):
+        """The defining property: same ops, same loads/stores, same trips."""
+        ctx = LaunchContext((256,), (64,))
+        stats = [analyze_kernel(build_ilp_kernel(k), ctx) for k in ILP_LEVELS]
+        flops = {s.per_item.flops for s in stats}
+        loads = {s.per_item.loads for s in stats}
+        stores = {s.per_item.stores for s in stats}
+        assert len(flops) == 1 and len(loads) == 1 and len(stores) == 1
+        # mad = 2 flops, plus the fixed-size chain-combine epilogue
+        epilogue = 2 * max(ILP_LEVELS) - 1
+        assert flops.pop() == 2 * TOTAL_OPS + epilogue
+
+    def test_measured_ilp_tracks_declared_ilp(self):
+        ctx = LaunchContext((256,), (64,))
+        ilps = [analyze_kernel(build_ilp_kernel(k), ctx).ilp for k in (1, 2, 4)]
+        assert ilps[0] < ilps[1] < ilps[2]
+        assert ilps[2] / ilps[0] == pytest.approx(4.0, rel=0.4)
+
+    def test_levels_divide_ops_per_iter(self):
+        for k in ILP_LEVELS:
+            assert OPS_PER_ITER % k == 0
+
+    def test_functional_result_independent_of_ilp(self):
+        """Every family member computes the same chains, just interleaved."""
+        outs = []
+        for k in (1, 3, 5):
+            b = IlpMicroBenchmark(k, n=64)
+            bufs, sc = b.make_data((64,), np.random.default_rng(9))
+            from repro.kernelir.interp import Interpreter
+
+            Interpreter().launch(b.kernel(), (64,), (64,), buffers=bufs, scalars=sc)
+            outs.append(bufs["data"].copy())
+        # ILP=k sums k chains seeded differently, so equality only holds via
+        # the reference; check each against its own reference instead
+        for k in (1, 3, 5):
+            IlpMicroBenchmark(k, n=64).validate((64,), rtol=1e-4, atol=1e-5)
+
+    def test_bad_ilp_rejected(self):
+        with pytest.raises(ValueError):
+            build_ilp_kernel(7)  # does not divide OPS_PER_ITER
+        with pytest.raises(ValueError):
+            build_ilp_kernel(0)
+
+
+class TestMBenchFamily:
+    def test_eight_members_in_paper_order(self):
+        assert [b.name for b in MBENCHES] == [f"MBench{i}" for i in range(1, 9)]
+
+    def test_lookup(self):
+        assert mbench_by_name("MBench3").name == "MBench3"
+        with pytest.raises(KeyError):
+            mbench_by_name("MBench9")
+
+    @pytest.mark.parametrize("proto", MBENCHES, ids=lambda b: b.name)
+    def test_functional_against_reference(self, proto):
+        b = MBench(
+            proto.name, proto._build, proto._make_data, proto._reference,
+            proto.flops_per_item, n=256,
+        )
+        b.validate((256,), rtol=2e-3, atol=2e-4)
+
+    @pytest.mark.parametrize("proto", MBENCHES, ids=lambda b: b.name)
+    def test_opencl_vectorizes_every_member(self, proto):
+        k = proto.kernel()
+        ctx = LaunchContext((1024,), (256,),
+                            {"alpha": 0.75, "off": 1024})
+        assert OpenCLVectorizer(4).vectorize(k, ctx).vectorized
+
+    @pytest.mark.parametrize("proto", MBENCHES, ids=lambda b: b.name)
+    def test_loop_vectorizer_rejects_every_member(self, proto):
+        """The paper's Figure 10 selection: OpenMP loses on all eight."""
+        k = proto.kernel()
+        ctx = LaunchContext((1024,), (256,),
+                            {"alpha": 0.75, "off": 1024})
+        rep = LoopVectorizer(4).vectorize(k, ctx)
+        assert not rep.vectorized, proto.name
+
+    def test_rejects_coalescing(self):
+        with pytest.raises(ValueError):
+            MBENCHES[0].kernel(coalesce=2)

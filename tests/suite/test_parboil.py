@@ -1,0 +1,87 @@
+"""Functional validation of the Parboil kernels (Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.suite import (
+    CPCenergyBenchmark,
+    MriFhdFHBenchmark,
+    MriFhdRhoPhiBenchmark,
+    MriQComputeQBenchmark,
+    MriQPhiMagBenchmark,
+    all_parboil_benchmarks,
+)
+
+
+class TestTableIIIMetadata:
+    def test_paper_configurations(self):
+        by_name = {b.name: b for b in all_parboil_benchmarks()}
+        assert by_name["CP: cenergy"].default_global_sizes == ((64, 512),)
+        assert by_name["CP: cenergy"].default_local_size == (16, 8)
+        assert by_name["MRI-Q: computePhiMag"].default_local_size == (512,)
+        assert by_name["MRI-Q: computeQ"].default_global_sizes == ((32768,),)
+        assert by_name["MRI-FHD: FH"].default_local_size == (256,)
+
+
+class TestCP:
+    def test_cenergy_matches_direct_sum(self):
+        CPCenergyBenchmark(natoms=60).validate((16, 8), rtol=1e-3, atol=1e-3)
+
+    @pytest.mark.parametrize("c", [2, 4])
+    def test_coalesced_equivalent(self, c):
+        CPCenergyBenchmark(natoms=60).validate((16, 8), coalesce=c, rtol=1e-3, atol=1e-3)
+
+    def test_energy_scales_with_charge(self):
+        b = CPCenergyBenchmark(natoms=20)
+        bufs, sc = b.make_data((8, 8), np.random.default_rng(0))
+        ref1 = b.reference(bufs, sc, (8, 8))["energy"]
+        bufs["atomq"] = bufs["atomq"] * 2
+        ref2 = b.reference(bufs, sc, (8, 8))["energy"]
+        np.testing.assert_allclose(ref2, 2 * ref1, rtol=1e-6)
+
+
+class TestMriQ:
+    def test_phimag(self):
+        MriQPhiMagBenchmark().validate((1024,))
+
+    def test_phimag_coalesced(self):
+        MriQPhiMagBenchmark().validate((1024,), coalesce=4)
+
+    def test_computeq(self):
+        MriQComputeQBenchmark(num_k=48).validate((128,), rtol=2e-3, atol=2e-3)
+
+    def test_computeq_coalesced(self):
+        MriQComputeQBenchmark(num_k=48).validate(
+            (128,), coalesce=2, rtol=2e-3, atol=2e-3
+        )
+
+    def test_phimag_nonnegative(self):
+        b = MriQPhiMagBenchmark()
+        bufs, sc = b.make_data((256,), np.random.default_rng(0))
+        ref = b.reference(bufs, sc, (256,))
+        assert (ref["phiMag"] >= 0).all()
+
+
+class TestMriFhd:
+    def test_rhophi(self):
+        MriFhdRhoPhiBenchmark().validate((1024,))
+
+    def test_rhophi_is_conjugate_product(self):
+        """rRhoPhi + i*iRhoPhi == rho * conj(phi)... with the Parboil sign
+        convention (phi^H rho)."""
+        b = MriFhdRhoPhiBenchmark()
+        bufs, sc = b.make_data((64,), np.random.default_rng(1))
+        ref = b.reference(bufs, sc, (64,))
+        rho = bufs["rRho"] + 1j * bufs["iRho"]
+        phi = bufs["rPhi"] + 1j * bufs["iPhi"]
+        prod = np.conj(rho) * phi
+        np.testing.assert_allclose(ref["rRhoPhi"], prod.real, rtol=1e-5, atol=1e-5)
+        np.testing.assert_allclose(ref["iRhoPhi"], prod.imag, rtol=1e-5, atol=1e-5)
+
+    def test_fh(self):
+        MriFhdFHBenchmark(num_k=48).validate((128,), rtol=2e-3, atol=2e-3)
+
+    def test_fh_coalesced(self):
+        MriFhdFHBenchmark(num_k=48).validate(
+            (128,), coalesce=4, rtol=2e-3, atol=2e-3
+        )

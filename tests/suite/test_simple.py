@@ -1,0 +1,186 @@
+"""Functional validation of every Table II application against its numpy
+reference, plus Table II metadata checks."""
+
+import numpy as np
+import pytest
+
+from repro.suite import (
+    BinomialOptionBenchmark,
+    BlackScholesBenchmark,
+    HistogramBenchmark,
+    MatrixMulBenchmark,
+    MatrixMulNaiveBenchmark,
+    PrefixSumBenchmark,
+    ReductionBenchmark,
+    SquareBenchmark,
+    VectorAddBenchmark,
+    all_table2_benchmarks,
+)
+
+
+class TestTableIIMetadata:
+    def test_paper_configurations(self):
+        by_name = {b.name: b for b in all_table2_benchmarks()}
+        assert by_name["Square"].default_global_sizes == (
+            (10_000,), (100_000,), (1_000_000,), (10_000_000,)
+        )
+        assert by_name["Vectoraddition"].default_global_sizes[-1] == (11_445_000,)
+        assert by_name["Matrixmul"].default_local_size == (16, 16)
+        assert by_name["Blackscholes"].default_global_sizes == (
+            (1280, 1280), (2560, 2560)
+        )
+        assert by_name["Binomialoption"].default_local_size == (255,)
+        assert by_name["Prefixsum"].default_global_sizes == ((1024,),)
+        assert by_name["Square"].default_local_size is None  # NULL
+
+    def test_launch_configs_render(self):
+        cfg = SquareBenchmark().launch_configs()[0]
+        assert cfg.pretty() == "global=10000 local=NULL"
+        assert cfg.total_workitems == 10_000
+
+
+class TestSquare:
+    def test_correct(self):
+        SquareBenchmark().validate((2048,))
+
+    @pytest.mark.parametrize("c", [10, 100])
+    def test_coalesced_variants_equivalent(self, c):
+        SquareBenchmark().validate((2000,), coalesce=c)
+
+    def test_coalesce_must_divide(self):
+        with pytest.raises(ValueError):
+            SquareBenchmark().validate((1001,), coalesce=10)
+
+
+class TestVectorAdd:
+    def test_correct(self):
+        VectorAddBenchmark().validate((4096,))
+
+    def test_coalesced(self):
+        VectorAddBenchmark().validate((4400,), coalesce=4)
+
+
+class TestMatrixMul:
+    @pytest.mark.parametrize("block", [2, 4, 8])
+    def test_blocked_matches_numpy(self, block):
+        MatrixMulBenchmark(block=block).validate((32, 16))
+
+    def test_naive_matches_numpy(self):
+        MatrixMulNaiveBenchmark().validate((24, 16), local_size=(4, 4))
+
+    def test_blocked_equals_naive(self):
+        rng = np.random.default_rng(5)
+        gs = (32, 16)
+        blocked = MatrixMulBenchmark(block=4)
+        naive = MatrixMulNaiveBenchmark()
+        naive.k_div = blocked.k_div
+        b1, s1 = blocked.make_data(gs, np.random.default_rng(5))
+        b2, s2 = naive.make_data(gs, np.random.default_rng(5))
+        np.testing.assert_array_equal(b1["A"], b2["A"])
+        from repro.kernelir.interp import Interpreter
+
+        Interpreter().launch(blocked.kernel(), gs, (4, 4), buffers=b1, scalars=s1)
+        Interpreter().launch(naive.kernel(), gs, (4, 4), buffers=b2, scalars=s2)
+        np.testing.assert_allclose(b1["C"], b2["C"], rtol=2e-4, atol=1e-4)
+
+    def test_rejects_coalescing(self):
+        with pytest.raises(ValueError):
+            MatrixMulBenchmark().kernel(coalesce=2)
+
+    def test_rejects_non_pow2_block(self):
+        with pytest.raises(ValueError):
+            MatrixMulBenchmark(block=6).kernel()
+
+
+class TestReduction:
+    @pytest.mark.parametrize("wg", [4, 64, 256])
+    def test_tree_reduction(self, wg):
+        ReductionBenchmark(wg_size=wg).validate((wg * 16,))
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            ReductionBenchmark(wg_size=24).kernel()
+
+    def test_rejects_indivisible_global(self):
+        with pytest.raises(ValueError):
+            ReductionBenchmark(wg_size=64).make_data(
+                (1000,), np.random.default_rng(0)
+            )
+
+
+class TestHistogram:
+    def test_counts_every_element(self):
+        HistogramBenchmark().validate((4096,))
+
+    def test_total_preserved(self):
+        b = HistogramBenchmark()
+        bufs, sc = b.make_data((2048,), np.random.default_rng(0))
+        from repro.kernelir.interp import Interpreter
+
+        Interpreter().launch(b.kernel(), (2048,), (256,), buffers=bufs, scalars=sc)
+        assert bufs["hist"].sum() == 2048
+
+    def test_rejects_small_workgroup(self):
+        with pytest.raises(ValueError):
+            HistogramBenchmark(wg_size=64).kernel()
+
+
+class TestPrefixSum:
+    @pytest.mark.parametrize("n", [8, 256, 1024])
+    def test_inclusive_scan(self, n):
+        PrefixSumBenchmark(n).validate((n,))
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            PrefixSumBenchmark(100).kernel()
+
+    def test_rejects_other_sizes(self):
+        with pytest.raises(ValueError):
+            PrefixSumBenchmark(256).make_data((512,), np.random.default_rng(0))
+
+
+class TestBlackScholes:
+    def test_prices_match_closed_form(self):
+        BlackScholesBenchmark().validate((16, 8), rtol=5e-4, atol=5e-4)
+
+    def test_put_call_parity_holds(self):
+        b = BlackScholesBenchmark()
+        bufs, sc = b.make_data((8, 8), np.random.default_rng(2))
+        from repro.kernelir.interp import Interpreter
+
+        Interpreter().launch(b.kernel(), (8, 8), (4, 4), buffers=bufs, scalars=sc)
+        s, x, t = bufs["price"], bufs["strike"], bufs["years"]
+        lhs = bufs["call"] - bufs["put"]
+        rhs = s - x * np.exp(-sc["riskfree"] * t)
+        np.testing.assert_allclose(lhs, rhs, rtol=5e-3, atol=5e-3)
+
+
+class TestBinomialOption:
+    @pytest.mark.parametrize("steps", [15, 63, 255])
+    def test_lattice_pricing(self, steps):
+        BinomialOptionBenchmark(steps=steps).validate((steps * 4,), rtol=1e-3, atol=1e-3)
+
+    def test_converges_to_blackscholes(self):
+        """Deep lattices approach the closed-form price."""
+        from repro.suite.simple.binomialoption import (
+            RISK_FREE,
+            VOLATILITY,
+            YEARS,
+            _binomial_reference,
+        )
+        from scipy.special import erf
+
+        s0 = np.array([100.0])
+        x0 = np.array([95.0])
+        lattice = _binomial_reference(s0, x0, 512, RISK_FREE, VOLATILITY, YEARS)
+        d1 = (np.log(s0 / x0) + (RISK_FREE + 0.5 * VOLATILITY ** 2) * YEARS) / (
+            VOLATILITY * np.sqrt(YEARS)
+        )
+        d2 = d1 - VOLATILITY * np.sqrt(YEARS)
+        cnd = lambda d: 0.5 * (1 + erf(d / np.sqrt(2)))  # noqa: E731
+        bs = s0 * cnd(d1) - x0 * np.exp(-RISK_FREE * YEARS) * cnd(d2)
+        assert abs(lattice[0] - bs[0]) / bs[0] < 0.01
+
+    def test_rejects_oversized_steps(self):
+        with pytest.raises(ValueError):
+            BinomialOptionBenchmark(steps=2048)

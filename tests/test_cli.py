@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_experiments_and_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "ext_affinity" in out
+        assert "Blackscholes" in out and "CP: cenergy" in out
+
+
+class TestExperiments:
+    def test_runs_subset_fast(self, capsys):
+        assert main(["experiments", "fig11", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "vectorized" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(
+            ["experiments", "fig11", "--fast", "--csv", str(tmp_path)]
+        ) == 0
+        csv = (tmp_path / "fig11.csv").read_text()
+        assert csv.startswith("series,")
+
+
+class TestEmit:
+    def test_emit_opencl(self, capsys):
+        assert main(["emit", "Square"]) == 0
+        out = capsys.readouterr().out
+        assert "__kernel void square(" in out
+
+    def test_emit_openmp(self, capsys):
+        assert main(["emit", "Vectoraddition", "--target", "openmp"]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma omp parallel for" in out
+
+    def test_emit_unportable_fails_cleanly(self, capsys):
+        assert main(["emit", "Reduction", "--target", "openmp"]) == 1
+        assert "workgroup constructs" in capsys.readouterr().err
+
+    def test_emit_unknown_benchmark(self):
+        assert main(["emit", "NoSuchApp"]) == 2
+
+
+class TestReport:
+    def test_report_for_square(self, capsys):
+        assert main(["report", "Square", "--size", "100000"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel performance report: square" in out
+        assert "bottleneck" in out and "verdict" in out
+
+    def test_report_default_size(self, capsys):
+        assert main(["report", "Prefixsum"]) == 0
+        out = capsys.readouterr().out
+        assert "prefixSum" in out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["report", "NoSuchApp"]) == 2

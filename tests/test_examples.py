@@ -1,0 +1,84 @@
+"""Smoke tests: the shipped examples run end to end.
+
+Each example is imported and driven at a reduced size where it exposes one,
+so a refactor that breaks the public API breaks the suite, not just the
+docs.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestQuickstart:
+    def test_runs_on_both_devices(self, capsys):
+        mod = _load("quickstart")
+        from repro import minicl as cl
+
+        for platform in cl.get_platforms():
+            mod.run_on(platform, n=4096)
+        out = capsys.readouterr().out
+        assert out.count("result verified") == 2
+
+
+class TestAffinityExample:
+    def test_narrated_run(self, capsys):
+        mod = _load("affinity_cache")
+        mod.narrated_run(n=100_000)
+        mod.microscopic_view()
+        out = capsys.readouterr().out
+        assert "misaligned runs" in out
+        assert "L3" in out
+
+
+class TestReproducePaper:
+    def test_subset_fast(self, capsys, tmp_path):
+        mod = _load("reproduce_paper")
+        rc = mod.main(["fig11", "--fast", "--csv", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig11.csv").exists()
+        out = capsys.readouterr().out
+        assert "fig11" in out
+
+
+class TestMatmulTuning:
+    def test_correctness_section(self, capsys):
+        mod = _load("matrixmul_tuning")
+        mod.correctness_check()
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_tile_sweep_small(self, capsys):
+        mod = _load("matrixmul_tuning")
+        mod.tile_sweep(gs=(64, 64))
+        out = capsys.readouterr().out
+        assert "optimal tile" in out
+
+
+class TestHeteroSplit:
+    def test_sweep_monotone_endpoints(self):
+        mod = _load("hetero_split")
+        rows = mod.sweep(128 * 128)
+        assert len(rows) == 11
+        # endpoints are single-device runs; all times positive
+        assert all(t > 0 for _, t in rows)
+
+
+class TestBlackScholesExample:
+    def test_portfolio_pricing(self, capsys):
+        mod = _load("blackscholes_pricing")
+        mod.price_portfolio(n_side=32)
+        out = capsys.readouterr().out
+        assert "put-call parity residual" in out

@@ -1,0 +1,84 @@
+"""Tests for the programmer-guideline metrics (roofline, kernel report)."""
+
+import numpy as np
+import pytest
+
+from repro.kernelir.analysis import LaunchContext, analyze_kernel
+from repro.metrics import kernel_report, roofline
+from repro.simcpu.spec import XEON_E5645
+from repro.suite import build_ilp_kernel
+from repro.suite.simple.square import build_square_kernel
+from repro.suite.simple.blackscholes import build_blackscholes_kernel
+
+
+def _analysis(kernel, gsize=(4096,), lsize=(64,), **scalars):
+    return analyze_kernel(kernel, LaunchContext(gsize, lsize, scalars))
+
+
+class TestRoofline:
+    def test_memory_bound_kernel(self):
+        an = _analysis(build_square_kernel())
+        r = roofline(an, 5.0, peak_gflops=230.4, bandwidth_gbps=51.2, device="CPU")
+        assert r.memory_bound  # 1 flop / 8 bytes << ridge
+        assert r.attainable_gflops == pytest.approx(51.2 / 8, rel=0.01)
+        assert 0 < r.efficiency <= 1.0 or r.achieved_gflops < r.attainable_gflops
+
+    def test_compute_bound_kernel(self):
+        an = _analysis(build_ilp_kernel(4))
+        r = roofline(an, 100.0, peak_gflops=230.4, bandwidth_gbps=51.2, device="CPU")
+        assert not r.memory_bound  # thousands of flops per 8 bytes
+        assert r.attainable_gflops == 230.4
+
+    def test_ridge_point(self):
+        an = _analysis(build_square_kernel())
+        r = roofline(an, 1.0, peak_gflops=100.0, bandwidth_gbps=50.0, device="X")
+        assert r.ridge_point == 2.0
+
+
+class TestKernelReport:
+    def test_square_report(self):
+        rep = kernel_report(build_square_kernel(), (100_000,), (1000,))
+        text = rep.render()
+        assert "square" in text
+        assert "vectorized" in text
+        assert rep.cpu_bottleneck in ("compute", "memory", "bandwidth", "latency")
+        assert "bottleneck" in text and "occupancy" in text
+
+    def test_ilp_kernel_is_latency_bound_scalar(self):
+        from repro.simcpu.spec import CPUSpec
+        import dataclasses
+
+        rep = kernel_report(build_ilp_kernel(1), (24_576,), (256,))
+        # with only one dependence chain, the latency bound dominates
+        assert rep.cpu_bottleneck == "latency"
+        assert "dependence" in rep.cpu_advice
+
+    def test_verdict_tracks_costs(self):
+        rep = kernel_report(build_ilp_kernel(4), (96 * 1024,), (256,))
+        assert rep.faster_device == "GPU"  # massively parallel flops
+        rep_small = kernel_report(build_square_kernel(), (1000,), (100,))
+        assert rep_small.faster_device in ("CPU", "GPU")
+
+    def test_scheduling_overhead_visible_for_tiny_workgroups(self):
+        rep_small = kernel_report(build_square_kernel(), (100_000,), (1,))
+        rep_big = kernel_report(build_square_kernel(), (100_000,), (1000,))
+        assert rep_small.scheduling_overhead > rep_big.scheduling_overhead
+
+    def test_blackscholes_reports_scalar_fallback(self):
+        rep = kernel_report(
+            build_blackscholes_kernel(), (128, 128), (16, 16),
+            scalars={"riskfree": 0.02, "volatility": 0.3},
+        )
+        assert not rep.cpu_cost.vectorization.vectorized
+        assert "erf" in rep.cpu_cost.vectorization.explain()
+
+    def test_report_uses_buffer_sizes(self):
+        small = kernel_report(
+            build_square_kernel(), (4096,), (64,),
+            buffer_bytes={"input": 16 << 10, "output": 16 << 10},
+        )
+        big = kernel_report(
+            build_square_kernel(), (4096,), (64,),
+            buffer_bytes={"input": 1 << 30, "output": 1 << 30},
+        )
+        assert big.cpu_cost.total_ns >= small.cpu_cost.total_ns
