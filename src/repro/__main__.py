@@ -7,12 +7,16 @@ Subcommands:
 * ``report <benchmark> [--size ...]`` — print the programmer-guideline
   report (roofline, bottleneck, vectorization, occupancy) for one of the
   suite's kernels;
+* ``lint [benchmarks...|--all]`` — run the static kernel verifier
+  (:mod:`repro.kernelir.verify`) over suite kernels at their default
+  launch sizes and print a rule-grouped report;
 * ``list`` — list experiments and benchmarks.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import pathlib
 import sys
 
@@ -26,6 +30,35 @@ def _suite_benchmarks():
     for b in all_table2_benchmarks() + all_parboil_benchmarks():
         out[b.name] = b
     return out
+
+
+def _lint_benchmarks():
+    """Every kernel the suite ships: Table II/III plus the micro families."""
+    from .suite import ILP_LEVELS, IlpMicroBenchmark, MBENCHES
+
+    out = _suite_benchmarks()
+    for b in MBENCHES:
+        out[b.name] = b
+    for lvl in ILP_LEVELS:
+        b = IlpMicroBenchmark(lvl)
+        out[b.name] = b
+    return out
+
+
+def _unknown_name_error(kind: str, names, known) -> int:
+    """Print an unknown-<kind> message with did-you-mean suggestions."""
+    if isinstance(names, str):
+        names = [names]
+    known = list(known)
+    for name in names:
+        close = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+        hint = f" (did you mean: {', '.join(close)}?)" if close else ""
+        print(f"unknown {kind} {name!r}{hint}", file=sys.stderr)
+    print(
+        f"available {kind}s: {', '.join(known)}",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def cmd_list(args) -> int:
@@ -46,8 +79,7 @@ def cmd_experiments(args) -> int:
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiments: {unknown}", file=sys.stderr)
-        return 2
+        return _unknown_name_error("experiment", unknown, EXPERIMENTS)
     csv_dir = pathlib.Path(args.csv) if args.csv else None
     if csv_dir:
         csv_dir.mkdir(parents=True, exist_ok=True)
@@ -64,12 +96,7 @@ def cmd_report(args) -> int:
 
     benches = _suite_benchmarks()
     if args.benchmark not in benches:
-        print(
-            f"unknown benchmark {args.benchmark!r}; try: "
-            f"{', '.join(benches)}",
-            file=sys.stderr,
-        )
-        return 2
+        return _unknown_name_error("benchmark", args.benchmark, benches)
     bench = benches[args.benchmark]
     gs = (
         tuple(args.size)
@@ -94,12 +121,7 @@ def cmd_emit(args) -> int:
 
     benches = _suite_benchmarks()
     if args.benchmark not in benches:
-        print(
-            f"unknown benchmark {args.benchmark!r}; try: "
-            f"{', '.join(benches)}",
-            file=sys.stderr,
-        )
-        return 2
+        return _unknown_name_error("benchmark", args.benchmark, benches)
     kernel = benches[args.benchmark].kernel()
     try:
         src = (
@@ -114,6 +136,53 @@ def cmd_emit(args) -> int:
     except BrokenPipeError:  # e.g. `| head`
         pass
     return 0
+
+
+def cmd_lint(args) -> int:
+    from .kernelir.verify import RULES
+
+    benches = _lint_benchmarks()
+    if args.all or not args.benchmarks:
+        names = list(benches)
+    else:
+        unknown = [n for n in args.benchmarks if n not in benches]
+        if unknown:
+            return _unknown_name_error("benchmark", unknown, benches)
+        names = list(args.benchmarks)
+
+    by_rule: dict = {}
+    clean = []
+    suppressed = 0
+    for name in names:
+        report = benches[name].verify()
+        suppressed += report.suppressed
+        if not report.diagnostics:
+            clean.append(name)
+        for d in report.diagnostics:
+            by_rule.setdefault(d.rule, []).append(d)
+
+    n_err = n_warn = n_note = 0
+    for rule in sorted(by_rule):
+        diags = by_rule[rule]
+        if args.no_notes and all(d.severity == "note" for d in diags):
+            continue
+        print(f"{rule} — {RULES.get(rule, '')} ({len(diags)} finding(s))")
+        for d in diags:
+            if args.no_notes and d.severity == "note":
+                continue
+            for line in d.format().splitlines():
+                print(f"  {line}")
+        print()
+        n_err += sum(d.severity == "error" for d in diags)
+        n_warn += sum(d.severity == "warning" for d in diags)
+        n_note += sum(d.severity == "note" for d in diags)
+
+    print(
+        f"linted {len(names)} kernel(s): {n_err} error(s), "
+        f"{n_warn} warning(s), {n_note} note(s), "
+        f"{suppressed} suppressed, {len(clean)} clean"
+    )
+    return 1 if (n_err or n_warn) else 0
 
 
 def main(argv=None) -> int:
@@ -142,6 +211,17 @@ def main(argv=None) -> int:
     p_emit.add_argument("--target", choices=("opencl", "openmp"),
                         default="opencl")
     p_emit.set_defaults(fn=cmd_emit)
+
+    p_lint = sub.add_parser(
+        "lint", help="static kernel verification (races, barriers, bounds)"
+    )
+    p_lint.add_argument("benchmarks", nargs="*",
+                        help="benchmark names (default: all)")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every suite kernel (the default)")
+    p_lint.add_argument("--no-notes", action="store_true",
+                        help="hide note-severity diagnostics")
+    p_lint.set_defaults(fn=cmd_lint)
 
     args = ap.parse_args(argv)
     return args.fn(args)

@@ -56,16 +56,27 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
 
 
 def run_experiment(name: str, fast: bool = False) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"fig6"``)."""
+    """Run one experiment by id (e.g. ``"fig6"``).
+
+    Every kernel launch the experiment measures is additionally run through
+    the static verifier; the aggregated diagnostic counts are appended to
+    the result's notes.
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(fast)
+    from .runner import collect_diagnostics
+
+    with collect_diagnostics() as tally:
+        result = fn(fast)
+    if tally.launches:
+        result.notes.append(tally.summary())
+    return result
 
 
 def run_all(fast: bool = False) -> List[ExperimentResult]:
     """Run every experiment in paper order."""
-    return [fn(fast) for fn in EXPERIMENTS.values()]
+    return [run_experiment(name, fast) for name in EXPERIMENTS]

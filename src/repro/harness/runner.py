@@ -4,6 +4,7 @@ stack (so every experiment exercises the same code path a user would)."""
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from functools import lru_cache
 from typing import Dict, Optional, Sequence, Tuple
@@ -16,12 +17,72 @@ from .timing import Measurement, repeat_to_target
 
 __all__ = [
     "DeviceUnderTest",
+    "DiagnosticTally",
+    "collect_diagnostics",
     "cpu_dut",
     "gpu_dut",
     "measure_kernel",
     "measure_app_throughput",
     "make_buffers",
 ]
+
+
+class DiagnosticTally:
+    """Aggregated static-verifier findings for one experiment's launches.
+
+    The harness verifies each distinct (benchmark, coalesce, launch shape)
+    once; repeated sweep points reuse the first result.
+    """
+
+    def __init__(self):
+        self.launches = 0
+        self.counts = {"error": 0, "warning": 0, "note": 0}
+        self._seen = set()
+
+    def record(self, bench: Benchmark, global_size, coalesce, local_size):
+        key = (
+            bench.name,
+            int(coalesce),
+            tuple(global_size),
+            tuple(local_size) if local_size is not None else None,
+        )
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        report = bench.verify(
+            global_size, coalesce=coalesce, local_size=local_size
+        )
+        self.launches += 1
+        for d in report.diagnostics:
+            self.counts[d.severity] += 1
+
+    def summary(self) -> str:
+        c = self.counts
+        return (
+            f"verifier: {c['error']} error(s), {c['warning']} warning(s), "
+            f"{c['note']} note(s) across {self.launches} verified launch(es)"
+        )
+
+
+#: active collector (installed by :func:`collect_diagnostics`)
+_tally: Optional[DiagnosticTally] = None
+
+
+@contextlib.contextmanager
+def collect_diagnostics():
+    """Verify every kernel launch measured inside the block and tally counts."""
+    global _tally
+    prev = _tally
+    _tally = tally = DiagnosticTally()
+    try:
+        yield tally
+    finally:
+        _tally = prev
+
+
+def _note_launch(bench: Benchmark, global_size, coalesce, local_size) -> None:
+    if _tally is not None:
+        _tally.record(bench, global_size, coalesce, local_size)
 
 
 @dataclasses.dataclass
@@ -104,6 +165,7 @@ def measure_kernel(
         buffers, scalars, _ = make_buffers(dut, bench, global_size)
     scalars = {**scalars, **bench.scalars_for(coalesce)}
     launch_gs = scale_global_size(global_size, coalesce)
+    _note_launch(bench, global_size, coalesce, local_size)
 
     program = dut.context.create_program(bench.kernel(coalesce)).build()
     k = program.create_kernel(bench.kernel(coalesce).name)
@@ -136,6 +198,7 @@ def measure_app_throughput(
     buffers, scalars, host = make_buffers(dut, bench, global_size,
                                           flags_map=flags_map)
     kernel_ir = bench.kernel()
+    _note_launch(bench, global_size, 1, local_size)
     queue = dut.fresh_queue(functional=False)
 
     t0 = queue.now_ns

@@ -74,6 +74,7 @@ from .vectorize import (
 )
 from .trace import KernelTrace, MemoryAccess, TracingInterpreter, trace_kernel
 from .codegen import CodegenError, to_opencl_c, to_openmp_c
+from .verify import RULES, Diagnostic, VerifyReport, verify_launch
 
 __all__ = [
     # types
@@ -99,4 +100,6 @@ __all__ = [
     "TracingInterpreter", "KernelTrace", "MemoryAccess", "trace_kernel",
     # source generation
     "to_opencl_c", "to_openmp_c", "CodegenError",
+    # static verification
+    "verify_launch", "VerifyReport", "Diagnostic", "RULES",
 ]

@@ -650,6 +650,9 @@ class Kernel:
     local_arrays: list
     body: list
     work_dim: int = 1
+    #: verifier rule ids (e.g. "R-RACE-GLOBAL") silenced for this kernel;
+    #: see :mod:`repro.kernelir.verify`
+    suppressions: tuple = ()
 
     def __post_init__(self):
         if not (1 <= self.work_dim <= 3):

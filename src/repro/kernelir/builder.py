@@ -87,6 +87,7 @@ class KernelBuilder:
         self._stack: List[List[ir.Stmt]] = [self._body]
         self._tmp = 0
         self._finished = False
+        self._suppressions: List[str] = []
 
     # -- signature --------------------------------------------------------
     def buffer(self, name: str, dtype: DType = F32, access: str = "rw") -> BufferHandle:
@@ -264,6 +265,16 @@ class KernelBuilder:
             return ir.Const(x, I32)
         return ir.Cast(ir.as_expr(x), I32)
 
+    # -- verifier suppressions -------------------------------------------------
+    def suppress(self, *rule_ids: str) -> "KernelBuilder":
+        """Silence verifier rules (e.g. ``"R-RACE-GLOBAL"``) for this kernel.
+
+        Use sparingly, for findings that are intentional (a benchmark that
+        *measures* contended atomics, say).  See ``docs/LINT.md``.
+        """
+        self._suppressions.extend(rule_ids)
+        return self
+
     # -- completion -----------------------------------------------------------
     def finish(self) -> ir.Kernel:
         """Validate and return the finished kernel."""
@@ -276,4 +287,5 @@ class KernelBuilder:
             local_arrays=list(self._locals),
             body=list(self._body),
             work_dim=self.work_dim,
+            suppressions=tuple(dict.fromkeys(self._suppressions)),
         )

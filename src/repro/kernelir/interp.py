@@ -133,10 +133,12 @@ class _Frame:
         "group_linear",
         "ids",
         "counters",
+        "readonly",
+        "writeonly",
     )
 
     def __init__(self, kernel, gsize, lsize, buffers, scalars, counters,
-                 goffset=None):
+                 goffset=None, readonly=None, writeonly=None):
         self.kernel = kernel
         self.gsize = gsize
         self.lsize = lsize
@@ -145,6 +147,8 @@ class _Frame:
         self.buffers = buffers
         self.env: Dict[str, np.ndarray] = dict(scalars)
         self.counters = counters
+        self.readonly = frozenset(readonly or ())
+        self.writeonly = frozenset(writeonly or ())
         goffset = goffset or (0,) * len(gsize)
 
         flat = np.arange(self.n, dtype=np.int64)
@@ -200,8 +204,18 @@ class Interpreter:
         scalars: Optional[Dict[str, object]] = None,
         count_ops: bool = False,
         global_offset=None,
+        readonly=None,
+        writeonly=None,
     ) -> LaunchResult:
-        """Run ``kernel`` over the NDRange, mutating ``buffers`` in place."""
+        """Run ``kernel`` over the NDRange, mutating ``buffers`` in place.
+
+        ``readonly`` / ``writeonly`` are optional sets of buffer names whose
+        host-side allocation flags (``mem_flags.READ_ONLY`` /
+        ``WRITE_ONLY``) should be enforced at runtime: a store or atomic to
+        a read-only buffer, or a load from a write-only buffer, raises
+        :class:`KernelExecutionError`.  By default nothing is enforced,
+        matching a permissive OpenCL CPU runtime.
+        """
         buffers = dict(buffers or {})
         scalars = dict(scalars or {})
         gsize, lsize = _normalize_sizes(kernel, global_size, local_size)
@@ -240,7 +254,8 @@ class Interpreter:
 
         counters = DynamicCounters() if count_ops else None
         frame = _Frame(
-            kernel, gsize, lsize, buffers, scalars, counters, global_offset
+            kernel, gsize, lsize, buffers, scalars, counters, global_offset,
+            readonly=readonly, writeonly=writeonly,
         )
         mask = np.ones(frame.n, dtype=bool)
         self._exec_body(kernel.body, frame, mask)
@@ -341,7 +356,20 @@ class Interpreter:
                     f"[{int(sel.min())}, {int(sel.max())}] vs size {size}"
                 )
 
+    def _check_writable(self, name: str, frame: _Frame) -> None:
+        if name in frame.readonly:
+            raise KernelExecutionError(
+                f"write to buffer {name!r} allocated with mem_flags.READ_ONLY"
+            )
+
+    def _check_readable(self, name: str, frame: _Frame) -> None:
+        if name in frame.writeonly:
+            raise KernelExecutionError(
+                f"read from buffer {name!r} allocated with mem_flags.WRITE_ONLY"
+            )
+
     def _store_global(self, stmt: ir.Store, frame: _Frame, mask: np.ndarray) -> None:
+        self._check_writable(stmt.buffer, frame)
         idx = self._as_full(self._eval(stmt.index, frame, mask), frame).astype(np.int64)
         val = self._as_full(self._eval(stmt.value, frame, mask), frame)
         buf = frame.buffers[stmt.buffer]
@@ -351,6 +379,7 @@ class Interpreter:
             frame.counters.stores += int(mask.sum())
 
     def _atomic_global(self, stmt: ir.AtomicAdd, frame: _Frame, mask: np.ndarray) -> None:
+        self._check_writable(stmt.buffer, frame)
         idx = self._as_full(self._eval(stmt.index, frame, mask), frame).astype(np.int64)
         val = self._as_full(self._eval(stmt.value, frame, mask), frame)
         buf = frame.buffers[stmt.buffer]
@@ -419,6 +448,7 @@ class Interpreter:
         if isinstance(e, ir.Call):
             return self._eval_call(e, frame, mask)
         if isinstance(e, ir.Load):
+            self._check_readable(e.buffer, frame)
             idx = self._as_full(
                 self._eval(e.index, frame, mask), frame
             ).astype(np.int64)

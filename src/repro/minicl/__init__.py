@@ -33,6 +33,7 @@ from .errors import (
     InvalidWorkDimension,
     InvalidWorkGroupSize,
     InvalidWorkItemSize,
+    KernelVerificationError,
     MemObjectAllocationFailure,
 )
 from .platform import Platform, cpu_platform, get_platforms, gpu_platform
@@ -52,7 +53,7 @@ __all__ = [
     "InvalidMemObject", "InvalidKernelName", "InvalidKernelArgs",
     "InvalidArgIndex", "InvalidWorkDimension", "InvalidWorkGroupSize",
     "InvalidWorkItemSize", "InvalidBufferSize", "InvalidOperation",
-    "MemObjectAllocationFailure",
+    "KernelVerificationError", "MemObjectAllocationFailure",
     "Platform", "get_platforms", "cpu_platform", "gpu_platform",
     "Device", "Context", "Buffer", "Event", "EventProfile",
     "Program", "CLKernel", "CommandQueue",

@@ -91,8 +91,11 @@ def clSetKernelArg(kernel: CLKernel, index: int, value) -> None:
 
 
 def clEnqueueNDRangeKernel(queue: CommandQueue, kernel: CLKernel,
-                           global_work_size, local_work_size=None) -> Event:
-    return queue.enqueue_nd_range_kernel(kernel, global_work_size, local_work_size)
+                           global_work_size, local_work_size=None,
+                           *, verify=None) -> Event:
+    return queue.enqueue_nd_range_kernel(
+        kernel, global_work_size, local_work_size, verify=verify
+    )
 
 
 def clEnqueueWriteBuffer(queue: CommandQueue, buf: Buffer, src: np.ndarray,

@@ -18,6 +18,7 @@ __all__ = [
     "InvalidWorkItemSize",
     "InvalidBufferSize",
     "InvalidOperation",
+    "KernelVerificationError",
     "MemObjectAllocationFailure",
 ]
 
@@ -58,6 +59,19 @@ class InvalidKernelArgs(CLError):
 
 class InvalidArgIndex(CLError):
     code = StatusCode.INVALID_ARG_INDEX
+
+
+class KernelVerificationError(InvalidKernelArgs):
+    """Raised by ``verify=`` enqueue mode when the static kernel verifier
+    reports error-severity findings (races, provable OOB, flag misuse).
+
+    Carries the full :class:`repro.kernelir.verify.VerifyReport` as
+    ``.report`` so callers can render the individual diagnostics.
+    """
+
+    def __init__(self, message: str = "", report=None):
+        super().__init__(message)
+        self.report = report
 
 
 class InvalidWorkDimension(CLError):

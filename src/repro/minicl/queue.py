@@ -12,11 +12,14 @@ examples run fully functional.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernelir.analysis import LaunchContext
 from ..kernelir.interp import Interpreter, KernelExecutionError
+from ..kernelir.verify import verify_launch
 from .buffer import Buffer
 from .constants import command_type, map_flags, mem_flags
 from .context import Context
@@ -27,6 +30,7 @@ from .errors import (
     InvalidWorkDimension,
     InvalidWorkGroupSize,
     InvalidWorkItemSize,
+    KernelVerificationError,
 )
 from .event import Event
 from .program import CLKernel
@@ -56,6 +60,8 @@ class CommandQueue:
         #: host program whose dependencies are expressed via wait lists.
         self.out_of_order = out_of_order
         self._interp = Interpreter()
+        #: VerifyReport of the most recent ``verify=`` kernel enqueue
+        self.last_verify_report = None
         self.now_ns: float = 0.0
         #: earliest start time for new out-of-order commands (advanced by
         #: enqueue_barrier)
@@ -129,8 +135,18 @@ class CommandQueue:
         *,
         global_work_offset=None,
         wait_for: Optional[Sequence[Event]] = None,
+        verify: Optional[bool] = None,
     ) -> Event:
-        """``clEnqueueNDRangeKernel`` (blocking; the queue is in-order)."""
+        """``clEnqueueNDRangeKernel`` (blocking; the queue is in-order).
+
+        ``verify=True`` (or env ``REPRO_VERIFY=1``) runs the static kernel
+        verifier (:mod:`repro.kernelir.verify`) against this launch before
+        executing; error-severity findings raise
+        :class:`~repro.minicl.errors.KernelVerificationError`
+        (CL_INVALID_KERNEL_ARGS).  It also makes the interpreter enforce
+        ``mem_flags`` at runtime: writes to READ_ONLY and reads from
+        WRITE_ONLY buffers become execution errors.
+        """
         gsize, lsize = self._check_sizes(kernel, global_size, local_size)
         buffers, scalars = kernel.collect_args()
         buffer_bytes = {name: b.nbytes for name, b in buffers.items()}
@@ -151,11 +167,41 @@ class CommandQueue:
                     f"device has {self.device.local_mem_size}B"
                 )
 
+        if verify is None:
+            verify = os.environ.get("REPRO_VERIFY", "") not in ("", "0")
+        readonly = writeonly = None
+        if verify:
+            flags = {
+                name: ("r" if not b.kernel_writable
+                       else "w" if not b.kernel_readable else "rw")
+                for name, b in buffers.items()
+            }
+            report = verify_launch(
+                kernel.kernel,
+                LaunchContext(
+                    gsize, resolved_lsize,
+                    scalars={k: float(v) for k, v in scalars.items()},
+                ),
+                buffer_sizes={name: b.array.shape[0] for name, b in buffers.items()},
+                buffer_flags=flags,
+            )
+            self.last_verify_report = report
+            if report.errors:
+                raise KernelVerificationError(
+                    f"kernel {kernel.name!r} failed verification "
+                    f"({len(report.errors)} error(s)):\n" + report.render(
+                        show_notes=False),
+                    report=report,
+                )
+            readonly = {n for n, f in flags.items() if f == "r"}
+            writeonly = {n for n, f in flags.items() if f == "w"}
+
         if self.functional:
             arrays = {name: b.array for name, b in buffers.items()}
             self._interp.launch(
                 kernel.kernel, gsize, resolved_lsize, buffers=arrays,
                 scalars=scalars, global_offset=global_work_offset,
+                readonly=readonly, writeonly=writeonly,
             )
 
         return self._complete(

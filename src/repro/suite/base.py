@@ -145,6 +145,51 @@ class Benchmark(abc.ABC):
                 err_msg=f"{self.name}: buffer {name!r} mismatch",
             )
 
+    def verify(
+        self,
+        global_size: Optional[Sequence[int]] = None,
+        *,
+        coalesce: int = 1,
+        local_size: Optional[Sequence[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Run the static kernel verifier at this benchmark's launch shape.
+
+        Buffer sizes come from :meth:`make_data` and the flag map mirrors
+        how the harness allocates buffers (``access="r"`` params become
+        ``mem_flags.READ_ONLY``, ``"w"`` becomes ``WRITE_ONLY``).  Returns
+        a :class:`repro.kernelir.verify.VerifyReport`.
+        """
+        from ..kernelir.analysis import LaunchContext
+        from ..kernelir.verify import verify_launch
+
+        rng = rng or np.random.default_rng(0)
+        gs = tuple(
+            int(g) for g in (global_size or self.default_global_sizes[0])
+        )
+        buffers, scalars = self.make_data(gs, rng)
+        scalars = {**scalars, **self.scalars_for(coalesce)}
+        launch_gs = scale_global_size(gs, coalesce)
+        kernel = self.kernel(coalesce)
+        ls = local_size or self.default_local_size
+        if ls is None:
+            ls = tuple(_largest_divisor_at_most(g, 256) for g in launch_gs)
+        else:
+            ls = tuple(min(int(l), g) for l, g in zip(ls, launch_gs))
+            ls = tuple(
+                _largest_divisor_at_most(g, l) for g, l in zip(launch_gs, ls)
+            )
+        ctx = LaunchContext(
+            launch_gs, ls,
+            scalars={k: float(v) for k, v in scalars.items()},
+        )
+        return verify_launch(
+            kernel,
+            ctx,
+            buffer_sizes={k: int(v.shape[0]) for k, v in buffers.items()},
+            buffer_flags={p.name: p.access for p in kernel.buffer_params},
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Benchmark {self.name}>"
 

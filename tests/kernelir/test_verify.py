@@ -1,0 +1,444 @@
+"""Table-driven tests for the static kernel verifier.
+
+One minimal IR kernel per rule, with a positive (defect present, rule id
+emitted) and a negative (defect fixed, rule id absent) variant, plus a
+sweep asserting every kernel the suite ships is diagnostic-clean at its
+default launch sizes, and integration checks for the runtime wiring
+(interpreter flag enforcement, ``verify=`` enqueue mode).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernelir import (
+    F32,
+    I32,
+    Interpreter,
+    KernelBuilder,
+    KernelExecutionError,
+    LaunchContext,
+    verify_launch,
+)
+from repro.kernelir.verify import RULES
+
+
+def _ctx():
+    return LaunchContext((64,), (16,))
+
+
+def _rules(report):
+    return {d.rule for d in report.diagnostics}
+
+
+# ---------------------------------------------------------------------------
+# one kernel per rule: (name, build -> (kernel, sizes, flags), expected rule)
+# ---------------------------------------------------------------------------
+
+def _racy_const_store():
+    # every workitem writes out[0]: classic write-write race
+    kb = KernelBuilder("racy")
+    out = kb.buffer("out", F32, access="w")
+    kb.store(out, 0, kb.f32(1.0))
+    return kb.finish(), {"out": 64}, None
+
+
+def _racy_overlapping_stores():
+    # item i writes i and i+1; item i+1 also writes i+1
+    kb = KernelBuilder("overlap")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    out[g] = kb.f32(1.0)
+    out[g + 1] = kb.f32(2.0)
+    return kb.finish(), {"out": 128}, None
+
+
+def _clean_elementwise():
+    kb = KernelBuilder("square")
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    out[g] = a[g] * a[g]
+    return kb.finish(), {"a": 64, "out": 64}, None
+
+
+def _divergent_barrier():
+    kb = KernelBuilder("divb")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    with kb.if_(g < 32):
+        kb.barrier()
+    out[g] = kb.f32(1.0)
+    return kb.finish(), {"out": 64}, None
+
+
+def _uniform_barrier():
+    # barrier under a scalar-uniform condition is fine
+    kb = KernelBuilder("unib")
+    out = kb.buffer("out", F32, access="w")
+    n = kb.scalar("n", I32)
+    tile = kb.local_array("tile", 16, F32)
+    lid = kb.local_id(0)
+    g = kb.global_id(0)
+    tile[lid] = kb.f32(3.0)
+    with kb.if_(n > 0):
+        kb.barrier()
+    out[g] = tile[lid] + kb.i32(0) * n
+    return kb.finish(), {"out": 64}, None
+
+
+def _oob_store():
+    kb = KernelBuilder("oob")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    out[g + 8] = kb.f32(1.0)
+    return kb.finish(), {"out": 64}, None
+
+
+def _in_bounds_store():
+    kb = KernelBuilder("inb")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    out[g + 8] = kb.f32(1.0)
+    return kb.finish(), {"out": 72}, None
+
+
+def _readonly_write():
+    kb = KernelBuilder("flagw")
+    buf = kb.buffer("buf", F32, access="rw")
+    g = kb.global_id(0)
+    buf[g] = buf[g] + kb.f32(1.0)
+    return kb.finish(), {"buf": 64}, {"buf": "r"}
+
+
+def _writeonly_read():
+    kb = KernelBuilder("flagr")
+    src = kb.buffer("src", F32, access="rw")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    out[g] = src[g]
+    return kb.finish(), {"src": 64, "out": 64}, {"src": "w", "out": "w"}
+
+
+def _flags_respected():
+    k, sizes, _ = _clean_elementwise()
+    return k, sizes, {"a": "r", "out": "w"}
+
+
+def _local_race_no_barrier():
+    kb = KernelBuilder("localrace")
+    out = kb.buffer("out", F32, access="w")
+    tile = kb.local_array("tile", 16, F32)
+    lid = kb.local_id(0)
+    g = kb.global_id(0)
+    tile[lid] = kb.f32(2.0)
+    out[g] = tile[15 - lid]  # reads a slot another workitem wrote
+    return kb.finish(), {"out": 64}, None
+
+
+def _local_race_with_barrier():
+    kb = KernelBuilder("localok")
+    out = kb.buffer("out", F32, access="w")
+    tile = kb.local_array("tile", 16, F32)
+    lid = kb.local_id(0)
+    g = kb.global_id(0)
+    tile[lid] = kb.f32(2.0)
+    kb.barrier()
+    out[g] = tile[15 - lid]
+    return kb.finish(), {"out": 64}, None
+
+
+def _uninit_local_read():
+    kb = KernelBuilder("uninit")
+    out = kb.buffer("out", F32, access="w")
+    tile = kb.local_array("tile", 16, F32)
+    lid = kb.local_id(0)
+    g = kb.global_id(0)
+    out[g] = tile[lid]
+    return kb.finish(), {"out": 64}, None
+
+
+def _unused_param():
+    kb = KernelBuilder("unused")
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    kb.scalar("n", I32)  # never referenced
+    g = kb.global_id(0)
+    out[g] = a[g]
+    return kb.finish(), {"a": 64, "out": 64}, None
+
+
+def _vec_blocker():
+    # erf is scalar-only for the packer (paper Fig. 10's Blackscholes case)
+    kb = KernelBuilder("erfk")
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    out[g] = kb.erf(a[g])
+    return kb.finish(), {"a": 64, "out": 64}, None
+
+
+CASES = [
+    # (id, builder, rule that must fire, expected severity)
+    ("race-const-index", _racy_const_store, "R-RACE-GLOBAL", "error"),
+    ("race-overlapping-stores", _racy_overlapping_stores, "R-RACE-GLOBAL", "error"),
+    ("barrier-divergent", _divergent_barrier, "R-BARRIER-DIV", "error"),
+    ("oob-store", _oob_store, "R-OOB", "error"),
+    ("readonly-write", _readonly_write, "R-FLAGS", "error"),
+    ("writeonly-read", _writeonly_read, "R-FLAGS", "error"),
+    ("local-missing-barrier", _local_race_no_barrier, "R-RACE-LOCAL", "error"),
+    ("uninit-local", _uninit_local_read, "R-UNINIT-LOCAL", "warning"),
+    ("unused-param", _unused_param, "R-UNUSED-PARAM", "warning"),
+    ("vec-blocker", _vec_blocker, "R-VEC", "note"),
+]
+
+NEGATIVES = [
+    # (id, builder, rule that must NOT fire)
+    ("clean-elementwise", _clean_elementwise, "R-RACE-GLOBAL"),
+    ("uniform-barrier", _uniform_barrier, "R-BARRIER-DIV"),
+    ("in-bounds", _in_bounds_store, "R-OOB"),
+    ("flags-respected", _flags_respected, "R-FLAGS"),
+    ("local-with-barrier", _local_race_with_barrier, "R-RACE-LOCAL"),
+    ("local-with-barrier-uninit", _local_race_with_barrier, "R-UNINIT-LOCAL"),
+    ("clean-no-unused", _clean_elementwise, "R-UNUSED-PARAM"),
+]
+
+
+class TestRuleTable:
+    @pytest.mark.parametrize("case_id,build,rule,severity",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_positive(self, case_id, build, rule, severity):
+        kernel, sizes, flags = build()
+        report = verify_launch(
+            kernel, _ctx(), buffer_sizes=sizes, buffer_flags=flags
+        )
+        matches = [d for d in report.diagnostics if d.rule == rule]
+        assert matches, f"{case_id}: expected {rule}, got {_rules(report)}"
+        assert any(d.severity == severity for d in matches)
+        # every diagnostic is well-formed
+        for d in report.diagnostics:
+            assert d.rule in RULES
+            assert d.kernel == kernel.name
+            assert d.location
+            assert d.rule in d.format()
+
+    @pytest.mark.parametrize("case_id,build,rule",
+                             NEGATIVES, ids=[c[0] for c in NEGATIVES])
+    def test_negative(self, case_id, build, rule):
+        kernel, sizes, flags = build()
+        report = verify_launch(
+            kernel, _ctx(), buffer_sizes=sizes, buffer_flags=flags
+        )
+        assert rule not in _rules(report), (
+            f"{case_id}: {rule} fired: {report.render()}"
+        )
+
+    def test_clean_kernel_is_fully_clean(self):
+        kernel, sizes, _ = _clean_elementwise()
+        report = verify_launch(kernel, _ctx(), buffer_sizes=sizes)
+        assert report.diagnostics == [] and report.clean and report.ok
+
+    def test_severity_taxonomy(self):
+        kernel, sizes, _ = _vec_blocker()
+        report = verify_launch(kernel, _ctx(), buffer_sizes=sizes)
+        # a note-only report is still "clean" (lint exit 0)
+        assert report.clean and report.ok
+        assert report.counts() == (0, 0, len(report.notes))
+
+
+class TestSuppression:
+    def test_suppressed_rule_is_dropped_but_counted(self):
+        kb = KernelBuilder("suppr")
+        out = kb.buffer("out", F32, access="w")
+        kb.store(out, 0, kb.f32(1.0))
+        kb.suppress("R-RACE-GLOBAL")
+        kernel = kb.finish()
+        assert kernel.suppressions == ("R-RACE-GLOBAL",)
+        report = verify_launch(kernel, _ctx(), buffer_sizes={"out": 64})
+        assert "R-RACE-GLOBAL" not in _rules(report)
+        assert report.suppressed >= 1
+
+    def test_unsuppressed_rules_still_fire(self):
+        kb = KernelBuilder("supp2")
+        out = kb.buffer("out", F32, access="w")
+        kb.scalar("n", I32)
+        kb.store(out, 0, kb.f32(1.0))
+        kb.suppress("R-UNUSED-PARAM")
+        report = verify_launch(kb.finish(), _ctx(), buffer_sizes={"out": 64})
+        assert "R-RACE-GLOBAL" in _rules(report)
+        assert "R-UNUSED-PARAM" not in _rules(report)
+
+
+class TestReportRendering:
+    def test_render_groups_and_formats(self):
+        kernel, sizes, _ = _racy_const_store()
+        report = verify_launch(kernel, _ctx(), buffer_sizes=sizes)
+        text = report.render()
+        assert "R-RACE-GLOBAL" in text and "[error]" in text
+        assert list(report.by_rule()) == ["R-RACE-GLOBAL"]
+
+
+class TestSuiteSweep:
+    def _all_benchmarks(self):
+        from repro.suite import (
+            ILP_LEVELS,
+            IlpMicroBenchmark,
+            MBENCHES,
+            all_parboil_benchmarks,
+            all_table2_benchmarks,
+        )
+
+        out = list(all_table2_benchmarks()) + list(all_parboil_benchmarks())
+        out += list(MBENCHES)
+        out += [IlpMicroBenchmark(lvl) for lvl in ILP_LEVELS]
+        return out
+
+    def test_every_suite_kernel_is_clean_at_default_sizes(self):
+        dirty = {}
+        for bench in self._all_benchmarks():
+            report = bench.verify()
+            if not report.clean:
+                dirty[bench.name] = report.render()
+        assert not dirty, f"suite kernels with findings: {dirty}"
+
+    def test_coalesced_variants_are_clean(self):
+        from repro.suite import SquareBenchmark, VectorAddBenchmark
+
+        for bench in (SquareBenchmark(), VectorAddBenchmark()):
+            for coalesce in (2, 4):
+                report = bench.verify(coalesce=coalesce)
+                assert report.clean, report.render()
+
+
+class TestInterpreterFlagEnforcement:
+    def _rw_kernel(self):
+        kb = KernelBuilder("rw")
+        b = kb.buffer("b", F32, access="rw")
+        g = kb.global_id(0)
+        b[g] = b[g] + kb.f32(1.0)
+        return kb.finish()
+
+    def test_write_to_readonly_rejected(self):
+        arr = np.zeros(16, dtype=np.float32)
+        with pytest.raises(KernelExecutionError, match="READ_ONLY"):
+            Interpreter().launch(
+                self._rw_kernel(), (16,), (4,),
+                buffers={"b": arr}, readonly={"b"},
+            )
+
+    def test_read_from_writeonly_rejected(self):
+        arr = np.zeros(16, dtype=np.float32)
+        with pytest.raises(KernelExecutionError, match="WRITE_ONLY"):
+            Interpreter().launch(
+                self._rw_kernel(), (16,), (4,),
+                buffers={"b": arr}, writeonly={"b"},
+            )
+
+    def test_atomic_to_readonly_rejected(self):
+        kb = KernelBuilder("at")
+        b = kb.buffer("b", F32, access="rw")
+        b.atomic_add(0, kb.f32(1.0))
+        arr = np.zeros(16, dtype=np.float32)
+        with pytest.raises(KernelExecutionError, match="READ_ONLY"):
+            Interpreter().launch(
+                kb.finish(), (16,), (4,),
+                buffers={"b": arr}, readonly={"b"},
+            )
+
+    def test_default_launch_stays_permissive(self):
+        arr = np.zeros(16, dtype=np.float32)
+        Interpreter().launch(self._rw_kernel(), (16,), (4,), buffers={"b": arr})
+        assert np.all(arr == 1.0)
+
+
+class TestEnqueueVerifyMode:
+    def _setup(self, kernel, flags_by_name, n=64):
+        from repro import minicl as cl
+
+        ctx = cl.Context(cl.cpu_platform().devices)
+        queue = cl.CommandQueue(ctx)
+        prog = cl.Program(ctx, [kernel]).build()
+        k = prog.create_kernel(kernel.name)
+        args = []
+        for p in kernel.buffer_params:
+            args.append(cl.Buffer(
+                ctx, flags_by_name[p.name], size=n * 4, dtype=np.float32
+            ))
+        k.set_args(*args)
+        return queue, k
+
+    def test_error_finding_raises(self):
+        from repro import minicl as cl
+
+        kb = KernelBuilder("racy")
+        out = kb.buffer("out", F32, access="w")
+        kb.store(out, 0, kb.f32(1.0))
+        queue, k = self._setup(
+            kb.finish(), {"out": cl.mem_flags.READ_WRITE}
+        )
+        with pytest.raises(cl.KernelVerificationError) as ei:
+            queue.enqueue_nd_range_kernel(k, (64,), (16,), verify=True)
+        assert [d.rule for d in ei.value.report.errors] == ["R-RACE-GLOBAL"]
+        assert isinstance(ei.value, cl.InvalidKernelArgs)
+
+    def test_clean_kernel_passes_and_records_report(self):
+        from repro import minicl as cl
+
+        kernel, _, _ = _clean_elementwise()
+        queue, k = self._setup(kernel, {
+            "a": cl.mem_flags.READ_ONLY, "out": cl.mem_flags.WRITE_ONLY,
+        })
+        queue.enqueue_nd_range_kernel(k, (64,), (16,), verify=True)
+        assert queue.last_verify_report is not None
+        assert queue.last_verify_report.ok
+
+    def test_env_var_enables_verification(self, monkeypatch):
+        from repro import minicl as cl
+
+        kb = KernelBuilder("racy")
+        out = kb.buffer("out", F32, access="w")
+        kb.store(out, 0, kb.f32(1.0))
+        queue, k = self._setup(
+            kb.finish(), {"out": cl.mem_flags.READ_WRITE}
+        )
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        with pytest.raises(cl.KernelVerificationError):
+            queue.enqueue_nd_range_kernel(k, (64,), (16,))
+        # explicit verify=False overrides the env var
+        queue.enqueue_nd_range_kernel(k, (64,), (16,), verify=False)
+
+    def test_verify_mode_enforces_flags_dynamically(self):
+        from repro import minicl as cl
+
+        # verifier-silent (gather index) kernel that reads a WRITE_ONLY
+        # buffer through a data-dependent index the static pass cannot see
+        kb = KernelBuilder("gather")
+        idx = kb.buffer("idx", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        out[g] = idx[kb.cast(idx[g], I32)]
+        queue, k = self._setup(kb.finish(), {
+            "idx": cl.mem_flags.READ_ONLY, "out": cl.mem_flags.WRITE_ONLY,
+        })
+        queue.enqueue_nd_range_kernel(k, (64,), (16,), verify=True)
+
+
+class TestHarnessTally:
+    def test_collect_diagnostics_counts_launches(self):
+        from repro.harness.runner import collect_diagnostics, cpu_dut, measure_kernel
+        from repro.suite import SquareBenchmark
+
+        dut = cpu_dut()
+        bench = SquareBenchmark()
+        with collect_diagnostics() as tally:
+            measure_kernel(dut, bench, (4096,), (256,), max_invocations=1)
+            # same configuration again: verified only once
+            measure_kernel(dut, bench, (4096,), (256,), max_invocations=1)
+        assert tally.launches == 1
+        assert tally.counts == {"error": 0, "warning": 0, "note": 0}
+        assert "0 error(s)" in tally.summary()
+
+    def test_run_experiment_appends_note(self):
+        from repro.harness.registry import run_experiment
+
+        result = run_experiment("fig11", fast=True)
+        assert any("verifier:" in n for n in result.notes)

@@ -21,6 +21,9 @@ class TestExperiments:
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiments", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'fig99'" in err
+        assert "fig9" in err  # did-you-mean suggestion
 
     def test_csv_output(self, tmp_path, capsys):
         assert main(
@@ -63,3 +66,41 @@ class TestReport:
 
     def test_unknown_benchmark(self, capsys):
         assert main(["report", "NoSuchApp"]) == 2
+
+    def test_unknown_benchmark_suggests_close_name(self, capsys):
+        assert main(["report", "Sqare"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'Sqare'" in err
+        assert "did you mean" in err and "Square" in err
+
+
+class TestLint:
+    def test_lint_all_is_clean(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out and "0 warning(s)" in out
+        assert "clean" in out
+
+    def test_lint_single_benchmark(self, capsys):
+        assert main(["lint", "Square"]) == 0
+        out = capsys.readouterr().out
+        assert "linted 1 kernel(s)" in out
+
+    def test_lint_reports_vectorization_notes(self, capsys):
+        assert main(["lint", "Blackscholes"]) == 0
+        out = capsys.readouterr().out
+        assert "R-VEC" in out and "erf" in out
+
+    def test_lint_no_notes_flag(self, capsys):
+        assert main(["lint", "Blackscholes", "--no-notes"]) == 0
+        out = capsys.readouterr().out
+        assert "R-VEC" not in out
+
+    def test_lint_covers_micro_families(self, capsys):
+        assert main(["lint", "MBench5", "ILP-3"]) == 0
+        out = capsys.readouterr().out
+        assert "linted 2 kernel(s)" in out
+
+    def test_lint_unknown_benchmark(self, capsys):
+        assert main(["lint", "NoSuchApp"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
