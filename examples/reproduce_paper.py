@@ -6,6 +6,7 @@ Usage:
     python examples/reproduce_paper.py --fast     # reduced sizes (seconds)
     python examples/reproduce_paper.py fig6 fig9  # a subset
     python examples/reproduce_paper.py --csv out/ # also write CSV files
+    python examples/reproduce_paper.py --jobs 4   # parallel workers
 
 The printed series are the same rows/lines the paper's figures plot; see
 EXPERIMENTS.md for the paper-vs-measured comparison of each.
@@ -16,7 +17,7 @@ import pathlib
 import sys
 import time
 
-from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.harness.registry import EXPERIMENTS, run_many
 
 
 def main(argv=None):
@@ -27,6 +28,8 @@ def main(argv=None):
                     help="reduced input sizes")
     ap.add_argument("--csv", metavar="DIR",
                     help="also write one CSV per experiment into DIR")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="run experiments across N worker processes")
     args = ap.parse_args(argv)
 
     names = args.experiments or list(EXPERIMENTS)
@@ -39,11 +42,8 @@ def main(argv=None):
         csv_dir.mkdir(parents=True, exist_ok=True)
 
     t0 = time.time()
-    for name in names:
-        t = time.time()
-        result = run_experiment(name, fast=args.fast)
+    for name, result in zip(names, run_many(names, args.fast, args.jobs)):
         print(result.render())
-        print(f"[{name} regenerated in {time.time() - t:.1f}s host time]\n")
         if csv_dir:
             (csv_dir / f"{name}.csv").write_text(result.to_csv())
     print(f"done: {len(names)} experiments in {time.time() - t0:.1f}s host time")

@@ -2,8 +2,12 @@
 
 Subcommands:
 
-* ``experiments [names...] [--fast] [--csv DIR]`` — regenerate the paper's
-  tables/figures (same engine as ``examples/reproduce_paper.py``);
+* ``experiments [names...] [--fast] [--csv DIR] [--jobs N]`` (alias
+  ``run``) — regenerate the paper's tables/figures (same engine as
+  ``examples/reproduce_paper.py``), optionally across worker processes;
+* ``bench [--quick] [--out FILE] [--compare BASELINE]`` — wall-clock
+  benchmark of the suite with launch-plan cache statistics and the
+  cache-on/cache-off speedup (regression gate for CI);
 * ``report <benchmark> [--size ...]`` — print the programmer-guideline
   report (roofline, bottleneck, vectorization, occupancy) for one of the
   suite's kernels;
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import difflib
+import json
 import pathlib
 import sys
 
@@ -74,7 +79,7 @@ def cmd_list(args) -> int:
 
 
 def cmd_experiments(args) -> int:
-    from .harness.registry import EXPERIMENTS, run_experiment
+    from .harness.registry import EXPERIMENTS, run_many
 
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -83,12 +88,42 @@ def cmd_experiments(args) -> int:
     csv_dir = pathlib.Path(args.csv) if args.csv else None
     if csv_dir:
         csv_dir.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        result = run_experiment(name, fast=args.fast)
+    for name, result in zip(names, run_many(names, args.fast, args.jobs)):
         print(result.render())
         if csv_dir:
             (csv_dir / f"{name}.csv").write_text(result.to_csv())
     return 0
+
+
+def cmd_bench(args) -> int:
+    from .harness import bench as bench_mod
+
+    mode = "quick" if args.quick else "full"
+    run = bench_mod.run_bench(
+        mode,
+        args.names or None,
+        measure_speedup=not args.no_speedup,
+        microbench=not args.names,
+    )
+    ok = True
+    if args.compare:
+        baseline = bench_mod.load_baseline(args.compare)
+        ok = bench_mod.compare(run, baseline, threshold=args.threshold)
+    if args.out:
+        out = pathlib.Path(args.out)
+        doc = None
+        if out.exists():
+            try:
+                doc = bench_mod.load_baseline(out)
+            except (ValueError, OSError):
+                doc = None
+        doc = bench_mod.merge_run(doc, run)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"[bench] wrote {out}")
+    else:
+        print(json.dumps(bench_mod.merge_run(None, run), indent=2,
+                         sort_keys=True))
+    return 0 if ok else 1
 
 
 def cmd_report(args) -> int:
@@ -116,23 +151,41 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _emit_one(name: str, target: str) -> str:
+    """Source text for one benchmark (module-level for worker pickling)."""
+    from .kernelir.codegen import to_opencl_c, to_openmp_c
+
+    kernel = _suite_benchmarks()[name].kernel()
+    return to_opencl_c(kernel) if target == "opencl" else to_openmp_c(kernel)
+
+
 def cmd_emit(args) -> int:
-    from .kernelir.codegen import CodegenError, to_opencl_c, to_openmp_c
+    from .kernelir.codegen import CodegenError
 
     benches = _suite_benchmarks()
-    if args.benchmark not in benches:
-        return _unknown_name_error("benchmark", args.benchmark, benches)
-    kernel = benches[args.benchmark].kernel()
+    unknown = [n for n in args.benchmarks if n not in benches]
+    if unknown:
+        return _unknown_name_error("benchmark", unknown, benches)
     try:
-        src = (
-            to_opencl_c(kernel) if args.target == "opencl"
-            else to_openmp_c(kernel)
-        )
+        if args.jobs > 1 and len(args.benchmarks) > 1:
+            import concurrent.futures
+
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(args.jobs, len(args.benchmarks))
+            ) as pool:
+                futures = [
+                    pool.submit(_emit_one, n, args.target)
+                    for n in args.benchmarks
+                ]
+                sources = [f.result() for f in futures]
+        else:
+            sources = [_emit_one(n, args.target) for n in args.benchmarks]
     except CodegenError as e:
         print(f"cannot emit: {e}", file=sys.stderr)
         return 1
     try:
-        print(src)
+        for src in sources:
+            print(src)
     except BrokenPipeError:  # e.g. `| head`
         pass
     return 0
@@ -192,11 +245,31 @@ def main(argv=None) -> int:
     p_list = sub.add_parser("list", help="list experiments and benchmarks")
     p_list.set_defaults(fn=cmd_list)
 
-    p_exp = sub.add_parser("experiments", help="regenerate tables/figures")
+    p_exp = sub.add_parser("experiments", aliases=["run"],
+                           help="regenerate tables/figures")
     p_exp.add_argument("names", nargs="*")
     p_exp.add_argument("--fast", action="store_true")
     p_exp.add_argument("--csv", metavar="DIR")
+    p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run experiments across N worker processes")
     p_exp.set_defaults(fn=cmd_experiments)
+
+    p_bench = sub.add_parser(
+        "bench", help="wall-clock benchmark with cache statistics"
+    )
+    p_bench.add_argument("names", nargs="*",
+                         help="experiment subset (default: all)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="fast-mode experiments (CI smoke setting)")
+    p_bench.add_argument("--out", metavar="FILE",
+                         help="write/update a schema-1 bench JSON document")
+    p_bench.add_argument("--compare", metavar="BASELINE",
+                         help="compare against a committed baseline JSON")
+    p_bench.add_argument("--threshold", type=float, default=0.30,
+                         help="allowed wall-clock regression (default 0.30)")
+    p_bench.add_argument("--no-speedup", action="store_true",
+                         help="skip the caches-disabled reference run")
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_rep = sub.add_parser("report", help="kernel performance report")
     p_rep.add_argument("benchmark")
@@ -205,11 +278,13 @@ def main(argv=None) -> int:
     p_rep.set_defaults(fn=cmd_report)
 
     p_emit = sub.add_parser(
-        "emit", help="emit a suite kernel as OpenCL C or C+OpenMP source"
+        "emit", help="emit suite kernels as OpenCL C or C+OpenMP source"
     )
-    p_emit.add_argument("benchmark")
+    p_emit.add_argument("benchmarks", nargs="+")
     p_emit.add_argument("--target", choices=("opencl", "openmp"),
                         default="opencl")
+    p_emit.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="emit across N worker processes (same output)")
     p_emit.set_defaults(fn=cmd_emit)
 
     p_lint = sub.add_parser(

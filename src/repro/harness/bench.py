@@ -1,0 +1,201 @@
+"""Wall-clock benchmark harness: ``python -m repro bench``.
+
+Times the experiment suite (host wall-clock, not simulated time), reports
+per-cache-family hit rates, runs a pair of cache-sensitive microbenchmarks,
+and — unless disabled — re-runs the suite with every launch-plan cache
+bypassed to measure the end-to-end caching speedup.
+
+Results serialize to JSON (``BENCH_2.json`` in the repo keeps the committed
+baseline) as ``{"schema": 1, "runs": {mode: run}}`` with one run per mode
+(``full``/``quick``).  :func:`compare` checks a fresh run against the
+committed baseline of the *same* mode and flags wall-clock regressions
+beyond a threshold — the CI bench smoke job fails on that.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .. import plancache
+
+__all__ = ["SCHEMA", "compare", "load_baseline", "merge_run", "run_bench"]
+
+SCHEMA = 1
+
+
+def _time_suite(names: Sequence[str], fast: bool) -> Dict[str, float]:
+    """Wall-clock seconds per experiment (serial, in-process)."""
+    from .registry import run_experiment
+
+    out: Dict[str, float] = {}
+    for name in names:
+        t0 = time.perf_counter()
+        run_experiment(name, fast=fast)
+        out[name] = time.perf_counter() - t0
+    return out
+
+
+def _microbench() -> Dict[str, dict]:
+    """Per-call latency of the two hottest cached paths, hit vs. miss.
+
+    Uses MBench1 (a pure-compute kernel with one launch shape) so numbers
+    reflect cache behaviour rather than data-size effects.
+    """
+    import numpy as np
+
+    from ..minicl.platform import cpu_platform
+    from ..suite import mbench_by_name
+
+    bench = mbench_by_name("MBench1")
+    kernel = bench.kernel()
+    gs = bench.default_global_sizes[0]
+    ls = bench.default_local_size
+    host, scalars = bench.make_data(gs, np.random.default_rng(0))
+    buffer_bytes = {k: int(v.nbytes) for k, v in host.items()}
+
+    model = cpu_platform().devices[0].model
+    rounds = 50
+
+    def per_call_us(fn, n: int) -> float:
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return (time.perf_counter() - t0) / n * 1e6
+
+    def cost():
+        model.kernel_cost(kernel, gs, ls, scalars=scalars,
+                          buffer_bytes=buffer_bytes)
+
+    cost()  # prime
+    hit_us = per_call_us(cost, rounds)
+    with plancache.caching_disabled():
+        miss_us = per_call_us(cost, 5)
+
+    from ..kernelir.interp import Interpreter
+
+    small_gs, small_ls = (4096,), (256,)
+    small_host, small_sc = bench.make_data(small_gs, np.random.default_rng(0))
+
+    def interp():
+        bufs = {k: v.copy() for k, v in small_host.items()}
+        Interpreter().launch(kernel, small_gs, small_ls,
+                             buffers=bufs, scalars=small_sc)
+
+    interp()  # prime the id-grid cache
+    interp_hit_us = per_call_us(interp, 10)
+    with plancache.caching_disabled():
+        interp_miss_us = per_call_us(interp, 10)
+
+    return {
+        "kernel_cost_us": {
+            "cached": round(hit_us, 2),
+            "uncached": round(miss_us, 2),
+            "speedup": round(miss_us / hit_us, 2) if hit_us > 0 else 0.0,
+        },
+        "interp_launch_us": {
+            "cached": round(interp_hit_us, 2),
+            "uncached": round(interp_miss_us, 2),
+            "speedup": (
+                round(interp_miss_us / interp_hit_us, 2)
+                if interp_hit_us > 0 else 0.0
+            ),
+        },
+    }
+
+
+def run_bench(
+    mode: str = "full",
+    experiments: Optional[Sequence[str]] = None,
+    *,
+    measure_speedup: bool = True,
+    microbench: bool = True,
+    log=print,
+) -> dict:
+    """Run the wall-clock benchmark and return one JSON-ready *run* dict."""
+    from .registry import EXPERIMENTS
+
+    fast = mode == "quick"
+    names: List[str] = list(experiments) if experiments else list(EXPERIMENTS)
+
+    plancache.invalidate_all()
+    plancache.reset_stats()
+    log(f"[bench] timing {len(names)} experiment(s), mode={mode}, caches on")
+    timings = _time_suite(names, fast)
+    total = sum(timings.values())
+    stats = plancache.cache_stats()
+    log(f"[bench] cached suite: {total:.2f}s")
+
+    run: dict = {
+        "mode": mode,
+        "experiments": {k: round(v, 4) for k, v in timings.items()},
+        "total_seconds": round(total, 4),
+        "cache_stats": stats,
+    }
+
+    if measure_speedup:
+        plancache.invalidate_all()
+        log("[bench] re-running with caches disabled (REPRO_NO_CACHE mode)")
+        with plancache.caching_disabled():
+            uncached = _time_suite(names, fast)
+        uncached_total = sum(uncached.values())
+        run["uncached_total_seconds"] = round(uncached_total, 4)
+        run["speedup"] = (
+            round(uncached_total / total, 2) if total > 0 else 0.0
+        )
+        log(
+            f"[bench] uncached suite: {uncached_total:.2f}s "
+            f"-> speedup {run['speedup']}x"
+        )
+
+    if microbench:
+        run["microbench"] = _microbench()
+    return run
+
+
+# -- baseline handling --------------------------------------------------------
+
+
+def load_baseline(path) -> dict:
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {doc.get('schema')!r}"
+        )
+    return doc
+
+
+def merge_run(doc: Optional[dict], run: dict) -> dict:
+    """Insert ``run`` into a schema-1 document, replacing its mode's slot."""
+    if not doc:
+        doc = {"schema": SCHEMA, "runs": {}}
+    doc.setdefault("runs", {})[run["mode"]] = run
+    return doc
+
+
+def compare(run: dict, baseline: dict, threshold: float = 0.30,
+            log=print) -> bool:
+    """True if ``run`` is within ``threshold`` of the same-mode baseline.
+
+    A baseline without this mode is a skip (returns True with a notice),
+    so a quick CI run never gets judged against a full-mode number.
+    """
+    base_run = (baseline.get("runs") or {}).get(run["mode"])
+    if base_run is None:
+        log(f"[bench] baseline has no {run['mode']!r} run; comparison skipped")
+        return True
+    base_total = float(base_run["total_seconds"])
+    cur_total = float(run["total_seconds"])
+    limit = base_total * (1.0 + threshold)
+    ratio = cur_total / base_total if base_total > 0 else float("inf")
+    verdict = "OK" if cur_total <= limit else "REGRESSION"
+    log(
+        f"[bench] {run['mode']}: {cur_total:.2f}s vs baseline "
+        f"{base_total:.2f}s ({ratio:.2f}x, limit {1.0 + threshold:.2f}x) "
+        f"-> {verdict}"
+    )
+    if "speedup" in run:
+        log(f"[bench] caching speedup this run: {run['speedup']}x")
+    return cur_total <= limit

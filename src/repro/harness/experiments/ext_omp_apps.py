@@ -37,7 +37,7 @@ from ...suite import (
     all_table2_benchmarks,
 )
 from ..report import ExperimentResult, Series
-from ..runner import cpu_dut, measure_kernel
+from ..runner import bench_data, cpu_dut, measure_kernel
 
 __all__ = ["run", "portable_benchmarks", "unportable_benchmarks"]
 
@@ -87,7 +87,7 @@ def run(fast: bool = False) -> ExperimentResult:
         m = measure_kernel(cpu, bench, gs, bench.default_local_size)
         ocl[bench.name] = n / m.mean_ns  # items per ns
 
-        host, scalars = bench.make_data(gs, np.random.default_rng(5))
+        host, scalars = bench_data(bench, gs)
         r = omp.parallel_for(bench.kernel(), n, buffers=host, scalars=scalars)
         omp_pts[bench.name] = n / r.time_ns
         notes.append(

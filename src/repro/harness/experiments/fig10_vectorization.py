@@ -12,12 +12,10 @@ from __future__ import annotations
 
 from typing import Dict
 
-import numpy as np
-
 from ...openmp import OpenMPRuntime
 from ...suite import MBENCHES, MBench
 from ..report import ExperimentResult, Series
-from ..runner import cpu_dut, make_buffers, measure_kernel
+from ..runner import bench_data, cpu_dut, make_buffers, measure_kernel
 
 __all__ = ["run"]
 
@@ -41,7 +39,7 @@ def run(fast: bool = False) -> ExperimentResult:
         m = measure_kernel(cpu, bench, gs, bench.default_local_size)
         ocl_pts[bench.name] = flops / m.mean_ns
 
-        host, scalars = bench.make_data(gs, np.random.default_rng(3))
+        host, scalars = bench_data(bench, gs)
         r = omp.parallel_for(bench.kernel(), gs[0], buffers=host, scalars=scalars)
         omp_pts[bench.name] = flops / r.time_ns
         notes.append(

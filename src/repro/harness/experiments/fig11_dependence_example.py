@@ -8,14 +8,12 @@ speedup.  ``MBench3`` is exactly this kernel; this experiment surfaces the
 
 from __future__ import annotations
 
-import numpy as np
-
 from ...kernelir.analysis import LaunchContext
 from ...kernelir.vectorize import LoopVectorizer, OpenCLVectorizer, dependence_chain_length
 from ...openmp import OpenMPRuntime
 from ...suite import mbench_by_name, MBench
 from ..report import ExperimentResult, Series
-from ..runner import cpu_dut, measure_kernel
+from ..runner import bench_data, cpu_dut, measure_kernel
 
 __all__ = ["run"]
 
@@ -37,7 +35,7 @@ def run(fast: bool = False) -> ExperimentResult:
     cpu = cpu_dut()
     m = measure_kernel(cpu, bench, (n,), (256,))
     omp = OpenMPRuntime(functional=False, env={"OMP_NUM_THREADS": "12"})
-    host, scalars = bench.make_data((n,), np.random.default_rng(3))
+    host, scalars = bench_data(bench, (n,))
     r = omp.parallel_for(kernel, n, buffers=host, scalars=scalars)
 
     flops = bench.flops_per_item * n * 1.0

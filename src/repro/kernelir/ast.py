@@ -14,6 +14,7 @@ counterparts").
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Iterator, Optional, Sequence, Tuple, Union
 
 from .types import (
@@ -687,6 +688,34 @@ class Kernel:
     def local_mem_bytes(self) -> int:
         """Per-workgroup __local memory usage in bytes."""
         return sum(a.nbytes for a in self.local_arrays)
+
+    def fingerprint(self) -> str:
+        """Stable structural identity of this kernel, for launch-plan caches.
+
+        Two kernels built independently from the same IR (the harness
+        factories rebuild kernel objects per call) share a fingerprint, so
+        caches keyed on it hit across rebuilds.  Computed once and memoized;
+        kernels must not be mutated after first use (the builder finishes
+        construction before any launch).
+        """
+        fp = self.__dict__.get("_fingerprint")
+        if fp is None:
+            h = hashlib.sha1()
+            sig = (
+                self.name,
+                self.work_dim,
+                tuple(self.suppressions),
+                tuple(
+                    (p.name, str(p.dtype), getattr(p, "access", None))
+                    for p in self.params
+                ),
+                tuple((a.name, str(a.dtype), a.size) for a in self.local_arrays),
+            )
+            h.update(repr(sig).encode())
+            h.update(self.pretty().encode())
+            fp = h.hexdigest()
+            self.__dict__["_fingerprint"] = fp
+        return fp
 
     @property
     def uses_barrier(self) -> bool:

@@ -25,9 +25,52 @@ import numpy as np
 from scipy import special as _sp_special
 
 from . import ast as ir
+from ..plancache import LaunchPlanCache
 from .types import BOOL, DType
 
 __all__ = ["Interpreter", "LaunchResult", "DynamicCounters", "KernelExecutionError"]
+
+#: Memoized id-grid vectors.  The ``get_global_id``/``get_local_id``/
+#: ``get_group_id`` lane vectors and the linear group index are pure
+#: functions of the launch shape, recomputed with arange/div/mod on every
+#: functional launch; the figure sweeps and tests reuse a handful of shapes
+#: over and over.  Cached arrays are marked read-only — the interpreter
+#: never mutates them in place.
+_GRID_CACHE = LaunchPlanCache("interp.id_grids", maxsize=64)
+
+
+def _id_grids(gsize, lsize, goffset):
+    """(ids dict, group_linear) for one launch shape (cached, read-only)."""
+    key = (gsize, lsize, goffset)
+    cached = _GRID_CACHE.get(key)
+    if cached is not None:
+        return cached
+    n = int(np.prod(gsize))
+    ngroups = tuple(g // l for g, l in zip(gsize, lsize))
+    flat = np.arange(n, dtype=np.int64)
+    ids: Dict[Tuple[str, int], np.ndarray] = {}
+    stride = 1
+    for d, g in enumerate(gsize):
+        gid = (flat // stride) % g
+        # get_global_id includes the launch's global work offset;
+        # local/group ids do not (OpenCL 1.1 semantics)
+        ids[("g", d)] = gid + goffset[d]
+        ids[("l", d)] = gid % lsize[d]
+        ids[("grp", d)] = gid // lsize[d]
+        stride *= g
+
+    glin = np.zeros(n, dtype=np.int64)
+    gstride = 1
+    for d in range(len(gsize)):
+        glin += ids[("grp", d)] * gstride
+        gstride *= ngroups[d]
+
+    for a in ids.values():
+        a.setflags(write=False)
+    glin.setflags(write=False)
+    value = (ids, glin)
+    _GRID_CACHE.put(key, value)
+    return value
 
 
 class KernelExecutionError(RuntimeError):
@@ -149,26 +192,8 @@ class _Frame:
         self.counters = counters
         self.readonly = frozenset(readonly or ())
         self.writeonly = frozenset(writeonly or ())
-        goffset = goffset or (0,) * len(gsize)
-
-        flat = np.arange(self.n, dtype=np.int64)
-        self.ids: Dict[Tuple[str, int], np.ndarray] = {}
-        stride = 1
-        for d, g in enumerate(gsize):
-            gid = (flat // stride) % g
-            # get_global_id includes the launch's global work offset;
-            # local/group ids do not (OpenCL 1.1 semantics)
-            self.ids[("g", d)] = gid + goffset[d]
-            self.ids[("l", d)] = gid % lsize[d]
-            self.ids[("grp", d)] = gid // lsize[d]
-            stride *= g
-
-        glin = np.zeros(self.n, dtype=np.int64)
-        gstride = 1
-        for d in range(len(gsize)):
-            glin += self.ids[("grp", d)] * gstride
-            gstride *= self.ngroups[d]
-        self.group_linear = glin
+        goffset = tuple(goffset) if goffset else (0,) * len(gsize)
+        self.ids, self.group_linear = _id_grids(gsize, lsize, goffset)
 
         nwg = int(np.prod(self.ngroups))
         self.locals: Dict[str, np.ndarray] = {
@@ -273,23 +298,26 @@ class Interpreter:
 
     def _exec_stmt(self, stmt, frame: _Frame, mask: np.ndarray) -> None:
         if isinstance(stmt, ir.Assign):
-            val = self._eval(stmt.value, frame, mask)
-            val = np.broadcast_to(np.asarray(val), (frame.n,))
+            val = np.asarray(self._eval(stmt.value, frame, mask))
+            if val.shape != (frame.n,):
+                val = np.broadcast_to(val, (frame.n,))
             old = frame.env.get(stmt.name)
-            if old is None or np.isscalar(old) or np.ndim(old) == 0:
-                if old is None:
-                    frame.env[stmt.name] = np.array(val, copy=True)
-                    if not mask.all():
-                        # undefined lanes keep zero-init; harmless, they are
-                        # masked out for all observable effects.
-                        frame.env[stmt.name] = np.where(mask, val, 0).astype(
-                            val.dtype, copy=False
-                        )
-                else:
-                    old_full = np.broadcast_to(np.asarray(old), (frame.n,))
-                    frame.env[stmt.name] = np.where(mask, val, old_full)
+            if mask.all():
+                # all lanes active: alias the evaluated vector directly —
+                # env entries are never mutated in place, so the defensive
+                # copy the masked path needs is pure overhead here.
+                frame.env[stmt.name] = val
+            elif old is None:
+                # undefined lanes keep zero-init; harmless, they are
+                # masked out for all observable effects.
+                frame.env[stmt.name] = np.where(mask, val, 0).astype(
+                    val.dtype, copy=False
+                )
             else:
-                frame.env[stmt.name] = np.where(mask, val, old)
+                old_full = np.asarray(old)
+                if old_full.shape != (frame.n,):
+                    old_full = np.broadcast_to(old_full, (frame.n,))
+                frame.env[stmt.name] = np.where(mask, val, old_full)
         elif isinstance(stmt, ir.Store):
             self._store_global(stmt, frame, mask)
         elif isinstance(stmt, ir.AtomicAdd):

@@ -20,6 +20,7 @@ import numpy as np
 from ..kernelir.analysis import LaunchContext
 from ..kernelir.interp import Interpreter, KernelExecutionError
 from ..kernelir.verify import verify_launch
+from ..plancache import LaunchPlanCache
 from .buffer import Buffer
 from .constants import command_type, map_flags, mem_flags
 from .context import Context
@@ -36,6 +37,12 @@ from .event import Event
 from .program import CLKernel
 
 __all__ = ["CommandQueue"]
+
+#: Memoized static-verifier reports.  A verify result is a pure function of
+#: the kernel, launch shape, scalars, buffer sizes and buffer flags, so with
+#: ``REPRO_VERIFY=1`` repeated enqueues of an identical launch shape (the
+#: harness's ``repeat_to_target`` loop) stop re-verifying.
+_VERIFY_CACHE = LaunchPlanCache("minicl.verify", maxsize=2048)
 
 
 class CommandQueue:
@@ -176,15 +183,29 @@ class CommandQueue:
                        else "w" if not b.kernel_readable else "rw")
                 for name, b in buffers.items()
             }
-            report = verify_launch(
-                kernel.kernel,
-                LaunchContext(
-                    gsize, resolved_lsize,
-                    scalars={k: float(v) for k, v in scalars.items()},
-                ),
-                buffer_sizes={name: b.array.shape[0] for name, b in buffers.items()},
-                buffer_flags=flags,
+            buffer_sizes = {
+                name: len(b) for name, b in buffers.items()
+            }
+            vkey = (
+                kernel.kernel.fingerprint(),
+                gsize,
+                resolved_lsize,
+                tuple(sorted((k, float(v)) for k, v in scalars.items())),
+                tuple(sorted(buffer_sizes.items())),
+                tuple(sorted(flags.items())),
             )
+            report = _VERIFY_CACHE.get(vkey)
+            if report is None:
+                report = verify_launch(
+                    kernel.kernel,
+                    LaunchContext(
+                        gsize, resolved_lsize,
+                        scalars={k: float(v) for k, v in scalars.items()},
+                    ),
+                    buffer_sizes=buffer_sizes,
+                    buffer_flags=flags,
+                )
+                _VERIFY_CACHE.put(vkey, report)
             self.last_verify_report = report
             if report.errors:
                 raise KernelVerificationError(
@@ -316,7 +337,9 @@ class CommandQueue:
                 moved, "map", "h2d", pinned=True
             ).total_ns
         else:
-            cost_ns = 200.0  # release the mapping: bookkeeping only
+            # release the mapping: bookkeeping only; the device spec owns
+            # the constant (see CPUSpec/GPUSpec.unmap_overhead_ns)
+            cost_ns = self.device.model.spec.unmap_overhead_ns
         return self._complete(
             command_type.UNMAP_MEM_OBJECT, cost_ns, {"bytes": moved}
         )

@@ -1,0 +1,226 @@
+"""Launch-plan caching: memoize per-launch compilation work across enqueues.
+
+Real OpenCL CPU runtimes win performance exactly this way: pocl caches the
+compiled work-group function of a kernel and reuses it for every later
+``clEnqueueNDRangeKernel`` with the same launch shape, and Intel's runtime
+keeps built program binaries around per context.  Our simulator used to
+re-run the full static analysis + vectorizer pipeline on *every* enqueue,
+even though ``repeat_to_target`` and the figure sweeps issue the same launch
+dozens of times.
+
+This module provides the one cache primitive every layer shares:
+
+* :class:`LaunchPlanCache` — a small LRU mapping an immutable *launch key*
+  (kernel fingerprint, NDRange shape, analysis-relevant scalars, buffer
+  sizes) to the computed plan, with hit/miss counters and an explicit
+  invalidation path;
+* a process-wide stats registry, so ``python -m repro bench`` can report
+  hit rates per cache family even when many short-lived model instances
+  each own their own cache;
+* a global kill switch — ``REPRO_NO_CACHE=1`` in the environment or the
+  :func:`caching_disabled` context manager — used by the benchmark harness
+  to measure the cache-off baseline and by tests to prove cache-on and
+  cache-off agree bit-for-bit.
+
+Cached values are treated as immutable by every consumer: device models
+return the same ``KernelCost`` object for repeated identical launches, and
+the interpreter marks cached id-grid arrays read-only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import weakref
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, Optional
+
+__all__ = [
+    "LaunchPlanCache",
+    "cache_stats",
+    "caching_disabled",
+    "caching_enabled",
+    "invalidate_all",
+    "reset_stats",
+    "set_caching",
+]
+
+#: process-wide switch flipped by :func:`set_caching` / :func:`caching_disabled`
+_enabled: bool = True
+
+#: aggregate hit/miss counters per cache *name* (survive instance turnover)
+_STATS: Dict[str, Dict[str, int]] = {}
+
+#: live cache instances (weakly held), for :func:`invalidate_all`
+_INSTANCES: "weakref.WeakSet[LaunchPlanCache]" = weakref.WeakSet()
+
+
+def caching_enabled() -> bool:
+    """True unless disabled via :func:`set_caching` or ``REPRO_NO_CACHE=1``."""
+    if not _enabled:
+        return False
+    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")
+
+
+def set_caching(on: bool) -> None:
+    """Globally enable/disable every :class:`LaunchPlanCache` lookup."""
+    global _enabled
+    _enabled = bool(on)
+
+
+@contextlib.contextmanager
+def caching_disabled() -> Iterator[None]:
+    """Run a block with all launch-plan caches bypassed (miss on every
+    lookup, no insertion) — the measurement mode of ``repro bench`` and the
+    cache-on/cache-off equivalence tests."""
+    global _enabled
+    prev = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = prev
+
+
+class LaunchPlanCache:
+    """LRU cache with per-family aggregate statistics.
+
+    Keys must be hashable and fully describe the cached computation (the
+    caller is responsible for including every input that can change the
+    value).  ``None`` is not a legal value (it signals a miss).
+
+    ``maxsize`` bounds the entry count; ``max_weight`` together with a
+    ``weigher`` (value -> cost, e.g. nbytes) bounds total retained weight —
+    used by the harness data cache so large host arrays cannot accumulate
+    without limit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        maxsize: Optional[int] = 1024,
+        *,
+        max_weight: Optional[int] = None,
+        weigher: Optional[Callable[[object], int]] = None,
+    ):
+        self.name = name
+        self.maxsize = maxsize
+        self.max_weight = max_weight
+        self.weigher = weigher
+        self._data: "OrderedDict[object, object]" = OrderedDict()
+        self._weight = 0
+        self.hits = 0
+        self.misses = 0
+        _STATS.setdefault(name, {"hits": 0, "misses": 0})
+        _INSTANCES.add(self)
+
+    # -- core -----------------------------------------------------------------
+    def get(self, key):
+        """Return the cached value or ``None``; counts a hit or a miss."""
+        if not caching_enabled():
+            self._miss()
+            return None
+        try:
+            value = self._data[key]
+        except (KeyError, TypeError):
+            # TypeError: unhashable key — treated as a permanent miss
+            self._miss()
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        _STATS[self.name]["hits"] += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert (no-op while caching is disabled)."""
+        if not caching_enabled() or value is None:
+            return
+        try:
+            hash(key)
+        except TypeError:
+            return
+        if key in self._data:
+            self._weight -= self._weigh(self._data[key])
+        self._data[key] = value
+        self._data.move_to_end(key)
+        self._weight += self._weigh(value)
+        self._evict()
+
+    def invalidate(self, key=None) -> None:
+        """Drop one entry (or everything) — e.g. after a spec/model change."""
+        if key is None:
+            self._data.clear()
+            self._weight = 0
+        else:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self._weight -= self._weigh(old)
+
+    # -- bookkeeping ----------------------------------------------------------
+    def _miss(self) -> None:
+        self.misses += 1
+        _STATS[self.name]["misses"] += 1
+
+    def _weigh(self, value) -> int:
+        return self.weigher(value) if self.weigher is not None else 0
+
+    def _evict(self) -> None:
+        while self.maxsize is not None and len(self._data) > self.maxsize:
+            _, old = self._data.popitem(last=False)
+            self._weight -= self._weigh(old)
+        if self.max_weight is not None:
+            while self._weight > self.max_weight and len(self._data) > 1:
+                _, old = self._data.popitem(last=False)
+                self._weight -= self._weigh(old)
+
+    # -- introspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    @property
+    def hit_rate(self) -> float:
+        n = self.hits + self.misses
+        return self.hits / n if n else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "entries": len(self._data),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<LaunchPlanCache {self.name!r} {len(self._data)} entries "
+            f"{self.hits}h/{self.misses}m>"
+        )
+
+
+def cache_stats() -> Dict[str, dict]:
+    """Aggregate hit/miss counters per cache family (process-wide)."""
+    out = {}
+    for name, c in sorted(_STATS.items()):
+        total = c["hits"] + c["misses"]
+        out[name] = {
+            "hits": c["hits"],
+            "misses": c["misses"],
+            "hit_rate": round(c["hits"] / total, 4) if total else 0.0,
+        }
+    return out
+
+
+def reset_stats() -> None:
+    """Zero the aggregate counters (per-instance counters keep running)."""
+    for c in _STATS.values():
+        c["hits"] = 0
+        c["misses"] = 0
+
+
+def invalidate_all() -> None:
+    """Empty every live cache instance (counters are kept)."""
+    for cache in list(_INSTANCES):
+        cache.invalidate()

@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..kernelir.analysis import KernelAnalysis, LaunchContext, LatencyTable, analyze_kernel
 from ..kernelir.ast import Kernel
 from ..kernelir.vectorize import OpenCLVectorizer, VectorizationReport
+from ..plancache import LaunchPlanCache
 from .cachemodel import MemoryCostModel
 from .core import CoreModel, ItemCost
 from .scheduler import ScheduleResult, WorkgroupScheduler, default_local_size
@@ -85,6 +86,10 @@ class CPUDeviceModel:
         self.core_model = CoreModel(spec)
         self.scheduler = WorkgroupScheduler(spec)
         self.vectorizer = OpenCLVectorizer(spec.simd_width_f32)
+        #: memoized launch plans: repeated enqueues of the same (kernel,
+        #: NDRange, scalars, buffer sizes) skip re-analysis + re-vectorization
+        #: — the pocl-style compiled-work-group-function cache.
+        self.plan_cache = LaunchPlanCache("cpu.kernel_cost", maxsize=4096)
 
     # -- NDRange policy ------------------------------------------------------
     def choose_local_size(
@@ -109,9 +114,27 @@ class CPUDeviceModel:
         scalars: Optional[Dict[str, float]] = None,
         buffer_bytes: Optional[Dict[str, int]] = None,
     ) -> KernelCost:
-        """Virtual time to execute one NDRange launch."""
+        """Virtual time to execute one NDRange launch.
+
+        Results are memoized in :attr:`plan_cache`; the key covers every
+        input the plan depends on (buffer *contents* are deliberately
+        excluded — cost is a function of shape, not data).  Call
+        :meth:`invalidate_plans` after mutating model knobs in place.
+        """
         gs = tuple(int(g) for g in global_size)
         ls = self.choose_local_size(gs, local_size)
+        key = (
+            kernel.fingerprint(),
+            gs,
+            ls,
+            tuple(sorted((k, float(v)) for k, v in (scalars or {}).items())),
+            tuple(sorted((buffer_bytes or {}).items())),
+            self.vectorize_kernels,
+            self.workitem_serialization,
+        )
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            return cached
         ctx = LaunchContext(gs, ls, dict(scalars or {}), self.latencies)
         analysis = analyze_kernel(kernel, ctx)
 
@@ -138,7 +161,7 @@ class CPUDeviceModel:
             self.spec.cycles_to_ns(sched.makespan_cycles)
             + self.spec.kernel_launch_overhead_ns
         )
-        return KernelCost(
+        cost = KernelCost(
             total_ns=total_ns,
             item=item,
             schedule=sched,
@@ -146,6 +169,12 @@ class CPUDeviceModel:
             vectorization=vec,
             local_size=ls,
         )
+        self.plan_cache.put(key, cost)
+        return cost
+
+    def invalidate_plans(self) -> None:
+        """Drop every memoized launch plan (after in-place model changes)."""
+        self.plan_cache.invalidate()
 
     # -- transfer timing -----------------------------------------------------
     def transfer_cost(self, nbytes: int, api: str, direction: str = "h2d",

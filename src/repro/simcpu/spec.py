@@ -64,6 +64,9 @@ class CPUSpec:
     copy_api_overhead_ns: float = 8_000.0
     #: fixed cost of clEnqueueMapBuffer: return a pointer, no data movement
     map_api_overhead_ns: float = 1_500.0
+    #: fixed cost of clEnqueueUnmapMemObject: release the mapping, no data
+    #: movement on the shared-DRAM device
+    unmap_overhead_ns: float = 200.0
 
     # -- derived ------------------------------------------------------------
     @property

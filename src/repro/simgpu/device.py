@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..kernelir.analysis import KernelAnalysis, LaunchContext, LatencyTable, analyze_kernel
 from ..kernelir.ast import Kernel
+from ..plancache import LaunchPlanCache
 from .occupancy import Occupancy, compute_occupancy
 from .sm import SMCost, SMModel
 from .spec import GPUSpec, GTX580
@@ -57,6 +58,8 @@ class GPUDeviceModel:
         self.spec = spec
         self.latencies = latencies or LatencyTable()
         self.sm_model = SMModel(spec)
+        #: memoized launch plans (see :mod:`repro.plancache`)
+        self.plan_cache = LaunchPlanCache("gpu.kernel_cost", maxsize=4096)
 
     # -- NDRange policy -----------------------------------------------------
     def choose_local_size(
@@ -84,6 +87,16 @@ class GPUDeviceModel:
     ) -> GPUKernelCost:
         gs = tuple(int(g) for g in global_size)
         ls = self.choose_local_size(gs, local_size)
+        key = (
+            kernel.fingerprint(),
+            gs,
+            ls,
+            tuple(sorted((k, float(v)) for k, v in (scalars or {}).items())),
+            tuple(sorted((buffer_bytes or {}).items())),
+        )
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            return cached
         ctx = LaunchContext(gs, ls, dict(scalars or {}), self.latencies)
         analysis = analyze_kernel(kernel, ctx)
 
@@ -113,7 +126,7 @@ class GPUDeviceModel:
             + self.spec.kernel_launch_overhead_ns
             + total_wgs * self.spec.workgroup_dispatch_ns / self.spec.num_sms
         )
-        return GPUKernelCost(
+        cost = GPUKernelCost(
             total_ns=total_ns,
             sm_cost=smc,
             occupancy=occ,
@@ -121,6 +134,12 @@ class GPUDeviceModel:
             analysis=analysis,
             local_size=ls,
         )
+        self.plan_cache.put(key, cost)
+        return cost
+
+    def invalidate_plans(self) -> None:
+        """Drop every memoized launch plan (after in-place model changes)."""
+        self.plan_cache.invalidate()
 
     # -- transfers --------------------------------------------------------------
     def transfer_cost(self, nbytes: int, api: str, direction: str = "h2d",

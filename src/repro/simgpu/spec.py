@@ -39,6 +39,8 @@ class GPUSpec:
     # runtime costs
     kernel_launch_overhead_ns: float = 5_000.0
     workgroup_dispatch_ns: float = 50.0  # hardware scheduler: ~negligible
+    #: clEnqueueUnmapMemObject bookkeeping when no writeback crosses PCIe
+    unmap_overhead_ns: float = 200.0
 
     # PCIe link (discrete device: host<->device crossings are real)
     pcie_latency_ns: float = 10_000.0

@@ -94,6 +94,16 @@ class Benchmark(abc.ABC):
         """Expected contents of the output buffers after one launch."""
 
     # -- provided ------------------------------------------------------------
+    def cache_token(self) -> Tuple:
+        """Extra identity for harness-level caches.
+
+        Subclasses whose kernel IR or generated data depend on constructor
+        parameters not reflected in :attr:`name` (e.g. a tile size) must
+        return those parameters here, or distinct instances would share
+        cached plans.
+        """
+        return ()
+
     def scalars_for(self, coalesce: int) -> Dict[str, object]:
         """Extra scalar args the coalesced kernel variant needs."""
         return {"n_per": coalesce} if coalesce > 1 else {}
@@ -152,6 +162,7 @@ class Benchmark(abc.ABC):
         coalesce: int = 1,
         local_size: Optional[Sequence[int]] = None,
         rng: Optional[np.random.Generator] = None,
+        data: Optional[Tuple[Dict[str, np.ndarray], Dict[str, object]]] = None,
     ):
         """Run the static kernel verifier at this benchmark's launch shape.
 
@@ -159,15 +170,23 @@ class Benchmark(abc.ABC):
         how the harness allocates buffers (``access="r"`` params become
         ``mem_flags.READ_ONLY``, ``"w"`` becomes ``WRITE_ONLY``).  Returns
         a :class:`repro.kernelir.verify.VerifyReport`.
+
+        ``data`` supplies precomputed ``(buffers, scalars)`` so callers that
+        already hold this launch's inputs (the harness keeps them cached)
+        don't regenerate them just for the sizes; only shapes and scalar
+        values are read.
         """
         from ..kernelir.analysis import LaunchContext
         from ..kernelir.verify import verify_launch
 
-        rng = rng or np.random.default_rng(0)
         gs = tuple(
             int(g) for g in (global_size or self.default_global_sizes[0])
         )
-        buffers, scalars = self.make_data(gs, rng)
+        if data is not None:
+            buffers, scalars = data
+        else:
+            rng = rng or np.random.default_rng(0)
+            buffers, scalars = self.make_data(gs, rng)
         scalars = {**scalars, **self.scalars_for(coalesce)}
         launch_gs = scale_global_size(gs, coalesce)
         kernel = self.kernel(coalesce)

@@ -99,6 +99,9 @@ class IlpMicroBenchmark(Benchmark):
         self.name = f"ILP-{ilp}"
         self.default_global_sizes = ((n,),)
 
+    def cache_token(self):
+        return (self.total_ops,)
+
     def kernel(self, coalesce: int = 1) -> Kernel:
         if coalesce != 1:
             raise ValueError("the ILP family does not support coalescing")

@@ -67,6 +67,11 @@ class MBench(Benchmark):
         #: ground truth for the vectorizer tests
         self.omp_should_vectorize = omp_should_vectorize
 
+    def cache_token(self):
+        # instances are built from free functions; two MBenches with the
+        # same display name but different builders must not share plans
+        return (self._build.__module__, self._build.__qualname__)
+
     def kernel(self, coalesce: int = 1) -> Kernel:
         if coalesce != 1:
             raise ValueError("MBench kernels do not support coalescing")

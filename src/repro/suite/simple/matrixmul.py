@@ -122,6 +122,10 @@ class MatrixMulBenchmark(_MatMulBase):
         self.block = block
         self.default_local_size = (block, block)
 
+    def cache_token(self):
+        # the tile size changes both the kernel IR and the data shapes
+        return (self.block,)
+
     def inner_dim(self, global_size: Sequence[int]) -> int:
         K = super().inner_dim(global_size)
         # blocked kernel needs K to be a multiple of the tile edge

@@ -1,0 +1,84 @@
+"""Tests for the wall-clock bench harness and the parallel runner."""
+
+import json
+
+import pytest
+
+from repro.harness import bench as bench_mod
+from repro.harness.registry import run_many
+
+
+def _quiet(*args, **kwargs):
+    pass
+
+
+class TestRunBench:
+    def test_run_structure_and_speedup_fields(self):
+        run = bench_mod.run_bench(
+            "quick", ["table1", "fig11"], microbench=False, log=_quiet
+        )
+        assert run["mode"] == "quick"
+        assert set(run["experiments"]) == {"table1", "fig11"}
+        assert run["total_seconds"] > 0
+        assert run["uncached_total_seconds"] > 0
+        assert run["speedup"] > 0
+        assert "cpu.kernel_cost" in run["cache_stats"]
+
+    def test_no_speedup_skips_reference_run(self):
+        run = bench_mod.run_bench(
+            "quick", ["table1"], measure_speedup=False, microbench=False,
+            log=_quiet,
+        )
+        assert "uncached_total_seconds" not in run
+        assert "speedup" not in run
+
+
+class TestBaseline:
+    def _run(self, mode="quick", total=1.0):
+        return {"mode": mode, "experiments": {}, "total_seconds": total,
+                "cache_stats": {}}
+
+    def test_merge_and_load_roundtrip(self, tmp_path):
+        doc = bench_mod.merge_run(None, self._run("quick", 1.5))
+        doc = bench_mod.merge_run(doc, self._run("full", 9.0))
+        assert set(doc["runs"]) == {"quick", "full"}
+        p = tmp_path / "bench.json"
+        p.write_text(json.dumps(doc))
+        loaded = bench_mod.load_baseline(p)
+        assert loaded["runs"]["full"]["total_seconds"] == 9.0
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": 99, "runs": {}}))
+        with pytest.raises(ValueError):
+            bench_mod.load_baseline(p)
+
+    def test_compare_within_threshold_passes(self):
+        base = bench_mod.merge_run(None, self._run(total=1.0))
+        assert bench_mod.compare(self._run(total=1.2), base,
+                                 threshold=0.30, log=_quiet)
+
+    def test_compare_regression_fails(self):
+        base = bench_mod.merge_run(None, self._run(total=1.0))
+        assert not bench_mod.compare(self._run(total=1.4), base,
+                                     threshold=0.30, log=_quiet)
+
+    def test_compare_missing_mode_skips(self):
+        base = bench_mod.merge_run(None, self._run("full", 1.0))
+        assert bench_mod.compare(self._run("quick", 100.0), base,
+                                 threshold=0.30, log=_quiet)
+
+
+class TestParallelRunner:
+    def test_jobs_matches_serial(self):
+        names = ["table1", "fig11"]
+        serial = run_many(names, fast=True, jobs=1)
+        parallel = run_many(names, fast=True, jobs=2)
+        assert [r.experiment_id for r in parallel] == \
+               [r.experiment_id for r in serial]
+        assert [r.to_csv() for r in parallel] == \
+               [r.to_csv() for r in serial]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_many(["nope"], fast=True)

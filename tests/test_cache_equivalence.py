@@ -1,0 +1,254 @@
+"""Caching must be invisible: same costs, same results, fewer recomputes.
+
+These are the tentpole's correctness guarantees — launch-plan caching in
+the device models, verify-result caching in the queue, and the harness
+caches may change wall-clock time only, never any simulated number.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import minicl as cl
+from repro import plancache
+from repro.plancache import caching_disabled, set_caching
+from repro.simcpu.spec import XEON_E5645
+from repro.simgpu.spec import GTX580
+from repro.suite import SquareBenchmark, VectorAddBenchmark, mbench_by_name
+
+
+@pytest.fixture(autouse=True)
+def _caching_on():
+    set_caching(True)
+    yield
+    set_caching(True)
+
+
+def _cost_inputs(bench, gs):
+    host, scalars = bench.make_data(gs, np.random.default_rng(0))
+    return (
+        bench.kernel(),
+        {k: float(v) for k, v in scalars.items()},
+        {k: int(v.nbytes) for k, v in host.items()},
+    )
+
+
+class TestDeviceModelCache:
+    def test_repeat_launch_returns_cached_cost_object(self):
+        model = cl.cpu_platform().devices[0].model
+        kernel, scalars, nbytes = _cost_inputs(SquareBenchmark(), (4096,))
+        c1 = model.kernel_cost(kernel, (4096,), (256,), scalars=scalars,
+                               buffer_bytes=nbytes)
+        c2 = model.kernel_cost(kernel, (4096,), (256,), scalars=scalars,
+                               buffer_bytes=nbytes)
+        assert c2 is c1
+        assert model.plan_cache.hits >= 1
+
+    def test_distinct_shapes_get_distinct_entries(self):
+        model = cl.cpu_platform().devices[0].model
+        kernel, scalars, nbytes = _cost_inputs(SquareBenchmark(), (4096,))
+        model.kernel_cost(kernel, (4096,), (256,), scalars=scalars,
+                          buffer_bytes=nbytes)
+        model.kernel_cost(kernel, (4096,), (128,), scalars=scalars,
+                          buffer_bytes=nbytes)
+        model.kernel_cost(kernel, (8192,), (256,), scalars=scalars,
+                          buffer_bytes=nbytes)
+        assert len(model.plan_cache) == 3
+
+    def test_distinct_scalars_get_distinct_costs(self):
+        bench = mbench_by_name("MBench2")  # has an `alpha` scalar
+        model = cl.cpu_platform().devices[0].model
+        kernel, _, nbytes = _cost_inputs(bench, (4096,))
+        model.kernel_cost(kernel, (4096,), (256,), scalars={"alpha": 0.5},
+                          buffer_bytes=nbytes)
+        model.kernel_cost(kernel, (4096,), (256,), scalars={"alpha": 0.75},
+                          buffer_bytes=nbytes)
+        assert len(model.plan_cache) == 2
+
+    def test_buffer_content_mutation_still_hits(self):
+        """Cost is a function of shape, not data: new arrays with the same
+        sizes must reuse the plan."""
+        bench = SquareBenchmark()
+        model = cl.cpu_platform().devices[0].model
+        kernel = bench.kernel()
+        h1, s1 = bench.make_data((4096,), np.random.default_rng(1))
+        h2, s2 = bench.make_data((4096,), np.random.default_rng(2))
+        c1 = model.kernel_cost(kernel, (4096,), (256,),
+                               scalars={k: float(v) for k, v in s1.items()},
+                               buffer_bytes={k: v.nbytes for k, v in h1.items()})
+        c2 = model.kernel_cost(kernel, (4096,), (256,),
+                               scalars={k: float(v) for k, v in s2.items()},
+                               buffer_bytes={k: v.nbytes for k, v in h2.items()})
+        assert c2 is c1
+
+    def test_rebuilt_kernel_ir_hits_via_fingerprint(self):
+        """Two factory builds of the same kernel share one plan."""
+        bench = SquareBenchmark()
+        model = cl.cpu_platform().devices[0].model
+        _, scalars, nbytes = _cost_inputs(bench, (4096,))
+        c1 = model.kernel_cost(bench.kernel(), (4096,), (256,),
+                               scalars=scalars, buffer_bytes=nbytes)
+        c2 = model.kernel_cost(bench.kernel(), (4096,), (256,),
+                               scalars=scalars, buffer_bytes=nbytes)
+        assert c2 is c1
+
+    def test_invalidate_plans(self):
+        model = cl.cpu_platform().devices[0].model
+        kernel, scalars, nbytes = _cost_inputs(SquareBenchmark(), (4096,))
+        model.kernel_cost(kernel, (4096,), (256,), scalars=scalars,
+                          buffer_bytes=nbytes)
+        assert len(model.plan_cache) == 1
+        model.invalidate_plans()
+        assert len(model.plan_cache) == 0
+
+    @pytest.mark.parametrize("platform", [cl.cpu_platform, cl.gpu_platform])
+    def test_cache_on_off_total_ns_identical(self, platform):
+        bench = SquareBenchmark()
+        kernel, scalars, nbytes = _cost_inputs(bench, (4096,))
+
+        def total():
+            model = platform().devices[0].model
+            a = model.kernel_cost(kernel, (4096,), (256,), scalars=scalars,
+                                  buffer_bytes=nbytes)
+            b = model.kernel_cost(kernel, (4096,), (256,), scalars=scalars,
+                                  buffer_bytes=nbytes)
+            return a.total_ns, b.total_ns
+
+        on = total()
+        with caching_disabled():
+            off = total()
+        assert on == off
+
+
+class TestQueueAndFunctionalEquivalence:
+    def _run_functional(self, bench, gs, ls):
+        ctx = cl.Context(cl.cpu_platform().devices)
+        queue = ctx.create_command_queue(functional=True)
+        host, scalars = bench.make_data(gs, np.random.default_rng(7))
+        program = ctx.create_program(bench.kernel()).build()
+        k = program.create_kernel(bench.kernel().name)
+        buffers = {
+            name: ctx.create_buffer(
+                cl.mem_flags.READ_WRITE | cl.mem_flags.COPY_HOST_PTR,
+                hostbuf=arr,
+            )
+            for name, arr in host.items()
+        }
+        k.set_args(*[
+            buffers[p.name] if p.name in buffers else scalars[p.name]
+            for p in k.kernel.params
+        ])
+        ev = queue.enqueue_nd_range_kernel(k, gs, ls)
+        out = {
+            name: np.empty_like(arr) for name, arr in host.items()
+        }
+        for name, b in buffers.items():
+            queue.enqueue_read_buffer(b, out[name])
+        return out, ev.duration_ns
+
+    @pytest.mark.parametrize("bench_cls", [SquareBenchmark, VectorAddBenchmark])
+    def test_functional_results_and_timing_identical(self, bench_cls):
+        bench = bench_cls()
+        gs, ls = (2048,), (256,)
+        on_out, on_ns = self._run_functional(bench, gs, ls)
+        # run twice cached so the second launch exercises the hit path
+        on_out2, on_ns2 = self._run_functional(bench, gs, ls)
+        with caching_disabled():
+            off_out, off_ns = self._run_functional(bench, gs, ls)
+        assert on_ns == on_ns2 == off_ns
+        for name in on_out:
+            np.testing.assert_array_equal(on_out[name], off_out[name])
+            np.testing.assert_array_equal(on_out[name], on_out2[name])
+
+    def test_verify_cache_hits_under_repro_verify(self, monkeypatch):
+        from repro.minicl import queue as queue_mod
+
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        bench = SquareBenchmark()
+        ctx = cl.Context(cl.cpu_platform().devices)
+        q = ctx.create_command_queue()
+        host, scalars = bench.make_data((2048,), np.random.default_rng(0))
+        program = ctx.create_program(bench.kernel()).build()
+        k = program.create_kernel(bench.kernel().name)
+        buffers = {
+            name: ctx.create_buffer(
+                cl.mem_flags.READ_WRITE | cl.mem_flags.COPY_HOST_PTR,
+                hostbuf=arr,
+            )
+            for name, arr in host.items()
+        }
+        k.set_args(*[
+            buffers[p.name] if p.name in buffers else scalars[p.name]
+            for p in k.kernel.params
+        ])
+        hits_before = queue_mod._VERIFY_CACHE.hits
+        q.enqueue_nd_range_kernel(k, (2048,), (256,))
+        first = q.last_verify_report
+        q.enqueue_nd_range_kernel(k, (2048,), (256,))
+        assert q.last_verify_report is first
+        assert queue_mod._VERIFY_CACHE.hits == hits_before + 1
+
+
+class TestUnmapOverheadSpec:
+    def test_cpu_unmap_cost_comes_from_spec(self):
+        spec = dataclasses.replace(XEON_E5645, unmap_overhead_ns=987.0)
+        ctx = cl.Context(cl.cpu_platform(spec).devices)
+        q = ctx.create_command_queue()
+        buf = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=1024)
+        view, _ = q.enqueue_map_buffer(buf, cl.map_flags.WRITE)
+        t0 = q.now_ns
+        q.enqueue_unmap(buf, view)
+        assert q.now_ns - t0 == 987.0
+
+    def test_gpu_readonly_unmap_cost_comes_from_spec(self):
+        spec = dataclasses.replace(GTX580, unmap_overhead_ns=654.0)
+        ctx = cl.Context(cl.gpu_platform(spec).devices)
+        q = ctx.create_command_queue()
+        buf = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=1024)
+        # READ-only mapping: no writeback crosses PCIe -> constant applies
+        view, _ = q.enqueue_map_buffer(buf, cl.map_flags.READ)
+        t0 = q.now_ns
+        q.enqueue_unmap(buf, view)
+        assert q.now_ns - t0 == 654.0
+
+    def test_default_matches_seed_constant(self):
+        assert XEON_E5645.unmap_overhead_ns == 200.0
+        assert GTX580.unmap_overhead_ns == 200.0
+
+
+class TestLazyCopyHostPtr:
+    def test_readonly_source_defers_and_then_copies(self):
+        ctx = cl.Context(cl.cpu_platform().devices)
+        src = np.arange(16, dtype=np.float32)
+        src.setflags(write=False)
+        buf = ctx.create_buffer(
+            cl.mem_flags.READ_WRITE | cl.mem_flags.COPY_HOST_PTR, hostbuf=src
+        )
+        assert buf._array is None          # metadata didn't materialize it
+        assert buf.nbytes == src.nbytes
+        arr = buf.array
+        assert arr is not src and arr.flags.writeable
+        np.testing.assert_array_equal(arr, src)
+        arr[0] = -1.0                      # buffer writes never reach src
+        assert src[0] == 0.0
+
+    def test_writable_source_is_snapshotted_eagerly(self):
+        ctx = cl.Context(cl.cpu_platform().devices)
+        src = np.arange(16, dtype=np.float32)
+        buf = ctx.create_buffer(
+            cl.mem_flags.READ_WRITE | cl.mem_flags.COPY_HOST_PTR, hostbuf=src
+        )
+        src[0] = 99.0                      # mutation after create: not seen
+        assert buf.array[0] == 0.0
+
+
+class TestExperimentEquivalence:
+    def test_fast_experiment_csv_identical_on_off(self):
+        from repro.harness.registry import run_experiment
+
+        plancache.invalidate_all()
+        on = run_experiment("fig11", fast=True).to_csv()
+        with caching_disabled():
+            off = run_experiment("fig11", fast=True).to_csv()
+        assert on == off

@@ -32,6 +32,21 @@ class TestExperiments:
         csv = (tmp_path / "fig11.csv").read_text()
         assert csv.startswith("series,")
 
+    def test_run_alias(self, capsys):
+        assert main(["run", "fig11", "--fast"]) == 0
+        assert "fig11" in capsys.readouterr().out
+
+    def test_jobs_csv_matches_serial(self, tmp_path, capsys):
+        serial, parallel = tmp_path / "s", tmp_path / "p"
+        assert main(["experiments", "fig11", "table1", "--fast",
+                     "--csv", str(serial)]) == 0
+        assert main(["experiments", "fig11", "table1", "--fast",
+                     "--jobs", "2", "--csv", str(parallel)]) == 0
+        capsys.readouterr()
+        for name in ("fig11", "table1"):
+            assert (serial / f"{name}.csv").read_text() == \
+                   (parallel / f"{name}.csv").read_text()
+
 
 class TestEmit:
     def test_emit_opencl(self, capsys):
@@ -50,6 +65,35 @@ class TestEmit:
 
     def test_emit_unknown_benchmark(self):
         assert main(["emit", "NoSuchApp"]) == 2
+
+    def test_emit_many_with_jobs_matches_serial(self, capsys):
+        assert main(["emit", "Square", "Vectoraddition"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["emit", "Square", "Vectoraddition", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestBench:
+    def test_bench_subset_json(self, capsys):
+        import json
+
+        assert main(["bench", "--quick", "--no-speedup", "table1"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["schema"] == 1
+        assert "table1" in doc["runs"]["quick"]["experiments"]
+
+    def test_bench_compare_gate(self, tmp_path, capsys):
+        import json
+
+        slow = {"schema": 1, "runs": {"quick": {
+            "mode": "quick", "experiments": {}, "total_seconds": 1e-9,
+        }}}
+        p = tmp_path / "base.json"
+        p.write_text(json.dumps(slow))
+        assert main(["bench", "--quick", "--no-speedup", "fig11",
+                     "--compare", str(p)]) == 1
+        capsys.readouterr()
 
 
 class TestReport:

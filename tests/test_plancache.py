@@ -1,0 +1,119 @@
+"""Unit tests for the launch-plan cache primitive."""
+
+import pytest
+
+from repro import plancache
+from repro.plancache import (
+    LaunchPlanCache,
+    cache_stats,
+    caching_disabled,
+    caching_enabled,
+    set_caching,
+)
+
+
+@pytest.fixture(autouse=True)
+def _caching_on():
+    set_caching(True)
+    yield
+    set_caching(True)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = LaunchPlanCache("t.basic")
+        assert c.get("k") is None
+        c.put("k", 42)
+        assert c.get("k") == 42
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_rate == 0.5
+
+    def test_none_is_not_cacheable(self):
+        c = LaunchPlanCache("t.none")
+        c.put("k", None)
+        assert "k" not in c
+
+    def test_unhashable_key_is_a_miss(self):
+        c = LaunchPlanCache("t.unhashable")
+        c.put(["list"], 1)
+        assert len(c) == 0
+        assert c.get(["list"]) is None
+
+    def test_invalidate_one_and_all(self):
+        c = LaunchPlanCache("t.inval")
+        c.put("a", 1)
+        c.put("b", 2)
+        c.invalidate("a")
+        assert "a" not in c and "b" in c
+        c.invalidate()
+        assert len(c) == 0
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        c = LaunchPlanCache("t.lru", maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")        # refresh a
+        c.put("c", 3)     # evicts b
+        assert "a" in c and "c" in c and "b" not in c
+
+    def test_weight_bound(self):
+        c = LaunchPlanCache("t.weight", maxsize=100,
+                            max_weight=10, weigher=len)
+        c.put("a", "xxxx")
+        c.put("b", "xxxx")
+        c.put("c", "xxxx")   # 12 > 10: oldest goes
+        assert "a" not in c and "b" in c and "c" in c
+        c.invalidate("b")
+        assert c._weight == 4
+
+    def test_overwrite_does_not_double_count_weight(self):
+        c = LaunchPlanCache("t.rewrite", max_weight=100, weigher=len)
+        c.put("a", "xx")
+        c.put("a", "xxxx")
+        assert c._weight == 4
+
+
+class TestDisable:
+    def test_context_manager(self):
+        c = LaunchPlanCache("t.disable")
+        c.put("k", 1)
+        with caching_disabled():
+            assert not caching_enabled()
+            assert c.get("k") is None       # bypassed, counted as miss
+            c.put("k2", 2)                  # no-op
+        assert caching_enabled()
+        assert c.get("k") == 1
+        assert "k2" not in c
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not caching_enabled()
+        c = LaunchPlanCache("t.env")
+        c.put("k", 1)
+        assert c.get("k") is None
+        monkeypatch.setenv("REPRO_NO_CACHE", "0")
+        assert caching_enabled()
+
+
+class TestStats:
+    def test_family_aggregation_across_instances(self):
+        plancache.reset_stats()
+        a = LaunchPlanCache("t.family")
+        b = LaunchPlanCache("t.family")
+        a.put("k", 1)
+        a.get("k")
+        b.get("k")   # second instance: its own miss, same family
+        fam = cache_stats()["t.family"]
+        assert fam["hits"] == 1 and fam["misses"] == 1
+        assert fam["hit_rate"] == 0.5
+
+    def test_instance_stats_dict(self):
+        c = LaunchPlanCache("t.stats")
+        c.get("missing")
+        c.put("k", 1)
+        c.get("k")
+        assert c.stats() == {
+            "hits": 1, "misses": 1, "hit_rate": 0.5, "entries": 1,
+        }
