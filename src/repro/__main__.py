@@ -14,7 +14,12 @@ Subcommands:
 * ``lint [benchmarks...|--all]`` — run the static kernel verifier
   (:mod:`repro.kernelir.verify`) over suite kernels at their default
   launch sizes and print a rule-grouped report;
+* ``jitdump [benchmarks...] [--out DIR]`` — print (or write) the fused
+  NumPy source the kernel JIT generates for each suite kernel;
 * ``list`` — list experiments and benchmarks.
+
+``experiments`` and ``bench`` accept ``--engine {compiled,interp}`` to pick
+the functional execution engine (``interp`` == ``REPRO_NO_JIT=1``).
 """
 
 from __future__ import annotations
@@ -22,10 +27,25 @@ from __future__ import annotations
 import argparse
 import difflib
 import json
+import os
 import pathlib
 import sys
 
 import numpy as np
+
+
+def _apply_engine(engine) -> None:
+    """Select the functional execution engine for this process tree.
+
+    Expressed through ``REPRO_NO_JIT`` rather than in-process state so the
+    choice survives into ``--jobs`` worker processes.
+    """
+    if engine is None:
+        return
+    if engine == "interp":
+        os.environ["REPRO_NO_JIT"] = "1"
+    else:
+        os.environ.pop("REPRO_NO_JIT", None)
 
 
 def _suite_benchmarks():
@@ -79,6 +99,7 @@ def cmd_list(args) -> int:
 
 
 def cmd_experiments(args) -> int:
+    _apply_engine(args.engine)
     from .harness.registry import EXPERIMENTS, run_many
 
     names = args.names or list(EXPERIMENTS)
@@ -96,6 +117,7 @@ def cmd_experiments(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    _apply_engine(args.engine)
     from .harness import bench as bench_mod
 
     mode = "quick" if args.quick else "full"
@@ -191,6 +213,50 @@ def cmd_emit(args) -> int:
     return 0
 
 
+def cmd_jitdump(args) -> int:
+    """Dump the kernel JIT's generated NumPy source for suite kernels."""
+    from .kernelir.compile import UnsupportedKernelError, generated_source
+
+    benches = _lint_benchmarks()
+    if args.all or not args.benchmarks:
+        names = list(benches)
+    else:
+        unknown = [n for n in args.benchmarks if n not in benches]
+        if unknown:
+            return _unknown_name_error("benchmark", unknown, benches)
+        names = list(args.benchmarks)
+
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    n_unsupported = 0
+    for name in names:
+        kernel = benches[name].kernel()
+        try:
+            src = generated_source(kernel, count_ops=args.count_ops)
+        except UnsupportedKernelError as e:
+            src = None
+            n_unsupported += 1
+        if out_dir:
+            path = out_dir / f"{kernel.name}.py"
+            if src is None:
+                path.with_suffix(".txt").write_text(
+                    f"# interpreter fallback: {e}\n"
+                )
+            else:
+                path.write_text(src + "\n")
+        else:
+            header = f"# ===== {name} ({kernel.name}) ====="
+            body = src if src is not None else f"# interpreter fallback: {e}"
+            print(f"{header}\n{body}\n")
+    if out_dir:
+        print(
+            f"[jitdump] wrote {len(names) - n_unsupported} kernel(s) to "
+            f"{out_dir} ({n_unsupported} interpreter fallback(s))"
+        )
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .kernelir.verify import RULES
 
@@ -252,6 +318,9 @@ def main(argv=None) -> int:
     p_exp.add_argument("--csv", metavar="DIR")
     p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run experiments across N worker processes")
+    p_exp.add_argument("--engine", choices=("compiled", "interp"),
+                       help="functional execution engine (default: compiled; "
+                            "equivalent to REPRO_NO_JIT=1 for 'interp')")
     p_exp.set_defaults(fn=cmd_experiments)
 
     p_bench = sub.add_parser(
@@ -269,6 +338,8 @@ def main(argv=None) -> int:
                          help="allowed wall-clock regression (default 0.30)")
     p_bench.add_argument("--no-speedup", action="store_true",
                          help="skip the caches-disabled reference run")
+    p_bench.add_argument("--engine", choices=("compiled", "interp"),
+                         help="functional execution engine (default: compiled)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_rep = sub.add_parser("report", help="kernel performance report")
@@ -286,6 +357,21 @@ def main(argv=None) -> int:
     p_emit.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="emit across N worker processes (same output)")
     p_emit.set_defaults(fn=cmd_emit)
+
+    p_jit = sub.add_parser(
+        "jitdump",
+        help="dump the kernel JIT's generated NumPy source per kernel",
+    )
+    p_jit.add_argument("benchmarks", nargs="*",
+                       help="benchmark names (default: all)")
+    p_jit.add_argument("--all", action="store_true",
+                       help="dump every suite kernel (the default)")
+    p_jit.add_argument("--out", metavar="DIR",
+                       help="write one <kernel>.py per kernel instead of "
+                            "printing to stdout")
+    p_jit.add_argument("--count-ops", action="store_true",
+                       help="generate the dynamic-op-counting variant")
+    p_jit.set_defaults(fn=cmd_jitdump)
 
     p_lint = sub.add_parser(
         "lint", help="static kernel verification (races, barriers, bounds)"

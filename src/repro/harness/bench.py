@@ -89,7 +89,28 @@ def _microbench() -> Dict[str, dict]:
     with plancache.caching_disabled():
         interp_miss_us = per_call_us(interp, 10)
 
+    # compiled engine vs tree-walk interpreter on the same launch
+    from ..kernelir import compile as klcompile
+
+    def compiled():
+        bufs = {k: v.copy() for k, v in small_host.items()}
+        ck = klcompile.get_compiled(kernel)
+        if ck is None:  # pragma: no cover - MBench kernels always compile
+            return interp()
+        ck.launch(small_gs, small_ls, buffers=bufs, scalars=small_sc)
+
+    compiled()  # prime the compile cache
+    compiled_us = per_call_us(compiled, 10)
+
     return {
+        "engine_launch_us": {
+            "compiled": round(compiled_us, 2),
+            "interp": round(interp_hit_us, 2),
+            "speedup": (
+                round(interp_hit_us / compiled_us, 2)
+                if compiled_us > 0 else 0.0
+            ),
+        },
         "kernel_cost_us": {
             "cached": round(hit_us, 2),
             "uncached": round(miss_us, 2),
@@ -120,19 +141,33 @@ def run_bench(
     fast = mode == "quick"
     names: List[str] = list(experiments) if experiments else list(EXPERIMENTS)
 
+    from ..kernelir import compile as klcompile
+
     plancache.invalidate_all()
     plancache.reset_stats()
-    log(f"[bench] timing {len(names)} experiment(s), mode={mode}, caches on")
+    klcompile.reset_compile_stats()
+    engine = "compiled" if klcompile.jit_enabled() else "interp"
+    log(
+        f"[bench] timing {len(names)} experiment(s), mode={mode}, "
+        f"caches on, engine={engine}"
+    )
     timings = _time_suite(names, fast)
     total = sum(timings.values())
     stats = plancache.cache_stats()
+    jit = klcompile.compile_stats()
     log(f"[bench] cached suite: {total:.2f}s")
+    if jit["unsupported"]:
+        log(
+            "[bench] JIT interpreter fallbacks: "
+            + "; ".join(f"{k}: {v}" for k, v in jit["unsupported"].items())
+        )
 
     run: dict = {
         "mode": mode,
         "experiments": {k: round(v, 4) for k, v in timings.items()},
         "total_seconds": round(total, 4),
         "cache_stats": stats,
+        "jit": jit,
     }
 
     if measure_speedup:
@@ -198,4 +233,13 @@ def compare(run: dict, baseline: dict, threshold: float = 0.30,
     )
     if "speedup" in run:
         log(f"[bench] caching speedup this run: {run['speedup']}x")
+    jit = run.get("jit")
+    if jit:
+        launches = jit.get("launches", {})
+        log(
+            f"[bench] engine={jit.get('engine')}: "
+            f"{launches.get('compiled', 0)} compiled launch(es), "
+            f"{launches.get('interp_fallback', 0)} fallback(s), "
+            f"{launches.get('interp_forced', 0)} forced-interp"
+        )
     return cur_total <= limit

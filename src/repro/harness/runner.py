@@ -103,20 +103,38 @@ class DiagnosticTally:
         self._seen = set()
 
     def record(self, bench: Benchmark, global_size, coalesce, local_size):
-        key = (
+        raw = (
             _bench_key(bench),
             int(coalesce),
             tuple(global_size),
             tuple(local_size) if local_size is not None else None,
         )
-        if key in self._seen:
+        if raw in self._seen:
             return
-        self._seen.add(key)
+        self._seen.add(raw)
+        # A verify report is a pure function of the *resolved* launch —
+        # kernel IR, scaled global size, resolved local size, scalar values
+        # and buffer sizes — not of how the sweep point spelled it.  Keying
+        # on the resolved identity lets sweep points that coincide after
+        # coalesce scaling / the NULL-local-size policy share one entry
+        # (the raw key used to keep them apart and the hit rate low).
+        data = bench_data(bench, global_size)
+        kernel, launch_gs, resolved_ls = bench.resolved_launch(
+            global_size, coalesce=coalesce, local_size=local_size
+        )
+        scalars = {**data[1], **bench.scalars_for(coalesce)}
+        key = (
+            kernel.fingerprint(),
+            launch_gs,
+            resolved_ls,
+            tuple(sorted((k, float(v)) for k, v in scalars.items())),
+            tuple(sorted((k, int(v.shape[0])) for k, v in data[0].items())),
+        )
         report = _VERIFY_REPORT_CACHE.get(key)
         if report is None:
             report = bench.verify(
                 global_size, coalesce=coalesce, local_size=local_size,
-                data=bench_data(bench, global_size),
+                data=data,
             )
             _VERIFY_REPORT_CACHE.put(key, report)
         self.launches += 1
@@ -177,11 +195,19 @@ class DeviceUnderTest:
         return self.context.create_command_queue(functional=functional)
 
     def build_program(self, kernel: Kernel) -> cl.Program:
-        """Create+build a program for ``kernel``, cached per fingerprint."""
+        """Create+build a program for ``kernel``, cached per fingerprint.
+
+        Build-time JIT compilation is skipped for timing-only DUTs (the
+        default): their enqueues never execute functionally, and the rare
+        functional queue (``fresh_queue(functional=True)``) still gets the
+        compiled engine via the lazy per-launch path.
+        """
         key = kernel.fingerprint()
         prog = self.programs.get(key)
         if prog is None:
-            prog = self.context.create_program(kernel).build()
+            prog = self.context.create_program(kernel).build(
+                jit=self.queue.functional
+            )
             self.programs.put(key, prog)
         return prog
 

@@ -72,6 +72,20 @@ from .vectorize import (
     VectorizationReport,
     dependence_chain_length,
 )
+from .compile import (
+    CompiledKernel,
+    UnsupportedKernelError,
+    compile_kernel,
+    compile_stats,
+    generated_source,
+    get_compiled,
+    get_engine,
+    jit_enabled,
+    launch_kernel,
+    prepare_kernel,
+    reset_compile_stats,
+    set_engine,
+)
 from .trace import KernelTrace, MemoryAccess, TracingInterpreter, trace_kernel
 from .codegen import CodegenError, to_opencl_c, to_openmp_c
 from .verify import RULES, Diagnostic, VerifyReport, verify_launch
@@ -90,6 +104,11 @@ __all__ = [
     "KernelBuilder", "BufferHandle", "LocalHandle",
     # interpreter
     "Interpreter", "LaunchResult", "DynamicCounters", "KernelExecutionError",
+    # kernel JIT
+    "CompiledKernel", "UnsupportedKernelError", "compile_kernel",
+    "get_compiled", "launch_kernel", "prepare_kernel", "generated_source",
+    "compile_stats",
+    "reset_compile_stats", "jit_enabled", "set_engine", "get_engine",
     # analysis
     "LaunchContext", "LatencyTable", "OpCounts", "AccessInfo", "AffineIndex",
     "KernelAnalysis", "analyze_kernel", "affine_index",

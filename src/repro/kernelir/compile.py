@@ -1,0 +1,1216 @@
+"""Kernel-IR -> fused NumPy compiler (the "kernel JIT").
+
+The lock-step interpreter (:mod:`repro.kernelir.interp`) pays Python-level
+tree-walk dispatch for every IR node on every statement, every loop
+iteration.  This module lowers a :class:`~repro.kernelir.ast.Kernel` *once*
+into generated Python source — straight-line fused NumPy expressions,
+activity masks materialized only where control flow actually diverges,
+uniform-trip ``For`` loops emitted as plain Python ``for`` loops with
+loop-invariant subexpressions hoisted — and ``compile()``/``exec``s it into
+a callable with the same semantics as :meth:`Interpreter.launch`:
+
+* identical results, bit for bit (pinned by the differential harness in
+  ``tests/kernelir/test_compile_differential.py``);
+* identical diagnostics: bounds checks, ``mem_flags`` enforcement,
+  zero-step / loop-overflow errors carry the same message text;
+* dynamic op counters behind the same ``count_ops`` flag (a separate
+  compiled variant, since the counting code is woven into the body);
+* barriers remain correct by construction (lock-step execution), exactly
+  as in the interpreter.
+
+Compiled callables are cached in ``LaunchPlanCache("kernelir.compiled")``
+keyed on ``Kernel.fingerprint()`` plus the compile options.  IR the
+compiler cannot prove it can lower faithfully (reads of conditionally
+defined variables, id dimensions beyond ``work_dim``, non-identifier
+names) raises :class:`UnsupportedKernelError`; :func:`launch_kernel` then
+falls back transparently to the interpreter and records the reason in
+:func:`compile_stats` (surfaced by ``python -m repro bench``).
+
+The escape hatch is ``REPRO_NO_JIT=1`` (or :func:`set_engine`\\ ``("interp")``,
+or ``--engine interp`` on the CLI): every functional launch then takes the
+interpreter path, which the differential tests use to assert byte-identical
+``results/*.csv`` output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy import special as _sp_special
+
+from . import ast as ir
+from ..plancache import LaunchPlanCache
+from .interp import (
+    DynamicCounters,
+    Interpreter,
+    KernelExecutionError,
+    LaunchResult,
+    _Frame,
+    _normalize_offset,
+    _normalize_sizes,
+    _validate_args,
+)
+from .types import I64
+
+__all__ = [
+    "CompiledKernel",
+    "UnsupportedKernelError",
+    "compile_kernel",
+    "compile_stats",
+    "generated_source",
+    "get_compiled",
+    "get_engine",
+    "jit_enabled",
+    "launch_kernel",
+    "reset_compile_stats",
+    "set_engine",
+]
+
+DEFAULT_MAX_LOOP_ITERS = 10_000_000
+
+
+class UnsupportedKernelError(Exception):
+    """The compiler cannot lower this kernel faithfully; use the interpreter."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime support functions referenced by generated code.
+#
+# Each mirrors one memory/control operation of the interpreter *exactly*
+# (same evaluation order, same numpy calls, same error messages), with the
+# one structural difference that an all-active mask is represented as
+# ``None`` so fully converged code skips masking entirely.
+# ---------------------------------------------------------------------------
+
+
+def _rt_as_full(v, n):
+    a = np.asarray(v)
+    if a.shape == (n,):
+        return a
+    return np.broadcast_to(a, (n,))
+
+
+def _rt_check_idx(idx, size, what, mask):
+    sel = idx if mask is None else idx[mask]
+    if sel.size and (sel.min() < 0 or sel.max() >= size):
+        raise KernelExecutionError(
+            f"out-of-bounds access on {what}: index range "
+            f"[{int(sel.min())}, {int(sel.max())}] vs size {size}"
+        )
+
+
+def _rt_load(buf, idx, n, mask, what, bounds, ctr):
+    idx = _rt_as_full(idx, n).astype(np.int64)
+    size = buf.shape[0]
+    if bounds:
+        _rt_check_idx(idx, size, what, mask)
+    # Clip masked-off lanes so inactive gathers cannot fault.
+    if mask is None or mask.all():
+        safe = idx
+    else:
+        safe = np.clip(idx, 0, size - 1)
+    if ctr is not None:
+        ctr.loads += n if mask is None else int(mask.sum())
+    return buf[safe]
+
+
+def _rt_load_local(arr, glin, idx, n, mask, what, bounds, ctr):
+    idx = _rt_as_full(idx, n).astype(np.int64)
+    size = arr.shape[1]
+    if bounds:
+        _rt_check_idx(idx, size, what, mask)
+    if mask is None or mask.all():
+        safe = idx
+    else:
+        safe = np.clip(idx, 0, size - 1)
+    if ctr is not None:
+        ctr.local_loads += n if mask is None else int(mask.sum())
+    return arr[glin, safe]
+
+
+def _rt_store(buf, idx, val, n, mask, what, bounds, ctr):
+    idx = _rt_as_full(idx, n).astype(np.int64)
+    val = _rt_as_full(val, n)
+    if bounds:
+        _rt_check_idx(idx, buf.shape[0], what, mask)
+    if mask is None:
+        buf[idx] = val.astype(buf.dtype, copy=False)
+        if ctr is not None:
+            ctr.stores += n
+    else:
+        buf[idx[mask]] = val[mask].astype(buf.dtype, copy=False)
+        if ctr is not None:
+            ctr.stores += int(mask.sum())
+
+
+def _rt_atomic(buf, idx, val, n, mask, what, bounds, ctr):
+    idx = _rt_as_full(idx, n).astype(np.int64)
+    val = _rt_as_full(val, n)
+    if bounds:
+        _rt_check_idx(idx, buf.shape[0], what, mask)
+    if mask is None:
+        np.add.at(buf, idx, val.astype(buf.dtype, copy=False))
+        if ctr is not None:
+            ctr.atomic_ops += n
+    else:
+        np.add.at(buf, idx[mask], val[mask].astype(buf.dtype, copy=False))
+        if ctr is not None:
+            ctr.atomic_ops += int(mask.sum())
+
+
+def _rt_store_local(arr, glin, idx, val, n, mask, what, bounds, ctr):
+    idx = _rt_as_full(idx, n).astype(np.int64)
+    val = _rt_as_full(val, n)
+    if bounds:
+        _rt_check_idx(idx, arr.shape[1], what, mask)
+    if mask is None:
+        arr[glin, idx] = val.astype(arr.dtype, copy=False)
+        if ctr is not None:
+            ctr.local_stores += n
+    else:
+        arr[glin[mask], idx[mask]] = val[mask].astype(arr.dtype, copy=False)
+        if ctr is not None:
+            ctr.local_stores += int(mask.sum())
+
+
+def _rt_atomic_local(arr, glin, idx, val, n, mask, what, bounds, ctr):
+    idx = _rt_as_full(idx, n).astype(np.int64)
+    val = _rt_as_full(val, n)
+    if bounds:
+        _rt_check_idx(idx, arr.shape[1], what, mask)
+    if mask is None:
+        np.add.at(arr, (glin, idx), val.astype(arr.dtype, copy=False))
+        if ctr is not None:
+            ctr.atomic_ops += n
+    else:
+        np.add.at(
+            arr, (glin[mask], idx[mask]), val[mask].astype(arr.dtype, copy=False)
+        )
+        if ctr is not None:
+            ctr.atomic_ops += int(mask.sum())
+
+
+def _rt_masked_update(val, old, mask, n):
+    """Masked reassignment of an already-defined variable."""
+    val = _rt_as_full(np.asarray(val), n)
+    if mask.all():
+        # all lanes active: alias the value directly (interp fast path);
+        # this preserves val's runtime dtype where np.where would promote.
+        return val
+    old = np.asarray(old)
+    if old.shape != (n,):
+        old = np.broadcast_to(old, (n,))
+    return np.where(mask, val, old)
+
+
+def _rt_masked_assign(val, old, mask, n):
+    """Masked assignment when prior definition is only known at runtime.
+
+    ``old is None`` encodes "never assigned" (env-absence in the
+    interpreter): inactive lanes keep zero-init, exactly like
+    ``Interpreter._exec_stmt``'s Assign path.
+    """
+    val = _rt_as_full(np.asarray(val), n)
+    if mask.all():
+        return val
+    if old is None:
+        return np.where(mask, val, 0).astype(val.dtype, copy=False)
+    old = np.asarray(old)
+    if old.shape != (n,):
+        old = np.broadcast_to(old, (n,))
+    return np.where(mask, val, old)
+
+
+def _rt_as_bool(v, n):
+    return _rt_as_full(np.asarray(v), n).astype(bool)
+
+
+def _rt_loop_mask(mask, step, loopvar, stop):
+    active = np.where(step > 0, loopvar < stop, loopvar > stop)
+    return active if mask is None else mask & active
+
+
+def _rt_zero_step(var):
+    raise KernelExecutionError(f"loop {var}: zero step")
+
+
+def _rt_loop_overflow(var, limit):
+    raise KernelExecutionError(f"loop {var} exceeded {limit} iterations")
+
+
+def _rt_readonly_err(name):
+    raise KernelExecutionError(
+        f"write to buffer {name!r} allocated with mem_flags.READ_ONLY"
+    )
+
+
+def _rt_writeonly_err(name):
+    raise KernelExecutionError(
+        f"read from buffer {name!r} allocated with mem_flags.WRITE_ONLY"
+    )
+
+
+_HELPERS = {
+    "_np": np,
+    "_erf": _sp_special.erf,
+    "_af": _rt_as_full,
+    "_ab": _rt_as_bool,
+    "_ld": _rt_load,
+    "_ldl": _rt_load_local,
+    "_st": _rt_store,
+    "_at": _rt_atomic,
+    "_stl": _rt_store_local,
+    "_atl": _rt_atomic_local,
+    "_upd": _rt_masked_update,
+    "_asgn": _rt_masked_assign,
+    "_lm": _rt_loop_mask,
+    "_zs": _rt_zero_step,
+    "_lo": _rt_loop_overflow,
+    "_ro_err": _rt_readonly_err,
+    "_wo_err": _rt_writeonly_err,
+}
+
+_CMP_FN = {
+    "<": "less",
+    "<=": "less_equal",
+    ">": "greater",
+    ">=": "greater_equal",
+    "==": "equal",
+    "!=": "not_equal",
+}
+_BIT_FN = {
+    "&": "bitwise_and",
+    "|": "bitwise_or",
+    "^": "bitwise_xor",
+    "<<": "left_shift",
+    ">>": "right_shift",
+}
+
+
+class _Codegen:
+    """Lowers one kernel body to Python source (one compile variant)."""
+
+    def __init__(self, kernel, count_ops, bounds_check, max_loop_iters):
+        self.kernel = kernel
+        self.count_ops = bool(count_ops)
+        self.bounds_check = bool(bounds_check)
+        self.max_loop_iters = int(max_loop_iters)
+        self.lines = []
+        self.indent = 1
+        self.ntmp = 0
+        self.ns = dict(_HELPERS)
+        self.consts: Dict[tuple, str] = {}
+        # static variable state: name -> "def" (bound on every path) or
+        # "maybe" (bound on some paths / previous loop iterations only)
+        self.defined: Dict[str, str] = {}
+        self.uniform = set()  # names whose value is lane-invariant
+        self.mask: Optional[str] = None  # current activity-mask variable
+        self.lanes = "_n"  # active-lane count expression (count_ops only)
+        self.hoisted: Dict[int, str] = {}  # id(expr node) -> hoisted temp
+        self.in_hoist = False
+        self.used_ids = set()
+        self.used_sizes = set()
+        self.used_bufs = set()
+        self.used_locals = set()
+        self.used_flags = set()
+
+    # -- infrastructure ---------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self.ntmp += 1
+        return f"_{prefix}{self.ntmp}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def _check_name(self, name: str) -> None:
+        if not name.isidentifier():
+            raise UnsupportedKernelError(f"name {name!r} is not lowerable")
+
+    def _const(self, dtype, value) -> str:
+        key = (dtype.np_dtype.str, repr(value), type(value).__name__)
+        name = self.consts.get(key)
+        if name is None:
+            name = f"_K{len(self.consts)}"
+            self.consts[key] = name
+            self.ns[name] = dtype.np_dtype.type(value)
+        return name
+
+    def _dt(self, dtype) -> str:
+        name = f"_dt_{dtype.np_dtype.name}"
+        self.ns[name] = dtype.np_dtype
+        return name
+
+    def _ctr(self) -> str:
+        if self.count_ops:
+            self.used_flags.add("ctr")
+            return "_ctr"
+        return "None"
+
+    def _mask_arg(self) -> str:
+        return self.mask if self.mask is not None else "None"
+
+    # -- static analyses --------------------------------------------------
+    def _is_uniform(self, e) -> bool:
+        if isinstance(e, ir.Const):
+            return True
+        if isinstance(e, (ir.GlobalSize, ir.LocalSize, ir.NumGroups)):
+            return True
+        if isinstance(e, ir.Var):
+            return e.name in self.uniform
+        if isinstance(e, (ir.GlobalId, ir.LocalId, ir.GroupId, ir.Load, ir.LoadLocal)):
+            return False
+        if isinstance(e, (ir.BinOp, ir.UnOp, ir.Call, ir.Select, ir.Cast)):
+            return all(self._is_uniform(c) for c in e.children())
+        return False
+
+    @staticmethod
+    def _assigned_names(body) -> set:
+        names = set()
+        for st in ir.walk_stmts(body):
+            if isinstance(st, ir.Assign):
+                names.add(st.name)
+            elif isinstance(st, ir.For):
+                names.add(st.var)
+        return names
+
+    @staticmethod
+    def _merge_def(a: Dict[str, str], b: Dict[str, str]) -> Dict[str, str]:
+        out = {}
+        for k in set(a) | set(b):
+            out[k] = "def" if (a.get(k) == "def" and b.get(k) == "def") else "maybe"
+        return out
+
+    def _counts_for(self, *exprs) -> None:
+        """Statically aggregate arith-op counts for one statement's exprs.
+
+        Mirrors ``Interpreter._count_arith``: only ARITH_OPS binops and
+        intrinsic calls count (mad/fma as two ops), float vs int split on
+        the node's static dtype, multiplied by the active-lane count of the
+        enclosing mask.  Loads/stores/atomics/barriers are counted by the
+        runtime helpers.
+        """
+        if not self.count_ops:
+            return
+        kf = ki = 0
+        for root in exprs:
+            for node in ir.walk_exprs(root):
+                if isinstance(node, ir.BinOp) and node.op in ir.ARITH_OPS:
+                    if node.dtype.is_float:
+                        kf += 1
+                    else:
+                        ki += 1
+                elif isinstance(node, ir.Call):
+                    w = 2 if node.fn in ("mad", "fma") else 1
+                    if node.dtype.is_float:
+                        kf += w
+                    else:
+                        ki += w
+        if kf:
+            self.used_flags.add("ctr")
+            self.emit(f"_ctr.flops += {kf} * {self.lanes}")
+        if ki:
+            self.used_flags.add("ctr")
+            self.emit(f"_ctr.int_ops += {ki} * {self.lanes}")
+
+    # -- expression lowering ----------------------------------------------
+    def _expr(self, e) -> str:
+        if not self.in_hoist:
+            h = self.hoisted.get(id(e))
+            if h is not None:
+                return h
+        if isinstance(e, ir.Const):
+            return self._const(e.dtype, e.value)
+        if isinstance(e, ir.GlobalId):
+            return self._id_ref("g", e.dim)
+        if isinstance(e, ir.LocalId):
+            return self._id_ref("l", e.dim)
+        if isinstance(e, ir.GroupId):
+            return self._id_ref("grp", e.dim)
+        if isinstance(e, ir.GlobalSize):
+            return self._size_ref("gs", e.dim)
+        if isinstance(e, ir.LocalSize):
+            return self._size_ref("ls", e.dim)
+        if isinstance(e, ir.NumGroups):
+            return self._size_ref("ng", e.dim)
+        if isinstance(e, ir.Var):
+            if self.defined.get(e.name) != "def":
+                raise UnsupportedKernelError(
+                    f"read of possibly-undefined variable {e.name!r}"
+                )
+            return f"v_{e.name}"
+        if isinstance(e, ir.BinOp):
+            return self._binop(e)
+        if isinstance(e, ir.UnOp):
+            v = self._expr(e.operand)
+            if e.op == "neg":
+                return f"_np.negative({v})"
+            return f"_np.logical_not({v})"
+        if isinstance(e, ir.Call):
+            return self._call(e)
+        if isinstance(e, ir.Load):
+            return self._load(e)
+        if isinstance(e, ir.LoadLocal):
+            return self._load_local(e)
+        if isinstance(e, ir.Select):
+            c = self._expr(e.cond)
+            a = self._expr(e.if_true)
+            b = self._expr(e.if_false)
+            return f"_np.where(_np.asarray({c}, dtype=bool), {a}, {b})"
+        if isinstance(e, ir.Cast):
+            v = self._expr(e.operand)
+            return f"_np.asarray({v}).astype({self._dt(e.dtype)}, copy=False)"
+        raise UnsupportedKernelError(f"unknown expression {type(e).__name__}")
+
+    def _id_ref(self, kind: str, dim: int) -> str:
+        if dim >= self.kernel.work_dim:
+            raise UnsupportedKernelError(
+                f"id dimension {dim} >= work_dim {self.kernel.work_dim}"
+            )
+        self.used_ids.add((kind, dim))
+        return f"_id_{kind}{dim}"
+
+    def _size_ref(self, kind: str, dim: int) -> str:
+        if dim >= self.kernel.work_dim:
+            # get_*_size beyond the launch rank is 1 (OpenCL semantics),
+            # known at compile time.
+            return self._const(I64, 1)
+        self.used_sizes.add((kind, dim))
+        return f"_{kind}{dim}"
+
+    def _binop(self, e) -> str:
+        a = self._expr(e.lhs)
+        b = self._expr(e.rhs)
+        op = e.op
+        if op in ir.CMP_OPS:
+            return f"_np.{_CMP_FN[op]}({a}, {b})"
+        if op == "and":
+            return f"_np.logical_and({a}, {b})"
+        if op == "or":
+            return f"_np.logical_or({a}, {b})"
+        if op in _BIT_FN:
+            return f"_np.{_BIT_FN[op]}({a}, {b})"
+        dt = self._dt(e.dtype)
+        if op == "+":
+            return f"_np.add({a}, {b}, dtype={dt})"
+        if op == "-":
+            return f"_np.subtract({a}, {b}, dtype={dt})"
+        if op == "*":
+            return f"_np.multiply({a}, {b}, dtype={dt})"
+        if op == "/":
+            if e.dtype.is_float:
+                return f"_np.divide({a}, {b}, dtype={dt})"
+            return f"_np.floor_divide({a}, {b}).astype({dt}, copy=False)"
+        if op == "//":
+            return f"_np.floor_divide({a}, {b}).astype({dt}, copy=False)"
+        if op == "%":
+            return f"_np.mod({a}, {b}).astype({dt}, copy=False)"
+        if op == "min":
+            return f"_np.minimum({a}, {b}).astype({dt}, copy=False)"
+        if op == "max":
+            return f"_np.maximum({a}, {b}).astype({dt}, copy=False)"
+        raise UnsupportedKernelError(f"unknown binop {op!r}")
+
+    def _call(self, e) -> str:
+        args = [self._expr(a) for a in e.args]
+        dt = self._dt(e.dtype)
+        fn = e.fn
+        if fn in ("exp", "log", "sqrt", "sin", "cos"):
+            return f"_np.{fn}({args[0]}, dtype={dt})"
+        if fn == "rsqrt":
+            return f"(1.0 / _np.sqrt({args[0]})).astype({dt}, copy=False)"
+        if fn == "fabs":
+            return f"_np.abs({args[0]}).astype({dt}, copy=False)"
+        if fn == "floor":
+            return f"_np.floor({args[0]}).astype({dt}, copy=False)"
+        if fn == "erf":
+            return f"_erf({args[0]}).astype({dt}, copy=False)"
+        if fn == "pow":
+            return f"_np.power({args[0]}, {args[1]}).astype({dt}, copy=False)"
+        if fn in ("mad", "fma"):
+            return (
+                f"(_np.asarray({args[0]}, dtype={dt})"
+                f" * _np.asarray({args[1]}, dtype={dt})"
+                f" + _np.asarray({args[2]}, dtype={dt})).astype({dt}, copy=False)"
+            )
+        raise UnsupportedKernelError(f"unknown intrinsic {fn!r}")
+
+    def _load(self, e) -> str:
+        if self.in_hoist:  # pragma: no cover - candidates exclude loads
+            raise UnsupportedKernelError("load in hoisted expression")
+        name = e.buffer
+        self._check_name(name)
+        self.used_bufs.add(name)
+        self.used_flags.add("wo")
+        self.emit(f"if {name!r} in _wo: _wo_err({name!r})")
+        idx = self._expr(e.index)
+        what = repr(f"buffer {name!r}")
+        t = self._fresh("t")
+        self.emit(
+            f"{t} = _ld(_b_{name}, {idx}, _n, {self._mask_arg()}, {what}, "
+            f"{self.bounds_check}, {self._ctr()})"
+        )
+        return t
+
+    def _load_local(self, e) -> str:
+        if self.in_hoist:  # pragma: no cover - candidates exclude loads
+            raise UnsupportedKernelError("load in hoisted expression")
+        name = e.array
+        self._check_name(name)
+        self.used_locals.add(name)
+        self.used_flags.add("glin")
+        idx = self._expr(e.index)
+        what = repr(f"local {name!r}")
+        t = self._fresh("t")
+        self.emit(
+            f"{t} = _ldl(_la_{name}, _glin, {idx}, _n, {self._mask_arg()}, "
+            f"{what}, {self.bounds_check}, {self._ctr()})"
+        )
+        return t
+
+    # -- statement lowering -----------------------------------------------
+    def _body(self, body) -> None:
+        """Lower ``body`` as an indented block (emits ``pass`` if empty)."""
+        self.indent += 1
+        start = len(self.lines)
+        for st in body:
+            self._stmt(st)
+        if len(self.lines) == start:
+            self.emit("pass")
+        self.indent -= 1
+
+    def _stmt(self, s) -> None:
+        if isinstance(s, ir.Assign):
+            self._assign(s)
+        elif isinstance(s, ir.Store):
+            self._global_write(s, "_st")
+        elif isinstance(s, ir.AtomicAdd):
+            self._global_write(s, "_at")
+        elif isinstance(s, ir.StoreLocal):
+            self._local_write(s, "_stl")
+        elif isinstance(s, ir.AtomicAddLocal):
+            self._local_write(s, "_atl")
+        elif isinstance(s, ir.If):
+            self._if(s)
+        elif isinstance(s, ir.For):
+            self._for(s)
+        elif isinstance(s, ir.Barrier):
+            if self.count_ops:
+                self.used_flags.add("ctr")
+                self.emit("_ctr.barriers += 1")
+        else:
+            raise UnsupportedKernelError(f"unknown statement {type(s).__name__}")
+
+    def _assign(self, s) -> None:
+        self._check_name(s.name)
+        self._counts_for(s.value)
+        val = self._expr(s.value)
+        tgt = f"v_{s.name}"
+        if self.mask is None:
+            self.emit(f"{tgt} = {val}")
+            self.defined[s.name] = "def"
+            if self._is_uniform(s.value):
+                self.uniform.add(s.name)
+            else:
+                self.uniform.discard(s.name)
+            return
+        state = self.defined.get(s.name)
+        if state == "def":
+            self.emit(f"{tgt} = _upd({val}, {tgt}, {self.mask}, _n)")
+        else:
+            # prior definition unknown statically; _asgn dispatches on the
+            # runtime None sentinel exactly like the interpreter's env.get
+            self.emit(f"{tgt} = _asgn({val}, {tgt}, {self.mask}, _n)")
+            self.defined[s.name] = "def"
+        self.uniform.discard(s.name)
+
+    def _global_write(self, s, helper: str) -> None:
+        self._counts_for(s.index, s.value)
+        name = s.buffer
+        self._check_name(name)
+        self.used_bufs.add(name)
+        self.used_flags.add("ro")
+        self.emit(f"if {name!r} in _ro: _ro_err({name!r})")
+        idx = self._expr(s.index)
+        val = self._expr(s.value)
+        what = repr(f"buffer {name!r}")
+        self.emit(
+            f"{helper}(_b_{name}, {idx}, {val}, _n, {self._mask_arg()}, "
+            f"{what}, {self.bounds_check}, {self._ctr()})"
+        )
+
+    def _local_write(self, s, helper: str) -> None:
+        self._counts_for(s.index, s.value)
+        name = s.array
+        self._check_name(name)
+        self.used_locals.add(name)
+        self.used_flags.add("glin")
+        idx = self._expr(s.index)
+        val = self._expr(s.value)
+        what = repr(f"local {name!r}")
+        self.emit(
+            f"{helper}(_la_{name}, _glin, {idx}, {val}, _n, {self._mask_arg()}, "
+            f"{what}, {self.bounds_check}, {self._ctr()})"
+        )
+
+    def _if(self, s) -> None:
+        self._counts_for(s.cond)
+        if self._is_uniform(s.cond):
+            self._if_uniform(s)
+            return
+        c = self._expr(s.cond)
+        cb = self._fresh("c")
+        self.emit(f"{cb} = _ab({c}, _n)")
+        pre_mask, pre_lanes = self.mask, self.lanes
+        pre_def, pre_uni = dict(self.defined), set(self.uniform)
+
+        m1 = self._fresh("m")
+        if pre_mask is None:
+            self.emit(f"{m1} = {cb}")
+        else:
+            self.emit(f"{m1} = {pre_mask} & {cb}")
+        self.emit(f"if {m1}.any():")
+        self.indent += 1
+        self.mask = m1
+        if self.count_ops:
+            lv = self._fresh("L")
+            self.emit(f"{lv} = int({m1}.sum())")
+            self.lanes = lv
+        start = len(self.lines)
+        for st in s.then_body:
+            self._stmt(st)
+        if len(self.lines) == start:
+            self.emit("pass")
+        self.indent -= 1
+        then_def, then_uni = self.defined, self.uniform
+        self.mask, self.lanes = pre_mask, pre_lanes
+
+        if s.else_body:
+            self.defined, self.uniform = dict(pre_def), set(pre_uni)
+            m2 = self._fresh("m")
+            if pre_mask is None:
+                self.emit(f"{m2} = ~{cb}")
+            else:
+                self.emit(f"{m2} = {pre_mask} & ~{cb}")
+            self.emit(f"if {m2}.any():")
+            self.indent += 1
+            self.mask = m2
+            if self.count_ops:
+                lv = self._fresh("L")
+                self.emit(f"{lv} = int({m2}.sum())")
+                self.lanes = lv
+            start = len(self.lines)
+            for st in s.else_body:
+                self._stmt(st)
+            if len(self.lines) == start:
+                self.emit("pass")
+            self.indent -= 1
+            self.mask, self.lanes = pre_mask, pre_lanes
+            else_def, else_uni = self.defined, self.uniform
+        else:
+            else_def, else_uni = pre_def, pre_uni
+
+        self.defined = self._merge_def(then_def, else_def)
+        self.uniform = then_uni & else_uni
+
+    def _if_uniform(self, s) -> None:
+        """Lane-invariant condition: a plain scalar Python ``if``."""
+        c = self._expr(s.cond)
+        pre_def, pre_uni = dict(self.defined), set(self.uniform)
+        self.emit(f"if bool({c}):")
+        self._body(s.then_body)
+        then_def, then_uni = self.defined, self.uniform
+        if s.else_body:
+            self.defined, self.uniform = dict(pre_def), set(pre_uni)
+            self.emit("else:")
+            self._body(s.else_body)
+            else_def, else_uni = self.defined, self.uniform
+        else:
+            else_def, else_uni = pre_def, pre_uni
+        self.defined = self._merge_def(then_def, else_def)
+        self.uniform = then_uni & else_uni
+
+    def _for(self, s) -> None:
+        self._check_name(s.var)
+        self._counts_for(s.start, s.stop, s.step)
+        bounds = (s.start, s.stop, s.step)
+        # Integer restriction matches Interpreter._exec_for's fast-path
+        # guard: a float step accumulates fractionally in the general
+        # (divergent) walk, which a scalar integer walk cannot reproduce.
+        if all(e.dtype.np_dtype.kind in "iu" for e in bounds) and all(
+            self._is_uniform(e) for e in bounds
+        ):
+            self._for_uniform(s)
+        else:
+            self._for_divergent(s)
+
+    def _post_loop_state(self, s, pre_def, pre_uni) -> None:
+        """Merge definedness after a loop (body ran zero or more times)."""
+        assigned = self._assigned_names(s.body)
+        self.defined = dict(pre_def)
+        for name in assigned:
+            self.defined[name] = "def" if pre_def.get(name) == "def" else "maybe"
+        if pre_def.get(s.var) is not None:
+            self.defined[s.var] = pre_def[s.var]
+        else:
+            self.defined.pop(s.var, None)
+        self.uniform = (pre_uni - assigned) - {s.var}
+
+    def _for_divergent(self, s) -> None:
+        fs = self._expr(s.start)
+        fe = self._expr(s.stop)
+        ft = self._expr(s.step)
+        a, b, c = self._fresh("fs"), self._fresh("fe"), self._fresh("ft")
+        self.emit(f"{a} = _af({fs}, _n)")
+        self.emit(f"{b} = _af({fe}, _n)")
+        self.emit(f"{c} = _af({ft}, _n)")
+        self.emit(f"if ({c} == 0).any(): _zs({s.var!r})")
+        lv = self._fresh("lv")
+        self.emit(f"{lv} = {a}.astype(_np.int64, copy=True)")
+        sv = self._fresh("sv")
+        self.emit(f"{sv} = v_{s.var}")
+        it = self._fresh("it")
+        self.emit(f"{it} = 0")
+
+        pre_mask, pre_lanes = self.mask, self.lanes
+        pre_def, pre_uni = dict(self.defined), set(self.uniform)
+        self.emit("while True:")
+        self.indent += 1
+        m = self._fresh("m")
+        self.emit(f"{m} = _lm({self._mask_arg()}, {c}, {lv}, {b})")
+        self.emit(f"if not {m}.any(): break")
+        self.mask = m
+        if self.count_ops:
+            lvn = self._fresh("L")
+            self.emit(f"{lvn} = int({m}.sum())")
+            self.lanes = lvn
+        self.emit(f"v_{s.var} = {lv}")
+        self.defined[s.var] = "def"
+        self.uniform.discard(s.var)
+        for st in s.body:
+            self._stmt(st)
+        # the body may not reassign the induction variable (canonical
+        # form); advance the private copy, as the interpreter does
+        self.emit(f"{lv} = {lv} + {c}")
+        self.emit(f"{it} += 1")
+        self.emit(f"if {it} > {self.max_loop_iters}: _lo({s.var!r}, {self.max_loop_iters})")
+        self.indent -= 1
+        self.mask, self.lanes = pre_mask, pre_lanes
+        self.emit(f"v_{s.var} = {sv}")
+        self._post_loop_state(s, pre_def, pre_uni)
+
+    def _for_uniform(self, s) -> None:
+        """Lane-invariant integer bounds: a plain Python loop, no masks."""
+        fs = self._expr(s.start)
+        fe = self._expr(s.stop)
+        ft = self._expr(s.step)
+        a, b, c = self._fresh("fs"), self._fresh("fe"), self._fresh("ft")
+        self.emit(f"{a} = {fs}")
+        self.emit(f"{b} = {fe}")
+        self.emit(f"{c} = {ft}")
+        self.emit(f"if {c} == 0: _zs({s.var!r})")
+        si, ei, ti = self._fresh("s"), self._fresh("e"), self._fresh("t")
+        self.emit(f"{si} = int({a})")
+        self.emit(f"{ei} = int({b})")
+        self.emit(f"{ti} = int({c})")
+        tr = self._fresh("tr")
+        self.emit(
+            f"{tr} = max(0, -(({si} - {ei}) // {ti})) if {ti} > 0 "
+            f"else max(0, -(({ei} - {si}) // -{ti}))"
+        )
+
+        hoist_ids = []
+        if not self.count_ops:
+            hoist_ids = self._emit_hoists(s, tr)
+
+        sv = self._fresh("sv")
+        self.emit(f"{sv} = v_{s.var}")
+        cur = self._fresh("cur")
+        self.emit(f"{cur} = {si}")
+        k = self._fresh("k")
+        pre_def, pre_uni = dict(self.defined), set(self.uniform)
+        self.emit(f"for {k} in range({tr}):")
+        self.indent += 1
+        self.emit(f"v_{s.var} = _np.int64({cur})")
+        self.defined[s.var] = "def"
+        self.uniform.add(s.var)
+        for st in s.body:
+            self._stmt(st)
+        self.emit(f"{cur} += {ti}")
+        self.emit(f"if {k} >= {self.max_loop_iters}: _lo({s.var!r}, {self.max_loop_iters})")
+        self.indent -= 1
+        self.emit(f"v_{s.var} = {sv}")
+        for node_id in hoist_ids:
+            self.hoisted.pop(node_id, None)
+        self._post_loop_state(s, pre_def, pre_uni)
+
+    def _emit_hoists(self, s, trip_var: str):
+        """Hoist pure loop-invariant subexpressions above a uniform loop.
+
+        Only side-effect-free subtrees (no loads: no bounds errors, no
+        counters) whose variables are defined before the loop and not
+        reassigned inside it.  Guarded by ``trips > 0`` so a zero-trip loop
+        evaluates nothing, exactly like the interpreter.
+        """
+        banned = self._assigned_names(s.body) | {s.var}
+
+        def invariant(e) -> bool:
+            if isinstance(e, (ir.Load, ir.LoadLocal)):
+                return False
+            if isinstance(e, ir.Var):
+                return e.name not in banned and self.defined.get(e.name) == "def"
+            if isinstance(e, (ir.GlobalId, ir.LocalId, ir.GroupId)):
+                return e.dim < self.kernel.work_dim
+            return all(invariant(c) for c in e.children())
+
+        candidates = []
+
+        def visit(e) -> None:
+            if isinstance(e, (ir.BinOp, ir.UnOp, ir.Call, ir.Cast, ir.Select)) and invariant(e):
+                candidates.append(e)
+                return
+            for ch in e.children():
+                visit(ch)
+
+        for st in ir.walk_stmts(s.body):
+            for t in ir.stmt_exprs(st):
+                visit(t)
+        if not candidates:
+            return []
+
+        self.emit(f"if {trip_var} > 0:")
+        self.indent += 1
+        self.in_hoist = True
+        by_key: Dict[str, str] = {}
+        registered = []
+        try:
+            for node in candidates:
+                key = node.pretty()
+                name = by_key.get(key)
+                if name is None:
+                    name = self._fresh("h")
+                    self.emit(f"{name} = {self._expr(node)}")
+                    by_key[key] = name
+                self.hoisted[id(node)] = name
+                registered.append(id(node))
+        finally:
+            self.in_hoist = False
+        self.indent -= 1
+        return registered
+
+    # -- assembly ----------------------------------------------------------
+    def build(self) -> Tuple[str, dict]:
+        for p in self.kernel.scalar_params:
+            self._check_name(p.name)
+            self.defined[p.name] = "def"
+            self.uniform.add(p.name)
+        for p in self.kernel.buffer_params:
+            self._check_name(p.name)
+        for arr in self.kernel.local_arrays:
+            self._check_name(arr.name)
+
+        scalar_names = {p.name for p in self.kernel.scalar_params}
+        prebind = sorted(self._assigned_names(self.kernel.body) - scalar_names)
+        for name in prebind:
+            self._check_name(name)
+
+        for st in self.kernel.body:
+            self._stmt(st)
+        body_lines = self.lines
+
+        pro = ["def _kernel_main(_frame):", "    _n = _frame.n"]
+        if "ctr" in self.used_flags:
+            pro.append("    _ctr = _frame.counters")
+        if "ro" in self.used_flags:
+            pro.append("    _ro = _frame.readonly")
+        if "wo" in self.used_flags:
+            pro.append("    _wo = _frame.writeonly")
+        if "glin" in self.used_flags:
+            pro.append("    _glin = _frame.group_linear")
+        for kind, dim in sorted(self.used_ids):
+            pro.append(f"    _id_{kind}{dim} = _frame.ids[({kind!r}, {dim})]")
+        size_src = {"gs": "gsize", "ls": "lsize", "ng": "ngroups"}
+        for kind, dim in sorted(self.used_sizes):
+            pro.append(f"    _{kind}{dim} = _np.int64(_frame.{size_src[kind]}[{dim}])")
+        for name in sorted(self.used_bufs):
+            pro.append(f"    _b_{name} = _frame.buffers[{name!r}]")
+        for name in sorted(self.used_locals):
+            pro.append(f"    _la_{name} = _frame.locals[{name!r}]")
+        for p in self.kernel.scalar_params:
+            pro.append(f"    v_{p.name} = _frame.env[{p.name!r}]")
+        for name in prebind:
+            # None encodes "not yet assigned" (see _rt_masked_assign)
+            pro.append(f"    v_{name} = None")
+
+        src = "\n".join(pro + body_lines) + "\n"
+        return src, self.ns
+
+
+class CompiledKernel:
+    """A kernel lowered to Python/NumPy source, ready to launch."""
+
+    __slots__ = ("kernel", "source", "count_ops", "bounds_check",
+                 "max_loop_iters", "_fn")
+
+    def __init__(self, kernel, fn, source, count_ops, bounds_check,
+                 max_loop_iters):
+        self.kernel = kernel
+        self._fn = fn
+        self.source = source
+        self.count_ops = count_ops
+        self.bounds_check = bounds_check
+        self.max_loop_iters = max_loop_iters
+
+    def launch(
+        self,
+        global_size,
+        local_size=None,
+        buffers: Optional[Dict[str, np.ndarray]] = None,
+        scalars: Optional[Dict[str, object]] = None,
+        global_offset=None,
+        readonly=None,
+        writeonly=None,
+    ) -> LaunchResult:
+        """Run the compiled kernel; same contract as ``Interpreter.launch``.
+
+        ``count_ops`` is fixed at compile time (it selects a different
+        compiled variant); everything else matches the interpreter.
+        """
+        buffers = dict(buffers or {})
+        scalars = dict(scalars or {})
+        gsize, lsize = _normalize_sizes(self.kernel, global_size, local_size)
+        goffset = _normalize_offset(gsize, global_offset)
+        _validate_args(self.kernel, buffers, scalars)
+        counters = DynamicCounters() if self.count_ops else None
+        frame = _Frame(
+            self.kernel, gsize, lsize, buffers, scalars, counters, goffset,
+            readonly=readonly, writeonly=writeonly,
+        )
+        self._fn(frame)
+        return LaunchResult(
+            global_size=gsize,
+            local_size=lsize,
+            num_groups=frame.ngroups,
+            counters=counters,
+        )
+
+
+def compile_kernel(
+    kernel: ir.Kernel,
+    *,
+    count_ops: bool = False,
+    bounds_check: bool = True,
+    max_loop_iters: int = DEFAULT_MAX_LOOP_ITERS,
+) -> CompiledKernel:
+    """Lower ``kernel`` to Python source and ``exec`` it into a callable.
+
+    Raises :class:`UnsupportedKernelError` when the IR uses a construct the
+    compiler cannot prove it can lower faithfully (callers should fall back
+    to the interpreter; :func:`launch_kernel` does this automatically).
+    """
+    cg = _Codegen(kernel, count_ops, bounds_check, max_loop_iters)
+    src, ns = cg.build()
+    code = compile(src, f"<kernelir.compile:{kernel.name}>", "exec")
+    exec(code, ns)
+    return CompiledKernel(
+        kernel, ns["_kernel_main"], src, bool(count_ops), bool(bounds_check),
+        int(max_loop_iters),
+    )
+
+
+def generated_source(
+    kernel: ir.Kernel,
+    *,
+    count_ops: bool = False,
+    bounds_check: bool = True,
+    max_loop_iters: int = DEFAULT_MAX_LOOP_ITERS,
+) -> str:
+    """The Python source the JIT generates for ``kernel`` (for dumps/CI)."""
+    return compile_kernel(
+        kernel,
+        count_ops=count_ops,
+        bounds_check=bounds_check,
+        max_loop_iters=max_loop_iters,
+    ).source
+
+
+# ---------------------------------------------------------------------------
+# Compile cache, engine selection, dispatch
+# ---------------------------------------------------------------------------
+
+_COMPILED_CACHE = LaunchPlanCache("kernelir.compiled", maxsize=256)
+#: negative cache: compile-option key -> reason string.  Always on (not
+#: subject to REPRO_NO_CACHE) so unsupported kernels are not re-analyzed
+#: on every launch, and always consulted before attempting a compile.
+_UNSUPPORTED: Dict[tuple, str] = {}
+
+_STATS = {
+    "kernels_compiled": 0,
+    "kernels_unsupported": 0,
+    "launches_compiled": 0,
+    "launches_fallback": 0,
+    "launches_interp": 0,
+}
+_UNSUPPORTED_REASONS: Dict[str, str] = {}
+
+_ENGINE = "compiled"
+
+_DEFAULT_INTERP = Interpreter()
+
+
+def set_engine(engine: str) -> None:
+    """Select the functional execution engine: ``"compiled"`` or ``"interp"``."""
+    global _ENGINE
+    if engine not in ("compiled", "interp"):
+        raise ValueError(f"unknown engine {engine!r} (use 'compiled' or 'interp')")
+    _ENGINE = engine
+
+
+def get_engine() -> str:
+    return _ENGINE
+
+
+def jit_enabled() -> bool:
+    """True when functional launches should try the compiled path.
+
+    ``REPRO_NO_JIT=1`` (any value except ``""``/``"0"``) forces the
+    interpreter, mirroring ``REPRO_NO_CACHE`` for the plan caches.
+    """
+    if _ENGINE != "compiled":
+        return False
+    return os.environ.get("REPRO_NO_JIT", "") in ("", "0")
+
+
+def _cache_key(kernel, count_ops, bounds_check, max_loop_iters) -> tuple:
+    return (
+        kernel.fingerprint(),
+        bool(count_ops),
+        bool(bounds_check),
+        int(max_loop_iters),
+    )
+
+
+def get_compiled(
+    kernel: ir.Kernel,
+    *,
+    count_ops: bool = False,
+    bounds_check: bool = True,
+    max_loop_iters: int = DEFAULT_MAX_LOOP_ITERS,
+) -> Optional[CompiledKernel]:
+    """Cached compile; ``None`` when the kernel is unsupported by the JIT."""
+    key = _cache_key(kernel, count_ops, bounds_check, max_loop_iters)
+    if key in _UNSUPPORTED:
+        return None
+    ck = _COMPILED_CACHE.get(key)
+    if ck is not None:
+        return ck
+    try:
+        ck = compile_kernel(
+            kernel,
+            count_ops=count_ops,
+            bounds_check=bounds_check,
+            max_loop_iters=max_loop_iters,
+        )
+    except UnsupportedKernelError as e:
+        _UNSUPPORTED[key] = str(e)
+        _UNSUPPORTED_REASONS[kernel.name] = str(e)
+        _STATS["kernels_unsupported"] += 1
+        return None
+    _STATS["kernels_compiled"] += 1
+    _COMPILED_CACHE.put(key, ck)
+    return ck
+
+
+def launch_kernel(
+    kernel: ir.Kernel,
+    global_size,
+    local_size=None,
+    *,
+    buffers: Optional[Dict[str, np.ndarray]] = None,
+    scalars: Optional[Dict[str, object]] = None,
+    count_ops: bool = False,
+    global_offset=None,
+    readonly=None,
+    writeonly=None,
+    interpreter: Optional[Interpreter] = None,
+) -> LaunchResult:
+    """Engine-dispatching functional launch.
+
+    Tries the compiled path when the JIT is enabled, falling back to
+    ``interpreter`` (or a module-level default) when the kernel is
+    unsupported or the engine is ``"interp"``/``REPRO_NO_JIT=1``.  Compile
+    options (bounds checking, loop-iteration cap) are taken from the
+    interpreter instance so both engines enforce identical policies.
+    """
+    interp = interpreter if interpreter is not None else _DEFAULT_INTERP
+    if jit_enabled():
+        ck = get_compiled(
+            kernel,
+            count_ops=count_ops,
+            bounds_check=interp.bounds_check,
+            max_loop_iters=interp.max_loop_iters,
+        )
+        if ck is not None:
+            _STATS["launches_compiled"] += 1
+            return ck.launch(
+                global_size,
+                local_size,
+                buffers=buffers,
+                scalars=scalars,
+                global_offset=global_offset,
+                readonly=readonly,
+                writeonly=writeonly,
+            )
+        _STATS["launches_fallback"] += 1
+    else:
+        _STATS["launches_interp"] += 1
+    return interp.launch(
+        kernel,
+        global_size,
+        local_size,
+        buffers=buffers,
+        scalars=scalars,
+        count_ops=count_ops,
+        global_offset=global_offset,
+        readonly=readonly,
+        writeonly=writeonly,
+    )
+
+
+def prepare_kernel(kernel: ir.Kernel) -> str:
+    """Eagerly compile at program-build time; returns a build-log line.
+
+    Called by the device models from ``Program.build()`` so that the first
+    ``enqueue_nd_range_kernel`` already hits the compiled path, mirroring
+    how a real OpenCL runtime does its codegen in ``clBuildProgram``.
+    """
+    if not jit_enabled():
+        return "kernel JIT: disabled (interpreter engine)"
+    ck = get_compiled(kernel)
+    if ck is None:
+        reason = _UNSUPPORTED_REASONS.get(kernel.name, "unsupported IR")
+        return f"kernel JIT: interpreter fallback ({reason})"
+    nlines = len(ck.source.splitlines())
+    return f"kernel JIT: compiled to fused NumPy ({nlines} lines)"
+
+
+def compile_stats() -> dict:
+    """Snapshot of JIT activity (reported by ``python -m repro bench``)."""
+    return {
+        "engine": "compiled" if jit_enabled() else "interp",
+        "kernels_compiled": _STATS["kernels_compiled"],
+        "kernels_unsupported": _STATS["kernels_unsupported"],
+        "launches": {
+            "compiled": _STATS["launches_compiled"],
+            "interp_fallback": _STATS["launches_fallback"],
+            "interp_forced": _STATS["launches_interp"],
+        },
+        "unsupported": dict(sorted(_UNSUPPORTED_REASONS.items())),
+    }
+
+
+def reset_compile_stats() -> None:
+    for k in _STATS:
+        _STATS[k] = 0
+    _UNSUPPORTED_REASONS.clear()

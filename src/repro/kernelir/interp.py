@@ -124,6 +124,52 @@ class LaunchResult:
         return int(np.prod(self.num_groups))
 
 
+def _normalize_offset(gsize, global_offset):
+    """Validate/canonicalize a launch's global work offset (may be None)."""
+    if global_offset is None:
+        return None
+    if isinstance(global_offset, int):
+        global_offset = (global_offset,)
+    global_offset = tuple(int(o) for o in global_offset)
+    if len(global_offset) != len(gsize):
+        raise KernelExecutionError(
+            "global_offset rank must match global_size rank"
+        )
+    if any(o < 0 for o in global_offset):
+        raise KernelExecutionError("global_offset must be non-negative")
+    return global_offset
+
+
+def _validate_args(kernel, buffers, scalars):
+    """Check buffer bindings and coerce scalars to their declared dtypes.
+
+    Shared by the interpreter and the compiled-kernel launcher
+    (:mod:`repro.kernelir.compile`) so both engines reject malformed
+    launches with identical diagnostics.  Mutates ``scalars`` in place.
+    """
+    for p in kernel.buffer_params:
+        if p.name not in buffers:
+            raise KernelExecutionError(
+                f"kernel {kernel.name}: missing buffer argument {p.name!r}"
+            )
+        arr = buffers[p.name]
+        if not isinstance(arr, np.ndarray) or arr.ndim != 1:
+            raise KernelExecutionError(
+                f"buffer {p.name!r} must be a 1-D numpy array"
+            )
+        if arr.dtype != p.dtype.np_dtype:
+            raise KernelExecutionError(
+                f"buffer {p.name!r} dtype {arr.dtype} != kernel param "
+                f"{p.dtype.np_dtype}"
+            )
+    for p in kernel.scalar_params:
+        if p.name not in scalars:
+            raise KernelExecutionError(
+                f"kernel {kernel.name}: missing scalar argument {p.name!r}"
+            )
+        scalars[p.name] = p.dtype.np_dtype.type(scalars[p.name])
+
+
 def _normalize_sizes(
     kernel: ir.Kernel,
     global_size,
@@ -244,38 +290,8 @@ class Interpreter:
         buffers = dict(buffers or {})
         scalars = dict(scalars or {})
         gsize, lsize = _normalize_sizes(kernel, global_size, local_size)
-        if global_offset is not None:
-            if isinstance(global_offset, int):
-                global_offset = (global_offset,)
-            global_offset = tuple(int(o) for o in global_offset)
-            if len(global_offset) != len(gsize):
-                raise KernelExecutionError(
-                    "global_offset rank must match global_size rank"
-                )
-            if any(o < 0 for o in global_offset):
-                raise KernelExecutionError("global_offset must be non-negative")
-
-        for p in kernel.buffer_params:
-            if p.name not in buffers:
-                raise KernelExecutionError(
-                    f"kernel {kernel.name}: missing buffer argument {p.name!r}"
-                )
-            arr = buffers[p.name]
-            if not isinstance(arr, np.ndarray) or arr.ndim != 1:
-                raise KernelExecutionError(
-                    f"buffer {p.name!r} must be a 1-D numpy array"
-                )
-            if arr.dtype != p.dtype.np_dtype:
-                raise KernelExecutionError(
-                    f"buffer {p.name!r} dtype {arr.dtype} != kernel param "
-                    f"{p.dtype.np_dtype}"
-                )
-        for p in kernel.scalar_params:
-            if p.name not in scalars:
-                raise KernelExecutionError(
-                    f"kernel {kernel.name}: missing scalar argument {p.name!r}"
-                )
-            scalars[p.name] = p.dtype.np_dtype.type(scalars[p.name])
+        global_offset = _normalize_offset(gsize, global_offset)
+        _validate_args(kernel, buffers, scalars)
 
         counters = DynamicCounters() if count_ops else None
         frame = _Frame(
@@ -350,6 +366,24 @@ class Interpreter:
         start = self._as_full(self._eval(stmt.start, frame, mask), frame)
         stop = self._as_full(self._eval(stmt.stop, frame, mask), frame)
         step = self._as_full(self._eval(stmt.step, frame, mask), frame)
+        # Uniform-bounds fast path: when start/stop/step are broadcast
+        # scalars (zero-stride views, i.e. identical across every lane) the
+        # trip count is the same for all active lanes, so the per-iteration
+        # full-width ``active`` mask recomputation collapses to one scalar
+        # compare and the loop body runs under the caller's mask unchanged.
+        # Restricted to integer bounds: a float step would accumulate
+        # fractionally in the general path (loopvar promotes), which the
+        # scalar walk cannot reproduce.
+        if (
+            start.strides == (0,)
+            and stop.strides == (0,)
+            and step.strides == (0,)
+            and start.dtype.kind in "iu"
+            and stop.dtype.kind in "iu"
+            and step.dtype.kind in "iu"
+        ):
+            self._exec_for_uniform(stmt, frame, mask, start, stop, step)
+            return
         if (step == 0).any():
             raise KernelExecutionError(f"loop {stmt.var}: zero step")
         loopvar = start.astype(np.int64, copy=True)
@@ -369,6 +403,35 @@ class Interpreter:
                 raise KernelExecutionError(
                     f"loop {stmt.var} exceeded {self.max_loop_iters} iterations"
                 )
+        if saved is not None:
+            frame.env[stmt.var] = saved
+        else:
+            frame.env.pop(stmt.var, None)
+
+    def _exec_for_uniform(
+        self, stmt: ir.For, frame: _Frame, mask: np.ndarray, start, stop, step
+    ) -> None:
+        """Lock-step loop with lane-invariant bounds (see ``_exec_for``)."""
+        cur = int(start[0])
+        end = int(stop[0])
+        inc = int(step[0])
+        if inc == 0:
+            raise KernelExecutionError(f"loop {stmt.var}: zero step")
+        saved = frame.env.get(stmt.var)
+        iters = 0
+        if mask.any():
+            while (cur < end) if inc > 0 else (cur > end):
+                frame.env[stmt.var] = np.broadcast_to(
+                    np.int64(cur), (frame.n,)
+                )
+                self._exec_body(stmt.body, frame, mask)
+                cur += inc
+                iters += 1
+                if iters > self.max_loop_iters:
+                    raise KernelExecutionError(
+                        f"loop {stmt.var} exceeded {self.max_loop_iters} "
+                        f"iterations"
+                    )
         if saved is not None:
             frame.env[stmt.var] = saved
         else:

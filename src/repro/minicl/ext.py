@@ -31,6 +31,7 @@ from typing import Callable, Dict, Optional, Sequence, Union
 import numpy as np
 
 from ..kernelir.analysis import LaunchContext, analyze_kernel
+from ..kernelir.compile import launch_kernel
 from ..simcpu.device import CPUDeviceModel, KernelCost
 from ..simcpu.residency import (
     DEFAULT_MISS_VISIBILITY,
@@ -179,9 +180,10 @@ class AffinityCommandQueue(CommandQueue):
 
         if self.functional:
             arrays = {name: b.array for name, b in buffers.items()}
-            self._interp.launch(
+            launch_kernel(
                 kernel.kernel, gsize, resolved_lsize,
                 buffers=arrays, scalars=scalars,
+                interpreter=self._interp,
             )
 
         return self._complete(

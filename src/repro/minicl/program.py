@@ -37,10 +37,21 @@ class Program:
                 raise InvalidValue(f"duplicate kernel name {k.name!r}")
             self._kernels[k.name] = k
         self.build_log: Dict[str, str] = {}
+        #: per-kernel status of the functional kernel JIT (compiled vs
+        #: interpreter fallback), filled by :meth:`build`
+        self.jit_log: Dict[str, str] = {}
         self._built = False
 
-    def build(self) -> "Program":
-        """Produce a per-kernel vectorization report (the "compiler log")."""
+    def build(self, *, jit: bool = True) -> "Program":
+        """Produce a per-kernel vectorization report (the "compiler log").
+
+        Also runs the functional kernel JIT once per kernel (the
+        clBuildProgram analogue) so later enqueues start on the compiled
+        path; the outcome is recorded in :attr:`jit_log`.  ``jit=False``
+        skips the eager compile — callers that only ever time launches
+        (``functional=False`` queues) don't pay for codegen they never
+        use; a functional launch still compiles lazily on first enqueue.
+        """
         dev = self.context.device
         for name, k in self._kernels.items():
             if dev.is_gpu:
@@ -51,6 +62,12 @@ class Program:
                 ctx = LaunchContext((max(w, 1),), (max(w, 1),))
                 rep = dev.model.vectorizer.vectorize(k, ctx)
                 self.build_log[name] = rep.explain()
+            if jit:
+                self.jit_log[name] = dev.model.prepare_kernel(k)
+            else:
+                self.jit_log[name] = (
+                    "kernel JIT: deferred (compiles on first functional launch)"
+                )
         self._built = True
         return self
 

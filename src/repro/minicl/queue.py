@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..kernelir.analysis import LaunchContext
+from ..kernelir.compile import launch_kernel
 from ..kernelir.interp import Interpreter, KernelExecutionError
 from ..kernelir.verify import verify_launch
 from ..plancache import LaunchPlanCache
@@ -41,8 +42,17 @@ __all__ = ["CommandQueue"]
 #: Memoized static-verifier reports.  A verify result is a pure function of
 #: the kernel, launch shape, scalars, buffer sizes and buffer flags, so with
 #: ``REPRO_VERIFY=1`` repeated enqueues of an identical launch shape (the
-#: harness's ``repeat_to_target`` loop) stop re-verifying.
-_VERIFY_CACHE = LaunchPlanCache("minicl.verify", maxsize=2048)
+#: harness's ``repeat_to_target`` loop) stop re-verifying.  The cache is
+#: registered lazily so runs that never enqueue with ``verify=`` do not
+#: report a dead ``minicl.verify`` family in cache statistics.
+_VERIFY_CACHE: Optional[LaunchPlanCache] = None
+
+
+def _verify_cache() -> LaunchPlanCache:
+    global _VERIFY_CACHE
+    if _VERIFY_CACHE is None:
+        _VERIFY_CACHE = LaunchPlanCache("minicl.verify", maxsize=2048)
+    return _VERIFY_CACHE
 
 
 class CommandQueue:
@@ -194,7 +204,8 @@ class CommandQueue:
                 tuple(sorted(buffer_sizes.items())),
                 tuple(sorted(flags.items())),
             )
-            report = _VERIFY_CACHE.get(vkey)
+            vcache = _verify_cache()
+            report = vcache.get(vkey)
             if report is None:
                 report = verify_launch(
                     kernel.kernel,
@@ -205,7 +216,7 @@ class CommandQueue:
                     buffer_sizes=buffer_sizes,
                     buffer_flags=flags,
                 )
-                _VERIFY_CACHE.put(vkey, report)
+                vcache.put(vkey, report)
             self.last_verify_report = report
             if report.errors:
                 raise KernelVerificationError(
@@ -219,10 +230,11 @@ class CommandQueue:
 
         if self.functional:
             arrays = {name: b.array for name, b in buffers.items()}
-            self._interp.launch(
+            launch_kernel(
                 kernel.kernel, gsize, resolved_lsize, buffers=arrays,
                 scalars=scalars, global_offset=global_work_offset,
                 readonly=readonly, writeonly=writeonly,
+                interpreter=self._interp,
             )
 
         return self._complete(

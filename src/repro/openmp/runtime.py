@@ -24,6 +24,7 @@ import numpy as np
 
 from ..kernelir.analysis import LatencyTable, LaunchContext, analyze_kernel
 from ..kernelir.ast import Kernel
+from ..kernelir.compile import launch_kernel
 from ..kernelir.interp import Interpreter
 from ..kernelir.vectorize import LoopVectorizer, VectorizationReport
 from ..simcpu.cachemodel import MemoryCostModel
@@ -157,8 +158,9 @@ class OpenMPRuntime:
 
         # --- functional execution --------------------------------------------
         if self.functional:
-            self._interp.launch(
-                kernel, (n,), (n,), buffers=buffers, scalars=scalars
+            launch_kernel(
+                kernel, (n,), (n,), buffers=buffers, scalars=scalars,
+                interpreter=self._interp,
             )
 
         self.now_ns += time_ns

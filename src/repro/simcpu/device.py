@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..kernelir.analysis import KernelAnalysis, LaunchContext, LatencyTable, analyze_kernel
 from ..kernelir.ast import Kernel
+from ..kernelir.compile import prepare_kernel as _jit_prepare
 from ..kernelir.vectorize import OpenCLVectorizer, VectorizationReport
 from ..plancache import LaunchPlanCache
 from .cachemodel import MemoryCostModel
@@ -90,6 +91,14 @@ class CPUDeviceModel:
         #: NDRange, scalars, buffer sizes) skip re-analysis + re-vectorization
         #: — the pocl-style compiled-work-group-function cache.
         self.plan_cache = LaunchPlanCache("cpu.kernel_cost", maxsize=4096)
+
+    # -- program build -------------------------------------------------------
+    def prepare_kernel(self, kernel: Kernel) -> str:
+        """clBuildProgram-time codegen: warm the kernel-JIT cache.
+
+        Returns a one-line status for the program's ``jit_log``.
+        """
+        return _jit_prepare(kernel)
 
     # -- NDRange policy ------------------------------------------------------
     def choose_local_size(

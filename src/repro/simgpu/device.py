@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..kernelir.analysis import KernelAnalysis, LaunchContext, LatencyTable, analyze_kernel
 from ..kernelir.ast import Kernel
+from ..kernelir.compile import prepare_kernel as _jit_prepare
 from ..plancache import LaunchPlanCache
 from .occupancy import Occupancy, compute_occupancy
 from .sm import SMCost, SMModel
@@ -60,6 +61,15 @@ class GPUDeviceModel:
         self.sm_model = SMModel(spec)
         #: memoized launch plans (see :mod:`repro.plancache`)
         self.plan_cache = LaunchPlanCache("gpu.kernel_cost", maxsize=4096)
+
+    # -- program build ------------------------------------------------------
+    def prepare_kernel(self, kernel: Kernel) -> str:
+        """clBuildProgram-time codegen: warm the kernel-JIT cache.
+
+        Functional execution of GPU-device launches runs on the same host
+        engines as the CPU device, so the same compiled artifact is shared.
+        """
+        return _jit_prepare(kernel)
 
     # -- NDRange policy -----------------------------------------------------
     def choose_local_size(

@@ -155,6 +155,36 @@ class Benchmark(abc.ABC):
                 err_msg=f"{self.name}: buffer {name!r} mismatch",
             )
 
+    def resolved_launch(
+        self,
+        global_size: Optional[Sequence[int]] = None,
+        *,
+        coalesce: int = 1,
+        local_size: Optional[Sequence[int]] = None,
+    ) -> Tuple[Kernel, Tuple[int, ...], Tuple[int, ...]]:
+        """(kernel IR, launch global size, resolved local size) for a sweep
+        point — the same resolution :meth:`validate`/:meth:`verify` apply
+        (coalesce scaling, the NULL-local-size policy, divisor shrinking).
+
+        Harness caches key on this resolved identity rather than on the raw
+        sweep parameters, so e.g. an explicit local size that resolves to
+        the NULL-policy choice shares one cache entry.
+        """
+        gs = tuple(
+            int(g) for g in (global_size or self.default_global_sizes[0])
+        )
+        launch_gs = scale_global_size(gs, coalesce)
+        kernel = self.kernel(coalesce)
+        ls = local_size or self.default_local_size
+        if ls is None:
+            ls = tuple(_largest_divisor_at_most(g, 256) for g in launch_gs)
+        else:
+            ls = tuple(min(int(l), g) for l, g in zip(ls, launch_gs))
+            ls = tuple(
+                _largest_divisor_at_most(g, l) for g, l in zip(launch_gs, ls)
+            )
+        return kernel, launch_gs, ls
+
     def verify(
         self,
         global_size: Optional[Sequence[int]] = None,
@@ -188,16 +218,9 @@ class Benchmark(abc.ABC):
             rng = rng or np.random.default_rng(0)
             buffers, scalars = self.make_data(gs, rng)
         scalars = {**scalars, **self.scalars_for(coalesce)}
-        launch_gs = scale_global_size(gs, coalesce)
-        kernel = self.kernel(coalesce)
-        ls = local_size or self.default_local_size
-        if ls is None:
-            ls = tuple(_largest_divisor_at_most(g, 256) for g in launch_gs)
-        else:
-            ls = tuple(min(int(l), g) for l, g in zip(ls, launch_gs))
-            ls = tuple(
-                _largest_divisor_at_most(g, l) for g, l in zip(launch_gs, ls)
-            )
+        kernel, launch_gs, ls = self.resolved_launch(
+            gs, coalesce=coalesce, local_size=local_size
+        )
         ctx = LaunchContext(
             launch_gs, ls,
             scalars={k: float(v) for k, v in scalars.items()},

@@ -1,0 +1,400 @@
+"""Differential harness: compiled kernels vs the lock-step interpreter.
+
+Every suite benchmark plus targeted divergence/atomic/negative-step
+kernels run through both engines; buffers and dynamic counters must be
+bit-identical, and every diagnostic (out-of-bounds, mem-flags, zero-step,
+loop overflow) must carry the same message text.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.kernelir import (
+    F32,
+    I32,
+    I64,
+    Interpreter,
+    KernelBuilder,
+    KernelExecutionError,
+    compile_kernel,
+    get_compiled,
+    launch_kernel,
+)
+from repro.kernelir.compile import UnsupportedKernelError
+from repro.suite import (
+    BinomialOptionBenchmark,
+    BlackScholesBenchmark,
+    CPCenergyBenchmark,
+    HistogramBenchmark,
+    IlpMicroBenchmark,
+    MatrixMulBenchmark,
+    MatrixMulNaiveBenchmark,
+    MBENCHES,
+    MriFhdFHBenchmark,
+    MriFhdRhoPhiBenchmark,
+    MriQComputeQBenchmark,
+    MriQPhiMagBenchmark,
+    PrefixSumBenchmark,
+    ReductionBenchmark,
+    SquareBenchmark,
+    VectorAddBenchmark,
+    scale_global_size,
+)
+from repro.suite.base import _largest_divisor_at_most
+
+
+def run_both(kernel, gs, ls, buffers, scalars, *, count_ops=True,
+             global_offset=None, readonly=None, writeonly=None):
+    """Launch on both engines, assert bit-identical effects, return results."""
+    bufs_i = {k: v.copy() for k, v in buffers.items()}
+    bufs_c = {k: v.copy() for k, v in buffers.items()}
+    res_i = Interpreter().launch(
+        kernel, gs, ls, buffers=bufs_i, scalars=dict(scalars),
+        count_ops=count_ops, global_offset=global_offset,
+        readonly=readonly, writeonly=writeonly,
+    )
+    ck = get_compiled(kernel, count_ops=count_ops)
+    assert ck is not None, f"kernel {kernel.name} unexpectedly unsupported"
+    res_c = ck.launch(
+        gs, ls, buffers=bufs_c, scalars=dict(scalars),
+        global_offset=global_offset, readonly=readonly, writeonly=writeonly,
+    )
+    for name in bufs_i:
+        assert bufs_i[name].dtype == bufs_c[name].dtype, name
+        np.testing.assert_array_equal(
+            bufs_i[name], bufs_c[name],
+            err_msg=f"kernel {kernel.name}: buffer {name!r} diverged",
+        )
+    if count_ops:
+        assert dataclasses.asdict(res_i.counters) == dataclasses.asdict(
+            res_c.counters
+        ), f"kernel {kernel.name}: dynamic counters diverged"
+    assert res_i.global_size == res_c.global_size
+    assert res_i.local_size == res_c.local_size
+    assert res_i.num_groups == res_c.num_groups
+    return bufs_i, bufs_c
+
+
+def both_raise(kernel, gs, ls, buffers, scalars, **kw):
+    """Both engines must raise KernelExecutionError with identical text."""
+    with pytest.raises(KernelExecutionError) as ei:
+        Interpreter().launch(
+            kernel, gs, ls,
+            buffers={k: v.copy() for k, v in buffers.items()},
+            scalars=dict(scalars), **kw,
+        )
+    ck = get_compiled(kernel)
+    assert ck is not None
+    with pytest.raises(KernelExecutionError) as ec:
+        ck.launch(
+            gs, ls,
+            buffers={k: v.copy() for k, v in buffers.items()},
+            scalars=dict(scalars), **kw,
+        )
+    assert str(ei.value) == str(ec.value)
+    return str(ei.value)
+
+
+# ---------------------------------------------------------------------------
+# Every suite benchmark (small launch shapes from the suite's own tests)
+# ---------------------------------------------------------------------------
+
+SUITE_CASES = [
+    (SquareBenchmark(), (2048,), 1),
+    (SquareBenchmark(), (2000,), 4),
+    (VectorAddBenchmark(), (4096,), 1),
+    (VectorAddBenchmark(), (4400,), 4),
+    (MatrixMulBenchmark(), (32, 16), 1),
+    (MatrixMulNaiveBenchmark(), (24, 16), 1),
+    (ReductionBenchmark(wg_size=64), (64 * 16,), 1),
+    (HistogramBenchmark(), (4096,), 1),
+    (PrefixSumBenchmark(256), (256,), 1),
+    (BlackScholesBenchmark(), (16, 8), 1),
+    (BinomialOptionBenchmark(steps=16), (16 * 4,), 1),
+    (CPCenergyBenchmark(natoms=60), (16, 8), 1),
+    (CPCenergyBenchmark(natoms=60), (16, 8), 4),
+    (MriQPhiMagBenchmark(), (1024,), 1),
+    (MriQPhiMagBenchmark(), (1024,), 4),
+    (MriQComputeQBenchmark(num_k=48), (128,), 1),
+    (MriFhdRhoPhiBenchmark(), (1024,), 1),
+    (MriFhdFHBenchmark(num_k=48), (128,), 1),
+    (IlpMicroBenchmark(1, n=64), (64,), 1),
+    (IlpMicroBenchmark(4, n=64), (64,), 1),
+] + [(mb, (1024,), 1) for mb in MBENCHES]
+
+
+def _case_id(case):
+    bench, gs, coalesce = case
+    return f"{bench.name}-{'x'.join(map(str, gs))}-c{coalesce}"
+
+
+@pytest.mark.parametrize("case", SUITE_CASES, ids=_case_id)
+def test_suite_benchmark_differential(case):
+    bench, gs, coalesce = case
+    kernel = bench.kernel(coalesce)
+    buffers, scalars = bench.make_data(gs, np.random.default_rng(7))
+    scalars = {**scalars, **bench.scalars_for(coalesce)}
+    launch_gs = scale_global_size(gs, coalesce)
+    ls = bench.default_local_size
+    if ls is not None:
+        ls = tuple(min(int(l), g) for l, g in zip(ls, launch_gs))
+        ls = tuple(_largest_divisor_at_most(g, l) for g, l in zip(launch_gs, ls))
+    # count_ops=True checks the counting variant; count_ops=False also
+    # exercises loop-invariant hoisting (disabled under counters).
+    run_both(kernel, launch_gs, ls, buffers, scalars, count_ops=True)
+    run_both(kernel, launch_gs, ls, buffers, scalars, count_ops=False)
+
+
+# ---------------------------------------------------------------------------
+# Targeted control-flow / memory kernels
+# ---------------------------------------------------------------------------
+
+
+def _divergent_kernel():
+    """Data-dependent If nesting with else branches."""
+    kb = KernelBuilder("diverge")
+    src = kb.buffer("src", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    x = kb.let("x", src[g])
+    with kb.if_(x > 0.0):
+        with kb.if_((g % 3).eq(0)):
+            kb.store(out, g, x * 2.0)
+        with kb.else_():
+            kb.store(out, g, x + 1.0)
+    with kb.else_():
+        kb.store(out, g, -x)
+    return kb.finish()
+
+
+def test_divergent_if_else():
+    k = _divergent_kernel()
+    n = 777
+    rng = np.random.default_rng(3)
+    bufs = {
+        "src": rng.standard_normal(n).astype(np.float32),
+        "out": np.zeros(n, dtype=np.float32),
+    }
+    run_both(k, (n,), (7,), bufs, {})
+
+
+def test_atomics_with_duplicate_indices():
+    kb = KernelBuilder("atomic_dup")
+    out = kb.buffer("hist", I32, access="rw")
+    g = kb.global_id(0)
+    out.atomic_add(g % 7, kb.i32(1))
+    k = kb.finish()
+    bufs = {"hist": np.zeros(16, dtype=np.int32)}
+    run_both(k, (501,), (3,), bufs, {})
+
+
+def test_divergent_loop_negative_step():
+    """Per-lane trip counts walking downward."""
+    kb = KernelBuilder("negstep")
+    out = kb.buffer("out", I64, access="rw")
+    g = kb.global_id(0)
+    acc = kb.let("acc", kb.cast(0, I64))
+    with kb.loop("i", g, 0, -2) as i:
+        acc = kb.let("acc", acc + i)
+    kb.store(out, g, acc)
+    k = kb.finish()
+    bufs = {"out": np.zeros(33, dtype=np.int64)}
+    run_both(k, (33,), (11,), bufs, {})
+
+
+def test_uniform_loop_negative_step_and_zero_trip():
+    kb = KernelBuilder("negstep_uniform")
+    out = kb.buffer("out", I64, access="rw")
+    n = kb.scalar("n", I32)
+    g = kb.global_id(0)
+    acc = kb.let("acc", kb.cast(0, I64))
+    with kb.loop("i", n, 0, -3) as i:
+        acc = kb.let("acc", acc + i)
+    # zero-trip uniform loop: body must never execute
+    with kb.loop("j", 5, 5) as j:
+        acc = kb.let("acc", acc + 1000 + j)
+    kb.store(out, g, acc)
+    k = kb.finish()
+    for nval in (10, 0, -4):
+        bufs = {"out": np.zeros(8, dtype=np.int64)}
+        run_both(k, (8,), (4,), bufs, {"n": nval})
+
+
+def test_zero_step_message_parity():
+    kb = KernelBuilder("zstep")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    with kb.loop("i", 0, 4, 0):
+        kb.store(out, g, 1.0)
+    k = kb.finish()
+    bufs = {"out": np.zeros(8, dtype=np.float32)}
+    msg = both_raise(k, (8,), (4,), bufs, {})
+    assert msg == "loop i: zero step"
+
+
+def test_loop_overflow_message_parity():
+    kb = KernelBuilder("overflow")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    with kb.loop("i", 0, 1000) as i:
+        kb.store(out, g, kb.f32(i))
+    k = kb.finish()
+    bufs = {"out": np.zeros(4, dtype=np.float32)}
+    interp = Interpreter(max_loop_iters=10)
+    with pytest.raises(KernelExecutionError) as ei:
+        interp.launch(k, (4,), (2,), buffers={n: b.copy() for n, b in bufs.items()})
+    ck = compile_kernel(k, max_loop_iters=10)
+    with pytest.raises(KernelExecutionError) as ec:
+        ck.launch((4,), (2,), buffers={n: b.copy() for n, b in bufs.items()})
+    assert str(ei.value) == str(ec.value) == "loop i exceeded 10 iterations"
+    # exactly at the limit: no overflow on either engine
+    interp2 = Interpreter(max_loop_iters=1000)
+    interp2.launch(k, (4,), (2,), buffers={n: b.copy() for n, b in bufs.items()})
+    compile_kernel(k, max_loop_iters=1000).launch(
+        (4,), (2,), buffers={n: b.copy() for n, b in bufs.items()}
+    )
+
+
+def test_induction_variable_shadowing_restore():
+    """The loop variable must be restored (or undefined) after the loop."""
+    kb = KernelBuilder("shadow")
+    out = kb.buffer("out", I64, access="w")
+    g = kb.global_id(0)
+    i0 = kb.let("i", g * 100)
+    with kb.loop("i", 0, 3):
+        kb.barrier()  # loop body is lock-step no-op; only shadowing matters
+    kb.store(out, g, i0)
+    k = kb.finish()
+    bufs = {"out": np.zeros(6, dtype=np.int64)}
+    run_both(k, (6,), (3,), bufs, {})
+
+
+def test_out_of_bounds_message_parity():
+    kb = KernelBuilder("oob")
+    src = kb.buffer("a", F32, access="r")
+    out = kb.buffer("b", F32, access="w")
+    g = kb.global_id(0)
+    kb.store(out, g, src[g + 100])
+    k = kb.finish()
+    bufs = {
+        "a": np.ones(8, dtype=np.float32),
+        "b": np.zeros(8, dtype=np.float32),
+    }
+    msg = both_raise(k, (8,), (4,), bufs, {})
+    assert msg == (
+        "out-of-bounds access on buffer 'a': index range [100, 107] vs size 8"
+    )
+
+
+def test_mem_flags_message_parity():
+    kb = KernelBuilder("flags")
+    a = kb.buffer("a", F32, access="rw")
+    b = kb.buffer("b", F32, access="rw")
+    g = kb.global_id(0)
+    kb.store(b, g, a[g])
+    k = kb.finish()
+    bufs = {
+        "a": np.ones(4, dtype=np.float32),
+        "b": np.zeros(4, dtype=np.float32),
+    }
+    msg = both_raise(k, (4,), (2,), bufs, {}, writeonly={"a"})
+    assert msg == "read from buffer 'a' allocated with mem_flags.WRITE_ONLY"
+    msg = both_raise(k, (4,), (2,), bufs, {}, readonly={"b"})
+    assert msg == "write to buffer 'b' allocated with mem_flags.READ_ONLY"
+
+
+def test_two_dim_with_global_offset():
+    kb = KernelBuilder("offset2d", work_dim=2)
+    out = kb.buffer("out", I64, access="w")
+    g0 = kb.global_id(0)
+    g1 = kb.global_id(1)
+    kb.store(out, (g0 - 3) * 8 + (g1 - 2), g0 * 1000 + g1)
+    k = kb.finish()
+    bufs = {"out": np.zeros(64, dtype=np.int64)}
+    run_both(k, (8, 8), (4, 2), bufs, {}, global_offset=(3, 2))
+
+
+def test_masked_first_assignment_zero_fill():
+    """First assignment under divergence: inactive lanes keep zero-init."""
+    kb = KernelBuilder("maskinit")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    with kb.if_((g % 2).eq(0)):
+        t = kb.let("t", kb.f32(g) * 2.0)
+        kb.store(out, g, t)
+    k = kb.finish()
+    bufs = {"out": np.zeros(16, dtype=np.float32)}
+    run_both(k, (16,), (4,), bufs, {})
+
+
+def test_unsupported_kernel_falls_back():
+    """Read of a conditionally-defined variable: JIT declines, dispatch
+    falls back to the interpreter and still computes the right answer."""
+    kb = KernelBuilder("fallback")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    with kb.if_(g < 100):  # always true for our launch: runtime-defined
+        t = kb.let("t", kb.f32(g))
+    kb.store(out, g, t)
+    k = kb.finish()
+    assert get_compiled(k) is None
+    with pytest.raises(UnsupportedKernelError):
+        compile_kernel(k)
+    bufs = {"out": np.zeros(8, dtype=np.float32)}
+    res = launch_kernel(k, (8,), (4,), buffers=bufs, scalars={})
+    np.testing.assert_array_equal(bufs["out"], np.arange(8, dtype=np.float32))
+    assert res.global_size == (8,)
+
+
+def test_barrier_and_counters():
+    """Barrier counting and per-statement op counters under divergence."""
+    kb = KernelBuilder("ctrs")
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    scratch = kb.local_array("tile", 4, F32)
+    g = kb.global_id(0)
+    lid = kb.local_id(0)
+    scratch[lid] = a[g] * 2.0
+    kb.barrier()
+    with kb.if_(lid < 2):
+        kb.store(out, g, scratch[lid] + 1.0)
+    k = kb.finish()
+    rng = np.random.default_rng(0)
+    bufs = {
+        "a": rng.standard_normal(16).astype(np.float32),
+        "out": np.zeros(16, dtype=np.float32),
+    }
+    run_both(k, (16,), (4,), bufs, {})
+
+
+def test_experiment_csv_identical_across_engines(monkeypatch):
+    """A fast-mode experiment's CSV is byte-identical with the JIT on/off."""
+    from repro import plancache
+    from repro.harness.registry import run_experiment
+
+    plancache.invalidate_all()
+    monkeypatch.delenv("REPRO_NO_JIT", raising=False)
+    with_jit = run_experiment("fig11", fast=True).to_csv()
+    monkeypatch.setenv("REPRO_NO_JIT", "1")
+    plancache.invalidate_all()
+    without_jit = run_experiment("fig11", fast=True).to_csv()
+    assert with_jit == without_jit
+
+
+def test_program_build_populates_jit_log(monkeypatch):
+    """clBuildProgram warms the JIT and records per-kernel status."""
+    from repro import minicl as cl
+
+    monkeypatch.delenv("REPRO_NO_JIT", raising=False)
+    bench = SquareBenchmark()
+    ctx = cl.Context(cl.cpu_platform().devices)
+    program = ctx.create_program(bench.kernel()).build()
+    (line,) = program.jit_log.values()
+    assert "compiled to fused NumPy" in line
+
+    monkeypatch.setenv("REPRO_NO_JIT", "1")
+    program2 = ctx.create_program(bench.kernel()).build()
+    (line2,) = program2.jit_log.values()
+    assert "disabled" in line2

@@ -164,6 +164,76 @@ class TestControlFlow:
         with pytest.raises(KernelExecutionError, match="exceeded"):
             interp.launch(kb.finish(), 1, buffers={"o": np.zeros(1, np.int64)})
 
+    def test_runaway_loop_guard_message(self):
+        # exact text is part of the engine contract (the compiled engine
+        # must raise the identical message)
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        with kb.loop("i", 0, 10 ** 9):
+            kb.barrier()
+        o[kb.global_id(0)] = 1
+        interp = Interpreter(max_loop_iters=7)
+        with pytest.raises(
+            KernelExecutionError, match=r"loop i exceeded 7 iterations"
+        ):
+            interp.launch(kb.finish(), 1, buffers={"o": np.zeros(1, np.int64)})
+
+    def test_zero_trip_loop_skips_body(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", ir.Const(5))
+        with kb.loop("i", 3, 3):  # empty range: body must not run
+            acc = kb.let("acc", acc + 100)
+        with kb.loop("j", 0, 4, -1):  # negative step away from stop
+            acc = kb.let("acc", acc + 100)
+        o[g] = acc
+        bufs, _ = run(kb.finish(), 2, o=np.zeros(2, np.int64))
+        assert (bufs["o"] == 5).all()
+
+    def test_uniform_bounds_from_scalar_param(self):
+        # the uniform-trip fast path: bounds come from a scalar argument
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        n = kb.scalar("n", I32)
+        g = kb.global_id(0)
+        acc = kb.let("acc", ir.Const(0))
+        with kb.loop("i", 0, n) as i:
+            acc = kb.let("acc", acc + i)
+        o[g] = acc
+        kernel = kb.finish()
+        for nval, want in ((5, 10), (0, 0), (-3, 0)):
+            bufs = {"o": np.zeros(2, np.int64)}
+            Interpreter().launch(
+                kernel, (2,), buffers=bufs, scalars={"n": nval}
+            )
+            assert (bufs["o"] == want).all()
+
+    def test_uniform_negative_step_from_scalar(self):
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        n = kb.scalar("n", I32)
+        g = kb.global_id(0)
+        acc = kb.let("acc", ir.Const(0))
+        with kb.loop("i", n, 0, -2) as i:
+            acc = kb.let("acc", acc + i)
+        o[g] = acc
+        bufs = {"o": np.zeros(2, np.int64)}
+        Interpreter().launch(kb.finish(), (2,), buffers=bufs, scalars={"n": 7})
+        assert (bufs["o"] == 7 + 5 + 3 + 1).all()
+
+    def test_loop_variable_restored_divergent_bounds(self):
+        # shadowing restore must also hold on the divergent (masked) path
+        kb = KernelBuilder("k")
+        o = kb.buffer("o", I64, access="w")
+        g = kb.global_id(0)
+        kb.let("i", ir.Const(42))
+        with kb.loop("i", 0, g + 1):
+            kb.barrier()
+        o[g] = ir.Var("i", I64)
+        bufs, _ = run(kb.finish(), 3, o=np.zeros(3, np.int64))
+        assert (bufs["o"] == 42).all()
+
 
 class TestMemory:
     def test_out_of_bounds_load(self):

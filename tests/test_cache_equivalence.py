@@ -182,12 +182,12 @@ class TestQueueAndFunctionalEquivalence:
             buffers[p.name] if p.name in buffers else scalars[p.name]
             for p in k.kernel.params
         ])
-        hits_before = queue_mod._VERIFY_CACHE.hits
+        hits_before = queue_mod._verify_cache().hits
         q.enqueue_nd_range_kernel(k, (2048,), (256,))
         first = q.last_verify_report
         q.enqueue_nd_range_kernel(k, (2048,), (256,))
         assert q.last_verify_report is first
-        assert queue_mod._VERIFY_CACHE.hits == hits_before + 1
+        assert queue_mod._verify_cache().hits == hits_before + 1
 
 
 class TestUnmapOverheadSpec:
