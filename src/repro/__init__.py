@@ -22,19 +22,66 @@ Subpackages
 ``repro.harness``
     The paper's timing methodology and one experiment module per
     table/figure.
+``repro.obs``
+    Observability: virtual-time/wall-clock tracing, the metrics
+    registry, Chrome-trace (Perfetto) export.
+
+Environment kill switches
+-------------------------
+Every ``REPRO_*`` environment variable is parsed by one helper
+(:func:`env_flag`) with one rule — unset, empty or ``0`` means *off*,
+anything else means *on*:
+
+================  ==========================================================
+``REPRO_VERIFY``   run the static kernel verifier on every enqueue
+                   (:mod:`repro.kernelir.verify`)
+``REPRO_NO_CACHE`` bypass every launch-plan cache (:mod:`repro.plancache`)
+``REPRO_NO_JIT``   force the tree-walk interpreter engine
+                   (:mod:`repro.kernelir.compile`)
+``REPRO_TRACE``    enable tracing on the CLI; ``1`` writes ``trace.json``,
+                   any other value is the output path (:mod:`repro.obs`)
+================  ==========================================================
 """
+
+from __future__ import annotations
+
+import os
 
 __version__ = "1.0.0"
 
-from . import kernelir  # noqa: F401
+#: the documented ``REPRO_*`` switches (name -> one-line description);
+#: kept in lock-step with the README table by ``tests/obs``
+ENV_VARS = {
+    "REPRO_VERIFY": "run the static kernel verifier on every enqueue",
+    "REPRO_NO_CACHE": "bypass every launch-plan cache",
+    "REPRO_NO_JIT": "force the tree-walk interpreter engine",
+    "REPRO_TRACE": "enable tracing (1 = trace.json, other values = path)",
+}
 
-__all__ = ["kernelir", "metrics", "__version__"]
+
+def env_flag(name: str) -> bool:
+    """True when the ``REPRO_*`` switch ``name`` is on.
+
+    One parsing rule for every kill switch: unset, ``""`` and ``"0"``
+    are off; any other value is on.  Call sites must not re-parse
+    ``os.environ`` themselves — this is the single source of truth.
+    """
+    return os.environ.get(name, "") not in ("", "0")
+
+
+from . import kernelir  # noqa: F401,E402
+
+__all__ = ["ENV_VARS", "env_flag", "kernelir", "metrics", "obs",
+           "__version__"]
 
 
 def __getattr__(name):
-    # lazy: metrics pulls in both device models
-    if name == "metrics":
-        from . import metrics
+    # lazy: metrics pulls in both device models; obs pulls in exporters.
+    # importlib (not ``from . import``) — the latter re-enters __getattr__.
+    if name in ("metrics", "obs"):
+        import importlib
 
-        return metrics
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
     raise AttributeError(name)

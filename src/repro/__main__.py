@@ -16,10 +16,14 @@ Subcommands:
   launch sizes and print a rule-grouped report;
 * ``jitdump [benchmarks...] [--out DIR]`` — print (or write) the fused
   NumPy source the kernel JIT generates for each suite kernel;
+* ``trace record|summarize|diff`` — record an experiment run as a
+  Chrome-trace (Perfetto) JSON, summarize one trace, or diff two;
 * ``list`` — list experiments and benchmarks.
 
 ``experiments`` and ``bench`` accept ``--engine {compiled,interp}`` to pick
-the functional execution engine (``interp`` == ``REPRO_NO_JIT=1``).
+the functional execution engine (``interp`` == ``REPRO_NO_JIT=1``) and
+``--trace FILE`` (env: ``REPRO_TRACE``) to record the run as a
+Chrome-trace JSON (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -98,21 +102,103 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _experiment_aliases():
+    """Module-style aliases for experiments (``fig7_transfer_api`` -> fig7).
+
+    One module can back several registry keys (``table2_table3`` covers
+    both ``table2`` and ``table3``), so an alias expands to a list.
+    """
+    from .harness.registry import EXPERIMENTS
+
+    aliases: dict = {}
+    for key, fn in EXPERIMENTS.items():
+        mod = fn.__module__.rsplit(".", 1)[-1]
+        if mod != key:
+            aliases.setdefault(mod, []).append(key)
+    return aliases
+
+
+def _resolve_experiments(requested):
+    """Map registry keys and module-style names to registry keys, in order."""
+    from .harness.registry import EXPERIMENTS
+
+    aliases = _experiment_aliases()
+    names, unknown = [], []
+    for n in requested:
+        if n in EXPERIMENTS:
+            names.append(n)
+        elif n in aliases:
+            names.extend(aliases[n])
+        else:
+            unknown.append(n)
+    # drop duplicates, keep first occurrence
+    names = list(dict.fromkeys(names))
+    return names, unknown
+
+
+def _trace_target(explicit):
+    """The trace output path: ``--trace`` wins, else ``REPRO_TRACE``."""
+    if explicit:
+        return pathlib.Path(explicit)
+    from . import obs
+
+    env = obs.env_trace_path()
+    return pathlib.Path(env) if env else None
+
+
+def _finish_trace(tracer, path) -> None:
+    """Fold global stats into the registry and write the trace JSON."""
+    from . import obs
+
+    obs.REGISTRY.absorb_cache_stats()
+    obs.REGISTRY.absorb_jit_stats()
+    out = obs.write_trace(tracer, path, registry=obs.REGISTRY)
+    msg = f"[trace] wrote {out} ({len(tracer.events)} events)"
+    if tracer.dropped:
+        msg += f", {tracer.dropped} dropped"
+    print(msg, file=sys.stderr)
+
+
 def cmd_experiments(args) -> int:
     _apply_engine(args.engine)
     from .harness.registry import EXPERIMENTS, run_many
 
-    names = args.names or list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        return _unknown_name_error("experiment", unknown, EXPERIMENTS)
+    requested = list(args.names or []) + list(getattr(args, "only", None) or [])
+    if requested:
+        names, unknown = _resolve_experiments(requested)
+        if unknown:
+            return _unknown_name_error(
+                "experiment", unknown,
+                list(EXPERIMENTS) + sorted(_experiment_aliases()),
+            )
+    else:
+        names = list(EXPERIMENTS)
     csv_dir = pathlib.Path(args.csv) if args.csv else None
     if csv_dir:
         csv_dir.mkdir(parents=True, exist_ok=True)
-    for name, result in zip(names, run_many(names, args.fast, args.jobs)):
-        print(result.render())
-        if csv_dir:
-            (csv_dir / f"{name}.csv").write_text(result.to_csv())
+    trace_to = _trace_target(getattr(args, "trace", None))
+    jobs = args.jobs
+    if trace_to is not None and jobs > 1:
+        print("[trace] tracing forces --jobs 1 (worker processes would "
+              "not be traced)", file=sys.stderr)
+        jobs = 1
+    tracer = None
+    if trace_to is not None:
+        from . import obs
+
+        obs.REGISTRY.reset()
+        tracer = obs.install()
+    try:
+        for name, result in zip(names, run_many(names, args.fast, jobs)):
+            print(result.render())
+            if csv_dir:
+                (csv_dir / f"{name}.csv").write_text(result.to_csv())
+    finally:
+        if tracer is not None:
+            from . import obs
+
+            obs.uninstall()
+            _finish_trace(tracer, trace_to)
     return 0
 
 
@@ -121,16 +207,34 @@ def cmd_bench(args) -> int:
     from .harness import bench as bench_mod
 
     mode = "quick" if args.quick else "full"
-    run = bench_mod.run_bench(
-        mode,
-        args.names or None,
-        measure_speedup=not args.no_speedup,
-        microbench=not args.names,
-    )
+    trace_to = _trace_target(getattr(args, "trace", None))
+    tracer = None
+    if trace_to is not None:
+        from . import obs
+
+        obs.REGISTRY.reset()
+        tracer = obs.install()
+    try:
+        run = bench_mod.run_bench(
+            mode,
+            args.names or None,
+            measure_speedup=not args.no_speedup,
+            microbench=not args.names,
+        )
+    finally:
+        if tracer is not None:
+            from . import obs
+
+            obs.uninstall()
+            _finish_trace(tracer, trace_to)
     ok = True
-    if args.compare:
-        baseline = bench_mod.load_baseline(args.compare)
-        ok = bench_mod.compare(run, baseline, threshold=args.threshold)
+    baselines = list(args.compare or [])
+    if baselines:
+        loaded = [(b, bench_mod.load_baseline(b)) for b in baselines]
+        if len(loaded) > 1:
+            bench_mod.trend(run, loaded)
+        # gate against the newest (last-listed) baseline only
+        ok = bench_mod.compare(run, loaded[-1][1], threshold=args.threshold)
     if args.out:
         out = pathlib.Path(args.out)
         doc = None
@@ -304,6 +408,67 @@ def cmd_lint(args) -> int:
     return 1 if (n_err or n_warn) else 0
 
 
+def cmd_trace(args) -> int:
+    """Record / summarize / diff Chrome-trace recordings."""
+    from . import obs
+
+    if args.action == "record":
+        _apply_engine(args.engine)
+        from .harness.registry import EXPERIMENTS, run_many
+
+        requested = list(args.names or [])
+        if requested:
+            names, unknown = _resolve_experiments(requested)
+            if unknown:
+                return _unknown_name_error(
+                    "experiment", unknown,
+                    list(EXPERIMENTS) + sorted(_experiment_aliases()),
+                )
+        else:
+            names = list(EXPERIMENTS)
+        obs.REGISTRY.reset()
+        tracer = obs.install()
+        try:
+            for result in run_many(names, args.fast, 1):
+                print(result.render())
+        finally:
+            obs.uninstall()
+            _finish_trace(tracer, pathlib.Path(args.out))
+        return 0
+
+    if args.action == "summarize":
+        try:
+            doc = obs.load_trace(args.trace_file)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"cannot read trace: {e}", file=sys.stderr)
+            return 1
+        problems = obs.validate_trace(doc)
+        if problems:
+            print(f"{args.trace_file}: INVALID trace:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        try:
+            print(obs.summarize(doc, top=args.top))
+        except BrokenPipeError:  # e.g. `| head`
+            pass
+        return 0
+
+    # diff
+    docs = []
+    for path in (args.trace_a, args.trace_b):
+        try:
+            docs.append(obs.load_trace(path))
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"cannot read trace {path}: {e}", file=sys.stderr)
+            return 1
+    try:
+        print(obs.diff_traces(docs[0], docs[1], top=args.top))
+    except BrokenPipeError:  # e.g. `| head`
+        pass
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -321,6 +486,13 @@ def main(argv=None) -> int:
     p_exp.add_argument("--engine", choices=("compiled", "interp"),
                        help="functional execution engine (default: compiled; "
                             "equivalent to REPRO_NO_JIT=1 for 'interp')")
+    p_exp.add_argument("--only", action="append", metavar="NAME",
+                       help="run only this experiment; accepts registry keys "
+                            "(fig7) or module names (fig7_transfer_api); "
+                            "repeatable")
+    p_exp.add_argument("--trace", metavar="FILE",
+                       help="record the run as Chrome-trace JSON "
+                            "(env: REPRO_TRACE); forces --jobs 1")
     p_exp.set_defaults(fn=cmd_experiments)
 
     p_bench = sub.add_parser(
@@ -332,14 +504,19 @@ def main(argv=None) -> int:
                          help="fast-mode experiments (CI smoke setting)")
     p_bench.add_argument("--out", metavar="FILE",
                          help="write/update a schema-1 bench JSON document")
-    p_bench.add_argument("--compare", metavar="BASELINE",
-                         help="compare against a committed baseline JSON")
+    p_bench.add_argument("--compare", metavar="BASELINE", action="append",
+                         help="compare against a committed baseline JSON; "
+                              "repeat (oldest first) to print the trend "
+                              "across baselines — gating uses the last one")
     p_bench.add_argument("--threshold", type=float, default=0.30,
                          help="allowed wall-clock regression (default 0.30)")
     p_bench.add_argument("--no-speedup", action="store_true",
                          help="skip the caches-disabled reference run")
     p_bench.add_argument("--engine", choices=("compiled", "interp"),
                          help="functional execution engine (default: compiled)")
+    p_bench.add_argument("--trace", metavar="FILE",
+                         help="record the bench run as Chrome-trace JSON "
+                              "(env: REPRO_TRACE)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_rep = sub.add_parser("report", help="kernel performance report")
@@ -383,6 +560,42 @@ def main(argv=None) -> int:
     p_lint.add_argument("--no-notes", action="store_true",
                         help="hide note-severity diagnostics")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="record / summarize / diff Chrome-trace (Perfetto) recordings",
+    )
+    trace_sub = p_trace.add_subparsers(dest="action", required=True)
+
+    t_rec = trace_sub.add_parser(
+        "record", help="run experiments with tracing and write a trace JSON"
+    )
+    t_rec.add_argument("names", nargs="*",
+                       help="experiments (registry keys or module names; "
+                            "default: all)")
+    t_rec.add_argument("--out", metavar="FILE", default="trace.json",
+                       help="trace output path (default: trace.json)")
+    t_rec.add_argument("--fast", action="store_true")
+    t_rec.add_argument("--engine", choices=("compiled", "interp"),
+                       help="functional execution engine (default: compiled)")
+    t_rec.set_defaults(fn=cmd_trace)
+
+    t_sum = trace_sub.add_parser(
+        "summarize", help="validate a trace and print its span summary"
+    )
+    t_sum.add_argument("trace_file")
+    t_sum.add_argument("--top", type=int, default=25,
+                       help="span rows to show (default 25)")
+    t_sum.set_defaults(fn=cmd_trace)
+
+    t_diff = trace_sub.add_parser(
+        "diff", help="compare span times between two traces (B minus A)"
+    )
+    t_diff.add_argument("trace_a")
+    t_diff.add_argument("trace_b")
+    t_diff.add_argument("--top", type=int, default=25,
+                        help="rows to show (default 25)")
+    t_diff.set_defaults(fn=cmd_trace)
 
     args = ap.parse_args(argv)
     return args.fn(args)

@@ -21,7 +21,8 @@ from typing import Dict, List, Optional, Sequence
 
 from .. import plancache
 
-__all__ = ["SCHEMA", "compare", "load_baseline", "merge_run", "run_bench"]
+__all__ = ["SCHEMA", "compare", "load_baseline", "merge_run", "run_bench",
+           "trend"]
 
 SCHEMA = 1
 
@@ -208,6 +209,39 @@ def merge_run(doc: Optional[dict], run: dict) -> dict:
         doc = {"schema": SCHEMA, "runs": {}}
     doc.setdefault("runs", {})[run["mode"]] = run
     return doc
+
+
+def trend(run: dict, baselines: Sequence, log=print) -> None:
+    """Print the wall-clock trajectory across several committed baselines.
+
+    ``baselines`` is a sequence of ``(label, document)`` pairs in the
+    order given on the command line (oldest first by convention, e.g.
+    ``--compare BENCH_2.json --compare BENCH_3.json``).  For the current
+    run's mode, each baseline's total and its ratio to the current run
+    are printed, so the perf trajectory across PRs is visible from the
+    CLI.  Purely informational — gating stays with :func:`compare`.
+    """
+    mode = run["mode"]
+    cur_total = float(run["total_seconds"])
+    log(f"[bench] trend for mode {mode!r} (current: {cur_total:.2f}s):")
+    prev: Optional[float] = None
+    for label, doc in baselines:
+        base_run = (doc.get("runs") or {}).get(mode)
+        if base_run is None:
+            log(f"[bench]   {label}: no {mode!r} run recorded")
+            continue
+        total = float(base_run["total_seconds"])
+        vs_cur = cur_total / total if total > 0 else float("inf")
+        step = ""
+        if prev is not None and total > 0:
+            step = f", {prev / total:.2f}x vs previous baseline"
+        speedup = base_run.get("speedup")
+        extra = f", caching speedup {speedup}x" if speedup else ""
+        log(
+            f"[bench]   {label}: {total:.2f}s "
+            f"(current is {vs_cur:.2f}x of it{step}{extra})"
+        )
+        prev = total
 
 
 def compare(run: dict, baseline: dict, threshold: float = 0.30,

@@ -61,7 +61,9 @@ def run_experiment(name: str, fast: bool = False) -> ExperimentResult:
 
     Every kernel launch the experiment measures is additionally run through
     the static verifier; the aggregated diagnostic counts are appended to
-    the result's notes.
+    the result's notes.  With a tracer installed (``--trace``) the run
+    gets a wall-clock span and its wall time and verifier tallies land in
+    the metrics registry; results are unaffected either way.
     """
     try:
         fn = EXPERIMENTS[name]
@@ -69,10 +71,24 @@ def run_experiment(name: str, fast: bool = False) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
+    import contextlib
+    import time
+
+    from ..obs import tracer as obs_tracer
+    from ..obs.metrics import REGISTRY
     from .runner import collect_diagnostics
 
-    with collect_diagnostics() as tally:
+    tracer = obs_tracer.ACTIVE
+    span = (
+        tracer.wall_span(f"experiment {name}", "harness", {"fast": fast})
+        if tracer is not None else contextlib.nullcontext()
+    )
+    t0 = time.perf_counter()
+    with span, collect_diagnostics() as tally:
         result = fn(fast)
+    if tracer is not None:
+        REGISTRY.observe_experiment(name, time.perf_counter() - t0)
+        REGISTRY.absorb_verifier_tally(tally)
     if tally.launches:
         result.notes.append(tally.summary())
     return result

@@ -33,8 +33,6 @@ interpreter path, which the differential tests use to assert byte-identical
 """
 
 from __future__ import annotations
-
-import os
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -1079,7 +1077,9 @@ def jit_enabled() -> bool:
     """
     if _ENGINE != "compiled":
         return False
-    return os.environ.get("REPRO_NO_JIT", "") in ("", "0")
+    import repro
+
+    return not repro.env_flag("REPRO_NO_JIT")
 
 
 def _cache_key(kernel, count_ops, bounds_check, max_loop_iters) -> tuple:
@@ -1105,17 +1105,33 @@ def get_compiled(
     ck = _COMPILED_CACHE.get(key)
     if ck is not None:
         return ck
+    from ..obs import tracer as _obs_tracer
+
+    tracer = _obs_tracer.ACTIVE
     try:
-        ck = compile_kernel(
-            kernel,
-            count_ops=count_ops,
-            bounds_check=bounds_check,
-            max_loop_iters=max_loop_iters,
-        )
+        if tracer is not None:
+            with tracer.wall_span(f"jit compile {kernel.name}", "jit",
+                                  {"count_ops": count_ops}):
+                ck = compile_kernel(
+                    kernel,
+                    count_ops=count_ops,
+                    bounds_check=bounds_check,
+                    max_loop_iters=max_loop_iters,
+                )
+        else:
+            ck = compile_kernel(
+                kernel,
+                count_ops=count_ops,
+                bounds_check=bounds_check,
+                max_loop_iters=max_loop_iters,
+            )
     except UnsupportedKernelError as e:
         _UNSUPPORTED[key] = str(e)
         _UNSUPPORTED_REASONS[kernel.name] = str(e)
         _STATS["kernels_unsupported"] += 1
+        if tracer is not None:
+            tracer.instant(f"jit fallback {kernel.name}", "jit",
+                           {"reason": str(e)})
         return None
     _STATS["kernels_compiled"] += 1
     _COMPILED_CACHE.put(key, ck)

@@ -12,7 +12,15 @@ __all__ = ["Event", "EventProfile"]
 
 @dataclasses.dataclass(frozen=True)
 class EventProfile:
-    """The four OpenCL profiling timestamps, in virtual nanoseconds."""
+    """The four OpenCL profiling timestamps, in virtual nanoseconds.
+
+    ``queued`` is when the host enqueued the command, ``submit`` is when
+    the runtime handed it to the device (its wait list had resolved),
+    ``start``/``end`` bracket device execution.  On this simulator the
+    device is idle at hand-off, so SUBMIT and START coincide; QUEUED and
+    SUBMIT separate whenever a wait list (or an out-of-order queue's
+    dependency tracking) held the command back after enqueue.
+    """
 
     queued: float
     submit: float
@@ -24,14 +32,24 @@ class EventProfile:
         """CL_PROFILING_COMMAND_END - CL_PROFILING_COMMAND_START."""
         return self.end - self.start
 
+    @property
+    def queue_delay_ns(self) -> float:
+        """CL_PROFILING_COMMAND_SUBMIT - CL_PROFILING_COMMAND_QUEUED."""
+        return self.submit - self.queued
+
 
 class Event:
     """Completion/profiling handle returned by every enqueue call."""
 
     def __init__(self, ctype: command_type, queued: float, start: float, end: float,
-                 info: Optional[dict] = None):
+                 info: Optional[dict] = None, *, submit: Optional[float] = None):
         self.command_type = ctype
-        self._profile = EventProfile(queued=queued, submit=queued, start=start, end=end)
+        self._profile = EventProfile(
+            queued=queued,
+            submit=queued if submit is None else submit,
+            start=start,
+            end=end,
+        )
         self.status = command_status.COMPLETE  # in-order blocking simulation
         #: model diagnostics (KernelCost / TransferCost) for the harness
         self.info = info or {}

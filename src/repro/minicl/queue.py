@@ -12,15 +12,16 @@ examples run fully functional.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro
 from ..kernelir.analysis import LaunchContext
 from ..kernelir.compile import launch_kernel
 from ..kernelir.interp import Interpreter, KernelExecutionError
 from ..kernelir.verify import verify_launch
+from ..obs import tracer as obs_tracer
 from ..plancache import LaunchPlanCache
 from .buffer import Buffer
 from .constants import command_type, map_flags, mem_flags
@@ -96,14 +97,21 @@ class CommandQueue:
         deps_end = max((e.profile.end for e in wait_for or ()), default=0.0)
         if self.out_of_order:
             queued = max(self._floor_ns, 0.0)
-            start = max(queued, deps_end)
         else:
             queued = self.now_ns
-            start = max(queued, deps_end)
+        # SUBMIT: the runtime hands the command to the device once its
+        # wait list has resolved; the simulated device is idle at that
+        # point, so it starts immediately (SUBMIT == START, QUEUED <
+        # SUBMIT whenever dependencies deferred the hand-off).
+        submit = max(queued, deps_end)
+        start = submit
         end = start + max(0.0, cost_ns)
         self.now_ns = max(self.now_ns, end)
-        ev = Event(ctype, queued, start, end, info)
+        ev = Event(ctype, queued, start, end, info, submit=submit)
         self.events.append(ev)
+        tracer = obs_tracer.ACTIVE
+        if tracer is not None:
+            tracer.record_command(self, ev)
         return ev
 
     def _check_sizes(
@@ -185,7 +193,7 @@ class CommandQueue:
                 )
 
         if verify is None:
-            verify = os.environ.get("REPRO_VERIFY", "") not in ("", "0")
+            verify = repro.env_flag("REPRO_VERIFY")
         readonly = writeonly = None
         if verify:
             flags = {

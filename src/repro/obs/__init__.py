@@ -1,0 +1,80 @@
+"""``repro.obs`` — the observability subsystem.
+
+The paper's whole method is *measurement*: it explains CPU/GPU gaps by
+attributing time to scheduling, transfer, compute and vectorization.
+This package turns every enqueue, JIT compile, cache hit and device-model
+cost breakdown into inspectable, exportable telemetry:
+
+:mod:`repro.obs.tracer`
+    :class:`Tracer` — structured spans/instants/counters on both clocks
+    (virtual device nanoseconds from event profiles, wall clock for the
+    harness/JIT/cache self-profiling), with cost-component sub-spans and
+    per-core / per-SM lanes reconstructed from ``KernelCost`` /
+    ``TransferCost`` diagnostics.
+:mod:`repro.obs.metrics`
+    :class:`MetricsRegistry` — process-wide counters/gauges/histograms
+    that absorb and unify the pre-existing scattered statistics
+    (plan-cache hit rates, JIT compile stats, verifier tallies,
+    per-experiment timing).
+:mod:`repro.obs.export`
+    Chrome Trace Event JSON (loads in Perfetto / ``chrome://tracing``),
+    the schema validator the tests and CI pin, and the text
+    summary/flamegraph plus trace diffing behind ``python -m repro
+    trace``.
+
+Tracing is opt-in (``--trace out.json`` on the CLI, ``REPRO_TRACE`` in
+the environment, or :func:`tracing` in code) and *passive*: it reads
+completed events and never touches virtual time, so ``results/*.csv``
+are byte-identical with tracing on or off.  When no tracer is installed
+every hook short-circuits on a single attribute load.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, REGISTRY
+from .tracer import Tracer, current, install, tracing, uninstall
+from .export import (
+    diff_traces,
+    load_trace,
+    span_rollup,
+    summarize,
+    to_chrome_trace,
+    validate_trace,
+    write_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Tracer",
+    "current",
+    "diff_traces",
+    "env_trace_path",
+    "install",
+    "load_trace",
+    "span_rollup",
+    "summarize",
+    "to_chrome_trace",
+    "tracing",
+    "uninstall",
+    "validate_trace",
+    "write_trace",
+]
+
+
+def env_trace_path(default: str = "trace.json") -> Optional[str]:
+    """The trace output path requested via ``REPRO_TRACE``, if any.
+
+    ``REPRO_TRACE=1`` enables tracing to ``default``; any other non-empty,
+    non-``0`` value is used as the output path itself.
+    """
+    v = os.environ.get("REPRO_TRACE", "")
+    if v in ("", "0"):
+        return None
+    return default if v == "1" else v

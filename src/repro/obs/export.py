@@ -1,0 +1,269 @@
+"""Trace export: Chrome Trace Event JSON, validation, summaries, diffs.
+
+The emitted document is the JSON *object* flavour of the Chrome Trace
+Event format — ``{"traceEvents": [...], ...}`` — which both
+``chrome://tracing`` and Perfetto's trace processor load directly.  Span
+events are matched ``B``/``E`` pairs (never ``X``), instants are ``i``,
+counters are ``C`` and track naming uses ``M`` metadata records; the
+companion :func:`validate_trace` checks exactly the invariants the tests
+and the CI ``trace-smoke`` job rely on:
+
+* every event carries ``name``/``ph``/``pid``/``tid`` (+ numeric ``ts``
+  for non-metadata phases);
+* per ``(pid, tid)`` track, timestamps are non-decreasing and ``B``/``E``
+  pairs are properly nested with matching names;
+* the document declares the clock domain of every pid in ``otherData``.
+
+:func:`summarize` renders a per-track flamegraph-style rollup (total and
+self time per span name) plus the embedded metrics snapshot, and
+:func:`diff` compares two such rollups — the engine behind
+``python -m repro trace summarize`` and ``python -m repro trace diff``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import REGISTRY, MetricsRegistry
+from .tracer import HOST_PID, Tracer
+
+__all__ = [
+    "diff_traces",
+    "load_trace",
+    "span_rollup",
+    "summarize",
+    "to_chrome_trace",
+    "validate_trace",
+    "write_trace",
+]
+
+_SPAN_PHASES = {"B", "E"}
+_KNOWN_PHASES = {"B", "E", "X", "i", "I", "C", "M"}
+
+
+def to_chrome_trace(tracer: Tracer,
+                    registry: Optional[MetricsRegistry] = None) -> dict:
+    """Assemble the JSON-ready document from a tracer's recorded events."""
+    reg = registry if registry is not None else REGISTRY
+    return {
+        "traceEvents": list(tracer.events),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.obs",
+            "clock_domains": {
+                str(HOST_PID): "wall clock (us since trace start)",
+                "default": "virtual device ns / 1000 (one timeline per "
+                           "queue pid)",
+            },
+            "metrics": reg.snapshot(),
+            "dropped_events": tracer.dropped,
+        },
+    }
+
+
+def write_trace(tracer: Tracer, path,
+                registry: Optional[MetricsRegistry] = None) -> pathlib.Path:
+    """Serialize the trace document to ``path``; returns the path."""
+    p = pathlib.Path(path)
+    doc = to_chrome_trace(tracer, registry)
+    p.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return p
+
+
+def load_trace(path) -> dict:
+    doc = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome-trace JSON object")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def validate_trace(doc: dict) -> List[str]:
+    """Return a list of format violations (empty == valid).
+
+    This is the schema contract the tests pin: a trace that passes here
+    loads in Perfetto / ``chrome://tracing``.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    stacks: Dict[Tuple, List[str]] = defaultdict(list)
+    last_ts: Dict[Tuple, float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in ev:
+                problems.append(f"event {i}: missing {field!r}")
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+        if ts < last_ts.get(track, 0.0):
+            problems.append(
+                f"event {i}: ts {ts} goes backwards on track {track} "
+                f"(last {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        if ph == "B":
+            stacks[track].append(ev.get("name", ""))
+        elif ph == "E":
+            if not stacks[track]:
+                problems.append(
+                    f"event {i}: E without matching B on track {track}"
+                )
+            else:
+                opened = stacks[track].pop()
+                name = ev.get("name", "")
+                if name and name != opened:
+                    problems.append(
+                        f"event {i}: E {name!r} closes B {opened!r} "
+                        f"on track {track}"
+                    )
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: X with bad dur {dur!r}")
+    for track, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"track {track}: {len(stack)} unclosed B event(s): {stack}"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Summaries and diffs
+# ---------------------------------------------------------------------------
+
+
+def _track_names(events) -> Tuple[Dict[int, str], Dict[Tuple, str]]:
+    pids: Dict[int, str] = {}
+    tids: Dict[Tuple, str] = {}
+    for ev in events:
+        if ev.get("ph") != "M":
+            continue
+        if ev.get("name") == "process_name":
+            pids[ev["pid"]] = ev.get("args", {}).get("name", str(ev["pid"]))
+        elif ev.get("name") == "thread_name":
+            tids[(ev["pid"], ev["tid"])] = ev.get("args", {}).get(
+                "name", str(ev["tid"]))
+    return pids, tids
+
+
+def span_rollup(doc: dict) -> Dict[Tuple[str, str], dict]:
+    """Aggregate spans: (clock, span name) -> count / total_us / self_us.
+
+    ``clock`` is ``"wall"`` for the host pid and ``"virtual"`` for queue
+    pids, so the two time domains are never summed together.
+    """
+    rollup: Dict[Tuple[str, str], dict] = {}
+    stacks: Dict[Tuple, List[list]] = defaultdict(list)
+    for ev in doc.get("traceEvents", ()):
+        ph = ev.get("ph")
+        if ph not in _SPAN_PHASES:
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+        clock = "wall" if ev.get("pid") == HOST_PID else "virtual"
+        if ph == "B":
+            # [name, start_ts, child_time]
+            stacks[track].append([ev.get("name", ""), ev.get("ts", 0.0), 0.0])
+        elif stacks[track]:
+            name, t0, child = stacks[track].pop()
+            dur = max(0.0, ev.get("ts", 0.0) - t0)
+            if stacks[track]:
+                stacks[track][-1][2] += dur
+            agg = rollup.setdefault((clock, name), {
+                "count": 0, "total_us": 0.0, "self_us": 0.0,
+            })
+            agg["count"] += 1
+            agg["total_us"] += dur
+            agg["self_us"] += max(0.0, dur - child)
+    return rollup
+
+
+def summarize(doc: dict, top: int = 25) -> str:
+    """Human-readable rollup of a trace document (text flamegraph)."""
+    events = doc.get("traceEvents", ())
+    pids, _ = _track_names(events)
+    rollup = span_rollup(doc)
+    lines: List[str] = []
+    n_spans = sum(1 for e in events if e.get("ph") == "B")
+    queues = [p for p in pids if p != HOST_PID]
+    lines.append(
+        f"trace: {len(events)} event(s), {n_spans} span(s), "
+        f"{len(queues)} queue track(s)"
+    )
+    for clock, title in (("virtual", "virtual device time"),
+                        ("wall", "host wall clock")):
+        entries = sorted(
+            ((name, a) for (c, name), a in rollup.items() if c == clock),
+            key=lambda kv: -kv[1]["total_us"],
+        )
+        if not entries:
+            continue
+        lines.append(f"\n-- {title} (top {min(top, len(entries))} by total) --")
+        width = max(len(n) for n, _ in entries[:top])
+        lines.append(
+            f"{'span'.ljust(width)}  {'count':>7}  {'total':>12}  "
+            f"{'self':>12}"
+        )
+        unit = "us"
+        for name, a in entries[:top]:
+            lines.append(
+                f"{name.ljust(width)}  {a['count']:>7}  "
+                f"{a['total_us']:>10.1f}{unit}  {a['self_us']:>10.1f}{unit}"
+            )
+    metrics = (doc.get("otherData") or {}).get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    if counters or gauges:
+        lines.append("\n-- metrics --")
+        for k, v in sorted(counters.items()):
+            lines.append(f"counter  {k} = {v:g}")
+        for k, v in sorted(gauges.items()):
+            if v is not None:
+                lines.append(f"gauge    {k} = {v:g}")
+    return "\n".join(lines) + "\n"
+
+
+def diff_traces(doc_a: dict, doc_b: dict, top: int = 25) -> str:
+    """Compare two traces' span rollups (B relative to A)."""
+    ra, rb = span_rollup(doc_a), span_rollup(doc_b)
+    keys = sorted(set(ra) | set(rb))
+    rows = []
+    for key in keys:
+        a = ra.get(key, {"count": 0, "total_us": 0.0})
+        b = rb.get(key, {"count": 0, "total_us": 0.0})
+        delta = b["total_us"] - a["total_us"]
+        rows.append((abs(delta), key, a, b, delta))
+    rows.sort(key=lambda r: -r[0])
+    lines = ["span time deltas (B - A), largest first:"]
+    width = max([len(f"{c}:{n}") for _, (c, n), *_ in rows[:top]] + [4])
+    lines.append(
+        f"{'span'.ljust(width)}  {'A total':>12}  {'B total':>12}  "
+        f"{'delta':>12}  {'A#':>5}  {'B#':>5}"
+    )
+    for _, (clock, name), a, b, delta in rows[:top]:
+        lines.append(
+            f"{(clock + ':' + name).ljust(width)}  {a['total_us']:>10.1f}us  "
+            f"{b['total_us']:>10.1f}us  {delta:>+10.1f}us  "
+            f"{a['count']:>5}  {b['count']:>5}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,177 @@
+"""Process-wide metrics: counters, gauges and histograms in one registry.
+
+Before this module existed the repo's runtime statistics were scattered:
+:func:`repro.plancache.cache_stats` kept per-cache-family hit rates,
+:func:`repro.kernelir.compile.compile_stats` kept JIT activity, the
+harness's ``DiagnosticTally`` counted verifier findings per experiment,
+and ``repro bench`` re-assembled ad-hoc dicts from all three.  The
+:class:`MetricsRegistry` unifies them: every source *absorbs* into the
+same namespaced instruments, one ``snapshot()`` serializes everything,
+and the trace exporter embeds that snapshot in the Chrome-trace JSON.
+
+Naming convention (dots namespace the source):
+
+* ``plancache.<family>.{hits,misses,hit_rate}`` — launch-plan caches;
+* ``jit.{kernels_compiled,kernels_unsupported}`` and
+  ``jit.launches.{compiled,interp_fallback,interp_forced}``;
+* ``verify.{errors,warnings,notes,launches}`` — static-verifier tallies;
+* ``experiment.seconds`` (histogram) and ``experiment.<name>.seconds``
+  (gauge) — harness wall clock;
+* ``trace.commands`` etc. — the tracer's own self-accounting.
+
+The module-level :data:`REGISTRY` is the default sink used by the
+instrumentation hooks; tests build private registries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+]
+
+
+@dataclasses.dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {n}")
+        self.value += n
+
+
+@dataclasses.dataclass
+class Gauge:
+    """A last-write-wins sampled value."""
+
+    name: str
+    value: Optional[float] = None
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+@dataclasses.dataclass
+class Histogram:
+    """Streaming summary of an observed distribution (no buckets kept)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Namespaced counters/gauges/histograms with a JSON-ready snapshot."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on first use) ----------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- absorption of the pre-existing stat sources ----------------------------
+    def absorb_cache_stats(self, stats: Optional[dict] = None) -> None:
+        """Pull :func:`repro.plancache.cache_stats` into gauges."""
+        if stats is None:
+            from .. import plancache
+
+            stats = plancache.cache_stats()
+        for family, c in stats.items():
+            self.gauge(f"plancache.{family}.hits").set(c["hits"])
+            self.gauge(f"plancache.{family}.misses").set(c["misses"])
+            self.gauge(f"plancache.{family}.hit_rate").set(c["hit_rate"])
+
+    def absorb_jit_stats(self, stats: Optional[dict] = None) -> None:
+        """Pull :func:`repro.kernelir.compile.compile_stats` into gauges."""
+        if stats is None:
+            from ..kernelir import compile as klcompile
+
+            stats = klcompile.compile_stats()
+        self.gauge("jit.kernels_compiled").set(stats["kernels_compiled"])
+        self.gauge("jit.kernels_unsupported").set(stats["kernels_unsupported"])
+        for k, v in stats["launches"].items():
+            self.gauge(f"jit.launches.{k}").set(v)
+
+    def absorb_verifier_tally(self, tally) -> None:
+        """Accumulate one experiment's ``DiagnosticTally`` into counters."""
+        self.counter("verify.launches").inc(tally.launches)
+        for severity, n in tally.counts.items():
+            self.counter(f"verify.{severity}s").inc(n)
+
+    def observe_experiment(self, name: str, seconds: float) -> None:
+        """Record one harness experiment's wall-clock duration."""
+        self.histogram("experiment.seconds").observe(seconds)
+        self.gauge(f"experiment.{name}.seconds").set(round(seconds, 4))
+        self.counter("experiment.runs").inc()
+
+    # -- serialization ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready view of every instrument, sorted by name."""
+        return {
+            "counters": {
+                k: c.value for k, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                k: g.value for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "total": round(h.total, 6),
+                    "mean": round(h.mean, 6),
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+
+#: default process-wide registry used by the instrumentation hooks
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,424 @@
+"""Structured tracing on two clocks: virtual device time and wall clock.
+
+The simulator's results live on *virtual* nanoseconds (every
+:class:`~repro.minicl.event.Event` carries QUEUED/SUBMIT/START/END device
+timestamps), while the harness, the kernel JIT and the plan caches spend
+*host* wall-clock time.  A :class:`Tracer` records both kinds of activity
+as Chrome-Trace-style event dicts:
+
+* **command spans** — one slice per enqueued command on its queue's track,
+  with cost-component sub-spans (schedule/execute for kernels, API
+  overhead vs. data movement for transfers) and synthesized per-core /
+  per-SM lanes reconstructed from the device model's ``KernelCost``
+  diagnostics;
+* **wall spans** — self-profiling of the host-side machinery (experiment
+  runs, JIT compiles, plan-cache misses) on a dedicated host process
+  track;
+* **instants and counters** — point events and numeric series.
+
+Clock domains never mix on one track: every queue gets its own pid whose
+timeline is that queue's virtual clock, and all wall-clock activity lives
+on the reserved host pid.  Trace-event ``ts`` values are microseconds (the
+Chrome trace unit); virtual nanoseconds are divided by 1000 on emission
+and preserved exactly in span ``args``.
+
+Tracing is strictly opt-in.  The module-level :data:`ACTIVE` tracer is
+``None`` by default and every instrumentation site guards on that, so the
+disabled path costs one module-attribute load per command.  Install a
+tracer with :func:`install` / the :func:`tracing` context manager, or via
+``--trace`` on the CLI (env: ``REPRO_TRACE``).  Recording never perturbs
+virtual time: the tracer only *reads* completed events, which is what
+keeps ``results/*.csv`` byte-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "ACTIVE",
+    "Tracer",
+    "current",
+    "install",
+    "tracing",
+    "uninstall",
+]
+
+#: the host (wall-clock) process id; queues start above it
+HOST_PID = 1
+_FIRST_QUEUE_PID = 100
+
+#: host-pid thread ids per category (stable, documented in OBSERVABILITY.md)
+_HOST_TIDS = {
+    "harness": 1,
+    "jit": 2,
+    "model": 3,
+    "cache": 4,
+    "host": 9,
+}
+
+#: queue-pid thread ids: command slots from 1, per-core/per-SM lanes high
+_COMMANDS_TID = 1
+_FIRST_LANE_TID = 1000
+
+
+class Tracer:
+    """Collects trace events; export lives in :mod:`repro.obs.export`.
+
+    The tracer is deliberately dumb storage plus decomposition logic —
+    it owns no I/O and no global state, so tests can drive it directly.
+    """
+
+    def __init__(self, *, wall_clock=time.perf_counter_ns):
+        self._wall_clock = wall_clock
+        self._wall_t0 = wall_clock()
+        self.events: List[dict] = []
+        #: queue object id -> assigned pid.  The queue objects themselves
+        #: are pinned in ``_queue_refs`` for the tracer's lifetime: CPython
+        #: recycles ``id()`` values after collection, and a recycled id
+        #: would splice a fresh queue (virtual clock back at 0) onto a dead
+        #: queue's timeline, sending its track backwards.
+        self._queue_pids: Dict[int, int] = {}
+        self._queue_refs: List[object] = []
+        self._next_pid = _FIRST_QUEUE_PID
+        #: (pid, tid) pairs whose thread_name metadata was emitted
+        self._named_tracks: set = set()
+        #: per queue pid: last occupied timestamp (ns) per command slot —
+        #: out-of-order queues overlap commands, which a single B/E track
+        #: cannot render, so overlapping commands spill to further slots
+        self._slots: Dict[int, List[float]] = {}
+        self.dropped = 0
+
+    # -- clocks ---------------------------------------------------------------
+    def wall_us(self) -> float:
+        """Wall-clock microseconds since the tracer was created."""
+        return (self._wall_clock() - self._wall_t0) / 1000.0
+
+    # -- low-level emission ----------------------------------------------------
+    def _emit(self, ph: str, name: str, cat: str, ts: float, pid: int,
+              tid: int, *, args: Optional[dict] = None, **extra) -> None:
+        ev = {
+            "name": name,
+            "cat": cat,
+            "ph": ph,
+            "ts": round(ts, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            ev["args"] = args
+        ev.update(extra)
+        self.events.append(ev)
+
+    def _metadata(self, pid: int, tid: Optional[int], name: str) -> None:
+        if tid is None:
+            self._emit("M", "process_name", "__metadata", 0.0, pid, 0,
+                       args={"name": name})
+        else:
+            self._emit("M", "thread_name", "__metadata", 0.0, pid, tid,
+                       args={"name": name})
+
+    def _lane(self, pid: int, tid: int, label: str) -> int:
+        if (pid, tid) not in self._named_tracks:
+            self._named_tracks.add((pid, tid))
+            self._metadata(pid, tid, label)
+        return tid
+
+    # -- host-side spans/instants/counters -------------------------------------
+    @contextlib.contextmanager
+    def wall_span(self, name: str, cat: str = "host",
+                  args: Optional[dict] = None) -> Iterator[None]:
+        """Wall-clock B/E span on the host pid (category picks the track)."""
+        tid = _HOST_TIDS.get(cat, _HOST_TIDS["host"])
+        self._lane(HOST_PID, tid, cat)
+        if (HOST_PID, None) not in self._named_tracks:
+            self._named_tracks.add((HOST_PID, None))
+            self._metadata(HOST_PID, None, "host (wall clock)")
+        self._emit("B", name, cat, self.wall_us(), HOST_PID, tid, args=args)
+        try:
+            yield
+        finally:
+            self._emit("E", name, cat, self.wall_us(), HOST_PID, tid)
+
+    def instant(self, name: str, cat: str = "host",
+                args: Optional[dict] = None) -> None:
+        tid = _HOST_TIDS.get(cat, _HOST_TIDS["host"])
+        self._lane(HOST_PID, tid, cat)
+        self._emit("i", name, cat, self.wall_us(), HOST_PID, tid,
+                   args=args, s="t")
+
+    def counter(self, name: str, values: Dict[str, float],
+                cat: str = "metrics") -> None:
+        """One sample of a numeric series (Chrome ``C`` event, host clock)."""
+        self._emit("C", name, cat, self.wall_us(), HOST_PID,
+                   _HOST_TIDS["host"], args={k: float(v)
+                                             for k, v in values.items()})
+
+    # -- command recording ------------------------------------------------------
+    def _queue_pid(self, queue) -> int:
+        pid = self._queue_pids.get(id(queue))
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
+            self._queue_pids[id(queue)] = pid
+            self._queue_refs.append(queue)
+            mode = "out-of-order" if getattr(queue, "out_of_order", False) \
+                else "in-order"
+            self._metadata(
+                pid, None,
+                f"queue #{pid - _FIRST_QUEUE_PID} on {queue.device.name} "
+                f"({mode}, virtual ns)",
+            )
+            self._lane(pid, _COMMANDS_TID, "commands")
+        return pid
+
+    def _slot_tid(self, pid: int, first_ns: float, end_ns: float) -> int:
+        """First command slot free at ``first_ns`` (greedy lane packing)."""
+        slots = self._slots.setdefault(pid, [])
+        for i, last in enumerate(slots):
+            if first_ns >= last:
+                slots[i] = end_ns
+                return _COMMANDS_TID + i
+        slots.append(end_ns)
+        i = len(slots) - 1
+        tid = _COMMANDS_TID + i
+        if i > 0:
+            self._lane(pid, tid, f"commands (overlap {i + 1})")
+        return tid
+
+    def record_command(self, queue, event) -> None:
+        """Record one completed minicl command (called from the queue).
+
+        Reads only the event's profile and ``info`` — never writes queue
+        or device state, so recording cannot perturb virtual time.
+        """
+        try:
+            self._record_command(queue, event)
+        except Exception:
+            # Telemetry must never take down a run; count and move on.
+            self.dropped += 1
+
+    def _record_command(self, queue, event) -> None:
+        pid = self._queue_pid(queue)
+        p = event.profile
+        info = event.info or {}
+        name = info.get("kernel") or event.command_type.value
+        args = {
+            "command": event.command_type.value,
+            "queued_ns": p.queued,
+            "submit_ns": p.submit,
+            "start_ns": p.start,
+            "end_ns": p.end,
+        }
+        cost = info.get("cost")
+        if "global_size" in info:
+            args["global_size"] = list(info["global_size"])
+            ls = info.get("local_size")
+            args["local_size"] = list(ls) if ls is not None else None
+        if "bytes" in info:
+            args["bytes"] = info["bytes"]
+        if "placement" in info:  # cl_repro_workgroup_affinity launches
+            args["extension"] = info.get("extension")
+
+        ts0, ts1 = p.start / 1000.0, p.end / 1000.0
+        tid = self._slot_tid(pid, min(p.queued, p.start), p.end)
+        # the QUEUED->SUBMIT and SUBMIT->START phases, when they exist,
+        # become their own slices so Perfetto shows where a command waited
+        if p.submit > p.queued:
+            self._emit("B", f"{name} [queued]", "phase", p.queued / 1000.0,
+                       pid, tid)
+            self._emit("E", f"{name} [queued]", "phase", p.submit / 1000.0,
+                       pid, tid)
+        if p.start > p.submit:
+            self._emit("B", f"{name} [submitted]", "phase",
+                       p.submit / 1000.0, pid, tid)
+            self._emit("E", f"{name} [submitted]", "phase",
+                       p.start / 1000.0, pid, tid)
+
+        self._emit("B", name, "command", ts0, pid, tid, args=args)
+        # per-core/per-SM lanes share one timeline per queue, which only
+        # stays monotonic when commands never overlap (in-order queues)
+        lanes = not getattr(queue, "out_of_order", False)
+        if cost is not None and hasattr(cost, "schedule"):
+            self._cpu_kernel_subspans(queue, pid, tid, p, cost, lanes)
+        elif cost is not None and hasattr(cost, "sm_cost"):
+            self._gpu_kernel_subspans(queue, pid, tid, p, cost, lanes)
+        elif cost is not None and hasattr(cost, "api"):
+            self._transfer_subspans(queue, pid, tid, p, cost)
+        elif "schedule" in info:  # affinity-extension launch: no KernelCost
+            if lanes:
+                self._ext_kernel_subspans(queue, pid, p, info["schedule"],
+                                          info.get("placement") or ())
+        self._emit("E", name, "command", ts1, pid, tid)
+
+    # -- cost-component decomposition -------------------------------------------
+    def _nested(self, pid: int, tid: int, t0: float, parts) -> None:
+        """Emit consecutive (name, cat, dur_ns, args) slices from ``t0``."""
+        t = t0
+        for name, cat, dur_ns, args in parts:
+            if dur_ns <= 0:
+                continue
+            self._emit("B", name, cat, t / 1000.0, pid, tid, args=args)
+            t += dur_ns
+            self._emit("E", name, cat, t / 1000.0, pid, tid)
+
+    def _cpu_kernel_subspans(self, queue, pid, tid, profile, cost,
+                             lanes) -> None:
+        """schedule/execute split plus per-core lanes from a KernelCost."""
+        spec = queue.device.model.spec
+        total = profile.end - profile.start
+        sched = cost.schedule
+        threads = max(1, sched.threads_used)
+        dispatch_ns = spec.cycles_to_ns(sched.dispatch_cycles_total / threads)
+        sched_ns = min(total, spec.kernel_launch_overhead_ns + dispatch_ns)
+        exec_ns = total - sched_ns
+        item = cost.item
+        self._nested(pid, tid, profile.start, [
+            ("schedule", "cost.schedule", sched_ns, {
+                "launch_overhead_ns": spec.kernel_launch_overhead_ns,
+                "dispatch_ns": dispatch_ns,
+                "workgroups": cost.analysis.ctx.workgroup_count,
+                "rounds": sched.rounds,
+                "threads_used": sched.threads_used,
+            }),
+            ("execute", "cost.execute", exec_ns, {
+                "dominant_bound": item.dominant(),
+                "compute_bound_cycles": item.compute_bound,
+                "memory_bound_cycles": item.memory_bound,
+                "bandwidth_bound_cycles": item.bandwidth_bound,
+                "latency_bound_cycles": item.latency_bound,
+                "effective_vector_width": item.effective_vector_width,
+                "vectorized": cost.vectorization.vectorized,
+                "gflops": round(cost.gflops, 4),
+            }),
+        ])
+        if not lanes:
+            return
+        busy_ns = min(exec_ns, spec.cycles_to_ns(
+            sched.busy_cycles_total / threads))
+        t0 = profile.start + sched_ns
+        for core in range(sched.threads_used):
+            lane = self._lane(pid, _FIRST_LANE_TID + core, f"core {core}")
+            self._nested(pid, lane, t0, [
+                (f"{sched.rounds} workgroup round(s)", "cost.core", busy_ns,
+                 None),
+            ])
+
+    def _ext_kernel_subspans(self, queue, pid, profile, sched,
+                             placement) -> None:
+        """Per-core lanes for an affinity-extension launch (ScheduleResult
+        only — the extension path computes costs outside KernelCost)."""
+        spec = queue.device.model.spec
+        total = profile.end - profile.start
+        threads = max(1, sched.threads_used)
+        busy_ns = min(total, spec.cycles_to_ns(sched.busy_cycles_total
+                                               / threads))
+        cores = sorted(set(placement)) or list(range(threads))
+        for core in cores[:spec.logical_cores]:
+            lane = self._lane(pid, _FIRST_LANE_TID + core, f"core {core}")
+            wgs = sum(1 for c in placement if c == core)
+            self._nested(pid, lane, profile.start, [
+                (f"{wgs or '?'} pinned workgroup(s)", "cost.core", busy_ns,
+                 None),
+            ])
+
+    def _gpu_kernel_subspans(self, queue, pid, tid, profile, cost,
+                             lanes) -> None:
+        """schedule/execute split plus per-SM lanes from a GPUKernelCost."""
+        spec = queue.device.model.spec
+        total = profile.end - profile.start
+        wgs = cost.analysis.ctx.workgroup_count
+        sched_ns = min(total, spec.kernel_launch_overhead_ns
+                       + wgs * spec.workgroup_dispatch_ns / spec.num_sms)
+        exec_ns = total - sched_ns
+        smc = cost.sm_cost
+        self._nested(pid, tid, profile.start, [
+            ("schedule", "cost.schedule", sched_ns, {
+                "launch_overhead_ns": spec.kernel_launch_overhead_ns,
+                "workgroups": wgs,
+                "waves": cost.waves,
+            }),
+            ("execute", "cost.execute", exec_ns, {
+                "occupancy": round(cost.occupancy.occupancy, 4),
+                "workgroups_per_sm": cost.occupancy.workgroups_per_sm,
+                "compute_cycles_per_wg": smc.compute_cycles,
+                "memory_cycles_per_wg": smc.memory_cycles,
+                "latency_hiding": smc.latency_hiding,
+                "divergence_penalty": smc.divergence_penalty,
+                "gflops": round(cost.gflops, 4),
+            }),
+        ])
+        if not lanes:
+            return
+        sms_busy = min(spec.num_sms,
+                       math.ceil(wgs / max(1, cost.occupancy.workgroups_per_sm)))
+        t0 = profile.start + sched_ns
+        wgs_per_sm = math.ceil(wgs / max(1, sms_busy))
+        for sm in range(sms_busy):
+            lane = self._lane(pid, _FIRST_LANE_TID + sm, f"sm {sm}")
+            self._nested(pid, lane, t0, [
+                (f"{wgs_per_sm} workgroup(s)", "cost.sm", exec_ns, None),
+            ])
+
+    def _transfer_subspans(self, queue, pid, tid, profile, cost) -> None:
+        """API-overhead vs data-movement split from a TransferCost."""
+        spec = queue.device.model.spec
+        total = profile.end - profile.start
+        if cost.api == "copy":
+            overhead = getattr(spec, "copy_api_overhead_ns",
+                               getattr(spec, "pcie_latency_ns", 0.0))
+        else:
+            overhead = getattr(spec, "map_api_overhead_ns",
+                               getattr(spec, "pcie_latency_ns", 0.0))
+        overhead = min(total, overhead)
+        move_ns = total - overhead
+        what = "dma" if queue.device.is_gpu else \
+            ("memcpy" if cost.api == "copy" else "page tables")
+        self._nested(pid, tid, profile.start, [
+            ("api overhead", "cost.transfer", overhead, None),
+            (what, "cost.transfer", move_ns, {
+                "nbytes": cost.nbytes,
+                "moved_bytes": cost.moved_bytes,
+            }),
+        ])
+
+
+# ---------------------------------------------------------------------------
+# The process-wide active tracer.  ``None`` means tracing is off and every
+# instrumentation site short-circuits on one attribute load.
+# ---------------------------------------------------------------------------
+
+ACTIVE: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer] = None) -> Tracer:
+    """Make ``tracer`` (or a fresh one) the process-wide active tracer."""
+    global ACTIVE
+    ACTIVE = tracer if tracer is not None else Tracer()
+    return ACTIVE
+
+
+def uninstall() -> Optional[Tracer]:
+    """Stop tracing; returns the tracer that was active (if any)."""
+    global ACTIVE
+    t, ACTIVE = ACTIVE, None
+    return t
+
+
+def current() -> Optional[Tracer]:
+    return ACTIVE
+
+
+@contextlib.contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Run a block with tracing active; restores the previous tracer."""
+    global ACTIVE
+    prev = ACTIVE
+    t = install(tracer)
+    try:
+        yield t
+    finally:
+        ACTIVE = prev

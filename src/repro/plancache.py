@@ -30,7 +30,6 @@ the interpreter marks cached id-grid arrays read-only.
 from __future__ import annotations
 
 import contextlib
-import os
 import weakref
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, Optional
@@ -59,7 +58,9 @@ def caching_enabled() -> bool:
     """True unless disabled via :func:`set_caching` or ``REPRO_NO_CACHE=1``."""
     if not _enabled:
         return False
-    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")
+    import repro
+
+    return not repro.env_flag("REPRO_NO_CACHE")
 
 
 def set_caching(on: bool) -> None:

@@ -6,11 +6,13 @@ This is what the minicl runtime calls when its queue executes commands on the
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import math
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..kernelir.analysis import KernelAnalysis, LaunchContext, LatencyTable, analyze_kernel
+from ..obs import tracer as obs_tracer
 from ..kernelir.ast import Kernel
 from ..kernelir.compile import prepare_kernel as _jit_prepare
 from ..kernelir.vectorize import OpenCLVectorizer, VectorizationReport
@@ -144,40 +146,48 @@ class CPUDeviceModel:
         cached = self.plan_cache.get(key)
         if cached is not None:
             return cached
-        ctx = LaunchContext(gs, ls, dict(scalars or {}), self.latencies)
-        analysis = analyze_kernel(kernel, ctx)
-
-        if self.vectorize_kernels:
-            vec = self.vectorizer.vectorize(kernel, ctx, analysis.accesses)
-        else:
-            vec = VectorizationReport(False, 1, ["vectorization disabled"])
-
-        mem = self.mem_model.estimate(analysis, buffer_bytes)
-        threads = min(self.spec.logical_cores, ctx.workgroup_count)
-        dram_share = 1.0 / max(1, min(threads, self.spec.physical_cores))
-        item = self.core_model.item_cycles(analysis, vec, mem, dram_share=dram_share)
-
-        items_per_wg = ctx.workgroup_size
-        item_overhead = self.spec.workitem_overhead_cycles
-        if self.workitem_serialization:
-            item_overhead /= 8.0  # SnuCL-style serialized workitem loop
-        wg_cycles = items_per_wg * (
-            item.cycles + item_overhead
-            / max(1.0, item.effective_vector_width)
+        tracer = obs_tracer.ACTIVE
+        span = (
+            tracer.wall_span(f"cpu plan {kernel.name}", "model",
+                             {"global_size": list(gs), "local_size": list(ls)})
+            if tracer is not None else contextlib.nullcontext()
         )
-        sched = self.scheduler.makespan(ctx.workgroup_count, wg_cycles)
-        total_ns = (
-            self.spec.cycles_to_ns(sched.makespan_cycles)
-            + self.spec.kernel_launch_overhead_ns
-        )
-        cost = KernelCost(
-            total_ns=total_ns,
-            item=item,
-            schedule=sched,
-            analysis=analysis,
-            vectorization=vec,
-            local_size=ls,
-        )
+        with span:
+            ctx = LaunchContext(gs, ls, dict(scalars or {}), self.latencies)
+            analysis = analyze_kernel(kernel, ctx)
+
+            if self.vectorize_kernels:
+                vec = self.vectorizer.vectorize(kernel, ctx, analysis.accesses)
+            else:
+                vec = VectorizationReport(False, 1, ["vectorization disabled"])
+
+            mem = self.mem_model.estimate(analysis, buffer_bytes)
+            threads = min(self.spec.logical_cores, ctx.workgroup_count)
+            dram_share = 1.0 / max(1, min(threads, self.spec.physical_cores))
+            item = self.core_model.item_cycles(analysis, vec, mem,
+                                               dram_share=dram_share)
+
+            items_per_wg = ctx.workgroup_size
+            item_overhead = self.spec.workitem_overhead_cycles
+            if self.workitem_serialization:
+                item_overhead /= 8.0  # SnuCL-style serialized workitem loop
+            wg_cycles = items_per_wg * (
+                item.cycles + item_overhead
+                / max(1.0, item.effective_vector_width)
+            )
+            sched = self.scheduler.makespan(ctx.workgroup_count, wg_cycles)
+            total_ns = (
+                self.spec.cycles_to_ns(sched.makespan_cycles)
+                + self.spec.kernel_launch_overhead_ns
+            )
+            cost = KernelCost(
+                total_ns=total_ns,
+                item=item,
+                schedule=sched,
+                analysis=analysis,
+                vectorization=vec,
+                local_size=ls,
+            )
         self.plan_cache.put(key, cost)
         return cost
 

@@ -9,11 +9,13 @@ draws with the CPU in Section III-D).
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import math
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..kernelir.analysis import KernelAnalysis, LaunchContext, LatencyTable, analyze_kernel
+from ..obs import tracer as obs_tracer
 from ..kernelir.ast import Kernel
 from ..kernelir.compile import prepare_kernel as _jit_prepare
 from ..plancache import LaunchPlanCache
@@ -107,43 +109,52 @@ class GPUDeviceModel:
         cached = self.plan_cache.get(key)
         if cached is not None:
             return cached
-        ctx = LaunchContext(gs, ls, dict(scalars or {}), self.latencies)
-        analysis = analyze_kernel(kernel, ctx)
-
-        wg_size = ctx.workgroup_size
-        occ = compute_occupancy(self.spec, wg_size, kernel.local_mem_bytes)
-
-        total_wgs = ctx.workgroup_count
-        # wgs are distributed over SMs in waves
-        per_wave = self.spec.num_sms * occ.workgroups_per_sm
-        waves = max(1, math.ceil(total_wgs / per_wave))
-        # SMs actually used in the (possibly only) partial wave
-        sms_busy = min(self.spec.num_sms, math.ceil(total_wgs / occ.workgroups_per_sm))
-        resident = min(occ.workgroups_per_sm, math.ceil(total_wgs / max(1, sms_busy)))
-        dram_share = 1.0 / max(1, sms_busy)
-
-        smc = self.sm_model.workgroup_cycles(
-            analysis, occ, resident_workgroups=resident, dram_share=dram_share
+        tracer = obs_tracer.ACTIVE
+        span = (
+            tracer.wall_span(f"gpu plan {kernel.name}", "model",
+                             {"global_size": list(gs), "local_size": list(ls)})
+            if tracer is not None else contextlib.nullcontext()
         )
-        # each SM runs ``resident`` workgroups concurrently per wave
-        # Every workgroup's instructions issue through the SM's single pipe;
-        # resident workgroups overlap latency (already in smc.latency_hiding)
-        # but not issue bandwidth.
-        wgs_per_sm_total = math.ceil(total_wgs / max(1, sms_busy))
-        cycles = wgs_per_sm_total * smc.cycles_per_workgroup
-        total_ns = (
-            self.spec.cycles_to_ns(cycles)
-            + self.spec.kernel_launch_overhead_ns
-            + total_wgs * self.spec.workgroup_dispatch_ns / self.spec.num_sms
-        )
-        cost = GPUKernelCost(
-            total_ns=total_ns,
-            sm_cost=smc,
-            occupancy=occ,
-            waves=waves,
-            analysis=analysis,
-            local_size=ls,
-        )
+        with span:
+            ctx = LaunchContext(gs, ls, dict(scalars or {}), self.latencies)
+            analysis = analyze_kernel(kernel, ctx)
+
+            wg_size = ctx.workgroup_size
+            occ = compute_occupancy(self.spec, wg_size, kernel.local_mem_bytes)
+
+            total_wgs = ctx.workgroup_count
+            # wgs are distributed over SMs in waves
+            per_wave = self.spec.num_sms * occ.workgroups_per_sm
+            waves = max(1, math.ceil(total_wgs / per_wave))
+            # SMs actually used in the (possibly only) partial wave
+            sms_busy = min(self.spec.num_sms,
+                           math.ceil(total_wgs / occ.workgroups_per_sm))
+            resident = min(occ.workgroups_per_sm,
+                           math.ceil(total_wgs / max(1, sms_busy)))
+            dram_share = 1.0 / max(1, sms_busy)
+
+            smc = self.sm_model.workgroup_cycles(
+                analysis, occ, resident_workgroups=resident, dram_share=dram_share
+            )
+            # each SM runs ``resident`` workgroups concurrently per wave
+            # Every workgroup's instructions issue through the SM's single
+            # pipe; resident workgroups overlap latency (already in
+            # smc.latency_hiding) but not issue bandwidth.
+            wgs_per_sm_total = math.ceil(total_wgs / max(1, sms_busy))
+            cycles = wgs_per_sm_total * smc.cycles_per_workgroup
+            total_ns = (
+                self.spec.cycles_to_ns(cycles)
+                + self.spec.kernel_launch_overhead_ns
+                + total_wgs * self.spec.workgroup_dispatch_ns / self.spec.num_sms
+            )
+            cost = GPUKernelCost(
+                total_ns=total_ns,
+                sm_cost=smc,
+                occupancy=occ,
+                waves=waves,
+                analysis=analysis,
+                local_size=ls,
+            )
         self.plan_cache.put(key, cost)
         return cost
 

@@ -71,6 +71,55 @@ class TestOutOfOrderQueue:
         assert q.finish() == big.profile.end
 
 
+class TestSubmitSemantics:
+    """QUEUED -> SUBMIT -> START -> END must be distinct, ordered stages.
+
+    SUBMIT is when the runtime hands the command to the device, i.e. once
+    its wait list resolves; on this simulator the device is idle at
+    hand-off so START == SUBMIT, but SUBMIT is *not* hardcoded to QUEUED.
+    """
+
+    def test_profile_ordering_invariant(self, ctx):
+        q = ctx.create_command_queue()
+        b, h = _buf(ctx)
+        p = q.enqueue_write_buffer(b, h).profile
+        assert p.queued <= p.submit <= p.start <= p.end
+
+    def test_unblocked_command_submits_at_enqueue(self, ctx):
+        q = ctx.create_command_queue()
+        b, h = _buf(ctx)
+        p = q.enqueue_write_buffer(b, h).profile
+        assert p.submit == p.queued
+        assert p.queue_delay_ns == 0.0
+
+    def test_cross_queue_wait_delays_submit_not_queued(self, ctx):
+        q1 = ctx.create_command_queue()
+        q2 = ctx.create_command_queue()
+        b1, h1 = _buf(ctx)
+        b2, h2 = _buf(ctx)
+        slow = q1.enqueue_write_buffer(b1, h1)
+        # q2 is fresh (its clock is at 0) so the command is QUEUED at 0,
+        # but the runtime only hands it to the device (SUBMIT) once the
+        # other queue's event resolves
+        dep = q2.enqueue_write_buffer(b2, h2, wait_for=[slow])
+        p = dep.profile
+        assert p.queued == 0.0
+        assert p.queued < p.submit == slow.profile.end
+        assert p.start == p.submit
+        assert p.queue_delay_ns == slow.profile.end
+
+    def test_out_of_order_wait_list_delays_submit(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b1, h1 = _buf(ctx)
+        b2, h2 = _buf(ctx)
+        e1 = q.enqueue_write_buffer(b1, h1)
+        dep = q.enqueue_write_buffer(b2, h2, wait_for=[e1])
+        assert dep.profile.queued < dep.profile.submit == e1.profile.end
+        # an independent command submits immediately
+        free = q.enqueue_write_buffer(b2, h2)
+        assert free.profile.submit == free.profile.queued
+
+
 class TestMarker:
     def test_marker_completes_with_all_prior_work(self, ctx):
         q = ctx.create_command_queue(out_of_order=True)

@@ -1,0 +1,148 @@
+"""MetricsRegistry: instruments plus absorption of the legacy stat sources."""
+
+import pytest
+
+from repro.obs import metrics as m
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = m.Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            m.Counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = m.Gauge("g")
+        g.set(1)
+        g.set(7)
+        assert g.value == 7.0
+
+    def test_histogram_summary(self):
+        h = m.Histogram("h")
+        for v in (1.0, 2.0, 9.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.min == 1.0 and h.max == 9.0
+        assert h.mean == pytest.approx(4.0)
+
+    def test_registry_returns_same_instrument(self):
+        reg = m.MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")
+
+    def test_reset_clears_everything(self):
+        reg = m.MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestAbsorption:
+    def test_absorb_cache_stats_explicit(self):
+        reg = m.MetricsRegistry()
+        reg.absorb_cache_stats({
+            "cpu.kernel_cost": {"hits": 8, "misses": 2, "hit_rate": 0.8},
+        })
+        snap = reg.snapshot()["gauges"]
+        assert snap["plancache.cpu.kernel_cost.hits"] == 8
+        assert snap["plancache.cpu.kernel_cost.hit_rate"] == 0.8
+
+    def test_absorb_cache_stats_from_plancache(self):
+        """Default source is the live plancache registry — real families."""
+        from repro.simcpu.device import CPUDeviceModel
+
+        CPUDeviceModel()  # registers the cpu.kernel_cost cache family
+        reg = m.MetricsRegistry()
+        reg.absorb_cache_stats()
+        gauges = reg.snapshot()["gauges"]
+        assert any(k.startswith("plancache.cpu.kernel_cost.")
+                   for k in gauges)
+
+    def test_absorb_jit_stats(self):
+        reg = m.MetricsRegistry()
+        reg.absorb_jit_stats({
+            "engine": "compiled",
+            "kernels_compiled": 4,
+            "kernels_unsupported": 1,
+            "launches": {"compiled": 10, "interp_fallback": 2,
+                         "interp_forced": 0},
+        })
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["jit.kernels_compiled"] == 4
+        assert gauges["jit.launches.interp_fallback"] == 2
+
+    def test_absorb_jit_stats_live(self):
+        from repro.kernelir import compile as klcompile
+
+        reg = m.MetricsRegistry()
+        reg.absorb_jit_stats()
+        gauges = reg.snapshot()["gauges"]
+        assert "jit.kernels_compiled" in gauges
+        assert set(f"jit.launches.{k}"
+                   for k in klcompile.compile_stats()["launches"]) \
+            <= set(gauges)
+
+    def test_absorb_verifier_tally(self):
+        from repro.harness.runner import DiagnosticTally
+
+        tally = DiagnosticTally()
+        tally.launches = 3
+        tally.counts = {"error": 1, "warning": 2, "note": 0}
+        reg = m.MetricsRegistry()
+        reg.absorb_verifier_tally(tally)
+        reg.absorb_verifier_tally(tally)  # counters accumulate
+        counters = reg.snapshot()["counters"]
+        assert counters["verify.launches"] == 6
+        assert counters["verify.errors"] == 2
+        assert counters["verify.warnings"] == 4
+
+    def test_observe_experiment(self):
+        reg = m.MetricsRegistry()
+        reg.observe_experiment("fig7", 0.25)
+        reg.observe_experiment("fig11", 0.75)
+        snap = reg.snapshot()
+        assert snap["counters"]["experiment.runs"] == 2
+        assert snap["gauges"]["experiment.fig7.seconds"] == 0.25
+        hist = snap["histograms"]["experiment.seconds"]
+        assert hist["count"] == 2 and hist["mean"] == pytest.approx(0.5)
+
+    def test_snapshot_sorted_and_json_ready(self):
+        import json
+
+        reg = m.MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        json.dumps(snap)  # must serialize
+
+
+class TestRunnerIntegration:
+    def test_run_experiment_populates_registry_when_tracing(self):
+        from repro import obs
+        from repro.harness.registry import run_experiment
+
+        obs.REGISTRY.reset()
+        t = obs.Tracer()
+        with obs.tracing(t):
+            run_experiment("fig11", fast=True)
+        snap = obs.REGISTRY.snapshot()
+        assert snap["counters"]["experiment.runs"] == 1
+        assert "experiment.fig11.seconds" in snap["gauges"]
+        assert snap["counters"]["verify.launches"] > 0
+        obs.REGISTRY.reset()
+
+    def test_run_experiment_skips_registry_when_not_tracing(self):
+        from repro import obs
+        from repro.harness.registry import run_experiment
+
+        obs.REGISTRY.reset()
+        run_experiment("fig11", fast=True)
+        assert obs.REGISTRY.snapshot()["counters"] == {}

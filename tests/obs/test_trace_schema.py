@@ -1,0 +1,319 @@
+"""Trace export schema: the contract Perfetto / chrome://tracing rely on."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+import repro
+from repro import minicl as cl
+from repro import obs
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def _square_kernel(ctx):
+    kb = KernelBuilder("sq")
+    x = kb.buffer("x", F32)
+    x[kb.global_id(0)] = x[kb.global_id(0)] * 2.0
+    return ctx.create_program(kb.finish()).create_kernel("sq")
+
+
+def _drive_cpu(tracer, *, out_of_order=False):
+    """Run a representative command mix on the CPU device under tracing."""
+    ctx = cl.Context(cl.cpu_platform().devices)
+    kern = _square_kernel(ctx)
+    with obs.tracing(tracer):
+        q = ctx.create_command_queue(out_of_order=out_of_order)
+        n = 1 << 12
+        buf = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=4 * n,
+                                dtype=np.float32)
+        host = np.ones(n, np.float32)
+        q.enqueue_write_buffer(buf, host)
+        kern.set_args(buf)
+        q.enqueue_nd_range_kernel(kern, (n,), (64,))
+        q.enqueue_read_buffer(buf, host)
+        view, _ = q.enqueue_map_buffer(
+            buf, cl.map_flags.READ | cl.map_flags.WRITE)
+        q.enqueue_unmap(buf, view)
+        q.enqueue_marker()
+        q.finish()
+    return ctx
+
+
+def _drive_gpu(tracer):
+    ctx = cl.Context(cl.gpu_platform().devices)
+    kern = _square_kernel(ctx)
+    with obs.tracing(tracer):
+        q = ctx.create_command_queue()
+        n = 1 << 12
+        buf = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=4 * n,
+                                dtype=np.float32)
+        host = np.ones(n, np.float32)
+        q.enqueue_write_buffer(buf, host)
+        kern.set_args(buf)
+        q.enqueue_nd_range_kernel(kern, (n,), (64,))
+        q.enqueue_read_buffer(buf, host)
+        q.finish()
+    return ctx
+
+
+@pytest.fixture
+def cpu_doc():
+    t = obs.Tracer()
+    _drive_cpu(t)
+    return obs.to_chrome_trace(t, obs.MetricsRegistry())
+
+
+@pytest.fixture
+def gpu_doc():
+    t = obs.Tracer()
+    _drive_gpu(t)
+    return obs.to_chrome_trace(t, obs.MetricsRegistry())
+
+
+class TestSchema:
+    def test_cpu_trace_validates(self, cpu_doc):
+        assert obs.validate_trace(cpu_doc) == []
+
+    def test_gpu_trace_validates(self, gpu_doc):
+        assert obs.validate_trace(gpu_doc) == []
+
+    def test_out_of_order_trace_validates(self):
+        t = obs.Tracer()
+        _drive_cpu(t, out_of_order=True)
+        doc = obs.to_chrome_trace(t, obs.MetricsRegistry())
+        assert obs.validate_trace(doc) == []
+
+    def test_required_keys_on_every_event(self, cpu_doc):
+        for ev in cpu_doc["traceEvents"]:
+            for field in ("name", "ph", "pid", "tid"):
+                assert field in ev
+            if ev["ph"] != "M":
+                assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+
+    def test_ts_monotonic_per_track(self, cpu_doc):
+        last = {}
+        for ev in cpu_doc["traceEvents"]:
+            if ev["ph"] == "M":
+                continue
+            track = (ev["pid"], ev["tid"])
+            assert ev["ts"] >= last.get(track, 0.0)
+            last[track] = ev["ts"]
+
+    def test_be_pairs_match(self, cpu_doc):
+        stacks = {}
+        for ev in cpu_doc["traceEvents"]:
+            track = (ev["pid"], ev["tid"])
+            if ev["ph"] == "B":
+                stacks.setdefault(track, []).append(ev["name"])
+            elif ev["ph"] == "E":
+                assert stacks.get(track), f"E without B on {track}"
+                assert stacks[track].pop() == ev["name"]
+        assert all(not s for s in stacks.values())
+
+    def test_validator_flags_broken_traces(self):
+        bad = {"traceEvents": [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 5.0},
+            {"name": "a", "ph": "E", "pid": 1, "tid": 1, "ts": 2.0},
+        ]}
+        assert any("backwards" in p for p in obs.validate_trace(bad))
+        unclosed = {"traceEvents": [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 1.0},
+        ]}
+        assert any("unclosed" in p for p in obs.validate_trace(unclosed))
+        assert obs.validate_trace({}) == ["traceEvents missing or not a list"]
+
+
+class TestTracks:
+    def _names(self, doc, kind):
+        return [
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == kind
+        ]
+
+    def test_queue_process_track_named(self, cpu_doc):
+        procs = self._names(cpu_doc, "process_name")
+        assert any(p.startswith("queue #") and "virtual ns" in p
+                   for p in procs)
+
+    def test_per_core_lanes_on_cpu(self, cpu_doc):
+        threads = self._names(cpu_doc, "thread_name")
+        assert "commands" in threads
+        assert "core 0" in threads
+
+    def test_per_sm_lanes_on_gpu(self, gpu_doc):
+        threads = self._names(gpu_doc, "thread_name")
+        assert "sm 0" in threads
+
+    def test_commands_carry_all_four_timestamps(self, cpu_doc):
+        cmds = [ev for ev in cpu_doc["traceEvents"]
+                if ev["ph"] == "B" and ev.get("cat") == "command"]
+        assert cmds
+        for ev in cmds:
+            args = ev["args"]
+            assert args["queued_ns"] <= args["submit_ns"] \
+                <= args["start_ns"] <= args["end_ns"]
+
+    def test_cost_component_subspans_present(self, cpu_doc):
+        cats = {ev.get("cat") for ev in cpu_doc["traceEvents"]}
+        assert {"cost.schedule", "cost.execute",
+                "cost.transfer", "cost.core"} <= cats
+
+    def test_overlap_lanes_for_out_of_order(self):
+        t = obs.Tracer()
+        ctx = cl.Context(cl.cpu_platform().devices)
+        with obs.tracing(t):
+            q = ctx.create_command_queue(out_of_order=True)
+            n = 1 << 16
+            host = np.zeros(n, np.float32)
+            for _ in range(3):  # independent commands run concurrently
+                buf = ctx.create_buffer(cl.mem_flags.READ_WRITE,
+                                        size=4 * n, dtype=np.float32)
+                q.enqueue_write_buffer(buf, host)
+        doc = obs.to_chrome_trace(t, obs.MetricsRegistry())
+        assert obs.validate_trace(doc) == []
+        threads = self._names(doc, "thread_name")
+        assert any(name.startswith("commands (overlap") for name in threads)
+
+
+class TestHostSide:
+    def test_wall_spans_instants_counters(self):
+        t = obs.Tracer()
+        with t.wall_span("outer", "harness", {"k": 1}):
+            with t.wall_span("inner", "jit"):
+                pass
+        t.instant("tick", "jit", {"n": 2})
+        t.counter("cache", {"hits": 3})
+        doc = obs.to_chrome_trace(t, obs.MetricsRegistry())
+        assert obs.validate_trace(doc) == []
+        phases = [ev["ph"] for ev in doc["traceEvents"]]
+        assert "i" in phases and "C" in phases
+        host = [ev for ev in doc["traceEvents"]
+                if ev["pid"] == obs.tracer.HOST_PID and ev["ph"] != "M"]
+        assert len(host) == 6  # 2 B + 2 E + i + C
+
+    def test_plan_miss_recorded_as_wall_span(self):
+        t = obs.Tracer()
+        from repro import plancache
+
+        plancache.invalidate_all()
+        _drive_cpu(t)
+        names = [ev["name"] for ev in t.events if ev["ph"] == "B"]
+        assert any(n.startswith("cpu plan") for n in names)
+
+    def test_record_command_never_raises(self):
+        t = obs.Tracer()
+        with obs.tracing(t):
+            t.record_command(object(), object())  # garbage input
+        assert t.dropped == 1
+
+    def test_disabled_tracing_records_nothing(self):
+        assert obs.tracer.ACTIVE is None
+        _ = _drive_cpu.__name__  # no tracer installed outside obs.tracing
+        ctx = cl.Context(cl.cpu_platform().devices)
+        q = ctx.create_command_queue()
+        buf = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=64,
+                                dtype=np.float32)
+        q.enqueue_write_buffer(buf, np.zeros(16, np.float32))
+        assert obs.tracer.ACTIVE is None
+
+
+class TestOtherData:
+    def test_clock_domains_and_metrics_embedded(self, cpu_doc):
+        other = cpu_doc["otherData"]
+        assert other["generator"] == "repro.obs"
+        assert str(obs.tracer.HOST_PID) in other["clock_domains"]
+        assert {"counters", "gauges", "histograms"} <= set(other["metrics"])
+        assert other["dropped_events"] == 0
+
+    def test_write_load_roundtrip(self, tmp_path, cpu_doc):
+        t = obs.Tracer()
+        _drive_cpu(t)
+        path = obs.write_trace(t, tmp_path / "t.json")
+        doc = obs.load_trace(path)
+        assert obs.validate_trace(doc) == []
+        assert doc["traceEvents"]
+
+    def test_load_rejects_non_trace_json(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            obs.load_trace(p)
+
+
+class TestSummaries:
+    def test_summarize_separates_clocks(self, cpu_doc):
+        text = obs.summarize(cpu_doc)
+        assert "virtual device time" in text
+        assert "queue track" in text
+
+    def test_diff_reports_deltas(self, cpu_doc, gpu_doc):
+        text = obs.diff_traces(cpu_doc, gpu_doc)
+        assert "delta" in text
+
+    def test_rollup_self_time_excludes_children(self):
+        t = obs.Tracer()
+        clock = iter([0, 0, 1000, 3000, 10000]).__next__
+        t2 = obs.Tracer(wall_clock=clock)
+        with t2.wall_span("outer"):
+            with t2.wall_span("inner"):
+                pass
+        rollup = obs.span_rollup(obs.to_chrome_trace(t2,
+                                                     obs.MetricsRegistry()))
+        outer = rollup[("wall", "outer")]
+        inner = rollup[("wall", "inner")]
+        assert outer["total_us"] == pytest.approx(10.0)
+        assert inner["total_us"] == pytest.approx(2.0)
+        assert outer["self_us"] == pytest.approx(8.0)
+        del t
+
+
+class TestResultsUnperturbed:
+    def test_experiment_csv_identical_with_and_without_tracing(self):
+        from repro.harness.registry import run_experiment
+
+        plain = run_experiment("fig11", fast=True).to_csv()
+        t = obs.Tracer()
+        with obs.tracing(t):
+            traced = run_experiment("fig11", fast=True).to_csv()
+        assert traced == plain
+        assert any(ev["ph"] == "B" for ev in t.events)
+
+
+class TestEnvVars:
+    def test_env_flag_single_rule(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert not repro.env_flag("REPRO_VERIFY")
+        for off in ("", "0"):
+            monkeypatch.setenv("REPRO_VERIFY", off)
+            assert not repro.env_flag("REPRO_VERIFY")
+        for on in ("1", "yes", "whatever"):
+            monkeypatch.setenv("REPRO_VERIFY", on)
+            assert repro.env_flag("REPRO_VERIFY")
+
+    def test_env_trace_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert obs.env_trace_path() is None
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert obs.env_trace_path() is None
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert obs.env_trace_path() == "trace.json"
+        monkeypatch.setenv("REPRO_TRACE", "/tmp/my.json")
+        assert obs.env_trace_path() == "/tmp/my.json"
+
+    def test_readme_documents_every_env_var(self):
+        readme = (ROOT / "README.md").read_text()
+        for name in repro.ENV_VARS:
+            assert f"`{name}`" in readme, name
+
+    def test_observability_doc_exists_and_linked(self):
+        doc = ROOT / "docs" / "OBSERVABILITY.md"
+        assert doc.exists()
+        text = doc.read_text()
+        for needle in ("Perfetto", "trace", "clock"):
+            assert needle in text
+        assert "OBSERVABILITY.md" in (ROOT / "README.md").read_text()

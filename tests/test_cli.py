@@ -148,3 +148,113 @@ class TestLint:
     def test_lint_unknown_benchmark(self, capsys):
         assert main(["lint", "NoSuchApp"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestExperimentsOnlyAndTrace:
+    def test_only_accepts_module_style_names(self, tmp_path, capsys):
+        assert main(["experiments", "--only", "fig7_transfer_api",
+                     "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+
+    def test_only_module_name_expands_to_all_its_keys(self, capsys):
+        assert main(["experiments", "--only", "table2_table3",
+                     "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "table3" in out
+
+    def test_only_unknown_name(self, capsys):
+        assert main(["experiments", "--only", "fig7_transfr_api"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "did you mean" in err
+
+    def test_trace_writes_valid_json_and_identical_csv(self, tmp_path,
+                                                       capsys):
+        from repro import obs
+
+        plain, traced = tmp_path / "plain", tmp_path / "traced"
+        trace = tmp_path / "t.json"
+        assert main(["experiments", "fig11", "--fast",
+                     "--csv", str(plain)]) == 0
+        assert main(["experiments", "fig11", "--fast",
+                     "--csv", str(traced), "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert (plain / "fig11.csv").read_text() == \
+               (traced / "fig11.csv").read_text()
+        doc = obs.load_trace(trace)
+        assert obs.validate_trace(doc) == []
+        assert doc["otherData"]["metrics"]["gauges"]
+
+    def test_trace_forces_serial_jobs(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["experiments", "fig11", "--fast", "--jobs", "4",
+                     "--trace", str(trace)]) == 0
+        assert "forces --jobs 1" in capsys.readouterr().err
+        assert trace.exists()
+
+
+class TestTraceSubcommand:
+    def test_record_then_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["trace", "record", "fig11", "--fast",
+                     "--out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "virtual device time" in out
+        assert "queue track" in out
+
+    def test_summarize_rejects_invalid_trace(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 5.0},
+            {"name": "a", "ph": "E", "pid": 1, "tid": 1, "ts": 2.0},
+        ]}))
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "no.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_diff_two_recordings(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["trace", "record", "fig11", "--fast",
+                     "--out", str(a)]) == 0
+        assert main(["trace", "record", "table1", "--fast",
+                     "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out and "experiment" in out
+
+
+class TestBenchTrend:
+    def _baseline(self, tmp_path, name, seconds):
+        import json
+
+        p = tmp_path / name
+        p.write_text(json.dumps({"schema": 1, "runs": {"quick": {
+            "mode": "quick", "experiments": {}, "total_seconds": seconds,
+        }}}))
+        return p
+
+    def test_multiple_baselines_print_trend(self, tmp_path, capsys):
+        old = self._baseline(tmp_path, "old.json", 500.0)
+        new = self._baseline(tmp_path, "new.json", 400.0)
+        assert main(["bench", "--quick", "--no-speedup", "table1",
+                     "--compare", str(old), "--compare", str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "trend" in out
+        assert "old.json" in out and "new.json" in out
+        assert "vs previous baseline" in out
+
+    def test_gating_uses_last_baseline(self, tmp_path, capsys):
+        generous = self._baseline(tmp_path, "gen.json", 500.0)
+        tiny = self._baseline(tmp_path, "tiny.json", 1e-9)
+        assert main(["bench", "--quick", "--no-speedup", "fig11",
+                     "--compare", str(generous),
+                     "--compare", str(tiny)]) == 1
+        capsys.readouterr()
