@@ -40,7 +40,17 @@ anything else means *on*:
                    (:mod:`repro.kernelir.compile`)
 ``REPRO_TRACE``    enable tracing on the CLI; ``1`` writes ``trace.json``,
                    any other value is the output path (:mod:`repro.obs`)
+``REPRO_NO_OOO``   force eager serial command execution (disable the
+                   event-DAG scheduler; :mod:`repro.minicl.schedule`)
+``REPRO_WORKERS``  host worker threads for the execution engine
+                   (integer; unset/0 = auto-size; :mod:`repro.workers`)
+``REPRO_QUEUE``    harness queue engine: ``ooo`` retires harness commands
+                   through the DAG scheduler (:mod:`repro.harness.runner`)
 ================  ==========================================================
+
+``REPRO_WORKERS`` and ``REPRO_QUEUE`` carry values rather than on/off
+switches; they get the value-parsing helpers :func:`env_int` and
+:func:`env_value` next to :func:`env_flag`.
 """
 
 from __future__ import annotations
@@ -56,6 +66,9 @@ ENV_VARS = {
     "REPRO_NO_CACHE": "bypass every launch-plan cache",
     "REPRO_NO_JIT": "force the tree-walk interpreter engine",
     "REPRO_TRACE": "enable tracing (1 = trace.json, other values = path)",
+    "REPRO_NO_OOO": "force eager serial command execution (no DAG scheduler)",
+    "REPRO_WORKERS": "host worker threads for the engine (0/unset = auto)",
+    "REPRO_QUEUE": "harness queue engine ('ooo' = DAG scheduler)",
 }
 
 
@@ -69,10 +82,35 @@ def env_flag(name: str) -> bool:
     return os.environ.get(name, "") not in ("", "0")
 
 
+def env_value(name: str) -> str:
+    """Raw value of a ``REPRO_*`` variable (``""`` when unset).
+
+    For the variables that carry a value rather than an on/off switch
+    (``REPRO_QUEUE``); keeps all environment parsing in this module.
+    """
+    return os.environ.get(name, "")
+
+
+def env_int(name: str, default: int = 0) -> int:
+    """Integer value of a ``REPRO_*`` variable.
+
+    Unset, empty and unparsable values fall back to ``default`` (they
+    never raise: a typo in an environment variable must not take down a
+    run, matching the tolerant parsing of :func:`env_flag`).
+    """
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
 from . import kernelir  # noqa: F401,E402
 
-__all__ = ["ENV_VARS", "env_flag", "kernelir", "metrics", "obs",
-           "__version__"]
+__all__ = ["ENV_VARS", "env_flag", "env_int", "env_value", "kernelir",
+           "metrics", "obs", "__version__"]
 
 
 def __getattr__(name):

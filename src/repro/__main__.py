@@ -21,9 +21,12 @@ Subcommands:
 * ``list`` — list experiments and benchmarks.
 
 ``experiments`` and ``bench`` accept ``--engine {compiled,interp}`` to pick
-the functional execution engine (``interp`` == ``REPRO_NO_JIT=1``) and
+the functional execution engine (``interp`` == ``REPRO_NO_JIT=1``),
 ``--trace FILE`` (env: ``REPRO_TRACE``) to record the run as a
-Chrome-trace JSON (see ``docs/OBSERVABILITY.md``).
+Chrome-trace JSON (see ``docs/OBSERVABILITY.md``), plus the command-queue
+engine knobs ``--queue {inorder,ooo}`` (env: ``REPRO_QUEUE``) and
+``--workers N`` (env: ``REPRO_WORKERS``) described in
+``docs/SCHEDULER.md``.
 """
 
 from __future__ import annotations
@@ -50,6 +53,27 @@ def _apply_engine(engine) -> None:
         os.environ["REPRO_NO_JIT"] = "1"
     else:
         os.environ.pop("REPRO_NO_JIT", None)
+
+
+def _apply_scheduling(args) -> None:
+    """Select the command-queue engine and worker count (see
+    ``docs/SCHEDULER.md``).
+
+    Like :func:`_apply_engine`, both knobs are expressed through their
+    environment variables (``REPRO_QUEUE``, ``REPRO_WORKERS``) so they
+    survive into ``--jobs`` worker processes.
+    """
+    queue = getattr(args, "queue", None)
+    if queue is not None:
+        if queue == "ooo":
+            os.environ["REPRO_QUEUE"] = "ooo"
+        else:
+            os.environ.pop("REPRO_QUEUE", None)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        if workers < 1:
+            raise SystemExit(f"--workers must be >= 1, got {workers}")
+        os.environ["REPRO_WORKERS"] = str(workers)
 
 
 def _suite_benchmarks():
@@ -152,6 +176,7 @@ def _finish_trace(tracer, path) -> None:
 
     obs.REGISTRY.absorb_cache_stats()
     obs.REGISTRY.absorb_jit_stats()
+    obs.REGISTRY.absorb_scheduler_stats()
     out = obs.write_trace(tracer, path, registry=obs.REGISTRY)
     msg = f"[trace] wrote {out} ({len(tracer.events)} events)"
     if tracer.dropped:
@@ -161,6 +186,7 @@ def _finish_trace(tracer, path) -> None:
 
 def cmd_experiments(args) -> int:
     _apply_engine(args.engine)
+    _apply_scheduling(args)
     from .harness.registry import EXPERIMENTS, run_many
 
     requested = list(args.names or []) + list(getattr(args, "only", None) or [])
@@ -204,6 +230,7 @@ def cmd_experiments(args) -> int:
 
 def cmd_bench(args) -> int:
     _apply_engine(args.engine)
+    _apply_scheduling(args)
     from .harness import bench as bench_mod
 
     mode = "quick" if args.quick else "full"
@@ -220,6 +247,8 @@ def cmd_bench(args) -> int:
             args.names or None,
             measure_speedup=not args.no_speedup,
             microbench=not args.names,
+            workers=args.workers or 1,
+            queue=args.queue or "inorder",
         )
     finally:
         if tracer is not None:
@@ -493,6 +522,12 @@ def main(argv=None) -> int:
     p_exp.add_argument("--trace", metavar="FILE",
                        help="record the run as Chrome-trace JSON "
                             "(env: REPRO_TRACE); forces --jobs 1")
+    p_exp.add_argument("--workers", type=int, metavar="N",
+                       help="engine worker threads per process "
+                            "(env: REPRO_WORKERS; default: auto)")
+    p_exp.add_argument("--queue", choices=("inorder", "ooo"),
+                       help="command-queue engine for functional execution "
+                            "(env: REPRO_QUEUE; default: inorder/eager)")
     p_exp.set_defaults(fn=cmd_experiments)
 
     p_bench = sub.add_parser(
@@ -517,6 +552,12 @@ def main(argv=None) -> int:
     p_bench.add_argument("--trace", metavar="FILE",
                          help="record the bench run as Chrome-trace JSON "
                               "(env: REPRO_TRACE)")
+    p_bench.add_argument("--workers", type=int, metavar="N",
+                         help="run the suite across N worker processes and "
+                              "report wall clock (env: REPRO_WORKERS)")
+    p_bench.add_argument("--queue", choices=("inorder", "ooo"),
+                         help="command-queue engine for functional execution "
+                              "(env: REPRO_QUEUE; default: inorder/eager)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_rep = sub.add_parser("report", help="kernel performance report")

@@ -1,9 +1,17 @@
 """Wall-clock benchmark harness: ``python -m repro bench``.
 
 Times the experiment suite (host wall-clock, not simulated time), reports
-per-cache-family hit rates, runs a pair of cache-sensitive microbenchmarks,
-and — unless disabled — re-runs the suite with every launch-plan cache
-bypassed to measure the end-to-end caching speedup.
+per-cache-family hit rates, runs a set of cache- and engine-sensitive
+microbenchmarks, and — unless disabled — re-runs the suite with every
+launch-plan cache bypassed to measure the end-to-end caching speedup.
+
+With ``workers > 1`` the suite is timed across that many worker
+*processes* (every experiment is deterministic in virtual time and shares
+nothing, so this is the same fan-out as ``experiments --jobs``) and
+``total_seconds`` becomes the suite's wall clock rather than the serial
+sum; ``queue="ooo"`` additionally routes every functional command through
+the DAG scheduler (``REPRO_QUEUE=ooo``) — results are byte-identical by
+construction, only the wall clock moves.
 
 Results serialize to JSON (``BENCH_2.json`` in the repo keeps the committed
 baseline) as ``{"schema": 1, "runs": {mode: run}}`` with one run per mode
@@ -14,10 +22,12 @@ beyond a threshold — the CI bench smoke job fails on that.
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
+import os
 import pathlib
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import plancache
 
@@ -27,16 +37,36 @@ __all__ = ["SCHEMA", "compare", "load_baseline", "merge_run", "run_bench",
 SCHEMA = 1
 
 
-def _time_suite(names: Sequence[str], fast: bool) -> Dict[str, float]:
-    """Wall-clock seconds per experiment (serial, in-process)."""
+def _timed_run(name: str, fast: bool) -> Tuple[str, float]:
+    """Module-level so worker processes can unpickle the task."""
     from .registry import run_experiment
 
-    out: Dict[str, float] = {}
-    for name in names:
-        t0 = time.perf_counter()
-        run_experiment(name, fast=fast)
-        out[name] = time.perf_counter() - t0
-    return out
+    t0 = time.perf_counter()
+    run_experiment(name, fast=fast)
+    return name, time.perf_counter() - t0
+
+
+def _time_suite(
+    names: Sequence[str], fast: bool, workers: int = 1
+) -> Tuple[Dict[str, float], float]:
+    """(per-experiment seconds, suite wall-clock seconds).
+
+    Serial (``workers <= 1``) runs in-process; otherwise experiments fan
+    out over a process pool and per-experiment numbers come back from the
+    workers while the wall clock is measured here.
+    """
+    t0 = time.perf_counter()
+    if workers <= 1 or len(names) <= 1:
+        out: Dict[str, float] = {}
+        for name in names:
+            out[name] = _timed_run(name, fast)[1]
+        return out, time.perf_counter() - t0
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(workers, len(names))
+    ) as pool:
+        futures = [pool.submit(_timed_run, n, fast) for n in names]
+        out = dict(f.result() for f in futures)
+    return out, time.perf_counter() - t0
 
 
 def _microbench() -> Dict[str, dict]:
@@ -103,7 +133,7 @@ def _microbench() -> Dict[str, dict]:
     compiled()  # prime the compile cache
     compiled_us = per_call_us(compiled, 10)
 
-    return {
+    out = {
         "engine_launch_us": {
             "compiled": round(compiled_us, 2),
             "interp": round(interp_hit_us, 2),
@@ -126,6 +156,100 @@ def _microbench() -> Dict[str, dict]:
             ),
         },
     }
+    out.update(_engine_microbench())
+    return out
+
+
+def _engine_microbench() -> Dict[str, dict]:
+    """DAG-scheduler command overhead and chunked-launch latency rows.
+
+    Two tables: per-command retirement cost of the eager engine vs the DAG
+    scheduler at one and at the auto worker count, and per-launch latency
+    of a 1M-lane chunk-safe kernel on the compiled engine at one vs auto
+    workers (with the tree-walk interpreter as the reference row).
+    """
+    import numpy as np
+
+    from .. import minicl as cl
+    from .. import workers
+    from ..kernelir import compile as klcompile
+    from ..kernelir.interp import Interpreter
+    from ..suite import mbench_by_name
+
+    auto = max(1, min(4, os.cpu_count() or 1))
+    ctx = cl.Context(cl.cpu_platform().devices)
+    src = np.ones(1024, np.float32)
+    rounds = 200
+
+    def per_cmd_us(out_of_order: bool) -> float:
+        q = ctx.create_command_queue(
+            functional=True, out_of_order=out_of_order
+        )
+        bufs = [
+            ctx.create_buffer(cl.mem_flags.READ_WRITE, hostbuf=src)
+            for _ in range(8)
+        ]
+        t0 = time.perf_counter()
+        for i in range(rounds):
+            q.enqueue_write_buffer(bufs[i % 8], src, blocking=False)
+        q.finish()
+        return (time.perf_counter() - t0) / rounds * 1e6
+
+    eager_us = per_cmd_us(False)
+    workers.set_worker_count(1)
+    try:
+        dag_1w_us = per_cmd_us(True)
+        workers.set_worker_count(auto)
+        dag_auto_us = per_cmd_us(True)
+
+        bench = mbench_by_name("MBench1")
+        kernel = bench.kernel()
+        gs, ls = bench.default_global_sizes[0], bench.default_local_size
+        host, scalars = bench.make_data(gs, np.random.default_rng(0))
+        bufs = {k: v.copy() for k, v in host.items()}
+
+        def compiled_launch():
+            klcompile.launch_kernel(
+                kernel, gs, ls, buffers=bufs, scalars=scalars
+            )
+
+        def per_call_us(fn, n: int) -> float:
+            t0 = time.perf_counter()
+            for _ in range(n):
+                fn()
+            return (time.perf_counter() - t0) / n * 1e6
+
+        compiled_launch()  # prime compile + fused-plan caches
+        compiled_auto_us = per_call_us(compiled_launch, 10)
+        workers.set_worker_count(1)
+        compiled_1w_us = per_call_us(compiled_launch, 10)
+        interp_us = per_call_us(
+            lambda: Interpreter().launch(
+                kernel, gs, ls, buffers=bufs, scalars=scalars
+            ),
+            3,
+        )
+    finally:
+        workers.set_worker_count(None)
+
+    return {
+        "scheduler_cmd_us": {
+            "eager": round(eager_us, 2),
+            "dag_1_worker": round(dag_1w_us, 2),
+            "dag_auto_workers": round(dag_auto_us, 2),
+            "auto_workers": auto,
+        },
+        "parallel_launch_us": {
+            "compiled_1_worker": round(compiled_1w_us, 2),
+            "compiled_auto_workers": round(compiled_auto_us, 2),
+            "speedup": (
+                round(compiled_1w_us / compiled_auto_us, 2)
+                if compiled_auto_us > 0 else 0.0
+            ),
+            "interp_1_worker": round(interp_us, 2),
+            "auto_workers": auto,
+        },
+    }
 
 
 def run_bench(
@@ -134,11 +258,22 @@ def run_bench(
     *,
     measure_speedup: bool = True,
     microbench: bool = True,
+    workers: int = 1,
+    queue: str = "inorder",
     log=print,
 ) -> dict:
-    """Run the wall-clock benchmark and return one JSON-ready *run* dict."""
+    """Run the wall-clock benchmark and return one JSON-ready *run* dict.
+
+    ``workers`` > 1 fans the suite out over worker processes and makes
+    ``total_seconds`` the suite's *wall clock* (the serial run keeps the
+    per-experiment sum, which for one process is the same thing minus pool
+    overhead).  ``queue="ooo"`` sets ``REPRO_QUEUE=ooo`` for the duration
+    so every functional command retires through the DAG scheduler.
+    """
     from .registry import EXPERIMENTS
 
+    if queue not in ("inorder", "ooo"):
+        raise ValueError(f"unknown queue engine {queue!r}")
     fast = mode == "quick"
     names: List[str] = list(experiments) if experiments else list(EXPERIMENTS)
 
@@ -147,47 +282,86 @@ def run_bench(
     plancache.invalidate_all()
     plancache.reset_stats()
     klcompile.reset_compile_stats()
+    try:
+        from ..minicl import schedule as clschedule
+
+        clschedule.reset_scheduler_stats()
+    except ImportError:  # pragma: no cover - schedule always importable
+        clschedule = None
     engine = "compiled" if klcompile.jit_enabled() else "interp"
     log(
         f"[bench] timing {len(names)} experiment(s), mode={mode}, "
-        f"caches on, engine={engine}"
+        f"caches on, engine={engine}, workers={workers}, queue={queue}"
     )
-    timings = _time_suite(names, fast)
-    total = sum(timings.values())
-    stats = plancache.cache_stats()
-    jit = klcompile.compile_stats()
-    log(f"[bench] cached suite: {total:.2f}s")
-    if jit["unsupported"]:
-        log(
-            "[bench] JIT interpreter fallbacks: "
-            + "; ".join(f"{k}: {v}" for k, v in jit["unsupported"].items())
-        )
+    prev_queue = os.environ.get("REPRO_QUEUE")
+    if queue == "ooo":
+        os.environ["REPRO_QUEUE"] = "ooo"
+    try:
+        timings, wall = _time_suite(names, fast, workers)
+        total = wall if workers > 1 else sum(timings.values())
+        stats = plancache.cache_stats()
+        jit = klcompile.compile_stats()
+        log(f"[bench] cached suite: {total:.2f}s")
+        if workers <= 1 and jit["unsupported"]:
+            log(
+                "[bench] JIT interpreter fallbacks: "
+                + "; ".join(
+                    f"{k}: {v}" for k, v in jit["unsupported"].items()
+                )
+            )
 
-    run: dict = {
-        "mode": mode,
-        "experiments": {k: round(v, 4) for k, v in timings.items()},
-        "total_seconds": round(total, 4),
-        "cache_stats": stats,
-        "jit": jit,
-    }
+        run: dict = {
+            "mode": mode,
+            "workers": int(workers),
+            "queue": queue,
+            "experiments": {k: round(v, 4) for k, v in timings.items()},
+            "total_seconds": round(total, 4),
+            "cache_stats": stats,
+            "jit": jit,
+        }
+        if clschedule is not None:
+            run["scheduler"] = clschedule.scheduler_stats()
+        if workers > 1:
+            # stats above are in-process; the parallel suite ran in worker
+            # processes, so record that they describe this process only
+            run["stats_scope"] = "main process (suite ran in workers)"
 
-    if measure_speedup:
-        plancache.invalidate_all()
-        log("[bench] re-running with caches disabled (REPRO_NO_CACHE mode)")
-        with plancache.caching_disabled():
-            uncached = _time_suite(names, fast)
-        uncached_total = sum(uncached.values())
-        run["uncached_total_seconds"] = round(uncached_total, 4)
-        run["speedup"] = (
-            round(uncached_total / total, 2) if total > 0 else 0.0
-        )
-        log(
-            f"[bench] uncached suite: {uncached_total:.2f}s "
-            f"-> speedup {run['speedup']}x"
-        )
+        if measure_speedup:
+            plancache.invalidate_all()
+            log(
+                "[bench] re-running with caches disabled "
+                "(REPRO_NO_CACHE mode)"
+            )
+            prev_nc = os.environ.get("REPRO_NO_CACHE")
+            os.environ["REPRO_NO_CACHE"] = "1"  # reaches worker processes
+            try:
+                with plancache.caching_disabled():
+                    uncached, uwall = _time_suite(names, fast, workers)
+            finally:
+                if prev_nc is None:
+                    os.environ.pop("REPRO_NO_CACHE", None)
+                else:
+                    os.environ["REPRO_NO_CACHE"] = prev_nc
+            uncached_total = uwall if workers > 1 else sum(uncached.values())
+            run["uncached_total_seconds"] = round(uncached_total, 4)
+            run["speedup"] = (
+                round(uncached_total / total, 2) if total > 0 else 0.0
+            )
+            log(
+                f"[bench] uncached suite: {uncached_total:.2f}s "
+                f"-> speedup {run['speedup']}x"
+            )
 
-    if microbench:
-        run["microbench"] = _microbench()
+        if microbench:
+            run["microbench"] = _microbench()
+            if clschedule is not None:
+                # the microbench exercises the DAG engine, so re-snapshot
+                run["scheduler"] = clschedule.scheduler_stats()
+    finally:
+        if prev_queue is None:
+            os.environ.pop("REPRO_QUEUE", None)
+        else:
+            os.environ["REPRO_QUEUE"] = prev_queue
     return run
 
 

@@ -19,7 +19,14 @@ a callable with the same semantics as :meth:`Interpreter.launch`:
   as in the interpreter.
 
 Compiled callables are cached in ``LaunchPlanCache("kernelir.compiled")``
-keyed on ``Kernel.fingerprint()`` plus the compile options.  IR the
+keyed on ``Kernel.fingerprint()`` plus the compile options.  On top of
+that sits the whole-grid **fused launch plan**
+(``LaunchPlanCache("kernelir.fused")``): per (kernel, launch shape,
+scalars), size normalization, offset validation and the chunk-safety
+analysis run once, and repeat launches go straight to the compiled
+function — optionally split into contiguous lane chunks on the shared
+chunk pool (:mod:`repro.workers`) when the static race verifier proves
+lockstep equivalence (see :func:`_parallel_ok`).  IR the
 compiler cannot prove it can lower faithfully (reads of conditionally
 defined variables, id dimensions beyond ``work_dim``, non-identifier
 names) raises :class:`UnsupportedKernelError`; :func:`launch_kernel` then
@@ -54,12 +61,14 @@ from .types import I64
 
 __all__ = [
     "CompiledKernel",
+    "FusedPlan",
     "UnsupportedKernelError",
     "compile_kernel",
     "compile_stats",
     "generated_source",
     "get_compiled",
     "get_engine",
+    "get_fused_plan",
     "jit_enabled",
     "launch_kernel",
     "reset_compile_stats",
@@ -1034,6 +1043,209 @@ def generated_source(
 
 
 # ---------------------------------------------------------------------------
+# Whole-grid fused launch plans (with multi-core chunked execution)
+# ---------------------------------------------------------------------------
+
+#: per-(kernel, launch shape, scalars) launch plans: size normalization,
+#: offset validation and the parallel-eligibility analysis run once, then
+#: every repeat launch (the harness's ``repeat_to_target`` loop) goes
+#: straight to the compiled function
+_FUSED_CACHE = LaunchPlanCache("kernelir.fused", maxsize=256)
+
+#: a launch splits across the chunk pool only when every chunk gets at
+#: least this many lanes — below it, thread handoff dwarfs the numpy work
+_MIN_CHUNK_LANES = 16384
+
+
+def _parallel_ok(kernel, gsize, lsize, scalars) -> bool:
+    """Whether chunked multi-core execution is provably lockstep-equivalent.
+
+    The lockstep engines run each statement for *all* lanes before the
+    next, so a lane may observe another lane's earlier global store;
+    chunking breaks that. The static race verifier's R-RACE-GLOBAL rule
+    reports exactly the cross-workitem store/store and store/load overlaps
+    (plus unprovable scatters) that make this observable, so a launch is
+    chunk-safe iff the rule is clean — and not suppressed, since a
+    suppressed finding is dropped from the report. Barriers, ``__local``
+    arrays and atomics take the serial path outright.
+    """
+    if (kernel.uses_barrier or kernel.uses_local_memory
+            or kernel.uses_atomics):
+        return False
+    if "R-RACE-GLOBAL" in kernel.suppressions:
+        return False
+    from .analysis import LaunchContext
+    from .verify import verify_launch
+
+    report = verify_launch(
+        kernel,
+        LaunchContext(gsize, lsize, scalars={
+            k: float(v) for k, v in (scalars or {}).items()
+        }),
+        include_vectorization=False,
+    )
+    return not any(d.rule == "R-RACE-GLOBAL" for d in report.diagnostics)
+
+
+def _slice_frame(frame: _Frame, lo: int, hi: int, counters) -> _Frame:
+    """A shallow view of ``frame`` covering lanes ``[lo, hi)``.
+
+    Buffers and scalars are shared (chunk-safety is established by
+    :func:`_parallel_ok`); the per-lane id vectors are sliced views.
+    ``locals`` is shared too, which is only sound because eligibility
+    excludes kernels with ``__local`` arrays.
+    """
+    f = _Frame.__new__(_Frame)
+    f.kernel = frame.kernel
+    f.gsize = frame.gsize
+    f.lsize = frame.lsize
+    f.ngroups = frame.ngroups
+    f.n = hi - lo
+    f.buffers = frame.buffers
+    f.env = frame.env
+    f.locals = frame.locals
+    f.group_linear = frame.group_linear[lo:hi]
+    f.ids = {k: v[lo:hi] for k, v in frame.ids.items()}
+    f.counters = counters
+    f.readonly = frame.readonly
+    f.writeonly = frame.writeonly
+    return f
+
+
+class FusedPlan:
+    """One cached whole-grid launch: compiled fn + precomputed launch facts."""
+
+    __slots__ = ("ck", "gsize", "lsize", "goffset", "parallel")
+
+    def __init__(self, ck: "CompiledKernel", gsize, lsize, goffset,
+                 parallel: bool):
+        self.ck = ck
+        self.gsize = gsize
+        self.lsize = lsize
+        self.goffset = goffset
+        self.parallel = parallel
+
+    def launch(self, buffers, scalars, readonly=None,
+               writeonly=None) -> LaunchResult:
+        buffers = dict(buffers or {})
+        scalars = dict(scalars or {})
+        _validate_args(self.ck.kernel, buffers, scalars)
+        counters = DynamicCounters() if self.ck.count_ops else None
+        frame = _Frame(
+            self.ck.kernel, self.gsize, self.lsize, buffers, scalars,
+            counters, self.goffset, readonly=readonly, writeonly=writeonly,
+        )
+        chunks = self._chunk_bounds(frame.n) if self.parallel else None
+        if chunks:
+            _STATS["launches_parallel"] += 1
+            self._run_chunks(frame, chunks)
+        else:
+            self.ck._fn(frame)
+        return LaunchResult(
+            global_size=self.gsize,
+            local_size=self.lsize,
+            num_groups=frame.ngroups,
+            counters=counters,
+        )
+
+    def _chunk_bounds(self, n: int):
+        """Contiguous lane chunks, or None when the launch stays serial.
+
+        Computed per launch (not cached on the plan) so a worker-count
+        change mid-process takes effect immediately.
+        """
+        from .. import workers
+
+        nchunks = min(workers.worker_count(), n // _MIN_CHUNK_LANES)
+        if nchunks < 2:
+            return None
+        base, extra = divmod(n, nchunks)
+        bounds = []
+        lo = 0
+        for i in range(nchunks):
+            hi = lo + base + (1 if i < extra else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds
+
+    def _run_chunks(self, frame: _Frame, chunks) -> None:
+        from .. import workers
+        from ..obs import tracer as _obs_tracer
+
+        sub = [
+            _slice_frame(
+                frame, lo, hi,
+                DynamicCounters() if frame.counters is not None else None,
+            )
+            for lo, hi in chunks
+        ]
+        name = f"chunk {self.ck.kernel.name}"
+
+        def run(f):
+            tracer = _obs_tracer.ACTIVE
+            if tracer is not None:
+                with tracer.worker_span(workers.worker_index(), name,
+                                        {"lanes": f.n}):
+                    self.ck._fn(f)
+            else:
+                self.ck._fn(f)
+
+        pool = workers.chunk_pool()
+        futures = [pool.submit(run, f) for f in sub]
+        error = None
+        for fut in futures:  # chunk order: first failing chunk wins
+            try:
+                fut.result()
+            except BaseException as e:  # noqa: BLE001 - deterministic re-raise
+                if error is None:
+                    error = e
+        if error is not None:
+            raise error
+        if frame.counters is not None:
+            # reduce in chunk order; integer sums, so associativity is moot,
+            # but a fixed order keeps the reduction bit-for-bit reproducible
+            for f in sub:
+                c = f.counters
+                frame.counters.flops += c.flops
+                frame.counters.int_ops += c.int_ops
+                frame.counters.loads += c.loads
+                frame.counters.stores += c.stores
+                frame.counters.local_loads += c.local_loads
+                frame.counters.local_stores += c.local_stores
+                frame.counters.atomic_ops += c.atomic_ops
+                frame.counters.barriers += c.barriers
+
+
+def get_fused_plan(
+    ck: "CompiledKernel", global_size, local_size=None, global_offset=None,
+    scalars=None,
+) -> FusedPlan:
+    """Cached launch plan for one (compiled kernel, shape, scalars) triple.
+
+    Scalars join the key because the race analysis behind the parallel
+    gate can depend on their concrete values (an index stride, say).
+    """
+    gsize, lsize = _normalize_sizes(ck.kernel, global_size, local_size)
+    goffset = _normalize_offset(gsize, global_offset)
+    skey = tuple(sorted(
+        (k, float(v)) for k, v in (scalars or {}).items()
+    ))
+    key = (
+        _cache_key(ck.kernel, ck.count_ops, ck.bounds_check,
+                   ck.max_loop_iters),
+        gsize, lsize, goffset, skey,
+    )
+    plan = _FUSED_CACHE.get(key)
+    if plan is None:
+        plan = FusedPlan(
+            ck, gsize, lsize, goffset,
+            _parallel_ok(ck.kernel, gsize, lsize, scalars),
+        )
+        _FUSED_CACHE.put(key, plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
 # Compile cache, engine selection, dispatch
 # ---------------------------------------------------------------------------
 
@@ -1047,6 +1259,8 @@ _STATS = {
     "kernels_compiled": 0,
     "kernels_unsupported": 0,
     "launches_compiled": 0,
+    "launches_fused": 0,
+    "launches_parallel": 0,
     "launches_fallback": 0,
     "launches_interp": 0,
 }
@@ -1169,14 +1383,12 @@ def launch_kernel(
         )
         if ck is not None:
             _STATS["launches_compiled"] += 1
-            return ck.launch(
-                global_size,
-                local_size,
-                buffers=buffers,
-                scalars=scalars,
-                global_offset=global_offset,
-                readonly=readonly,
-                writeonly=writeonly,
+            _STATS["launches_fused"] += 1
+            plan = get_fused_plan(
+                ck, global_size, local_size, global_offset, scalars,
+            )
+            return plan.launch(
+                buffers, scalars, readonly=readonly, writeonly=writeonly,
             )
         _STATS["launches_fallback"] += 1
     else:
@@ -1219,6 +1431,8 @@ def compile_stats() -> dict:
         "kernels_unsupported": _STATS["kernels_unsupported"],
         "launches": {
             "compiled": _STATS["launches_compiled"],
+            "fused": _STATS["launches_fused"],
+            "parallel": _STATS["launches_parallel"],
             "interp_fallback": _STATS["launches_fallback"],
             "interp_forced": _STATS["launches_interp"],
         },

@@ -350,11 +350,27 @@ class _Verifier:
     # -- expression evaluation ---------------------------------------------
     def _eval(self, e: ir.Expr, env: Dict[str, _Val], guards: _Guards,
               loc: str, record: bool = True) -> _Val:
+        # dispatch ordered by dynamic frequency: big kernels are mostly
+        # BinOp/Const/Var leaves, the id/size queries are rare
+        if isinstance(e, ir.BinOp):
+            return self._eval_binop(e, env, guards, loc, record)
         if isinstance(e, ir.Const):
             if isinstance(e.value, bool):
                 return _Val(None, 0.0, 1.0)
             if isinstance(e.value, (int, float)):
                 v = float(e.value)
+                return _Val(_Aff(v), v, v)
+            return _Val()
+        if isinstance(e, ir.Var):
+            if e.name in self.scalar_names:
+                self.used.add(e.name)
+            if e.name in env:
+                return env[e.name]
+            if e.name in self.ctx.scalars:
+                try:
+                    v = float(self.ctx.scalars[e.name])
+                except (TypeError, ValueError):
+                    return _Val()
                 return _Val(_Aff(v), v, v)
             return _Val()
         if isinstance(e, ir.GlobalId):
@@ -382,18 +398,6 @@ class _Verifier:
             ng = self.ctx.num_groups
             v = float(ng[e.dim]) if e.dim < len(ng) else 1.0
             return _Val(_Aff(v), v, v)
-        if isinstance(e, ir.Var):
-            if e.name in self.scalar_names:
-                self.used.add(e.name)
-            if e.name in env:
-                return env[e.name]
-            if e.name in self.ctx.scalars:
-                try:
-                    v = float(self.ctx.scalars[e.name])
-                except (TypeError, ValueError):
-                    return _Val()
-                return _Val(_Aff(v), v, v)
-            return _Val()
         if isinstance(e, ir.Cast):
             v = self._eval(e.operand, env, guards, loc, record)
             if not e.dtype.is_float:
@@ -401,8 +405,6 @@ class _Verifier:
                 hi = math.ceil(v.hi) if math.isfinite(v.hi) else v.hi
                 return _Val(v.aff, lo, hi, v.wi)
             return v
-        if isinstance(e, ir.BinOp):
-            return self._eval_binop(e, env, guards, loc, record)
         if isinstance(e, ir.UnOp):
             v = self._eval(e.operand, env, guards, loc, record)
             if e.op == "neg":
@@ -973,12 +975,19 @@ class _Verifier:
                         key=(arr, "self", _site(s.loc)),
                     )
             for i, a in enumerate(accs):
+                # accesses are recorded in program order (ascending .pos), so
+                # the first barrier after ``a`` separates it from every later
+                # access at once — stop the inner scan there instead of
+                # testing each pair
+                bi = bisect_right(self.barriers, a.pos)
+                epoch_end = (self.barriers[bi] if bi < len(self.barriers)
+                             else math.inf)
                 for b in accs[i + 1:]:
+                    if b.pos > epoch_end:
+                        break
                     if a.kind == "load" and b.kind == "load":
                         continue
                     if a.kind == "atomic" and b.kind == "atomic":
-                        continue
-                    if self._barrier_between(a.pos, b.pos):
                         continue
                     if self._pair_conflict(a, b, wi, fixed):
                         self._diag(

@@ -1,9 +1,20 @@
-"""Events with virtual-time profiling (``CL_QUEUE_PROFILING_ENABLE``)."""
+"""Events with virtual-time profiling (``CL_QUEUE_PROFILING_ENABLE``).
+
+Profiling timestamps are *virtual* nanoseconds and are fully determined at
+enqueue time (the simulator computes a command's device-time schedule from
+its wait list and cost estimate, never from host execution).  The event's
+*status* is a separate, host-side lifecycle: under the eager engine every
+command completes inside its ``enqueue_*`` call, while under the DAG
+engine (:mod:`repro.minicl.schedule`) an event really does move through
+``QUEUED -> SUBMITTED -> RUNNING -> COMPLETE`` as the scheduler retires its
+node, and :meth:`Event.wait` blocks until then.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import threading
+from typing import Callable, List, Optional
 
 from .constants import command_status, command_type
 
@@ -39,7 +50,14 @@ class EventProfile:
 
 
 class Event:
-    """Completion/profiling handle returned by every enqueue call."""
+    """Completion/profiling handle returned by every enqueue call.
+
+    Eagerly-executed commands are born COMPLETE (the pre-scheduler
+    behaviour, still used by in-order queues under ``REPRO_NO_OOO`` and by
+    timing-only queues).  Deferred commands call :meth:`_defer` before the
+    scheduler owns them and are driven through the status ladder by their
+    DAG node.
+    """
 
     def __init__(self, ctype: command_type, queued: float, start: float, end: float,
                  info: Optional[dict] = None, *, submit: Optional[float] = None):
@@ -50,9 +68,15 @@ class Event:
             start=start,
             end=end,
         )
-        self.status = command_status.COMPLETE  # in-order blocking simulation
+        self.status = command_status.COMPLETE  # eager default
         #: model diagnostics (KernelCost / TransferCost) for the harness
         self.info = info or {}
+        #: the scheduler node retiring this command (DAG engine only)
+        self._node = None
+        self._done: Optional[threading.Event] = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._cb_lock = threading.Lock()
 
     @property
     def profile(self) -> EventProfile:
@@ -62,8 +86,58 @@ class Event:
     def duration_ns(self) -> float:
         return self._profile.duration_ns
 
+    # -- scheduler-driven lifecycle -------------------------------------------
+    def _defer(self) -> None:
+        """Mark this event as scheduler-owned (status starts at QUEUED)."""
+        self.status = command_status.QUEUED
+        self._done = threading.Event()
+
+    def _mark_submitted(self) -> None:
+        if self.status == command_status.QUEUED:
+            self.status = command_status.SUBMITTED
+
+    def _mark_running(self) -> None:
+        self.status = command_status.RUNNING
+
+    def _mark_complete(self, error: Optional[BaseException] = None) -> None:
+        """Retire the event: set COMPLETE *before* callbacks run, so a
+        callback that re-entrantly calls :meth:`wait` returns immediately
+        instead of deadlocking on the completion latch."""
+        self._error = error
+        self.status = command_status.COMPLETE
+        if self._done is not None:
+            self._done.set()
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    # -- public API -------------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """``clSetEventCallback``: run ``fn(event)`` once the command
+        completes (immediately if it already has)."""
+        with self._cb_lock:
+            if self.status != command_status.COMPLETE:
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
     def wait(self) -> None:
-        """No-op: the in-order virtual-time queue completes synchronously."""
+        """``clWaitForEvents`` on this event.
+
+        Eager events are already complete (no-op).  Deferred events first
+        ask their queue's scheduler to submit anything this command
+        transitively depends on, then block until the node retires; a
+        command that failed re-raises its execution error here.
+        """
+        if self.status != command_status.COMPLETE:
+            node = self._node
+            if node is not None and node.scheduler is not None:
+                node.scheduler.drain(self)
+            if self._done is not None:
+                self._done.wait()
+        if self._error is not None:
+            raise self._error
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -72,6 +72,16 @@ class AffinityCommandQueue(CommandQueue):
         self.residency = CoreResidencyTracker(model.spec)
         self._unpinned_epoch = 0
 
+    def _deferred(self) -> bool:
+        """Always use the eager engine, even under ``REPRO_QUEUE=ooo``.
+
+        The extension's placement cost model reads buffer contents'
+        identity and runs the functional launch inline with the cost
+        computation; deferring the surrounding command would let it run
+        ahead of DAG-scheduled commands touching the same buffers.
+        """
+        return False
+
     # -- placement handling -------------------------------------------------
     def _resolve_placement(
         self, num_wgs: int, workgroup_affinity: Optional[Placement]

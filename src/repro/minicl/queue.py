@@ -1,13 +1,29 @@
-"""In-order command queues over deterministic virtual time.
+"""Command queues over deterministic virtual time, with a real engine.
 
-Each enqueue both *does the work functionally* (numpy copies / kernel
-interpretation) and *advances the queue's virtual clock* by the device
-model's cost estimate.  Event profiling timestamps therefore behave exactly
-like ``CL_QUEUE_PROFILING_ENABLE`` timestamps, but are reproducible.
+Every enqueue *always* advances the queue's virtual clock by the device
+model's cost estimate at enqueue time — event profiling timestamps behave
+exactly like ``CL_QUEUE_PROFILING_ENABLE`` timestamps, are reproducible,
+and are a pure function of enqueue order, costs and explicit wait lists.
+They never depend on how (or when) the functional work runs, which keeps
+``results/*.csv`` byte-identical across engines and worker counts.
+
+The *functional* work (numpy copies / kernel execution) runs on one of two
+engines:
+
+* **eager** — inside the ``enqueue_*`` call, exactly the pre-scheduler
+  behaviour.  Used by in-order queues by default, by timing-only queues
+  (``functional=False``), and everywhere under ``REPRO_NO_OOO=1``.
+* **DAG** — deferred into an event-dependency graph
+  (:mod:`repro.minicl.schedule`) and retired through a worker pool.  Used
+  by ``out_of_order=True`` queues and, for the harness, by any queue when
+  ``REPRO_QUEUE=ooo``.  Explicit wait lists plus inferred same-buffer
+  RAW/WAR/WAW hazards give the exact ordering in-order execution provides,
+  so buffer state after :meth:`CommandQueue.finish` is identical; errors
+  raised by deferred commands surface at ``finish()``/``Event.wait()``.
 
 ``functional=False`` turns off the numpy execution (timing-only mode); the
-large parameter sweeps of the harness use it, while correctness tests and the
-examples run fully functional.
+large parameter sweeps of the harness use it, while correctness tests and
+the examples run fully functional.
 """
 
 from __future__ import annotations
@@ -17,6 +33,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 import repro
+from .. import workers
 from ..kernelir.analysis import LaunchContext
 from ..kernelir.compile import launch_kernel
 from ..kernelir.interp import Interpreter, KernelExecutionError
@@ -57,7 +74,7 @@ def _verify_cache() -> LaunchPlanCache:
 
 
 class CommandQueue:
-    """An in-order queue bound to one device."""
+    """A command queue bound to one device (see module docstring)."""
 
     def __init__(
         self,
@@ -73,9 +90,9 @@ class CommandQueue:
         self.profiling = profiling
         self.functional = functional
         #: CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE: commands without explicit
-        #: event dependencies may overlap in (virtual) time.  Functional
-        #: execution still happens in enqueue order, which is correct for any
-        #: host program whose dependencies are expressed via wait lists.
+        #: event dependencies may overlap in (virtual) time, and functional
+        #: work retires through the DAG scheduler (hazard edges keep any
+        #: same-buffer pair ordered, so buffer state matches in-order).
         self.out_of_order = out_of_order
         self._interp = Interpreter()
         #: VerifyReport of the most recent ``verify=`` kernel enqueue
@@ -85,6 +102,22 @@ class CommandQueue:
         #: enqueue_barrier)
         self._floor_ns: float = 0.0
         self.events: list = []
+        #: lazily-created DAG engine (:class:`CommandScheduler`)
+        self._scheduler = None
+
+    # -- engine selection --------------------------------------------------------
+    def _deferred(self) -> bool:
+        """Whether functional work goes through the DAG engine."""
+        if not self.functional or not workers.ooo_enabled():
+            return False
+        return self.out_of_order or repro.env_value("REPRO_QUEUE") == "ooo"
+
+    def _sched(self):
+        if self._scheduler is None:
+            from .schedule import CommandScheduler
+
+            self._scheduler = CommandScheduler()
+        return self._scheduler
 
     # -- internals --------------------------------------------------------------
     def _complete(
@@ -93,7 +126,20 @@ class CommandQueue:
         cost_ns: float,
         info: dict,
         wait_for: Optional[Sequence[Event]] = None,
+        *,
+        action=None,
+        reads: Sequence[Buffer] = (),
+        writes: Sequence[Buffer] = (),
+        barrier: bool = False,
     ) -> Event:
+        """Advance virtual time and retire one command.
+
+        The virtual schedule below is computed from the explicit wait list
+        only — never from hazard edges or host execution — so simulated
+        timestamps are identical on both engines and any worker count.
+        ``action`` is the command's functional work: run inline on the
+        eager engine, deferred to the DAG scheduler otherwise.
+        """
         deps_end = max((e.profile.end for e in wait_for or ()), default=0.0)
         if self.out_of_order:
             queued = max(self._floor_ns, 0.0)
@@ -106,8 +152,23 @@ class CommandQueue:
         submit = max(queued, deps_end)
         start = submit
         end = start + max(0.0, cost_ns)
+
+        if self._deferred():
+            ev = Event(ctype, queued, start, end, info, submit=submit)
+            self._sched().add(
+                action, ev, wait_for=wait_for or (), reads=reads,
+                writes=writes, barrier=barrier,
+                label=info.get("kernel") or ctype.value,
+            )
+        else:
+            # eager engine: functional work happens inside the enqueue, and
+            # an execution error propagates before the event exists (the
+            # pre-scheduler contract the differential tests pin)
+            if action is not None:
+                action()
+            ev = Event(ctype, queued, start, end, info, submit=submit)
+
         self.now_ns = max(self.now_ns, end)
-        ev = Event(ctype, queued, start, end, info, submit=submit)
         self.events.append(ev)
         tracer = obs_tracer.ACTIVE
         if tracer is not None:
@@ -162,15 +223,16 @@ class CommandQueue:
         wait_for: Optional[Sequence[Event]] = None,
         verify: Optional[bool] = None,
     ) -> Event:
-        """``clEnqueueNDRangeKernel`` (blocking; the queue is in-order).
+        """``clEnqueueNDRangeKernel``.
 
-        ``verify=True`` (or env ``REPRO_VERIFY=1``) runs the static kernel
-        verifier (:mod:`repro.kernelir.verify`) against this launch before
-        executing; error-severity findings raise
+        Launch validation, cost modelling and (with ``verify=True`` or env
+        ``REPRO_VERIFY=1``) static verification always happen here, at
+        enqueue; error-severity findings raise
         :class:`~repro.minicl.errors.KernelVerificationError`
-        (CL_INVALID_KERNEL_ARGS).  It also makes the interpreter enforce
-        ``mem_flags`` at runtime: writes to READ_ONLY and reads from
-        WRITE_ONLY buffers become execution errors.
+        (CL_INVALID_KERNEL_ARGS).  The functional execution runs eagerly or
+        through the DAG engine depending on the queue (module docstring);
+        deferred execution errors surface at :meth:`finish` /
+        :meth:`Event.wait`.
         """
         gsize, lsize = self._check_sizes(kernel, global_size, local_size)
         buffers, scalars = kernel.collect_args()
@@ -236,14 +298,24 @@ class CommandQueue:
             readonly = {n for n, f in flags.items() if f == "r"}
             writeonly = {n for n, f in flags.items() if f == "w"}
 
+        action = None
+        reads: list = []
+        writes: list = []
         if self.functional:
             arrays = {name: b.array for name, b in buffers.items()}
-            launch_kernel(
-                kernel.kernel, gsize, resolved_lsize, buffers=arrays,
-                scalars=scalars, global_offset=global_work_offset,
-                readonly=readonly, writeonly=writeonly,
-                interpreter=self._interp,
-            )
+            for p in kernel.kernel.buffer_params:
+                if "r" in p.access:
+                    reads.append(buffers[p.name])
+                if "w" in p.access:
+                    writes.append(buffers[p.name])
+
+            def action(kk=kernel.kernel, interp=self._interp):
+                launch_kernel(
+                    kk, gsize, resolved_lsize, buffers=arrays,
+                    scalars=scalars, global_offset=global_work_offset,
+                    readonly=readonly, writeonly=writeonly,
+                    interpreter=interp,
+                )
 
         return self._complete(
             command_type.NDRANGE_KERNEL,
@@ -256,6 +328,9 @@ class CommandQueue:
                 "cost": cost,
             },
             wait_for,
+            action=action,
+            reads=reads,
+            writes=writes,
         )
 
     # -- explicit copies ----------------------------------------------------------
@@ -263,7 +338,12 @@ class CommandQueue:
         self, buf: Buffer, src: np.ndarray, *, blocking: bool = True,
         wait_for: Optional[Sequence[Event]] = None,
     ) -> Event:
-        """``clEnqueueWriteBuffer``: host array -> buffer (a real copy)."""
+        """``clEnqueueWriteBuffer``: host array -> buffer (a real copy).
+
+        ``blocking=True`` (default) waits for the copy to retire before
+        returning, so the host array may be reused immediately; a
+        non-blocking deferred write reads ``src`` when its DAG node runs.
+        """
         if src.nbytes != buf.nbytes:
             raise InvalidValue(
                 f"write of {src.nbytes}B into buffer of {buf.nbytes}B"
@@ -271,17 +351,31 @@ class CommandQueue:
         cost = self.device.model.transfer_cost(
             buf.nbytes, "copy", "h2d", pinned=buf.pinned
         )
-        np.copyto(buf.array, src.reshape(buf.array.shape).astype(buf.dtype, copy=False))
-        return self._complete(
+
+        def action():
+            np.copyto(
+                buf.array,
+                src.reshape(buf.array.shape).astype(buf.dtype, copy=False),
+            )
+
+        ev = self._complete(
             command_type.WRITE_BUFFER, cost.total_ns,
             {"cost": cost, "bytes": buf.nbytes}, wait_for,
+            action=action if self.functional else None, writes=(buf,),
         )
+        if blocking:
+            ev.wait()
+        return ev
 
     def enqueue_read_buffer(
         self, buf: Buffer, dst: np.ndarray, *, blocking: bool = True,
         wait_for: Optional[Sequence[Event]] = None,
     ) -> Event:
-        """``clEnqueueReadBuffer``: buffer -> host array (a real copy)."""
+        """``clEnqueueReadBuffer``: buffer -> host array (a real copy).
+
+        ``blocking=True`` (default) waits for the read to retire, so
+        ``dst`` holds the data when this returns.
+        """
         if dst.nbytes != buf.nbytes:
             raise InvalidValue(
                 f"read of {buf.nbytes}B into host array of {dst.nbytes}B"
@@ -289,11 +383,21 @@ class CommandQueue:
         cost = self.device.model.transfer_cost(
             buf.nbytes, "copy", "d2h", pinned=buf.pinned
         )
-        np.copyto(dst.reshape(buf.array.shape), buf.array.astype(dst.dtype, copy=False))
-        return self._complete(
+
+        def action():
+            np.copyto(
+                dst.reshape(buf.array.shape),
+                buf.array.astype(dst.dtype, copy=False),
+            )
+
+        ev = self._complete(
             command_type.READ_BUFFER, cost.total_ns,
             {"cost": cost, "bytes": buf.nbytes}, wait_for,
+            action=action if self.functional else None, reads=(buf,),
         )
+        if blocking:
+            ev.wait()
+        return ev
 
     def enqueue_copy_buffer(
         self, src: Buffer, dst: Buffer, *,
@@ -310,10 +414,15 @@ class CommandQueue:
                 f"copy of {src.nbytes}B into buffer of {dst.nbytes}B"
             )
         cost = self.device.model.transfer_cost(src.nbytes, "copy", "d2d")
-        dst.array.view(np.uint8)[:] = src.array.view(np.uint8)  # raw bytes
+
+        def action():
+            dst.array.view(np.uint8)[:] = src.array.view(np.uint8)  # raw bytes
+
         return self._complete(
             command_type.COPY_BUFFER, cost.total_ns,
             {"cost": cost, "bytes": src.nbytes}, wait_for,
+            action=action if self.functional else None,
+            reads=(src,), writes=(dst,),
         )
 
     # -- mapping --------------------------------------------------------------
@@ -327,6 +436,8 @@ class CommandQueue:
         view aliases the buffer directly and the cost is API bookkeeping
         only — the mechanism behind the paper's Figure 7/8 result.  On the
         GPU device the data crosses PCIe (pinned DMA) when mapped for read.
+        Mapping is a synchronization point: any deferred command touching
+        the buffer retires before the view is returned.
         """
         if not flags & (map_flags.READ | map_flags.WRITE):
             raise InvalidValue("map flags must include READ and/or WRITE")
@@ -339,7 +450,9 @@ class CommandQueue:
         ev = self._complete(
             command_type.MAP_BUFFER, cost.total_ns,
             {"cost": cost, "bytes": buf.nbytes}, wait_for,
+            reads=(buf,), writes=(buf,) if flags & map_flags.WRITE else (),
         )
+        ev.wait()  # the host dereferences the pointer next
         return view, ev
 
     def enqueue_unmap(self, buf: Buffer, view: np.ndarray) -> Event:
@@ -361,7 +474,8 @@ class CommandQueue:
             # the constant (see CPUSpec/GPUSpec.unmap_overhead_ns)
             cost_ns = self.device.model.spec.unmap_overhead_ns
         return self._complete(
-            command_type.UNMAP_MEM_OBJECT, cost_ns, {"bytes": moved}
+            command_type.UNMAP_MEM_OBJECT, cost_ns, {"bytes": moved},
+            writes=(buf,) if flags & map_flags.WRITE else (),
         )
 
     # -- sync -----------------------------------------------------------------
@@ -369,24 +483,45 @@ class CommandQueue:
         self, wait_for: Optional[Sequence[Event]] = None
     ) -> Event:
         """``clEnqueueMarkerWithWaitList``: completes when its dependencies
-        (or, with no list, everything enqueued so far) have completed."""
+        (or, with no list, everything enqueued so far) have completed.
+
+        On the DAG engine the marker is a real graph node anchored to
+        those dependencies — its event moves to COMPLETE only once they
+        retire — rather than completing at enqueue.
+        """
         if wait_for is None:
             wait_for = list(self.events)
         return self._complete(command_type.MARKER, 0.0, {}, wait_for)
 
     def enqueue_barrier(self) -> Event:
         """``clEnqueueBarrierWithWaitList`` (empty list): later commands may
-        not start before everything enqueued so far has completed."""
-        ev = self.enqueue_marker()
+        not start before everything enqueued so far has completed.
+
+        Advances the virtual-time floor for later out-of-order commands
+        and, on the DAG engine, inserts a node every later command depends
+        on (so deferred execution respects the same fence).
+        """
+        wait_for = list(self.events)
+        ev = self._complete(command_type.MARKER, 0.0, {}, wait_for,
+                            barrier=True)
         self._floor_ns = max(self._floor_ns, ev.profile.end)
         return ev
 
     def finish(self) -> float:
-        """``clFinish``: the queue is synchronous; returns the virtual clock."""
+        """``clFinish``: retire every enqueued command; returns the virtual
+        clock.  On the DAG engine this drains the scheduler, re-raising the
+        first deferred execution error (in enqueue order)."""
+        if self._scheduler is not None:
+            self._scheduler.drain()
         return self.now_ns
 
     def flush(self) -> None:
-        """``clFlush``: no-op for the in-order blocking queue."""
+        """``clFlush``: submit pending DAG nodes to the worker pool without
+        blocking (ready commands start executing; dependent ones start as
+        their dependencies retire).  No-op on the eager engine, where every
+        command already completed inside its enqueue call."""
+        if self._scheduler is not None:
+            self._scheduler.flush()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<CommandQueue on {self.device.name!r} t={self.now_ns:.0f}ns>"

@@ -1,0 +1,379 @@
+"""Event-DAG command scheduling: the queue's execution engine.
+
+Real CPU OpenCL runtimes (pocl's task-graph scheduler is the canonical
+design) do not execute commands inside ``clEnqueue*``: they append a node
+to a dependency graph and retire ready nodes on a worker pool.  This
+module is that engine for :class:`repro.minicl.queue.CommandQueue`.
+
+Dependencies come from two sources:
+
+* **explicit wait lists** — the events a command was enqueued with; and
+* **implicit same-buffer hazards** — each command declares the buffers it
+  reads and writes, and the scheduler infers RAW (read after write), WAR
+  (write after read) and WAW (write after write) edges from a per-buffer
+  last-writer / readers-since-last-write table, exactly the ordering an
+  in-order queue provides for free.
+
+Because every pair of commands that touch overlapping state is ordered by
+a hazard edge, retiring nodes concurrently on the pool is *functionally*
+indistinguishable from eager in-order execution — which is what keeps
+``results/*.csv`` byte-identical across ``{inorder, ooo} x {1, 4}``
+workers.  Virtual profiling timestamps never consult this graph: they are
+computed at enqueue from the explicit wait list alone (see
+``CommandQueue._complete``), so simulated device time is engine- and
+worker-count-independent by construction.
+
+Determinism guarantees (see ``docs/SCHEDULER.md``):
+
+* functional buffer state after ``drain()`` equals eager in-order state;
+* a failing command's exception is re-raised at the *first* drain point,
+  and when several nodes fail the lowest node id (= enqueue order) wins;
+* ``count_ops`` counters and verifier/JIT stats reduce deterministically.
+
+Submission mirrors ``clFlush``/``clFinish``: ``add`` only records the
+node, :meth:`CommandScheduler.flush` releases recorded nodes to the pool
+without blocking, and :meth:`CommandScheduler.drain` flushes and waits
+(raising deferred errors).  A wait-list cycle — impossible through the
+public queue API but constructible through this class — is detected at
+drain time and raises :class:`~repro.minicl.errors.InvalidOperation`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .. import workers
+from ..obs import tracer as obs_tracer
+from .errors import InvalidOperation
+
+__all__ = ["CommandNode", "CommandScheduler", "scheduler_stats",
+           "reset_scheduler_stats"]
+
+#: process-wide counters (survive scheduler instance turnover), reported by
+#: ``python -m repro bench`` and absorbed into the metrics registry
+_STATS = {
+    "nodes": 0,
+    "hazard_edges": 0,
+    "explicit_edges": 0,
+    "barrier_edges": 0,
+    "executed": 0,
+    "drains": 0,
+    "max_in_flight": 0,
+}
+
+
+def scheduler_stats() -> Dict[str, int]:
+    """Snapshot of process-wide DAG-engine activity."""
+    return dict(_STATS)
+
+
+def reset_scheduler_stats() -> None:
+    for k in _STATS:
+        _STATS[k] = 0
+
+
+# node lifecycle: recorded -> released -> submitted -> running -> done
+_RECORDED, _RELEASED, _SUBMITTED, _RUNNING, _DONE = range(5)
+
+
+class CommandNode:
+    """One enqueued command in the dependency graph."""
+
+    __slots__ = ("nid", "action", "event", "deps", "dependents", "state",
+                 "error", "label", "scheduler", "pins")
+
+    def __init__(self, nid, action, event, label, scheduler, pins=()):
+        self.nid = nid
+        self.action = action          # callable doing the functional work
+        self.event = event            # minicl Event this node retires
+        self.deps: set = set()        # unfinished upstream nodes
+        self.dependents: List["CommandNode"] = []
+        self.state = _RECORDED
+        self.error: Optional[BaseException] = None
+        self.label = label
+        self.scheduler = scheduler
+        #: objects kept alive while the node is pending — hazard tracking
+        #: keys on ``id(buffer)``, which CPython recycles after collection
+        self.pins = pins
+
+    def depends_on(self, dep: "CommandNode") -> bool:
+        """Transitive reachability (dep-ward); used by cycle diagnostics."""
+        seen = set()
+        stack = [self]
+        while stack:
+            n = stack.pop()
+            if n is dep:
+                return True
+            if id(n) in seen:
+                continue
+            seen.add(id(n))
+            stack.extend(n.deps)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CommandNode #{self.nid} {self.label!r} state={self.state}>"
+
+
+class CommandScheduler:
+    """Per-queue event-DAG engine backed by the shared command pool."""
+
+    def __init__(self, *, pool=None):
+        self._pool = pool
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        #: live (not DONE) nodes in enqueue order
+        self._nodes: List[CommandNode] = []
+        self._next_id = 0
+        #: per-buffer-key hazard state (id(buffer) -> node / node list)
+        self._last_writer: Dict[int, CommandNode] = {}
+        self._readers: Dict[int, List[CommandNode]] = {}
+        #: the newest barrier node: every later command depends on it
+        self._barrier: Optional[CommandNode] = None
+        #: (nid, error) of failed nodes not yet re-raised
+        self._errors: List[tuple] = []
+        self._in_flight = 0
+
+    # -- graph construction -----------------------------------------------------
+    def add(
+        self,
+        action,
+        event,
+        *,
+        wait_for: Sequence = (),
+        reads: Iterable = (),
+        writes: Iterable = (),
+        barrier: bool = False,
+        after_all: bool = False,
+        label: str = "",
+    ) -> CommandNode:
+        """Record one command; no execution happens here (``clEnqueue*``).
+
+        ``reads``/``writes`` are the buffer objects the command's
+        functional work touches; ``barrier=True`` additionally orders
+        every later command after this one, ``after_all`` (markers with no
+        wait list) orders this one after everything currently live.
+        """
+        reads = list(reads)
+        writes = list(writes)
+        foreign: List["CommandScheduler"] = []
+        with self._lock:
+            node = CommandNode(
+                self._next_id, action, event, label, self,
+                pins=tuple(reads) + tuple(writes),
+            )
+            self._next_id += 1
+            _STATS["nodes"] += 1
+
+            def edge(dep: Optional[CommandNode], kind: str) -> None:
+                if dep is None or dep.state == _DONE or dep is node:
+                    return
+                if dep not in node.deps:
+                    node.deps.add(dep)
+                    dep.dependents.append(node)
+                    _STATS[kind] += 1
+
+            for ev in wait_for or ():
+                dep = getattr(ev, "_node", None)
+                edge(dep, "explicit_edges")
+                if (dep is not None and dep.scheduler is not None
+                        and dep.scheduler is not self):
+                    foreign.append(dep.scheduler)
+            if after_all or barrier:
+                for dep in self._nodes:
+                    edge(dep, "barrier_edges")
+            else:
+                edge(self._barrier, "barrier_edges")
+                for b in reads:
+                    edge(self._last_writer.get(id(b)), "hazard_edges")
+                for b in writes:
+                    edge(self._last_writer.get(id(b)), "hazard_edges")
+                    for r in self._readers.get(id(b), ()):
+                        edge(r, "hazard_edges")
+
+            for b in reads:
+                self._readers.setdefault(id(b), []).append(node)
+            for b in writes:
+                self._last_writer[id(b)] = node
+                self._readers[id(b)] = []
+            if barrier:
+                self._barrier = node
+
+            self._nodes.append(node)
+            if event is not None:
+                event._defer()
+                event._node = node
+        # cross-queue wait: release the other queue's pending work so our
+        # dependency can actually retire.  Outside our lock — two
+        # schedulers' locks are never held together (no lock ordering).
+        for sched in foreign:
+            sched.flush()
+        return node
+
+    def add_dependency(self, node: CommandNode, dep: CommandNode) -> None:
+        """Add an explicit edge ``dep -> node``.
+
+        No cycle check here — this is the hook tests use to *construct*
+        pathological graphs; :meth:`drain` detects the cycle and raises.
+        """
+        with self._lock:
+            if dep.state != _DONE and dep not in node.deps:
+                node.deps.add(dep)
+                dep.dependents.append(node)
+                _STATS["explicit_edges"] += 1
+
+    # -- submission and retirement ----------------------------------------------
+    def _submit_ready_locked(self) -> None:
+        for node in self._nodes:
+            if node.state == _RELEASED and not node.deps:
+                node.state = _SUBMITTED
+                if node.event is not None:
+                    node.event._mark_submitted()
+                self._in_flight += 1
+                _STATS["max_in_flight"] = max(
+                    _STATS["max_in_flight"], self._in_flight
+                )
+                pool = self._pool or workers.command_pool()
+                pool.submit(self._run_node, node)
+
+    def flush(self) -> None:
+        """``clFlush``: release recorded nodes and submit the ready ones.
+
+        Returns immediately; commands whose dependencies are still pending
+        start as those dependencies retire.
+        """
+        with self._lock:
+            for node in self._nodes:
+                if node.state == _RECORDED:
+                    node.state = _RELEASED
+            self._submit_ready_locked()
+
+    def _run_node(self, node: CommandNode) -> None:
+        node.state = _RUNNING
+        if node.event is not None:
+            node.event._mark_running()
+        tracer = obs_tracer.ACTIVE
+        try:
+            if node.action is not None:
+                if tracer is not None:
+                    with tracer.worker_span(
+                        workers.worker_index(),
+                        node.label or "command",
+                        {"node": node.nid},
+                    ):
+                        node.action()
+                else:
+                    node.action()
+        except BaseException as e:  # noqa: BLE001 - re-raised at drain
+            node.error = e
+        self._retire(node)
+
+    def _retire(self, node: CommandNode) -> None:
+        foreign = []
+        with self._lock:
+            node.state = _DONE
+            self._in_flight -= 1
+            _STATS["executed"] += 1
+            if node.error is not None:
+                self._errors.append((node.nid, node.error))
+            try:
+                self._nodes.remove(node)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            for dep_list in self._readers.values():
+                if node in dep_list:
+                    dep_list.remove(node)
+            for key, writer in list(self._last_writer.items()):
+                if writer is node:
+                    del self._last_writer[key]
+            if self._barrier is node:
+                self._barrier = None
+            for child in node.dependents:
+                child.deps.discard(node)
+                if (child.scheduler is not None
+                        and child.scheduler is not self):
+                    foreign.append(child.scheduler)
+            self._submit_ready_locked()
+            self._cv.notify_all()
+        # a child on another queue may have become ready; poke its
+        # scheduler outside our lock (locks are never held pairwise)
+        for sched in foreign:
+            sched._poke()
+        # completion callbacks run outside the scheduler lock: a callback
+        # may wait on other events or enqueue more work
+        if node.event is not None:
+            node.event._mark_complete(node.error)
+
+    def _poke(self) -> None:
+        """Re-check readiness after an external dependency retired."""
+        with self._cv:
+            for n in self._nodes:
+                if n.deps:
+                    n.deps = {d for d in n.deps if d.state != _DONE}
+            self._submit_ready_locked()
+            self._cv.notify_all()
+
+    # -- draining ---------------------------------------------------------------
+    def drain(self, event=None) -> None:
+        """``clFinish`` (or a targeted ``clWaitForEvents``): flush, wait,
+        and re-raise the first deferred execution error (lowest node id).
+
+        Raises :class:`InvalidOperation` when pending commands can never
+        run because their wait lists form a cycle.
+        """
+        _STATS["drains"] += 1
+        target = getattr(event, "_node", None)
+        with self._cv:
+            while True:
+                # release anything recorded since the last flush, prune
+                # dependencies that retired on another queue's scheduler
+                # (cross-scheduler edges resolve without our lock), then
+                # push every ready node to the pool
+                for node in self._nodes:
+                    if node.state == _RECORDED:
+                        node.state = _RELEASED
+                    if node.deps:
+                        node.deps = {d for d in node.deps
+                                     if d.state != _DONE}
+                self._submit_ready_locked()
+                if target is not None and target.state == _DONE:
+                    break
+                if not self._nodes:
+                    break
+                if self._in_flight == 0 and not any(
+                    n.state == _SUBMITTED for n in self._nodes
+                ):
+                    if any(d.scheduler is not self
+                           for n in self._nodes for d in n.deps):
+                        # blocked on another queue's in-flight work, not a
+                        # cycle: its _retire will poke us
+                        self._cv.wait(timeout=0.05)
+                        continue
+                    # nothing runs, nothing can start: every remaining
+                    # node waits on another remaining node — a cycle
+                    stuck = [n for n in self._nodes if n.deps]
+                    ids = ", ".join(f"#{n.nid}" for n in stuck)
+                    raise InvalidOperation(
+                        "wait-list cycle: command(s) "
+                        f"{ids} depend on each other and can never run"
+                    )
+                self._cv.wait(timeout=0.5)
+        self._raise_deferred()
+
+    def _raise_deferred(self) -> None:
+        with self._lock:
+            if not self._errors:
+                return
+            self._errors.sort(key=lambda t: t[0])
+            _, err = self._errors[0]
+            self._errors.clear()
+        raise err
+
+    @property
+    def pending(self) -> int:
+        """Live (not yet retired) node count."""
+        with self._lock:
+            return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CommandScheduler {self.pending} pending>"

@@ -138,6 +138,15 @@ class MetricsRegistry:
         for k, v in stats["launches"].items():
             self.gauge(f"jit.launches.{k}").set(v)
 
+    def absorb_scheduler_stats(self, stats: Optional[dict] = None) -> None:
+        """Pull :func:`repro.minicl.schedule.scheduler_stats` into gauges."""
+        if stats is None:
+            from ..minicl import schedule as clschedule
+
+            stats = clschedule.scheduler_stats()
+        for k, v in stats.items():
+            self.gauge(f"scheduler.{k}").set(v)
+
     def absorb_verifier_tally(self, tally) -> None:
         """Accumulate one experiment's ``DiagnosticTally`` into counters."""
         self.counter("verify.launches").inc(tally.launches)

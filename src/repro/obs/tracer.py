@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import contextlib
 import math
+import threading
 import time
 from typing import Dict, Iterator, List, Optional
 
@@ -59,6 +60,10 @@ _HOST_TIDS = {
     "cache": 4,
     "host": 9,
 }
+
+#: host-pid thread ids for engine worker threads (one lane per thread,
+#: allocated on first use; stays clear of the category tids above)
+_WORKER_TID_BASE = 100
 
 #: queue-pid thread ids: command slots from 1, per-core/per-SM lanes high
 _COMMANDS_TID = 1
@@ -90,6 +95,12 @@ class Tracer:
         #: out-of-order queues overlap commands, which a single B/E track
         #: cannot render, so overlapping commands spill to further slots
         self._slots: Dict[int, List[float]] = {}
+        #: thread ident -> host-pid tid for engine worker lanes.  Keyed by
+        #: thread (not worker index): the command pool and the chunk pool
+        #: both number workers from 0, and a Chrome-trace track only stays
+        #: well-nested and monotonic if a single thread owns it.
+        self._worker_tids: Dict[int, int] = {}
+        self._worker_lock = threading.Lock()
         self.dropped = 0
 
     # -- clocks ---------------------------------------------------------------
@@ -142,6 +153,33 @@ class Tracer:
             yield
         finally:
             self._emit("E", name, cat, self.wall_us(), HOST_PID, tid)
+
+    @contextlib.contextmanager
+    def worker_span(self, worker_idx: int, name: str,
+                    args: Optional[dict] = None) -> Iterator[None]:
+        """Wall-clock B/E span on this engine worker thread's own lane.
+
+        Used by the DAG scheduler and the chunked kernel executor, whose
+        work runs concurrently: each pool thread gets a dedicated host-pid
+        track so overlapping spans never share a (pid, tid) pair.
+        """
+        ident = threading.get_ident()
+        with self._worker_lock:
+            tid = self._worker_tids.get(ident)
+            if tid is None:
+                tid = _WORKER_TID_BASE + len(self._worker_tids)
+                self._worker_tids[ident] = tid
+                self._named_tracks.add((HOST_PID, tid))
+                self._metadata(HOST_PID, tid, f"engine worker {worker_idx}")
+            if (HOST_PID, None) not in self._named_tracks:
+                self._named_tracks.add((HOST_PID, None))
+                self._metadata(HOST_PID, None, "host (wall clock)")
+        self._emit("B", name, "engine", self.wall_us(), HOST_PID, tid,
+                   args=args)
+        try:
+            yield
+        finally:
+            self._emit("E", name, "engine", self.wall_us(), HOST_PID, tid)
 
     def instant(self, name: str, cat: str = "host",
                 args: Optional[dict] = None) -> None:

@@ -84,6 +84,66 @@ class AffinityPolicy:
         return [i % num_cores for i in range(num_threads)]
 
 
+class _LruStore:
+    """LRU of ``(buffer_id, start, end) -> resident bytes``.
+
+    Keeps a running byte total (eviction would otherwise re-sum the store
+    per insert) and a per-buffer key index (overlap queries only ever look
+    at one buffer, so they must not scan every resident range).
+    """
+
+    __slots__ = ("ranges", "total", "_by_buf")
+
+    def __init__(self):
+        self.ranges: OrderedDict = OrderedDict()
+        self.total = 0
+        self._by_buf: Dict[object, dict] = {}
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    def insert(self, key: Tuple, nbytes: int, capacity: int) -> None:
+        if key in self.ranges:
+            self.ranges.move_to_end(key)
+            return
+        self.ranges[key] = nbytes
+        self._by_buf.setdefault(key[0], {})[key] = None
+        self.total += nbytes
+        while self.total > capacity and len(self.ranges) > 1:
+            k, evicted = self.ranges.popitem(last=False)
+            d = self._by_buf.get(k[0])
+            if d is not None:
+                d.pop(k, None)
+                if not d:
+                    del self._by_buf[k[0]]
+            self.total -= evicted
+        if self.total > capacity and self.ranges:
+            # single oversized range: keep only the resident tail
+            k, old = self.ranges.popitem(last=False)
+            self.ranges[k] = capacity
+            self.total += capacity - old
+
+    def overlap(self, buffer_id: object, start: int, end: int) -> int:
+        keys = self._by_buf.get(buffer_id)
+        if not keys:
+            return 0
+        got = 0
+        ranges = self.ranges
+        for key in keys:
+            _, s, e = key
+            # residency is the LRU *tail* of the range, i.e. its last bytes
+            res_start = max(s, e - ranges[key])
+            lo, hi = max(start, res_start), min(end, e)
+            if hi > lo:
+                got += hi - lo
+        return got
+
+    def clear(self) -> None:
+        self.ranges.clear()
+        self._by_buf.clear()
+        self.total = 0
+
+
 class CoreResidencyTracker:
     """Range-granular residency of buffer data in private caches and L3.
 
@@ -96,10 +156,10 @@ class CoreResidencyTracker:
         self.spec = spec
         self.private_capacity = spec.l1d_bytes + spec.l2_bytes
         self.l3_capacity = spec.l3_bytes
-        self._private: List[OrderedDict] = [
-            OrderedDict() for _ in range(spec.physical_cores)
+        self._private: List[_LruStore] = [
+            _LruStore() for _ in range(spec.physical_cores)
         ]
-        self._l3: List[OrderedDict] = [OrderedDict() for _ in range(spec.sockets)]
+        self._l3: List[_LruStore] = [_LruStore() for _ in range(spec.sockets)]
 
     # -- topology helpers ----------------------------------------------------
     def physical_of(self, logical_core: int) -> int:
@@ -109,21 +169,6 @@ class CoreResidencyTracker:
         return physical_core // self.spec.cores_per_socket
 
     # -- state update ----------------------------------------------------------
-    @staticmethod
-    def _insert(store: OrderedDict, key: Tuple, nbytes: int, capacity: int) -> None:
-        if key in store:
-            store.move_to_end(key)
-            return
-        store[key] = nbytes
-        total = sum(store.values())
-        while total > capacity and len(store) > 1:
-            _, evicted = store.popitem(last=False)
-            total -= evicted
-        if total > capacity and store:
-            # single oversized range: keep only the resident tail
-            k, _ = store.popitem(last=False)
-            store[k] = capacity
-
     def touch(
         self, logical_core: int, buffer_id: object, start: int, end: int
     ) -> None:
@@ -133,23 +178,10 @@ class CoreResidencyTracker:
         phys = self.physical_of(logical_core)
         nbytes = end - start
         key = (buffer_id, start, end)
-        self._insert(self._private[phys], key, nbytes, self.private_capacity)
-        self._insert(self._l3[self.socket_of(phys)], key, nbytes, self.l3_capacity)
+        self._private[phys].insert(key, nbytes, self.private_capacity)
+        self._l3[self.socket_of(phys)].insert(key, nbytes, self.l3_capacity)
 
     # -- queries -------------------------------------------------------------
-    @staticmethod
-    def _overlap(store: OrderedDict, buffer_id: object, start: int, end: int) -> int:
-        got = 0
-        for (bid, s, e), resident in store.items():
-            if bid != buffer_id:
-                continue
-            # residency is the LRU *tail* of the range, i.e. its last bytes
-            res_start = max(s, e - resident)
-            lo, hi = max(start, res_start), min(end, e)
-            if hi > lo:
-                got += hi - lo
-        return got
-
     def residency_fraction(
         self, logical_core: int, buffer_id: object, start: int, end: int
     ) -> Tuple[float, float]:
@@ -162,8 +194,8 @@ class CoreResidencyTracker:
             return 0.0, 0.0
         phys = self.physical_of(logical_core)
         total = end - start
-        priv = self._overlap(self._private[phys], buffer_id, start, end) / total
-        l3 = self._overlap(self._l3[self.socket_of(phys)], buffer_id, start, end) / total
+        priv = self._private[phys].overlap(buffer_id, start, end) / total
+        l3 = self._l3[self.socket_of(phys)].overlap(buffer_id, start, end) / total
         l3_only = max(0.0, min(1.0, l3) - min(1.0, priv))
         return min(1.0, priv), l3_only
 

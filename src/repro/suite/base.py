@@ -161,6 +161,7 @@ class Benchmark(abc.ABC):
         *,
         coalesce: int = 1,
         local_size: Optional[Sequence[int]] = None,
+        kernel: Optional[Kernel] = None,
     ) -> Tuple[Kernel, Tuple[int, ...], Tuple[int, ...]]:
         """(kernel IR, launch global size, resolved local size) for a sweep
         point — the same resolution :meth:`validate`/:meth:`verify` apply
@@ -169,12 +170,17 @@ class Benchmark(abc.ABC):
         Harness caches key on this resolved identity rather than on the raw
         sweep parameters, so e.g. an explicit local size that resolves to
         the NULL-policy choice shares one cache entry.
+
+        ``kernel`` supplies an already-built IR for this ``coalesce``
+        (:func:`repro.harness.runner.kernel_ir` keeps one cached) so sweep
+        loops don't rebuild the AST per point.
         """
         gs = tuple(
             int(g) for g in (global_size or self.default_global_sizes[0])
         )
         launch_gs = scale_global_size(gs, coalesce)
-        kernel = self.kernel(coalesce)
+        if kernel is None:
+            kernel = self.kernel(coalesce)
         ls = local_size or self.default_local_size
         if ls is None:
             ls = tuple(_largest_divisor_at_most(g, 256) for g in launch_gs)
@@ -193,6 +199,7 @@ class Benchmark(abc.ABC):
         local_size: Optional[Sequence[int]] = None,
         rng: Optional[np.random.Generator] = None,
         data: Optional[Tuple[Dict[str, np.ndarray], Dict[str, object]]] = None,
+        kernel: Optional[Kernel] = None,
     ):
         """Run the static kernel verifier at this benchmark's launch shape.
 
@@ -219,7 +226,7 @@ class Benchmark(abc.ABC):
             buffers, scalars = self.make_data(gs, rng)
         scalars = {**scalars, **self.scalars_for(coalesce)}
         kernel, launch_gs, ls = self.resolved_launch(
-            gs, coalesce=coalesce, local_size=local_size
+            gs, coalesce=coalesce, local_size=local_size, kernel=kernel
         )
         ctx = LaunchContext(
             launch_gs, ls,

@@ -109,7 +109,7 @@ class IlpMicroBenchmark(Benchmark):
 
     def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
         n = int(global_size[0])
-        return ({"data": rng.random(n).astype(np.float32)}, {})
+        return ({"data": rng.random(n, dtype=np.float32)}, {})
 
     def reference(self, buffers, scalars, global_size):
         return {"data": _chase_reference(buffers["data"], self.ilp, self.total_ops)}

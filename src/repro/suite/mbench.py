@@ -223,8 +223,8 @@ _HORNER_COEFFS = (
 def _d_two(n, rng):
     return (
         {
-            "a": rng.standard_normal(n).astype(np.float32),
-            "b": rng.standard_normal(n).astype(np.float32),
+            "a": rng.random(n, dtype=np.float32),
+            "b": rng.random(n, dtype=np.float32),
             "c": np.zeros(n, np.float32),
         },
         {},
@@ -248,8 +248,8 @@ def _mk_benches() -> Tuple[MBench, ...]:
 
     def d2(n, rng):
         return (
-            {"x": rng.standard_normal(n).astype(np.float32),
-             "y": rng.standard_normal(n).astype(np.float32)},
+            {"x": rng.random(n, dtype=np.float32),
+             "y": rng.random(n, dtype=np.float32)},
             {"alpha": 0.75},
         )
 
@@ -266,8 +266,8 @@ def _mk_benches() -> Tuple[MBench, ...]:
 
     def d3(n, rng):
         return (
-            {"a": rng.random(n).astype(np.float32),
-             "b": (rng.random(n) * 0.2 + 0.9).astype(np.float32)},
+            {"a": rng.random(n, dtype=np.float32),
+             "b": (rng.random(n, dtype=np.float32) * 0.2 + 0.9)},
             {},
         )
 
@@ -281,8 +281,8 @@ def _mk_benches() -> Tuple[MBench, ...]:
 
     def d4(n, rng):
         return (
-            {"a": rng.standard_normal(2 * n).astype(np.float32),
-             "b": rng.standard_normal(2 * n).astype(np.float32),
+            {"a": rng.random(2 * n, dtype=np.float32),
+             "b": rng.random(2 * n, dtype=np.float32),
              "c": np.zeros(n, np.float32)},
             {},
         )
@@ -297,7 +297,7 @@ def _mk_benches() -> Tuple[MBench, ...]:
 
     def d5(n, rng):
         return (
-            {"a": rng.standard_normal(n).astype(np.float32),
+            {"a": rng.random(n, dtype=np.float32),
              "idx": rng.integers(0, n, n, dtype=np.int32),
              "c": np.zeros(n, np.float32)},
             {},
@@ -313,7 +313,7 @@ def _mk_benches() -> Tuple[MBench, ...]:
 
     def d6(n, rng):
         return (
-            {"a": rng.standard_normal(n).astype(np.float32),
+            {"a": rng.random(n, dtype=np.float32),
              "c": np.zeros(n, np.float32)},
             {},
         )
@@ -330,8 +330,8 @@ def _mk_benches() -> Tuple[MBench, ...]:
     def d7(n, rng):
         # c holds 2n entries; reads come from the disjoint upper half
         return (
-            {"a": rng.standard_normal(n).astype(np.float32),
-             "c": rng.standard_normal(2 * n).astype(np.float32)},
+            {"a": rng.random(n, dtype=np.float32),
+             "c": rng.random(2 * n, dtype=np.float32)},
             {"off": n},
         )
 
@@ -347,7 +347,7 @@ def _mk_benches() -> Tuple[MBench, ...]:
 
     def d8(n, rng):
         return (
-            {"x": rng.standard_normal(n).astype(np.float32),
+            {"x": rng.random(n, dtype=np.float32),
              "c": np.zeros(n, np.float32)},
             {},
         )

@@ -74,18 +74,14 @@ class CPCenergyBenchmark(Benchmark):
 
     def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
         w, h = int(global_size[0]), int(global_size[1])
-        z = (rng.random(self.natoms) * 2.0 - 1.0).astype(np.float32)
+        z = (rng.random(self.natoms, dtype=np.float32) * 2.0 - 1.0)
         return (
             {
-                "atomx": (rng.random(self.natoms) * w * GRID_SPACING).astype(
-                    np.float32
-                ),
-                "atomy": (rng.random(self.natoms) * h * GRID_SPACING).astype(
-                    np.float32
-                ),
+                "atomx": (rng.random(self.natoms, dtype=np.float32) * w * GRID_SPACING),
+                "atomy": (rng.random(self.natoms, dtype=np.float32) * h * GRID_SPACING),
                 # store z^2 + softening so r2 never vanishes
                 "atomz2": (z * z + 0.05).astype(np.float32),
-                "atomq": (rng.random(self.natoms) * 2.0 - 1.0).astype(np.float32),
+                "atomq": (rng.random(self.natoms, dtype=np.float32) * 2.0 - 1.0),
                 "energy": np.zeros(w * h, dtype=np.float32),
             },
             {

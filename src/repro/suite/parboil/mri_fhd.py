@@ -114,7 +114,7 @@ class MriFhdRhoPhiBenchmark(Benchmark):
 
     def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
         n = int(global_size[0])
-        mk = lambda: rng.standard_normal(n).astype(np.float32)  # noqa: E731
+        mk = lambda: rng.standard_normal(n, dtype=np.float32)  # noqa: E731
         return (
             {
                 "rRho": mk(), "iRho": mk(), "rPhi": mk(), "iPhi": mk(),
@@ -148,7 +148,7 @@ class MriFhdFHBenchmark(Benchmark):
     def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
         n = int(global_size[0])
         k = self.num_k
-        mk = lambda m: rng.standard_normal(m).astype(np.float32)  # noqa: E731
+        mk = lambda m: rng.standard_normal(m, dtype=np.float32)  # noqa: E731
         return (
             {
                 "kx": mk(k), "ky": mk(k), "kz": mk(k),

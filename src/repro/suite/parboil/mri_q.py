@@ -106,8 +106,8 @@ class MriQPhiMagBenchmark(Benchmark):
         n = int(global_size[0])
         return (
             {
-                "phiR": rng.standard_normal(n).astype(np.float32),
-                "phiI": rng.standard_normal(n).astype(np.float32),
+                "phiR": rng.standard_normal(n, dtype=np.float32),
+                "phiI": rng.standard_normal(n, dtype=np.float32),
                 "phiMag": np.zeros(n, dtype=np.float32),
             },
             {},
@@ -132,12 +132,12 @@ class MriQComputeQBenchmark(Benchmark):
     def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
         n = int(global_size[0])
         k = self.num_k
-        mk = lambda m: rng.standard_normal(m).astype(np.float32)  # noqa: E731
+        mk = lambda m: rng.standard_normal(m, dtype=np.float32)  # noqa: E731
         return (
             {
                 "kx": mk(k), "ky": mk(k), "kz": mk(k),
                 "x": mk(n), "y": mk(n), "z": mk(n),
-                "phiMag": rng.random(k).astype(np.float32),
+                "phiMag": rng.random(k, dtype=np.float32),
                 "Qr": np.zeros(n, dtype=np.float32),
                 "Qi": np.zeros(n, dtype=np.float32),
             },

@@ -120,8 +120,8 @@ class BinomialOptionBenchmark(Benchmark):
         df = np.exp(-RISK_FREE * dt)
         return (
             {
-                "price": (rng.random(n_options) * 95.0 + 5.0).astype(np.float32),
-                "strike": (rng.random(n_options) * 99.0 + 1.0).astype(np.float32),
+                "price": (rng.random(n_options, dtype=np.float32) * 95.0 + 5.0),
+                "strike": (rng.random(n_options, dtype=np.float32) * 99.0 + 1.0),
                 "value": np.zeros(n_options, dtype=np.float32),
             },
             {

@@ -92,11 +92,18 @@ class BlackScholesBenchmark(Benchmark):
 
     def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
         n = int(np.prod(global_size))
+
+        def uniform(scale, shift):
+            a = rng.random(n, dtype=np.float32)
+            a *= np.float32(scale)
+            a += np.float32(shift)
+            return a
+
         return (
             {
-                "price": (rng.random(n) * 95.0 + 5.0).astype(np.float32),
-                "strike": (rng.random(n) * 99.0 + 1.0).astype(np.float32),
-                "years": (rng.random(n) * 9.75 + 0.25).astype(np.float32),
+                "price": uniform(95.0, 5.0),
+                "strike": uniform(99.0, 1.0),
+                "years": uniform(9.75, 0.25),
                 "call": np.zeros(n, dtype=np.float32),
                 "put": np.zeros(n, dtype=np.float32),
             },

@@ -100,8 +100,8 @@ class _MatMulBase(Benchmark):
         K = self.inner_dim(global_size)
         return (
             {
-                "A": rng.standard_normal(h * K).astype(np.float32),
-                "B": rng.standard_normal(K * w).astype(np.float32),
+                "A": rng.random(h * K, dtype=np.float32),
+                "B": rng.random(K * w, dtype=np.float32),
                 "C": np.zeros(h * w, dtype=np.float32),
             },
             {"K": K, "wB": w},

@@ -75,7 +75,7 @@ class PrefixSumBenchmark(Benchmark):
             # positive inputs: keeps the float32 scan well-conditioned so the
             # reference comparison is meaningful despite reassociation
             {
-                "input": rng.random(n).astype(np.float32),
+                "input": rng.random(n, dtype=np.float32),
                 "output": np.zeros(n, dtype=np.float32),
             },
             {},

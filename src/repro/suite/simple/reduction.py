@@ -68,7 +68,7 @@ class ReductionBenchmark(Benchmark):
             raise ValueError(f"global size {n} not divisible by {self.wg_size}")
         return (
             {
-                "input": rng.standard_normal(n).astype(np.float32),
+                "input": rng.standard_normal(n, dtype=np.float32),
                 "partial": np.zeros(n // self.wg_size, dtype=np.float32),
             },
             {},

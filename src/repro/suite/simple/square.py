@@ -47,7 +47,7 @@ class SquareBenchmark(Benchmark):
     def make_data(self, global_size: Sequence[int], rng: np.random.Generator):
         n = int(global_size[0])
         buffers = {
-            "input": rng.standard_normal(n).astype(np.float32),
+            "input": rng.random(n, dtype=np.float32),
             "output": np.zeros(n, dtype=np.float32),
         }
         scalars: Dict[str, object] = {}

@@ -48,8 +48,8 @@ class VectorAddBenchmark(Benchmark):
         n = int(global_size[0])
         return (
             {
-                "a": rng.standard_normal(n).astype(np.float32),
-                "b": rng.standard_normal(n).astype(np.float32),
+                "a": rng.random(n, dtype=np.float32),
+                "b": rng.random(n, dtype=np.float32),
                 "c": np.zeros(n, dtype=np.float32),
             },
             {},

@@ -1,0 +1,116 @@
+"""Shared host worker pools for the execution engine.
+
+Two distinct pools, mirroring how a CPU OpenCL runtime (pocl's task-graph
+scheduler) separates command retirement from data-parallel kernel work:
+
+* the **command pool** runs DAG nodes of :class:`repro.minicl.schedule.
+  CommandScheduler` — one slot per in-flight command;
+* the **chunk pool** runs NDRange chunks of one kernel launch
+  (:mod:`repro.kernelir.compile`) — NumPy releases the GIL on array ops,
+  so chunks of a fused launch genuinely overlap on host cores.
+
+Keeping them separate avoids the classic nested-pool deadlock: a command
+node that itself fans a kernel out over workers must never wait on a slot
+in its own pool.
+
+Sizing comes from ``REPRO_WORKERS`` (``repro.env_int``); unset or ``0``
+auto-sizes to ``min(4, cpu_count)``.  ``set_worker_count`` overrides the
+environment in-process (the CLI's ``--workers`` writes the environment
+variable instead so the choice survives into ``--jobs`` subprocesses).
+Pools are created lazily and rebuilt when the effective count changes, so
+tests can flip the count mid-process.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+import repro
+
+__all__ = [
+    "chunk_pool",
+    "command_pool",
+    "ooo_enabled",
+    "set_worker_count",
+    "shutdown_pools",
+    "worker_count",
+]
+
+#: hard ceiling on auto-sized pools; explicit REPRO_WORKERS may exceed it
+_AUTO_CAP = 4
+
+_lock = threading.Lock()
+_override: Optional[int] = None
+_pools = {}  # role -> (ThreadPoolExecutor, size)
+
+
+def worker_count() -> int:
+    """Effective worker-thread count for both pools (always >= 1)."""
+    if _override is not None:
+        return max(1, _override)
+    n = repro.env_int("REPRO_WORKERS", 0)
+    if n > 0:
+        return n
+    return max(1, min(_AUTO_CAP, os.cpu_count() or 1))
+
+
+def set_worker_count(n: Optional[int]) -> None:
+    """In-process override of ``REPRO_WORKERS`` (``None`` restores it)."""
+    global _override
+    _override = None if n is None else int(n)
+
+
+def ooo_enabled() -> bool:
+    """Whether the event-DAG engine may be used (``REPRO_NO_OOO`` kills it)."""
+    return not repro.env_flag("REPRO_NO_OOO")
+
+
+def _pool(role: str) -> ThreadPoolExecutor:
+    n = worker_count()
+    with _lock:
+        entry = _pools.get(role)
+        if entry is not None and entry[1] == n:
+            return entry[0]
+        if entry is not None:
+            entry[0].shutdown(wait=False)
+        pool = ThreadPoolExecutor(
+            max_workers=n, thread_name_prefix=f"repro-{role}"
+        )
+        _pools[role] = (pool, n)
+        return pool
+
+
+def command_pool() -> ThreadPoolExecutor:
+    """The pool that retires command-DAG nodes."""
+    return _pool("cmd")
+
+
+def chunk_pool() -> ThreadPoolExecutor:
+    """The pool that runs NDRange chunks of one kernel launch."""
+    return _pool("chunk")
+
+
+def worker_index() -> int:
+    """Index of the current pool worker thread (0 on non-pool threads).
+
+    Pool threads are named ``repro-<role>_<i>`` by ThreadPoolExecutor;
+    the tracer uses this to give each worker its own trace lane.
+    """
+    name = threading.current_thread().name
+    if name.startswith("repro-") and "_" in name:
+        try:
+            return int(name.rsplit("_", 1)[1])
+        except ValueError:
+            return 0
+    return 0
+
+
+def shutdown_pools() -> None:
+    """Tear down both pools (tests; pools re-create lazily afterwards)."""
+    with _lock:
+        for pool, _ in _pools.values():
+            pool.shutdown(wait=True)
+        _pools.clear()

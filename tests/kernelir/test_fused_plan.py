@@ -1,0 +1,177 @@
+"""Tests for whole-grid fused launch plans and chunked multi-core execution.
+
+The fused plan (`repro.kernelir.compile.get_fused_plan`) caches per-launch
+facts (normalized sizes, the parallel-eligibility verdict) so repeat
+launches skip straight to the compiled function, optionally split into
+contiguous lane chunks on the shared worker pool.  Chunked execution must
+be bit-for-bit identical to serial execution, including op counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro import workers
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.compile import (
+    _MIN_CHUNK_LANES,
+    compile_kernel,
+    get_fused_plan,
+)
+from repro.kernelir.types import F32, I32
+
+
+def _saxpy_kernel():
+    kb = KernelBuilder("saxpy")
+    x = kb.buffer("x", F32, access="r")
+    y = kb.buffer("y", F32)
+    a = kb.scalar("a", F32)
+    g = kb.global_id(0)
+    y[g] = y[g] + a * x[g]
+    return kb.finish()
+
+
+def _saxpy_data(n, seed=7):
+    rng = np.random.default_rng(seed)
+    return {
+        "x": rng.random(n, dtype=np.float32),
+        "y": rng.random(n, dtype=np.float32),
+    }
+
+
+@pytest.fixture
+def four_workers():
+    workers.set_worker_count(4)
+    yield
+    workers.set_worker_count(None)
+
+
+class TestPlanCaching:
+    def test_same_launch_reuses_plan(self):
+        ck = compile_kernel(_saxpy_kernel())
+        p1 = get_fused_plan(ck, (256,), (64,), scalars={"a": 2.0})
+        p2 = get_fused_plan(ck, (256,), (64,), scalars={"a": 2.0})
+        assert p1 is p2
+
+    def test_scalars_join_the_key(self):
+        ck = compile_kernel(_saxpy_kernel())
+        p1 = get_fused_plan(ck, (256,), (64,), scalars={"a": 2.0})
+        p2 = get_fused_plan(ck, (256,), (64,), scalars={"a": 3.0})
+        assert p1 is not p2
+
+    def test_shape_joins_the_key(self):
+        ck = compile_kernel(_saxpy_kernel())
+        p1 = get_fused_plan(ck, (256,), (64,))
+        p2 = get_fused_plan(ck, (512,), (64,))
+        assert p1 is not p2
+        assert p1.gsize == (256,) and p2.gsize == (512,)
+
+
+class TestParallelEligibility:
+    def test_elementwise_kernel_is_chunk_safe(self):
+        ck = compile_kernel(_saxpy_kernel())
+        plan = get_fused_plan(ck, (1 << 16,), (64,), scalars={"a": 2.0})
+        assert plan.parallel
+
+    def test_barrier_kernel_stays_serial(self):
+        kb = KernelBuilder("b")
+        x = kb.buffer("x", F32)
+        g = kb.global_id(0)
+        x[g] = x[g] + 1.0
+        kb.barrier()
+        x[g] = x[g] * 2.0
+        plan = get_fused_plan(compile_kernel(kb.finish()), (1 << 16,), (64,))
+        assert not plan.parallel
+
+    def test_local_memory_kernel_stays_serial(self):
+        kb = KernelBuilder("lm")
+        x = kb.buffer("x", F32)
+        tile = kb.local_array("tile", 64, F32)
+        l = kb.local_id(0)
+        tile[l] = x[kb.global_id(0)]
+        x[kb.global_id(0)] = tile[l]
+        plan = get_fused_plan(compile_kernel(kb.finish()), (1 << 16,), (64,))
+        assert not plan.parallel
+
+    def test_atomic_kernel_stays_serial(self):
+        kb = KernelBuilder("at")
+        x = kb.buffer("x", F32)
+        x.atomic_add(0, 1.0)
+        plan = get_fused_plan(compile_kernel(kb.finish()), (1 << 16,), (64,))
+        assert not plan.parallel
+
+    def test_cross_lane_store_race_stays_serial(self):
+        # every lane stores to index 0: a store/store overlap the race
+        # verifier flags, so chunking could reorder the last-writer
+        kb = KernelBuilder("race")
+        x = kb.buffer("x", F32)
+        kb.global_id(0)  # touch the id so the kernel is not uniform
+        x[0] = 1.0
+        plan = get_fused_plan(compile_kernel(kb.finish()), (1 << 16,), (64,))
+        assert not plan.parallel
+
+
+class TestChunkBounds:
+    def test_small_launch_stays_serial(self, four_workers):
+        ck = compile_kernel(_saxpy_kernel())
+        plan = get_fused_plan(ck, (256,), (64,), scalars={"a": 1.0})
+        assert plan.parallel  # eligible ...
+        assert plan._chunk_bounds(256) is None  # ... but below the floor
+
+    def test_bounds_cover_every_lane_exactly_once(self, four_workers):
+        ck = compile_kernel(_saxpy_kernel())
+        plan = get_fused_plan(ck, (4 * _MIN_CHUNK_LANES + 3,), None,
+                              scalars={"a": 1.0})
+        n = 4 * _MIN_CHUNK_LANES + 3
+        bounds = plan._chunk_bounds(n)
+        assert bounds is not None and len(bounds) == 4
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(bounds, bounds[1:]):
+            assert a_hi == b_lo  # contiguous, no gaps or overlap
+
+    def test_worker_count_change_takes_effect_per_launch(self):
+        ck = compile_kernel(_saxpy_kernel())
+        plan = get_fused_plan(ck, (4 * _MIN_CHUNK_LANES,), None,
+                              scalars={"a": 1.0})
+        workers.set_worker_count(1)
+        try:
+            assert plan._chunk_bounds(4 * _MIN_CHUNK_LANES) is None
+            workers.set_worker_count(4)
+            assert len(plan._chunk_bounds(4 * _MIN_CHUNK_LANES)) == 4
+        finally:
+            workers.set_worker_count(None)
+
+
+class TestChunkedEquivalence:
+    N = 2 * _MIN_CHUNK_LANES + 17
+
+    def _launch(self, count_ops):
+        ck = compile_kernel(_saxpy_kernel(), count_ops=count_ops)
+        plan = get_fused_plan(ck, (self.N,), None, scalars={"a": 1.5})
+        bufs = _saxpy_data(self.N)
+        res = plan.launch(bufs, {"a": 1.5})
+        return bufs["y"], res.counters
+
+    def test_chunked_matches_serial_bitwise(self, four_workers):
+        y_par, _ = self._launch(count_ops=False)
+        workers.set_worker_count(1)
+        y_ser, _ = self._launch(count_ops=False)
+        assert (y_par.view(np.uint32) == y_ser.view(np.uint32)).all()
+
+    def test_chunked_counters_match_serial(self, four_workers):
+        _, c_par = self._launch(count_ops=True)
+        workers.set_worker_count(1)
+        _, c_ser = self._launch(count_ops=True)
+        for field in ("flops", "int_ops", "loads", "stores", "local_loads",
+                      "local_stores", "atomic_ops", "barriers"):
+            assert getattr(c_par, field) == getattr(c_ser, field), field
+
+    def test_chunk_error_propagates(self, four_workers):
+        # out-of-bounds store in every lane: the launch must raise, not
+        # swallow the worker exception
+        kb = KernelBuilder("oob")
+        x = kb.buffer("x", F32)
+        x[kb.global_id(0) + 10_000_000] = 1.0
+        ck = compile_kernel(kb.finish())
+        plan = get_fused_plan(ck, (self.N,), None)
+        with pytest.raises(Exception, match="out-of-bounds"):
+            plan.launch({"x": np.zeros(16, np.float32)}, {})

@@ -154,4 +154,5 @@ class TestMarker:
         w = q.enqueue_write_buffer(b, np.ones(1024, np.float32))
         ev = q.enqueue_nd_range_kernel(k, (1024,), (64,), wait_for=[w])
         assert ev.profile.start == w.profile.end
+        ev.wait()  # the OOO engine defers execution until a sync point
         assert (b.array == 2.0).all()

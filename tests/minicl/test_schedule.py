@@ -1,0 +1,365 @@
+"""Tests for the event-DAG command scheduler (the OOO queue engine).
+
+Covers graph construction (explicit edges + RAW/WAR/WAW hazard
+inference), flush/drain semantics, cross-queue waits, deferred errors,
+wait-list cycles, and functional equivalence with the eager engine.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import minicl as cl
+from repro import workers
+from repro.minicl.errors import InvalidOperation
+from repro.minicl.schedule import (
+    CommandScheduler,
+    reset_scheduler_stats,
+    scheduler_stats,
+)
+
+
+@pytest.fixture
+def ctx():
+    return cl.Context(cl.cpu_platform().devices)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_scheduler_stats()
+    yield
+    reset_scheduler_stats()
+
+
+@pytest.fixture
+def four_workers():
+    workers.set_worker_count(4)
+    yield
+    workers.set_worker_count(None)
+
+
+def _buf(ctx, n=1024):
+    return ctx.create_buffer(
+        cl.mem_flags.READ_WRITE, size=4 * n, dtype=np.float32
+    ), np.arange(n, dtype=np.float32)
+
+
+class TestHazardInference:
+    """reads/writes sets turn into RAW / WAR / WAW edges."""
+
+    def _node(self, sched, reads=(), writes=(), label=""):
+        return sched.add(lambda: None, None, reads=reads, writes=writes,
+                         label=label)
+
+    def test_raw_edge(self):
+        sched = CommandScheduler()
+        b = object()
+        w = self._node(sched, writes=(b,), label="w")
+        r = self._node(sched, reads=(b,), label="r")
+        assert w in r.deps
+        assert scheduler_stats()["hazard_edges"] == 1
+        sched.drain()
+
+    def test_war_edge(self):
+        sched = CommandScheduler()
+        b = object()
+        r = self._node(sched, reads=(b,), label="r")
+        w = self._node(sched, writes=(b,), label="w")
+        assert r in w.deps
+        sched.drain()
+
+    def test_waw_edge(self):
+        sched = CommandScheduler()
+        b = object()
+        w1 = self._node(sched, writes=(b,), label="w1")
+        w2 = self._node(sched, writes=(b,), label="w2")
+        assert w1 in w2.deps
+        sched.drain()
+
+    def test_independent_buffers_no_edge(self):
+        sched = CommandScheduler()
+        w1 = self._node(sched, writes=(object(),))
+        w2 = self._node(sched, writes=(object(),))
+        assert not w2.deps and not w1.deps
+        assert scheduler_stats()["hazard_edges"] == 0
+        sched.drain()
+
+    def test_two_readers_share_no_edge(self):
+        sched = CommandScheduler()
+        b = object()
+        self._node(sched, writes=(b,))
+        r1 = self._node(sched, reads=(b,))
+        r2 = self._node(sched, reads=(b,))
+        assert r1 not in r2.deps  # loads commute
+        sched.drain()
+
+    def test_hazard_order_is_respected_under_parallel_retirement(
+        self, four_workers
+    ):
+        sched = CommandScheduler()
+        b = object()
+        order = []
+        lock = threading.Lock()
+
+        def act(tag, delay=0.0):
+            def run():
+                if delay:
+                    time.sleep(delay)
+                with lock:
+                    order.append(tag)
+            return run
+
+        # slow writer, then a chain of dependents on the same buffer
+        sched.add(act("w1", 0.02), None, writes=(b,))
+        sched.add(act("r1"), None, reads=(b,))
+        sched.add(act("w2"), None, writes=(b,))
+        sched.drain()
+        assert order.index("w1") < order.index("r1") < order.index("w2")
+
+
+class TestFlushAndDrain:
+    def test_flush_does_not_block(self):
+        sched = CommandScheduler()
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(5.0)
+
+        sched.add(slow, None)
+        t0 = time.perf_counter()
+        sched.flush()
+        assert time.perf_counter() - t0 < 1.0  # returned before the action
+        assert started.wait(5.0)
+        assert sched.pending == 1  # still retiring
+        release.set()
+        sched.drain()
+        assert sched.pending == 0
+
+    def test_add_alone_does_not_execute(self):
+        sched = CommandScheduler()
+        ran = []
+        sched.add(lambda: ran.append(1), None)
+        time.sleep(0.05)
+        assert not ran  # recorded, never released
+        sched.drain()
+        assert ran == [1]
+
+    def test_deferred_error_raised_at_drain(self):
+        sched = CommandScheduler()
+
+        def boom():
+            raise ZeroDivisionError("deferred failure")
+
+        sched.add(boom, None)
+        with pytest.raises(ZeroDivisionError):
+            sched.drain()
+        # error is consumed: a second drain is clean
+        sched.drain()
+
+    def test_lowest_node_id_error_wins(self):
+        sched = CommandScheduler()
+
+        def first():
+            time.sleep(0.02)
+            raise ValueError("first enqueued")
+
+        def second():
+            raise KeyError("second enqueued")
+
+        sched.add(first, None, writes=())
+        sched.add(second, None)
+        with pytest.raises(ValueError):
+            sched.drain()
+
+
+class TestCycleDetection:
+    def test_wait_list_cycle_raises_invalid_operation(self):
+        sched = CommandScheduler()
+        a = sched.add(lambda: None, None, label="a")
+        b = sched.add(lambda: None, None, label="b")
+        sched.add_dependency(a, b)  # a waits on b ...
+        sched.add_dependency(b, a)  # ... and b waits on a
+        with pytest.raises(InvalidOperation, match="cycle"):
+            sched.drain()
+
+    def test_self_edge_is_ignored(self):
+        sched = CommandScheduler()
+        b = object()
+        # reads and writes the same buffer: must not depend on itself
+        n = sched.add(lambda: None, None, reads=(b,), writes=(b,))
+        assert n not in n.deps
+        sched.drain()
+
+
+class TestQueueIntegration:
+    """The DAG engine behind ``create_command_queue(out_of_order=True)``."""
+
+    def test_write_is_deferred_until_wait(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b, h = _buf(ctx)
+        ev = q.enqueue_write_buffer(b, h, blocking=False)
+        assert ev.status != cl.command_status.COMPLETE
+        ev.wait()
+        assert ev.status == cl.command_status.COMPLETE
+        assert (b.array == h).all()
+
+    def test_finish_retires_everything(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b, h = _buf(ctx)
+        q.enqueue_write_buffer(b, h, blocking=False)
+        q.enqueue_copy_buffer(b, b2 := ctx.create_buffer(
+            cl.mem_flags.READ_WRITE, size=h.nbytes, dtype=np.float32))
+        q.finish()
+        assert (b2.array == h).all()
+        assert scheduler_stats()["executed"] >= 2
+
+    def test_flush_is_non_blocking_submission(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b, h = _buf(ctx)
+        ev = q.enqueue_write_buffer(b, h, blocking=False)
+        q.flush()  # must not raise and must not require completion
+        ev.wait()
+        assert (b.array == h).all()
+
+    def test_duplicate_events_in_wait_list(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b, h = _buf(ctx)
+        e1 = q.enqueue_write_buffer(b, h, blocking=False)
+        e2 = q.enqueue_marker(wait_for=[e1, e1, e1])
+        e2.wait()
+        assert e2.status == cl.command_status.COMPLETE
+        # duplicates collapse into a single explicit edge
+        assert scheduler_stats()["explicit_edges"] == 1
+
+    def test_marker_anchors_to_all_prior_commands(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b1, h1 = _buf(ctx)
+        b2, h2 = _buf(ctx)
+        q.enqueue_write_buffer(b1, h1, blocking=False)
+        q.enqueue_write_buffer(b2, h2, blocking=False)
+        m = q.enqueue_marker()
+        m.wait()
+        # marker completion implies both writes retired
+        assert (b1.array == h1).all() and (b2.array == h2).all()
+
+    def test_barrier_orders_later_commands(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b, h = _buf(ctx)
+        q.enqueue_write_buffer(b, h, blocking=False)
+        q.enqueue_barrier()
+        # the barrier edge forces the read to see the write's data
+        out = np.zeros_like(h)
+        q.enqueue_read_buffer(b, out, blocking=True)
+        assert (out == h).all()
+
+    def test_cross_queue_wait_same_context(self, ctx):
+        q1 = ctx.create_command_queue(out_of_order=True)
+        q2 = ctx.create_command_queue(out_of_order=True)
+        b, h = _buf(ctx)
+        dst = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=h.nbytes,
+                                dtype=np.float32)
+        e1 = q1.enqueue_write_buffer(b, h, blocking=False)
+        e2 = q2.enqueue_copy_buffer(b, dst, wait_for=[e1])
+        e2.wait()
+        assert (dst.array == h).all()
+
+    def test_reentrant_wait_from_callback(self, ctx):
+        q = ctx.create_command_queue(out_of_order=True)
+        b, h = _buf(ctx)
+        ev = q.enqueue_write_buffer(b, h, blocking=False)
+        seen = []
+
+        def cb(e):
+            e.wait()  # must not deadlock: COMPLETE is set before callbacks
+            seen.append(e.status)
+
+        ev.add_callback(cb)
+        ev.wait()
+        assert seen == [cl.command_status.COMPLETE]
+
+    def test_failed_kernel_error_surfaces_at_wait(self, ctx):
+        from repro.kernelir.builder import KernelBuilder
+        from repro.kernelir.types import F32
+
+        kb = KernelBuilder("oob")
+        x = kb.buffer("x", F32)
+        # out-of-bounds store: index past the end of a 16-element buffer
+        x[kb.global_id(0) + 1_000_000] = 1.0
+        k = ctx.create_program(kb.finish()).create_kernel("oob")
+        q = ctx.create_command_queue(out_of_order=True)
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=4 * 16,
+                              dtype=np.float32)
+        k.set_args(b)
+        ev = q.enqueue_nd_range_kernel(k, (16,), None)
+        with pytest.raises(Exception):
+            ev.wait()
+
+
+class TestEngineEquivalence:
+    """OOO DAG execution must match eager in-order execution bit-for-bit."""
+
+    def _pipeline(self, ctx, *, out_of_order):
+        from repro.kernelir.builder import KernelBuilder
+        from repro.kernelir.types import F32
+
+        kb = KernelBuilder("scale2")
+        x = kb.buffer("x", F32)
+        x[kb.global_id(0)] = x[kb.global_id(0)] * 2.0 + 1.0
+        k = ctx.create_program(kb.finish()).create_kernel("scale2")
+
+        q = ctx.create_command_queue(out_of_order=out_of_order)
+        n = 4096
+        src = np.linspace(-8.0, 8.0, n, dtype=np.float32)
+        b = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=4 * n,
+                              dtype=np.float32)
+        dst = ctx.create_buffer(cl.mem_flags.READ_WRITE, size=4 * n,
+                                dtype=np.float32)
+        k.set_args(b)
+        q.enqueue_write_buffer(b, src, blocking=False)
+        q.enqueue_nd_range_kernel(k, (n,), (64,))
+        q.enqueue_copy_buffer(b, dst)
+        out = np.zeros(n, np.float32)
+        q.enqueue_read_buffer(dst, out, blocking=True)
+        q.finish()
+        return out
+
+    def test_buffer_results_bitwise_equal(self, ctx, four_workers):
+        eager = self._pipeline(ctx, out_of_order=False)
+        dag = self._pipeline(ctx, out_of_order=True)
+        assert (eager.view(np.uint32) == dag.view(np.uint32)).all()
+
+    def test_virtual_profile_independent_of_engine(self, ctx, monkeypatch):
+        def stamps(disable_engine):
+            if disable_engine:
+                monkeypatch.setenv("REPRO_NO_OOO", "1")
+            else:
+                monkeypatch.delenv("REPRO_NO_OOO", raising=False)
+            q = ctx.create_command_queue(out_of_order=True)
+            b, h = _buf(ctx, 1 << 16)
+            b2, h2 = _buf(ctx, 1 << 18)
+            e1 = q.enqueue_write_buffer(b, h, blocking=False)
+            e2 = q.enqueue_write_buffer(b2, h2, blocking=False)
+            e3 = q.enqueue_marker(wait_for=[e1, e2])
+            q.finish()
+            return [(e.profile.queued, e.profile.submit, e.profile.start,
+                     e.profile.end) for e in (e1, e2, e3)]
+
+        assert stamps(True) == stamps(False)
+
+    def test_worker_count_does_not_change_virtual_time(self, ctx):
+        def end_ns(nworkers):
+            workers.set_worker_count(nworkers)
+            try:
+                q = ctx.create_command_queue(out_of_order=True)
+                b, h = _buf(ctx, 1 << 16)
+                q.enqueue_write_buffer(b, h, blocking=False)
+                q.enqueue_write_buffer(b, h, blocking=False)
+                return q.finish()
+            finally:
+                workers.set_worker_count(None)
+
+        assert end_ns(1) == end_ns(4)
