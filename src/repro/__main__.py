@@ -177,6 +177,7 @@ def _finish_trace(tracer, path) -> None:
     obs.REGISTRY.absorb_cache_stats()
     obs.REGISTRY.absorb_jit_stats()
     obs.REGISTRY.absorb_scheduler_stats()
+    obs.REGISTRY.absorb_analysis_stats()
     out = obs.write_trace(tracer, path, registry=obs.REGISTRY)
     msg = f"[trace] wrote {out} ({len(tracer.events)} events)"
     if tracer.dropped:
@@ -391,6 +392,15 @@ def cmd_jitdump(args) -> int:
 
 
 def cmd_lint(args) -> int:
+    """Static kernel lint over the suite.
+
+    Exit-code contract (documented in docs/LINT.md): 0 = clean (notes do
+    not fail the lint), 1 = error- or warning-severity diagnostics were
+    found, 2 = usage error (unknown benchmark name).
+    """
+    import json as _json
+
+    from .kernelir.dataflow import location_sort_key
     from .kernelir.verify import RULES
 
     benches = _lint_benchmarks()
@@ -402,39 +412,124 @@ def cmd_lint(args) -> int:
             return _unknown_name_error("benchmark", unknown, benches)
         names = list(args.benchmarks)
 
-    by_rule: dict = {}
+    #: flat, deterministically ordered: kernel name, then location (natural
+    #: order), then rule id, then message — unrolled-site repeats are
+    #: already deduplicated at emission time by the dataflow core
+    diags = []
     clean = []
     suppressed = 0
-    for name in names:
+    for name in sorted(names):
         report = benches[name].verify()
         suppressed += report.suppressed
         if not report.diagnostics:
             clean.append(name)
-        for d in report.diagnostics:
+        diags.extend(report.diagnostics)
+    diags.sort(key=lambda d: (
+        d.kernel, location_sort_key(d.location), d.rule, d.message
+    ))
+
+    n_err = sum(d.severity == "error" for d in diags)
+    n_warn = sum(d.severity == "warning" for d in diags)
+    n_note = sum(d.severity == "note" for d in diags)
+    shown = [d for d in diags if not (args.no_notes and d.severity == "note")]
+
+    if args.format == "json":
+        payload = {
+            "diagnostics": [
+                {
+                    "kernel": d.kernel,
+                    "rule": d.rule,
+                    "severity": d.severity,
+                    "location": d.location,
+                    "message": d.message,
+                    "hint": d.hint,
+                }
+                for d in shown
+            ],
+            "summary": {
+                "kernels": len(names),
+                "errors": n_err,
+                "warnings": n_warn,
+                "notes": n_note,
+                "suppressed": suppressed,
+                "clean": len(clean),
+            },
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        sarif = {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri":
+                                "docs/LINT.md",
+                            "rules": [
+                                {
+                                    "id": rid,
+                                    "shortDescription": {"text": RULES[rid]},
+                                }
+                                for rid in sorted(RULES)
+                            ],
+                        }
+                    },
+                    "results": [
+                        {
+                            "ruleId": d.rule,
+                            "level": d.severity,
+                            "message": {"text": d.message},
+                            "locations": [
+                                {
+                                    "logicalLocations": [
+                                        {
+                                            "fullyQualifiedName":
+                                                f"{d.kernel}::{d.location}",
+                                        }
+                                    ]
+                                }
+                            ],
+                            **(
+                                {"properties": {"hint": d.hint}}
+                                if d.hint else {}
+                            ),
+                        }
+                        for d in shown
+                    ],
+                }
+            ],
+        }
+        print(_json.dumps(sarif, indent=2, sort_keys=True))
+    else:
+        by_rule: dict = {}
+        for d in shown:
             by_rule.setdefault(d.rule, []).append(d)
-
-    n_err = n_warn = n_note = 0
-    for rule in sorted(by_rule):
-        diags = by_rule[rule]
-        if args.no_notes and all(d.severity == "note" for d in diags):
-            continue
-        print(f"{rule} — {RULES.get(rule, '')} ({len(diags)} finding(s))")
-        for d in diags:
-            if args.no_notes and d.severity == "note":
-                continue
-            for line in d.format().splitlines():
-                print(f"  {line}")
-        print()
-        n_err += sum(d.severity == "error" for d in diags)
-        n_warn += sum(d.severity == "warning" for d in diags)
-        n_note += sum(d.severity == "note" for d in diags)
-
-    print(
-        f"linted {len(names)} kernel(s): {n_err} error(s), "
-        f"{n_warn} warning(s), {n_note} note(s), "
-        f"{suppressed} suppressed, {len(clean)} clean"
-    )
+        for rule in sorted(by_rule):
+            rdiags = by_rule[rule]
+            print(f"{rule} — {RULES.get(rule, '')} ({len(rdiags)} finding(s))")
+            for d in rdiags:
+                for line in d.format().splitlines():
+                    print(f"  {line}")
+            print()
+        print(
+            f"linted {len(names)} kernel(s): {n_err} error(s), "
+            f"{n_warn} warning(s), {n_note} note(s), "
+            f"{suppressed} suppressed, {len(clean)} clean"
+        )
     return 1 if (n_err or n_warn) else 0
+
+
+def cmd_fuzz(args) -> int:
+    from .kernelir.fuzz import run_fuzz
+
+    return run_fuzz(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        quick=args.quick,
+        verbose=args.verbose,
+    )
 
 
 def cmd_trace(args) -> int:
@@ -600,7 +695,26 @@ def main(argv=None) -> int:
                         help="lint every suite kernel (the default)")
     p_lint.add_argument("--no-notes", action="store_true",
                         help="hide note-severity diagnostics")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format (default: text; sarif emits "
+                             "SARIF 2.1.0 for code-scanning UIs)")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential kernel-IR fuzzing: random kernels must agree "
+             "bit-for-bit across engines and never be unsoundly chunked",
+    )
+    p_fuzz.add_argument("--seeds", type=int, default=200,
+                        help="number of random kernels (default: 200)")
+    p_fuzz.add_argument("--base-seed", type=int, default=0,
+                        help="first seed (kernel i uses base+i)")
+    p_fuzz.add_argument("--quick", action="store_true",
+                        help="smaller launches and skip the 4-worker rerun")
+    p_fuzz.add_argument("--verbose", action="store_true",
+                        help="print one line per generated kernel")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
 
     p_trace = sub.add_parser(
         "trace",

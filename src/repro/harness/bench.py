@@ -279,9 +279,12 @@ def run_bench(
 
     from ..kernelir import compile as klcompile
 
+    from ..kernelir import dataflow
+
     plancache.invalidate_all()
     plancache.reset_stats()
     klcompile.reset_compile_stats()
+    dataflow.reset_analysis_stats()
     try:
         from ..minicl import schedule as clschedule
 
@@ -319,6 +322,7 @@ def run_bench(
             "cache_stats": stats,
             "jit": jit,
         }
+        run["analysis"] = dataflow.analysis_stats()
         if clschedule is not None:
             run["scheduler"] = clschedule.scheduler_stats()
         if workers > 1:
@@ -354,6 +358,7 @@ def run_bench(
 
         if microbench:
             run["microbench"] = _microbench()
+            run["analysis"] = dataflow.analysis_stats()
             if clschedule is not None:
                 # the microbench exercises the DAG engine, so re-snapshot
                 run["scheduler"] = clschedule.scheduler_stats()
@@ -449,5 +454,14 @@ def compare(run: dict, baseline: dict, threshold: float = 0.30,
             f"{launches.get('compiled', 0)} compiled launch(es), "
             f"{launches.get('interp_fallback', 0)} fallback(s), "
             f"{launches.get('interp_forced', 0)} forced-interp"
+        )
+    analysis = run.get("analysis")
+    if analysis:
+        log(
+            f"[bench] dataflow analysis: cache hit rate "
+            f"{analysis.get('cache_hit_rate', 0.0)}, chunk-eligible "
+            f"{analysis.get('chunk_eligible', 0)}/"
+            f"{analysis.get('chunk_checked', 0)} kernel(s) "
+            f"(fraction {analysis.get('chunk_eligible_fraction', 0.0)})"
         )
     return cur_total <= limit

@@ -89,6 +89,18 @@ from .compile import (
 from .trace import KernelTrace, MemoryAccess, TracingInterpreter, trace_kernel
 from .codegen import CodegenError, to_opencl_c, to_openmp_c
 from .verify import RULES, Diagnostic, VerifyReport, verify_launch
+from .dataflow import (
+    ChunkSafety,
+    Divergence,
+    Interval,
+    KernelDataflow,
+    StrideCongruence,
+    analysis_stats,
+    analyze_launch,
+    chunk_safety,
+    kernel_reaching_defs,
+    reset_analysis_stats,
+)
 
 __all__ = [
     # types
@@ -121,4 +133,8 @@ __all__ = [
     "to_opencl_c", "to_openmp_c", "CodegenError",
     # static verification
     "verify_launch", "VerifyReport", "Diagnostic", "RULES",
+    # dataflow core
+    "Interval", "StrideCongruence", "Divergence", "KernelDataflow",
+    "ChunkSafety", "analyze_launch", "chunk_safety", "kernel_reaching_defs",
+    "analysis_stats", "reset_analysis_stats",
 ]

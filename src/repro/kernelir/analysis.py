@@ -153,149 +153,19 @@ class OpCounts:
 
 
 # ---------------------------------------------------------------------------
-# Affine index analysis
+# Affine index analysis — the domain itself lives in the shared dataflow
+# core (repro.kernelir.dataflow); re-exported here for compatibility since
+# the timing walk and its tests have always imported it from this module.
 # ---------------------------------------------------------------------------
+
+from .dataflow import (  # noqa: E402  (re-export after LaunchContext deps)
+    AffineIndex,
+    affine_index,
+    uniform_value as _uniform_value,
+)
 
 #: symbolic key types: ("g", d) / ("l", d) / ("grp", d) ids, ("loop", name)
 Key = Tuple[str, object]
-
-
-@dataclasses.dataclass
-class AffineIndex:
-    """``const + sum(coeff[k] * k)`` over id/loop symbols.
-
-    Coefficients are concrete numbers (scalar kernel args and NDRange sizes
-    have been substituted from the launch context).
-    """
-
-    const: float = 0.0
-    coeffs: Dict[Key, float] = dataclasses.field(default_factory=dict)
-
-    def coeff(self, key: Key) -> float:
-        return self.coeffs.get(key, 0.0)
-
-    @property
-    def is_uniform(self) -> bool:
-        """Same value for every workitem (may still vary per loop iteration)."""
-        return all(k[0] == "loop" or c == 0 for k, c in self.coeffs.items())
-
-    @property
-    def vector_stride(self) -> float:
-        """Index stride between *adjacent workitems in dimension 0*.
-
-        Adjacent workitems inside one workgroup differ by +1 in both
-        ``get_global_id(0)`` and ``get_local_id(0)``, so the packet stride a
-        vectorizer sees is the sum of those coefficients.
-        """
-        return self.coeff(("g", 0)) + self.coeff(("l", 0))
-
-    def loop_stride(self, var: str) -> float:
-        return self.coeff(("loop", var))
-
-    def _combine(self, other: "AffineIndex", sign: float) -> "AffineIndex":
-        out = AffineIndex(self.const + sign * other.const, dict(self.coeffs))
-        for k, c in other.coeffs.items():
-            out.coeffs[k] = out.coeffs.get(k, 0.0) + sign * c
-        out.coeffs = {k: c for k, c in out.coeffs.items() if c != 0}
-        return out
-
-    def __add__(self, o):
-        return self._combine(o, 1.0)
-
-    def __sub__(self, o):
-        return self._combine(o, -1.0)
-
-    def scale(self, k: float) -> "AffineIndex":
-        return AffineIndex(self.const * k, {key: c * k for key, c in self.coeffs.items()})
-
-
-def affine_index(
-    e: ir.Expr,
-    ctx: LaunchContext,
-    env: Optional[Dict[str, Optional[AffineIndex]]] = None,
-) -> Optional[AffineIndex]:
-    """Resolve ``e`` to an affine form over id/loop symbols, or None.
-
-    ``env`` maps variable names to their affine forms (or None for opaque
-    values such as loaded data).
-    """
-    env = env or {}
-    if isinstance(e, ir.Const):
-        if isinstance(e.value, bool) or not isinstance(e.value, (int, float)):
-            return None
-        return AffineIndex(float(e.value))
-    if isinstance(e, ir.GlobalId):
-        return AffineIndex(0.0, {("g", e.dim): 1.0})
-    if isinstance(e, ir.LocalId):
-        return AffineIndex(0.0, {("l", e.dim): 1.0})
-    if isinstance(e, ir.GroupId):
-        return AffineIndex(0.0, {("grp", e.dim): 1.0})
-    if isinstance(e, ir.GlobalSize):
-        return AffineIndex(float(ctx.global_size[e.dim] if e.dim < len(ctx.global_size) else 1))
-    if isinstance(e, ir.LocalSize):
-        return AffineIndex(float(ctx.local_size[e.dim] if e.dim < len(ctx.local_size) else 1))
-    if isinstance(e, ir.NumGroups):
-        return AffineIndex(float(ctx.num_groups[e.dim] if e.dim < len(ctx.num_groups) else 1))
-    if isinstance(e, ir.Var):
-        if e.name in env:
-            return env[e.name]
-        if e.name in ctx.scalars:
-            v = ctx.scalars[e.name]
-            try:
-                return AffineIndex(float(v))
-            except (TypeError, ValueError):
-                return None
-        return None
-    if isinstance(e, ir.Cast):
-        return affine_index(e.operand, ctx, env)
-    if isinstance(e, ir.BinOp):
-        a = affine_index(e.lhs, ctx, env)
-        b = affine_index(e.rhs, ctx, env)
-        if a is None or b is None:
-            return None
-        if e.op == "+":
-            return a + b
-        if e.op == "-":
-            return a - b
-        if e.op == "*":
-            if not a.coeffs:
-                return b.scale(a.const)
-            if not b.coeffs:
-                return a.scale(b.const)
-            return None
-        if e.op in ("/", "//"):
-            # Division stays affine only when dividing a pure constant, or
-            # when a constant divisor divides all coefficients exactly.
-            if not b.coeffs and b.const != 0:
-                d = b.const
-                if not a.coeffs and float(a.const / d).is_integer():
-                    return AffineIndex(a.const / d)
-                if all(float(c / d).is_integer() for c in a.coeffs.values()) and float(
-                    a.const / d
-                ).is_integer():
-                    return a.scale(1.0 / d)
-            return None
-        if e.op == "%":
-            # gid % C is non-affine in general; uniform % uniform is fine.
-            if not a.coeffs and not b.coeffs and b.const != 0:
-                return AffineIndex(float(math.fmod(a.const, b.const)))
-            return None
-        if e.op == "<<" and not b.coeffs:
-            return a.scale(float(2 ** int(b.const)))
-        return None
-    if isinstance(e, ir.UnOp) and e.op == "neg":
-        a = affine_index(e.operand, ctx, env)
-        return a.scale(-1.0) if a is not None else None
-    return None
-
-
-def _uniform_value(e: ir.Expr, ctx: LaunchContext, env) -> Optional[float]:
-    a = affine_index(e, ctx, env)
-    if a is None:
-        return None
-    if a.coeffs:
-        return None
-    return a.const
 
 
 # ---------------------------------------------------------------------------

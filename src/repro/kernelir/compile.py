@@ -859,8 +859,14 @@ class _Codegen:
         counters) whose variables are defined before the loop and not
         reassigned inside it.  Guarded by ``trips > 0`` so a zero-trip loop
         evaluates nothing, exactly like the interpreter.
+
+        Loop-variance comes from the shared reaching-definitions pass
+        (:func:`repro.kernelir.dataflow.kernel_reaching_defs`), cached per
+        kernel fingerprint.
         """
-        banned = self._assigned_names(s.body) | {s.var}
+        from .dataflow import kernel_reaching_defs
+
+        banned = kernel_reaching_defs(self.kernel).variant_names(self.kernel, s)
 
         def invariant(e) -> bool:
             if isinstance(e, (ir.Load, ir.LoadLocal)):
@@ -1062,29 +1068,18 @@ def _parallel_ok(kernel, gsize, lsize, scalars) -> bool:
 
     The lockstep engines run each statement for *all* lanes before the
     next, so a lane may observe another lane's earlier global store;
-    chunking breaks that. The static race verifier's R-RACE-GLOBAL rule
-    reports exactly the cross-workitem store/store and store/load overlaps
+    chunking breaks that. The shared dataflow core's R-RACE-GLOBAL facts
+    report exactly the cross-workitem store/store and store/load overlaps
     (plus unprovable scatters) that make this observable, so a launch is
-    chunk-safe iff the rule is clean — and not suppressed, since a
-    suppressed finding is dropped from the report. Barriers, ``__local``
-    arrays and atomics take the serial path outright.
+    chunk-safe iff :func:`repro.kernelir.dataflow.chunk_safety` proves the
+    rule clean — and not suppressed, since a suppressed finding is dropped.
+    Barriers, ``__local`` arrays and atomics take the serial path outright.
+    The proof comes from ``LaunchPlanCache("kernelir.analysis")``, so the
+    verifier, the scheduler and this JIT all consult one analysis run.
     """
-    if (kernel.uses_barrier or kernel.uses_local_memory
-            or kernel.uses_atomics):
-        return False
-    if "R-RACE-GLOBAL" in kernel.suppressions:
-        return False
-    from .analysis import LaunchContext
-    from .verify import verify_launch
+    from .dataflow import chunk_safety
 
-    report = verify_launch(
-        kernel,
-        LaunchContext(gsize, lsize, scalars={
-            k: float(v) for k, v in (scalars or {}).items()
-        }),
-        include_vectorization=False,
-    )
-    return not any(d.rule == "R-RACE-GLOBAL" for d in report.diagnostics)
+    return chunk_safety(kernel, gsize, lsize, scalars).eligible
 
 
 def _slice_frame(frame: _Frame, lo: int, hi: int, counters) -> _Frame:

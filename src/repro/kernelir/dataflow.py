@@ -1,0 +1,1970 @@
+"""Unified dataflow framework over kernel IR: one abstract-interpretation
+core shared by every static consumer in the runtime.
+
+Historically the repo re-derived kernel memory facts four times:
+:mod:`repro.kernelir.verify` had a private affine+interval engine,
+:mod:`repro.kernelir.vectorize` re-scanned for divergence and strides,
+:mod:`repro.kernelir.compile` re-checked fusion/chunk legality, and the
+command scheduler asked the verifier again for chunk safety.  This module
+is now the single home of those analyses:
+
+* **Lattices** — :class:`Interval` (value ranges), :class:`StrideCongruence`
+  (``x = rem (mod m)``, the coalescing/bounds domain), :class:`Divergence`
+  (uniform vs per-workitem), and reaching-definition states
+  (``def``/``maybe``/``undef``) with their ``join``/``widen`` operators.
+* **The affine engine** — :class:`Aff`/:class:`Val`/:class:`Guards` and the
+  fixpoint statement walk (:class:`_Analyzer`), moved verbatim from the
+  verifier: every index is an affine form over workitem symbols
+  ``("l", d)`` / ``("grp", d)`` plus an interval, guards refine symbol
+  ranges, loops are unrolled when small and otherwise walked twice with an
+  iteration symbol (a bounded widening).
+* **Launch-shape facts** — :func:`analyze_launch` returns a cached
+  :class:`KernelDataflow` holding the recorded accesses, barrier positions,
+  race findings, dead-store/uninitialized-read findings, legacy
+  vectorizer facts, and chunk-safety proofs.  Results are cached in
+  ``LaunchPlanCache("kernelir.analysis")`` keyed on
+  ``Kernel.fingerprint()`` + NDRange + analysis-relevant scalars.
+* **Context-free facts** — :func:`kernel_reaching_defs` (cached on the
+  fingerprint alone) powers the uninitialized-private-variable rule and
+  the JIT's loop-invariant hoisting ban list.
+
+Consumers: ``verify.py`` formats :class:`Finding` records as diagnostics,
+``vectorize.py`` reads :attr:`KernelDataflow.control_divergent` and
+:attr:`KernelDataflow.static_global_accesses`, ``compile.py`` consults
+:func:`chunk_safety` and :meth:`ReachingDefs.variant_names`, and
+``minicl.schedule`` counts chunk-eligible launches from the same proofs.
+Everything stays *conservative in the reporting direction*: a finding is
+only emitted when the analysis can argue the defect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import re
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from . import ast as ir
+from ..plancache import LaunchPlanCache
+
+__all__ = [
+    "Access",
+    "Aff",
+    "AffineIndex",
+    "ChunkSafety",
+    "Divergence",
+    "Finding",
+    "Guards",
+    "Interval",
+    "KernelDataflow",
+    "ReachingDefs",
+    "StrideCongruence",
+    "Val",
+    "aff_bounds",
+    "affine_index",
+    "analysis_stats",
+    "analyze_launch",
+    "chunk_safety",
+    "collect_global_accesses",
+    "has_divergent_control_flow",
+    "imul_bounds",
+    "kernel_reaching_defs",
+    "location_sort_key",
+    "reset_analysis_stats",
+    "site",
+    "uniform_value",
+]
+
+_INF = math.inf
+
+#: full unroll is attempted while (trips * enclosing unroll factor) stays
+#: under this cap; beyond it a loop becomes symbolic (body walked twice)
+_MAX_UNROLL_TOTAL = 256
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+_STATS: Dict[str, int] = {
+    "kernels_analyzed": 0,
+    "reachdef_kernels": 0,
+    "interval_iterations": 0,
+    "divergence_iterations": 0,
+    "stride_queries": 0,
+    "reachdef_iterations": 0,
+}
+
+#: kernel fingerprints that went through a chunk-safety proof / passed it
+_CHUNK_CHECKED: set = set()
+_CHUNK_ELIGIBLE: set = set()
+
+
+def analysis_stats() -> dict:
+    """Counters for the shared analysis core, plus the analysis-cache hit
+    rate and the chunk-eligible kernel fraction (distinct fingerprints)."""
+    from .. import plancache
+
+    out = dict(_STATS)
+    fam = plancache.cache_stats().get("kernelir.analysis")
+    out["cache_hit_rate"] = fam["hit_rate"] if fam else 0.0
+    out["chunk_checked"] = len(_CHUNK_CHECKED)
+    out["chunk_eligible"] = len(_CHUNK_ELIGIBLE)
+    out["chunk_eligible_fraction"] = (
+        round(len(_CHUNK_ELIGIBLE) / len(_CHUNK_CHECKED), 4)
+        if _CHUNK_CHECKED else 0.0
+    )
+    return out
+
+
+def reset_analysis_stats() -> None:
+    for k in _STATS:
+        _STATS[k] = 0
+    _CHUNK_CHECKED.clear()
+    _CHUNK_ELIGIBLE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Lattices
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """Closed interval ``[lo, hi]`` over the extended reals.
+
+    ``join`` is the convex hull, ``meet`` the intersection, ``widen`` the
+    classic jump-to-infinity operator used to force termination of loop
+    fixpoints (the statement walk applies a *bounded* variant: loop bounds
+    clamp the widened direction before it escapes to infinity).
+    """
+
+    lo: float = -_INF
+    hi: float = _INF
+
+    @property
+    def empty(self) -> bool:
+        return self.lo > self.hi
+
+    def join(self, o: "Interval") -> "Interval":
+        if self.empty:
+            return o
+        if o.empty:
+            return self
+        return Interval(min(self.lo, o.lo), max(self.hi, o.hi))
+
+    def meet(self, o: "Interval") -> "Interval":
+        return Interval(max(self.lo, o.lo), min(self.hi, o.hi))
+
+    def widen(self, o: "Interval") -> "Interval":
+        """Standard widening: any bound that grew jumps to infinity."""
+        if self.empty:
+            return o
+        if o.empty:
+            return self
+        return Interval(
+            self.lo if o.lo >= self.lo else -_INF,
+            self.hi if o.hi <= self.hi else _INF,
+        )
+
+    def __contains__(self, v: float) -> bool:
+        return self.lo <= v <= self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return math.isinf(self.lo) and self.lo < 0 and math.isinf(self.hi)
+
+
+Interval.TOP = Interval(-_INF, _INF)
+Interval.BOTTOM = Interval(_INF, -_INF)
+
+
+@dataclasses.dataclass(frozen=True)
+class StrideCongruence:
+    """Congruence ``x = rem (mod mod)`` over the integers.
+
+    ``mod == 0`` denotes the single constant ``rem``; ``mod == 1`` is top
+    (any integer).  ``join`` is the standard gcd rule; it is the domain
+    behind coalescing facts ("adjacent workitems touch addresses 4 apart")
+    and modular bounds reasoning.
+    """
+
+    mod: int
+    rem: int
+
+    @classmethod
+    def make(cls, mod: int, rem: int) -> "StrideCongruence":
+        mod = abs(int(mod))
+        rem = int(rem) % mod if mod else int(rem)
+        return cls(mod, rem)
+
+    @classmethod
+    def const(cls, v: int) -> "StrideCongruence":
+        return cls.make(0, v)
+
+    @classmethod
+    def from_aff(cls, aff) -> "StrideCongruence":
+        """Congruence of an affine form's value set: the coefficients'
+        gcd is the modulus, the constant term the residue.  Non-integer
+        coefficients fall to top."""
+        _STATS["stride_queries"] += 1
+        if not float(aff.const).is_integer():
+            return cls.TOP
+        g = 0
+        for c in aff.coeffs.values():
+            if not float(c).is_integer():
+                return cls.TOP
+            g = math.gcd(g, abs(int(c)))
+        return cls.make(g, int(aff.const))
+
+    @property
+    def is_const(self) -> bool:
+        return self.mod == 0
+
+    @property
+    def is_top(self) -> bool:
+        return self.mod == 1
+
+    def join(self, o: "StrideCongruence") -> "StrideCongruence":
+        m = math.gcd(math.gcd(self.mod, o.mod), abs(self.rem - o.rem))
+        if m == 0:  # equal constants
+            return self
+        return StrideCongruence.make(m, self.rem)
+
+    def contains(self, v: int) -> bool:
+        if self.mod == 0:
+            return int(v) == self.rem
+        return int(v) % self.mod == self.rem
+
+
+StrideCongruence.TOP = StrideCongruence(1, 0)
+
+
+@dataclasses.dataclass(frozen=True)
+class Divergence:
+    """Two-point lattice: UNIFORM (same value for every workitem of a
+    workgroup) below VARYING."""
+
+    varying: bool
+
+    def join(self, o: "Divergence") -> "Divergence":
+        return Divergence.VARYING if (self.varying or o.varying) else Divergence.UNIFORM
+
+
+Divergence.UNIFORM = Divergence(False)
+Divergence.VARYING = Divergence(True)
+
+#: reaching-definition states for one variable, ordered by the join
+#: ``def ⊔ undef = maybe`` (``maybe`` is top)
+_RD_JOIN = {
+    ("def", "def"): "def",
+    ("undef", "undef"): "undef",
+}
+
+
+def _rd_join(a: str, b: str) -> str:
+    return _RD_JOIN.get((a, b), "maybe")
+
+
+# ---------------------------------------------------------------------------
+# Affine index forms over id/loop symbols (the timing/vectorizer domain)
+# ---------------------------------------------------------------------------
+
+#: symbolic key types: ("g", d) / ("l", d) / ("grp", d) ids, ("loop", name)
+Key = Tuple[str, object]
+
+
+@dataclasses.dataclass
+class AffineIndex:
+    """``const + sum(coeff[k] * k)`` over id/loop symbols.
+
+    Coefficients are concrete numbers (scalar kernel args and NDRange sizes
+    have been substituted from the launch context).
+    """
+
+    const: float = 0.0
+    coeffs: Dict[Key, float] = dataclasses.field(default_factory=dict)
+
+    def coeff(self, key: Key) -> float:
+        return self.coeffs.get(key, 0.0)
+
+    @property
+    def is_uniform(self) -> bool:
+        """Same value for every workitem (may still vary per loop iteration)."""
+        return all(k[0] == "loop" or c == 0 for k, c in self.coeffs.items())
+
+    @property
+    def vector_stride(self) -> float:
+        """Index stride between *adjacent workitems in dimension 0*.
+
+        Adjacent workitems inside one workgroup differ by +1 in both
+        ``get_global_id(0)`` and ``get_local_id(0)``, so the packet stride a
+        vectorizer sees is the sum of those coefficients.
+        """
+        return self.coeff(("g", 0)) + self.coeff(("l", 0))
+
+    def loop_stride(self, var: str) -> float:
+        return self.coeff(("loop", var))
+
+    def _combine(self, other: "AffineIndex", sign: float) -> "AffineIndex":
+        out = AffineIndex(self.const + sign * other.const, dict(self.coeffs))
+        for k, c in other.coeffs.items():
+            out.coeffs[k] = out.coeffs.get(k, 0.0) + sign * c
+        out.coeffs = {k: c for k, c in out.coeffs.items() if c != 0}
+        return out
+
+    def __add__(self, o):
+        return self._combine(o, 1.0)
+
+    def __sub__(self, o):
+        return self._combine(o, -1.0)
+
+    def scale(self, k: float) -> "AffineIndex":
+        return AffineIndex(self.const * k, {key: c * k for key, c in self.coeffs.items()})
+
+
+def affine_index(
+    e: ir.Expr,
+    ctx,
+    env: Optional[Dict[str, Optional[AffineIndex]]] = None,
+) -> Optional[AffineIndex]:
+    """Resolve ``e`` to an affine form over id/loop symbols, or None.
+
+    ``env`` maps variable names to their affine forms (or None for opaque
+    values such as loaded data).  ``ctx`` is a
+    :class:`repro.kernelir.analysis.LaunchContext`.
+    """
+    env = env or {}
+    if isinstance(e, ir.Const):
+        if isinstance(e.value, bool) or not isinstance(e.value, (int, float)):
+            return None
+        return AffineIndex(float(e.value))
+    if isinstance(e, ir.GlobalId):
+        return AffineIndex(0.0, {("g", e.dim): 1.0})
+    if isinstance(e, ir.LocalId):
+        return AffineIndex(0.0, {("l", e.dim): 1.0})
+    if isinstance(e, ir.GroupId):
+        return AffineIndex(0.0, {("grp", e.dim): 1.0})
+    if isinstance(e, ir.GlobalSize):
+        return AffineIndex(float(ctx.global_size[e.dim] if e.dim < len(ctx.global_size) else 1))
+    if isinstance(e, ir.LocalSize):
+        return AffineIndex(float(ctx.local_size[e.dim] if e.dim < len(ctx.local_size) else 1))
+    if isinstance(e, ir.NumGroups):
+        return AffineIndex(float(ctx.num_groups[e.dim] if e.dim < len(ctx.num_groups) else 1))
+    if isinstance(e, ir.Var):
+        if e.name in env:
+            return env[e.name]
+        if e.name in ctx.scalars:
+            v = ctx.scalars[e.name]
+            try:
+                return AffineIndex(float(v))
+            except (TypeError, ValueError):
+                return None
+        return None
+    if isinstance(e, ir.Cast):
+        return affine_index(e.operand, ctx, env)
+    if isinstance(e, ir.BinOp):
+        a = affine_index(e.lhs, ctx, env)
+        b = affine_index(e.rhs, ctx, env)
+        if a is None or b is None:
+            return None
+        if e.op == "+":
+            return a + b
+        if e.op == "-":
+            return a - b
+        if e.op == "*":
+            if not a.coeffs:
+                return b.scale(a.const)
+            if not b.coeffs:
+                return a.scale(b.const)
+            return None
+        if e.op in ("/", "//"):
+            # Division stays affine only when dividing a pure constant, or
+            # when a constant divisor divides all coefficients exactly.
+            if not b.coeffs and b.const != 0:
+                d = b.const
+                if not a.coeffs and float(a.const / d).is_integer():
+                    return AffineIndex(a.const / d)
+                if all(float(c / d).is_integer() for c in a.coeffs.values()) and float(
+                    a.const / d
+                ).is_integer():
+                    return a.scale(1.0 / d)
+            return None
+        if e.op == "%":
+            # gid % C is non-affine in general; uniform % uniform is fine.
+            if not a.coeffs and not b.coeffs and b.const != 0:
+                return AffineIndex(float(math.fmod(a.const, b.const)))
+            return None
+        if e.op == "<<" and not b.coeffs:
+            return a.scale(float(2 ** int(b.const)))
+        return None
+    if isinstance(e, ir.UnOp) and e.op == "neg":
+        a = affine_index(e.operand, ctx, env)
+        return a.scale(-1.0) if a is not None else None
+    return None
+
+
+def uniform_value(e: ir.Expr, ctx, env) -> Optional[float]:
+    """Concrete value of ``e`` when it is launch-uniform, else None."""
+    a = affine_index(e, ctx, env)
+    if a is None:
+        return None
+    if a.coeffs:
+        return None
+    return a.const
+
+
+# ---------------------------------------------------------------------------
+# Value domain of the statement walk: affine form + interval (+ divergence)
+# ---------------------------------------------------------------------------
+
+#: symbols: ("l", dim) / ("grp", dim) workitem ids, ("loop", token) iteration
+Sym = Tuple[str, object]
+
+
+class Aff:
+    """``const + sum(coeff[s] * s)`` with concrete float coefficients."""
+
+    __slots__ = ("const", "coeffs")
+
+    def __init__(self, const: float = 0.0, coeffs: Optional[Dict[Sym, float]] = None):
+        self.const = float(const)
+        self.coeffs: Dict[Sym, float] = dict(coeffs or {})
+
+    def _combine(self, other: "Aff", sign: float) -> "Aff":
+        out = dict(self.coeffs)
+        for s, c in other.coeffs.items():
+            out[s] = out.get(s, 0.0) + sign * c
+        return Aff(
+            self.const + sign * other.const,
+            {s: c for s, c in out.items() if c != 0.0},
+        )
+
+    def __add__(self, o: "Aff") -> "Aff":
+        return self._combine(o, 1.0)
+
+    def __sub__(self, o: "Aff") -> "Aff":
+        return self._combine(o, -1.0)
+
+    def scale(self, k: float) -> "Aff":
+        if k == 0:
+            return Aff(0.0)
+        return Aff(self.const * k, {s: c * k for s, c in self.coeffs.items()})
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def congruence(self) -> StrideCongruence:
+        """Stride/congruence abstraction of this form's value set."""
+        return StrideCongruence.from_aff(self)
+
+
+class Val:
+    """An expression's abstract value: optional affine form + interval.
+
+    The interval is held as raw ``lo``/``hi`` floats (this is the hot path
+    of the verifier); :attr:`iv` and :attr:`divergence` expose the lattice
+    views for consumers that want them.
+    """
+
+    __slots__ = ("aff", "lo", "hi", "wi")
+
+    def __init__(self, aff: Optional[Aff] = None, lo: float = -_INF,
+                 hi: float = _INF, wi: bool = False):
+        self.aff = aff
+        self.lo = lo
+        self.hi = hi
+        #: varies across workitems of one workgroup
+        self.wi = wi
+
+    @property
+    def iv(self) -> Interval:
+        return Interval(self.lo, self.hi)
+
+    @property
+    def divergence(self) -> Divergence:
+        return Divergence.VARYING if self.wi else Divergence.UNIFORM
+
+
+class Guards:
+    """Active constraints: per-symbol ranges + linear (aff, lo, hi) bounds."""
+
+    __slots__ = ("ranges", "lin")
+
+    def __init__(self, ranges: Dict[Sym, Tuple[float, float]],
+                 lin: Tuple[Tuple[Aff, float, float], ...] = ()):
+        self.ranges = ranges
+        self.lin = lin
+
+
+def aff_bounds(aff: Aff, guards: Guards) -> Tuple[float, float, bool]:
+    """Interval of ``aff`` under ``guards``; third item is False when some
+    linear constraint could not be applied (bounds then over-approximate an
+    already-guarded value)."""
+    lo = hi = aff.const
+    for s, c in aff.coeffs.items():
+        slo, shi = guards.ranges.get(s, (-_INF, _INF))
+        if c >= 0:
+            lo += c * slo
+            hi += c * shi
+        else:
+            lo += c * shi
+            hi += c * slo
+    applied_all = True
+    for ga, glo, ghi in guards.lin:
+        d = aff - ga
+        if d.is_const:
+            lo = max(lo, glo + d.const)
+            hi = min(hi, ghi + d.const)
+        else:
+            applied_all = False
+    return lo, hi, applied_all
+
+
+def imul_bounds(alo, ahi, blo, bhi) -> Tuple[float, float]:
+    cands = []
+    for x in (alo, ahi):
+        for y in (blo, bhi):
+            if (x == 0 and math.isinf(y)) or (y == 0 and math.isinf(x)):
+                cands.append(0.0)
+            else:
+                cands.append(x * y)
+    return min(cands), max(cands)
+
+
+@dataclasses.dataclass
+class Access:
+    """One recorded memory access with its evaluation context."""
+
+    name: str
+    kind: str  # "load" | "store" | "atomic"
+    local: bool
+    val: Val
+    guards: Guards
+    pos: int  # linearization position (barriers share the counter)
+    loc: str
+
+
+_ITER_MARK = re.compile(r"[=~][-\d]+")
+
+
+def site(loc: str) -> str:
+    """Location with unroll-iteration markers removed (for deduplication)."""
+    return _ITER_MARK.sub("", loc)
+
+
+_NAT_SPLIT = re.compile(r"(\d+)")
+
+
+def location_sort_key(loc: str) -> Tuple:
+    """Natural-order sort key for AST locations: numeric path components
+    compare as integers, so ``body[2]`` sorts before ``body[10]``."""
+    return tuple(
+        (0, int(t)) if t.isdigit() else (1, t)
+        for t in _NAT_SPLIT.split(loc)
+        if t
+    )
+
+
+_NEG_OP = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+_MIRROR_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One structured analysis finding (kernel-name-free; the verifier
+    attaches the kernel when formatting diagnostics)."""
+
+    severity: str  # "error" | "warning" | "note"
+    rule: str  # e.g. "R-RACE-GLOBAL"
+    location: str  # AST path with unroll markers removed
+    message: str
+    hint: str = ""
+
+
+class _Emitter:
+    """Deduplicating sink for findings (same key semantics the verifier
+    used: explicit key per rule, else (rule, severity, site, message))."""
+
+    def __init__(self):
+        self.findings: List[Finding] = []
+        self._keys: set = set()
+
+    def emit(self, severity: str, rule: str, loc: str, message: str,
+             hint: str = "", key: object = None) -> None:
+        k = (rule, key) if key is not None else (rule, severity, site(loc), message)
+        if k in self._keys:
+            return
+        self._keys.add(k)
+        self.findings.append(Finding(severity, rule, site(loc), message, hint))
+
+
+# ---------------------------------------------------------------------------
+# The statement walk (fixpoint abstract interpretation)
+# ---------------------------------------------------------------------------
+
+
+class _Analyzer:
+    """Walks a kernel body once for a concrete launch shape, recording
+    every memory access with its abstract index value and emitting the
+    walk-time findings (divergent barriers, division by zero, shift
+    range).  Rule methods over the recorded accesses live here too; the
+    :class:`KernelDataflow` wrapper decides which to run and caches the
+    results."""
+
+    def __init__(self, kernel: ir.Kernel, ctx):
+        self.kernel = kernel
+        self.ctx = ctx
+        self.em = _Emitter()
+        self.accesses: List[Access] = []
+        self.barriers: List[int] = []
+        self.pos = 0
+        self.used: set = set()
+        self.wi_loops: set = set()
+        self._loop_id = 0
+        self._unroll_scale = 1
+
+        self.base_ranges: Dict[Sym, Tuple[float, float]] = {}
+        for d, g in enumerate(ctx.global_size):
+            l = ctx.local_size[d] if d < len(ctx.local_size) else 1
+            l = max(1, int(l))
+            ngr = max(1, int(g) // l)
+            self.base_ranges[("l", d)] = (0.0, float(l - 1))
+            self.base_ranges[("grp", d)] = (0.0, float(ngr - 1))
+        self.scalar_names = {p.name for p in kernel.scalar_params}
+        self.local_sizes = {a.name: a.size for a in kernel.local_arrays}
+
+    # -- value helpers ------------------------------------------------------
+    def _wi_of_aff(self, aff: Aff) -> bool:
+        for s, c in aff.coeffs.items():
+            if c == 0:
+                continue
+            if s[0] == "l":
+                lo, hi = self.base_ranges.get(s, (0.0, 0.0))
+                if hi > lo:
+                    return True
+            elif s[0] == "loop" and s in self.wi_loops:
+                return True
+        return False
+
+    def _val_from_aff(self, aff: Aff, guards: Guards) -> Val:
+        lo, hi, _ = aff_bounds(aff, guards)
+        return Val(aff, lo, hi, self._wi_of_aff(aff))
+
+    @staticmethod
+    def _union(a: Optional[Val], b: Optional[Val], extra_wi: bool) -> Val:
+        if a is None and b is None:
+            return Val(wi=extra_wi)
+        if a is None or b is None:
+            v = a if a is not None else b
+            return Val(v.aff, v.lo, v.hi, v.wi or extra_wi)
+        aff = None
+        if (a.aff is not None and b.aff is not None
+                and a.aff.const == b.aff.const and a.aff.coeffs == b.aff.coeffs):
+            aff = a.aff
+        j = a.iv.join(b.iv)
+        return Val(aff, j.lo, j.hi, a.wi or b.wi or extra_wi)
+
+    # -- expression evaluation ---------------------------------------------
+    def _eval(self, e: ir.Expr, env: Dict[str, Val], guards: Guards,
+              loc: str, record: bool = True) -> Val:
+        # dispatch ordered by dynamic frequency: big kernels are mostly
+        # BinOp/Const/Var leaves, the id/size queries are rare
+        if isinstance(e, ir.BinOp):
+            return self._eval_binop(e, env, guards, loc, record)
+        if isinstance(e, ir.Const):
+            if isinstance(e.value, bool):
+                return Val(None, 0.0, 1.0)
+            if isinstance(e.value, (int, float)):
+                v = float(e.value)
+                return Val(Aff(v), v, v)
+            return Val()
+        if isinstance(e, ir.Var):
+            if e.name in self.scalar_names:
+                self.used.add(e.name)
+            if e.name in env:
+                return env[e.name]
+            if e.name in self.ctx.scalars:
+                try:
+                    v = float(self.ctx.scalars[e.name])
+                except (TypeError, ValueError):
+                    return Val()
+                return Val(Aff(v), v, v)
+            return Val()
+        if isinstance(e, ir.GlobalId):
+            d = e.dim
+            if d >= len(self.ctx.global_size):
+                return Val(Aff(0.0), 0.0, 0.0)
+            l = self.ctx.local_size[d] if d < len(self.ctx.local_size) else 1
+            aff = Aff(0.0, {("grp", d): float(max(1, l)), ("l", d): 1.0})
+            return self._val_from_aff(aff, guards)
+        if isinstance(e, ir.LocalId):
+            if e.dim >= len(self.ctx.global_size):
+                return Val(Aff(0.0), 0.0, 0.0)
+            return self._val_from_aff(Aff(0.0, {("l", e.dim): 1.0}), guards)
+        if isinstance(e, ir.GroupId):
+            if e.dim >= len(self.ctx.global_size):
+                return Val(Aff(0.0), 0.0, 0.0)
+            return self._val_from_aff(Aff(0.0, {("grp", e.dim): 1.0}), guards)
+        if isinstance(e, ir.GlobalSize):
+            v = float(self.ctx.global_size[e.dim]) if e.dim < len(self.ctx.global_size) else 1.0
+            return Val(Aff(v), v, v)
+        if isinstance(e, ir.LocalSize):
+            v = float(self.ctx.local_size[e.dim]) if e.dim < len(self.ctx.local_size) else 1.0
+            return Val(Aff(v), v, v)
+        if isinstance(e, ir.NumGroups):
+            ng = self.ctx.num_groups
+            v = float(ng[e.dim]) if e.dim < len(ng) else 1.0
+            return Val(Aff(v), v, v)
+        if isinstance(e, ir.Cast):
+            v = self._eval(e.operand, env, guards, loc, record)
+            if not e.dtype.is_float:
+                lo = math.floor(v.lo) if math.isfinite(v.lo) else v.lo
+                hi = math.ceil(v.hi) if math.isfinite(v.hi) else v.hi
+                return Val(v.aff, lo, hi, v.wi)
+            return v
+        if isinstance(e, ir.UnOp):
+            v = self._eval(e.operand, env, guards, loc, record)
+            if e.op == "neg":
+                return Val(v.aff.scale(-1.0) if v.aff is not None else None,
+                           -v.hi, -v.lo, v.wi)
+            return Val(None, 0.0, 1.0, v.wi)
+        if isinstance(e, ir.Call):
+            wi = False
+            for a in e.args:
+                wi = self._eval(a, env, guards, loc, record).wi or wi
+            return Val(None, -_INF, _INF, wi)
+        if isinstance(e, ir.Select):
+            c = self._eval(e.cond, env, guards, loc, record)
+            a = self._eval(e.if_true, env, guards, loc, record)
+            b = self._eval(e.if_false, env, guards, loc, record)
+            u = self._union(a, b, c.wi)
+            return u
+        if isinstance(e, ir.Load):
+            idx = self._eval(e.index, env, guards, loc, record)
+            if record:
+                self.used.add(e.buffer)
+                self._record(e.buffer, "load", False, idx, guards, loc)
+            return Val(None, -_INF, _INF, idx.wi)
+        if isinstance(e, ir.LoadLocal):
+            idx = self._eval(e.index, env, guards, loc, record)
+            if record:
+                self._record(e.array, "load", True, idx, guards, loc)
+            return Val(None, -_INF, _INF, idx.wi)
+        return Val()
+
+    def _eval_binop(self, e: ir.BinOp, env, guards, loc, record) -> Val:
+        a = self._eval(e.lhs, env, guards, loc, record)
+        b = self._eval(e.rhs, env, guards, loc, record)
+        op = e.op
+        wi = a.wi or b.wi
+        if record:
+            if op in ("/", "//", "%"):
+                self._check_div_zero(e, b, loc)
+            elif op in ("<<", ">>"):
+                self._check_shift_range(e, b, loc)
+        if op in ir.CMP_OPS or op in ("and", "or"):
+            return Val(None, 0.0, 1.0, wi)
+        if op == "+":
+            aff = a.aff + b.aff if (a.aff is not None and b.aff is not None) else None
+            if aff is not None:
+                return self._val_from_aff(aff, guards)
+            return Val(None, a.lo + b.lo, a.hi + b.hi, wi)
+        if op == "-":
+            aff = a.aff - b.aff if (a.aff is not None and b.aff is not None) else None
+            if aff is not None:
+                return self._val_from_aff(aff, guards)
+            return Val(None, a.lo - b.hi, a.hi - b.lo, wi)
+        if op == "*":
+            if a.aff is not None and b.aff is not None:
+                if a.aff.is_const:
+                    return self._val_from_aff(b.aff.scale(a.aff.const), guards)
+                if b.aff.is_const:
+                    return self._val_from_aff(a.aff.scale(b.aff.const), guards)
+            lo, hi = imul_bounds(a.lo, a.hi, b.lo, b.hi)
+            return Val(None, lo, hi, wi)
+        if op in ("/", "//"):
+            if b.aff is not None and b.aff.is_const and b.aff.const != 0:
+                k = b.aff.const
+                if a.aff is not None:
+                    scaled = a.aff.scale(1.0 / k)
+                    if (float(scaled.const).is_integer()
+                            and all(float(c).is_integer() for c in scaled.coeffs.values())):
+                        return self._val_from_aff(scaled, guards)
+                if e.dtype.is_float:
+                    lo, hi = imul_bounds(a.lo, a.hi, 1.0 / k, 1.0 / k)
+                    return Val(None, lo, hi, wi)
+                if k > 0:
+                    lo = math.floor(a.lo / k) if math.isfinite(a.lo) else a.lo
+                    hi = math.floor(a.hi / k) if math.isfinite(a.hi) else a.hi
+                    return Val(None, lo, hi, wi)
+            return Val(None, -_INF, _INF, wi)
+        if op == "%":
+            if b.aff is not None and b.aff.is_const and b.aff.const > 0:
+                k = b.aff.const
+                hi = k - 1 if not e.dtype.is_float else k
+                return Val(None, 0.0, hi, wi)
+            return Val(None, -_INF, _INF, wi)
+        if op == "min":
+            aff = None
+            if (a.aff is not None and b.aff is not None
+                    and a.aff.const == b.aff.const and a.aff.coeffs == b.aff.coeffs):
+                aff = a.aff
+            return Val(aff, min(a.lo, b.lo), min(a.hi, b.hi), wi)
+        if op == "max":
+            aff = None
+            if (a.aff is not None and b.aff is not None
+                    and a.aff.const == b.aff.const and a.aff.coeffs == b.aff.coeffs):
+                aff = a.aff
+            return Val(aff, max(a.lo, b.lo), max(a.hi, b.hi), wi)
+        if op == "&":
+            for x, y in ((a, b), (b, a)):
+                if y.aff is not None and y.aff.is_const and y.aff.const >= 0:
+                    return Val(None, 0.0, y.aff.const, wi)
+            return Val(None, -_INF, _INF, wi)
+        if op in ("|", "^"):
+            if a.lo >= 0 and b.lo >= 0:
+                return Val(None, 0.0, _INF, wi)
+            return Val(None, -_INF, _INF, wi)
+        if op == "<<":
+            if b.aff is not None and b.aff.is_const and b.aff.const >= 0:
+                f = float(2 ** int(b.aff.const))
+                if a.aff is not None:
+                    return self._val_from_aff(a.aff.scale(f), guards)
+                return Val(None, a.lo * f, a.hi * f, wi)
+            return Val(None, -_INF, _INF, wi)
+        if op == ">>":
+            if b.aff is not None and b.aff.is_const and b.aff.const >= 0:
+                f = float(2 ** int(b.aff.const))
+                if a.aff is not None:
+                    scaled = a.aff.scale(1.0 / f)
+                    if (float(scaled.const).is_integer()
+                            and all(float(c).is_integer() for c in scaled.coeffs.values())):
+                        return self._val_from_aff(scaled, guards)
+                lo = math.floor(a.lo / f) if math.isfinite(a.lo) else a.lo
+                hi = math.floor(a.hi / f) if math.isfinite(a.hi) else a.hi
+                return Val(None, lo, hi, wi)
+            return Val(None, -_INF, _INF, wi)
+        return Val(None, -_INF, _INF, wi)
+
+    # -- dataflow-only value checks (R-DIV-ZERO / R-SHIFT-RANGE) ------------
+    def _check_div_zero(self, e: ir.BinOp, b: Val, loc: str) -> None:
+        opname = "modulo" if e.op == "%" else "division"
+        certain = ((b.aff is not None and b.aff.is_const and b.aff.const == 0.0)
+                   or (b.lo == 0.0 and b.hi == 0.0))
+        if certain:
+            self.em.emit(
+                "error" if not e.dtype.is_float else "warning",
+                "R-DIV-ZERO", loc,
+                f"{opname} by zero: the divisor is always 0 at this launch",
+                hint="guard the division or fix the divisor expression",
+                key=("divzero", e.op, site(loc)),
+            )
+        elif (not e.dtype.is_float and b.lo <= 0.0 <= b.hi
+              and (math.isfinite(b.lo) or math.isfinite(b.hi))):
+            # only with actual interval evidence — a fully opaque divisor
+            # stays silent (conservative in the reporting direction)
+            lo = int(b.lo) if math.isfinite(b.lo) else b.lo
+            hi = int(b.hi) if math.isfinite(b.hi) else b.hi
+            self.em.emit(
+                "warning", "R-DIV-ZERO", loc,
+                f"integer {opname} divisor may be zero "
+                f"(its range [{lo}, {hi}] contains 0)",
+                hint="exclude 0 from the divisor's range (e.g. start the "
+                     "loop at 1, or guard with an if)",
+                key=("divzero", e.op, site(loc)),
+            )
+
+    def _check_shift_range(self, e: ir.BinOp, b: Val, loc: str) -> None:
+        if e.dtype.is_float:
+            return
+        width = e.dtype.itemsize * 8
+        if b.hi < 0 or b.lo >= width:
+            self.em.emit(
+                "warning", "R-SHIFT-RANGE", loc,
+                f"shift amount is always outside [0, {width}) for this "
+                f"{width}-bit operand (undefined behaviour in OpenCL C)",
+                hint="mask the shift amount or widen the operand type",
+                key=("shift", site(loc)),
+            )
+        elif ((b.lo < 0 and math.isfinite(b.lo))
+              or (b.hi >= width and math.isfinite(b.hi))):
+            self.em.emit(
+                "note", "R-SHIFT-RANGE", loc,
+                f"shift amount range [{b.lo:g}, {b.hi:g}] can leave [0, "
+                f"{width}) for this {width}-bit operand",
+                hint="mask the shift amount or tighten its bounds",
+                key=("shift", site(loc)),
+            )
+
+    # -- guard refinement ---------------------------------------------------
+    def _refine(self, guards: Guards, cond: ir.Expr, polarity: bool,
+                env: Dict[str, Val]) -> Guards:
+        ranges = dict(guards.ranges)
+        lin = list(guards.lin)
+        self._apply_cond(cond, polarity, env, guards, ranges, lin)
+        return Guards(ranges, tuple(lin))
+
+    def _apply_cond(self, cond, pol, env, guards, ranges, lin) -> None:
+        if isinstance(cond, ir.UnOp) and cond.op == "not":
+            self._apply_cond(cond.operand, not pol, env, guards, ranges, lin)
+            return
+        if isinstance(cond, ir.BinOp) and cond.op in ("and", "or"):
+            # a conjunction (taken "and", or refuted "or") refines both sides
+            if (cond.op == "and") == pol:
+                self._apply_cond(cond.lhs, pol, env, guards, ranges, lin)
+                self._apply_cond(cond.rhs, pol, env, guards, ranges, lin)
+            return
+        if not (isinstance(cond, ir.BinOp) and cond.op in ir.CMP_OPS):
+            return
+        op = cond.op if pol else _NEG_OP[cond.op]
+        if op == "!=":
+            return
+        a = self._eval(cond.lhs, env, guards, "", record=False)
+        b = self._eval(cond.rhs, env, guards, "", record=False)
+        if a.aff is not None and not a.aff.is_const:
+            if b.aff is not None and b.aff.is_const:
+                self._constrain(a.aff, op, b.aff.const, b.aff.const, ranges, lin)
+            elif b.aff is not None:
+                self._constrain(a.aff - b.aff, op, 0.0, 0.0, ranges, lin)
+            else:
+                # affine vs interval: use the interval's endpoints
+                self._constrain(a.aff, op, b.lo, b.hi, ranges, lin)
+        elif b.aff is not None and not b.aff.is_const:
+            m = _MIRROR_OP[op]
+            if a.aff is not None and a.aff.is_const:
+                self._constrain(b.aff, m, a.aff.const, a.aff.const, ranges, lin)
+            else:
+                self._constrain(b.aff, m, a.lo, a.hi, ranges, lin)
+
+    def _constrain(self, aff: Aff, op: str, klo: float, khi: float,
+                   ranges, lin) -> None:
+        """Record ``aff op [klo, khi]`` as a bound ``lo <= aff <= hi``."""
+        if op == "<":
+            lo, hi = -_INF, khi - 1
+        elif op == "<=":
+            lo, hi = -_INF, khi
+        elif op == ">":
+            lo, hi = klo + 1, _INF
+        elif op == ">=":
+            lo, hi = klo, _INF
+        elif op == "==":
+            if klo != khi:
+                return
+            lo, hi = klo, khi
+        else:
+            return
+        if len(aff.coeffs) == 1:
+            (sym, c), = aff.coeffs.items()
+            if c != 0:
+                slo, shi = ranges.get(sym, (-_INF, _INF))
+                l2 = (lo - aff.const) / c
+                h2 = (hi - aff.const) / c
+                if c < 0:
+                    l2, h2 = h2, l2
+                if math.isfinite(l2):
+                    slo = max(slo, math.ceil(l2 - 1e-9))
+                if math.isfinite(h2):
+                    shi = min(shi, math.floor(h2 + 1e-9))
+                ranges[sym] = (slo, shi)
+                return
+        lin.append((Aff(aff.const, aff.coeffs), lo, hi))
+
+    # -- statement walk -----------------------------------------------------
+    def run(self) -> None:
+        env: Dict[str, Val] = {}
+        guards = Guards(dict(self.base_ranges), ())
+        self._walk_body(self.kernel.body, env, guards, "body", None)
+
+    def _record(self, name, kind, local, idxval, guards, loc) -> None:
+        self.accesses.append(Access(name, kind, local, idxval, guards, self.pos, loc))
+        self.pos += 1
+
+    def _walk_body(self, body, env, guards, path, div) -> None:
+        for i, s in enumerate(body):
+            self._walk_stmt(s, env, guards, f"{path}[{i}]", div)
+
+    def _walk_stmt(self, s, env, guards, loc, div) -> None:
+        if isinstance(s, ir.Assign):
+            env[s.name] = self._eval(s.value, env, guards, loc)
+        elif isinstance(s, (ir.Store, ir.AtomicAdd)):
+            idx = self._eval(s.index, env, guards, loc)
+            self._eval(s.value, env, guards, loc)
+            self.used.add(s.buffer)
+            kind = "store" if isinstance(s, ir.Store) else "atomic"
+            self._record(s.buffer, kind, False, idx, guards, loc)
+        elif isinstance(s, (ir.StoreLocal, ir.AtomicAddLocal)):
+            idx = self._eval(s.index, env, guards, loc)
+            self._eval(s.value, env, guards, loc)
+            kind = "store" if isinstance(s, ir.StoreLocal) else "atomic"
+            self._record(s.array, kind, True, idx, guards, loc)
+        elif isinstance(s, ir.Barrier):
+            if div == "loop":
+                self.em.emit(
+                    "error", "R-BARRIER-DIV", loc,
+                    "barrier inside a loop whose trip count varies across "
+                    "workitems of one workgroup (OpenCL undefined behaviour: "
+                    "some workitems would execute fewer barriers)",
+                    hint="hoist the barrier out of the divergent loop, or "
+                         "make the loop bounds uniform per workgroup",
+                )
+            elif div:
+                self.em.emit(
+                    "error", "R-BARRIER-DIV", loc,
+                    "barrier under control flow whose condition varies across "
+                    "workitems of one workgroup (OpenCL undefined behaviour: "
+                    "some workitems would skip the barrier)",
+                    hint="hoist the barrier out of the divergent if/for, or "
+                         "make the condition uniform per workgroup",
+                )
+            self.barriers.append(self.pos)
+            self.pos += 1
+        elif isinstance(s, ir.If):
+            cond = self._eval(s.cond, env, guards, loc)
+            if cond.wi:
+                _STATS["divergence_iterations"] += 1
+            g_then = self._refine(guards, s.cond, True, env)
+            env_then = dict(env)
+            self._walk_body(s.then_body, env_then, g_then, loc + "/then",
+                            div or ("if" if cond.wi else None))
+            env_else = dict(env)
+            if s.else_body:
+                g_else = self._refine(guards, s.cond, False, env)
+                self._walk_body(s.else_body, env_else, g_else, loc + "/else",
+                                div or ("if" if cond.wi else None))
+            for name in set(env_then) | set(env_else):
+                a = env_then.get(name, env.get(name))
+                b = env_else.get(name, env.get(name))
+                env[name] = self._union(a, b, cond.wi)
+        elif isinstance(s, ir.For):
+            self._walk_for(s, env, guards, loc, div)
+
+    def _walk_for(self, s: ir.For, env, guards, loc, div) -> None:
+        start = self._eval(s.start, env, guards, loc)
+        stop = self._eval(s.stop, env, guards, loc)
+        step = self._eval(s.step, env, guards, loc)
+        wi_bounds = start.wi or stop.wi or step.wi
+        if wi_bounds:
+            _STATS["divergence_iterations"] += 1
+        trips: Optional[int] = None
+        c0 = c1 = st = 0.0
+        if (start.aff is not None and start.aff.is_const
+                and stop.aff is not None and stop.aff.is_const
+                and step.aff is not None and step.aff.is_const
+                and step.aff.const != 0):
+            c0, c1, st = start.aff.const, stop.aff.const, step.aff.const
+            if st > 0:
+                trips = max(0, math.ceil((c1 - c0) / st))
+            else:
+                trips = max(0, math.ceil((c0 - c1) / -st))
+            trips = int(trips)
+        if trips == 0:
+            return
+        if trips is None and self._certainly_zero_trip(start, stop, step):
+            # the bounds provably cross: the body is unreachable, so no
+            # accesses are recorded and no diagnostics can fire inside it
+            return
+        saved = env.get(s.var)
+
+        if trips is not None and trips * self._unroll_scale <= _MAX_UNROLL_TOTAL:
+            self._unroll_scale *= trips
+            _STATS["interval_iterations"] += trips
+            for t in range(trips):
+                v = c0 + t * st
+                env[s.var] = Val(Aff(v), v, v, False)
+                self._walk_body(s.body, env, guards,
+                                f"{loc}/for[{s.var}={int(v)}]", div or ("loop" if wi_bounds else None))
+            self._unroll_scale //= trips
+        else:
+            self._loop_id += 1
+            sym: Sym = ("loop", f"{s.var}#{self._loop_id}")
+            ranges = dict(guards.ranges)
+            ranges[sym] = (0.0, self._iter_bound(trips, start, stop, step))
+            g2 = Guards(ranges, guards.lin)
+            if wi_bounds:
+                self.wi_loops.add(sym)
+            if (start.aff is not None and step.aff is not None
+                    and step.aff.is_const and step.aff.const != 0):
+                aff = start.aff + Aff(0.0, {sym: step.aff.const})
+                var_val = self._val_from_aff(aff, g2)
+                if wi_bounds:
+                    var_val.wi = True
+            else:
+                var_val = self._loop_var_interval(s, start, stop, step, wi_bounds)
+            env[s.var] = var_val
+            reps = 1 if trips == 1 else 2
+            self._unroll_scale *= reps
+            _STATS["interval_iterations"] += reps
+            for r in range(reps):
+                self._walk_body(s.body, env, g2, f"{loc}/for[{s.var}~{r}]",
+                                div or ("loop" if wi_bounds else None))
+            self._unroll_scale //= reps
+        if saved is not None:
+            env[s.var] = saved
+        else:
+            env.pop(s.var, None)
+
+    @staticmethod
+    def _certainly_zero_trip(start: Val, stop: Val, step: Val) -> bool:
+        """True when the loop provably runs zero times even though its
+        bounds are not all constant (negative-stride and symbolic-bound
+        loops used to widen to top and emit diagnostics for unreachable
+        bodies)."""
+        step_pos = step.lo > 0
+        step_neg = step.hi < 0
+        if start.aff is not None and stop.aff is not None:
+            d = stop.aff - start.aff
+            if d.is_const:
+                if step_pos and d.const <= 0:
+                    return True
+                if step_neg and d.const >= 0:
+                    return True
+        if step_pos and start.lo >= stop.hi:
+            return True
+        if step_neg and start.hi <= stop.lo:
+            return True
+        return False
+
+    @staticmethod
+    def _iter_bound(trips: Optional[int], start: Val, stop: Val, step: Val) -> float:
+        """Upper bound for the iteration symbol of a symbolic loop."""
+        if trips is not None:
+            return float(trips - 1)
+        if step.aff is not None and step.aff.is_const and step.aff.const != 0:
+            st = step.aff.const
+            if st > 0 and math.isfinite(stop.hi) and math.isfinite(start.lo):
+                return max(0.0, math.ceil((stop.hi - start.lo) / st) - 1)
+            if st < 0 and math.isfinite(start.hi) and math.isfinite(stop.lo):
+                return max(0.0, math.ceil((start.hi - stop.lo) / -st) - 1)
+        return _INF
+
+    @staticmethod
+    def _loop_var_interval(s: ir.For, start: Val, stop: Val, step: Val,
+                           wi_bounds: bool) -> Val:
+        """Interval of a symbolic loop variable whose bounds have no affine
+        form: a bounded widening clamped by the travel direction, instead
+        of the old widen-to-top for any negative or unknown-sign step."""
+        try:
+            is_float = s.start.dtype.is_float or s.stop.dtype.is_float
+        except AttributeError:  # pragma: no cover - exprs always carry dtypes
+            is_float = False
+        eps = 0.0 if is_float else 1.0
+        if step.lo >= 0:  # counting up (the pre-existing rule)
+            lo = start.lo
+            hi = max(start.hi, stop.hi - eps)
+        elif step.hi < 0:  # certainly counting down: var stays in (stop, start]
+            lo = stop.lo + eps
+            hi = start.hi
+        else:  # unknown step sign: hull of both directions
+            lo = min(start.lo, stop.lo)
+            hi = max(start.hi, stop.hi)
+        return Val(None, lo, hi, wi_bounds or start.wi or stop.wi)
+
+    # -- race machinery -----------------------------------------------------
+    def _sym_size(self, sym: Sym, guards: Guards) -> float:
+        lo, hi = guards.ranges.get(sym, (-_INF, _INF))
+        if math.isinf(lo) or math.isinf(hi):
+            return _INF
+        return max(0.0, hi - lo + 1)
+
+    def _self_race(self, aff: Aff, guards: Guards, wi_kinds: Tuple[str, ...],
+                   fixed_kinds: Tuple[str, ...] = ()) -> bool:
+        """True when two *different* workitems can produce the same index."""
+        for sym in self.base_ranges:
+            if sym[0] not in wi_kinds:
+                continue
+            if self._sym_size(sym, guards) <= 1:
+                continue
+            if aff.coeffs.get(sym, 0.0) == 0.0:
+                return True  # several active items share every index value
+        entries = []
+        for sym, c in aff.coeffs.items():
+            if c == 0 or sym[0] in fixed_kinds:
+                continue
+            n = self._sym_size(sym, guards)
+            if n <= 1:
+                continue
+            entries.append((abs(c), n, sym[0] in wi_kinds))
+        entries.sort(key=lambda t: t[0])
+        span = 0.0
+        for c, n, is_wi in entries:
+            if is_wi and span >= c:
+                return True  # smaller terms can bridge the gap between items
+            span = _INF if math.isinf(n) else span + c * (n - 1)
+        return False
+
+    def _union_guards(self, g1: Guards, g2: Guards) -> Guards:
+        ranges = {}
+        for sym in set(g1.ranges) | set(g2.ranges):
+            l1, h1 = g1.ranges.get(sym, (-_INF, _INF))
+            l2, h2 = g2.ranges.get(sym, (-_INF, _INF))
+            ranges[sym] = (min(l1, l2), max(h1, h2))
+        return Guards(ranges, ())
+
+    def _pair_conflict(self, a: Access, b: Access,
+                       wi_kinds: Tuple[str, ...],
+                       fixed_kinds: Tuple[str, ...] = ()) -> bool:
+        """Can workitem i's access ``a`` alias workitem j's access ``b``, i != j?"""
+        fa, fb = a.val.aff, b.val.aff
+        if fa is not None and fb is not None:
+            d = fa - fb
+            if d.is_const and d.const == 0.0:
+                # identical index functions: aliasing needs non-injectivity
+                return self._self_race(fa, self._union_guards(a.guards, b.guards),
+                                       wi_kinds, fixed_kinds)
+            # gcd feasibility of  f(i) - g(j) = 0  over independent symbol
+            # copies (symbols of fixed kinds are shared between i and j and
+            # enter via their coefficient difference)
+            coeffs: List[float] = []
+            shared: Dict[Sym, float] = {}
+            feasible_test = True
+            for src, sign in ((fa, 1.0), (fb, -1.0)):
+                for sym, c in src.coeffs.items():
+                    if sym[0] in fixed_kinds:
+                        shared[sym] = shared.get(sym, 0.0) + sign * c
+                    else:
+                        coeffs.append(c)
+            coeffs += [c for c in shared.values() if c != 0.0]
+            ints = []
+            for c in coeffs:
+                if not float(c).is_integer():
+                    feasible_test = False
+                    break
+                ints.append(abs(int(c)))
+            delta = fb.const - fa.const
+            if feasible_test and float(delta).is_integer() and ints:
+                g = 0
+                for c in ints:
+                    g = math.gcd(g, c)
+                if g > 1 and int(delta) % g != 0:
+                    return False
+        # interval disjointness under each access's own guards
+        if a.val.hi < b.val.lo or b.val.hi < a.val.lo:
+            return False
+        return True
+
+    def _barrier_between(self, p1: int, p2: int) -> bool:
+        i = bisect_right(self.barriers, p1)
+        return i < len(self.barriers) and self.barriers[i] < p2
+
+    # -- rules over the recorded accesses ------------------------------------
+    def rule_flags(self, em: _Emitter, buffer_flags: Dict[str, str]) -> None:
+        for acc in self.accesses:
+            if acc.local:
+                continue
+            flags = buffer_flags.get(acc.name)
+            if flags is None:
+                continue
+            if acc.kind in ("store", "atomic") and "w" not in flags:
+                em.emit(
+                    "error", "R-FLAGS", acc.loc,
+                    f"kernel writes buffer {acc.name!r} created with "
+                    f"mem_flags.READ_ONLY",
+                    hint="allocate the buffer READ_WRITE/WRITE_ONLY, or drop "
+                         "the store",
+                    key=(acc.name, "w"),
+                )
+            if acc.kind == "load" and "r" not in flags:
+                em.emit(
+                    "error", "R-FLAGS", acc.loc,
+                    f"kernel reads buffer {acc.name!r} created with "
+                    f"mem_flags.WRITE_ONLY",
+                    hint="allocate the buffer READ_WRITE/READ_ONLY, or drop "
+                         "the load",
+                    key=(acc.name, "r"),
+                )
+
+    def rule_oob(self, em: _Emitter, buffer_sizes: Dict[str, int]) -> None:
+        for acc in self.accesses:
+            size = (self.local_sizes.get(acc.name) if acc.local
+                    else buffer_sizes.get(acc.name))
+            if size is None:
+                continue
+            lo, hi = acc.val.lo, acc.val.hi
+            what = f"local array {acc.name!r}" if acc.local else f"buffer {acc.name!r}"
+            if acc.val.aff is not None:
+                _, _, exact = aff_bounds(acc.val.aff, acc.guards)
+                if (exact and math.isfinite(lo) and math.isfinite(hi)
+                        and (lo < 0 or hi >= size)):
+                    em.emit(
+                        "error", "R-OOB", acc.loc,
+                        f"index range [{int(lo)}, {int(hi)}] of {what} escapes "
+                        f"[0, {size}) at this launch size",
+                        hint="guard the access with the buffer length or fix "
+                             "the index arithmetic",
+                        key=(acc.name, site(acc.loc)),
+                    )
+            elif hi < 0 or lo >= size:
+                em.emit(
+                    "error", "R-OOB", acc.loc,
+                    f"index interval [{lo:g}, {hi:g}] of {what} lies entirely "
+                    f"outside [0, {size})",
+                    hint="fix the index arithmetic",
+                    key=(acc.name, site(acc.loc)),
+                )
+
+    def rule_global_races(self, em: _Emitter) -> None:
+        by_buf: Dict[str, List[Access]] = {}
+        for a in self.accesses:
+            if not a.local:
+                by_buf.setdefault(a.name, []).append(a)
+        wi = ("l", "grp")
+        for buf, accs in by_buf.items():
+            stores = [a for a in accs if a.kind == "store"]
+            atomics = [a for a in accs if a.kind == "atomic"]
+            loads = [a for a in accs if a.kind == "load"]
+            for s in stores:
+                if s.val.aff is None:
+                    em.emit(
+                        "warning", "R-RACE-GLOBAL", s.loc,
+                        f"cannot prove the scatter store to {buf!r} race-free "
+                        f"(data-dependent index)",
+                        hint="use atomic_add, or ensure indices are distinct "
+                             "per workitem by construction",
+                        key=(buf, "scatter", site(s.loc)),
+                    )
+                elif self._self_race(s.val.aff, s.guards, wi):
+                    em.emit(
+                        "error", "R-RACE-GLOBAL", s.loc,
+                        f"two workitems may store the same element of {buf!r} "
+                        f"(index {s.val.aff.const:g}"
+                        f"{'' if s.val.aff.is_const else ' + ...'} is not "
+                        f"injective across workitems)",
+                        hint="make the store index include get_global_id with "
+                             "a dominating stride, guard it to one workitem, "
+                             "or use atomic_add",
+                        key=(buf, "self", site(s.loc)),
+                    )
+            for i, s1 in enumerate(stores):
+                for s2 in stores[i + 1:]:
+                    if s1.val.aff is None or s2.val.aff is None:
+                        continue
+                    if self._pair_conflict(s1, s2, wi):
+                        em.emit(
+                            "error", "R-RACE-GLOBAL", s1.loc,
+                            f"stores to {buf!r} at {site(s1.loc)} and "
+                            f"{site(s2.loc)} may hit the same element from "
+                            f"different workitems",
+                            hint="separate the index ranges or restructure so "
+                                 "one workitem owns each element",
+                            key=(buf, site(s1.loc), site(s2.loc)),
+                        )
+            for s in stores:
+                for t in atomics:
+                    if self._pair_conflict(s, t, wi):
+                        em.emit(
+                            "error", "R-RACE-GLOBAL", s.loc,
+                            f"plain store and atomic_add on {buf!r} may hit "
+                            f"the same element from different workitems",
+                            hint="make both accesses atomic",
+                            key=(buf, "mix", site(s.loc), site(t.loc)),
+                        )
+            for s in stores:
+                if s.val.aff is None:
+                    continue
+                for l in loads:
+                    if self._pair_conflict(s, l, wi):
+                        em.emit(
+                            "error", "R-RACE-GLOBAL", s.loc,
+                            f"workitems read and write overlapping elements "
+                            f"of {buf!r} ({site(l.loc)} vs {site(s.loc)}) "
+                            f"with no ordering between workitems",
+                            hint="double-buffer the data or split the kernel "
+                                 "into two launches",
+                            key=(buf, "rw", site(s.loc), site(l.loc)),
+                        )
+            for t in atomics:
+                for l in loads:
+                    if self._pair_conflict(t, l, wi):
+                        em.emit(
+                            "warning", "R-RACE-GLOBAL", l.loc,
+                            f"read of {buf!r} may observe a concurrent "
+                            f"atomic_add from another workitem",
+                            hint="read the result in a second launch",
+                            key=(buf, "atomic-read", site(t.loc), site(l.loc)),
+                        )
+
+    def rule_local_races(self, em: _Emitter) -> None:
+        by_arr: Dict[str, List[Access]] = {}
+        for a in self.accesses:
+            if a.local:
+                by_arr.setdefault(a.name, []).append(a)
+        wi = ("l",)
+        fixed = ("grp",)
+        for arr, accs in by_arr.items():
+            for s in accs:
+                if s.kind != "store":
+                    continue
+                if s.val.aff is None:
+                    em.emit(
+                        "warning", "R-RACE-LOCAL", s.loc,
+                        f"cannot prove the scatter store to local {arr!r} "
+                        f"race-free (data-dependent index)",
+                        hint="use atomic_add on the local array",
+                        key=(arr, "scatter", site(s.loc)),
+                    )
+                elif self._self_race(s.val.aff, s.guards, wi, fixed):
+                    em.emit(
+                        "error", "R-RACE-LOCAL", s.loc,
+                        f"two workitems of one workgroup may store the same "
+                        f"element of local {arr!r} in the same barrier epoch",
+                        hint="index the local array by get_local_id, or use "
+                             "atomic_add",
+                        key=(arr, "self", site(s.loc)),
+                    )
+            for i, a in enumerate(accs):
+                # accesses are recorded in program order (ascending .pos), so
+                # the first barrier after ``a`` separates it from every later
+                # access at once — stop the inner scan there instead of
+                # testing each pair
+                bi = bisect_right(self.barriers, a.pos)
+                epoch_end = (self.barriers[bi] if bi < len(self.barriers)
+                             else math.inf)
+                for b in accs[i + 1:]:
+                    if b.pos > epoch_end:
+                        break
+                    if a.kind == "load" and b.kind == "load":
+                        continue
+                    if a.kind == "atomic" and b.kind == "atomic":
+                        continue
+                    if self._pair_conflict(a, b, wi, fixed):
+                        em.emit(
+                            "error", "R-RACE-LOCAL", a.loc,
+                            f"accesses to local {arr!r} at {site(a.loc)} and "
+                            f"{site(b.loc)} may touch the same element from "
+                            f"different workitems with no barrier between "
+                            f"them",
+                            hint="insert barrier() between the producing "
+                                 "store and the consuming access",
+                            key=(arr, site(a.loc), site(b.loc)),
+                        )
+
+    def rule_uninit_local(self, em: _Emitter) -> None:
+        first_store: Dict[str, int] = {}
+        for a in self.accesses:
+            if a.local and a.kind in ("store", "atomic"):
+                p = first_store.get(a.name)
+                if p is None or a.pos < p:
+                    first_store[a.name] = a.pos
+        for a in self.accesses:
+            if not a.local or a.kind != "load":
+                continue
+            p = first_store.get(a.name)
+            if p is None or p >= a.pos:
+                em.emit(
+                    "warning", "R-UNINIT-LOCAL", a.loc,
+                    f"local array {a.name!r} is read before any workitem "
+                    f"stores to it (contents are undefined in OpenCL)",
+                    hint="initialize the local array (and barrier) before "
+                         "the first read",
+                    key=(a.name,),
+                )
+
+    def rule_unused_params(self, em: _Emitter) -> None:
+        for p in self.kernel.params:
+            if p.name not in self.used:
+                kind = "buffer" if isinstance(p, ir.BufferParam) else "scalar"
+                em.emit(
+                    "warning", "R-UNUSED-PARAM", "signature",
+                    f"{kind} parameter {p.name!r} is never referenced by the "
+                    f"kernel body",
+                    hint="drop the parameter or use it",
+                    key=(p.name,),
+                )
+
+    def rule_dead_stores(self, em: _Emitter) -> None:
+        """A store to a __global buffer that is provably overwritten by a
+        later store with the identical index function and guards, with no
+        intervening read/atomic of the buffer and no barrier, is dead —
+        the liveness application of the reaching-definitions lattice."""
+        by_buf: Dict[str, List[Access]] = {}
+        for a in self.accesses:
+            if not a.local:
+                by_buf.setdefault(a.name, []).append(a)
+        for buf, accs in by_buf.items():
+            # "~" marks a symbolic-loop rep: such a store may execute once,
+            # so a same-site successor is not a guaranteed overwrite
+            stores = [a for a in accs if a.kind == "store"
+                      and a.val.aff is not None and "~" not in a.loc]
+            other_pos = sorted(a.pos for a in accs if a.kind != "store")
+            for i, s1 in enumerate(stores):
+                c1 = site(s1.loc).rsplit("[", 1)[0]
+                for s2 in stores[i + 1:]:
+                    f1, f2 = s1.val.aff, s2.val.aff
+                    if f1.const != f2.const or f1.coeffs != f2.coeffs:
+                        continue
+                    if site(s2.loc).rsplit("[", 1)[0] != c1:
+                        # stores in sibling branches (then vs else) are
+                        # mutually exclusive, not sequential
+                        continue
+                    if not self._same_guards(s1.guards, s2.guards):
+                        continue
+                    j = bisect_right(other_pos, s1.pos)
+                    if j < len(other_pos) and other_pos[j] < s2.pos:
+                        break  # a read/atomic consumes the stored value
+                    if self._barrier_between(s1.pos, s2.pos):
+                        break
+                    em.emit(
+                        "warning", "R-DEAD-STORE", s1.loc,
+                        f"store to {buf!r} is overwritten by the store at "
+                        f"{site(s2.loc)} before any read (dead store)",
+                        hint="drop the earlier store, or read the value "
+                             "between the two stores",
+                        key=(buf, "dead", site(s1.loc), site(s2.loc)),
+                    )
+                    break
+
+    @staticmethod
+    def _same_guards(g1: Guards, g2: Guards) -> bool:
+        if g1.ranges != g2.ranges:
+            return False
+        if len(g1.lin) != len(g2.lin):
+            return False
+        for (a1, l1, h1), (a2, l2, h2) in zip(g1.lin, g2.lin):
+            if (l1, h1) != (l2, h2) or a1.const != a2.const or a1.coeffs != a2.coeffs:
+                return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Launch-shape facts: the cached analysis bundle
+# ---------------------------------------------------------------------------
+
+
+class KernelDataflow:
+    """All dataflow facts for one (kernel, launch shape) pair.
+
+    Instances are cached in ``LaunchPlanCache("kernelir.analysis")`` and
+    treated as immutable by consumers; expensive fact groups (races,
+    liveness, the legacy vectorizer facts) are computed lazily on first
+    request and then retained.
+    """
+
+    def __init__(self, kernel: ir.Kernel, ctx):
+        self.kernel = kernel
+        self.ctx = ctx
+        self._an = _Analyzer(kernel, ctx)
+        self._an.run()
+        self._race: Optional[List[Finding]] = None
+        self._post: Optional[List[Finding]] = None
+        self._div: Optional[bool] = None
+        self._static_acc = None
+        self._strides = None
+
+    # -- raw walk results ----------------------------------------------------
+    @property
+    def accesses(self) -> List[Access]:
+        return self._an.accesses
+
+    @property
+    def barriers(self) -> List[int]:
+        return self._an.barriers
+
+    @property
+    def used_params(self) -> set:
+        return self._an.used
+
+    # -- findings ------------------------------------------------------------
+    def walk_findings(self) -> List[Finding]:
+        """Findings emitted during the statement walk (R-BARRIER-DIV,
+        R-DIV-ZERO, R-SHIFT-RANGE)."""
+        return self._an.em.findings
+
+    def race_findings(self) -> List[Finding]:
+        """R-RACE-GLOBAL / R-RACE-LOCAL findings (computed once)."""
+        if self._race is None:
+            em = _Emitter()
+            self._an.rule_global_races(em)
+            self._an.rule_local_races(em)
+            self._race = em.findings
+        return self._race
+
+    def liveness_findings(self) -> List[Finding]:
+        """R-UNINIT-LOCAL / R-UNUSED-PARAM / R-DEAD-STORE /
+        R-UNINIT-PRIVATE findings (computed once)."""
+        if self._post is None:
+            em = _Emitter()
+            self._an.rule_uninit_local(em)
+            self._an.rule_unused_params(em)
+            self._an.rule_dead_stores(em)
+            rd = kernel_reaching_defs(self.kernel)
+            for name, state, path in rd.uninit_reads:
+                if state == "undef" and name not in rd.assigned_anywhere:
+                    em.emit(
+                        "error", "R-UNINIT-PRIVATE", path,
+                        f"private variable {name!r} is read but never "
+                        f"assigned anywhere in the kernel",
+                        hint="assign the variable before its first use",
+                        key=("uninit", name, path),
+                    )
+                elif state == "undef":
+                    em.emit(
+                        "warning", "R-UNINIT-PRIVATE", path,
+                        f"private variable {name!r} is read before its "
+                        f"first assignment (value is undefined)",
+                        hint="move the assignment above the first use",
+                        key=("uninit", name, path),
+                    )
+                else:
+                    em.emit(
+                        "warning", "R-UNINIT-PRIVATE", path,
+                        f"private variable {name!r} may be read before "
+                        f"assignment (it is assigned on only some "
+                        f"control-flow paths to this use)",
+                        hint="assign a default value on every path (e.g. "
+                             "before the if/for)",
+                        key=("uninit", name, path),
+                    )
+            self._post = em.findings
+        return self._post
+
+    def findings(self, buffer_sizes: Optional[Dict[str, int]] = None,
+                 buffer_flags: Optional[Dict[str, str]] = None) -> List[Finding]:
+        """Every finding for this launch.  R-OOB and R-FLAGS depend on the
+        caller's buffer sizes/flags and are evaluated per call (cheap scans
+        over the recorded accesses); everything else comes from the cached
+        groups."""
+        out = list(self.walk_findings())
+        em = _Emitter()
+        self._an.rule_flags(em, dict(buffer_flags or {}))
+        self._an.rule_oob(em, dict(buffer_sizes or {}))
+        out += em.findings
+        out += self.race_findings()
+        out += self.liveness_findings()
+        return out
+
+    # -- vectorizer facts (legacy semantics, shared + cached) -----------------
+    @property
+    def control_divergent(self) -> bool:
+        """True when any If condition or For bound varies across workitems
+        *under the affine-index analysis* (the vectorizers' historical
+        divergence test, preserved bit-for-bit)."""
+        if self._div is None:
+            self._div = has_divergent_control_flow(self.kernel, self.ctx)
+        return self._div
+
+    @property
+    def static_global_accesses(self):
+        """Flattened (is_store, buffer, AffineIndex) for every global
+        access — the vectorizers' historical static scan."""
+        if self._static_acc is None:
+            self._static_acc = collect_global_accesses(
+                self.kernel.body, self.ctx, {}
+            )
+        return self._static_acc
+
+    def stride_facts(self) -> List[Tuple[str, str, str, StrideCongruence]]:
+        """(buffer, kind, site, congruence) for each affine global access —
+        the architecture-independent coalescing features."""
+        if self._strides is None:
+            self._strides = [
+                (a.name, a.kind, site(a.loc), a.val.aff.congruence())
+                for a in self.accesses
+                if not a.local and a.val.aff is not None
+            ]
+        return self._strides
+
+
+def _scalar_key(v) -> object:
+    try:
+        return float(v)
+    except (TypeError, ValueError):
+        return repr(v)
+
+
+_ANALYSIS_CACHE = LaunchPlanCache("kernelir.analysis", 512)
+
+
+def analyze_launch(kernel: ir.Kernel, ctx) -> KernelDataflow:
+    """The shared entry point: dataflow facts for one launch shape, cached
+    on (kernel fingerprint, NDRange, analysis-relevant scalars)."""
+    key = (
+        kernel.fingerprint(),
+        tuple(ctx.global_size),
+        tuple(ctx.local_size),
+        tuple(sorted((k, _scalar_key(v)) for k, v in ctx.scalars.items())),
+    )
+    df = _ANALYSIS_CACHE.get(key)
+    if df is None:
+        df = KernelDataflow(kernel, ctx)
+        _STATS["kernels_analyzed"] += 1
+        _ANALYSIS_CACHE.put(key, df)
+    return df
+
+
+# ---------------------------------------------------------------------------
+# Chunk safety (multi-core chunked launches / fused plans)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkSafety:
+    """Whether a launch may be split across worker threads by global-size
+    chunks, with the disqualifying reason when it may not."""
+
+    eligible: bool
+    reason: str = ""
+
+
+def chunk_safety(kernel: ir.Kernel, global_size, local_size,
+                 scalars: Optional[Dict[str, object]] = None) -> ChunkSafety:
+    """Prove (or refuse to prove) that chunking a launch across workers
+    preserves semantics: no barriers/local memory/atomics, and no
+    inter-workitem write hazard on any __global buffer.  The race facts
+    come from the shared analysis cache, so the verifier, the JIT's fused
+    plans and the scheduler all consult one proof."""
+    if kernel.uses_barrier or kernel.local_arrays or kernel.uses_atomics:
+        result = ChunkSafety(False, "kernel uses barriers/local memory/atomics")
+    elif "R-RACE-GLOBAL" in frozenset(getattr(kernel, "suppressions", ()) or ()):
+        # a suppressed race verdict must not silently become a parallel run
+        result = ChunkSafety(False, "R-RACE-GLOBAL findings are suppressed")
+    else:
+        from .analysis import LaunchContext
+
+        ctx = LaunchContext(
+            tuple(int(g) for g in global_size),
+            tuple(int(l) for l in local_size),
+            scalars={k: v for k, v in (scalars or {}).items()},
+        )
+        races = [f for f in analyze_launch(kernel, ctx).race_findings()
+                 if f.rule == "R-RACE-GLOBAL"]
+        if races:
+            result = ChunkSafety(False, races[0].message)
+        else:
+            result = ChunkSafety(True, "")
+    fp = kernel.fingerprint()
+    _CHUNK_CHECKED.add(fp)
+    if result.eligible:
+        _CHUNK_ELIGIBLE.add(fp)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions (context-free, cached per kernel fingerprint)
+# ---------------------------------------------------------------------------
+
+
+class ReachingDefs:
+    """Reaching-definition facts for one kernel (no launch context).
+
+    * :attr:`uninit_reads` — ``(var, state, path)`` for every read of a
+      private variable whose definition does not reach on all paths
+      (``state`` is ``"maybe"`` or ``"undef"``);
+    * :attr:`variant_by_path` — for every ``For`` statement (keyed by its
+      structural path) the names whose definitions inside the loop body
+      may reach its uses: exactly the set the JIT must not hoist;
+    * :attr:`assigned_anywhere` — every name assigned by any statement.
+    """
+
+    def __init__(self, kernel: ir.Kernel):
+        self.params = {p.name for p in kernel.params}
+        self.uninit_reads: List[Tuple[str, str, str]] = []
+        self.variant_by_path: Dict[str, frozenset] = {}
+        self.assigned_anywhere: set = set()
+        self.iterations = 0
+        self._read_keys: set = set()
+        self._maps: Dict[int, Dict[int, str]] = {}
+        for st in ir.walk_stmts(kernel.body):
+            if isinstance(st, ir.Assign):
+                self.assigned_anywhere.add(st.name)
+            elif isinstance(st, ir.For):
+                self.assigned_anywhere.add(st.var)
+        self._walk_body(kernel.body, {p: "def" for p in self.params}, "body")
+
+    # -- the walk ------------------------------------------------------------
+    def _read(self, e: ir.Expr, state: Dict[str, str], path: str) -> None:
+        for x in ir.walk_exprs(e):
+            if isinstance(x, ir.Var) and x.name not in self.params:
+                st = state.get(x.name, "undef")
+                if st != "def":
+                    k = (x.name, path)
+                    if k not in self._read_keys:
+                        self._read_keys.add(k)
+                        self.uninit_reads.append((x.name, st, path))
+
+    def _walk_body(self, body, state: Dict[str, str], path: str) -> None:
+        for i, s in enumerate(body):
+            self._walk_stmt(s, state, f"{path}[{i}]")
+
+    def _walk_stmt(self, s, state: Dict[str, str], path: str) -> None:
+        if isinstance(s, ir.Assign):
+            self._read(s.value, state, path)
+            state[s.name] = "def"
+        elif isinstance(s, (ir.Store, ir.StoreLocal, ir.AtomicAdd,
+                            ir.AtomicAddLocal)):
+            self._read(s.index, state, path)
+            self._read(s.value, state, path)
+        elif isinstance(s, ir.Barrier):
+            pass
+        elif isinstance(s, ir.If):
+            self._read(s.cond, state, path)
+            s_then = dict(state)
+            s_else = dict(state)
+            self._walk_body(s.then_body, s_then, path + "/then")
+            self._walk_body(s.else_body, s_else, path + "/else")
+            for name in set(s_then) | set(s_else):
+                state[name] = _rd_join(
+                    s_then.get(name, "undef"), s_else.get(name, "undef")
+                )
+        elif isinstance(s, ir.For):
+            for b in (s.start, s.stop, s.step):
+                self._read(b, state, path)
+            self.variant_by_path[path] = frozenset(
+                _assigned_in(s.body) | {s.var}
+            )
+            entry = dict(state)
+            entry[s.var] = "def"
+            body_state = dict(entry)
+            self.iterations += 1
+            _STATS["reachdef_iterations"] += 1
+            self._walk_body(s.body, body_state, path + f"/for[{s.var}]")
+            # one pass reaches the fixpoint for read reporting: iteration 1
+            # sees exactly the pre-loop state, later iterations only add
+            # definitions.  The exit state joins with the zero-trip path.
+            for name in set(state) | set(body_state):
+                state[name] = _rd_join(
+                    state.get(name, "undef"), body_state.get(name, "undef")
+                )
+
+    # -- consumer API ---------------------------------------------------------
+    def variant_names(self, kernel: ir.Kernel, stmt: ir.For) -> frozenset:
+        """Names the JIT must not hoist out of ``stmt``'s body: everything
+        (re)defined inside the loop, plus the induction variable.  The
+        lookup maps the statement object to its structural path, so cached
+        instances serve any structurally-equal kernel object."""
+        m = self._maps.get(id(kernel))
+        if m is None:
+            m = _stmt_paths(kernel)
+            self._maps[id(kernel)] = m
+        path = m.get(id(stmt))
+        if path is not None and path in self.variant_by_path:
+            return self.variant_by_path[path]
+        return frozenset(_assigned_in(stmt.body) | {stmt.var})
+
+
+def _assigned_in(body) -> set:
+    """Names assigned anywhere in a statement list (including nested)."""
+    names = set()
+    for s in ir.walk_stmts(body):
+        if isinstance(s, ir.Assign):
+            names.add(s.name)
+        elif isinstance(s, ir.For):
+            names.add(s.var)
+    return names
+
+
+def _stmt_paths(kernel: ir.Kernel) -> Dict[int, str]:
+    out: Dict[int, str] = {}
+
+    def walk(body, path):
+        for i, s in enumerate(body):
+            p = f"{path}[{i}]"
+            out[id(s)] = p
+            if isinstance(s, ir.If):
+                walk(s.then_body, p + "/then")
+                walk(s.else_body, p + "/else")
+            elif isinstance(s, ir.For):
+                walk(s.body, p + f"/for[{s.var}]")
+
+    walk(kernel.body, "body")
+    return out
+
+
+def kernel_reaching_defs(kernel: ir.Kernel) -> ReachingDefs:
+    """Context-free reaching definitions, cached on the fingerprint."""
+    key = (kernel.fingerprint(), "reachdefs")
+    rd = _ANALYSIS_CACHE.get(key)
+    if rd is None:
+        rd = ReachingDefs(kernel)
+        _STATS["reachdef_kernels"] += 1
+        _ANALYSIS_CACHE.put(key, rd)
+    return rd
+
+
+# ---------------------------------------------------------------------------
+# Legacy vectorizer facts (historical semantics preserved bit-for-bit)
+# ---------------------------------------------------------------------------
+
+
+def collect_global_accesses(
+    body, ctx, aenv: Dict[str, Optional[AffineIndex]]
+) -> List[Tuple[bool, str, Optional[AffineIndex]]]:
+    """Flatten (is_store, buffer, affine_index) for every global access.
+
+    ``aenv`` is threaded through assignments so variable-held indices resolve.
+    Loop bodies are entered with their induction variable bound to a loop
+    symbol; If branches are both entered.
+    """
+    out: List[Tuple[bool, str, Optional[AffineIndex]]] = []
+
+    def expr(e: ir.Expr, env):
+        if isinstance(e, ir.Load):
+            out.append((False, e.buffer, affine_index(e.index, ctx, env)))
+        for c in e.children():
+            expr(c, env)
+
+    def stmts(body, env):
+        for s in body:
+            if isinstance(s, ir.Assign):
+                expr(s.value, env)
+                env[s.name] = affine_index(s.value, ctx, env)
+            elif isinstance(s, ir.Store):
+                expr(s.index, env)
+                expr(s.value, env)
+                out.append((True, s.buffer, affine_index(s.index, ctx, env)))
+            elif isinstance(s, ir.StoreLocal):
+                expr(s.index, env)
+                expr(s.value, env)
+            elif isinstance(s, (ir.AtomicAdd, ir.AtomicAddLocal)):
+                expr(s.index, env)
+                expr(s.value, env)
+            elif isinstance(s, ir.For):
+                expr(s.start, env)
+                expr(s.stop, env)
+                expr(s.step, env)
+                env2 = dict(env)
+                env2[s.var] = AffineIndex(0.0, {("loop", s.var): 1.0})
+                stmts(s.body, env2)
+            elif isinstance(s, ir.If):
+                expr(s.cond, env)
+                stmts(s.then_body, dict(env))
+                stmts(s.else_body, dict(env))
+    stmts(body, dict(aenv))
+    return out
+
+
+def has_divergent_control_flow(kernel: ir.Kernel, ctx) -> bool:
+    """True when any If condition or For bound varies across workitems
+    under the affine-index analysis (comparison results are opaque to it,
+    so every data-dependent If counts as divergent — the conservative
+    test both vectorizers have always used)."""
+
+    def check(body, env) -> bool:
+        for s in body:
+            if isinstance(s, ir.Assign):
+                env[s.name] = affine_index(s.value, ctx, env)
+            elif isinstance(s, ir.If):
+                a = affine_index(s.cond, ctx, env)
+                if a is None or not a.is_uniform:
+                    return True
+                if check(s.then_body, dict(env)) or check(s.else_body, dict(env)):
+                    return True
+            elif isinstance(s, ir.For):
+                for b in (s.start, s.stop, s.step):
+                    a = affine_index(b, ctx, env)
+                    if a is None or not a.is_uniform:
+                        return True
+                env2 = dict(env)
+                env2[s.var] = AffineIndex(0.0, {("loop", s.var): 1.0})
+                if check(s.body, env2):
+                    return True
+        return False
+
+    return check(kernel.body, {})

@@ -1,0 +1,316 @@
+"""Differential kernel-IR fuzzing: the dataflow framework's correctness oracle.
+
+:func:`run_fuzz` generates random (but well-formed) kernels with
+:class:`~repro.kernelir.builder.KernelBuilder` and holds the runtime to two
+invariants per kernel:
+
+1. **Engine agreement** — the interpreter, the JIT-compiled fused engine,
+   and the fused engine split across a 4-thread chunk pool must produce
+   bit-identical buffers and dynamic counters.  The generator deliberately
+   emits racy stores (``out[gid // 2]``, ``out[0]``, neighbor overlaps):
+   under the lockstep engines those are still deterministic, so any
+   divergence is an engine bug.
+2. **Chunk soundness** — the multi-worker rerun shrinks the chunking
+   threshold so that *every* launch the analysis called chunk-safe really
+   splits across threads.  If :func:`repro.kernelir.dataflow.chunk_safety`
+   says "safe" for a kernel whose chunked run then disagrees with the
+   serial run, that is an unsound verdict in the dataflow framework — the
+   exact failure mode that would silently corrupt the paper's multi-core
+   scaling results.
+
+Generated kernels never read a buffer they write (cross-workitem
+read-after-write is legitimately engine-dependent, and the analysis
+correctly refuses to chunk it — but it would make invariant 1 vacuous), and
+every index is clamped in-bounds so the differential run exercises value
+semantics, not error paths (those have their own differential tests).
+
+``python -m repro fuzz --seeds N [--base-seed B] [--quick] [--verbose]``
+drives this; CI runs the 200-seed quick smoke on a fixed seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import ast as ir
+from .builder import KernelBuilder
+from .interp import Interpreter
+from .types import F32, I32, I64
+
+__all__ = ["FuzzResult", "random_kernel", "run_fuzz"]
+
+
+@dataclasses.dataclass
+class FuzzResult:
+    """Aggregate outcome of one fuzzing run."""
+
+    seeds: int = 0
+    compiled: int = 0
+    interp_fallback: int = 0
+    chunk_eligible: int = 0
+    chunked_runs: int = 0
+    mismatches: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+# ---------------------------------------------------------------------------
+# Random kernel generation
+# ---------------------------------------------------------------------------
+
+#: local size used by generated barrier kernels (must divide every n below)
+_TILE = 16
+
+
+def random_kernel(seed: int) -> Tuple[ir.Kernel, int]:
+    """One random kernel; returns ``(kernel, required_local_size)`` where
+    the local size is 0 when the kernel imposes no workgroup shape."""
+    rng = random.Random(seed)
+    kb = KernelBuilder(f"fuzz{seed}")
+    a = kb.buffer("a", F32, access="r")
+    b = kb.buffer("b", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    iout = kb.buffer("iout", I32, access="w")
+    n = kb.scalar("n", I32)
+    c = kb.scalar("c", F32)
+    gid = kb.global_id(0)
+
+    fresh = iter(range(1000))
+
+    def leaf():
+        k = rng.randrange(6)
+        if k == 0:
+            return a[gid]
+        if k == 1:
+            return b[gid]
+        if k == 2:
+            return kb.f32(round(rng.uniform(-4.0, 4.0), 3))
+        if k == 3:
+            return c
+        if k == 4:
+            return kb.cast(gid, F32)
+        return a[gid]
+
+    def fexpr(depth: int):
+        if depth <= 0:
+            return leaf()
+        x = fexpr(depth - 1)
+        k = rng.randrange(10)
+        if k < 3:
+            y = fexpr(depth - 1)
+            op = rng.choice(["+", "-", "*"])
+            return ir.BinOp(op, ir.as_expr(x), ir.as_expr(y))
+        if k == 3:
+            return kb.min(x, fexpr(depth - 1))
+        if k == 4:
+            return kb.max(x, fexpr(depth - 1))
+        if k == 5:
+            return kb.fabs(x)
+        if k == 6:
+            return kb.sqrt(kb.fabs(x))
+        if k == 7:
+            # division kept well-defined: |divisor| >= 1 by construction
+            y = fexpr(depth - 1)
+            return ir.BinOp("/", ir.as_expr(x),
+                            ir.as_expr(kb.fabs(y) + kb.f32(1.0)))
+        if k == 8:
+            y = fexpr(depth - 1)
+            cond = ir.BinOp(rng.choice(["<", "<=", ">"]),
+                            ir.as_expr(x), ir.as_expr(y))
+            return kb.select(cond, x, y)
+        return kb.mad(x, fexpr(depth - 1), fexpr(depth - 1))
+
+    # a couple of named temporaries the stores below can reuse
+    temps = []
+    for _ in range(rng.randrange(1, 3)):
+        t = kb.let(f"t{next(fresh)}", fexpr(rng.randrange(1, 4)))
+        temps.append(t)
+
+    def operand():
+        return rng.choice(temps) if temps and rng.random() < 0.5 else fexpr(2)
+
+    # optional accumulation loop (constant trips, possibly zero)
+    if rng.random() < 0.5:
+        trips = rng.choice([0, 1, 2, 3, 5])
+        acc = kb.let(f"acc{next(fresh)}", kb.f32(0.0))
+        with kb.loop(f"j{next(fresh)}", 0, trips) as j:
+            kb.let(acc.name, acc + operand() * (kb.cast(j, F32) + kb.f32(1.0)))
+        temps.append(acc)
+
+    # optional divergent branch around a store
+    if rng.random() < 0.5:
+        with kb.if_(gid < kb.cast(n, I64) - rng.randrange(0, 3)):
+            out[gid] = operand()
+        if rng.random() < 0.5:
+            with kb.else_():
+                out[gid] = operand()
+
+    # optional barrier/local tile (always chunk-ineligible, engine-equal)
+    if rng.random() < 0.15:
+        tile = kb.local_array(f"tile{next(fresh)}", _TILE, F32)
+        lid = kb.local_id(0)
+        tile[lid] = operand()
+        kb.barrier()
+        out[gid] = tile[ir.Const(_TILE - 1, I64) - lid]
+
+    # the main store: usually injective, sometimes deliberately racy —
+    # the analysis must then refuse to chunk the launch
+    r = rng.random()
+    if r < 0.55:
+        out[gid] = operand()
+        if rng.random() < 0.3:
+            out[gid] = operand()  # provable dead store above
+    elif r < 0.7:
+        out[kb.cast(n, I64) - ir.Const(1, I64) - gid] = operand()
+    elif r < 0.8:
+        out[gid // 2] = operand()
+    elif r < 0.9:
+        out[kb.min(gid + 1, kb.cast(n, I64) - ir.Const(1, I64))] = operand()
+    else:
+        out[ir.Const(0, I64)] = operand()
+
+    # an integer store exercising int arithmetic (values clamped pre-cast)
+    if rng.random() < 0.5:
+        clamped = kb.min(kb.max(operand(), kb.f32(-1000.0)), kb.f32(1000.0))
+        iv = kb.cast(clamped, I32) + kb.cast(gid % (rng.randrange(2, 8)), I32)
+        iout[gid] = iv
+
+    kernel = kb.finish()
+    needs_tile = bool(kernel.local_arrays)
+    return kernel, (_TILE if needs_tile else 0)
+
+
+def _make_data(n: int, seed: int) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    drng = np.random.default_rng(seed)
+    buffers = {
+        "a": drng.uniform(-8.0, 8.0, n).astype(np.float32),
+        "b": drng.uniform(-8.0, 8.0, n).astype(np.float32),
+        "out": np.zeros(n, np.float32),
+        "iout": np.zeros(n, np.int32),
+    }
+    scalars: Dict[str, object] = {"n": n, "c": float(round(drng.uniform(-2, 2), 3))}
+    return buffers, scalars
+
+
+# ---------------------------------------------------------------------------
+# The differential harness
+# ---------------------------------------------------------------------------
+
+
+def _launch_interp(kernel, n, ls, buffers, scalars):
+    bufs = {k: v.copy() for k, v in buffers.items()}
+    res = Interpreter().launch(kernel, (n,), ls, buffers=bufs,
+                               scalars=dict(scalars), count_ops=True)
+    return bufs, dataclasses.asdict(res.counters)
+
+
+def _compare(tag: str, kernel, ref, got, result: FuzzResult) -> bool:
+    ref_bufs, ref_counters = ref
+    got_bufs, got_counters = got
+    for name in ref_bufs:
+        if not np.array_equal(ref_bufs[name], got_bufs[name]):
+            result.mismatches.append(
+                f"{kernel.name}: buffer {name!r} diverged ({tag})"
+            )
+            return False
+    if ref_counters != got_counters:
+        result.mismatches.append(
+            f"{kernel.name}: dynamic counters diverged ({tag})"
+        )
+        return False
+    return True
+
+
+def run_fuzz(seeds: int = 200, base_seed: int = 0, quick: bool = False,
+             verbose: bool = False) -> int:
+    """Generate ``seeds`` kernels and differentially check the engines and
+    the chunk-safety verdicts.  Returns a process exit code (0 = clean)."""
+    from .. import workers
+    from . import compile as jit
+    from .dataflow import chunk_safety
+
+    sizes = [256] if quick else [1024, 4096]
+    result = FuzzResult()
+    saved_lanes = jit._MIN_CHUNK_LANES
+    try:
+        for i in range(seeds):
+            seed = base_seed + i
+            kernel, tile = random_kernel(seed)
+            n = sizes[seed % len(sizes)]
+            ls = (tile,) if tile else None
+            buffers, scalars = _make_data(n, seed)
+            result.seeds += 1
+
+            ref = _launch_interp(kernel, n, ls, buffers, scalars)
+
+            # resolve the local size exactly like the fused-plan path, so
+            # the recorded verdict matches the plan's parallel gate
+            rgs, rls = jit._normalize_sizes(kernel, (n,), ls)
+            cs = chunk_safety(kernel, rgs, rls, scalars)
+            if cs.eligible:
+                result.chunk_eligible += 1
+
+            ck = jit.get_compiled(kernel, count_ops=True)
+            if ck is None:
+                result.interp_fallback += 1
+                if verbose:
+                    print(f"fuzz{seed}: n={n} interpreter-only")
+                continue
+            result.compiled += 1
+
+            # serial compiled run
+            plan = jit.get_fused_plan(ck, (n,), ls, None, scalars)
+            bufs_c = {k: v.copy() for k, v in buffers.items()}
+            res_c = plan.launch(bufs_c, dict(scalars))
+            ok = _compare("compiled vs interp", kernel, ref,
+                          (bufs_c, dataclasses.asdict(res_c.counters)), result)
+
+            # chunked multi-core rerun: force the threshold low so every
+            # analysis-approved launch actually splits across 4 workers
+            if ok:
+                jit._MIN_CHUNK_LANES = 8
+                workers.set_worker_count(4)
+                try:
+                    bufs_p = {k: v.copy() for k, v in buffers.items()}
+                    res_p = plan.launch(bufs_p, dict(scalars))
+                finally:
+                    jit._MIN_CHUNK_LANES = saved_lanes
+                    workers.set_worker_count(None)
+                chunked = plan.parallel and n // 8 >= 2
+                if chunked:
+                    result.chunked_runs += 1
+                if not _compare("4-worker chunked vs interp", kernel, ref,
+                                (bufs_p, dataclasses.asdict(res_p.counters)),
+                                result):
+                    if cs.eligible and chunked:
+                        result.mismatches[-1] += (
+                            " — UNSOUND chunk-safe verdict from the dataflow "
+                            "analysis"
+                        )
+                    ok = False
+            if verbose:
+                print(
+                    f"fuzz{seed}: n={n} "
+                    f"{'eligible' if cs.eligible else 'serial'} "
+                    f"{'ok' if ok else 'MISMATCH'}"
+                )
+    finally:
+        jit._MIN_CHUNK_LANES = saved_lanes
+        workers.set_worker_count(None)
+
+    print(
+        f"fuzzed {result.seeds} kernel(s): {result.compiled} compiled, "
+        f"{result.interp_fallback} interpreter-only, "
+        f"{result.chunk_eligible} chunk-eligible, "
+        f"{result.chunked_runs} chunked 4-worker run(s), "
+        f"{len(result.mismatches)} mismatch(es)"
+    )
+    for m in result.mismatches:
+        print(f"  MISMATCH {m}")
+    return 0 if result.ok else 1

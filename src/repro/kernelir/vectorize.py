@@ -26,7 +26,7 @@ import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from . import ast as ir
-from .analysis import AffineIndex, LaunchContext, affine_index
+from .analysis import AffineIndex, LaunchContext
 
 __all__ = [
     "VectorizationReport",
@@ -72,78 +72,17 @@ class VectorizationReport:
         return "not vectorized: " + "; ".join(self.reasons)
 
 
-def _collect_loads_stores(
-    body, ctx: LaunchContext, aenv: Dict[str, Optional[AffineIndex]]
-) -> List[Tuple[bool, str, Optional[AffineIndex]]]:
-    """Flatten (is_store, buffer, affine_index) for every global access.
+def _launch_facts(kernel: ir.Kernel, ctx: LaunchContext):
+    """The shared dataflow bundle for this launch (cached per shape).
 
-    ``aenv`` is threaded through assignments so variable-held indices resolve.
-    Loop bodies are entered with their induction variable bound to a loop
-    symbol; If branches are both entered.
+    Both vectorizers read their control-divergence verdict and the static
+    global-access scan from :func:`repro.kernelir.dataflow.analyze_launch`
+    instead of re-walking the kernel — same facts the verifier and the
+    scheduler's chunk-safety proofs consume.
     """
-    out: List[Tuple[bool, str, Optional[AffineIndex]]] = []
+    from .dataflow import analyze_launch
 
-    def expr(e: ir.Expr, env):
-        if isinstance(e, ir.Load):
-            out.append((False, e.buffer, affine_index(e.index, ctx, env)))
-        for c in e.children():
-            expr(c, env)
-
-    def stmts(body, env):
-        for s in body:
-            if isinstance(s, ir.Assign):
-                expr(s.value, env)
-                env[s.name] = affine_index(s.value, ctx, env)
-            elif isinstance(s, ir.Store):
-                expr(s.index, env)
-                expr(s.value, env)
-                out.append((True, s.buffer, affine_index(s.index, ctx, env)))
-            elif isinstance(s, ir.StoreLocal):
-                expr(s.index, env)
-                expr(s.value, env)
-            elif isinstance(s, (ir.AtomicAdd, ir.AtomicAddLocal)):
-                expr(s.index, env)
-                expr(s.value, env)
-            elif isinstance(s, ir.For):
-                expr(s.start, env)
-                expr(s.stop, env)
-                expr(s.step, env)
-                env2 = dict(env)
-                env2[s.var] = AffineIndex(0.0, {("loop", s.var): 1.0})
-                stmts(s.body, env2)
-            elif isinstance(s, ir.If):
-                expr(s.cond, env)
-                stmts(s.then_body, dict(env))
-                stmts(s.else_body, dict(env))
-    stmts(body, dict(aenv))
-    return out
-
-
-def _has_divergent_control_flow(kernel: ir.Kernel, ctx: LaunchContext) -> bool:
-    """True when any If condition or For bound varies across workitems."""
-
-    def check(body, env) -> bool:
-        for s in body:
-            if isinstance(s, ir.Assign):
-                env[s.name] = affine_index(s.value, ctx, env)
-            elif isinstance(s, ir.If):
-                a = affine_index(s.cond, ctx, env)
-                if a is None or not a.is_uniform:
-                    return True
-                if check(s.then_body, dict(env)) or check(s.else_body, dict(env)):
-                    return True
-            elif isinstance(s, ir.For):
-                for b in (s.start, s.stop, s.step):
-                    a = affine_index(b, ctx, env)
-                    if a is None or not a.is_uniform:
-                        return True
-                env2 = dict(env)
-                env2[s.var] = AffineIndex(0.0, {("loop", s.var): 1.0})
-                if check(s.body, env2):
-                    return True
-        return False
-
-    return check(kernel.body, {})
+    return analyze_launch(kernel, ctx)
 
 
 #: builtins with no vector (SVML-era) implementation: a call forces the
@@ -180,7 +119,8 @@ class OpenCLVectorizer:
         # one workitem do NOT block packing (the Figure 11 point).
         if kernel.uses_atomics:
             reasons.append("kernel uses atomics")
-        if kernel.uses_barrier and _has_divergent_control_flow(kernel, ctx):
+        facts = _launch_facts(kernel, ctx)
+        if kernel.uses_barrier and facts.control_divergent:
             reasons.append("barrier under divergent control flow")
         scalar_calls = sorted(
             {
@@ -216,7 +156,7 @@ class OpenCLVectorizer:
                 else:
                     gather += w
         else:
-            for _is_store, _buf, aff in _collect_loads_stores(kernel.body, ctx, {}):
+            for _is_store, _buf, aff in facts.static_global_accesses:
                 if aff is None:
                     gather += 1
                 else:
@@ -306,15 +246,17 @@ class LoopVectorizer:
     def vectorize(self, kernel: ir.Kernel, ctx: LaunchContext) -> VectorizationReport:
         reasons: List[str] = []
 
+        facts = _launch_facts(kernel, ctx)
+
         # Rule 1: single entry/single exit, straight-line control flow.
-        if _has_divergent_control_flow(kernel, ctx):
+        if facts.control_divergent:
             reasons.append("control flow varies across iterations (not straight-line)")
 
         # OpenMP has no workgroups: local memory/barriers are not expressible.
         if kernel.uses_barrier or kernel.uses_local_memory:
             reasons.append("uses workgroup constructs with no loop equivalent")
 
-        accesses = _collect_loads_stores(kernel.body, ctx, {})
+        accesses = facts.static_global_accesses
 
         # Rule 2: contiguous (unit-stride) access.
         gather = contig = strided = 0

@@ -10,47 +10,54 @@ timing analyses in :mod:`repro.kernelir.analysis` silently assume away:
 * **R-RACE-LOCAL** — a ``__local`` store and a conflicting access from
   another workitem are not separated by a ``Barrier``.
 * **R-BARRIER-DIV** — a ``Barrier`` sits under control flow whose condition
-  varies across workitems of one workgroup (OpenCL undefined behaviour).
+  (or enclosing loop bound) varies across workitems of one workgroup
+  (OpenCL undefined behaviour).
 * **R-OOB** — an index provably escapes ``[0, size)`` for the launch's
   buffer sizes.
 * **R-FLAGS** — the kernel writes a buffer created ``mem_flags.READ_ONLY``
   or reads one created ``WRITE_ONLY``.
 * **R-UNINIT-LOCAL** — a ``__local`` array is read before any store to it.
+* **R-UNINIT-PRIVATE** — a private variable is read before its definition
+  reaches on every control-flow path (reaching-definitions lattice).
 * **R-UNUSED-PARAM** — a kernel parameter is never referenced.
+* **R-DEAD-STORE** — a ``__global`` store provably overwritten before any
+  read (liveness over the recorded access stream).
+* **R-DIV-ZERO** — division/modulo whose divisor's interval contains 0.
+* **R-SHIFT-RANGE** — shift amount outside ``[0, bit width)``.
 * **R-VEC** — notes explaining why :mod:`repro.kernelir.vectorize` bails
   (the paper's Figure 10/11 blockers), so a slow kernel is explainable.
 
-The analysis models every index as an **affine form over workitem symbols**
-``(l, d)`` / ``(grp, d)`` (``get_global_id`` is decomposed into
-``grp*L + l``) **plus an integer interval**.  ``If`` guards refine symbol
-ranges (``if (lid < stride)`` pins ``l0`` to ``[0, stride-1]``); loops with
-small concrete trip counts are unrolled so per-iteration strides such as the
-reduction tree's ``L >> (p+1)`` fold to constants; larger or symbolic loops
-introduce an iteration symbol and their body is traversed twice so that
-cross-iteration hazards are still observed.
+The abstract-interpretation engine behind all of this lives in
+:mod:`repro.kernelir.dataflow` — one fixpoint core over affine forms,
+intervals, stride congruences, divergence and reaching definitions, shared
+with the vectorizer, the JIT's fusion/hoisting legality checks and the
+scheduler's chunk-safety proofs, and cached per launch shape in
+``LaunchPlanCache("kernelir.analysis")``.  This module is the *diagnostic
+surface*: it resolves launch-dependent rules (R-OOB, R-FLAGS) against the
+caller's buffer map, attaches the kernel name, applies suppressions, and
+sorts deterministically.
 
-Races are disproved with a mixed-radix injectivity argument (sorted by
-coefficient magnitude, each workitem coefficient must dominate the span of
-the smaller terms), a gcd feasibility test for pairs of distinct affine
-forms, and guard-refined interval disjointness.  Everything here is
-*conservative in the reporting direction*: a diagnostic is only emitted when
-the analysis can actually argue the defect, so data-dependent (gather)
-indices stay silent and are left to the interpreter's dynamic bounds checks.
+Everything here is *conservative in the reporting direction*: a diagnostic
+is only emitted when the analysis can actually argue the defect, so
+data-dependent (gather) indices stay silent and are left to the
+interpreter's dynamic bounds checks.
 
 Rules can be suppressed per kernel via ``Kernel.suppressions`` (see
 ``KernelBuilder.suppress``); suppressed findings are counted but dropped.
+
+Diagnostics are sorted by severity (errors first), then by location
+(natural order, so ``body[2]`` precedes ``body[10]``), then rule, then
+message — a total, deterministic order that ``repro lint`` relies on.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
-import re
-from bisect import bisect_right
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from . import ast as ir
 from .analysis import LaunchContext
+from .dataflow import analyze_launch, location_sort_key
 
 __all__ = [
     "Diagnostic",
@@ -68,18 +75,16 @@ RULES = {
     "R-OOB": "index provably out of bounds for the launch's buffer sizes",
     "R-FLAGS": "access violates the buffer's mem_flags",
     "R-UNINIT-LOCAL": "__local array read before any store",
+    "R-UNINIT-PRIVATE": "private variable read before assignment on some path",
     "R-UNUSED-PARAM": "kernel parameter is never referenced",
+    "R-DEAD-STORE": "__global store overwritten before any read",
+    "R-DIV-ZERO": "division or modulo by a possibly-zero value",
+    "R-SHIFT-RANGE": "shift amount outside the operand's bit width",
     "R-VEC": "why implicit vectorization bails (informational)",
 }
 
 SEVERITIES = ("error", "warning", "note")
 _SEV_ORDER = {s: i for i, s in enumerate(SEVERITIES)}
-
-_INF = math.inf
-
-#: full unroll is attempted while (trips * enclosing unroll factor) stays
-#: under this cap; beyond it a loop becomes symbolic (body walked twice)
-_MAX_UNROLL_TOTAL = 256
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,7 +94,7 @@ class Diagnostic:
     severity: str  # "error" | "warning" | "note"
     rule: str  # e.g. "R-RACE-GLOBAL"
     kernel: str
-    location: str  # AST path, e.g. "body[3]/for[p=2]/then[0]"
+    location: str  # AST path, e.g. "body[3]/for[p]/then[0]"
     message: str
     hint: str = ""
 
@@ -150,891 +155,6 @@ class VerifyReport:
         return "\n".join(lines)
 
 
-# ---------------------------------------------------------------------------
-# Value domain: affine form over symbols + integer interval
-# ---------------------------------------------------------------------------
-
-#: symbols: ("l", dim) / ("grp", dim) workitem ids, ("loop", token) iteration
-_Sym = Tuple[str, object]
-
-
-class _Aff:
-    """``const + sum(coeff[s] * s)`` with concrete float coefficients."""
-
-    __slots__ = ("const", "coeffs")
-
-    def __init__(self, const: float = 0.0, coeffs: Optional[Dict[_Sym, float]] = None):
-        self.const = float(const)
-        self.coeffs: Dict[_Sym, float] = dict(coeffs or {})
-
-    def _combine(self, other: "_Aff", sign: float) -> "_Aff":
-        out = dict(self.coeffs)
-        for s, c in other.coeffs.items():
-            out[s] = out.get(s, 0.0) + sign * c
-        return _Aff(
-            self.const + sign * other.const,
-            {s: c for s, c in out.items() if c != 0.0},
-        )
-
-    def __add__(self, o: "_Aff") -> "_Aff":
-        return self._combine(o, 1.0)
-
-    def __sub__(self, o: "_Aff") -> "_Aff":
-        return self._combine(o, -1.0)
-
-    def scale(self, k: float) -> "_Aff":
-        if k == 0:
-            return _Aff(0.0)
-        return _Aff(self.const * k, {s: c * k for s, c in self.coeffs.items()})
-
-    @property
-    def is_const(self) -> bool:
-        return not self.coeffs
-
-
-class _Val:
-    """An expression's abstract value: optional affine form + interval."""
-
-    __slots__ = ("aff", "lo", "hi", "wi")
-
-    def __init__(self, aff: Optional[_Aff] = None, lo: float = -_INF,
-                 hi: float = _INF, wi: bool = False):
-        self.aff = aff
-        self.lo = lo
-        self.hi = hi
-        #: varies across workitems of one workgroup
-        self.wi = wi
-
-
-class _Guards:
-    """Active constraints: per-symbol ranges + linear (aff, lo, hi) bounds."""
-
-    __slots__ = ("ranges", "lin")
-
-    def __init__(self, ranges: Dict[_Sym, Tuple[float, float]],
-                 lin: Tuple[Tuple[_Aff, float, float], ...] = ()):
-        self.ranges = ranges
-        self.lin = lin
-
-
-def _aff_bounds(aff: _Aff, guards: _Guards) -> Tuple[float, float, bool]:
-    """Interval of ``aff`` under ``guards``; third item is False when some
-    linear constraint could not be applied (bounds then over-approximate an
-    already-guarded value)."""
-    lo = hi = aff.const
-    for s, c in aff.coeffs.items():
-        slo, shi = guards.ranges.get(s, (-_INF, _INF))
-        if c >= 0:
-            lo += c * slo
-            hi += c * shi
-        else:
-            lo += c * shi
-            hi += c * slo
-    applied_all = True
-    for ga, glo, ghi in guards.lin:
-        d = aff - ga
-        if d.is_const:
-            lo = max(lo, glo + d.const)
-            hi = min(hi, ghi + d.const)
-        else:
-            applied_all = False
-    return lo, hi, applied_all
-
-
-def _imul_bounds(alo, ahi, blo, bhi) -> Tuple[float, float]:
-    cands = []
-    for x in (alo, ahi):
-        for y in (blo, bhi):
-            if (x == 0 and math.isinf(y)) or (y == 0 and math.isinf(x)):
-                cands.append(0.0)
-            else:
-                cands.append(x * y)
-    return min(cands), max(cands)
-
-
-@dataclasses.dataclass
-class _Access:
-    """One recorded memory access with its evaluation context."""
-
-    name: str
-    kind: str  # "load" | "store" | "atomic"
-    local: bool
-    val: _Val
-    guards: _Guards
-    pos: int  # linearization position (barriers share the counter)
-    loc: str
-
-
-_ITER_MARK = re.compile(r"[=~][-\d]+")
-
-
-def _site(loc: str) -> str:
-    """Location with unroll-iteration markers removed (for deduplication)."""
-    return _ITER_MARK.sub("", loc)
-
-
-_NEG_OP = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
-_MIRROR_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
-
-
-class _Verifier:
-    def __init__(self, kernel: ir.Kernel, ctx: LaunchContext,
-                 buffer_sizes: Optional[Dict[str, int]],
-                 buffer_flags: Optional[Dict[str, str]]):
-        self.kernel = kernel
-        self.ctx = ctx
-        self.buffer_sizes = dict(buffer_sizes or {})
-        self.buffer_flags = dict(buffer_flags or {})
-        self.diags: List[Diagnostic] = []
-        self._diag_keys: set = set()
-        self.accesses: List[_Access] = []
-        self.barriers: List[int] = []
-        self.pos = 0
-        self.used: set = set()
-        self.wi_loops: set = set()
-        self._loop_id = 0
-        self._unroll_scale = 1
-
-        self.base_ranges: Dict[_Sym, Tuple[float, float]] = {}
-        for d, g in enumerate(ctx.global_size):
-            l = ctx.local_size[d] if d < len(ctx.local_size) else 1
-            l = max(1, int(l))
-            ngr = max(1, int(g) // l)
-            self.base_ranges[("l", d)] = (0.0, float(l - 1))
-            self.base_ranges[("grp", d)] = (0.0, float(ngr - 1))
-        self.scalar_names = {p.name for p in kernel.scalar_params}
-        self.local_sizes = {a.name: a.size for a in kernel.local_arrays}
-
-    # -- diagnostics --------------------------------------------------------
-    def _diag(self, severity: str, rule: str, loc: str, message: str,
-              hint: str = "", key: object = None) -> None:
-        k = (rule, key) if key is not None else (rule, severity, _site(loc), message)
-        if k in self._diag_keys:
-            return
-        self._diag_keys.add(k)
-        self.diags.append(
-            Diagnostic(severity, rule, self.kernel.name, _site(loc), message, hint)
-        )
-
-    # -- value helpers ------------------------------------------------------
-    def _wi_of_aff(self, aff: _Aff) -> bool:
-        for s, c in aff.coeffs.items():
-            if c == 0:
-                continue
-            if s[0] == "l":
-                lo, hi = self.base_ranges.get(s, (0.0, 0.0))
-                if hi > lo:
-                    return True
-            elif s[0] == "loop" and s in self.wi_loops:
-                return True
-        return False
-
-    def _val_from_aff(self, aff: _Aff, guards: _Guards) -> _Val:
-        lo, hi, _ = _aff_bounds(aff, guards)
-        return _Val(aff, lo, hi, self._wi_of_aff(aff))
-
-    @staticmethod
-    def _union(a: Optional[_Val], b: Optional[_Val], extra_wi: bool) -> _Val:
-        if a is None and b is None:
-            return _Val(wi=extra_wi)
-        if a is None or b is None:
-            v = a if a is not None else b
-            return _Val(v.aff, v.lo, v.hi, v.wi or extra_wi)
-        aff = None
-        if (a.aff is not None and b.aff is not None
-                and a.aff.const == b.aff.const and a.aff.coeffs == b.aff.coeffs):
-            aff = a.aff
-        return _Val(aff, min(a.lo, b.lo), max(a.hi, b.hi),
-                    a.wi or b.wi or extra_wi)
-
-    # -- expression evaluation ---------------------------------------------
-    def _eval(self, e: ir.Expr, env: Dict[str, _Val], guards: _Guards,
-              loc: str, record: bool = True) -> _Val:
-        # dispatch ordered by dynamic frequency: big kernels are mostly
-        # BinOp/Const/Var leaves, the id/size queries are rare
-        if isinstance(e, ir.BinOp):
-            return self._eval_binop(e, env, guards, loc, record)
-        if isinstance(e, ir.Const):
-            if isinstance(e.value, bool):
-                return _Val(None, 0.0, 1.0)
-            if isinstance(e.value, (int, float)):
-                v = float(e.value)
-                return _Val(_Aff(v), v, v)
-            return _Val()
-        if isinstance(e, ir.Var):
-            if e.name in self.scalar_names:
-                self.used.add(e.name)
-            if e.name in env:
-                return env[e.name]
-            if e.name in self.ctx.scalars:
-                try:
-                    v = float(self.ctx.scalars[e.name])
-                except (TypeError, ValueError):
-                    return _Val()
-                return _Val(_Aff(v), v, v)
-            return _Val()
-        if isinstance(e, ir.GlobalId):
-            d = e.dim
-            if d >= len(self.ctx.global_size):
-                return _Val(_Aff(0.0), 0.0, 0.0)
-            l = self.ctx.local_size[d] if d < len(self.ctx.local_size) else 1
-            aff = _Aff(0.0, {("grp", d): float(max(1, l)), ("l", d): 1.0})
-            return self._val_from_aff(aff, guards)
-        if isinstance(e, ir.LocalId):
-            if e.dim >= len(self.ctx.global_size):
-                return _Val(_Aff(0.0), 0.0, 0.0)
-            return self._val_from_aff(_Aff(0.0, {("l", e.dim): 1.0}), guards)
-        if isinstance(e, ir.GroupId):
-            if e.dim >= len(self.ctx.global_size):
-                return _Val(_Aff(0.0), 0.0, 0.0)
-            return self._val_from_aff(_Aff(0.0, {("grp", e.dim): 1.0}), guards)
-        if isinstance(e, ir.GlobalSize):
-            v = float(self.ctx.global_size[e.dim]) if e.dim < len(self.ctx.global_size) else 1.0
-            return _Val(_Aff(v), v, v)
-        if isinstance(e, ir.LocalSize):
-            v = float(self.ctx.local_size[e.dim]) if e.dim < len(self.ctx.local_size) else 1.0
-            return _Val(_Aff(v), v, v)
-        if isinstance(e, ir.NumGroups):
-            ng = self.ctx.num_groups
-            v = float(ng[e.dim]) if e.dim < len(ng) else 1.0
-            return _Val(_Aff(v), v, v)
-        if isinstance(e, ir.Cast):
-            v = self._eval(e.operand, env, guards, loc, record)
-            if not e.dtype.is_float:
-                lo = math.floor(v.lo) if math.isfinite(v.lo) else v.lo
-                hi = math.ceil(v.hi) if math.isfinite(v.hi) else v.hi
-                return _Val(v.aff, lo, hi, v.wi)
-            return v
-        if isinstance(e, ir.UnOp):
-            v = self._eval(e.operand, env, guards, loc, record)
-            if e.op == "neg":
-                return _Val(v.aff.scale(-1.0) if v.aff is not None else None,
-                            -v.hi, -v.lo, v.wi)
-            return _Val(None, 0.0, 1.0, v.wi)
-        if isinstance(e, ir.Call):
-            wi = False
-            for a in e.args:
-                wi = self._eval(a, env, guards, loc, record).wi or wi
-            return _Val(None, -_INF, _INF, wi)
-        if isinstance(e, ir.Select):
-            c = self._eval(e.cond, env, guards, loc, record)
-            a = self._eval(e.if_true, env, guards, loc, record)
-            b = self._eval(e.if_false, env, guards, loc, record)
-            u = self._union(a, b, c.wi)
-            return u
-        if isinstance(e, ir.Load):
-            idx = self._eval(e.index, env, guards, loc, record)
-            if record:
-                self.used.add(e.buffer)
-                self._record(e.buffer, "load", False, idx, guards, loc)
-            return _Val(None, -_INF, _INF, idx.wi)
-        if isinstance(e, ir.LoadLocal):
-            idx = self._eval(e.index, env, guards, loc, record)
-            if record:
-                self._record(e.array, "load", True, idx, guards, loc)
-            return _Val(None, -_INF, _INF, idx.wi)
-        return _Val()
-
-    def _eval_binop(self, e: ir.BinOp, env, guards, loc, record) -> _Val:
-        a = self._eval(e.lhs, env, guards, loc, record)
-        b = self._eval(e.rhs, env, guards, loc, record)
-        op = e.op
-        wi = a.wi or b.wi
-        if op in ir.CMP_OPS or op in ("and", "or"):
-            return _Val(None, 0.0, 1.0, wi)
-        if op == "+":
-            aff = a.aff + b.aff if (a.aff is not None and b.aff is not None) else None
-            if aff is not None:
-                return self._val_from_aff(aff, guards)
-            return _Val(None, a.lo + b.lo, a.hi + b.hi, wi)
-        if op == "-":
-            aff = a.aff - b.aff if (a.aff is not None and b.aff is not None) else None
-            if aff is not None:
-                return self._val_from_aff(aff, guards)
-            return _Val(None, a.lo - b.hi, a.hi - b.lo, wi)
-        if op == "*":
-            if a.aff is not None and b.aff is not None:
-                if a.aff.is_const:
-                    return self._val_from_aff(b.aff.scale(a.aff.const), guards)
-                if b.aff.is_const:
-                    return self._val_from_aff(a.aff.scale(b.aff.const), guards)
-            lo, hi = _imul_bounds(a.lo, a.hi, b.lo, b.hi)
-            return _Val(None, lo, hi, wi)
-        if op in ("/", "//"):
-            if b.aff is not None and b.aff.is_const and b.aff.const != 0:
-                k = b.aff.const
-                if a.aff is not None:
-                    scaled = a.aff.scale(1.0 / k)
-                    if (float(scaled.const).is_integer()
-                            and all(float(c).is_integer() for c in scaled.coeffs.values())):
-                        return self._val_from_aff(scaled, guards)
-                if e.dtype.is_float:
-                    lo, hi = _imul_bounds(a.lo, a.hi, 1.0 / k, 1.0 / k)
-                    return _Val(None, lo, hi, wi)
-                if k > 0:
-                    lo = math.floor(a.lo / k) if math.isfinite(a.lo) else a.lo
-                    hi = math.floor(a.hi / k) if math.isfinite(a.hi) else a.hi
-                    return _Val(None, lo, hi, wi)
-            return _Val(None, -_INF, _INF, wi)
-        if op == "%":
-            if b.aff is not None and b.aff.is_const and b.aff.const > 0:
-                k = b.aff.const
-                hi = k - 1 if not e.dtype.is_float else k
-                return _Val(None, 0.0, hi, wi)
-            return _Val(None, -_INF, _INF, wi)
-        if op == "min":
-            aff = None
-            if (a.aff is not None and b.aff is not None
-                    and a.aff.const == b.aff.const and a.aff.coeffs == b.aff.coeffs):
-                aff = a.aff
-            return _Val(aff, min(a.lo, b.lo), min(a.hi, b.hi), wi)
-        if op == "max":
-            aff = None
-            if (a.aff is not None and b.aff is not None
-                    and a.aff.const == b.aff.const and a.aff.coeffs == b.aff.coeffs):
-                aff = a.aff
-            return _Val(aff, max(a.lo, b.lo), max(a.hi, b.hi), wi)
-        if op == "&":
-            for x, y in ((a, b), (b, a)):
-                if y.aff is not None and y.aff.is_const and y.aff.const >= 0:
-                    return _Val(None, 0.0, y.aff.const, wi)
-            return _Val(None, -_INF, _INF, wi)
-        if op in ("|", "^"):
-            if a.lo >= 0 and b.lo >= 0:
-                return _Val(None, 0.0, _INF, wi)
-            return _Val(None, -_INF, _INF, wi)
-        if op == "<<":
-            if b.aff is not None and b.aff.is_const and b.aff.const >= 0:
-                f = float(2 ** int(b.aff.const))
-                if a.aff is not None:
-                    return self._val_from_aff(a.aff.scale(f), guards)
-                return _Val(None, a.lo * f, a.hi * f, wi)
-            return _Val(None, -_INF, _INF, wi)
-        if op == ">>":
-            if b.aff is not None and b.aff.is_const and b.aff.const >= 0:
-                f = float(2 ** int(b.aff.const))
-                if a.aff is not None:
-                    scaled = a.aff.scale(1.0 / f)
-                    if (float(scaled.const).is_integer()
-                            and all(float(c).is_integer() for c in scaled.coeffs.values())):
-                        return self._val_from_aff(scaled, guards)
-                lo = math.floor(a.lo / f) if math.isfinite(a.lo) else a.lo
-                hi = math.floor(a.hi / f) if math.isfinite(a.hi) else a.hi
-                return _Val(None, lo, hi, wi)
-            return _Val(None, -_INF, _INF, wi)
-        return _Val(None, -_INF, _INF, wi)
-
-    # -- guard refinement ---------------------------------------------------
-    def _refine(self, guards: _Guards, cond: ir.Expr, polarity: bool,
-                env: Dict[str, _Val]) -> _Guards:
-        ranges = dict(guards.ranges)
-        lin = list(guards.lin)
-        self._apply_cond(cond, polarity, env, guards, ranges, lin)
-        return _Guards(ranges, tuple(lin))
-
-    def _apply_cond(self, cond, pol, env, guards, ranges, lin) -> None:
-        if isinstance(cond, ir.UnOp) and cond.op == "not":
-            self._apply_cond(cond.operand, not pol, env, guards, ranges, lin)
-            return
-        if isinstance(cond, ir.BinOp) and cond.op in ("and", "or"):
-            # a conjunction (taken "and", or refuted "or") refines both sides
-            if (cond.op == "and") == pol:
-                self._apply_cond(cond.lhs, pol, env, guards, ranges, lin)
-                self._apply_cond(cond.rhs, pol, env, guards, ranges, lin)
-            return
-        if not (isinstance(cond, ir.BinOp) and cond.op in ir.CMP_OPS):
-            return
-        op = cond.op if pol else _NEG_OP[cond.op]
-        if op == "!=":
-            return
-        a = self._eval(cond.lhs, env, guards, "", record=False)
-        b = self._eval(cond.rhs, env, guards, "", record=False)
-        if a.aff is not None and not a.aff.is_const:
-            if b.aff is not None and b.aff.is_const:
-                self._constrain(a.aff, op, b.aff.const, b.aff.const, ranges, lin)
-            elif b.aff is not None:
-                self._constrain(a.aff - b.aff, op, 0.0, 0.0, ranges, lin)
-            else:
-                # affine vs interval: use the interval's endpoints
-                self._constrain(a.aff, op, b.lo, b.hi, ranges, lin)
-        elif b.aff is not None and not b.aff.is_const:
-            m = _MIRROR_OP[op]
-            if a.aff is not None and a.aff.is_const:
-                self._constrain(b.aff, m, a.aff.const, a.aff.const, ranges, lin)
-            else:
-                self._constrain(b.aff, m, a.lo, a.hi, ranges, lin)
-
-    def _constrain(self, aff: _Aff, op: str, klo: float, khi: float,
-                   ranges, lin) -> None:
-        """Record ``aff op [klo, khi]`` as a bound ``lo <= aff <= hi``."""
-        if op == "<":
-            lo, hi = -_INF, khi - 1
-        elif op == "<=":
-            lo, hi = -_INF, khi
-        elif op == ">":
-            lo, hi = klo + 1, _INF
-        elif op == ">=":
-            lo, hi = klo, _INF
-        elif op == "==":
-            if klo != khi:
-                return
-            lo, hi = klo, khi
-        else:
-            return
-        if len(aff.coeffs) == 1:
-            (sym, c), = aff.coeffs.items()
-            if c != 0:
-                slo, shi = ranges.get(sym, (-_INF, _INF))
-                l2 = (lo - aff.const) / c
-                h2 = (hi - aff.const) / c
-                if c < 0:
-                    l2, h2 = h2, l2
-                if math.isfinite(l2):
-                    slo = max(slo, math.ceil(l2 - 1e-9))
-                if math.isfinite(h2):
-                    shi = min(shi, math.floor(h2 + 1e-9))
-                ranges[sym] = (slo, shi)
-                return
-        lin.append((_Aff(aff.const, aff.coeffs), lo, hi))
-
-    # -- statement walk -----------------------------------------------------
-    def run(self) -> None:
-        env: Dict[str, _Val] = {}
-        guards = _Guards(dict(self.base_ranges), ())
-        self._walk_body(self.kernel.body, env, guards, "body", False)
-        self._rule_flags()
-        self._rule_oob()
-        self._rule_global_races()
-        self._rule_local_races()
-        self._rule_uninit_local()
-        self._rule_unused_params()
-
-    def _record(self, name, kind, local, idxval, guards, loc) -> None:
-        self.accesses.append(_Access(name, kind, local, idxval, guards, self.pos, loc))
-        self.pos += 1
-
-    def _walk_body(self, body, env, guards, path, div) -> None:
-        for i, s in enumerate(body):
-            self._walk_stmt(s, env, guards, f"{path}[{i}]", div)
-
-    def _walk_stmt(self, s, env, guards, loc, div) -> None:
-        if isinstance(s, ir.Assign):
-            env[s.name] = self._eval(s.value, env, guards, loc)
-        elif isinstance(s, (ir.Store, ir.AtomicAdd)):
-            idx = self._eval(s.index, env, guards, loc)
-            self._eval(s.value, env, guards, loc)
-            self.used.add(s.buffer)
-            kind = "store" if isinstance(s, ir.Store) else "atomic"
-            self._record(s.buffer, kind, False, idx, guards, loc)
-        elif isinstance(s, (ir.StoreLocal, ir.AtomicAddLocal)):
-            idx = self._eval(s.index, env, guards, loc)
-            self._eval(s.value, env, guards, loc)
-            kind = "store" if isinstance(s, ir.StoreLocal) else "atomic"
-            self._record(s.array, kind, True, idx, guards, loc)
-        elif isinstance(s, ir.Barrier):
-            if div:
-                self._diag(
-                    "error", "R-BARRIER-DIV", loc,
-                    "barrier under control flow whose condition varies across "
-                    "workitems of one workgroup (OpenCL undefined behaviour: "
-                    "some workitems would skip the barrier)",
-                    hint="hoist the barrier out of the divergent if/for, or "
-                         "make the condition uniform per workgroup",
-                )
-            self.barriers.append(self.pos)
-            self.pos += 1
-        elif isinstance(s, ir.If):
-            cond = self._eval(s.cond, env, guards, loc)
-            g_then = self._refine(guards, s.cond, True, env)
-            env_then = dict(env)
-            self._walk_body(s.then_body, env_then, g_then, loc + "/then",
-                            div or cond.wi)
-            env_else = dict(env)
-            if s.else_body:
-                g_else = self._refine(guards, s.cond, False, env)
-                self._walk_body(s.else_body, env_else, g_else, loc + "/else",
-                                div or cond.wi)
-            for name in set(env_then) | set(env_else):
-                a = env_then.get(name, env.get(name))
-                b = env_else.get(name, env.get(name))
-                env[name] = self._union(a, b, cond.wi)
-        elif isinstance(s, ir.For):
-            self._walk_for(s, env, guards, loc, div)
-
-    def _walk_for(self, s: ir.For, env, guards, loc, div) -> None:
-        start = self._eval(s.start, env, guards, loc)
-        stop = self._eval(s.stop, env, guards, loc)
-        step = self._eval(s.step, env, guards, loc)
-        wi_bounds = start.wi or stop.wi or step.wi
-        trips: Optional[int] = None
-        c0 = c1 = st = 0.0
-        if (start.aff is not None and start.aff.is_const
-                and stop.aff is not None and stop.aff.is_const
-                and step.aff is not None and step.aff.is_const
-                and step.aff.const != 0):
-            c0, c1, st = start.aff.const, stop.aff.const, step.aff.const
-            if st > 0:
-                trips = max(0, math.ceil((c1 - c0) / st))
-            else:
-                trips = max(0, math.ceil((c0 - c1) / -st))
-            trips = int(trips)
-        if trips == 0:
-            return
-        saved = env.get(s.var)
-
-        if trips is not None and trips * self._unroll_scale <= _MAX_UNROLL_TOTAL:
-            self._unroll_scale *= trips
-            for t in range(trips):
-                v = c0 + t * st
-                env[s.var] = _Val(_Aff(v), v, v, False)
-                self._walk_body(s.body, env, guards,
-                                f"{loc}/for[{s.var}={int(v)}]", div or wi_bounds)
-            self._unroll_scale //= trips
-        else:
-            self._loop_id += 1
-            sym: _Sym = ("loop", f"{s.var}#{self._loop_id}")
-            ranges = dict(guards.ranges)
-            ranges[sym] = (0.0, float(trips - 1)) if trips is not None else (0.0, _INF)
-            g2 = _Guards(ranges, guards.lin)
-            if wi_bounds:
-                self.wi_loops.add(sym)
-            if (start.aff is not None and step.aff is not None
-                    and step.aff.is_const and step.aff.const != 0):
-                aff = start.aff + _Aff(0.0, {sym: step.aff.const})
-                var_val = self._val_from_aff(aff, g2)
-                if wi_bounds:
-                    var_val.wi = True
-            else:
-                lo = start.lo
-                hi = max(start.hi, stop.hi - 1) if step.lo >= 0 else _INF
-                if step.lo < 0:
-                    lo = -_INF
-                var_val = _Val(None, lo, hi, wi_bounds or start.wi or stop.wi)
-            env[s.var] = var_val
-            reps = 1 if trips == 1 else 2
-            self._unroll_scale *= reps
-            for r in range(reps):
-                self._walk_body(s.body, env, g2, f"{loc}/for[{s.var}~{r}]",
-                                div or wi_bounds)
-            self._unroll_scale //= reps
-        if saved is not None:
-            env[s.var] = saved
-        else:
-            env.pop(s.var, None)
-
-    # -- race machinery -----------------------------------------------------
-    def _sym_size(self, sym: _Sym, guards: _Guards) -> float:
-        lo, hi = guards.ranges.get(sym, (-_INF, _INF))
-        if math.isinf(lo) or math.isinf(hi):
-            return _INF
-        return max(0.0, hi - lo + 1)
-
-    def _self_race(self, aff: _Aff, guards: _Guards, wi_kinds: Tuple[str, ...],
-                   fixed_kinds: Tuple[str, ...] = ()) -> bool:
-        """True when two *different* workitems can produce the same index."""
-        for sym in self.base_ranges:
-            if sym[0] not in wi_kinds:
-                continue
-            if self._sym_size(sym, guards) <= 1:
-                continue
-            if aff.coeffs.get(sym, 0.0) == 0.0:
-                return True  # several active items share every index value
-        entries = []
-        for sym, c in aff.coeffs.items():
-            if c == 0 or sym[0] in fixed_kinds:
-                continue
-            n = self._sym_size(sym, guards)
-            if n <= 1:
-                continue
-            entries.append((abs(c), n, sym[0] in wi_kinds))
-        entries.sort(key=lambda t: t[0])
-        span = 0.0
-        for c, n, is_wi in entries:
-            if is_wi and span >= c:
-                return True  # smaller terms can bridge the gap between items
-            span = _INF if math.isinf(n) else span + c * (n - 1)
-        return False
-
-    def _union_guards(self, g1: _Guards, g2: _Guards) -> _Guards:
-        ranges = {}
-        for sym in set(g1.ranges) | set(g2.ranges):
-            l1, h1 = g1.ranges.get(sym, (-_INF, _INF))
-            l2, h2 = g2.ranges.get(sym, (-_INF, _INF))
-            ranges[sym] = (min(l1, l2), max(h1, h2))
-        return _Guards(ranges, ())
-
-    def _pair_conflict(self, a: _Access, b: _Access,
-                       wi_kinds: Tuple[str, ...],
-                       fixed_kinds: Tuple[str, ...] = ()) -> bool:
-        """Can workitem i's access ``a`` alias workitem j's access ``b``, i != j?"""
-        fa, fb = a.val.aff, b.val.aff
-        if fa is not None and fb is not None:
-            d = fa - fb
-            if d.is_const and d.const == 0.0:
-                # identical index functions: aliasing needs non-injectivity
-                return self._self_race(fa, self._union_guards(a.guards, b.guards),
-                                       wi_kinds, fixed_kinds)
-            # gcd feasibility of  f(i) - g(j) = 0  over independent symbol
-            # copies (symbols of fixed kinds are shared between i and j and
-            # enter via their coefficient difference)
-            coeffs: List[float] = []
-            shared: Dict[_Sym, float] = {}
-            feasible_test = True
-            for src, sign in ((fa, 1.0), (fb, -1.0)):
-                for sym, c in src.coeffs.items():
-                    if sym[0] in fixed_kinds:
-                        shared[sym] = shared.get(sym, 0.0) + sign * c
-                    else:
-                        coeffs.append(c)
-            coeffs += [c for c in shared.values() if c != 0.0]
-            ints = []
-            for c in coeffs:
-                if not float(c).is_integer():
-                    feasible_test = False
-                    break
-                ints.append(abs(int(c)))
-            delta = fb.const - fa.const
-            if feasible_test and float(delta).is_integer() and ints:
-                g = 0
-                for c in ints:
-                    g = math.gcd(g, c)
-                if g > 1 and int(delta) % g != 0:
-                    return False
-        # interval disjointness under each access's own guards
-        if a.val.hi < b.val.lo or b.val.hi < a.val.lo:
-            return False
-        return True
-
-    def _barrier_between(self, p1: int, p2: int) -> bool:
-        i = bisect_right(self.barriers, p1)
-        return i < len(self.barriers) and self.barriers[i] < p2
-
-    # -- rules --------------------------------------------------------------
-    def _rule_flags(self) -> None:
-        for acc in self.accesses:
-            if acc.local:
-                continue
-            flags = self.buffer_flags.get(acc.name)
-            if flags is None:
-                continue
-            if acc.kind in ("store", "atomic") and "w" not in flags:
-                self._diag(
-                    "error", "R-FLAGS", acc.loc,
-                    f"kernel writes buffer {acc.name!r} created with "
-                    f"mem_flags.READ_ONLY",
-                    hint="allocate the buffer READ_WRITE/WRITE_ONLY, or drop "
-                         "the store",
-                    key=(acc.name, "w"),
-                )
-            if acc.kind == "load" and "r" not in flags:
-                self._diag(
-                    "error", "R-FLAGS", acc.loc,
-                    f"kernel reads buffer {acc.name!r} created with "
-                    f"mem_flags.WRITE_ONLY",
-                    hint="allocate the buffer READ_WRITE/READ_ONLY, or drop "
-                         "the load",
-                    key=(acc.name, "r"),
-                )
-
-    def _rule_oob(self) -> None:
-        for acc in self.accesses:
-            size = (self.local_sizes.get(acc.name) if acc.local
-                    else self.buffer_sizes.get(acc.name))
-            if size is None:
-                continue
-            lo, hi = acc.val.lo, acc.val.hi
-            what = f"local array {acc.name!r}" if acc.local else f"buffer {acc.name!r}"
-            if acc.val.aff is not None:
-                _, _, exact = _aff_bounds(acc.val.aff, acc.guards)
-                if (exact and math.isfinite(lo) and math.isfinite(hi)
-                        and (lo < 0 or hi >= size)):
-                    self._diag(
-                        "error", "R-OOB", acc.loc,
-                        f"index range [{int(lo)}, {int(hi)}] of {what} escapes "
-                        f"[0, {size}) at this launch size",
-                        hint="guard the access with the buffer length or fix "
-                             "the index arithmetic",
-                        key=(acc.name, _site(acc.loc)),
-                    )
-            elif hi < 0 or lo >= size:
-                self._diag(
-                    "error", "R-OOB", acc.loc,
-                    f"index interval [{lo:g}, {hi:g}] of {what} lies entirely "
-                    f"outside [0, {size})",
-                    hint="fix the index arithmetic",
-                    key=(acc.name, _site(acc.loc)),
-                )
-
-    def _rule_global_races(self) -> None:
-        by_buf: Dict[str, List[_Access]] = {}
-        for a in self.accesses:
-            if not a.local:
-                by_buf.setdefault(a.name, []).append(a)
-        wi = ("l", "grp")
-        for buf, accs in by_buf.items():
-            stores = [a for a in accs if a.kind == "store"]
-            atomics = [a for a in accs if a.kind == "atomic"]
-            loads = [a for a in accs if a.kind == "load"]
-            for s in stores:
-                if s.val.aff is None:
-                    self._diag(
-                        "warning", "R-RACE-GLOBAL", s.loc,
-                        f"cannot prove the scatter store to {buf!r} race-free "
-                        f"(data-dependent index)",
-                        hint="use atomic_add, or ensure indices are distinct "
-                             "per workitem by construction",
-                        key=(buf, "scatter", _site(s.loc)),
-                    )
-                elif self._self_race(s.val.aff, s.guards, wi):
-                    self._diag(
-                        "error", "R-RACE-GLOBAL", s.loc,
-                        f"two workitems may store the same element of {buf!r} "
-                        f"(index {s.val.aff.const:g}"
-                        f"{'' if s.val.aff.is_const else ' + ...'} is not "
-                        f"injective across workitems)",
-                        hint="make the store index include get_global_id with "
-                             "a dominating stride, guard it to one workitem, "
-                             "or use atomic_add",
-                        key=(buf, "self", _site(s.loc)),
-                    )
-            for i, s1 in enumerate(stores):
-                for s2 in stores[i + 1:]:
-                    if s1.val.aff is None or s2.val.aff is None:
-                        continue
-                    if self._pair_conflict(s1, s2, wi):
-                        self._diag(
-                            "error", "R-RACE-GLOBAL", s1.loc,
-                            f"stores to {buf!r} at {_site(s1.loc)} and "
-                            f"{_site(s2.loc)} may hit the same element from "
-                            f"different workitems",
-                            hint="separate the index ranges or restructure so "
-                                 "one workitem owns each element",
-                            key=(buf, _site(s1.loc), _site(s2.loc)),
-                        )
-            for s in stores:
-                for t in atomics:
-                    if self._pair_conflict(s, t, wi):
-                        self._diag(
-                            "error", "R-RACE-GLOBAL", s.loc,
-                            f"plain store and atomic_add on {buf!r} may hit "
-                            f"the same element from different workitems",
-                            hint="make both accesses atomic",
-                            key=(buf, "mix", _site(s.loc), _site(t.loc)),
-                        )
-            for s in stores:
-                if s.val.aff is None:
-                    continue
-                for l in loads:
-                    if self._pair_conflict(s, l, wi):
-                        self._diag(
-                            "error", "R-RACE-GLOBAL", s.loc,
-                            f"workitems read and write overlapping elements "
-                            f"of {buf!r} ({_site(l.loc)} vs {_site(s.loc)}) "
-                            f"with no ordering between workitems",
-                            hint="double-buffer the data or split the kernel "
-                                 "into two launches",
-                            key=(buf, "rw", _site(s.loc), _site(l.loc)),
-                        )
-            for t in atomics:
-                for l in loads:
-                    if self._pair_conflict(t, l, wi):
-                        self._diag(
-                            "warning", "R-RACE-GLOBAL", l.loc,
-                            f"read of {buf!r} may observe a concurrent "
-                            f"atomic_add from another workitem",
-                            hint="read the result in a second launch",
-                            key=(buf, "atomic-read", _site(t.loc), _site(l.loc)),
-                        )
-
-    def _rule_local_races(self) -> None:
-        by_arr: Dict[str, List[_Access]] = {}
-        for a in self.accesses:
-            if a.local:
-                by_arr.setdefault(a.name, []).append(a)
-        wi = ("l",)
-        fixed = ("grp",)
-        for arr, accs in by_arr.items():
-            for s in accs:
-                if s.kind != "store":
-                    continue
-                if s.val.aff is None:
-                    self._diag(
-                        "warning", "R-RACE-LOCAL", s.loc,
-                        f"cannot prove the scatter store to local {arr!r} "
-                        f"race-free (data-dependent index)",
-                        hint="use atomic_add on the local array",
-                        key=(arr, "scatter", _site(s.loc)),
-                    )
-                elif self._self_race(s.val.aff, s.guards, wi, fixed):
-                    self._diag(
-                        "error", "R-RACE-LOCAL", s.loc,
-                        f"two workitems of one workgroup may store the same "
-                        f"element of local {arr!r} in the same barrier epoch",
-                        hint="index the local array by get_local_id, or use "
-                             "atomic_add",
-                        key=(arr, "self", _site(s.loc)),
-                    )
-            for i, a in enumerate(accs):
-                # accesses are recorded in program order (ascending .pos), so
-                # the first barrier after ``a`` separates it from every later
-                # access at once — stop the inner scan there instead of
-                # testing each pair
-                bi = bisect_right(self.barriers, a.pos)
-                epoch_end = (self.barriers[bi] if bi < len(self.barriers)
-                             else math.inf)
-                for b in accs[i + 1:]:
-                    if b.pos > epoch_end:
-                        break
-                    if a.kind == "load" and b.kind == "load":
-                        continue
-                    if a.kind == "atomic" and b.kind == "atomic":
-                        continue
-                    if self._pair_conflict(a, b, wi, fixed):
-                        self._diag(
-                            "error", "R-RACE-LOCAL", a.loc,
-                            f"accesses to local {arr!r} at {_site(a.loc)} and "
-                            f"{_site(b.loc)} may touch the same element from "
-                            f"different workitems with no barrier between "
-                            f"them",
-                            hint="insert barrier() between the producing "
-                                 "store and the consuming access",
-                            key=(arr, _site(a.loc), _site(b.loc)),
-                        )
-
-    def _rule_uninit_local(self) -> None:
-        first_store: Dict[str, int] = {}
-        for a in self.accesses:
-            if a.local and a.kind in ("store", "atomic"):
-                p = first_store.get(a.name)
-                if p is None or a.pos < p:
-                    first_store[a.name] = a.pos
-        for a in self.accesses:
-            if not a.local or a.kind != "load":
-                continue
-            p = first_store.get(a.name)
-            if p is None or p >= a.pos:
-                self._diag(
-                    "warning", "R-UNINIT-LOCAL", a.loc,
-                    f"local array {a.name!r} is read before any workitem "
-                    f"stores to it (contents are undefined in OpenCL)",
-                    hint="initialize the local array (and barrier) before "
-                         "the first read",
-                    key=(a.name,),
-                )
-
-    def _rule_unused_params(self) -> None:
-        for p in self.kernel.params:
-            if p.name not in self.used:
-                kind = "buffer" if isinstance(p, ir.BufferParam) else "scalar"
-                self._diag(
-                    "warning", "R-UNUSED-PARAM", "signature",
-                    f"{kind} parameter {p.name!r} is never referenced by the "
-                    f"kernel body",
-                    hint="drop the parameter or use it",
-                    key=(p.name,),
-                )
-
-
 _VEC_HINTS = {
     "atomics": "replace global atomics with a per-workgroup reduction",
     "divergent": "make barrier-reaching control flow uniform per workgroup",
@@ -1063,9 +183,11 @@ def verify_launch(
     R-OOB); ``buffer_flags`` maps them to the host allocation's effective
     access ("r", "w" or "rw" — from ``mem_flags``; enables R-FLAGS).
     """
-    v = _Verifier(kernel, ctx, buffer_sizes, buffer_flags)
-    v.run()
-    diags = v.diags
+    df = analyze_launch(kernel, ctx)
+    diags = [
+        Diagnostic(f.severity, f.rule, kernel.name, f.location, f.message, f.hint)
+        for f in df.findings(buffer_sizes, buffer_flags)
+    ]
 
     if include_vectorization:
         from .vectorize import OpenCLVectorizer
@@ -1083,7 +205,12 @@ def verify_launch(
 
     suppressions = frozenset(getattr(kernel, "suppressions", ()) or ())
     kept = [d for d in diags if d.rule not in suppressions]
-    kept.sort(key=lambda d: _SEV_ORDER.get(d.severity, len(SEVERITIES)))
+    kept.sort(key=lambda d: (
+        _SEV_ORDER.get(d.severity, len(SEVERITIES)),
+        location_sort_key(d.location),
+        d.rule,
+        d.message,
+    ))
     return VerifyReport(
         kernel=kernel.name,
         diagnostics=kept,

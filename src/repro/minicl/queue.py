@@ -317,6 +317,18 @@ class CommandQueue:
                     interpreter=interp,
                 )
 
+        # record the launch's chunk-safety verdict in the scheduler stats;
+        # the proof is served from LaunchPlanCache("kernelir.analysis"), so
+        # repeat launches of one shape do not re-run the analysis
+        from ..kernelir.dataflow import chunk_safety
+        from .schedule import note_kernel_launch
+
+        note_kernel_launch(
+            chunk_safety(
+                kernel.kernel, gsize, resolved_lsize, scalars
+            ).eligible
+        )
+
         return self._complete(
             command_type.NDRANGE_KERNEL,
             cost.total_ns,

@@ -60,17 +60,38 @@ _STATS = {
     "executed": 0,
     "drains": 0,
     "max_in_flight": 0,
+    "kernel_nodes": 0,
+    "kernel_nodes_chunk_eligible": 0,
 }
 
 
 def scheduler_stats() -> Dict[str, int]:
-    """Snapshot of process-wide DAG-engine activity."""
-    return dict(_STATS)
+    """Snapshot of process-wide DAG-engine activity.
+
+    ``chunk_eligible_fraction`` is the share of NDRange nodes whose launch
+    the shared dataflow analysis proved safe to split across the worker
+    pool (see :func:`repro.kernelir.dataflow.chunk_safety`) — the paper's
+    multi-core scaling only applies to that fraction of the suite.
+    """
+    out = dict(_STATS)
+    n = out["kernel_nodes"]
+    out["chunk_eligible_fraction"] = (
+        round(out["kernel_nodes_chunk_eligible"] / n, 4) if n else 0.0
+    )
+    return out
 
 
 def reset_scheduler_stats() -> None:
     for k in _STATS:
         _STATS[k] = 0
+
+
+def note_kernel_launch(chunk_eligible: bool) -> None:
+    """Record one NDRange enqueue and its chunk-safety verdict (called by
+    :meth:`repro.minicl.queue.CommandQueue.enqueue_nd_range_kernel`)."""
+    _STATS["kernel_nodes"] += 1
+    if chunk_eligible:
+        _STATS["kernel_nodes_chunk_eligible"] += 1
 
 
 # node lifecycle: recorded -> released -> submitted -> running -> done

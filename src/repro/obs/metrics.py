@@ -147,6 +147,15 @@ class MetricsRegistry:
         for k, v in stats.items():
             self.gauge(f"scheduler.{k}").set(v)
 
+    def absorb_analysis_stats(self, stats: Optional[dict] = None) -> None:
+        """Pull :func:`repro.kernelir.dataflow.analysis_stats` into gauges."""
+        if stats is None:
+            from ..kernelir import dataflow
+
+            stats = dataflow.analysis_stats()
+        for k, v in stats.items():
+            self.gauge(f"analysis.{k}").set(v)
+
     def absorb_verifier_tally(self, tally) -> None:
         """Accumulate one experiment's ``DiagnosticTally`` into counters."""
         self.counter("verify.launches").inc(tally.launches)

@@ -1,0 +1,564 @@
+"""Tests for the shared dataflow framework (``repro.kernelir.dataflow``).
+
+Covers the lattice algebra (property tests on fixed seeds), the
+congruence-of-strides domain, the interval fixes for negative-stride and
+zero-trip loops, the dataflow-only diagnostics (R-DEAD-STORE,
+R-UNINIT-PRIVATE, R-DIV-ZERO, R-SHIFT-RANGE, barrier-in-divergent-loop),
+unrolled-site dedup, the chunk-safety verdicts consumed by the scheduler,
+the analysis cache/stats, and a short differential-fuzzer smoke run.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.kernelir import (
+    F32,
+    I32,
+    KernelBuilder,
+    LaunchContext,
+    verify_launch,
+)
+from repro.kernelir import ast as ir
+from repro.kernelir.dataflow import (
+    AffineIndex,
+    Divergence,
+    Interval,
+    StrideCongruence,
+    analysis_stats,
+    analyze_launch,
+    chunk_safety,
+    location_sort_key,
+    reset_analysis_stats,
+)
+
+
+def _ctx():
+    return LaunchContext((64,), (16,))
+
+
+def _rules(report):
+    return {d.rule for d in report.diagnostics}
+
+
+def _diags(report, rule):
+    return [d for d in report.diagnostics if d.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# Interval lattice: property tests on a fixed seed
+# ---------------------------------------------------------------------------
+
+
+def _rand_interval(rng):
+    r = rng.random()
+    if r < 0.08:
+        return Interval.TOP
+    if r < 0.16:
+        return Interval.BOTTOM
+    lo = rng.choice([-math.inf] + list(range(-20, 21)))
+    hi = rng.choice([math.inf] + list(range(-20, 21)))
+    return Interval(lo, hi)
+
+
+def _leq(a, b):
+    """a ⊑ b in the interval lattice (empty is bottom)."""
+    if a.empty:
+        return True
+    if b.empty:
+        return False
+    return b.lo <= a.lo and a.hi <= b.hi
+
+
+class TestIntervalLattice:
+    def test_join_idempotent_and_commutative(self):
+        rng = random.Random(7)
+        for _ in range(300):
+            a, b = _rand_interval(rng), _rand_interval(rng)
+            assert a.join(a) == a or a.empty  # any empty rep joins to itself
+            assert a.join(b) == b.join(a) or (a.empty and b.empty)
+
+    def test_join_is_an_upper_bound(self):
+        rng = random.Random(8)
+        for _ in range(300):
+            a, b = _rand_interval(rng), _rand_interval(rng)
+            j = a.join(b)
+            assert _leq(a, j) and _leq(b, j)
+
+    def test_join_monotone(self):
+        rng = random.Random(9)
+        for _ in range(300):
+            a, b, c = (_rand_interval(rng) for _ in range(3))
+            big = a.join(b)  # a ⊑ big by construction
+            assert _leq(a.join(c), big.join(c))
+
+    def test_meet_is_a_lower_bound(self):
+        rng = random.Random(10)
+        for _ in range(300):
+            a, b = _rand_interval(rng), _rand_interval(rng)
+            m = a.meet(b)
+            assert _leq(m, a) and _leq(m, b)
+
+    def test_widen_covers_join_and_stabilizes(self):
+        rng = random.Random(11)
+        for _ in range(300):
+            a, b = _rand_interval(rng), _rand_interval(rng)
+            w = a.widen(b)
+            assert _leq(a.join(b), w)
+            # a second widening by the same operand must be a no-op
+            assert w.widen(b) == w
+
+    def test_top_bottom_membership(self):
+        assert Interval.TOP.is_top
+        assert Interval.BOTTOM.empty
+        assert 5.0 in Interval(0, 10)
+        assert 11.0 not in Interval(0, 10)
+
+
+# ---------------------------------------------------------------------------
+# Stride/congruence lattice
+# ---------------------------------------------------------------------------
+
+
+class TestStrideCongruence:
+    def test_constants_and_make_normalization(self):
+        c = StrideCongruence.const(7)
+        assert c.is_const and c.contains(7) and not c.contains(8)
+        assert StrideCongruence.make(4, 10) == StrideCongruence.make(4, 2)
+        assert StrideCongruence.make(-4, 2).mod == 4
+
+    def test_from_aff_coalescing_facts(self):
+        # 4*g + 2  ->  x ≡ 2 (mod 4)
+        a = AffineIndex(2.0, {("g", 0): 4.0})
+        s = StrideCongruence.from_aff(a)
+        assert (s.mod, s.rem) == (4, 2)
+        # 4*g + 6*j  ->  gcd stride 2
+        b = AffineIndex(0.0, {("g", 0): 4.0, ("loop", "j"): 6.0})
+        assert StrideCongruence.from_aff(b).mod == 2
+        # non-integer coefficient falls to top
+        t = StrideCongruence.from_aff(AffineIndex(0.0, {("g", 0): 0.5}))
+        assert t.is_top
+
+    def test_join_gcd_rule(self):
+        # two constants join to the gcd-of-difference congruence
+        j = StrideCongruence.const(4).join(StrideCongruence.const(10))
+        assert (j.mod, j.rem) == (6, 4)
+        assert j.contains(4) and j.contains(10) and j.contains(16)
+        assert not j.contains(5)
+
+    def test_join_properties_preserve_membership(self):
+        rng = random.Random(12)
+        for _ in range(300):
+            m1, m2 = rng.randrange(0, 9), rng.randrange(0, 9)
+            a = StrideCongruence.make(m1, rng.randrange(-20, 20))
+            b = StrideCongruence.make(m2, rng.randrange(-20, 20))
+            j = a.join(b)
+            assert j == b.join(a)
+            assert a.join(a) == a
+            for k in range(4):
+                va = a.rem + k * a.mod
+                vb = b.rem + k * b.mod
+                assert j.contains(va), (a, b, j, va)
+                assert j.contains(vb), (a, b, j, vb)
+
+
+class TestDivergence:
+    def test_two_point_join(self):
+        U, V = Divergence.UNIFORM, Divergence.VARYING
+        assert U.join(U) == U
+        assert U.join(V) == V == V.join(U) == V.join(V)
+
+
+# ---------------------------------------------------------------------------
+# Interval edge cases: zero-trip and negative-stride loops
+# ---------------------------------------------------------------------------
+
+
+class TestLoopIntervalEdgeCases:
+    def test_zero_trip_loop_emits_no_diagnostics(self):
+        # the body is unreachable: a wildly OOB access inside must not fire
+        kb = KernelBuilder("zerotrip")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        with kb.loop("j", 5, 5):
+            out[g] = a[g + 1000000]
+        out[g] = a[g]
+        rep = verify_launch(kb.finish(), _ctx(),
+                            buffer_sizes={"a": 64, "out": 64},
+                            include_vectorization=False)
+        assert rep.diagnostics == []
+
+    def test_negative_stride_loop_keeps_finite_bounds(self):
+        # j runs 10, 9, ..., 1: a[j] stays in [1, 10] — no spurious R-OOB
+        kb = KernelBuilder("negstride")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", kb.f32(0.0))
+        with kb.loop("j", 10, 0, -1) as j:
+            kb.let(acc.name, acc + a[j])
+        out[g] = acc
+        rep = verify_launch(kb.finish(), _ctx(),
+                            buffer_sizes={"a": 64, "out": 64},
+                            include_vectorization=False)
+        assert "R-OOB" not in _rules(rep)
+
+    def test_negative_stride_loop_still_catches_real_oob(self):
+        # precision check: the same loop var shifted below 0 must fire
+        kb = KernelBuilder("negstride_oob")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        acc = kb.let("acc", kb.f32(0.0))
+        with kb.loop("j", 10, 0, -1) as j:
+            kb.let(acc.name, acc + a[j - 20])
+        out[g] = acc
+        rep = verify_launch(kb.finish(), _ctx(),
+                            buffer_sizes={"a": 64, "out": 64},
+                            include_vectorization=False)
+        assert "R-OOB" in _rules(rep)
+
+
+# ---------------------------------------------------------------------------
+# Divergence analysis: barrier in divergent loop vs divergent if
+# ---------------------------------------------------------------------------
+
+
+class TestBarrierDivergence:
+    def test_barrier_in_loop_with_varying_trip_count(self):
+        kb = KernelBuilder("divloop")
+        out = kb.buffer("out", F32, access="w")
+        tile = kb.local_array("tile", 16, F32)
+        g = kb.global_id(0)
+        lid = kb.local_id(0)
+        with kb.loop("j", 0, g):
+            tile[lid] = kb.f32(1.0)
+            kb.barrier()
+        out[g] = tile[lid]
+        rep = verify_launch(kb.finish(), _ctx(),
+                            include_vectorization=False)
+        found = _diags(rep, "R-BARRIER-DIV")
+        assert found and "trip count varies" in found[0].message
+
+    def test_barrier_under_divergent_if(self):
+        kb = KernelBuilder("divif")
+        out = kb.buffer("out", F32, access="w")
+        tile = kb.local_array("tile", 16, F32)
+        g = kb.global_id(0)
+        lid = kb.local_id(0)
+        with kb.if_(g < 32):
+            tile[lid] = kb.f32(1.0)
+            kb.barrier()
+        out[g] = tile[lid]
+        rep = verify_launch(kb.finish(), _ctx(),
+                            include_vectorization=False)
+        found = _diags(rep, "R-BARRIER-DIV")
+        assert found and "condition varies" in found[0].message
+
+    def test_uniform_loop_barrier_is_clean(self):
+        kb = KernelBuilder("uniloop")
+        out = kb.buffer("out", F32, access="w")
+        tile = kb.local_array("tile", 16, F32)
+        g = kb.global_id(0)
+        lid = kb.local_id(0)
+        with kb.loop("j", 0, 4):
+            tile[lid] = kb.f32(1.0)
+            kb.barrier()
+        out[g] = tile[lid]
+        rep = verify_launch(kb.finish(), _ctx(),
+                            include_vectorization=False)
+        assert "R-BARRIER-DIV" not in _rules(rep)
+
+
+# ---------------------------------------------------------------------------
+# Dataflow-only diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestDeadStore:
+    def test_overwritten_store_is_flagged(self):
+        kb = KernelBuilder("ds")
+        a = kb.buffer("a", F32, access="r")
+        b = kb.buffer("b", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        out[g] = a[g]
+        out[g] = b[g]
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        found = _diags(rep, "R-DEAD-STORE")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_read_between_stores_keeps_both(self):
+        kb = KernelBuilder("ds_read")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="rw")
+        g = kb.global_id(0)
+        out[g] = a[g]
+        t = kb.let("t", out[g])
+        out[g] = t + kb.f32(1.0)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        assert "R-DEAD-STORE" not in _rules(rep)
+
+    def test_barrier_between_stores_keeps_both(self):
+        kb = KernelBuilder("ds_barrier")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        out[g] = a[g]
+        kb.barrier()
+        out[g] = a[g] * kb.f32(2.0)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        assert "R-DEAD-STORE" not in _rules(rep)
+
+    def test_sibling_branch_stores_are_not_dead(self):
+        kb = KernelBuilder("ds_branch")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        with kb.if_(g < 32):
+            out[g] = a[g]
+        with kb.else_():
+            out[g] = a[g] * kb.f32(2.0)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        assert "R-DEAD-STORE" not in _rules(rep)
+
+
+class TestUninitPrivate:
+    def test_never_assigned_is_an_error(self):
+        kb = KernelBuilder("uninit")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        out[g] = ir.Var("zz", F32) + a[g]
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        found = _diags(rep, "R-UNINIT-PRIVATE")
+        assert found and found[0].severity == "error"
+        assert "never" in found[0].message
+
+    def test_branch_only_assignment_is_a_maybe_warning(self):
+        kb = KernelBuilder("maybeuninit")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        with kb.if_(g < 16):
+            kb.let("w", a[g])
+        out[g] = ir.Var("w", F32)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        found = _diags(rep, "R-UNINIT-PRIVATE")
+        assert found and found[0].severity == "warning"
+        assert "some control-flow paths" in found[0].message
+
+    def test_both_branches_assigning_is_clean(self):
+        kb = KernelBuilder("bothinit")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        with kb.if_(g < 16):
+            kb.let("w", a[g])
+        with kb.else_():
+            kb.let("w", kb.f32(0.0))
+        out[g] = ir.Var("w", F32)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        assert "R-UNINIT-PRIVATE" not in _rules(rep)
+
+
+class TestDivZeroAndShift:
+    def test_certain_integer_div_zero_is_an_error(self):
+        kb = KernelBuilder("divzero")
+        iout = kb.buffer("iout", I32, access="w")
+        g = kb.global_id(0)
+        iout[g] = kb.cast(g % ir.Const(0, I32), I32)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        found = _diags(rep, "R-DIV-ZERO")
+        assert found and found[0].severity == "error"
+
+    def test_range_containing_zero_is_a_warning(self):
+        # symbolic loop starting at 0: divisor interval contains 0
+        kb = KernelBuilder("divmaybe")
+        iout = kb.buffer("iout", I32, access="w")
+        n = kb.scalar("n", I32)
+        g = kb.global_id(0)
+        with kb.loop("j", 0, n) as j:
+            iout[g] = kb.cast(g % j, I32)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        found = _diags(rep, "R-DIV-ZERO")
+        assert found and found[0].severity == "warning"
+        assert "may be zero" in found[0].message
+
+    def test_nonzero_divisor_is_clean(self):
+        kb = KernelBuilder("divok")
+        iout = kb.buffer("iout", I32, access="w")
+        g = kb.global_id(0)
+        iout[g] = kb.cast(g % ir.Const(7, I32), I32)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        assert "R-DIV-ZERO" not in _rules(rep)
+
+    def test_shift_beyond_width_is_flagged(self):
+        kb = KernelBuilder("shiftwide")
+        iout = kb.buffer("iout", I32, access="w")
+        g = kb.global_id(0)
+        iout[g] = kb.cast(g, I32) << ir.Const(40, I32)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        found = _diags(rep, "R-SHIFT-RANGE")
+        assert found and "outside [0, 32)" in found[0].message
+
+    def test_in_range_shift_is_clean(self):
+        kb = KernelBuilder("shiftok")
+        iout = kb.buffer("iout", I32, access="w")
+        g = kb.global_id(0)
+        iout[g] = kb.cast(g, I32) << ir.Const(2, I32)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        assert "R-SHIFT-RANGE" not in _rules(rep)
+
+
+class TestUnrolledSiteDedup:
+    def test_constant_trip_loop_reports_each_defect_once(self):
+        # the loop fully unrolls to 4 copies of the same defective store;
+        # site-based dedup must fold them into one diagnostic
+        kb = KernelBuilder("dedup")
+        iout = kb.buffer("iout", I32, access="w")
+        g = kb.global_id(0)
+        with kb.loop("j", 0, 4):
+            iout[g] = kb.cast(g % ir.Const(0, I32), I32)
+        rep = verify_launch(kb.finish(), _ctx(), include_vectorization=False)
+        assert len(_diags(rep, "R-DIV-ZERO")) == 1
+
+
+class TestDeterministicOrdering:
+    def test_location_sort_key_natural_order(self):
+        locs = ["body[10]", "body[2]", "body[2]/then[0]", "kernel"]
+        ordered = sorted(locs, key=location_sort_key)
+        assert ordered.index("body[2]") < ordered.index("body[2]/then[0]")
+        assert ordered.index("body[2]/then[0]") < ordered.index("body[10]")
+
+    def test_report_order_is_stable(self):
+        kb = KernelBuilder("order")
+        a = kb.buffer("a", F32, access="r")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        out[g] = a[g]
+        out[g] = ir.Var("zz", F32)  # uninit error + dead store warning
+        k = kb.finish()
+        r1 = verify_launch(k, _ctx(), include_vectorization=False)
+        r2 = verify_launch(k, _ctx(), include_vectorization=False)
+        assert [d.format() for d in r1.diagnostics] == \
+               [d.format() for d in r2.diagnostics]
+        sevs = [d.severity for d in r1.diagnostics]
+        assert sevs == sorted(sevs, key=("error", "warning", "note").index)
+
+
+# ---------------------------------------------------------------------------
+# Chunk-safety verdicts (the scheduler/fusion consumer)
+# ---------------------------------------------------------------------------
+
+
+def _elementwise():
+    kb = KernelBuilder("cs_ok")
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    out[g] = a[g] * a[g]
+    return kb.finish()
+
+
+class TestChunkSafety:
+    def test_injective_elementwise_is_eligible(self):
+        cs = chunk_safety(_elementwise(), (64,), (16,), {})
+        assert cs.eligible
+
+    def test_racy_constant_store_is_ineligible(self):
+        kb = KernelBuilder("cs_race")
+        out = kb.buffer("out", F32, access="w")
+        out[0] = kb.f32(1.0)
+        cs = chunk_safety(kb.finish(), (64,), (16,), {})
+        assert not cs.eligible
+
+    def test_barrier_kernel_is_ineligible(self):
+        kb = KernelBuilder("cs_barrier")
+        out = kb.buffer("out", F32, access="w")
+        tile = kb.local_array("tile", 16, F32)
+        g = kb.global_id(0)
+        lid = kb.local_id(0)
+        tile[lid] = kb.f32(1.0)
+        kb.barrier()
+        out[g] = tile[lid]
+        cs = chunk_safety(kb.finish(), (64,), (16,), {})
+        assert not cs.eligible
+
+    def test_suppressed_race_rule_blocks_eligibility(self):
+        # a suppressed R-RACE-GLOBAL means "we know, don't tell us" — the
+        # scheduler must still refuse to chunk such a kernel
+        kb = KernelBuilder("cs_suppressed")
+        out = kb.buffer("out", F32, access="w")
+        g = kb.global_id(0)
+        out[g] = kb.f32(1.0)
+        kb.suppress("R-RACE-GLOBAL")
+        cs = chunk_safety(kb.finish(), (64,), (16,), {})
+        assert not cs.eligible
+
+    def test_suite_chunk_eligible_fraction_meets_baseline(self):
+        # the PR 5 baseline: 22 of the 27 shipped kernels chunk-eligible
+        import numpy as np
+
+        from repro.__main__ import _lint_benchmarks
+
+        rng = np.random.default_rng(0)
+        checked = eligible = 0
+        for name, b in sorted(_lint_benchmarks().items()):
+            gs = tuple(int(g) for g in b.default_global_sizes[0])
+            _, scalars = b.make_data(gs, rng)
+            scalars = {**scalars, **b.scalars_for(1)}
+            kernel, launch_gs, ls = b.resolved_launch(gs)
+            cs = chunk_safety(kernel, launch_gs, ls,
+                              {k: float(v) for k, v in scalars.items()})
+            checked += 1
+            eligible += bool(cs.eligible)
+        assert checked >= 27
+        assert eligible / checked >= 22 / 27, (eligible, checked)
+
+
+# ---------------------------------------------------------------------------
+# Cache + stats
+# ---------------------------------------------------------------------------
+
+
+class TestCacheAndStats:
+    def test_analyze_launch_reuses_cached_bundle(self):
+        k = _elementwise()
+        ctx = _ctx()
+        d1 = analyze_launch(k, ctx)
+        d2 = analyze_launch(k, ctx)
+        assert d1 is d2
+
+    def test_stats_counters_and_fraction(self):
+        reset_analysis_stats()
+        k = _elementwise()
+        analyze_launch(k, LaunchContext((128,), (16,)))
+        chunk_safety(k, (128,), (16,), {})
+        s = analysis_stats()
+        for key in (
+            "kernels_analyzed", "interval_iterations",
+            "divergence_iterations", "stride_queries",
+            "reachdef_iterations", "cache_hit_rate",
+            "chunk_checked", "chunk_eligible", "chunk_eligible_fraction",
+        ):
+            assert key in s, key
+        assert s["kernels_analyzed"] >= 1
+        assert s["chunk_checked"] == 1
+        assert s["chunk_eligible"] == 1
+        assert s["chunk_eligible_fraction"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzzer smoke
+# ---------------------------------------------------------------------------
+
+
+class TestFuzzSmoke:
+    def test_short_fuzz_run_is_clean(self):
+        from repro.kernelir.fuzz import run_fuzz
+
+        assert run_fuzz(seeds=20, quick=True) == 0
