@@ -18,6 +18,9 @@ Subcommands:
   NumPy source the kernel JIT generates for each suite kernel;
 * ``trace record|summarize|diff`` — record an experiment run as a
   Chrome-trace (Perfetto) JSON, summarize one trace, or diff two;
+* ``cache stats|clear`` — inspect or wipe the persistent on-disk code
+  cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; see
+  ``docs/CODEGEN.md``);
 * ``list`` — list experiments and benchmarks.
 
 ``experiments`` and ``bench`` accept ``--engine {compiled,interp}`` to pick
@@ -176,6 +179,7 @@ def _finish_trace(tracer, path) -> None:
 
     obs.REGISTRY.absorb_cache_stats()
     obs.REGISTRY.absorb_jit_stats()
+    obs.REGISTRY.absorb_disk_cache_stats()
     obs.REGISTRY.absorb_scheduler_stats()
     obs.REGISTRY.absorb_analysis_stats()
     out = obs.write_trace(tracer, path, registry=obs.REGISTRY)
@@ -349,6 +353,7 @@ def cmd_emit(args) -> int:
 
 def cmd_jitdump(args) -> int:
     """Dump the kernel JIT's generated NumPy source for suite kernels."""
+    from .kernelir.coarsen import CoarsenError
     from .kernelir.compile import UnsupportedKernelError, generated_source
 
     benches = _lint_benchmarks()
@@ -364,24 +369,34 @@ def cmd_jitdump(args) -> int:
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
     n_unsupported = 0
+    coarsen = args.coarsen or 0
+    if coarsen == 1:
+        coarsen = 0  # K=1 is the identity transform
+    if coarsen < 0:
+        raise SystemExit(f"--coarsen must be >= 1, got {coarsen}")
     for name in names:
         kernel = benches[name].kernel()
         try:
-            src = generated_source(kernel, count_ops=args.count_ops)
-        except UnsupportedKernelError as e:
+            src = generated_source(
+                kernel, count_ops=args.count_ops, coarsen=coarsen
+            )
+            reason = None
+        except (UnsupportedKernelError, CoarsenError) as e:
             src = None
+            reason = str(e)
             n_unsupported += 1
         if out_dir:
             path = out_dir / f"{kernel.name}.py"
             if src is None:
                 path.with_suffix(".txt").write_text(
-                    f"# interpreter fallback: {e}\n"
+                    f"# interpreter fallback: {reason}\n"
                 )
             else:
                 path.write_text(src + "\n")
         else:
             header = f"# ===== {name} ({kernel.name}) ====="
-            body = src if src is not None else f"# interpreter fallback: {e}"
+            body = (src if src is not None
+                    else f"# interpreter fallback: {reason}")
             print(f"{header}\n{body}\n")
     if out_dir:
         print(
@@ -530,6 +545,30 @@ def cmd_fuzz(args) -> int:
         quick=args.quick,
         verbose=args.verbose,
     )
+
+
+def cmd_cache(args) -> int:
+    """Inspect or wipe the persistent on-disk code cache."""
+    from . import diskcache
+
+    if args.action == "clear":
+        removed = diskcache.clear()
+        print(f"[cache] removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {diskcache.cache_dir()}")
+        return 0
+
+    # stats
+    use = diskcache.usage()
+    print(f"cache dir:     {use['dir']}")
+    print(f"code version:  {use['code_version']}")
+    print(f"entries:       {use['entries']} ({use['bytes']} bytes)")
+    for ver, info in sorted(use["versions"].items()):
+        cur = "  <- current" if ver == use["code_version"][:16] else ""
+        print(f"  {ver}: {info['entries']} entries, "
+              f"{info['bytes']} bytes{cur}")
+    if not diskcache.enabled():
+        print("note: REPRO_NO_CACHE is set; the disk cache is bypassed")
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -684,6 +723,9 @@ def main(argv=None) -> int:
                             "printing to stdout")
     p_jit.add_argument("--count-ops", action="store_true",
                        help="generate the dynamic-op-counting variant")
+    p_jit.add_argument("--coarsen", type=int, metavar="K",
+                       help="dump the thread-coarsened variant (factor K; "
+                            "kernels where coarsening is illegal fall back)")
     p_jit.set_defaults(fn=cmd_jitdump)
 
     p_lint = sub.add_parser(
@@ -715,6 +757,20 @@ def main(argv=None) -> int:
     p_fuzz.add_argument("--verbose", action="store_true",
                         help="print one line per generated kernel")
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or wipe the persistent on-disk code cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    c_stats = cache_sub.add_parser(
+        "stats", help="print cache location, entry counts, and bytes"
+    )
+    c_stats.set_defaults(fn=cmd_cache)
+    c_clear = cache_sub.add_parser(
+        "clear", help="delete every cached entry (all code versions)"
+    )
+    c_clear.set_defaults(fn=cmd_cache)
 
     p_trace = sub.add_parser(
         "trace",

@@ -1,0 +1,278 @@
+"""Persistent on-disk cache for compiled kernels and launch-plan verdicts.
+
+pocl (and every production OpenCL runtime) keys a kernel binary cache on a
+hash of the source and the compiler version so that cold processes skip
+codegen entirely; this module is the same idea for the repo's kernel JIT.
+Two entry kinds live under ``~/.cache/repro`` (override with
+``REPRO_CACHE_DIR``):
+
+* **kernels** — the self-contained generated Python source of one
+  :class:`~repro.kernelir.compile.CompiledKernel` (or the negative
+  "unsupported IR" verdict), keyed on ``Kernel.fingerprint()`` + compile
+  options;
+* **plans** — the launch-plan facts that are expensive to recompute (the
+  chunk-safety race proof and the chosen coarsening factor), keyed on the
+  kernel key + NDRange + scalars;
+* **verify** — the harness verifier's full diagnostic report for one
+  (kernel, launch, data shape) triple, so warm benchmark runs skip the
+  abstract-interpretation fixpoint and the race rules entirely.
+
+Entries are partitioned by a **code version** — a hash over the source of
+every module that defines generated-code semantics — so upgrading the repo
+silently invalidates stale entries; each payload additionally carries the
+version stamp and is rejected on mismatch (belt and braces, and it makes
+the invalidation unit-testable).  Writes go through a temp file +
+``os.replace`` so concurrent writers never publish a torn entry, and loads
+treat any malformed payload as a miss.  ``REPRO_NO_CACHE=1`` bypasses the
+disk exactly like it bypasses the in-memory plan caches.
+
+``python -m repro cache {stats,clear}`` inspects and resets the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "cache_dir",
+    "clear",
+    "code_version",
+    "disk_cache_stats",
+    "enabled",
+    "load_kernel",
+    "load_plan",
+    "load_verify",
+    "reset_disk_cache_stats",
+    "store_kernel",
+    "store_plan",
+    "store_verify",
+    "usage",
+]
+
+#: modules whose source defines the semantics of generated code and of the
+#: cached plan verdicts; any edit to them must invalidate the cache
+_VERSIONED_MODULES = (
+    "repro.kernelir.ast",
+    "repro.kernelir.types",
+    "repro.kernelir.interp",
+    "repro.kernelir.compile",
+    "repro.kernelir.coarsen",
+    "repro.kernelir.fuse",
+    "repro.kernelir.dataflow",
+    "repro.kernelir.vectorize",
+    "repro.kernelir.verify",
+)
+
+_STATS = {
+    "kernel_hits": 0,
+    "kernel_misses": 0,
+    "kernel_stores": 0,
+    "plan_hits": 0,
+    "plan_misses": 0,
+    "plan_stores": 0,
+    "verify_hits": 0,
+    "verify_misses": 0,
+    "verify_stores": 0,
+    "errors": 0,
+}
+
+_tmp_counter = itertools.count()
+_code_version: Optional[str] = None
+
+
+def cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def enabled() -> bool:
+    """Disk persistence honors the same kill switch as the plan caches."""
+    from . import plancache
+
+    return plancache.caching_enabled()
+
+
+def code_version() -> str:
+    """Hash of every semantics-defining module's source (computed once)."""
+    global _code_version
+    if _code_version is None:
+        import importlib
+
+        h = hashlib.sha1()
+        for modname in _VERSIONED_MODULES:
+            mod = importlib.import_module(modname)
+            try:
+                h.update(Path(mod.__file__).read_bytes())
+            except OSError:
+                h.update(modname.encode())
+        _code_version = h.hexdigest()
+    return _code_version
+
+
+def _entry_path(kind: str, key: tuple) -> Path:
+    h = hashlib.sha1(repr(key).encode()).hexdigest()
+    return cache_dir() / code_version()[:16] / kind / f"{h}.json"
+
+
+def _load(kind: str, key: tuple) -> Optional[dict]:
+    path = _entry_path(kind, key)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+        if not isinstance(payload, dict):
+            raise ValueError("cache entry is not an object")
+        if payload.get("version") != code_version():
+            return None  # stale stamp: treat as a miss, will be rewritten
+        return payload
+    except FileNotFoundError:
+        return None
+    except Exception:
+        # torn/corrupted/foreign content: a miss, never an error upstream
+        _STATS["errors"] += 1
+        return None
+
+
+def _store(kind: str, key: tuple, payload: dict) -> None:
+    path = _entry_path(kind, key)
+    payload = dict(payload)
+    payload["version"] = code_version()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+        )
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        os.replace(tmp, path)  # atomic publish: concurrent writers race
+        # to an identical payload, and readers never see a torn file
+    except OSError:
+        _STATS["errors"] += 1
+
+
+# -- compiled kernels -------------------------------------------------------
+
+
+def load_kernel(key: tuple) -> Optional[dict]:
+    """The cached payload for one compile key, or ``None``.
+
+    Payloads hold either ``{"source": <generated python>}`` or
+    ``{"unsupported": <reason>}`` for kernels the JIT refused.
+    """
+    if not enabled():
+        return None
+    payload = _load("kernels", key)
+    if payload is None or ("source" not in payload
+                           and "unsupported" not in payload):
+        _STATS["kernel_misses"] += 1
+        return None
+    _STATS["kernel_hits"] += 1
+    return payload
+
+
+def store_kernel(key: tuple, payload: dict) -> None:
+    if not enabled():
+        return
+    _STATS["kernel_stores"] += 1
+    _store("kernels", key, payload)
+
+
+# -- launch-plan verdicts ---------------------------------------------------
+
+
+def load_plan(key: tuple) -> Optional[dict]:
+    """Cached ``{"parallel": bool, "coarsen": K}`` verdicts for one plan."""
+    if not enabled():
+        return None
+    payload = _load("plans", key)
+    if payload is None or "parallel" not in payload:
+        _STATS["plan_misses"] += 1
+        return None
+    _STATS["plan_hits"] += 1
+    return payload
+
+
+def store_plan(key: tuple, payload: dict) -> None:
+    if not enabled():
+        return
+    _STATS["plan_stores"] += 1
+    _store("plans", key, payload)
+
+
+# -- verifier reports -------------------------------------------------------
+
+
+def load_verify(key: tuple) -> Optional[dict]:
+    """Cached :class:`~repro.kernelir.verify.VerifyReport` payload, or None."""
+    if not enabled():
+        return None
+    payload = _load("verify", key)
+    if payload is None or not isinstance(payload.get("diagnostics"), list):
+        _STATS["verify_misses"] += 1
+        return None
+    _STATS["verify_hits"] += 1
+    return payload
+
+
+def store_verify(key: tuple, payload: dict) -> None:
+    if not enabled():
+        return
+    _STATS["verify_stores"] += 1
+    _store("verify", key, payload)
+
+
+# -- maintenance / reporting ------------------------------------------------
+
+
+def disk_cache_stats() -> dict:
+    """This process's disk-cache activity (absorbed by ``repro.obs``)."""
+    return dict(_STATS)
+
+
+def reset_disk_cache_stats() -> None:
+    for k in _STATS:
+        _STATS[k] = 0
+
+
+def usage() -> dict:
+    """On-disk footprint: entry counts and bytes, split by code version."""
+    root = cache_dir()
+    out = {
+        "dir": str(root),
+        "code_version": code_version(),
+        "entries": 0,
+        "bytes": 0,
+        "versions": {},
+    }
+    if not root.is_dir():
+        return out
+    for vdir in sorted(p for p in root.iterdir() if p.is_dir()):
+        n = size = 0
+        for f in vdir.rglob("*.json"):
+            try:
+                size += f.stat().st_size
+            except OSError:
+                continue
+            n += 1
+        out["versions"][vdir.name] = {"entries": n, "bytes": size}
+        out["entries"] += n
+        out["bytes"] += size
+    return out
+
+
+def clear() -> int:
+    """Delete every cached entry (all versions); returns entries removed."""
+    root = cache_dir()
+    removed = 0
+    if root.is_dir():
+        removed = sum(1 for _ in root.rglob("*.json"))
+        shutil.rmtree(root, ignore_errors=True)
+    return removed

@@ -281,10 +281,13 @@ def run_bench(
 
     from ..kernelir import dataflow
 
+    from .. import diskcache
+
     plancache.invalidate_all()
     plancache.reset_stats()
     klcompile.reset_compile_stats()
     dataflow.reset_analysis_stats()
+    diskcache.reset_disk_cache_stats()
     try:
         from ..minicl import schedule as clschedule
 
@@ -323,6 +326,7 @@ def run_bench(
             "jit": jit,
         }
         run["analysis"] = dataflow.analysis_stats()
+        run["disk_cache"] = diskcache.disk_cache_stats()
         if clschedule is not None:
             run["scheduler"] = clschedule.scheduler_stats()
         if workers > 1:
@@ -453,7 +457,33 @@ def compare(run: dict, baseline: dict, threshold: float = 0.30,
             f"[bench] engine={jit.get('engine')}: "
             f"{launches.get('compiled', 0)} compiled launch(es), "
             f"{launches.get('interp_fallback', 0)} fallback(s), "
-            f"{launches.get('interp_forced', 0)} forced-interp"
+            f"{launches.get('interp_forced', 0)} forced-interp, "
+            f"{launches.get('coarsened', 0)} coarsened"
+        )
+    # the fused-plan cache and the scheduler's cross-launch fusions are
+    # reported unconditionally — worker fan-out only changes which process
+    # accumulated them, not whether they are part of the run
+    fused = (run.get("cache_stats") or {}).get("kernelir.fused")
+    if fused:
+        log(
+            f"[bench] fused-plan cache: {fused.get('hits', 0)} hit(s) / "
+            f"{fused.get('misses', 0)} miss(es) "
+            f"(hit rate {fused.get('hit_rate', 0.0)})"
+        )
+    sched = run.get("scheduler")
+    if sched is not None:
+        log(
+            f"[bench] scheduler: {sched.get('fused_launches', 0)} "
+            f"cross-launch fusion(s)"
+        )
+    disk = run.get("disk_cache")
+    if disk:
+        log(
+            f"[bench] disk cache: {disk.get('kernel_hits', 0)} kernel / "
+            f"{disk.get('plan_hits', 0)} plan / "
+            f"{disk.get('verify_hits', 0)} verify hit(s), "
+            f"{disk.get('kernel_stores', 0) + disk.get('plan_stores', 0) + disk.get('verify_stores', 0)} "
+            f"store(s), {disk.get('errors', 0)} error(s)"
         )
     analysis = run.get("analysis")
     if analysis:

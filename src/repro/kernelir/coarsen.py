@@ -1,0 +1,317 @@
+"""Thread coarsening: merge K consecutive work-items into one (IR -> IR).
+
+The paper's thread-scheduling experiment shows that per-work-item dispatch
+overhead is the dominant cost of fine-grained NDRanges on CPUs; merging K
+neighbouring work-items along dimension 0 into one compiled work-item
+amortizes that overhead by K.  :func:`coarsen_kernel` performs the merge as
+a pure IR -> IR transform: the coarsened kernel's work-item ``i`` executes
+``K`` unrolled copies of the original body, copy ``j`` impersonating the
+original work-item ``i*K + j``.  The original ``get_global_size(0)`` is
+threaded through a synthetic scalar parameter (``__cg_n0``) and each copy
+is wrapped in a masked-tail guard ``if gid < __cg_n0`` so grids that do not
+divide by K stay exact.
+
+Counter exactness: the guard comparison is not a counted op (only
+``ARITH_OPS`` count), and the two integer ops that reconstruct the original
+global id per copy are tagged *synthetic* (``Kernel.synthetic_op_ids``) so
+:meth:`repro.kernelir.compile._Codegen._counts_for` skips them.  Dynamic
+load/store counters are exact by construction: the tail masks partition the
+original lanes.
+
+Legality (checked by :func:`coarsen_blockers` statically, plus the launch
+shape gate in :mod:`repro.kernelir.compile`):
+
+* no barriers, ``__local`` arrays, or atomics (the coarsened grid has a
+  different workgroup structure, and atomics observe execution order);
+* no reads of ``get_local_id``/``get_group_id``/``get_local_size``/
+  ``get_num_groups`` (their values change under coarsening);
+* no private variable shadowing a scalar parameter (per-copy renaming
+  could not preserve the pre-assignment read of the parameter);
+* the launch must be offset-free and the PR 6 dataflow lattices must prove
+  the launch free of cross-lane hazards (``chunk_safety``), since the
+  unrolled copies reorder work-item execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from . import ast as ir
+from .types import I64
+
+__all__ = [
+    "CoarsenError",
+    "choose_factor",
+    "coarsen_blockers",
+    "coarsen_kernel",
+]
+
+#: modeled per-work-item scheduling overhead on the paper's CPUs, used by
+#: the default-factor heuristic when the device cost model provides none
+DEFAULT_ITEM_OVERHEAD_NS = 40.0
+
+#: modeled cost of one counted arithmetic op / memory access (heuristic)
+_NS_PER_OP = 6.0
+
+#: never coarsen past this factor (unrolled body size grows linearly)
+MAX_FACTOR = 8
+
+#: scalar parameter carrying the original get_global_size(0)
+N0_PARAM = "__cg_n0"
+
+
+class CoarsenError(Exception):
+    """The kernel cannot be coarsened (see :func:`coarsen_blockers`)."""
+
+
+# -- legality ---------------------------------------------------------------
+
+_BLOCKER_CACHE: Dict[str, Optional[str]] = {}
+
+
+def coarsen_blockers(kernel: ir.Kernel) -> Optional[str]:
+    """Why ``kernel`` cannot be coarsened, or ``None`` when it can.
+
+    This is the *static* half of the legality gate; the launch-shape half
+    (offset-free launch, ``chunk_safety`` hazard proof) lives with the
+    launch plan in :mod:`repro.kernelir.compile`.
+    """
+    fp = kernel.fingerprint()
+    if fp in _BLOCKER_CACHE:
+        return _BLOCKER_CACHE[fp]
+    reason = _blockers_uncached(kernel)
+    _BLOCKER_CACHE[fp] = reason
+    return reason
+
+
+def _blockers_uncached(kernel: ir.Kernel) -> Optional[str]:
+    if kernel.local_arrays:
+        return "kernel declares __local arrays"
+    assigned = set()
+    for st in ir.walk_stmts(kernel.body):
+        if isinstance(st, ir.Barrier):
+            return "kernel uses barriers"
+        if isinstance(st, (ir.AtomicAdd, ir.AtomicAddLocal)):
+            return "kernel uses atomics"
+        if isinstance(st, ir.Assign):
+            assigned.add(st.name)
+        elif isinstance(st, ir.For):
+            assigned.add(st.var)
+        for root in ir.stmt_exprs(st):
+            for e in ir.walk_exprs(root):
+                if isinstance(e, (ir.LocalId, ir.GroupId, ir.LocalSize,
+                                  ir.NumGroups)):
+                    return f"kernel reads {e.opencl_name}({e.dim})"
+    scalar_names = {p.name for p in kernel.scalar_params}
+    shadowed = assigned & scalar_names
+    if shadowed:
+        return (f"private variable shadows scalar parameter "
+                f"{sorted(shadowed)[0]!r}")
+    names = (assigned | scalar_names
+             | {p.name for p in kernel.buffer_params})
+    if any(n.startswith("__cg_") for n in names):
+        return "kernel uses a reserved __cg_* name"
+    return None
+
+
+# -- the transform ----------------------------------------------------------
+
+
+def _sub_expr(e: ir.Expr, gid_var: ir.Var, n0_var: ir.Var,
+              renames: Dict[str, str]) -> ir.Expr:
+    """Rebuild ``e`` with GlobalId(0)/GlobalSize(0) substituted and private
+    names renamed.  Untouched subtrees are shared, which is sound: every
+    context-dependent leaf (Var, GlobalId(0), GlobalSize(0)) is rebuilt."""
+    if isinstance(e, ir.GlobalId):
+        return gid_var if e.dim == 0 else e
+    if isinstance(e, ir.GlobalSize):
+        return n0_var if e.dim == 0 else e
+    if isinstance(e, ir.Var):
+        new = renames.get(e.name)
+        return ir.Var(new, e.dtype) if new is not None else e
+    if isinstance(e, (ir.Const, ir.LocalId, ir.GroupId, ir.LocalSize,
+                      ir.NumGroups)):
+        return e
+    if isinstance(e, ir.BinOp):
+        lhs = _sub_expr(e.lhs, gid_var, n0_var, renames)
+        rhs = _sub_expr(e.rhs, gid_var, n0_var, renames)
+        if lhs is e.lhs and rhs is e.rhs:
+            return e
+        return ir.BinOp(e.op, lhs, rhs)
+    if isinstance(e, ir.UnOp):
+        op = _sub_expr(e.operand, gid_var, n0_var, renames)
+        return e if op is e.operand else ir.UnOp(e.op, op)
+    if isinstance(e, ir.Call):
+        args = tuple(_sub_expr(a, gid_var, n0_var, renames) for a in e.args)
+        if all(a is b for a, b in zip(args, e.args)):
+            return e
+        return ir.Call(e.fn, args)
+    if isinstance(e, ir.Load):
+        idx = _sub_expr(e.index, gid_var, n0_var, renames)
+        return e if idx is e.index else ir.Load(e.buffer, idx, e.dtype)
+    if isinstance(e, ir.LoadLocal):
+        idx = _sub_expr(e.index, gid_var, n0_var, renames)
+        return e if idx is e.index else ir.LoadLocal(e.array, idx, e.dtype)
+    if isinstance(e, ir.Select):
+        c = _sub_expr(e.cond, gid_var, n0_var, renames)
+        a = _sub_expr(e.if_true, gid_var, n0_var, renames)
+        b = _sub_expr(e.if_false, gid_var, n0_var, renames)
+        if c is e.cond and a is e.if_true and b is e.if_false:
+            return e
+        return ir.Select(c, a, b)
+    if isinstance(e, ir.Cast):
+        op = _sub_expr(e.operand, gid_var, n0_var, renames)
+        return e if op is e.operand else ir.Cast(op, e.dtype)
+    raise CoarsenError(f"unknown expression {type(e).__name__}")
+
+
+def _sub_body(body, gid_var: ir.Var, n0_var: ir.Var,
+              renames: Dict[str, str]) -> List[ir.Stmt]:
+    out: List[ir.Stmt] = []
+    for s in body:
+        if isinstance(s, ir.Assign):
+            out.append(ir.Assign(
+                renames.get(s.name, s.name),
+                _sub_expr(s.value, gid_var, n0_var, renames),
+            ))
+        elif isinstance(s, ir.Store):
+            out.append(ir.Store(
+                s.buffer,
+                _sub_expr(s.index, gid_var, n0_var, renames),
+                _sub_expr(s.value, gid_var, n0_var, renames),
+            ))
+        elif isinstance(s, ir.StoreLocal):
+            out.append(ir.StoreLocal(
+                s.array,
+                _sub_expr(s.index, gid_var, n0_var, renames),
+                _sub_expr(s.value, gid_var, n0_var, renames),
+            ))
+        elif isinstance(s, ir.For):
+            out.append(ir.For(
+                renames.get(s.var, s.var),
+                _sub_expr(s.start, gid_var, n0_var, renames),
+                _sub_expr(s.stop, gid_var, n0_var, renames),
+                _sub_expr(s.step, gid_var, n0_var, renames),
+                _sub_body(s.body, gid_var, n0_var, renames),
+            ))
+        elif isinstance(s, ir.If):
+            out.append(ir.If(
+                _sub_expr(s.cond, gid_var, n0_var, renames),
+                _sub_body(s.then_body, gid_var, n0_var, renames),
+                _sub_body(s.else_body, gid_var, n0_var, renames),
+            ))
+        else:
+            raise CoarsenError(f"unsupported statement {type(s).__name__}")
+    return out
+
+
+def coarsen_kernel(kernel: ir.Kernel, factor: int) -> ir.Kernel:
+    """The coarsened kernel: ``factor`` unrolled copies with a masked tail.
+
+    The result carries two extra attributes consumed by the compiler:
+    ``synthetic_op_ids`` (ids of transform-introduced arithmetic nodes the
+    op counters must skip) and ``coarsen_factor``.
+    """
+    if factor < 2:
+        raise ValueError(f"coarsen factor must be >= 2, got {factor}")
+    reason = coarsen_blockers(kernel)
+    if reason is not None:
+        raise CoarsenError(reason)
+
+    assigned = set()
+    for st in ir.walk_stmts(kernel.body):
+        if isinstance(st, ir.Assign):
+            assigned.add(st.name)
+        elif isinstance(st, ir.For):
+            assigned.add(st.var)
+
+    n0_var = ir.Var(N0_PARAM, I64)
+    synthetic: List[int] = []
+    body: List[ir.Stmt] = []
+    for j in range(factor):
+        gid_name = f"__cg_gid{j}"
+        gid_var = ir.Var(gid_name, I64)
+        # original gid = new gid * K + j; these two ops are bookkeeping the
+        # original kernel never executed, so they are excluded from counters
+        mul = ir.BinOp("*", ir.GlobalId(0), ir.Const(factor))
+        add = ir.BinOp("+", mul, ir.Const(j))
+        synthetic += [id(mul), id(add)]
+        renames = {n: f"{n}__c{j}" for n in assigned}
+        body.append(ir.Assign(gid_name, add))
+        body.append(ir.If(
+            ir.BinOp("<", gid_var, n0_var),
+            _sub_body(kernel.body, gid_var, n0_var, renames),
+        ))
+
+    coarse = ir.Kernel(
+        name=f"{kernel.name}__cg{factor}",
+        params=list(kernel.params) + [ir.ScalarParam(N0_PARAM, I64)],
+        local_arrays=[],
+        body=body,
+        work_dim=kernel.work_dim,
+        suppressions=kernel.suppressions,
+    )
+    coarse.synthetic_op_ids = frozenset(synthetic)
+    coarse.coarsen_factor = factor
+    return coarse
+
+
+_DERIVED: Dict[Tuple[str, int], ir.Kernel] = {}
+
+
+def get_coarsened(kernel: ir.Kernel, factor: int) -> ir.Kernel:
+    """Memoized :func:`coarsen_kernel` (keyed on fingerprint + factor)."""
+    key = (kernel.fingerprint(), int(factor))
+    k = _DERIVED.get(key)
+    if k is None:
+        k = _DERIVED[key] = coarsen_kernel(kernel, factor)
+    return k
+
+
+# -- default-factor heuristic ----------------------------------------------
+
+
+def _static_ops_per_item(kernel: ir.Kernel) -> Tuple[int, bool]:
+    """(counted ops + memory accesses per work-item, has control flow)."""
+    ops = 0
+    control = False
+    for st in ir.walk_stmts(kernel.body):
+        if isinstance(st, (ir.For, ir.If)):
+            control = True
+        if isinstance(st, (ir.Store, ir.StoreLocal, ir.AtomicAdd,
+                           ir.AtomicAddLocal)):
+            ops += 1
+        for root in ir.stmt_exprs(st):
+            for e in ir.walk_exprs(root):
+                if isinstance(e, ir.BinOp) and e.op in ir.ARITH_OPS:
+                    ops += 1
+                elif isinstance(e, ir.Call):
+                    ops += 2 if e.fn in ("mad", "fma") else 1
+                elif isinstance(e, (ir.Load, ir.LoadLocal)):
+                    ops += 1
+    return ops, control
+
+
+def choose_factor(kernel: ir.Kernel, n0: int,
+                  item_overhead_ns: Optional[float] = None) -> int:
+    """Default coarsening factor for one launch (1 = leave uncoarsened).
+
+    Mirrors the paper's amortization argument: merge work-items until the
+    per-item compute is comparable to the modeled per-item scheduling
+    overhead.  Deliberately conservative — only straight-line kernels over
+    large grids that divide evenly qualify, so the default never trades a
+    provable dispatch saving for tail-mask overhead.
+    """
+    if coarsen_blockers(kernel) is not None:
+        return 1
+    ops, control = _static_ops_per_item(kernel)
+    if control or ops == 0:
+        return 1
+    overhead = (DEFAULT_ITEM_OVERHEAD_NS if item_overhead_ns is None
+                else float(item_overhead_ns))
+    k = 1
+    while k < MAX_FACTOR and ops * _NS_PER_OP * k < overhead:
+        k *= 2
+    while k > 1 and (n0 % k != 0 or n0 // k < 2048):
+        k //= 2
+    return k

@@ -46,6 +46,7 @@ import numpy as np
 from scipy import special as _sp_special
 
 from . import ast as ir
+from .coarsen import N0_PARAM as _COARSEN_N0
 from ..plancache import LaunchPlanCache
 from .interp import (
     DynamicCounters,
@@ -309,6 +310,25 @@ class _Codegen:
         self.ntmp = 0
         self.ns = dict(_HELPERS)
         self.consts: Dict[tuple, str] = {}
+        # constants/dtypes are emitted as module-level source lines (not
+        # namespace entries) so the generated source is self-contained and
+        # can be re-exec'd from the persistent disk cache
+        self.const_lines = []
+        self.dtype_lines = []
+        self.dtypes = set()
+        # transform-introduced arithmetic (thread coarsening's gid
+        # reconstruction) excluded from the op counters
+        self.synthetic = getattr(kernel, "synthetic_op_ids", frozenset())
+        # store->load forwarding: (buffer, index code, mask) -> (temp, deps)
+        self.fwd: Dict[tuple, tuple] = {}
+        self.loaded_bufs = {
+            e.buffer
+            for st in ir.walk_stmts(kernel.body)
+            for root in ir.stmt_exprs(st)
+            for e in ir.walk_exprs(root)
+            if isinstance(e, ir.Load)
+        }
+        self.buf_dtypes = {p.name: p.dtype for p in kernel.buffer_params}
         # static variable state: name -> "def" (bound on every path) or
         # "maybe" (bound on some paths / previous loop iterations only)
         self.defined: Dict[str, str] = {}
@@ -341,12 +361,14 @@ class _Codegen:
         if name is None:
             name = f"_K{len(self.consts)}"
             self.consts[key] = name
-            self.ns[name] = dtype.np_dtype.type(value)
+            self.const_lines.append(f"{name} = {self._dt(dtype)}.type({value!r})")
         return name
 
     def _dt(self, dtype) -> str:
         name = f"_dt_{dtype.np_dtype.name}"
-        self.ns[name] = dtype.np_dtype
+        if name not in self.dtypes:
+            self.dtypes.add(name)
+            self.dtype_lines.append(f"{name} = _np.dtype({dtype.np_dtype.name!r})")
         return name
 
     def _ctr(self) -> str:
@@ -357,6 +379,45 @@ class _Codegen:
 
     def _mask_arg(self) -> str:
         return self.mask if self.mask is not None else "None"
+
+    # -- store->load forwarding -------------------------------------------
+    # A later load of the same buffer element under the same (or a nested)
+    # activity mask reuses the value temp of the most recent store or load
+    # instead of gathering from memory: the memory round-trip disappears
+    # from fused producer->consumer kernels while the dynamic load counter
+    # and any would-be error stay exact (the recording access already
+    # bounds-checked the identical index under the same mask).
+
+    def _fwd_deps(self, index_expr) -> frozenset:
+        return frozenset(
+            e.name for e in ir.walk_exprs(index_expr) if isinstance(e, ir.Var)
+        )
+
+    def _fwd_record(self, buffer: str, idx: str, temp: str, deps) -> None:
+        self.fwd[(buffer, idx, self.mask)] = (temp, deps)
+
+    def _fwd_lookup(self, buffer: str, idx: str):
+        ent = self.fwd.get((buffer, idx, self.mask))
+        if ent is None and self.mask is not None:
+            # an all-lanes value is valid under any nested mask
+            ent = self.fwd.get((buffer, idx, None))
+        return None if ent is None else ent[0]
+
+    def _fwd_kill_buffer(self, buffer: str) -> None:
+        for k in [k for k in self.fwd if k[0] == buffer]:
+            del self.fwd[k]
+
+    def _fwd_kill_name(self, name: str) -> None:
+        for k in [k for k, (_, deps) in self.fwd.items() if name in deps]:
+            del self.fwd[k]
+
+    def _fwd_snapshot(self) -> dict:
+        return dict(self.fwd)
+
+    def _fwd_restore(self, snap: dict) -> None:
+        # keep only entries valid on every path: present and unchanged in
+        # both the snapshot and the branch we just lowered
+        self.fwd = {k: v for k, v in snap.items() if self.fwd.get(k) == v}
 
     # -- static analyses --------------------------------------------------
     def _is_uniform(self, e) -> bool:
@@ -403,6 +464,8 @@ class _Codegen:
         kf = ki = 0
         for root in exprs:
             for node in ir.walk_exprs(root):
+                if id(node) in self.synthetic:
+                    continue
                 if isinstance(node, ir.BinOp) and node.op in ir.ARITH_OPS:
                     if node.dtype.is_float:
                         kf += 1
@@ -552,12 +615,19 @@ class _Codegen:
         self.used_flags.add("wo")
         self.emit(f"if {name!r} in _wo: _wo_err({name!r})")
         idx = self._expr(e.index)
+        fwd = self._fwd_lookup(name, idx)
+        if fwd is not None:
+            if self.count_ops:
+                self.used_flags.add("ctr")
+                self.emit(f"_ctr.loads += {self.lanes}")
+            return fwd
         what = repr(f"buffer {name!r}")
         t = self._fresh("t")
         self.emit(
             f"{t} = _ld(_b_{name}, {idx}, _n, {self._mask_arg()}, {what}, "
             f"{self.bounds_check}, {self._ctr()})"
         )
+        self._fwd_record(name, idx, t, self._fwd_deps(e.index))
         return t
 
     def _load_local(self, e) -> str:
@@ -613,6 +683,7 @@ class _Codegen:
         self._check_name(s.name)
         self._counts_for(s.value)
         val = self._expr(s.value)
+        self._fwd_kill_name(s.name)
         tgt = f"v_{s.name}"
         if self.mask is None:
             self.emit(f"{tgt} = {val}")
@@ -642,6 +713,17 @@ class _Codegen:
         idx = self._expr(s.index)
         val = self._expr(s.value)
         what = repr(f"buffer {name!r}")
+        self._fwd_kill_buffer(name)
+        if helper == "_st" and name in self.loaded_bufs:
+            # bind the stored value (converted exactly as the store helper
+            # converts it) so a later load of the same element forwards
+            t = self._fresh("t")
+            self.emit(
+                f"{t} = _af({val}, _n).astype("
+                f"{self._dt(self.buf_dtypes[name])}, copy=False)"
+            )
+            val = t
+            self._fwd_record(name, idx, t, self._fwd_deps(s.index))
         self.emit(
             f"{helper}(_b_{name}, {idx}, {val}, _n, {self._mask_arg()}, "
             f"{what}, {self.bounds_check}, {self._ctr()})"
@@ -684,12 +766,14 @@ class _Codegen:
             lv = self._fresh("L")
             self.emit(f"{lv} = int({m1}.sum())")
             self.lanes = lv
+        fwd_snap = self._fwd_snapshot()
         start = len(self.lines)
         for st in s.then_body:
             self._stmt(st)
         if len(self.lines) == start:
             self.emit("pass")
         self.indent -= 1
+        self._fwd_restore(fwd_snap)
         then_def, then_uni = self.defined, self.uniform
         self.mask, self.lanes = pre_mask, pre_lanes
 
@@ -707,12 +791,14 @@ class _Codegen:
                 lv = self._fresh("L")
                 self.emit(f"{lv} = int({m2}.sum())")
                 self.lanes = lv
+            fwd_snap = self._fwd_snapshot()
             start = len(self.lines)
             for st in s.else_body:
                 self._stmt(st)
             if len(self.lines) == start:
                 self.emit("pass")
             self.indent -= 1
+            self._fwd_restore(fwd_snap)
             self.mask, self.lanes = pre_mask, pre_lanes
             else_def, else_uni = self.defined, self.uniform
         else:
@@ -725,13 +811,17 @@ class _Codegen:
         """Lane-invariant condition: a plain scalar Python ``if``."""
         c = self._expr(s.cond)
         pre_def, pre_uni = dict(self.defined), set(self.uniform)
+        fwd_snap = self._fwd_snapshot()
         self.emit(f"if bool({c}):")
         self._body(s.then_body)
+        self._fwd_restore(fwd_snap)
         then_def, then_uni = self.defined, self.uniform
         if s.else_body:
             self.defined, self.uniform = dict(pre_def), set(pre_uni)
+            fwd_snap = self._fwd_snapshot()
             self.emit("else:")
             self._body(s.else_body)
+            self._fwd_restore(fwd_snap)
             else_def, else_uni = self.defined, self.uniform
         else:
             else_def, else_uni = pre_def, pre_uni
@@ -782,6 +872,9 @@ class _Codegen:
 
         pre_mask, pre_lanes = self.mask, self.lanes
         pre_def, pre_uni = dict(self.defined), set(self.uniform)
+        # forwarding must not cross the back edge: an entry recorded before
+        # or inside the body would go stale in a later iteration
+        self.fwd.clear()
         self.emit("while True:")
         self.indent += 1
         m = self._fresh("m")
@@ -804,6 +897,7 @@ class _Codegen:
         self.emit(f"if {it} > {self.max_loop_iters}: _lo({s.var!r}, {self.max_loop_iters})")
         self.indent -= 1
         self.mask, self.lanes = pre_mask, pre_lanes
+        self.fwd.clear()
         self.emit(f"v_{s.var} = {sv}")
         self._post_loop_state(s, pre_def, pre_uni)
 
@@ -837,6 +931,8 @@ class _Codegen:
         self.emit(f"{cur} = {si}")
         k = self._fresh("k")
         pre_def, pre_uni = dict(self.defined), set(self.uniform)
+        # see _for_divergent: no forwarding across the back edge
+        self.fwd.clear()
         self.emit(f"for {k} in range({tr}):")
         self.indent += 1
         self.emit(f"v_{s.var} = _np.int64({cur})")
@@ -847,6 +943,7 @@ class _Codegen:
         self.emit(f"{cur} += {ti}")
         self.emit(f"if {k} >= {self.max_loop_iters}: _lo({s.var!r}, {self.max_loop_iters})")
         self.indent -= 1
+        self.fwd.clear()
         self.emit(f"v_{s.var} = {sv}")
         for node_id in hoist_ids:
             self.hoisted.pop(node_id, None)
@@ -956,7 +1053,11 @@ class _Codegen:
             # None encodes "not yet assigned" (see _rt_masked_assign)
             pro.append(f"    v_{name} = None")
 
-        src = "\n".join(pro + body_lines) + "\n"
+        # constants/dtypes go into the module prologue so the source is
+        # self-contained: exec(src, dict(_HELPERS)) fully reconstructs the
+        # kernel, which is what the persistent disk cache relies on
+        header = self.dtype_lines + self.const_lines
+        src = "\n".join(header + pro + body_lines) + "\n"
         return src, self.ns
 
 
@@ -1038,8 +1139,18 @@ def generated_source(
     count_ops: bool = False,
     bounds_check: bool = True,
     max_loop_iters: int = DEFAULT_MAX_LOOP_ITERS,
+    coarsen: int = 0,
 ) -> str:
-    """The Python source the JIT generates for ``kernel`` (for dumps/CI)."""
+    """The Python source the JIT generates for ``kernel`` (for dumps/CI).
+
+    ``coarsen >= 2`` shows the thread-coarsened variant (raises
+    :class:`repro.kernelir.coarsen.CoarsenError` when the kernel cannot
+    legally be coarsened).
+    """
+    if coarsen and int(coarsen) >= 2:
+        from .coarsen import get_coarsened
+
+        kernel = get_coarsened(kernel, int(coarsen))
     return compile_kernel(
         kernel,
         count_ops=count_ops,
@@ -1108,23 +1219,39 @@ def _slice_frame(frame: _Frame, lo: int, hi: int, counters) -> _Frame:
 
 
 class FusedPlan:
-    """One cached whole-grid launch: compiled fn + precomputed launch facts."""
+    """One cached whole-grid launch: compiled fn + precomputed launch facts.
 
-    __slots__ = ("ck", "gsize", "lsize", "goffset", "parallel")
+    When thread coarsening applies, the plan carries a second compiled
+    kernel (``cck``, the coarsened variant) and the coarsened NDRange; the
+    launch then runs the coarsened body but *reports* the original launch
+    shape, so callers (device cost models, CSV writers) see an unchanged
+    launch.
+    """
+
+    __slots__ = ("ck", "gsize", "lsize", "goffset", "parallel",
+                 "cck", "cgsize", "clsize", "ngroups")
 
     def __init__(self, ck: "CompiledKernel", gsize, lsize, goffset,
-                 parallel: bool):
+                 parallel: bool, cck: "Optional[CompiledKernel]" = None,
+                 cgsize=None, clsize=None):
         self.ck = ck
         self.gsize = gsize
         self.lsize = lsize
         self.goffset = goffset
         self.parallel = parallel
+        self.cck = cck
+        self.cgsize = cgsize
+        self.clsize = clsize
+        self.ngroups = tuple(g // l for g, l in zip(gsize, lsize))
 
     def launch(self, buffers, scalars, readonly=None,
                writeonly=None) -> LaunchResult:
         buffers = dict(buffers or {})
         scalars = dict(scalars or {})
         _validate_args(self.ck.kernel, buffers, scalars)
+        if self.cck is not None:
+            return self._launch_coarsened(buffers, scalars, readonly,
+                                          writeonly)
         counters = DynamicCounters() if self.ck.count_ops else None
         frame = _Frame(
             self.ck.kernel, self.gsize, self.lsize, buffers, scalars,
@@ -1140,6 +1267,32 @@ class FusedPlan:
             global_size=self.gsize,
             local_size=self.lsize,
             num_groups=frame.ngroups,
+            counters=counters,
+        )
+
+    def _launch_coarsened(self, buffers, scalars, readonly,
+                          writeonly) -> LaunchResult:
+        """Run the coarsened variant; report the original launch shape.
+
+        Arguments were already validated against the *original* kernel (so
+        diagnostics are unchanged); the coarsened kernel's extra
+        ``__cg_n0`` scalar is injected here.  Coarsened launches stay
+        serial: the chunk-safety proof covered the original lane order, and
+        the coarsened grid is 1/K the size anyway.
+        """
+        cscalars = dict(scalars)
+        cscalars[_COARSEN_N0] = np.int64(self.gsize[0])
+        counters = DynamicCounters() if self.cck.count_ops else None
+        frame = _Frame(
+            self.cck.kernel, self.cgsize, self.clsize, buffers, cscalars,
+            counters, None, readonly=readonly, writeonly=writeonly,
+        )
+        _STATS["launches_coarsened"] += 1
+        self.cck._fn(frame)
+        return LaunchResult(
+            global_size=self.gsize,
+            local_size=self.lsize,
+            num_groups=self.ngroups,
             counters=counters,
         )
 
@@ -1211,32 +1364,128 @@ class FusedPlan:
                 frame.counters.barriers += c.barriers
 
 
+def _resolve_coarsen(coarsen) -> int:
+    """Effective coarsening request: 0 = heuristic, 1 = off, K>=2 = forced.
+
+    ``REPRO_COARSEN`` overrides per-launch requests globally (``0``/``1``
+    disables, ``K`` forces) — the kill switch the byte-identity CI leg and
+    the fuzzer's forced legs use.
+    """
+    import os
+
+    env = os.environ.get("REPRO_COARSEN", "").strip()
+    if env:
+        try:
+            v = int(env)
+        except ValueError:
+            v = None
+        if v is not None:
+            return 1 if v < 2 else v
+    if coarsen is None:
+        return 0
+    v = int(coarsen)
+    return 1 if v < 2 else v
+
+
+def _pick_coarsen(ck: "CompiledKernel", gsize, goffset, creq: int,
+                  hazard_free: bool) -> int:
+    """The coarsening factor for one launch plan (1 = uncoarsened).
+
+    Launch-shape half of the legality gate: the launch must be offset-free
+    and the dataflow race proof (``hazard_free``, from the same
+    ``chunk_safety`` verdict that gates chunked execution) must show the
+    unrolled copies cannot observe each other.  Forced factors fall back
+    to 1 silently when illegal — callers rely on transparent fallback.
+    """
+    if creq == 1 or not hazard_free:
+        return 1
+    if goffset is not None and any(goffset):
+        return 1
+    from .coarsen import choose_factor, coarsen_blockers
+
+    if coarsen_blockers(ck.kernel) is not None:
+        return 1
+    n0 = gsize[0]
+    if creq == 0:
+        # heuristic mode: a grid big enough for chunked multi-core
+        # execution gains more from chunking than from coarsening, and a
+        # coarsened plan runs serial — leave it alone
+        n = 1
+        for g in gsize:
+            n *= g
+        if n >= 2 * _MIN_CHUNK_LANES:
+            return 1
+    factor = creq if creq >= 2 else choose_factor(ck.kernel, n0)
+    if factor < 2 or factor > n0:
+        return 1
+    return factor
+
+
+def _compile_coarsened(ck: "CompiledKernel",
+                       factor: int) -> "Optional[CompiledKernel]":
+    from .coarsen import CoarsenError, get_coarsened
+
+    try:
+        ckern = get_coarsened(ck.kernel, factor)
+    except CoarsenError:
+        return None
+    return get_compiled(
+        ckern,
+        count_ops=ck.count_ops,
+        bounds_check=ck.bounds_check,
+        max_loop_iters=ck.max_loop_iters,
+    )
+
+
 def get_fused_plan(
     ck: "CompiledKernel", global_size, local_size=None, global_offset=None,
-    scalars=None,
+    scalars=None, coarsen=None,
 ) -> FusedPlan:
     """Cached launch plan for one (compiled kernel, shape, scalars) triple.
 
     Scalars join the key because the race analysis behind the parallel
-    gate can depend on their concrete values (an index stride, say).
+    gate can depend on their concrete values (an index stride, say); the
+    resolved coarsening request joins it because it selects a different
+    compiled body.  The two expensive plan facts — the chunk-safety proof
+    and the chosen coarsening factor — are persisted to the disk cache, so
+    warm processes skip the dataflow analysis entirely.
     """
     gsize, lsize = _normalize_sizes(ck.kernel, global_size, local_size)
     goffset = _normalize_offset(gsize, global_offset)
+    creq = _resolve_coarsen(coarsen)
     skey = tuple(sorted(
         (k, float(v)) for k, v in (scalars or {}).items()
     ))
     key = (
         _cache_key(ck.kernel, ck.count_ops, ck.bounds_check,
                    ck.max_loop_iters),
-        gsize, lsize, goffset, skey,
+        gsize, lsize, goffset, skey, creq,
     )
     plan = _FUSED_CACHE.get(key)
-    if plan is None:
-        plan = FusedPlan(
-            ck, gsize, lsize, goffset,
-            _parallel_ok(ck.kernel, gsize, lsize, scalars),
-        )
-        _FUSED_CACHE.put(key, plan)
+    if plan is not None:
+        return plan
+    from .. import diskcache
+
+    payload = diskcache.load_plan(key)
+    if payload is not None:
+        parallel = bool(payload["parallel"])
+        factor = int(payload.get("coarsen", 1))
+        _STATS["plans_loaded_disk"] += 1
+    else:
+        parallel = _parallel_ok(ck.kernel, gsize, lsize, scalars)
+        factor = _pick_coarsen(ck, gsize, goffset, creq, parallel)
+        diskcache.store_plan(key, {"parallel": parallel, "coarsen": factor})
+    cck = None
+    if factor > 1:
+        cck = _compile_coarsened(ck, factor)
+    if cck is not None:
+        cg0 = -(-gsize[0] // factor)
+        cgsize = (cg0,) + tuple(gsize[1:])
+        plan = FusedPlan(ck, gsize, lsize, goffset, False,
+                         cck=cck, cgsize=cgsize, clsize=cgsize)
+    else:
+        plan = FusedPlan(ck, gsize, lsize, goffset, parallel)
+    _FUSED_CACHE.put(key, plan)
     return plan
 
 
@@ -1253,9 +1502,12 @@ _UNSUPPORTED: Dict[tuple, str] = {}
 _STATS = {
     "kernels_compiled": 0,
     "kernels_unsupported": 0,
+    "kernels_loaded_disk": 0,
+    "plans_loaded_disk": 0,
     "launches_compiled": 0,
     "launches_fused": 0,
     "launches_parallel": 0,
+    "launches_coarsened": 0,
     "launches_fallback": 0,
     "launches_interp": 0,
 }
@@ -1314,6 +1566,22 @@ def get_compiled(
     ck = _COMPILED_CACHE.get(key)
     if ck is not None:
         return ck
+    from .. import diskcache
+
+    payload = diskcache.load_kernel(key)
+    if payload is not None:
+        if "unsupported" in payload:
+            _UNSUPPORTED[key] = payload["unsupported"]
+            _UNSUPPORTED_REASONS[kernel.name] = payload["unsupported"]
+            return None
+        ck = _exec_cached_source(kernel, payload["source"], count_ops,
+                                 bounds_check, max_loop_iters)
+        if ck is not None:
+            _STATS["kernels_loaded_disk"] += 1
+            _COMPILED_CACHE.put(key, ck)
+            return ck
+        # unloadable source (e.g. truncated by a crashed writer): fall
+        # through and recompile, which rewrites the entry
     from ..obs import tracer as _obs_tracer
 
     tracer = _obs_tracer.ACTIVE
@@ -1338,13 +1606,36 @@ def get_compiled(
         _UNSUPPORTED[key] = str(e)
         _UNSUPPORTED_REASONS[kernel.name] = str(e)
         _STATS["kernels_unsupported"] += 1
+        diskcache.store_kernel(key, {"unsupported": str(e)})
         if tracer is not None:
             tracer.instant(f"jit fallback {kernel.name}", "jit",
                            {"reason": str(e)})
         return None
     _STATS["kernels_compiled"] += 1
     _COMPILED_CACHE.put(key, ck)
+    diskcache.store_kernel(key, {"source": ck.source})
     return ck
+
+
+def _exec_cached_source(kernel, source, count_ops, bounds_check,
+                        max_loop_iters) -> Optional[CompiledKernel]:
+    """Rebuild a CompiledKernel from disk-cached generated source.
+
+    The generated source is self-contained (constants and dtypes live in
+    its module prologue), so ``exec`` over a fresh helper namespace fully
+    reconstructs the callable without running the lowering pass.  Any
+    failure — syntax damage, missing entry point — is treated as a cache
+    miss.
+    """
+    try:
+        ns = dict(_HELPERS)
+        code = compile(source, f"<kernelir.compile:{kernel.name}>", "exec")
+        exec(code, ns)
+        fn = ns["_kernel_main"]
+    except Exception:
+        return None
+    return CompiledKernel(kernel, fn, source, bool(count_ops),
+                          bool(bounds_check), int(max_loop_iters))
 
 
 def launch_kernel(
@@ -1359,6 +1650,7 @@ def launch_kernel(
     readonly=None,
     writeonly=None,
     interpreter: Optional[Interpreter] = None,
+    coarsen: Optional[int] = None,
 ) -> LaunchResult:
     """Engine-dispatching functional launch.
 
@@ -1367,6 +1659,8 @@ def launch_kernel(
     unsupported or the engine is ``"interp"``/``REPRO_NO_JIT=1``.  Compile
     options (bounds checking, loop-iteration cap) are taken from the
     interpreter instance so both engines enforce identical policies.
+    ``coarsen`` requests a thread-coarsening factor (``None`` = static
+    heuristic, ``1`` = off); illegal requests fall back transparently.
     """
     interp = interpreter if interpreter is not None else _DEFAULT_INTERP
     if jit_enabled():
@@ -1381,6 +1675,7 @@ def launch_kernel(
             _STATS["launches_fused"] += 1
             plan = get_fused_plan(
                 ck, global_size, local_size, global_offset, scalars,
+                coarsen=coarsen,
             )
             return plan.launch(
                 buffers, scalars, readonly=readonly, writeonly=writeonly,
@@ -1424,10 +1719,13 @@ def compile_stats() -> dict:
         "engine": "compiled" if jit_enabled() else "interp",
         "kernels_compiled": _STATS["kernels_compiled"],
         "kernels_unsupported": _STATS["kernels_unsupported"],
+        "kernels_loaded_disk": _STATS["kernels_loaded_disk"],
+        "plans_loaded_disk": _STATS["plans_loaded_disk"],
         "launches": {
             "compiled": _STATS["launches_compiled"],
             "fused": _STATS["launches_fused"],
             "parallel": _STATS["launches_parallel"],
+            "coarsened": _STATS["launches_coarsened"],
             "interp_fallback": _STATS["launches_fallback"],
             "interp_forced": _STATS["launches_interp"],
         },

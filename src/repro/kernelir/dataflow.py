@@ -1713,33 +1713,60 @@ class ChunkSafety:
     reason: str = ""
 
 
+_CHUNK_VERDICT_CACHE = LaunchPlanCache("kernelir.chunk_safety", 2048)
+
+
 def chunk_safety(kernel: ir.Kernel, global_size, local_size,
                  scalars: Optional[Dict[str, object]] = None) -> ChunkSafety:
     """Prove (or refuse to prove) that chunking a launch across workers
     preserves semantics: no barriers/local memory/atomics, and no
     inter-workitem write hazard on any __global buffer.  The race facts
     come from the shared analysis cache, so the verifier, the JIT's fused
-    plans and the scheduler all consult one proof."""
+    plans and the scheduler all consult one proof.
+
+    The verdict is additionally persisted through :mod:`repro.diskcache`
+    (as a ``plans`` entry): the race proof is the dominant host-time cost
+    of a warm suite run, and it is a pure function of the key below.
+    """
+    fp = kernel.fingerprint()
     if kernel.uses_barrier or kernel.local_arrays or kernel.uses_atomics:
         result = ChunkSafety(False, "kernel uses barriers/local memory/atomics")
     elif "R-RACE-GLOBAL" in frozenset(getattr(kernel, "suppressions", ()) or ()):
         # a suppressed race verdict must not silently become a parallel run
         result = ChunkSafety(False, "R-RACE-GLOBAL findings are suppressed")
     else:
-        from .analysis import LaunchContext
-
-        ctx = LaunchContext(
+        key = (
+            "chunk", fp,
             tuple(int(g) for g in global_size),
             tuple(int(l) for l in local_size),
-            scalars={k: v for k, v in (scalars or {}).items()},
+            tuple(sorted((k, _scalar_key(v))
+                         for k, v in (scalars or {}).items())),
         )
-        races = [f for f in analyze_launch(kernel, ctx).race_findings()
-                 if f.rule == "R-RACE-GLOBAL"]
-        if races:
-            result = ChunkSafety(False, races[0].message)
-        else:
-            result = ChunkSafety(True, "")
-    fp = kernel.fingerprint()
+        result = _CHUNK_VERDICT_CACHE.get(key)
+        if result is None:
+            from .. import diskcache
+
+            payload = diskcache.load_plan(key)
+            if payload is not None:
+                result = ChunkSafety(bool(payload["parallel"]),
+                                     str(payload.get("reason", "")))
+            else:
+                from .analysis import LaunchContext
+
+                ctx = LaunchContext(
+                    key[2], key[3],
+                    scalars={k: v for k, v in (scalars or {}).items()},
+                )
+                races = [f for f in analyze_launch(kernel, ctx).race_findings()
+                         if f.rule == "R-RACE-GLOBAL"]
+                if races:
+                    result = ChunkSafety(False, races[0].message)
+                else:
+                    result = ChunkSafety(True, "")
+                diskcache.store_plan(
+                    key, {"parallel": result.eligible, "reason": result.reason}
+                )
+            _CHUNK_VERDICT_CACHE.put(key, result)
     _CHUNK_CHECKED.add(fp)
     if result.eligible:
         _CHUNK_ELIGIBLE.add(fp)

@@ -1,0 +1,261 @@
+"""Cross-launch producer->consumer kernel fusion (IR -> IR).
+
+The lock-step engines run *every* statement for the whole grid before the
+next statement, so executing kernel A's body followed by kernel B's body in
+one launch is exactly equivalent to launching A then B over the same
+NDRange — no additional proof obligations beyond consistent parameter
+bindings.  :func:`fuse_kernels` builds that concatenated kernel: B's
+parameters that are bound to the same :class:`~numpy.ndarray` as one of
+A's parameters collapse onto A's name (so the compiler's store->load
+forwarding can elide the intermediate round-trip), and every other B-side
+name that collides with an A-side name is suffixed (``__f1``, ``__f2`` for
+chained fusions, ...).
+
+The *scheduling* legality — that nothing may observe memory between the
+two launches — is established by the event-DAG scheduler before it calls
+this module: it only fuses a RAW producer->consumer pair when the consumer's
+only dependency is the producer (see
+:meth:`repro.minicl.schedule.CommandScheduler`).  Because the fused kernel
+still performs A's stores, the intermediate buffer holds exactly the same
+bytes afterwards; fusion never changes observable memory, only when the
+work happens.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from . import ast as ir
+
+__all__ = ["FuseError", "FusedKernel", "fuse_kernels"]
+
+
+class FuseError(Exception):
+    """The two kernels cannot be fused into one launch."""
+
+
+@dataclasses.dataclass
+class FusedKernel:
+    """The concatenated kernel plus the B-side argument renames."""
+
+    kernel: ir.Kernel
+    #: B buffer-param name -> fused param name (A's name for shared buffers)
+    buffer_map: Dict[str, str]
+    #: B scalar-param name -> fused param name
+    scalar_map: Dict[str, str]
+
+
+def _assigned_names(body) -> set:
+    names = set()
+    for st in ir.walk_stmts(body):
+        if isinstance(st, ir.Assign):
+            names.add(st.name)
+        elif isinstance(st, ir.For):
+            names.add(st.var)
+    return names
+
+
+def _rewrite_expr(e: ir.Expr, env: Dict[str, str], bufs: Dict[str, str],
+                  locs: Dict[str, str]) -> ir.Expr:
+    if isinstance(e, ir.Var):
+        new = env.get(e.name)
+        return ir.Var(new, e.dtype) if new is not None else e
+    if isinstance(e, (ir.Const, ir._IdBase)):
+        return e
+    if isinstance(e, ir.BinOp):
+        lhs = _rewrite_expr(e.lhs, env, bufs, locs)
+        rhs = _rewrite_expr(e.rhs, env, bufs, locs)
+        if lhs is e.lhs and rhs is e.rhs:
+            return e
+        return ir.BinOp(e.op, lhs, rhs)
+    if isinstance(e, ir.UnOp):
+        op = _rewrite_expr(e.operand, env, bufs, locs)
+        return e if op is e.operand else ir.UnOp(e.op, op)
+    if isinstance(e, ir.Call):
+        args = tuple(_rewrite_expr(a, env, bufs, locs) for a in e.args)
+        if all(a is b for a, b in zip(args, e.args)):
+            return e
+        return ir.Call(e.fn, args)
+    if isinstance(e, ir.Load):
+        idx = _rewrite_expr(e.index, env, bufs, locs)
+        name = bufs.get(e.buffer, e.buffer)
+        if idx is e.index and name == e.buffer:
+            return e
+        return ir.Load(name, idx, e.dtype)
+    if isinstance(e, ir.LoadLocal):
+        idx = _rewrite_expr(e.index, env, bufs, locs)
+        name = locs.get(e.array, e.array)
+        if idx is e.index and name == e.array:
+            return e
+        return ir.LoadLocal(name, idx, e.dtype)
+    if isinstance(e, ir.Select):
+        c = _rewrite_expr(e.cond, env, bufs, locs)
+        a = _rewrite_expr(e.if_true, env, bufs, locs)
+        b = _rewrite_expr(e.if_false, env, bufs, locs)
+        if c is e.cond and a is e.if_true and b is e.if_false:
+            return e
+        return ir.Select(c, a, b)
+    if isinstance(e, ir.Cast):
+        op = _rewrite_expr(e.operand, env, bufs, locs)
+        return e if op is e.operand else ir.Cast(op, e.dtype)
+    raise FuseError(f"unknown expression {type(e).__name__}")
+
+
+def _rewrite_body(body, env, bufs, locs) -> List[ir.Stmt]:
+    out: List[ir.Stmt] = []
+    for s in body:
+        if isinstance(s, ir.Assign):
+            out.append(ir.Assign(env.get(s.name, s.name),
+                                 _rewrite_expr(s.value, env, bufs, locs)))
+        elif isinstance(s, ir.Store):
+            out.append(ir.Store(bufs.get(s.buffer, s.buffer),
+                                _rewrite_expr(s.index, env, bufs, locs),
+                                _rewrite_expr(s.value, env, bufs, locs)))
+        elif isinstance(s, ir.AtomicAdd):
+            out.append(ir.AtomicAdd(bufs.get(s.buffer, s.buffer),
+                                    _rewrite_expr(s.index, env, bufs, locs),
+                                    _rewrite_expr(s.value, env, bufs, locs)))
+        elif isinstance(s, ir.StoreLocal):
+            out.append(ir.StoreLocal(locs.get(s.array, s.array),
+                                     _rewrite_expr(s.index, env, bufs, locs),
+                                     _rewrite_expr(s.value, env, bufs, locs)))
+        elif isinstance(s, ir.AtomicAddLocal):
+            out.append(ir.AtomicAddLocal(
+                locs.get(s.array, s.array),
+                _rewrite_expr(s.index, env, bufs, locs),
+                _rewrite_expr(s.value, env, bufs, locs)))
+        elif isinstance(s, ir.For):
+            out.append(ir.For(env.get(s.var, s.var),
+                              _rewrite_expr(s.start, env, bufs, locs),
+                              _rewrite_expr(s.stop, env, bufs, locs),
+                              _rewrite_expr(s.step, env, bufs, locs),
+                              _rewrite_body(s.body, env, bufs, locs)))
+        elif isinstance(s, ir.If):
+            out.append(ir.If(_rewrite_expr(s.cond, env, bufs, locs),
+                             _rewrite_body(s.then_body, env, bufs, locs),
+                             _rewrite_body(s.else_body, env, bufs, locs)))
+        elif isinstance(s, ir.Barrier):
+            out.append(s)
+        else:
+            raise FuseError(f"unsupported statement {type(s).__name__}")
+    return out
+
+
+def fuse_kernels(a: ir.Kernel, b: ir.Kernel,
+                 shared: Dict[str, str]) -> FusedKernel:
+    """Concatenate ``a`` then ``b`` into one kernel over one NDRange.
+
+    ``shared`` maps B buffer-param names onto the A buffer-param name bound
+    to the same underlying array (established by the caller from the actual
+    launch arguments).  Raises :class:`FuseError` when the signatures
+    cannot be reconciled (dtype mismatch on a shared buffer, differing
+    ``work_dim``).
+    """
+    if a.work_dim != b.work_dim:
+        raise FuseError(f"work_dim mismatch ({a.work_dim} vs {b.work_dim})")
+
+    a_bufs = {p.name: p for p in a.buffer_params}
+    a_scals = {p.name: p for p in a.scalar_params}
+    a_locals = {arr.name for arr in a.local_arrays}
+    a_priv = _assigned_names(a.body)
+    a_names = (set(a_bufs) | set(a_scals) | a_locals | a_priv)
+
+    for bname, aname in shared.items():
+        if aname not in a_bufs:
+            raise FuseError(f"shared target {aname!r} is not an A buffer")
+
+    depth = getattr(a, "fuse_depth", 0) + 1
+
+    def fresh(name: str, taken: set) -> str:
+        d = depth
+        cand = f"{name}__f{d}"
+        while cand in taken:
+            d += 1
+            cand = f"{name}__f{d}"
+        return cand
+
+    # -- B buffer params ---------------------------------------------------
+    b_bufs = {p.name: p for p in b.buffer_params}
+    for bname, p in b_bufs.items():
+        if bname in shared and a_bufs[shared[bname]].dtype != p.dtype:
+            raise FuseError(
+                f"shared buffer {bname!r} dtype mismatch "
+                f"({a_bufs[shared[bname]].dtype} vs {p.dtype})"
+            )
+    taken = set(a_names)
+    buffer_map: Dict[str, str] = {}
+    for bname in b_bufs:
+        if bname in shared:
+            buffer_map[bname] = shared[bname]
+        elif bname in taken:
+            buffer_map[bname] = fresh(bname, taken)
+        else:
+            buffer_map[bname] = bname
+        taken.add(buffer_map[bname])
+
+    # -- B scalar params, privates and locals ------------------------------
+    b_priv = _assigned_names(b.body)
+    env_map: Dict[str, str] = {}
+    for name in sorted(set(p.name for p in b.scalar_params) | b_priv):
+        if name in a_names:
+            env_map[name] = fresh(name, taken)
+            taken.add(env_map[name])
+    local_map: Dict[str, str] = {}
+    for arr in b.local_arrays:
+        if arr.name in a_names:
+            local_map[arr.name] = fresh(arr.name, taken)
+            taken.add(local_map[arr.name])
+
+    scalar_map = {p.name: env_map.get(p.name, p.name)
+                  for p in b.scalar_params}
+
+    # -- merged signature --------------------------------------------------
+    params: List[object] = []
+    shared_targets = set(shared.values())
+    for p in a.params:
+        if isinstance(p, ir.BufferParam) and p.name in shared_targets:
+            b_access = next(bp.access for bn, bp in b_bufs.items()
+                            if shared.get(bn) == p.name)
+            merged = "".join(sorted(set(p.access) | set(b_access),
+                                    reverse=True))
+            merged = {"rw": "rw", "wr": "rw", "r": "r", "w": "w"}.get(
+                merged, "rw")
+            if merged != p.access:
+                p = ir.BufferParam(p.name, p.dtype, merged)
+        params.append(p)
+    for p in b.params:
+        if isinstance(p, ir.BufferParam):
+            name = buffer_map[p.name]
+            if name in shared_targets or name in a_bufs:
+                continue  # collapsed onto A's parameter
+            params.append(p if name == p.name
+                          else ir.BufferParam(name, p.dtype, p.access))
+        else:
+            name = scalar_map[p.name]
+            params.append(p if name == p.name
+                          else ir.ScalarParam(name, p.dtype))
+
+    local_arrays = list(a.local_arrays)
+    for arr in b.local_arrays:
+        name = local_map.get(arr.name, arr.name)
+        local_arrays.append(arr if name == arr.name
+                            else ir.LocalArray(name, arr.dtype, arr.size))
+
+    body = list(a.body) + _rewrite_body(b.body, env_map, buffer_map,
+                                        local_map)
+    fused = ir.Kernel(
+        name=f"{a.name}+{b.name}",
+        params=params,
+        local_arrays=local_arrays,
+        body=body,
+        work_dim=a.work_dim,
+        suppressions=tuple(dict.fromkeys(tuple(a.suppressions)
+                                         + tuple(b.suppressions))),
+    )
+    fused.fuse_depth = depth
+    syn = (getattr(a, "synthetic_op_ids", frozenset())
+           | getattr(b, "synthetic_op_ids", frozenset()))
+    if syn:
+        fused.synthetic_op_ids = syn
+    return FusedKernel(fused, buffer_map, scalar_map)

@@ -17,6 +17,14 @@ invariants per kernel:
    serial run, that is an unsound verdict in the dataflow framework — the
    exact failure mode that would silently corrupt the paper's multi-core
    scaling results.
+3. **Transform soundness** — every compiled kernel additionally runs
+   thread-coarsened at K in {2, 4} (forced where legal; illegal launches
+   fall back transparently, see :mod:`repro.kernelir.coarsen`) and must
+   stay bit-identical to the interpreter, counters included; and every
+   kernel is fused with a fixed consumer of its ``out`` buffer
+   (:func:`repro.kernelir.fuse.fuse_kernels`, the scheduler's
+   producer->consumer transform) and the single fused launch must leave
+   every buffer bit-identical to the two sequential launches.
 
 Generated kernels never read a buffer they write (cross-workitem
 read-after-write is legitimately engine-dependent, and the analysis
@@ -53,6 +61,8 @@ class FuzzResult:
     interp_fallback: int = 0
     chunk_eligible: int = 0
     chunked_runs: int = 0
+    coarsened_runs: int = 0
+    fused_runs: int = 0
     mismatches: List[str] = dataclasses.field(default_factory=list)
 
     @property
@@ -210,6 +220,81 @@ def _launch_interp(kernel, n, ls, buffers, scalars):
     return bufs, dataclasses.asdict(res.counters)
 
 
+_CONSUMER: Optional[ir.Kernel] = None
+
+
+def _consumer_kernel() -> ir.Kernel:
+    """The fixed consumer the fusion leg feeds ``out`` into.
+
+    Its ``src`` gets bound to the producer's ``out`` array and its ``a``
+    to the producer's ``a`` (exercising the shared-buffer collapse), and
+    its scalar deliberately reuses the producer's name ``c`` so the
+    B-side rename path (``c__f1``) is covered on every seed.
+    """
+    global _CONSUMER
+    if _CONSUMER is None:
+        kb = KernelBuilder("fuzzcons")
+        src = kb.buffer("src", F32, access="r")
+        a = kb.buffer("a", F32, access="r")
+        fdst = kb.buffer("fdst", F32, access="w")
+        c = kb.scalar("c", F32)
+        gid = kb.global_id(0)
+        fdst[gid] = src[gid] * c + a[gid]
+        _CONSUMER = kb.finish()
+    return _CONSUMER
+
+
+def _run_fused_leg(kernel, n, ls, buffers, scalars,
+                   result: FuzzResult) -> None:
+    """Producer->consumer fusion leg: one fused launch vs two sequential.
+
+    Fusion must never change observable memory, whichever engine runs the
+    fused kernel, so the reference is always the sequential interpreter.
+    """
+    from . import compile as jit
+    from .fuse import FuseError, fuse_kernels
+
+    consumer = _consumer_kernel()
+    try:
+        fk = fuse_kernels(kernel, consumer, {"src": "out", "a": "a"})
+    except FuseError:
+        return
+    c2 = 0.625  # exactly representable: fused math must be bit-equal
+
+    ref = {k: v.copy() for k, v in buffers.items()}
+    ref["fdst"] = np.zeros(n, np.float32)
+    Interpreter().launch(
+        kernel, (n,), ls,
+        buffers={k: ref[k] for k in ("a", "b", "out", "iout")},
+        scalars=dict(scalars))
+    Interpreter().launch(
+        consumer, (n,), ls,
+        buffers={"src": ref["out"], "a": ref["a"], "fdst": ref["fdst"]},
+        scalars={"c": c2})
+
+    got = {k: v.copy() for k, v in buffers.items()}
+    got["fdst"] = np.zeros(n, np.float32)
+    fscalars = dict(scalars)
+    fscalars[fk.scalar_map["c"]] = c2
+    fbufs = {p.name: got[p.name] for p in fk.kernel.buffer_params}
+    fck = jit.get_compiled(fk.kernel)
+    if fck is not None:
+        plan = jit.get_fused_plan(fck, (n,), ls, None, fscalars)
+        plan.launch(fbufs, dict(fscalars))
+    else:
+        Interpreter().launch(fk.kernel, (n,), ls, buffers=fbufs,
+                             scalars=dict(fscalars))
+    result.fused_runs += 1
+
+    for name in ref:
+        if not np.array_equal(ref[name], got[name]):
+            result.mismatches.append(
+                f"{kernel.name}: buffer {name!r} diverged "
+                f"(fused {fk.kernel.name} vs sequential launches)"
+            )
+            return
+
+
 def _compare(tag: str, kernel, ref, got, result: FuzzResult) -> bool:
     ref_bufs, ref_counters = ref
     got_bufs, got_counters = got
@@ -248,6 +333,11 @@ def run_fuzz(seeds: int = 200, base_seed: int = 0, quick: bool = False,
             result.seeds += 1
 
             ref = _launch_interp(kernel, n, ls, buffers, scalars)
+
+            # fusion leg runs for every seed: the fused kernel may compile
+            # even when the producer alone is interpreter-only, and the
+            # invariant (memory unchanged) is engine-independent
+            _run_fused_leg(kernel, n, ls, buffers, scalars, result)
 
             # resolve the local size exactly like the fused-plan path, so
             # the recorded verdict matches the plan's parallel gate
@@ -294,6 +384,21 @@ def run_fuzz(seeds: int = 200, base_seed: int = 0, quick: bool = False,
                             "analysis"
                         )
                     ok = False
+
+            # thread-coarsening legs: force K where legal (illegal launches
+            # fall back to the uncoarsened plan transparently) and hold the
+            # run to the same bit-identical bar, counters included
+            for factor in (2, 4):
+                plan_k = jit.get_fused_plan(ck, (n,), ls, None, scalars,
+                                            coarsen=factor)
+                if plan_k.cck is not None:
+                    result.coarsened_runs += 1
+                bufs_k = {k: v.copy() for k, v in buffers.items()}
+                res_k = plan_k.launch(bufs_k, dict(scalars))
+                if not _compare(f"coarsen x{factor} vs interp", kernel, ref,
+                                (bufs_k, dataclasses.asdict(res_k.counters)),
+                                result):
+                    ok = False
             if verbose:
                 print(
                     f"fuzz{seed}: n={n} "
@@ -309,6 +414,8 @@ def run_fuzz(seeds: int = 200, base_seed: int = 0, quick: bool = False,
         f"{result.interp_fallback} interpreter-only, "
         f"{result.chunk_eligible} chunk-eligible, "
         f"{result.chunked_runs} chunked 4-worker run(s), "
+        f"{result.coarsened_runs} coarsened run(s), "
+        f"{result.fused_runs} fused run(s), "
         f"{len(result.mismatches)} mismatch(es)"
     )
     for m in result.mismatches:

@@ -119,9 +119,15 @@ class OpenCLVectorizer:
         # one workitem do NOT block packing (the Figure 11 point).
         if kernel.uses_atomics:
             reasons.append("kernel uses atomics")
-        facts = _launch_facts(kernel, ctx)
-        if kernel.uses_barrier and facts.control_divergent:
-            reasons.append("barrier under divergent control flow")
+        # the dataflow fixpoint is only needed for the divergence verdict
+        # (barrier kernels) or the static access scan (no ``accesses``
+        # given); barrier-free calls with dynamic access records — the
+        # timing model's hot path — skip it entirely
+        facts = None
+        if kernel.uses_barrier:
+            facts = _launch_facts(kernel, ctx)
+            if facts.control_divergent:
+                reasons.append("barrier under divergent control flow")
         scalar_calls = sorted(
             {
                 e.fn
@@ -156,6 +162,8 @@ class OpenCLVectorizer:
                 else:
                     gather += w
         else:
+            if facts is None:
+                facts = _launch_facts(kernel, ctx)
             for _is_store, _buf, aff in facts.static_global_accesses:
                 if aff is None:
                     gather += 1

@@ -154,6 +154,29 @@ class VerifyReport:
             lines.append(f"({self.suppressed} finding(s) suppressed)")
         return "\n".join(lines)
 
+    # -- persistence (repro.diskcache "verify" entries) ----------------------
+    def to_payload(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "suppressed": self.suppressed,
+            "diagnostics": [
+                [d.severity, d.rule, d.kernel, d.location, d.message, d.hint]
+                for d in self.diagnostics
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "VerifyReport":
+        diags = [
+            Diagnostic(sev, rule, kernel, loc, msg, hint)
+            for sev, rule, kernel, loc, msg, hint in payload["diagnostics"]
+        ]
+        return cls(
+            kernel=str(payload["kernel"]),
+            diagnostics=diags,
+            suppressed=int(payload["suppressed"]),
+        )
+
 
 _VEC_HINTS = {
     "atomics": "replace global atomics with a per-workgroup reduction",

@@ -40,9 +40,13 @@ class Program:
         #: per-kernel status of the functional kernel JIT (compiled vs
         #: interpreter fallback), filled by :meth:`build`
         self.jit_log: Dict[str, str] = {}
+        #: build-time thread-coarsening request inherited by created
+        #: kernels (None = static heuristic, 1 = off, K>=2 = forced)
+        self.coarsen: Optional[int] = None
         self._built = False
 
-    def build(self, *, jit: bool = True) -> "Program":
+    def build(self, *, jit: bool = True,
+              coarsen: Optional[int] = None) -> "Program":
         """Produce a per-kernel vectorization report (the "compiler log").
 
         Also runs the functional kernel JIT once per kernel (the
@@ -51,7 +55,14 @@ class Program:
         skips the eager compile — callers that only ever time launches
         (``functional=False`` queues) don't pay for codegen they never
         use; a functional launch still compiles lazily on first enqueue.
+
+        ``coarsen`` is the build-time thread-coarsening request (the
+        ``-cl-opt`` analogue): ``None`` leaves the per-launch heuristic in
+        charge, ``1`` disables coarsening for kernels of this program, and
+        ``K >= 2`` forces factor K where legal (illegal launches fall back
+        transparently; see :mod:`repro.kernelir.coarsen`).
         """
+        self.coarsen = coarsen
         dev = self.context.device
         for name, k in self._kernels.items():
             if dev.is_gpu:
@@ -90,6 +101,9 @@ class CLKernel:
     def __init__(self, program: Program, kernel: Kernel):
         self.program = program
         self.kernel = kernel
+        #: per-kernel thread-coarsening request; inherited from the
+        #: program's build options, overridable per kernel object
+        self.coarsen: Optional[int] = program.coarsen
         self._args: List[object] = [_MISSING] * len(kernel.params)
 
     @property

@@ -131,6 +131,7 @@ class CommandQueue:
         reads: Sequence[Buffer] = (),
         writes: Sequence[Buffer] = (),
         barrier: bool = False,
+        kernel_info=None,
     ) -> Event:
         """Advance virtual time and retire one command.
 
@@ -159,6 +160,7 @@ class CommandQueue:
                 action, ev, wait_for=wait_for or (), reads=reads,
                 writes=writes, barrier=barrier,
                 label=info.get("kernel") or ctype.value,
+                kernel_info=kernel_info,
             )
         else:
             # eager engine: functional work happens inside the enqueue, and
@@ -301,6 +303,7 @@ class CommandQueue:
         action = None
         reads: list = []
         writes: list = []
+        kernel_info = None
         if self.functional:
             arrays = {name: b.array for name, b in buffers.items()}
             for p in kernel.kernel.buffer_params:
@@ -308,14 +311,28 @@ class CommandQueue:
                     reads.append(buffers[p.name])
                 if "w" in p.access:
                     writes.append(buffers[p.name])
+            coarsen = kernel.coarsen
 
             def action(kk=kernel.kernel, interp=self._interp):
                 launch_kernel(
                     kk, gsize, resolved_lsize, buffers=arrays,
                     scalars=scalars, global_offset=global_work_offset,
                     readonly=readonly, writeonly=writeonly,
-                    interpreter=interp,
+                    interpreter=interp, coarsen=coarsen,
                 )
+
+            # launch facts for the DAG engine's cross-launch fusion pass
+            kernel_info = {
+                "kernel": kernel.kernel,
+                "gsize": gsize,
+                "lsize": resolved_lsize,
+                "goffset": global_work_offset,
+                "arrays": arrays,
+                "scalars": scalars,
+                "interp": self._interp,
+                "readonly": readonly,
+                "writeonly": writeonly,
+            }
 
         # record the launch's chunk-safety verdict in the scheduler stats;
         # the proof is served from LaunchPlanCache("kernelir.analysis"), so
@@ -343,6 +360,7 @@ class CommandQueue:
             action=action,
             reads=reads,
             writes=writes,
+            kernel_info=kernel_info,
         )
 
     # -- explicit copies ----------------------------------------------------------

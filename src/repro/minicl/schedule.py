@@ -62,7 +62,15 @@ _STATS = {
     "max_in_flight": 0,
     "kernel_nodes": 0,
     "kernel_nodes_chunk_eligible": 0,
+    "fused_launches": 0,
 }
+
+
+def _fusion_enabled() -> bool:
+    """Cross-launch fusion kill switch (``REPRO_NO_FUSE=1`` disables)."""
+    import repro
+
+    return not repro.env_flag("REPRO_NO_FUSE")
 
 
 def scheduler_stats() -> Dict[str, int]:
@@ -102,9 +110,11 @@ class CommandNode:
     """One enqueued command in the dependency graph."""
 
     __slots__ = ("nid", "action", "event", "deps", "dependents", "state",
-                 "error", "label", "scheduler", "pins")
+                 "error", "label", "scheduler", "pins", "kernel_info",
+                 "fused_into")
 
-    def __init__(self, nid, action, event, label, scheduler, pins=()):
+    def __init__(self, nid, action, event, label, scheduler, pins=(),
+                 kernel_info=None):
         self.nid = nid
         self.action = action          # callable doing the functional work
         self.event = event            # minicl Event this node retires
@@ -117,6 +127,11 @@ class CommandNode:
         #: objects kept alive while the node is pending — hazard tracking
         #: keys on ``id(buffer)``, which CPython recycles after collection
         self.pins = pins
+        #: launch facts for NDRange nodes (kernel, shape, args) consumed by
+        #: the cross-launch fusion pass; None for every other command
+        self.kernel_info = kernel_info
+        #: the node this launch was fused into (its body now runs there)
+        self.fused_into: Optional["CommandNode"] = None
 
     def depends_on(self, dep: "CommandNode") -> bool:
         """Transitive reachability (dep-ward); used by cycle diagnostics."""
@@ -167,6 +182,7 @@ class CommandScheduler:
         barrier: bool = False,
         after_all: bool = False,
         label: str = "",
+        kernel_info=None,
     ) -> CommandNode:
         """Record one command; no execution happens here (``clEnqueue*``).
 
@@ -174,6 +190,8 @@ class CommandScheduler:
         functional work touches; ``barrier=True`` additionally orders
         every later command after this one, ``after_all`` (markers with no
         wait list) orders this one after everything currently live.
+        ``kernel_info`` carries an NDRange launch's facts for the fusion
+        pass (see :meth:`_fuse_released_locked`).
         """
         reads = list(reads)
         writes = list(writes)
@@ -182,6 +200,7 @@ class CommandScheduler:
             node = CommandNode(
                 self._next_id, action, event, label, self,
                 pins=tuple(reads) + tuple(writes),
+                kernel_info=kernel_info,
             )
             self._next_id += 1
             _STATS["nodes"] += 1
@@ -243,6 +262,102 @@ class CommandScheduler:
                 dep.dependents.append(node)
                 _STATS["explicit_edges"] += 1
 
+    # -- cross-launch fusion ------------------------------------------------------
+    def _fuse_released_locked(self) -> None:
+        """Fuse RAW producer->consumer launch pairs into one compiled launch.
+
+        Runs at release time (``clFlush``/``clFinish``), when the graph
+        between recorded nodes is final.  A consumer B fuses into its
+        producer A only when B's *sole* dependency is A — every other
+        command that could observe the intermediate buffer would hold a
+        hazard or wait edge and therefore widen ``B.deps`` — and both
+        launches cover the same NDRange.  The fused kernel still performs
+        A's stores, so memory state after retirement is bit-identical;
+        virtual timestamps were fixed at enqueue and never move.  Chains
+        (A->B->C) fuse transitively: a consumer whose dependency was
+        already absorbed follows ``fused_into`` to the hosting node.
+        """
+        if not _fusion_enabled():
+            return
+        for node in self._nodes:
+            if node.kernel_info is None or node.state != _RELEASED:
+                continue
+            if len(node.deps) != 1:
+                continue
+            dep = next(iter(node.deps))
+            host = dep.fused_into if dep.fused_into is not None else dep
+            if (host.scheduler is not self or host.state != _RELEASED
+                    or host.kernel_info is None):
+                continue
+            if self._try_fuse_locked(host, node):
+                _STATS["fused_launches"] += 1
+
+    def _try_fuse_locked(self, a: CommandNode, b: CommandNode) -> bool:
+        ainfo, binfo = a.kernel_info, b.kernel_info
+        if (ainfo["gsize"] != binfo["gsize"]
+                or ainfo["lsize"] != binfo["lsize"]
+                or ainfo["goffset"] != binfo["goffset"]
+                or ainfo["interp"] is not binfo["interp"]):
+            return False
+        # verify-mode mem_flags enforcement names parameters; renamed
+        # fused parameters would dodge it, so leave those launches alone
+        for info in (ainfo, binfo):
+            if info.get("readonly") or info.get("writeonly"):
+                return False
+        ak, bk = ainfo["kernel"], binfo["kernel"]
+        a_arrays, b_arrays = ainfo["arrays"], binfo["arrays"]
+        by_id = {id(arr): name for name, arr in a_arrays.items()}
+        a_writes = {p.name for p in ak.buffer_params if "w" in p.access}
+        shared = {}
+        raw = False
+        for p in bk.buffer_params:
+            aname = by_id.get(id(b_arrays[p.name]))
+            if aname is None:
+                continue
+            shared[p.name] = aname
+            if "r" in p.access and aname in a_writes:
+                raw = True
+        if not raw:
+            return False
+        from ..kernelir import compile as klc
+        from ..kernelir.fuse import FuseError, fuse_kernels
+
+        if not klc.jit_enabled():
+            return False
+        try:
+            fz = fuse_kernels(ak, bk, shared)
+        except FuseError:
+            return False
+        if klc.get_compiled(fz.kernel) is None:
+            return False
+        arrays = dict(a_arrays)
+        for bn, arr in b_arrays.items():
+            arrays[fz.buffer_map[bn]] = arr
+        scalars = dict(ainfo["scalars"])
+        for sn, v in binfo["scalars"].items():
+            scalars[fz.scalar_map[sn]] = v
+        fk = fz.kernel
+        gsize, lsize, goffset = ainfo["gsize"], ainfo["lsize"], ainfo["goffset"]
+        interp = ainfo["interp"]
+
+        def fused_action():
+            klc.launch_kernel(
+                fk, gsize, lsize, buffers=arrays, scalars=scalars,
+                global_offset=goffset, interpreter=interp,
+            )
+
+        a.action = fused_action
+        a.label = f"{a.label}+{b.label}" if a.label and b.label else a.label
+        a.kernel_info = {
+            "kernel": fk, "gsize": gsize, "lsize": lsize,
+            "goffset": goffset, "arrays": arrays, "scalars": scalars,
+            "interp": interp, "readonly": None, "writeonly": None,
+        }
+        b.action = None
+        b.kernel_info = None
+        b.fused_into = a
+        return True
+
     # -- submission and retirement ----------------------------------------------
     def _submit_ready_locked(self) -> None:
         for node in self._nodes:
@@ -267,6 +382,7 @@ class CommandScheduler:
             for node in self._nodes:
                 if node.state == _RECORDED:
                     node.state = _RELEASED
+            self._fuse_released_locked()
             self._submit_ready_locked()
 
     def _run_node(self, node: CommandNode) -> None:
@@ -356,6 +472,7 @@ class CommandScheduler:
                     if node.deps:
                         node.deps = {d for d in node.deps
                                      if d.state != _DONE}
+                self._fuse_released_locked()
                 self._submit_ready_locked()
                 if target is not None and target.state == _DONE:
                     break

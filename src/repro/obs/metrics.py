@@ -135,8 +135,20 @@ class MetricsRegistry:
             stats = klcompile.compile_stats()
         self.gauge("jit.kernels_compiled").set(stats["kernels_compiled"])
         self.gauge("jit.kernels_unsupported").set(stats["kernels_unsupported"])
+        for k in ("kernels_loaded_disk", "plans_loaded_disk"):
+            if k in stats:
+                self.gauge(f"jit.{k}").set(stats[k])
         for k, v in stats["launches"].items():
             self.gauge(f"jit.launches.{k}").set(v)
+
+    def absorb_disk_cache_stats(self, stats: Optional[dict] = None) -> None:
+        """Pull :func:`repro.diskcache.disk_cache_stats` into gauges."""
+        if stats is None:
+            from .. import diskcache
+
+            stats = diskcache.disk_cache_stats()
+        for k, v in stats.items():
+            self.gauge(f"diskcache.{k}").set(v)
 
     def absorb_scheduler_stats(self, stats: Optional[dict] = None) -> None:
         """Pull :func:`repro.minicl.schedule.scheduler_stats` into gauges."""

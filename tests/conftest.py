@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+The kernel JIT persists compiled sources and launch-plan verdicts under
+``~/.cache/repro`` (see :mod:`repro.diskcache`).  Tests must be hermetic:
+they should neither read entries a previous run left behind nor pollute
+the developer's real cache, so every test session gets a private
+throwaway cache root unless the invoker pinned one explicitly.
+"""
+
+import os
+import tempfile
+
+
+def pytest_configure(config):
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="repro-cache-")

@@ -1,0 +1,183 @@
+"""Thread coarsening (:mod:`repro.kernelir.coarsen`).
+
+The transform must be bit-identical to the interpreter — buffers *and*
+dynamic counters — including masked tails on grids that do not divide by
+the factor, and must refuse every kernel shape whose semantics depend on
+workgroup structure or execution order.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.kernelir import ast as ir
+from repro.kernelir import compile as jit
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.coarsen import (
+    CoarsenError,
+    choose_factor,
+    coarsen_blockers,
+    coarsen_kernel,
+)
+from repro.kernelir.interp import Interpreter
+from repro.kernelir.types import F32, I64
+
+
+def _scale_kernel(name="cg_scale"):
+    kb = KernelBuilder(name)
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    c = kb.scalar("c", F32)
+    gid = kb.global_id(0)
+    out[gid] = a[gid] * c
+    return kb.finish()
+
+
+def _divergent_kernel(name="cg_div"):
+    """A branchy kernel with per-copy private state and a loop."""
+    kb = KernelBuilder(name)
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    c = kb.scalar("c", F32)
+    gid = kb.global_id(0)
+    t = kb.let("t", a[gid] * c)
+    acc = kb.let("acc", kb.f32(0.0))
+    with kb.loop("j", 0, 3) as j:
+        kb.let(acc.name, acc + t * (kb.cast(j, F32) + kb.f32(1.0)))
+    with kb.if_(a[gid] > kb.f32(0.0)):
+        out[gid] = acc + t
+    with kb.else_():
+        out[gid] = acc - t
+    return kb.finish()
+
+
+def _interp_ref(kernel, n, buffers, scalars):
+    bufs = {k: v.copy() for k, v in buffers.items()}
+    res = Interpreter().launch(kernel, (n,), None, buffers=bufs,
+                               scalars=dict(scalars), count_ops=True)
+    return bufs, dataclasses.asdict(res.counters)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("n", [1000, 1003, 4096])
+    @pytest.mark.parametrize("factor", [2, 4, 7])
+    def test_forced_coarsen_bit_identical(self, n, factor):
+        kernel = _divergent_kernel(f"cg_diff{n}x{factor}")
+        rng = np.random.default_rng(7)
+        buffers = {
+            "a": rng.uniform(-4, 4, n).astype(np.float32),
+            "out": np.zeros(n, np.float32),
+        }
+        scalars = {"c": 1.5}
+        ref_bufs, ref_counters = _interp_ref(kernel, n, buffers, scalars)
+
+        ck = jit.get_compiled(kernel, count_ops=True)
+        assert ck is not None
+        plan = jit.get_fused_plan(ck, (n,), scalars=scalars, coarsen=factor)
+        assert plan.cck is not None, "forced coarsening should engage"
+        bufs = {k: v.copy() for k, v in buffers.items()}
+        res = plan.launch(bufs, dict(scalars))
+        # the launch reports the ORIGINAL NDRange, not the merged one
+        assert res.global_size == (n,)
+        for name in ref_bufs:
+            np.testing.assert_array_equal(ref_bufs[name], bufs[name])
+        assert dataclasses.asdict(res.counters) == ref_counters
+
+    def test_coarsened_launch_counter(self):
+        kernel = _scale_kernel("cg_counter")
+        ck = jit.get_compiled(kernel)
+        plan = jit.get_fused_plan(ck, (512,), coarsen=2)
+        assert plan.cck is not None
+        before = jit.compile_stats()["launches"]["coarsened"]
+        plan.launch({"a": np.ones(512, np.float32),
+                     "out": np.zeros(512, np.float32)}, {"c": 2.0})
+        assert jit.compile_stats()["launches"]["coarsened"] == before + 1
+
+
+class TestLegality:
+    def test_barrier_kernel_refused(self):
+        kb = KernelBuilder("cg_bar")
+        out = kb.buffer("out", F32, access="w")
+        tile = kb.local_array("tile", 16, F32)
+        lid = kb.local_id(0)
+        tile[lid] = kb.f32(1.0)
+        kb.barrier()
+        out[kb.global_id(0)] = tile[lid]
+        kernel = kb.finish()
+        assert coarsen_blockers(kernel) is not None
+        with pytest.raises(CoarsenError):
+            coarsen_kernel(kernel, 2)
+        assert choose_factor(kernel, 1 << 20) == 1
+
+    def test_group_id_reader_refused(self):
+        kb = KernelBuilder("cg_gid")
+        out = kb.buffer("out", F32, access="w")
+        out[kb.global_id(0)] = kb.cast(kb.group_id(0), F32)
+        kernel = kb.finish()
+        assert "group" in (coarsen_blockers(kernel) or "")
+
+    def test_reserved_name_refused(self):
+        kb = KernelBuilder("cg_res")
+        out = kb.buffer("out", F32, access="w")
+        kb.let("__cg_t", kb.f32(1.0))
+        out[kb.global_id(0)] = kb.f32(0.0)
+        kernel = kb.finish()
+        assert "reserved" in (coarsen_blockers(kernel) or "")
+
+    def test_shadowed_scalar_refused(self):
+        kb = KernelBuilder("cg_shadow")
+        out = kb.buffer("out", F32, access="w")
+        c = kb.scalar("c", F32)
+        kb.let("c", kb.f32(2.0))
+        out[kb.global_id(0)] = c
+        kernel = kb.finish()
+        assert "shadows" in (coarsen_blockers(kernel) or "")
+
+    def test_legal_kernel_has_no_blockers(self):
+        assert coarsen_blockers(_scale_kernel("cg_ok")) is None
+
+
+class TestHeuristic:
+    def test_cheap_straight_line_kernel_coarsens(self):
+        # 3 counted ops -> 18 ns/item, well under the 40 ns overhead
+        assert choose_factor(_scale_kernel("cg_h1"), 16384) == 4
+
+    def test_control_flow_disables_heuristic(self):
+        assert choose_factor(_divergent_kernel("cg_h2"), 16384) == 1
+
+    def test_indivisible_grid_backs_off(self):
+        # 1000 % 4 == 0 but 250 coarsened items < 2048 -> back off to 1
+        assert choose_factor(_scale_kernel("cg_h3"), 1000) == 1
+
+    def test_heuristic_defers_to_parallel_chunking(self):
+        # grids big enough to chunk across workers stay uncoarsened: the
+        # coarsened plan is serial and would forfeit the bigger win
+        kernel = _scale_kernel("cg_h4")
+        ck = jit.get_compiled(kernel)
+        plan = jit.get_fused_plan(ck, (1 << 17,))
+        assert plan.cck is None
+        assert plan.parallel
+
+    def test_heuristic_engages_below_chunk_threshold(self):
+        kernel = _scale_kernel("cg_h5")
+        ck = jit.get_compiled(kernel)
+        plan = jit.get_fused_plan(ck, (16384,))
+        assert plan.cck is not None
+
+
+class TestTransformShape:
+    def test_coarsened_kernel_structure(self):
+        kernel = _scale_kernel("cg_shape")
+        coarse = coarsen_kernel(kernel, 4)
+        assert coarse.name == "cg_shape__cg4"
+        assert coarse.scalar_params[-1].name == "__cg_n0"
+        assert coarse.scalar_params[-1].dtype is I64
+        # K guarded copies, each preceded by its gid reconstruction
+        ifs = [s for s in coarse.body if isinstance(s, ir.If)]
+        assert len(ifs) == 4
+        assert len(coarse.synthetic_op_ids) == 8
+
+    def test_factor_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            coarsen_kernel(_scale_kernel("cg_f1"), 1)

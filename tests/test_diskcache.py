@@ -1,0 +1,203 @@
+"""Persistent on-disk code cache (:mod:`repro.diskcache`).
+
+Covers the four failure modes the cache must survive: corrupted and
+truncated entries fall back to recompilation, concurrent writers never
+publish a torn file (atomic rename), ``REPRO_NO_CACHE=1`` bypasses the
+disk entirely, and a version-stamp mismatch invalidates an entry even
+when it lands in the right directory.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import diskcache, plancache
+from repro.kernelir import compile as jit
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32
+
+
+@pytest.fixture
+def cache_root(tmp_path, monkeypatch):
+    """A private cache root per test, with fresh stats."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    diskcache.reset_disk_cache_stats()
+    jit.reset_compile_stats()
+    yield tmp_path
+    diskcache.reset_disk_cache_stats()
+    jit.reset_compile_stats()
+
+
+def _scale_kernel(name: str):
+    kb = KernelBuilder(name)
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    c = kb.scalar("c", F32)
+    gid = kb.global_id(0)
+    out[gid] = a[gid] * c
+    return kb.finish()
+
+
+def _run(ck, n=64):
+    a = np.arange(n, dtype=np.float32)
+    out = np.zeros(n, np.float32)
+    ck.launch((n,), None, buffers={"a": a, "out": out}, scalars={"c": 3.0})
+    return a, out
+
+
+class TestWarmStart:
+    def test_second_compile_loads_from_disk(self, cache_root):
+        k = _scale_kernel("dc_warm")
+        ck = jit.get_compiled(k)
+        assert ck is not None
+        assert jit.compile_stats()["kernels_compiled"] == 1
+        assert diskcache.disk_cache_stats()["kernel_stores"] == 1
+
+        # a cold process is simulated by dropping the in-memory caches
+        plancache.invalidate_all()
+        jit.reset_compile_stats()
+        ck2 = jit.get_compiled(k)
+        assert ck2 is not None
+        stats = jit.compile_stats()
+        assert stats["kernels_compiled"] == 0
+        assert stats["kernels_loaded_disk"] == 1
+        a, out = _run(ck2)
+        np.testing.assert_array_equal(out, a * np.float32(3.0))
+
+    def test_plan_verdict_loads_from_disk(self, cache_root):
+        k = _scale_kernel("dc_plan")
+        ck = jit.get_compiled(k)
+        plan = jit.get_fused_plan(ck, (256,))
+        # two entries: the chunk-safety race verdict + the plan verdict
+        assert diskcache.disk_cache_stats()["plan_stores"] == 2
+
+        plancache.invalidate_all()
+        jit.reset_compile_stats()
+        ck2 = jit.get_compiled(k)
+        plan2 = jit.get_fused_plan(ck2, (256,))
+        assert jit.compile_stats()["plans_loaded_disk"] == 1
+        assert plan2.parallel == plan.parallel
+
+
+class TestCorruption:
+    def test_corrupted_entry_recompiles(self, cache_root):
+        k = _scale_kernel("dc_corrupt")
+        assert jit.get_compiled(k) is not None
+        files = list(cache_root.rglob("*.json"))
+        assert files
+        for f in files:
+            f.write_text("{ this is not json", encoding="utf-8")
+
+        plancache.invalidate_all()
+        jit.reset_compile_stats()
+        diskcache.reset_disk_cache_stats()
+        ck = jit.get_compiled(k)
+        assert ck is not None
+        assert jit.compile_stats()["kernels_compiled"] == 1
+        assert diskcache.disk_cache_stats()["errors"] >= 1
+        a, out = _run(ck)
+        np.testing.assert_array_equal(out, a * np.float32(3.0))
+
+    def test_truncated_entry_recompiles(self, cache_root):
+        k = _scale_kernel("dc_trunc")
+        assert jit.get_compiled(k) is not None
+        for f in cache_root.rglob("*.json"):
+            raw = f.read_bytes()
+            f.write_bytes(raw[: len(raw) // 2])
+
+        plancache.invalidate_all()
+        jit.reset_compile_stats()
+        assert jit.get_compiled(k) is not None
+        assert jit.compile_stats()["kernels_compiled"] == 1
+
+    def test_wrong_shape_payload_is_a_miss(self, cache_root):
+        diskcache.store_kernel(("shape",), {"source": "x = 1"})
+        path = next(cache_root.rglob("*.json"))
+        payload = json.loads(path.read_text())
+        del payload["source"]
+        path.write_text(json.dumps(payload))
+        assert diskcache.load_kernel(("shape",)) is None
+
+
+class TestVersioning:
+    def test_stamp_mismatch_invalidates(self, cache_root):
+        diskcache.store_kernel(("vkey",), {"source": "x = 1"})
+        assert diskcache.load_kernel(("vkey",)) is not None
+        path = next(cache_root.rglob("*.json"))
+        payload = json.loads(path.read_text())
+        payload["version"] = "0" * 40
+        path.write_text(json.dumps(payload))
+        assert diskcache.load_kernel(("vkey",)) is None
+
+    def test_code_version_partitions_directories(self, cache_root,
+                                                 monkeypatch):
+        diskcache.store_kernel(("pkey",), {"source": "x = 1"})
+        assert diskcache.load_kernel(("pkey",)) is not None
+        monkeypatch.setattr(diskcache, "_code_version", "f" * 40)
+        # same key, new code version: entry is simply not visible
+        assert diskcache.load_kernel(("pkey",)) is None
+
+
+class TestBypass:
+    def test_no_cache_env_bypasses_disk(self, cache_root, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        diskcache.store_kernel(("nkey",), {"source": "x = 1"})
+        assert not list(cache_root.rglob("*.json"))
+        assert diskcache.load_kernel(("nkey",)) is None
+        assert not diskcache.enabled()
+
+
+class TestConcurrency:
+    def test_concurrent_writers_never_publish_torn_entries(self, cache_root):
+        key = ("conc",)
+        payload = {"source": "s" * 4096}
+        torn = []
+
+        def writer():
+            for _ in range(40):
+                diskcache.store_kernel(key, payload)
+
+        def reader():
+            for _ in range(120):
+                p = diskcache.load_kernel(key)
+                if p is not None and p.get("source") != payload["source"]:
+                    torn.append(p)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not torn
+        assert diskcache.disk_cache_stats()["errors"] == 0
+        # temp files are always renamed away, never left behind
+        assert not list(cache_root.rglob("*.tmp"))
+        assert diskcache.load_kernel(key)["source"] == payload["source"]
+
+
+class TestMaintenance:
+    def test_usage_and_clear(self, cache_root):
+        diskcache.store_kernel(("u1",), {"source": "x = 1"})
+        diskcache.store_plan(("u2",), {"parallel": False, "coarsen": 1})
+        use = diskcache.usage()
+        assert use["entries"] == 2
+        assert use["bytes"] > 0
+        assert diskcache.clear() == 2
+        assert diskcache.usage()["entries"] == 0
+        assert diskcache.clear() == 0  # idempotent on an empty root
+
+    def test_cache_cli_stats_and_clear(self, cache_root, capsys):
+        from repro.__main__ import main
+
+        diskcache.store_kernel(("cli",), {"source": "x = 1"})
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(cache_root) in out
+        assert "entries" in out
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out
+        assert not list(cache_root.rglob("*.json"))
