@@ -182,6 +182,7 @@ def _finish_trace(tracer, path) -> None:
     obs.REGISTRY.absorb_disk_cache_stats()
     obs.REGISTRY.absorb_scheduler_stats()
     obs.REGISTRY.absorb_analysis_stats()
+    obs.REGISTRY.absorb_tune_stats()
     out = obs.write_trace(tracer, path, registry=obs.REGISTRY)
     msg = f"[trace] wrote {out} ({len(tracer.events)} events)"
     if tracer.dropped:
@@ -189,9 +190,20 @@ def _finish_trace(tracer, path) -> None:
     print(msg, file=sys.stderr)
 
 
+def _apply_tuned(path) -> None:
+    """Opt paper-default launches into tuned configs (``--tuned FILE``).
+
+    Exported via the environment so the overlay survives into ``--jobs``
+    worker processes.
+    """
+    if path:
+        os.environ["REPRO_TUNED"] = str(pathlib.Path(path).resolve())
+
+
 def cmd_experiments(args) -> int:
     _apply_engine(args.engine)
     _apply_scheduling(args)
+    _apply_tuned(getattr(args, "tuned", None))
     from .harness.registry import EXPERIMENTS, run_many
 
     requested = list(args.names or []) + list(getattr(args, "only", None) or [])
@@ -254,6 +266,7 @@ def cmd_bench(args) -> int:
             microbench=not args.names,
             workers=args.workers or 1,
             queue=args.queue or "inorder",
+            tuned=getattr(args, "tuned", None),
         )
     finally:
         if tracer is not None:
@@ -552,9 +565,11 @@ def cmd_cache(args) -> int:
     from . import diskcache
 
     if args.action == "clear":
-        removed = diskcache.clear()
+        partition = getattr(args, "partition", None)
+        removed = diskcache.clear(partition)
+        where = f" ({partition} partition)" if partition else ""
         print(f"[cache] removed {removed} entr{'y' if removed == 1 else 'ies'} "
-              f"from {diskcache.cache_dir()}")
+              f"from {diskcache.cache_dir()}{where}")
         return 0
 
     # stats
@@ -562,12 +577,65 @@ def cmd_cache(args) -> int:
     print(f"cache dir:     {use['dir']}")
     print(f"code version:  {use['code_version']}")
     print(f"entries:       {use['entries']} ({use['bytes']} bytes)")
+    partitions = use.get("partitions") or {}
+    for name in diskcache.PARTITIONS:
+        info = partitions.get(name)
+        if info:
+            print(f"  {name + ':':<10} {info['entries']} entries, "
+                  f"{info['bytes']} bytes")
     for ver, info in sorted(use["versions"].items()):
         cur = "  <- current" if ver == use["code_version"][:16] else ""
         print(f"  {ver}: {info['entries']} entries, "
               f"{info['bytes']} bytes{cur}")
     if not diskcache.enabled():
         print("note: REPRO_NO_CACHE is set; the disk cache is bypassed")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Auto-tune execution configurations over deterministic virtual time."""
+    from . import tune as tune_mod
+
+    benches = tune_mod.suite_benchmarks()
+    names = list(args.benchmarks or [])
+    unknown = [n for n in names if n not in benches]
+    if unknown:
+        return _unknown_name_error("benchmark", unknown, benches)
+    gs = tuple(args.size) if args.size else None
+    as_json = args.json
+
+    if args.explain:
+        selected = {n: benches[n] for n in (names or sorted(benches))}
+        doc = tune_mod.explain_doc(selected, global_size=gs)
+        text = json.dumps(doc, indent=2, sort_keys=True)
+        if args.out:
+            pathlib.Path(args.out).write_text(text + "\n")
+            print(f"[tune] wrote {args.out}")
+        print(text if as_json else tune_mod.render_explain(doc), end="")
+        return 0
+
+    # sweep logs go to stderr under --json so stdout stays parseable
+    log = (lambda *a: print(*a, file=sys.stderr)) if as_json else print
+    doc = tune_mod.tune(
+        names or None,
+        objective=args.objective,
+        strategy=args.strategy,
+        budget=args.budget,
+        jobs=args.jobs,
+        seed=args.seed,
+        affinity=args.affinity,
+        global_size=gs,
+        log=log,
+    )
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        log(f"[tune] wrote {args.out}")
+    if as_json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(tune_mod.render_comparison(doc), end="")
     return 0
 
 
@@ -662,6 +730,10 @@ def main(argv=None) -> int:
     p_exp.add_argument("--queue", choices=("inorder", "ooo"),
                        help="command-queue engine for functional execution "
                             "(env: REPRO_QUEUE; default: inorder/eager)")
+    p_exp.add_argument("--tuned", metavar="FILE",
+                       help="opt paper-default launches into the tuned "
+                            "configurations from a 'repro tune' output file "
+                            "(env: REPRO_TUNED)")
     p_exp.set_defaults(fn=cmd_experiments)
 
     p_bench = sub.add_parser(
@@ -692,7 +764,51 @@ def main(argv=None) -> int:
     p_bench.add_argument("--queue", choices=("inorder", "ooo"),
                          help="command-queue engine for functional execution "
                               "(env: REPRO_QUEUE; default: inorder/eager)")
+    p_bench.add_argument("--tuned", metavar="FILE",
+                         help="add a tuned-vs-default virtual-time section "
+                              "from a 'repro tune' output file")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="search the execution-configuration space (workgroup size, "
+             "coarsening, placement, transfer API) over virtual time",
+    )
+    p_tune.add_argument("benchmarks", nargs="*",
+                        help="benchmark names (default: the whole suite)")
+    p_tune.add_argument("--strategy",
+                        choices=("grid", "hillclimb", "random", "shalving"),
+                        default="grid",
+                        help="search strategy (default: grid/exhaustive)")
+    p_tune.add_argument("--budget", type=int, metavar="N",
+                        help="max points a strategy may evaluate per "
+                             "benchmark (default: the whole space)")
+    p_tune.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="evaluate sweep points across N worker "
+                             "processes (byte-identical results)")
+    p_tune.add_argument("--seed", type=int, default=0,
+                        help="seed for the random strategy (default: 0)")
+    p_tune.add_argument("--objective", choices=("kernel", "app"),
+                        default="kernel",
+                        help="minimize kernel virtual time, or maximize the "
+                             "paper's Eq (1) end-to-end throughput "
+                             "(sweeps map-vs-copy)")
+    p_tune.add_argument("--affinity", action="store_true",
+                        help="also sweep workgroup-placement policies "
+                             "(Section III-E affinity proposal)")
+    p_tune.add_argument("--size", type=int, nargs="+", metavar="N",
+                        help="global work size (default: Table II/III "
+                             "input 1)")
+    p_tune.add_argument("--explain", action="store_true",
+                        help="print the per-kernel cycle-accounting report "
+                             "(no sweep)")
+    p_tune.add_argument("--json", action="store_true",
+                        help="print the JSON document (sweep logs move to "
+                             "stderr)")
+    p_tune.add_argument("--out", metavar="FILE",
+                        help="also write the JSON document here (the "
+                             "--tuned input format)")
+    p_tune.set_defaults(fn=cmd_tune)
 
     p_rep = sub.add_parser("report", help="kernel performance report")
     p_rep.add_argument("benchmark")
@@ -770,6 +886,10 @@ def main(argv=None) -> int:
     c_clear = cache_sub.add_parser(
         "clear", help="delete every cached entry (all code versions)"
     )
+    c_clear.add_argument("--partition",
+                         choices=("kernels", "plans", "verify", "tune"),
+                         help="only clear this partition (e.g. reset sweep "
+                              "stores without nuking compiled kernels)")
     c_clear.set_defaults(fn=cmd_cache)
 
     p_trace = sub.add_parser(

@@ -15,7 +15,10 @@ Two entry kinds live under ``~/.cache/repro`` (override with
   kernel key + NDRange + scalars;
 * **verify** — the harness verifier's full diagnostic report for one
   (kernel, launch, data shape) triple, so warm benchmark runs skip the
-  abstract-interpretation fixpoint and the race rules entirely.
+  abstract-interpretation fixpoint and the race rules entirely;
+* **tune** — the auto-tuner's measured objective for one (kernel, knob
+  point) pair, so repeated or widened sweeps re-run only new points
+  (see :mod:`repro.tune.store`).
 
 Entries are partitioned by a **code version** — a hash over the source of
 every module that defines generated-code semantics — so upgrading the repo
@@ -47,13 +50,18 @@ __all__ = [
     "enabled",
     "load_kernel",
     "load_plan",
+    "load_tune",
     "load_verify",
     "reset_disk_cache_stats",
     "store_kernel",
     "store_plan",
+    "store_tune",
     "store_verify",
     "usage",
 ]
+
+#: the entry kinds (subdirectories) a version directory may contain
+PARTITIONS = ("kernels", "plans", "verify", "tune")
 
 #: modules whose source defines the semantics of generated code and of the
 #: cached plan verdicts; any edit to them must invalidate the cache
@@ -79,6 +87,9 @@ _STATS = {
     "verify_hits": 0,
     "verify_misses": 0,
     "verify_stores": 0,
+    "tune_hits": 0,
+    "tune_misses": 0,
+    "tune_stores": 0,
     "errors": 0,
 }
 
@@ -229,6 +240,34 @@ def store_verify(key: tuple, payload: dict) -> None:
     _store("verify", key, payload)
 
 
+# -- auto-tuner sweep results -----------------------------------------------
+
+
+def load_tune(key: tuple) -> Optional[dict]:
+    """Cached ``{"result": {...}}`` payload for one tuner sweep point.
+
+    The key is the tuner's content address (kernel fingerprint + knob
+    point + cost-model version; see :mod:`repro.tune.store`), so a
+    repeated identical sweep loads every point from disk and re-executes
+    nothing.
+    """
+    if not enabled():
+        return None
+    payload = _load("tune", key)
+    if payload is None or not isinstance(payload.get("result"), dict):
+        _STATS["tune_misses"] += 1
+        return None
+    _STATS["tune_hits"] += 1
+    return payload
+
+
+def store_tune(key: tuple, payload: dict) -> None:
+    if not enabled():
+        return
+    _STATS["tune_stores"] += 1
+    _store("tune", key, payload)
+
+
 # -- maintenance / reporting ------------------------------------------------
 
 
@@ -243,36 +282,70 @@ def reset_disk_cache_stats() -> None:
 
 
 def usage() -> dict:
-    """On-disk footprint: entry counts and bytes, split by code version."""
+    """On-disk footprint: entry counts and bytes, split by code version.
+
+    Each version's breakdown additionally splits by partition (the entry
+    kinds in :data:`PARTITIONS`), and the totals are mirrored per
+    partition at the top level so ``repro cache stats`` can print one row
+    per kind.
+    """
     root = cache_dir()
     out = {
         "dir": str(root),
         "code_version": code_version(),
         "entries": 0,
         "bytes": 0,
+        "partitions": {p: {"entries": 0, "bytes": 0} for p in PARTITIONS},
         "versions": {},
     }
     if not root.is_dir():
         return out
     for vdir in sorted(p for p in root.iterdir() if p.is_dir()):
         n = size = 0
+        parts = {p: {"entries": 0, "bytes": 0} for p in PARTITIONS}
         for f in vdir.rglob("*.json"):
             try:
-                size += f.stat().st_size
+                fsize = f.stat().st_size
             except OSError:
                 continue
             n += 1
-        out["versions"][vdir.name] = {"entries": n, "bytes": size}
+            size += fsize
+            kind = f.parent.name
+            if kind in parts:
+                parts[kind]["entries"] += 1
+                parts[kind]["bytes"] += fsize
+                out["partitions"][kind]["entries"] += 1
+                out["partitions"][kind]["bytes"] += fsize
+        out["versions"][vdir.name] = {
+            "entries": n, "bytes": size, "partitions": parts,
+        }
         out["entries"] += n
         out["bytes"] += size
     return out
 
 
-def clear() -> int:
-    """Delete every cached entry (all versions); returns entries removed."""
+def clear(partition: Optional[str] = None) -> int:
+    """Delete cached entries (all code versions); returns entries removed.
+
+    ``partition`` restricts the wipe to one entry kind — e.g.
+    ``clear("tune")`` resets the tuner's sweep store without discarding
+    compiled kernels or plan verdicts.
+    """
     root = cache_dir()
-    removed = 0
-    if root.is_dir():
+    if not root.is_dir():
+        return 0
+    if partition is None:
         removed = sum(1 for _ in root.rglob("*.json"))
         shutil.rmtree(root, ignore_errors=True)
+        return removed
+    if partition not in PARTITIONS:
+        raise ValueError(
+            f"unknown cache partition {partition!r}; known: {PARTITIONS}"
+        )
+    removed = 0
+    for vdir in (p for p in root.iterdir() if p.is_dir()):
+        pdir = vdir / partition
+        if pdir.is_dir():
+            removed += sum(1 for _ in pdir.rglob("*.json"))
+            shutil.rmtree(pdir, ignore_errors=True)
     return removed

@@ -260,6 +260,7 @@ def run_bench(
     microbench: bool = True,
     workers: int = 1,
     queue: str = "inorder",
+    tuned: Optional[str] = None,
     log=print,
 ) -> dict:
     """Run the wall-clock benchmark and return one JSON-ready *run* dict.
@@ -269,6 +270,9 @@ def run_bench(
     per-experiment sum, which for one process is the same thing minus pool
     overhead).  ``queue="ooo"`` sets ``REPRO_QUEUE=ooo`` for the duration
     so every functional command retires through the DAG scheduler.
+    ``tuned`` names a ``repro tune`` output file; the run dict then gains
+    a ``tuned`` section comparing tuned vs paper-default virtual time per
+    benchmark in the file (virtual time, so it composes with any mode).
     """
     from .registry import EXPERIMENTS
 
@@ -366,6 +370,18 @@ def run_bench(
             if clschedule is not None:
                 # the microbench exercises the DAG engine, so re-snapshot
                 run["scheduler"] = clschedule.scheduler_stats()
+
+        if tuned:
+            from ..tune import tuned_comparison
+
+            log(f"[bench] tuned-vs-default comparison from {tuned}")
+            run["tuned"] = tuned_comparison(tuned, log=log)
+            for name, row in run["tuned"].items():
+                log(
+                    f"[bench]   {name}: {row['speedup']}x "
+                    f"(default {row['default']} -> tuned {row['tuned']} "
+                    f"{row['units']})"
+                )
     finally:
         if prev_queue is None:
             os.environ.pop("REPRO_QUEUE", None)

@@ -27,7 +27,29 @@ from .experiments import (
     table2_table3,
 )
 
-__all__ = ["EXPERIMENTS", "run_all", "run_experiment", "run_many"]
+__all__ = ["EXPERIMENTS", "pool_map", "run_all", "run_experiment",
+           "run_many"]
+
+
+def pool_map(fn, argtuples: Sequence[tuple], jobs: int = 1) -> List:
+    """Apply a module-level ``fn`` to each argument tuple, optionally
+    across ``jobs`` worker processes.
+
+    The repo's process-pool idiom in one place: results come back in the
+    order of ``argtuples`` regardless of completion order, so parallel
+    and serial runs produce identical output, and ``fn`` must be a
+    module-level callable (picklable) whose inputs are self-contained.
+    Knobs that must reach workers travel via ``REPRO_*`` environment
+    variables, which the pool inherits.
+    """
+    argtuples = list(argtuples)
+    if jobs <= 1 or len(argtuples) <= 1:
+        return [fn(*args) for args in argtuples]
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(jobs, len(argtuples))
+    ) as pool:
+        futures = [pool.submit(fn, *args) for args in argtuples]
+        return [f.result() for f in futures]
 
 EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "table1": table1.run,
@@ -114,13 +136,7 @@ def run_many(
         raise KeyError(
             f"unknown experiment(s) {unknown!r}; known: {sorted(EXPERIMENTS)}"
         )
-    if jobs <= 1 or len(names) <= 1:
-        return [run_experiment(name, fast) for name in names]
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(jobs, len(names))
-    ) as pool:
-        futures = [pool.submit(_run_one, name, fast) for name in names]
-        return [f.result() for f in futures]
+    return pool_map(_run_one, [(name, fast) for name in names], jobs)
 
 
 def run_all(fast: bool = False, jobs: int = 1) -> List[ExperimentResult]:

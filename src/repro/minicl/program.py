@@ -23,6 +23,8 @@ from .errors import (
 
 __all__ = ["Program", "CLKernel"]
 
+_MISSING = object()
+
 
 class Program:
     """A built program: a named collection of kernels."""
@@ -46,7 +48,7 @@ class Program:
         self._built = False
 
     def build(self, *, jit: bool = True,
-              coarsen: Optional[int] = None) -> "Program":
+              coarsen=_MISSING) -> "Program":
         """Produce a per-kernel vectorization report (the "compiler log").
 
         Also runs the functional kernel JIT once per kernel (the
@@ -60,9 +62,12 @@ class Program:
         ``-cl-opt`` analogue): ``None`` leaves the per-launch heuristic in
         charge, ``1`` disables coarsening for kernels of this program, and
         ``K >= 2`` forces factor K where legal (illegal launches fall back
-        transparently; see :mod:`repro.kernelir.coarsen`).
+        transparently; see :mod:`repro.kernelir.coarsen`).  Omitting the
+        argument on a re-build preserves the previous request — a plain
+        ``build()`` must not silently reset a tuner-supplied K.
         """
-        self.coarsen = coarsen
+        if coarsen is not _MISSING:
+            self.coarsen = coarsen
         dev = self.context.device
         for name, k in self._kernels.items():
             if dev.is_gpu:
@@ -92,19 +97,32 @@ class Program:
         return CLKernel(self, self._kernels[name])
 
 
-_MISSING = object()
-
-
 class CLKernel:
     """A kernel with bound arguments (``clSetKernelArg`` state)."""
 
     def __init__(self, program: Program, kernel: Kernel):
         self.program = program
         self.kernel = kernel
-        #: per-kernel thread-coarsening request; inherited from the
-        #: program's build options, overridable per kernel object
-        self.coarsen: Optional[int] = program.coarsen
+        self._coarsen = _MISSING
         self._args: List[object] = [_MISSING] * len(kernel.params)
+
+    @property
+    def coarsen(self) -> Optional[int]:
+        """Per-kernel thread-coarsening request.
+
+        Tracks the program's build option *live* — ``build(coarsen=K)``
+        reaches kernel objects created before the (re)build, instead of
+        each kernel snapshotting whatever the program held at
+        ``create_kernel`` time.  Assigning to the attribute overrides the
+        inherited value for this kernel object only.
+        """
+        if self._coarsen is _MISSING:
+            return self.program.coarsen
+        return self._coarsen
+
+    @coarsen.setter
+    def coarsen(self, value: Optional[int]) -> None:
+        self._coarsen = value
 
     @property
     def name(self) -> str:

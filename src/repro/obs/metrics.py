@@ -168,6 +168,15 @@ class MetricsRegistry:
         for k, v in stats.items():
             self.gauge(f"analysis.{k}").set(v)
 
+    def absorb_tune_stats(self, stats: Optional[dict] = None) -> None:
+        """Pull :func:`repro.tune.tune_stats` into gauges."""
+        if stats is None:
+            from ..tune import tune_stats
+
+            stats = tune_stats()
+        for k, v in stats.items():
+            self.gauge(f"tune.{k}").set(v)
+
     def absorb_verifier_tally(self, tally) -> None:
         """Accumulate one experiment's ``DiagnosticTally`` into counters."""
         self.counter("verify.launches").inc(tally.launches)

@@ -75,13 +75,13 @@ class CPUDeviceModel:
                  workitem_serialization: bool = False,
                  latencies: Optional[LatencyTable] = None):
         self.spec = spec
-        self.vectorize_kernels = vectorize
+        self._vectorize_kernels = vectorize
         #: model a SnuCL-style runtime (paper Section II-A): aggressive
         #: compiler serialization of workitems drops most of the per-item
         #: loop overhead, shrinking — not erasing — the Figure 1/3 effects.
         #: "Better OpenCL implementation can have less overhead than other
         #: suboptimal implementations."
-        self.workitem_serialization = workitem_serialization
+        self._workitem_serialization = workitem_serialization
         self.latencies = latencies or LatencyTable(
             load=float(spec.l1_latency),
         )
@@ -93,6 +93,33 @@ class CPUDeviceModel:
         #: NDRange, scalars, buffer sizes) skip re-analysis + re-vectorization
         #: — the pocl-style compiled-work-group-function cache.
         self.plan_cache = LaunchPlanCache("cpu.kernel_cost", maxsize=4096)
+
+    # -- tunable knobs -------------------------------------------------------
+    # Every knob a tuner can flip in place drops the memoized plans on
+    # mutation — the knobs are part of the plan-cache key, but auxiliary
+    # state derived from them (and stale capacity) should not outlive a
+    # knob change.  Reading stays a plain attribute access.
+    @property
+    def vectorize_kernels(self) -> bool:
+        return self._vectorize_kernels
+
+    @vectorize_kernels.setter
+    def vectorize_kernels(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._vectorize_kernels:
+            self._vectorize_kernels = value
+            self.invalidate_plans()
+
+    @property
+    def workitem_serialization(self) -> bool:
+        return self._workitem_serialization
+
+    @workitem_serialization.setter
+    def workitem_serialization(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._workitem_serialization:
+            self._workitem_serialization = value
+            self.invalidate_plans()
 
     # -- program build -------------------------------------------------------
     def prepare_kernel(self, kernel: Kernel) -> str:

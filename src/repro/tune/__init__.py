@@ -1,0 +1,54 @@
+"""repro.tune — auto-tuner / design-space explorer over virtual time.
+
+``python -m repro tune`` searches the execution-configuration knob space
+(workgroup size, thread-coarsening factor, workgroup placement, transfer
+API) for configurations beating the paper defaults, with every measured
+point persisted in a content-addressed sweep store and a per-kernel
+cycle-accounting report steering the search.  See docs/TUNING.md.
+"""
+
+from .driver import (
+    SCHEMA,
+    reset_tune_stats,
+    tune,
+    tune_stats,
+    tuned_comparison,
+)
+from .report import (
+    EXPLAIN_SCHEMA,
+    cycle_accounting,
+    explain_doc,
+    render_comparison,
+    render_explain,
+)
+from .space import (
+    KnobPoint,
+    KnobSpace,
+    default_point,
+    default_space,
+    suite_benchmarks,
+)
+from .store import TuneStore, model_version, point_key
+from .strategies import STRATEGIES
+
+__all__ = [
+    "EXPLAIN_SCHEMA",
+    "KnobPoint",
+    "KnobSpace",
+    "SCHEMA",
+    "STRATEGIES",
+    "TuneStore",
+    "cycle_accounting",
+    "default_point",
+    "default_space",
+    "explain_doc",
+    "model_version",
+    "point_key",
+    "render_comparison",
+    "render_explain",
+    "reset_tune_stats",
+    "suite_benchmarks",
+    "tune",
+    "tune_stats",
+    "tuned_comparison",
+]

@@ -1,0 +1,451 @@
+"""The search driver behind ``python -m repro tune``.
+
+An archgym-style gym-over-simulator loop: a strategy proposes knob
+points, the oracle evaluates each one as deterministic *virtual time*
+through the full minicl measurement path (the same
+:func:`repro.harness.runner.measure_kernel` every experiment uses), and
+every measurement lands in the content-addressed sweep store — so a
+repeated sweep executes zero points, a widened sweep executes only the
+delta, and ``jobs=N`` fan-out (the ``run_many`` process-pool idiom)
+produces byte-identical results to a serial run.
+
+Before sweeping, the driver runs the cycle-accounting report
+(:mod:`repro.tune.report`) and prunes dead axes — a bandwidth-bound
+kernel with negligible per-workitem overhead never gets its coarsening
+axis swept, because coarsening only amortizes that overhead.
+
+Objectives:
+
+* ``kernel`` — mean virtual ns per launch (minimize); affinity-policy
+  points are measured as the mean of three *repeated* launches on an
+  :class:`~repro.minicl.ext.AffinityCommandQueue`, so cross-launch cache
+  residency (the paper's Section III-E proposal) counts;
+* ``app`` — the paper's Equation (1) end-to-end throughput including
+  host<->device transfers (maximize), which makes the map-vs-copy knob
+  meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..harness.registry import pool_map
+from ..harness.runner import (
+    cpu_dut,
+    kernel_ir,
+    make_buffers,
+    measure_app_throughput,
+    measure_kernel,
+)
+from ..suite.base import Benchmark, _largest_divisor_at_most, scale_global_size
+from .report import cycle_accounting
+from .space import (
+    KnobPoint,
+    default_point,
+    default_space,
+    suite_benchmarks,
+)
+from .store import TuneStore, model_version, point_key
+from .strategies import STRATEGIES
+
+__all__ = [
+    "SCHEMA",
+    "reset_tune_stats",
+    "tune",
+    "tune_stats",
+    "tuned_comparison",
+]
+
+SCHEMA = 1
+
+#: improvements below this fraction are noise-level float differences
+_MIN_IMPROVEMENT = 1e-6
+
+_STATS = {
+    "sweeps": 0,
+    "points_requested": 0,
+    "points_executed": 0,
+    "points_cached": 0,
+    "benchmarks_tuned": 0,
+    "benchmarks_improved": 0,
+}
+
+
+def tune_stats() -> dict:
+    """This process's search activity (absorbed by ``repro.obs``)."""
+    return dict(_STATS)
+
+
+def reset_tune_stats() -> None:
+    for k in _STATS:
+        _STATS[k] = 0
+
+
+# -- point evaluation (runs in worker processes) ----------------------------
+
+#: per-process device under test, shared across evaluations
+_DUT = None
+
+
+def _get_dut():
+    global _DUT
+    if _DUT is None:
+        _DUT = cpu_dut()
+    return _DUT
+
+
+def _legal_local(
+    local_size: Optional[Tuple[int, ...]], launch_gs: Tuple[int, ...]
+) -> Optional[Tuple[int, ...]]:
+    """Shrink a candidate workgroup to a legal divisor of the launch size.
+
+    ``None`` stays ``None`` (the runtime's NULL policy is itself a
+    candidate).  Mirrors :meth:`Benchmark.resolved_launch`.
+    """
+    if local_size is None:
+        return None
+    ls = tuple(min(int(l), g) for l, g in zip(local_size, launch_gs))
+    return tuple(
+        _largest_divisor_at_most(g, l) for g, l in zip(launch_gs, ls)
+    )
+
+
+def _measure_affinity(bench: Benchmark, gs, point: KnobPoint) -> float:
+    """Mean virtual ns over three warmed launches on the affinity queue."""
+    from ..minicl.ext import AffinityCommandQueue
+
+    dut = _get_dut()
+    kir = kernel_ir(bench, point.coalesce)
+    launch_gs = scale_global_size(gs, point.coalesce)
+    ls = _legal_local(point.local_size, launch_gs)
+    buffers, scalars, _ = make_buffers(dut, bench, gs)
+    scalars = {**scalars, **bench.scalars_for(point.coalesce)}
+    program = dut.build_program(kir)
+    k = program.create_kernel(kir.name)
+    k.set_args(*[
+        buffers[p.name] if p.name in buffers else scalars[p.name]
+        for p in kir.params
+    ])
+    # a fresh queue per point: residency warming must not leak between
+    # sweep points, only between this point's repeated launches
+    q = AffinityCommandQueue(dut.context)
+    model = q.device.model
+    resolved_ls = model.choose_local_size(launch_gs, ls)
+    num_wgs = 1
+    for g, l in zip(launch_gs, resolved_ls):
+        num_wgs *= math.ceil(g / l)
+    cores = model.spec.logical_cores
+    if point.affinity == "blocked":
+        placement = lambda w: min(cores - 1, (w * cores) // max(1, num_wgs))
+    else:  # round_robin
+        placement = lambda w: w % cores
+    t0 = q.now_ns
+    invocations = 3
+    for _ in range(invocations):
+        q.enqueue_nd_range_kernel(
+            k, launch_gs, ls, workgroup_affinity=placement
+        )
+    return (q.now_ns - t0) / invocations
+
+
+def _evaluate(bench: Benchmark, gs, point: KnobPoint, objective: str) -> dict:
+    """Measure one knob point; pure function of (bench, gs, point)."""
+    from ..harness.runner import tuned_overlay_disabled
+
+    with tuned_overlay_disabled():
+        return _evaluate_inner(bench, gs, point, objective)
+
+
+def _evaluate_inner(
+    bench: Benchmark, gs, point: KnobPoint, objective: str
+) -> dict:
+    gs = tuple(int(g) for g in gs)
+    if objective == "app":
+        thr = measure_app_throughput(
+            _get_dut(), bench, gs, _legal_local(point.local_size, gs),
+            transfer_api=point.transfer_api,
+        )
+        return {"value": thr, "units": "items_per_ns", "score": -thr}
+    if point.affinity != "none":
+        mean_ns = _measure_affinity(bench, gs, point)
+        return {
+            "value": mean_ns, "units": "ns", "invocations": 3,
+            "score": mean_ns,
+        }
+    launch_gs = scale_global_size(gs, point.coalesce)
+    m = measure_kernel(
+        _get_dut(), bench, gs,
+        _legal_local(point.local_size, launch_gs),
+        coalesce=point.coalesce,
+    )
+    return {
+        "value": m.mean_ns, "units": "ns", "invocations": m.invocations,
+        "score": m.mean_ns,
+    }
+
+
+def _eval_point_job(
+    bench_name: str, point_payload: dict, gs: tuple, objective: str
+) -> dict:
+    """Module-level so ``pool_map`` worker processes can unpickle it."""
+    bench = suite_benchmarks()[bench_name]
+    return _evaluate(bench, gs, KnobPoint.from_payload(point_payload), objective)
+
+
+# -- the oracle -------------------------------------------------------------
+
+
+def _fidelity_rungs(gs: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+    """Problem-size rungs for successive halving (low first, full last).
+
+    Shrunken sizes stay multiples of 4096 in dim 0 so every coarsening
+    factor and workgroup candidate remains legal at every rung.
+    """
+    rungs: List[Tuple[int, ...]] = []
+    for div in (4, 2):
+        n0 = (gs[0] // div) // 4096 * 4096
+        cand = (n0,) + gs[1:]
+        if n0 >= 4096 and cand != gs and cand not in rungs:
+            rungs.append(cand)
+    rungs.append(gs)
+    return rungs
+
+
+class _Oracle:
+    """Content-addressed evaluation of knob points at several fidelities."""
+
+    def __init__(self, bench: Benchmark, gs: Tuple[int, ...],
+                 objective: str, store: TuneStore, jobs: int):
+        self.bench = bench
+        self.gs = gs
+        self.objective = objective
+        self.store = store
+        self.jobs = jobs
+        self.rungs = _fidelity_rungs(gs)
+        #: full-fidelity results in first-evaluation order
+        self.full: Dict[KnobPoint, dict] = {}
+
+    def evaluate(self, points: Sequence[KnobPoint], *,
+                 fidelity: int = -1) -> List[dict]:
+        points = list(points)
+        gs = self.rungs[fidelity]
+        _STATS["points_requested"] += len(points)
+        keys = [
+            point_key(
+                self.bench, gs, p, self.objective,
+                kernel_ir(self.bench, p.coalesce).fingerprint(),
+            )
+            for p in points
+        ]
+        results: Dict[int, dict] = {}
+        misses: List[int] = []
+        for i, key in enumerate(keys):
+            cached = self.store.get(key)
+            if cached is None:
+                misses.append(i)
+            else:
+                results[i] = cached
+        if misses:
+            out = pool_map(
+                _eval_point_job,
+                [
+                    (self.bench.name, points[i].to_payload(), gs,
+                     self.objective)
+                    for i in misses
+                ],
+                self.jobs,
+            )
+            for i, r in zip(misses, out):
+                self.store.put(keys[i], r)
+                results[i] = r
+        _STATS["points_executed"] += len(misses)
+        _STATS["points_cached"] += len(points) - len(misses)
+        ordered = [results[i] for i in range(len(points))]
+        if tuple(gs) == tuple(self.gs):
+            for p, r in zip(points, ordered):
+                self.full.setdefault(p, r)
+        return ordered
+
+
+# -- the driver -------------------------------------------------------------
+
+
+def _tune_one(
+    bench: Benchmark,
+    *,
+    objective: str,
+    strategy: str,
+    budget: Optional[int],
+    jobs: int,
+    seed: int,
+    affinity: bool,
+    store: TuneStore,
+    global_size: Optional[Sequence[int]] = None,
+    log=print,
+) -> dict:
+    gs = tuple(
+        int(g) for g in (global_size or bench.default_global_sizes[0])
+    )
+    acct = cycle_accounting(bench, gs)
+    space = default_space(
+        bench, gs,
+        objective=objective,
+        affinity=affinity,
+        sweep_coalesce=acct["pruning"]["sweep_coalesce"],
+    )
+    dpoint = default_point(bench, objective)
+    oracle = _Oracle(bench, gs, objective, store, jobs)
+    STRATEGIES[strategy](space, oracle, dpoint, budget, seed)
+    # the paper default is always measured at full fidelity, whatever the
+    # strategy visited (a store hit when the strategy already saw it)
+    default_result = oracle.evaluate([dpoint])[0]
+    best_point, best_result = min(
+        oracle.full.items(), key=lambda pr: pr[1]["score"]
+    )
+    improved = (
+        best_result["score"]
+        < default_result["score"] * (1.0 - _MIN_IMPROVEMENT)
+    )
+    if not improved:
+        best_point, best_result = dpoint, default_result
+    if best_result["units"] == "ns":
+        speedup = (
+            default_result["value"] / best_result["value"]
+            if best_result["value"] > 0 else 0.0
+        )
+    else:
+        speedup = (
+            best_result["value"] / default_result["value"]
+            if default_result["value"] > 0 else 0.0
+        )
+    _STATS["benchmarks_tuned"] += 1
+    if improved:
+        _STATS["benchmarks_improved"] += 1
+    log(
+        f"[tune] {bench.name}: {len(oracle.full)} point(s) at full size, "
+        f"best {best_point.describe()} "
+        f"({speedup:.2f}x vs paper default)"
+    )
+    return {
+        "global_size": list(gs),
+        "objective": objective,
+        "strategy": strategy,
+        "space_size": space.size(),
+        "evaluated_points": len(oracle.full),
+        "default": {
+            "point": dpoint.to_payload(), "result": default_result,
+        },
+        "best": {
+            "point": best_point.to_payload(), "result": best_result,
+        },
+        "speedup": round(speedup, 4),
+        "improved": improved,
+        "pruning": acct["pruning"],
+    }
+
+
+def tune(
+    names: Optional[Sequence[str]] = None,
+    *,
+    objective: str = "kernel",
+    strategy: str = "grid",
+    budget: Optional[int] = None,
+    jobs: int = 1,
+    seed: int = 0,
+    affinity: bool = False,
+    global_size: Optional[Sequence[int]] = None,
+    log=print,
+) -> dict:
+    """Tune several benchmarks; returns the JSON-ready sweep document.
+
+    The document doubles as the ``--tuned`` opt-in file: ``configs``
+    holds, per benchmark, the paper-default and tuned points with their
+    measured objectives; ``store`` reports how many points this sweep
+    loaded from the content-addressed store vs actually executed.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; known: {sorted(STRATEGIES)}"
+        )
+    if objective not in ("kernel", "app"):
+        raise ValueError(f"unknown objective {objective!r}")
+    benches = suite_benchmarks()
+    names = list(names) if names else list(benches)
+    unknown = [n for n in names if n not in benches]
+    if unknown:
+        raise KeyError(
+            f"unknown benchmark(s) {unknown!r}; known: {sorted(benches)}"
+        )
+    _STATS["sweeps"] += 1
+    store = TuneStore()
+    configs = {
+        name: _tune_one(
+            benches[name],
+            objective=objective, strategy=strategy, budget=budget,
+            jobs=jobs, seed=seed, affinity=affinity, store=store,
+            global_size=global_size, log=log,
+        )
+        for name in names
+    }
+    improved = sum(1 for c in configs.values() if c["improved"])
+    log(
+        f"[tune] {improved}/{len(configs)} benchmark(s) beat the paper "
+        f"default; store: {store.hits} hit(s), {store.misses} executed"
+    )
+    return {
+        "schema": SCHEMA,
+        "objective": objective,
+        "strategy": strategy,
+        "model_version": model_version()[:16],
+        "configs": configs,
+        "store": store.stats(),
+    }
+
+
+# -- the --tuned comparison (used by ``repro bench --tuned``) ---------------
+
+
+def tuned_comparison(path, log=print) -> dict:
+    """Re-measure default vs tuned virtual time for a committed config file.
+
+    Returns ``{benchmark: {"default_ns", "tuned_ns", "speedup", "point"}}``
+    — every measurement goes through the content-addressed store, so a
+    warm comparison executes nothing.
+    """
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported tuned-config schema {doc.get('schema')!r}"
+        )
+    benches = suite_benchmarks()
+    store = TuneStore()
+    out: Dict[str, dict] = {}
+    for name in sorted(doc.get("configs", {})):
+        if name not in benches:
+            log(f"[tune] {name}: unknown benchmark in {path}; skipped")
+            continue
+        cfg = doc["configs"][name]
+        bench = benches[name]
+        gs = tuple(int(g) for g in cfg["global_size"])
+        objective = cfg.get("objective", "kernel")
+        oracle = _Oracle(bench, gs, objective, store, jobs=1)
+        dres, tres = oracle.evaluate([
+            KnobPoint.from_payload(cfg["default"]["point"]),
+            KnobPoint.from_payload(cfg["best"]["point"]),
+        ])
+        speedup = (
+            dres["value"] / tres["value"]
+            if tres["units"] == "ns" and tres["value"] > 0
+            else (tres["value"] / dres["value"] if dres["value"] > 0 else 0.0)
+        )
+        out[name] = {
+            "default": round(dres["value"], 3),
+            "tuned": round(tres["value"], 3),
+            "units": tres["units"],
+            "speedup": round(speedup, 4),
+            "point": cfg["best"]["point"],
+        }
+    return out

@@ -1,0 +1,214 @@
+"""Per-kernel cycle accounting: where did the virtual time go?
+
+A roofline-style decomposition of one launch's virtual time into its
+constituents, in the idiom of engine slot-utilization analysis: compare
+the cycle count against each resource's lower bound, report the binding
+bound, and account every thread-slot cycle of the schedule as *busy*
+(item execution vs per-workitem scheduling overhead), *dispatch* (the
+workgroup context-switch cost the paper's Section II-A describes), or
+*idle* (load-imbalance slots — threads waiting for the longest round to
+finish).
+
+The same decomposition steers the tuner: a kernel whose binding bound is
+memory bandwidth *and* whose per-workitem overhead share is negligible
+cannot profit from thread coarsening (coarsening only amortizes per-item
+overhead), so the driver prunes the coarsening axis for it instead of
+sweeping dead configurations.
+
+``python -m repro tune --explain`` emits this as a schema-checked JSON
+document (see docs/TUNING.md for the anatomy).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional, Sequence
+
+from ..simcpu.device import CPUDeviceModel
+from ..suite.base import Benchmark
+
+__all__ = [
+    "EXPLAIN_SCHEMA",
+    "cycle_accounting",
+    "explain_doc",
+    "render_comparison",
+    "render_explain",
+]
+
+EXPLAIN_SCHEMA = 1
+
+#: per-workitem overhead share below which coarsening cannot pay on a
+#: bandwidth-/memory-limited kernel (the driver's pruning threshold)
+_OVERHEAD_PRUNE_FRACTION = 0.05
+
+
+def cycle_accounting(
+    bench: Benchmark,
+    global_size: Optional[Sequence[int]] = None,
+    *,
+    model: Optional[CPUDeviceModel] = None,
+) -> dict:
+    """Decompose one paper-default launch's virtual time (JSON-ready)."""
+    from ..harness.runner import bench_data, kernel_ir
+
+    if model is None:
+        model = CPUDeviceModel()
+    gs = tuple(
+        int(g) for g in (global_size or bench.default_global_sizes[0])
+    )
+    kernel = kernel_ir(bench, 1)
+    host, scalars = bench_data(bench, gs)
+    cost = model.kernel_cost(
+        kernel, gs, bench.default_local_size,
+        scalars={k: float(v) for k, v in scalars.items()},
+        buffer_bytes={k: int(v.nbytes) for k, v in host.items()},
+    )
+    spec = model.spec
+    item = cost.item
+    sched = cost.schedule
+
+    # -- thread-slot accounting (busy / dispatch / idle) --------------------
+    threads = max(1, sched.threads_used)
+    slot_cycles = sched.makespan_cycles * threads
+    busy = sched.busy_cycles_total
+    dispatch = sched.dispatch_cycles_total
+    idle = max(0.0, slot_cycles - busy - dispatch)
+
+    # busy cycles split between real item execution and the per-workitem
+    # scheduling overhead (what coarsening amortizes): the workgroup cost
+    # is items * (item.cycles + overhead/vec_width), so the overhead share
+    # of every busy cycle is overhead / (item + overhead)
+    per_item_overhead = (
+        spec.workitem_overhead_cycles
+        / max(1.0, item.effective_vector_width)
+    )
+    overhead_fraction = (
+        per_item_overhead / (item.cycles + per_item_overhead)
+        if (item.cycles + per_item_overhead) > 0 else 0.0
+    )
+    busy_overhead = busy * overhead_fraction
+    busy_item = busy - busy_overhead
+
+    bottleneck = item.dominant()
+    sweep_coalesce = not (
+        bottleneck in ("memory", "bandwidth")
+        and overhead_fraction < _OVERHEAD_PRUNE_FRACTION
+    )
+    if sweep_coalesce:
+        reason = (
+            f"per-workitem overhead is {overhead_fraction:.1%} of busy "
+            f"cycles (bottleneck: {bottleneck}) — coarsening can pay"
+        )
+    else:
+        reason = (
+            f"{bottleneck}-bound with only {overhead_fraction:.1%} "
+            f"per-workitem overhead — coarsening cannot pay, axis pruned"
+        )
+
+    return {
+        "kernel": kernel.name,
+        "global_size": list(gs),
+        "local_size": list(cost.local_size),
+        "workgroups": int(cost.analysis.ctx.workgroup_count),
+        "bottleneck": bottleneck,
+        "vectorized": bool(cost.vectorization.vectorized),
+        "effective_vector_width": round(item.effective_vector_width, 2),
+        "total_ns": round(cost.total_ns, 3),
+        "makespan_ns": round(spec.cycles_to_ns(sched.makespan_cycles), 3),
+        "launch_overhead_ns": round(spec.kernel_launch_overhead_ns, 3),
+        "per_item_bounds_cycles": {
+            "compute": round(item.compute_bound, 4),
+            "memory": round(item.memory_bound, 4),
+            "bandwidth": round(item.bandwidth_bound, 4),
+            "latency": round(item.latency_bound, 4),
+            "binding": round(item.cycles, 4),
+        },
+        "slots": {
+            "threads": threads,
+            "rounds": int(sched.rounds),
+            "slot_cycles": round(slot_cycles, 1),
+            "busy_item_cycles": round(busy_item, 1),
+            "busy_overhead_cycles": round(busy_overhead, 1),
+            "dispatch_cycles": round(dispatch, 1),
+            "idle_cycles": round(idle, 1),
+            "utilization": round(busy / slot_cycles, 4) if slot_cycles else 0.0,
+            "scheduling_overhead_fraction": round(
+                sched.scheduling_overhead_fraction, 4
+            ),
+            "workitem_overhead_fraction": round(overhead_fraction, 4),
+        },
+        "pruning": {"sweep_coalesce": sweep_coalesce, "reason": reason},
+    }
+
+
+def explain_doc(
+    benches: Dict[str, Benchmark],
+    *,
+    global_size: Optional[Sequence[int]] = None,
+) -> dict:
+    """The ``repro tune --explain`` document over several benchmarks."""
+    return {
+        "schema": EXPLAIN_SCHEMA,
+        "kernels": {
+            name: cycle_accounting(benches[name], global_size)
+            for name in sorted(benches)
+        },
+    }
+
+
+def render_explain(doc: dict) -> str:
+    """Human-readable rendering of an explain document."""
+    out = io.StringIO()
+    w = out.write
+    for name, k in doc["kernels"].items():
+        s = k["slots"]
+        gs = "x".join(str(x) for x in k["global_size"])
+        ls = "x".join(str(x) for x in k["local_size"])
+        w(f"{name} ({k['kernel']}): global {gs}, local {ls}, "
+          f"{k['workgroups']} workgroup(s)\n")
+        w(f"  virtual time {k['total_ns'] / 1e6:.3f} ms "
+          f"(makespan {k['makespan_ns'] / 1e6:.3f} ms + launch overhead "
+          f"{k['launch_overhead_ns'] / 1e3:.1f} us)\n")
+        b = k["per_item_bounds_cycles"]
+        w(f"  per-item bounds (cycles): compute {b['compute']}, memory "
+          f"{b['memory']}, bandwidth {b['bandwidth']}, latency "
+          f"{b['latency']} -> binding: {k['bottleneck']} "
+          f"({b['binding']})\n")
+        total = s["slot_cycles"] or 1.0
+        w(f"  thread slots ({s['threads']} thread(s), {s['rounds']} "
+          f"round(s)): item {s['busy_item_cycles'] / total:.1%}, "
+          f"workitem overhead {s['busy_overhead_cycles'] / total:.1%}, "
+          f"dispatch {s['dispatch_cycles'] / total:.1%}, idle "
+          f"{s['idle_cycles'] / total:.1%} "
+          f"(utilization {s['utilization']:.1%})\n")
+        w(f"  search: {k['pruning']['reason']}\n\n")
+    return out.getvalue()
+
+
+def render_comparison(doc: dict) -> str:
+    """Tuned-vs-paper-default table for one sweep document."""
+    out = io.StringIO()
+    w = out.write
+    w(f"{'benchmark':<16} {'default':>12} {'tuned':>12} {'speedup':>8}"
+      f"  configuration\n")
+    for name in sorted(doc.get("configs", {})):
+        cfg = doc["configs"][name]
+        d_ns = cfg["default"]["result"]["value"]
+        b_ns = cfg["best"]["result"]["value"]
+        units = cfg["default"]["result"].get("units", "ns")
+        if units == "ns":
+            d_txt, b_txt = f"{d_ns / 1e6:.3f}ms", f"{b_ns / 1e6:.3f}ms"
+            speedup = d_ns / b_ns if b_ns > 0 else 0.0
+        else:
+            d_txt, b_txt = f"{d_ns:.4f}", f"{b_ns:.4f}"
+            speedup = b_ns / d_ns if d_ns > 0 else 0.0
+        from .space import KnobPoint
+
+        point = KnobPoint.from_payload(cfg["best"]["point"])
+        w(f"{name:<16} {d_txt:>12} {b_txt:>12} {speedup:>7.2f}x"
+          f"  {point.describe()}\n")
+    store = doc.get("store")
+    if store:
+        w(f"\nsweep store: {store['hits']} hit(s), {store['misses']} "
+          f"executed, {store['stores']} stored\n")
+    return out.getvalue()

@@ -1,0 +1,221 @@
+"""The tuner's knob space: one point = one complete execution configuration.
+
+The paper's central finding is that CPU OpenCL performance hinges on the
+execution configuration — workgroup size (Figures 3-5), thread coarsening
+(Figures 1-2), mapping strategy (Figures 7-8), and workgroup placement
+(Section III-E).  A :class:`KnobPoint` captures one choice of every knob;
+a :class:`KnobSpace` is the candidate set a search strategy explores.
+
+Two of the repo's knobs — the functional engine (``compiled``/``interp``),
+the command-queue engine (``inorder``/``ooo``) and the worker count — are
+*virtual-time-neutral by construction* (results are byte-identical across
+them; only host wall clock moves), so the default spaces pin them.  They
+are still part of the point, and therefore of the content address, so a
+future model where they matter invalidates nothing retroactively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..suite.base import Benchmark
+
+__all__ = [
+    "KnobPoint",
+    "KnobSpace",
+    "default_point",
+    "default_space",
+    "suite_benchmarks",
+]
+
+#: workgroup-placement policies the affinity sweep may use
+AFFINITY_POLICIES = ("none", "blocked", "round_robin")
+
+#: candidate workgroup sizes by NDRange rank (filtered per benchmark)
+_LOCAL_1D = ((16,), (32,), (64,), (128,), (256,), (512,), (1024,))
+_LOCAL_2D = ((8, 8), (16, 16), (32, 8), (8, 32), (32, 32))
+
+#: candidate coarsening factors (filtered by divisibility per benchmark)
+_COALESCE = (1, 2, 4, 8, 16)
+
+
+def suite_benchmarks() -> Dict[str, Benchmark]:
+    """The tunable benchmarks: every Table II + Table III application."""
+    from ..suite import all_parboil_benchmarks, all_table2_benchmarks
+
+    out: Dict[str, Benchmark] = {}
+    for b in all_table2_benchmarks() + all_parboil_benchmarks():
+        out[b.name] = b
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class KnobPoint:
+    """One execution configuration (every knob bound to a value)."""
+
+    local_size: Optional[Tuple[int, ...]] = None
+    coalesce: int = 1
+    affinity: str = "none"
+    transfer_api: str = "copy"
+    #: virtual-time-neutral knobs (kept in the content address)
+    engine: str = "compiled"
+    queue: str = "inorder"
+    workers: int = 1
+
+    def key(self) -> tuple:
+        """Deterministic tuple identity for the content-addressed store."""
+        return (
+            ("local_size", self.local_size),
+            ("coalesce", int(self.coalesce)),
+            ("affinity", self.affinity),
+            ("transfer_api", self.transfer_api),
+            ("engine", self.engine),
+            ("queue", self.queue),
+            ("workers", int(self.workers)),
+        )
+
+    def to_payload(self) -> dict:
+        """JSON-ready form (``tuned_configs.json`` and job transport)."""
+        return {
+            "local_size": (
+                None if self.local_size is None else list(self.local_size)
+            ),
+            "coalesce": int(self.coalesce),
+            "affinity": self.affinity,
+            "transfer_api": self.transfer_api,
+            "engine": self.engine,
+            "queue": self.queue,
+            "workers": int(self.workers),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "KnobPoint":
+        ls = payload.get("local_size")
+        return cls(
+            local_size=None if ls is None else tuple(int(x) for x in ls),
+            coalesce=int(payload.get("coalesce", 1)),
+            affinity=str(payload.get("affinity", "none")),
+            transfer_api=str(payload.get("transfer_api", "copy")),
+            engine=str(payload.get("engine", "compiled")),
+            queue=str(payload.get("queue", "inorder")),
+            workers=int(payload.get("workers", 1)),
+        )
+
+    def describe(self) -> str:
+        ls = (
+            "NULL" if self.local_size is None
+            else "x".join(str(x) for x in self.local_size)
+        )
+        parts = [f"local={ls}", f"coalesce={self.coalesce}"]
+        if self.affinity != "none":
+            parts.append(f"affinity={self.affinity}")
+        if self.transfer_api != "copy":
+            parts.append(f"transfer={self.transfer_api}")
+        return " ".join(parts)
+
+
+@dataclasses.dataclass(frozen=True)
+class KnobSpace:
+    """Candidate values per knob; the search space is their product."""
+
+    local_sizes: Tuple[Optional[Tuple[int, ...]], ...]
+    coalesce_factors: Tuple[int, ...] = (1,)
+    affinities: Tuple[str, ...] = ("none",)
+    transfer_apis: Tuple[str, ...] = ("copy",)
+
+    def points(self) -> List[KnobPoint]:
+        """Every point, in a deterministic enumeration order."""
+        return [
+            KnobPoint(local_size=ls, coalesce=k, affinity=a, transfer_api=t)
+            for ls, k, a, t in itertools.product(
+                self.local_sizes, self.coalesce_factors,
+                self.affinities, self.transfer_apis,
+            )
+        ]
+
+    def size(self) -> int:
+        return (
+            len(self.local_sizes) * len(self.coalesce_factors)
+            * len(self.affinities) * len(self.transfer_apis)
+        )
+
+    def neighbors(self, point: KnobPoint) -> List[KnobPoint]:
+        """Hill-climb moves: vary one knob to an adjacent candidate."""
+        out: List[KnobPoint] = []
+
+        def _adjacent(values, current):
+            values = list(values)
+            try:
+                i = values.index(current)
+            except ValueError:
+                return values[:1]
+            return [values[j] for j in (i - 1, i + 1)
+                    if 0 <= j < len(values)]
+
+        for ls in _adjacent(self.local_sizes, point.local_size):
+            out.append(dataclasses.replace(point, local_size=ls))
+        for k in _adjacent(self.coalesce_factors, point.coalesce):
+            out.append(dataclasses.replace(point, coalesce=k))
+        for a in _adjacent(self.affinities, point.affinity):
+            out.append(dataclasses.replace(point, affinity=a))
+        for t in _adjacent(self.transfer_apis, point.transfer_api):
+            out.append(dataclasses.replace(point, transfer_api=t))
+        return [p for p in dict.fromkeys(out) if p != point]
+
+
+def default_point(bench: Benchmark, objective: str = "kernel") -> KnobPoint:
+    """The paper-default configuration (Table II/III) as a knob point."""
+    ls = bench.default_local_size
+    return KnobPoint(
+        local_size=None if ls is None else tuple(int(x) for x in ls),
+        coalesce=1,
+        affinity="none",
+        transfer_api="copy",
+    )
+
+
+def default_space(
+    bench: Benchmark,
+    global_size: Sequence[int],
+    *,
+    objective: str = "kernel",
+    affinity: bool = False,
+    sweep_coalesce: bool = True,
+) -> KnobSpace:
+    """The benchmark's default candidate set at one global size.
+
+    Candidates are filtered for legality up front: coarsening factors must
+    divide the dim-0 extent (``scale_global_size`` raises otherwise) and
+    workgroup candidates larger than the NDRange are dropped.  Setting
+    ``sweep_coalesce=False`` pins coarsening at 1 — the driver does that
+    when the cycle-accounting report says the kernel is bandwidth-limited
+    with negligible per-item scheduling overhead, so coarsening cannot pay.
+    """
+    gs = tuple(int(g) for g in global_size)
+    rank = len(gs)
+
+    cands = _LOCAL_1D if rank == 1 else _LOCAL_2D
+    local_sizes: List[Optional[Tuple[int, ...]]] = [None]
+    dls = bench.default_local_size
+    if dls is not None:
+        local_sizes.append(tuple(int(x) for x in dls))
+    for ls in cands:
+        if len(ls) == rank and all(l <= g for l, g in zip(ls, gs)):
+            local_sizes.append(ls)
+    local_sizes = list(dict.fromkeys(local_sizes))
+
+    if sweep_coalesce and bench.supports_coalescing:
+        coalesce = tuple(
+            k for k in _COALESCE if gs[0] % k == 0 and gs[0] // k >= 1
+        )
+    else:
+        coalesce = (1,)
+
+    return KnobSpace(
+        local_sizes=tuple(local_sizes),
+        coalesce_factors=coalesce or (1,),
+        affinities=AFFINITY_POLICIES if affinity else ("none",),
+        transfer_apis=("copy", "map") if objective == "app" else ("copy",),
+    )

@@ -1,0 +1,125 @@
+"""Content-addressed result store for tuner sweeps.
+
+Every evaluated sweep point persists under the ``tune`` partition of
+:mod:`repro.diskcache`, addressed by *what was measured* rather than by
+when or in which sweep:
+
+* the **kernel identity** — ``Kernel.fingerprint()`` of the IR actually
+  launched (which already folds in the coarsening factor, since coarsened
+  variants are distinct kernels);
+* the **knob point** — every knob value, including the virtual-time-
+  neutral ones (:meth:`repro.tune.space.KnobPoint.key`);
+* the **launch shape and objective** — global size and the objective kind
+  (``kernel`` virtual time vs ``app`` end-to-end throughput);
+* the **semantics hash** — :func:`model_version`, a digest over every
+  module whose source defines the cost models the objective is computed
+  from (on top of ``diskcache.code_version()``, which partitions the
+  directory tree and covers the kernel-IR semantics).
+
+Because the objective is deterministic virtual time, a cached value is
+*the* value: a repeated identical sweep executes zero points, a widened
+sweep executes only the delta, and serial vs ``--jobs N`` sweeps produce
+byte-identical results.  Corrupt or torn entries load as misses (the
+diskcache contract), so a damaged store re-measures instead of lying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .. import diskcache
+from ..suite.base import Benchmark
+from .space import KnobPoint
+
+__all__ = ["TuneStore", "model_version", "point_key"]
+
+#: modules whose source defines the *objective* (cost models and the
+#: measurement path); editing any of them invalidates stored sweep results
+_MODEL_MODULES = (
+    "repro.simcpu.device",
+    "repro.simcpu.core",
+    "repro.simcpu.cachemodel",
+    "repro.simcpu.scheduler",
+    "repro.simcpu.spec",
+    "repro.simcpu.residency",
+    "repro.simcpu.threads",
+    "repro.minicl.queue",
+    "repro.minicl.ext",
+    "repro.harness.runner",
+    "repro.harness.timing",
+    "repro.suite.base",
+)
+
+_model_version: Optional[str] = None
+
+
+def model_version() -> str:
+    """Hash of every cost-model module's source (computed once)."""
+    global _model_version
+    if _model_version is None:
+        import importlib
+
+        h = hashlib.sha1()
+        for modname in _MODEL_MODULES:
+            mod = importlib.import_module(modname)
+            try:
+                h.update(Path(mod.__file__).read_bytes())
+            except OSError:
+                h.update(modname.encode())
+        _model_version = h.hexdigest()
+    return _model_version
+
+
+def point_key(
+    bench: Benchmark,
+    global_size: Sequence[int],
+    point: KnobPoint,
+    objective: str,
+    fingerprint: str,
+) -> tuple:
+    """The full content address of one sweep measurement."""
+    return (
+        "tune-v1",
+        model_version(),
+        bench.name,
+        bench.cache_token(),
+        objective,
+        tuple(int(g) for g in global_size),
+        fingerprint,
+        point.key(),
+    )
+
+
+class TuneStore:
+    """Sweep-scoped view of the persistent store, with hit/miss counters.
+
+    The on-disk state is shared by every sweep (that is the point); this
+    object tracks one sweep's traffic so the driver can report how many
+    points were served from disk vs actually executed.
+    """
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def get(self, key: tuple) -> Optional[dict]:
+        payload = diskcache.load_tune(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(self, key: tuple, result: dict) -> None:
+        self.stores += 1
+        diskcache.store_tune(key, {"result": dict(result)})
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

@@ -1,0 +1,103 @@
+"""Pluggable search strategies over a knob space.
+
+Every strategy drives the same oracle — ``evaluate(points, fidelity=...)``
+returns one result dict per point, each carrying a ``score`` to minimize
+— and returns the full-fidelity ``(point, result)`` pairs it measured.
+The oracle is deterministic (virtual time) and content-addressed, so a
+strategy re-run costs nothing for points it has seen before; strategies
+therefore optimize *coverage per evaluation*, not statistical noise.
+
+* ``grid`` — exhaustive sweep of the space (the reference answer);
+* ``random`` — seeded uniform sample without replacement, for spaces too
+  large to enumerate under the budget;
+* ``hillclimb`` — start from the paper default and greedily follow the
+  best single-knob move until no neighbor improves (cheap, exploits the
+  near-convexity of the workgroup-size curve the paper's Figure 3 shows);
+* ``shalving`` — successive halving over *problem-size fidelities*: score
+  every candidate on a shrunken NDRange, keep the better half, grow the
+  NDRange, repeat until the survivors run at full size.  Low-fidelity
+  rungs are cheap and content-addressed like everything else.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import List, Optional, Sequence, Tuple
+
+from .space import KnobPoint, KnobSpace
+
+__all__ = ["STRATEGIES"]
+
+Result = Tuple[KnobPoint, dict]
+
+
+def _dedupe(points: Sequence[KnobPoint]) -> List[KnobPoint]:
+    return list(dict.fromkeys(points))
+
+
+def _cap(points: List[KnobPoint], budget: Optional[int]) -> List[KnobPoint]:
+    return points if budget is None else points[:max(1, budget)]
+
+
+def grid(space: KnobSpace, oracle, default: KnobPoint,
+         budget: Optional[int], seed: int) -> List[Result]:
+    points = _cap(_dedupe([default] + space.points()), budget)
+    return list(zip(points, oracle.evaluate(points)))
+
+
+def random(space: KnobSpace, oracle, default: KnobPoint,
+           budget: Optional[int], seed: int) -> List[Result]:
+    pool = [p for p in _dedupe(space.points()) if p != default]
+    n = len(pool) if budget is None else max(0, budget - 1)
+    rng = _random.Random(seed)
+    sample = rng.sample(pool, min(n, len(pool)))
+    points = [default] + sample
+    return list(zip(points, oracle.evaluate(points)))
+
+
+def hillclimb(space: KnobSpace, oracle, default: KnobPoint,
+              budget: Optional[int], seed: int) -> List[Result]:
+    limit = budget if budget is not None else space.size()
+    seen: dict = {}
+
+    def evaluate(points: List[KnobPoint]) -> None:
+        fresh = [p for p in points if p not in seen][:max(0, limit - len(seen))]
+        if fresh:
+            for p, r in zip(fresh, oracle.evaluate(fresh)):
+                seen[p] = r
+
+    evaluate([default])
+    current = default
+    while len(seen) < limit:
+        moves = [p for p in space.neighbors(current) if p not in seen]
+        if not moves:
+            break
+        evaluate(moves)
+        best = min(seen, key=lambda p: seen[p]["score"])
+        if best == current:
+            break
+        current = best
+    return list(seen.items())
+
+
+def shalving(space: KnobSpace, oracle, default: KnobPoint,
+             budget: Optional[int], seed: int) -> List[Result]:
+    survivors = _cap(_dedupe([default] + space.points()), budget)
+    rungs = oracle.rungs  # low fidelity first; the last rung is full size
+    for fidelity in range(len(rungs) - 1):
+        if len(survivors) <= 1:
+            break
+        scored = list(zip(survivors, oracle.evaluate(survivors,
+                                                     fidelity=fidelity)))
+        scored.sort(key=lambda pr: (pr[1]["score"],
+                                    survivors.index(pr[0])))
+        survivors = [p for p, _ in scored[:max(1, (len(scored) + 1) // 2)]]
+    return list(zip(survivors, oracle.evaluate(survivors)))
+
+
+STRATEGIES = {
+    "grid": grid,
+    "random": random,
+    "hillclimb": hillclimb,
+    "shalving": shalving,
+}

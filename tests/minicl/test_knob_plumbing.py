@@ -1,0 +1,125 @@
+"""Tuner knob plumbing: build options reach kernels, device-knob writes
+invalidate cached launch plans.
+
+The two plumbing bugs these tests pin down: a ``build(coarsen=K)`` that
+only reached kernels created *after* the build (so a tuner re-building a
+cached program silently kept the heuristic), and device-model knob writes
+(``vectorize_kernels``/``workitem_serialization``) that left stale launch
+plans in the plan cache.
+"""
+
+import numpy as np
+
+from repro import minicl as cl
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.types import F32
+from repro.simcpu.device import CPUDeviceModel
+
+
+def _scale_kernel(name="knob_scale"):
+    kb = KernelBuilder(name)
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    gid = kb.global_id(0)
+    out[gid] = a[gid] * 2.0
+    return kb.finish()
+
+
+def _program():
+    ctx = cl.Context(cl.cpu_platform().devices)
+    return ctx, ctx.create_program(_scale_kernel())
+
+
+class TestCoarsenPlumbing:
+    def test_build_reaches_previously_created_kernels(self):
+        _, prog = _program()
+        k = prog.create_kernel("knob_scale")  # created before the build
+        assert k.coarsen is None
+        prog.build(jit=False, coarsen=4)
+        assert k.coarsen == 4
+
+    def test_rebuild_without_arg_preserves_tuner_k(self):
+        _, prog = _program()
+        prog.build(jit=False, coarsen=8)
+        prog.build(jit=False)  # plain re-build must not reset K
+        assert prog.create_kernel("knob_scale").coarsen == 8
+
+    def test_explicit_none_resets_to_heuristic(self):
+        _, prog = _program()
+        prog.build(jit=False, coarsen=8)
+        prog.build(jit=False, coarsen=None)
+        assert prog.create_kernel("knob_scale").coarsen is None
+
+    def test_per_kernel_override_beats_program_default(self):
+        _, prog = _program()
+        prog.build(jit=False, coarsen=4)
+        k = prog.create_kernel("knob_scale")
+        k.coarsen = 2
+        assert k.coarsen == 2
+        # other kernel objects keep following the program
+        assert prog.create_kernel("knob_scale").coarsen == 4
+
+    def test_coarsen_changes_functional_result_shape(self):
+        # end to end: a forced factor must still compute the right answer
+        ctx = cl.Context(cl.cpu_platform().devices)
+        prog = ctx.create_program(_scale_kernel("knob_e2e")).build(coarsen=2)
+        k = prog.create_kernel("knob_e2e")
+        n = 64
+        a = np.arange(n, dtype=np.float32)
+        buf_a = ctx.create_buffer(
+            cl.mem_flags.READ_ONLY | cl.mem_flags.COPY_HOST_PTR, hostbuf=a
+        )
+        buf_o = ctx.create_buffer(
+            cl.mem_flags.WRITE_ONLY | cl.mem_flags.COPY_HOST_PTR,
+            hostbuf=np.zeros(n, np.float32),
+        )
+        k.set_args(buf_a, buf_o)
+        q = ctx.create_command_queue()
+        q.enqueue_nd_range_kernel(k, (n,), None)
+        out = np.empty_like(a)
+        q.enqueue_read_buffer(buf_o, out)
+        q.finish()
+        np.testing.assert_allclose(out, a * 2.0)
+
+
+class TestDeviceKnobInvalidation:
+    def _cost(self, model, kernel):
+        return model.kernel_cost(
+            kernel, (4096,), None, scalars={}, buffer_bytes={}
+        ).total_ns
+
+    def test_vectorize_toggle_invalidates_plans(self):
+        model = CPUDeviceModel()
+        calls = []
+        orig = model.invalidate_plans
+        model.invalidate_plans = lambda: (calls.append(1), orig())[1]
+        model.vectorize_kernels = False
+        assert calls, "knob write must invalidate cached launch plans"
+
+    def test_same_value_write_is_a_no_op(self):
+        model = CPUDeviceModel()
+        calls = []
+        orig = model.invalidate_plans
+        model.invalidate_plans = lambda: (calls.append(1), orig())[1]
+        model.vectorize_kernels = model.vectorize_kernels
+        model.workitem_serialization = model.workitem_serialization
+        assert not calls
+
+    def test_stale_plans_never_served_after_toggle(self):
+        kernel = _scale_kernel("knob_cost")
+        model = CPUDeviceModel()
+        vec_on = self._cost(model, kernel)
+        # warm the plan cache, then flip the knob through the property
+        assert self._cost(model, kernel) == vec_on
+        model.vectorize_kernels = False
+        vec_off = self._cost(model, kernel)
+        assert vec_off != vec_on
+        model.vectorize_kernels = True
+        assert self._cost(model, kernel) == vec_on
+
+    def test_workitem_serialization_toggle_changes_cost(self):
+        kernel = _scale_kernel("knob_serial")
+        model = CPUDeviceModel()
+        base = self._cost(model, kernel)
+        model.workitem_serialization = not model.workitem_serialization
+        assert self._cost(model, kernel) != base

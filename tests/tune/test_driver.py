@@ -1,0 +1,176 @@
+"""Tuner driver end-to-end + the ``--tuned`` opt-in overlay."""
+
+import json
+
+import pytest
+
+from repro import diskcache
+from repro.harness.runner import cpu_dut, measure_kernel
+from repro.tune import (
+    KnobPoint,
+    reset_tune_stats,
+    suite_benchmarks,
+    tune,
+    tune_stats,
+    tuned_comparison,
+)
+
+
+@pytest.fixture
+def cache_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    diskcache.reset_disk_cache_stats()
+    reset_tune_stats()
+    yield tmp_path
+    diskcache.reset_disk_cache_stats()
+    reset_tune_stats()
+
+
+class TestTune:
+    def test_document_shape_and_improvement(self, cache_root):
+        doc = tune(["Square"], strategy="grid", log=lambda *a: None)
+        assert doc["schema"] == 1
+        cfg = doc["configs"]["Square"]
+        assert cfg["strategy"] == "grid"
+        d = cfg["default"]["result"]
+        b = cfg["best"]["result"]
+        assert b["score"] <= d["score"]
+        assert cfg["speedup"] >= 1.0
+        if cfg["improved"]:
+            assert cfg["best"]["point"] != cfg["default"]["point"]
+        stats = tune_stats()
+        assert stats["sweeps"] == 1
+        assert stats["benchmarks_tuned"] == 1
+
+    def test_unknown_benchmark_raises(self, cache_root):
+        with pytest.raises(KeyError):
+            tune(["Nope"], log=lambda *a: None)
+
+    def test_unknown_strategy_raises(self, cache_root):
+        with pytest.raises(ValueError):
+            tune(["Square"], strategy="magic", log=lambda *a: None)
+
+    def test_affinity_points_are_measurable(self, cache_root):
+        doc = tune(["Square"], strategy="random", budget=8, affinity=True,
+                   log=lambda *a: None)
+        cfg = doc["configs"]["Square"]
+        assert cfg["evaluated_points"] >= 1
+        assert cfg["best"]["result"]["value"] > 0
+
+    def test_app_objective_maximizes_throughput(self, cache_root):
+        doc = tune(["Square"], objective="app", strategy="grid", budget=6,
+                   log=lambda *a: None)
+        cfg = doc["configs"]["Square"]
+        assert cfg["best"]["result"]["units"] == "items_per_ns"
+        assert (
+            cfg["best"]["result"]["value"]
+            >= cfg["default"]["result"]["value"]
+        )
+
+    def test_pruned_axis_stays_pinned(self, cache_root):
+        # MatrixmulNaive is bandwidth-bound with negligible per-item
+        # overhead, so the driver must refuse to sweep coarsening on it
+        doc = tune(["MatrixmulNaive"], strategy="grid", budget=4,
+                   log=lambda *a: None)
+        cfg = doc["configs"]["MatrixmulNaive"]
+        assert not cfg["pruning"]["sweep_coalesce"]
+        assert cfg["best"]["point"]["coalesce"] == 1
+
+
+class TestTunedComparison:
+    def test_comparison_is_all_hits_after_a_sweep(self, cache_root, tmp_path):
+        doc = tune(["Square"], strategy="grid", budget=6,
+                   log=lambda *a: None)
+        path = tmp_path / "tuned.json"
+        path.write_text(json.dumps(doc))
+        before = diskcache.disk_cache_stats()["tune_misses"]
+        cmp = tuned_comparison(path, log=lambda *a: None)
+        assert diskcache.disk_cache_stats()["tune_misses"] == before
+        row = cmp["Square"]
+        assert row["speedup"] == pytest.approx(
+            doc["configs"]["Square"]["speedup"], rel=1e-6
+        )
+
+    def test_bad_schema_rejected(self, cache_root, tmp_path):
+        path = tmp_path / "tuned.json"
+        path.write_text(json.dumps({"schema": 99, "configs": {}}))
+        with pytest.raises(ValueError):
+            tuned_comparison(path, log=lambda *a: None)
+
+
+class TestTunedOverlay:
+    def _tuned_file(self, tmp_path, bench, point):
+        gs = bench.default_global_sizes[0]
+        doc = {
+            "schema": 1,
+            "configs": {
+                bench.name: {
+                    "global_size": list(gs),
+                    "objective": "kernel",
+                    "default": {
+                        "point": KnobPoint().to_payload(),
+                        "result": {"value": 1.0, "units": "ns", "score": 1.0},
+                    },
+                    "best": {
+                        "point": point.to_payload(),
+                        "result": {"value": 0.5, "units": "ns", "score": 0.5},
+                    },
+                }
+            },
+        }
+        path = tmp_path / "tuned.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_overlay_swaps_default_launches_only(
+        self, cache_root, tmp_path, monkeypatch
+    ):
+        bench = suite_benchmarks()["Square"]
+        gs = bench.default_global_sizes[0]  # (10000,): 10000/4 % 50 == 0
+        tuned = KnobPoint(local_size=(50,), coalesce=4)
+        dut = cpu_dut()
+
+        base = measure_kernel(dut, bench, gs).mean_ns
+        explicit_tuned = measure_kernel(
+            dut, bench, gs, (50,), coalesce=4
+        ).mean_ns
+        explicit_other = measure_kernel(dut, bench, gs, (100,)).mean_ns
+        assert explicit_tuned != base
+
+        monkeypatch.setenv(
+            "REPRO_TUNED", str(self._tuned_file(tmp_path, bench, tuned))
+        )
+        # a paper-default launch now gets the tuned configuration...
+        assert measure_kernel(dut, bench, gs).mean_ns == explicit_tuned
+        # ...but explicitly-configured launches keep their knobs
+        assert measure_kernel(dut, bench, gs, (100,)).mean_ns == explicit_other
+        assert (
+            measure_kernel(dut, bench, gs, coalesce=2).mean_ns
+            != explicit_tuned
+        )
+
+    def test_overlay_suspended_inside_the_tuner(
+        self, cache_root, tmp_path, monkeypatch
+    ):
+        from repro.harness.runner import tuned_overlay_disabled
+
+        bench = suite_benchmarks()["Square"]
+        gs = bench.default_global_sizes[0]
+        dut = cpu_dut()
+        base = measure_kernel(dut, bench, gs).mean_ns
+        monkeypatch.setenv(
+            "REPRO_TUNED",
+            str(self._tuned_file(
+                tmp_path, bench, KnobPoint(local_size=(128,), coalesce=4)
+            )),
+        )
+        with tuned_overlay_disabled():
+            assert measure_kernel(dut, bench, gs).mean_ns == base
+
+    def test_missing_file_is_ignored(self, cache_root, monkeypatch):
+        bench = suite_benchmarks()["Square"]
+        gs = bench.default_global_sizes[0]
+        dut = cpu_dut()
+        base = measure_kernel(dut, bench, gs).mean_ns
+        monkeypatch.setenv("REPRO_TUNED", "/nonexistent/tuned.json")
+        assert measure_kernel(dut, bench, gs).mean_ns == base

@@ -1,0 +1,84 @@
+"""Cycle-accounting report (:mod:`repro.tune.report`)."""
+
+import math
+
+import pytest
+
+from repro.tune import (
+    EXPLAIN_SCHEMA,
+    cycle_accounting,
+    explain_doc,
+    render_explain,
+    suite_benchmarks,
+)
+
+_REQUIRED_KEYS = {
+    "kernel", "global_size", "local_size", "workgroups", "bottleneck",
+    "vectorized", "effective_vector_width", "total_ns", "makespan_ns",
+    "launch_overhead_ns", "per_item_bounds_cycles", "slots", "pruning",
+}
+
+_SLOT_KEYS = {
+    "threads", "rounds", "slot_cycles", "busy_item_cycles",
+    "busy_overhead_cycles", "dispatch_cycles", "idle_cycles",
+    "utilization", "scheduling_overhead_fraction",
+    "workitem_overhead_fraction",
+}
+
+
+@pytest.fixture(scope="module")
+def benches():
+    return suite_benchmarks()
+
+
+def test_schema_and_keys(benches):
+    doc = explain_doc({"Square": benches["Square"]})
+    assert doc["schema"] == EXPLAIN_SCHEMA
+    acct = doc["kernels"]["Square"]
+    assert _REQUIRED_KEYS <= set(acct)
+    assert _SLOT_KEYS <= set(acct["slots"])
+    assert set(acct["per_item_bounds_cycles"]) == {
+        "compute", "memory", "bandwidth", "latency", "binding",
+    }
+
+
+def test_slot_cycles_are_fully_accounted(benches):
+    for name in ("Square", "Matrixmul", "Reduction"):
+        acct = cycle_accounting(benches[name])
+        s = acct["slots"]
+        total = (
+            s["busy_item_cycles"] + s["busy_overhead_cycles"]
+            + s["dispatch_cycles"] + s["idle_cycles"]
+        )
+        # busy + dispatch + idle == makespan * threads (rounding aside)
+        assert math.isclose(total, s["slot_cycles"], rel_tol=1e-3)
+        assert 0.0 <= s["utilization"] <= 1.0
+
+
+def test_binding_bound_is_the_max_bound(benches):
+    acct = cycle_accounting(benches["Matrixmul"])
+    b = acct["per_item_bounds_cycles"]
+    assert b["binding"] == pytest.approx(
+        max(b["compute"], b["memory"], b["bandwidth"], b["latency"]),
+        rel=1e-6,
+    )
+    assert acct["bottleneck"] in ("compute", "memory", "bandwidth", "latency")
+
+
+def test_pruning_verdict_is_consistent(benches):
+    for name, bench in benches.items():
+        acct = cycle_accounting(bench)
+        p = acct["pruning"]
+        overhead = acct["slots"]["workitem_overhead_fraction"]
+        expect = not (
+            acct["bottleneck"] in ("memory", "bandwidth") and overhead < 0.05
+        )
+        assert p["sweep_coalesce"] == expect, name
+        assert p["reason"]
+
+
+def test_render_mentions_every_kernel(benches):
+    subset = {n: benches[n] for n in ("Square", "Reduction")}
+    text = render_explain(explain_doc(subset))
+    assert "Square" in text and "Reduction" in text
+    assert "utilization" in text

@@ -1,0 +1,150 @@
+"""Content-addressed sweep store (:mod:`repro.tune.store`).
+
+The properties that make the tuner cheap to re-run: an identical sweep
+executes zero points, a widened sweep executes only the delta, corrupt
+entries load as misses, and serial vs ``jobs=N`` sweeps are
+byte-identical.
+"""
+
+import json
+
+import pytest
+
+from repro import diskcache
+from repro.tune import (
+    KnobPoint,
+    TuneStore,
+    model_version,
+    point_key,
+    reset_tune_stats,
+    suite_benchmarks,
+    tune,
+)
+
+
+@pytest.fixture
+def cache_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    diskcache.reset_disk_cache_stats()
+    reset_tune_stats()
+    yield tmp_path
+    diskcache.reset_disk_cache_stats()
+    reset_tune_stats()
+
+
+def _square():
+    return suite_benchmarks()["Square"]
+
+
+class TestPointKey:
+    def test_key_covers_every_knob(self, cache_root):
+        bench = _square()
+        base = point_key(bench, (1024,), KnobPoint(), "kernel", "fp")
+        for other in (
+            point_key(bench, (2048,), KnobPoint(), "kernel", "fp"),
+            point_key(bench, (1024,), KnobPoint(coalesce=2), "kernel", "fp"),
+            point_key(bench, (1024,), KnobPoint(local_size=(64,)),
+                      "kernel", "fp"),
+            point_key(bench, (1024,), KnobPoint(affinity="blocked"),
+                      "kernel", "fp"),
+            point_key(bench, (1024,), KnobPoint(), "app", "fp"),
+            point_key(bench, (1024,), KnobPoint(), "kernel", "fp2"),
+        ):
+            assert other != base
+
+    def test_key_includes_model_version(self, cache_root):
+        key = point_key(_square(), (1024,), KnobPoint(), "kernel", "fp")
+        assert model_version() in key
+
+
+class TestStoreRoundtrip:
+    def test_roundtrip(self, cache_root):
+        store = TuneStore()
+        key = point_key(_square(), (1024,), KnobPoint(), "kernel", "fp")
+        assert store.get(key) is None
+        store.put(key, {"value": 1.5, "units": "ns", "score": 1.5})
+        assert store.get(key) == {"value": 1.5, "units": "ns", "score": 1.5}
+        assert store.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_corrupt_entry_is_a_miss(self, cache_root):
+        store = TuneStore()
+        key = point_key(_square(), (1024,), KnobPoint(), "kernel", "fp")
+        store.put(key, {"value": 2.0, "score": 2.0})
+        files = list(cache_root.rglob("tune/*.json"))
+        assert len(files) == 1
+        files[0].write_text("{ not json")
+        assert TuneStore().get(key) is None
+
+    def test_wrong_payload_shape_is_a_miss(self, cache_root):
+        store = TuneStore()
+        key = point_key(_square(), (1024,), KnobPoint(), "kernel", "fp")
+        store.put(key, {"value": 2.0, "score": 2.0})
+        files = list(cache_root.rglob("tune/*.json"))
+        # valid JSON, but not the {"result": {...}} contract
+        payload = json.loads(files[0].read_text())
+        payload["result"] = "not-a-dict"
+        files[0].write_text(json.dumps(payload))
+        assert TuneStore().get(key) is None
+
+
+class TestDiskcachePartition:
+    def test_partition_usage_and_selective_clear(self, cache_root):
+        diskcache.store_tune(("k1",), {"result": {"score": 1.0}})
+        diskcache.store_plan(("p1",), {"plan": "x"})
+        use = diskcache.usage()
+        assert use["partitions"]["tune"]["entries"] == 1
+        assert use["partitions"]["plans"]["entries"] == 1
+
+        assert diskcache.clear("tune") == 1
+        use = diskcache.usage()
+        assert use["partitions"]["tune"]["entries"] == 0
+        assert use["partitions"]["plans"]["entries"] == 1
+
+    def test_clear_unknown_partition_raises(self, cache_root):
+        with pytest.raises(ValueError):
+            diskcache.clear("nonsense")
+
+
+class TestSweepReuse:
+    def test_identical_rerun_executes_zero_points(self, cache_root):
+        doc1 = tune(["Square"], strategy="grid", budget=5,
+                    log=lambda *a: None)
+        assert doc1["store"]["misses"] > 0
+        doc2 = tune(["Square"], strategy="grid", budget=5,
+                    log=lambda *a: None)
+        assert doc2["store"]["misses"] == 0
+        assert doc2["store"]["hits"] >= doc1["store"]["misses"]
+        assert doc2["configs"] == doc1["configs"]
+
+    def test_widened_sweep_executes_only_the_delta(self, cache_root):
+        doc1 = tune(["Square"], strategy="grid", budget=4,
+                    log=lambda *a: None)
+        executed_first = doc1["store"]["misses"]
+        # grid order is deterministic, so a bigger budget is a superset
+        doc2 = tune(["Square"], strategy="grid", budget=8,
+                    log=lambda *a: None)
+        assert doc2["store"]["misses"] == 8 - executed_first
+
+    def test_serial_vs_jobs_byte_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        serial = tune(["Square"], strategy="grid", budget=6, jobs=1,
+                      log=lambda *a: None)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "pooled"))
+        pooled = tune(["Square"], strategy="grid", budget=6, jobs=3,
+                      log=lambda *a: None)
+        assert (
+            json.dumps(serial["configs"], sort_keys=True)
+            == json.dumps(pooled["configs"], sort_keys=True)
+        )
+
+    def test_no_cache_env_disables_the_store(self, cache_root, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        doc1 = tune(["Square"], strategy="grid", budget=3,
+                    log=lambda *a: None)
+        doc2 = tune(["Square"], strategy="grid", budget=3,
+                    log=lambda *a: None)
+        # 3 grid points + the driver's default re-check, all misses
+        assert doc1["store"]["hits"] == 0
+        assert doc2["store"]["hits"] == 0  # nothing persisted
+        assert doc2["store"]["misses"] == doc1["store"]["misses"] == 4
+        assert doc2["configs"] == doc1["configs"]  # still deterministic

@@ -1,0 +1,104 @@
+"""Search strategies against a synthetic oracle (no simulator runs)."""
+
+import pytest
+
+from repro.tune.space import KnobPoint, KnobSpace
+from repro.tune.strategies import STRATEGIES
+
+
+class FakeOracle:
+    """Scores points by a known convex-ish function; counts evaluations."""
+
+    def __init__(self, rungs=((4096,), (16384,))):
+        self.rungs = list(rungs)
+        self.calls = 0
+
+    def evaluate(self, points, *, fidelity=-1):
+        self.calls += len(points)
+        out = []
+        for p in points:
+            ls = 0 if p.local_size is None else p.local_size[0]
+            # optimum at local=128, coalesce=4
+            score = abs(ls - 128) + 10 * abs(p.coalesce - 4)
+            out.append({"value": float(score), "units": "ns",
+                        "score": float(score)})
+        return out
+
+
+def _space():
+    return KnobSpace(
+        local_sizes=(None, (32,), (64,), (128,), (256,)),
+        coalesce_factors=(1, 2, 4, 8),
+    )
+
+
+DEFAULT = KnobPoint(local_size=None, coalesce=1)
+
+
+# shalving is exempt: halving may cull the default before the final rung
+# (the driver re-measures the default at full fidelity regardless)
+@pytest.mark.parametrize("name", ["grid", "random", "hillclimb"])
+def test_every_strategy_visits_the_default(name):
+    oracle = FakeOracle()
+    results = STRATEGIES[name](_space(), oracle, DEFAULT, None, seed=0)
+    assert DEFAULT in dict(results)
+
+
+@pytest.mark.parametrize("name", ["grid", "random", "hillclimb"])
+def test_budget_caps_evaluations(name):
+    oracle = FakeOracle()
+    results = STRATEGIES[name](_space(), oracle, DEFAULT, 5, seed=0)
+    assert len(results) <= 5
+
+
+def test_grid_is_exhaustive_without_budget():
+    oracle = FakeOracle()
+    results = STRATEGIES["grid"](_space(), oracle, DEFAULT, None, seed=0)
+    assert len(results) == _space().size()  # the default is in the space
+
+
+def test_grid_finds_the_optimum():
+    results = STRATEGIES["grid"](_space(), FakeOracle(), DEFAULT, None, 0)
+    best, res = min(results, key=lambda pr: pr[1]["score"])
+    assert best == KnobPoint(local_size=(128,), coalesce=4)
+    assert res["score"] == 0.0
+
+
+def test_hillclimb_descends_to_the_optimum():
+    # the fake objective is unimodal along each axis, so greedy single-knob
+    # moves from the default must reach the global optimum
+    results = STRATEGIES["hillclimb"](
+        _space(), FakeOracle(), DEFAULT, None, 0
+    )
+    best = min(results, key=lambda pr: pr[1]["score"])[0]
+    assert best == KnobPoint(local_size=(128,), coalesce=4)
+
+
+def test_random_is_seed_deterministic():
+    a = STRATEGIES["random"](_space(), FakeOracle(), DEFAULT, 6, seed=7)
+    b = STRATEGIES["random"](_space(), FakeOracle(), DEFAULT, 6, seed=7)
+    c = STRATEGIES["random"](_space(), FakeOracle(), DEFAULT, 6, seed=8)
+    assert [p for p, _ in a] == [p for p, _ in b]
+    assert [p for p, _ in a] != [p for p, _ in c]
+
+
+def test_shalving_halves_survivors_per_rung():
+    oracle = FakeOracle(rungs=[(1024,), (2048,), (16384,)])
+    results = STRATEGIES["shalving"](_space(), oracle, DEFAULT, None, 0)
+    n = _space().size()  # the default dedupes into the space
+    # two halving rungs before the full-size rung
+    expected_final = max(1, (max(1, (n + 1) // 2) + 1) // 2)
+    assert len(results) == expected_final
+    # the known optimum survives every rung
+    assert KnobPoint(local_size=(128,), coalesce=4) in dict(results)
+
+
+def test_neighbors_move_one_knob_at_a_time():
+    space = _space()
+    point = KnobPoint(local_size=(64,), coalesce=2)
+    for n in space.neighbors(point):
+        changed = sum(
+            1 for f in ("local_size", "coalesce", "affinity", "transfer_api")
+            if getattr(n, f) != getattr(point, f)
+        )
+        assert changed == 1
