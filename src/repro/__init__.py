@@ -50,7 +50,10 @@ anything else means *on*:
 
 ``REPRO_WORKERS`` and ``REPRO_QUEUE`` carry values rather than on/off
 switches; they get the value-parsing helpers :func:`env_int` and
-:func:`env_value` next to :func:`env_flag`.
+:func:`env_value` next to :func:`env_flag`.  The experiment service
+(:mod:`repro.serve`, ``python -m repro serve``) adds the value-carrying
+``REPRO_SERVE_{HOST,PORT,WORKERS,QUEUE,TENANT_QUEUE}`` family, documented
+in ``docs/SERVE.md``.
 """
 
 from __future__ import annotations
@@ -69,6 +72,11 @@ ENV_VARS = {
     "REPRO_NO_OOO": "force eager serial command execution (no DAG scheduler)",
     "REPRO_WORKERS": "host worker threads for the engine (0/unset = auto)",
     "REPRO_QUEUE": "harness queue engine ('ooo' = DAG scheduler)",
+    "REPRO_SERVE_HOST": "experiment-service bind address (default 127.0.0.1)",
+    "REPRO_SERVE_PORT": "experiment-service port (default 8752)",
+    "REPRO_SERVE_WORKERS": "service execution threads (0/unset = engine auto)",
+    "REPRO_SERVE_QUEUE": "service global admission queue limit (default 256)",
+    "REPRO_SERVE_TENANT_QUEUE": "service per-tenant queue limit (default 64)",
 }
 
 

@@ -21,6 +21,11 @@ Subcommands:
 * ``cache stats|clear`` — inspect or wipe the persistent on-disk code
   cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; see
   ``docs/CODEGEN.md``);
+* ``serve [--host H --port P]`` — run the multi-tenant experiment
+  service daemon (JSON over HTTP in, CSV + trace out; see
+  ``docs/SERVE.md``); ``serve --replay BATCH`` instead starts an
+  ephemeral daemon, replays a load-generator batch against it and
+  verifies exactly-once delivery + byte-identical responses;
 * ``list`` — list experiments and benchmarks.
 
 ``experiments`` and ``bench`` accept ``--engine {compiled,interp}`` to pick
@@ -639,6 +644,115 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def _serve_config(args):
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        workers=args.workers or 0,
+        tenant_queue_limit=args.tenant_queue or 0,
+        global_queue_limit=args.queue_limit or 0,
+    )
+
+
+def _group_filename(key: tuple) -> str:
+    """A stable CSV filename for one dedupe group (experiments keep their
+    registry name so CI can diff against ``results/<name>.csv``)."""
+    if key[0] == "experiment":
+        _, name, fast = key
+        return f"{name}{'.fast' if fast else ''}.csv"
+    _, bench, gs, ls, coalesce, device = key
+    gs_s = "x".join(map(str, gs)) if gs else "default"
+    ls_s = "x".join(map(str, ls)) if ls else "NULL"
+    return f"launch-{bench}-{device}-g{gs_s}-l{ls_s}-c{coalesce}.csv"
+
+
+def cmd_serve(args) -> int:
+    """Run the experiment-service daemon, or replay a batch against one."""
+    import urllib.request
+
+    import repro as repro_mod
+    from .serve import start_server
+    from .serve import loadgen
+
+    # --workers here sizes the *service* pool (REPRO_SERVE_WORKERS), not
+    # the engine pool, so route only the queue knob through the env
+    if getattr(args, "queue", None) == "ooo":
+        os.environ["REPRO_QUEUE"] = "ooo"
+    host = args.host or repro_mod.env_value("REPRO_SERVE_HOST") or "127.0.0.1"
+
+    if args.replay is None:
+        port = (args.port if args.port is not None
+                else repro_mod.env_int("REPRO_SERVE_PORT", 8752))
+        server, thread = start_server(
+            host, port, config=_serve_config(args), verbose=args.verbose
+        )
+        print(f"[serve] listening on {server.url} "
+              f"(POST /v1/submit, GET /healthz, GET /v1/metrics)")
+        try:
+            thread.join()
+        except KeyboardInterrupt:
+            print("\n[serve] shutting down", file=sys.stderr)
+            server.close()
+        return 0
+
+    # --replay: ephemeral daemon + load generator + verification
+    if args.replay == "builtin":
+        spec = loadgen.default_batch(tenants=args.tenants, repeat=args.repeat)
+    else:
+        try:
+            spec = json.loads(pathlib.Path(args.replay).read_text())
+        except (OSError, ValueError) as e:
+            print(f"cannot read batch {args.replay!r}: {e}", file=sys.stderr)
+            return 2
+    try:
+        requests = loadgen.expand_batch(spec)
+    except ValueError as e:
+        print(f"bad batch: {e}", file=sys.stderr)
+        return 2
+
+    port = args.port if args.port is not None else 0
+    server, _ = start_server(host, port, config=_serve_config(args),
+                             verbose=args.verbose)
+    print(f"[serve] replaying {len(requests)} request(s) against "
+          f"{server.url}")
+    try:
+        responses = loadgen.replay(
+            server.url, requests, concurrency=args.concurrency
+        )
+        expected = None
+        if args.check:
+            expected = {}
+            for doc in requests:
+                key = loadgen._group_key(doc)
+                if key not in expected:
+                    expected[key] = loadgen.serial_csv(doc)
+            print(f"[serve] checked {len(expected)} group(s) against "
+                  f"serial execution")
+        report = loadgen.verify_replay(requests, responses, expected)
+        print(loadgen.summarize_report(report))
+        with urllib.request.urlopen(server.url + "/v1/metrics") as r:
+            snapshot = json.loads(r.read().decode("utf-8"))
+        assert snapshot.get("schema") == 1, "metrics snapshot is malformed"
+        print(f"[serve] metrics snapshot: "
+              f"{len(snapshot['metrics']['counters'])} counters, "
+              f"{len(snapshot['metrics']['histograms'])} histograms")
+        if args.out:
+            out_dir = pathlib.Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            written = set()
+            for doc, resp in zip(requests, responses):
+                if not resp.get("ok"):
+                    continue
+                fname = _group_filename(loadgen._group_key(doc))
+                if fname not in written:
+                    (out_dir / fname).write_text(resp["csv"])
+                    written.add(fname)
+            print(f"[serve] wrote {len(written)} CSV(s) to {out_dir}")
+    finally:
+        server.close()
+    return 0 if report["passed"] else 1
+
+
 def cmd_trace(args) -> int:
     """Record / summarize / diff Chrome-trace recordings."""
     from . import obs
@@ -891,6 +1005,50 @@ def main(argv=None) -> int:
                          help="only clear this partition (e.g. reset sweep "
                               "stores without nuking compiled kernels)")
     c_clear.set_defaults(fn=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant experiment service daemon (HTTP), or "
+             "--replay a load-generator batch against an ephemeral one",
+    )
+    p_serve.add_argument("--host", metavar="ADDR",
+                         help="bind address (env: REPRO_SERVE_HOST; "
+                              "default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, metavar="P",
+                         help="port (env: REPRO_SERVE_PORT; default 8752; "
+                              "--replay defaults to an ephemeral port)")
+    p_serve.add_argument("--workers", type=int, metavar="N",
+                         help="service execution threads (env: "
+                              "REPRO_SERVE_WORKERS; default: engine auto)")
+    p_serve.add_argument("--queue-limit", type=int, metavar="N",
+                         help="global admission queue limit (env: "
+                              "REPRO_SERVE_QUEUE; default 256)")
+    p_serve.add_argument("--tenant-queue", type=int, metavar="N",
+                         help="per-tenant queue limit (env: "
+                              "REPRO_SERVE_TENANT_QUEUE; default 64)")
+    p_serve.add_argument("--queue", choices=("inorder", "ooo"),
+                         help="command-queue engine for served launches "
+                              "(env: REPRO_QUEUE)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each HTTP request to stderr")
+    p_serve.add_argument("--replay", metavar="BATCH",
+                         help="replay a batch JSON file ('builtin' = the "
+                              "canned CI batch) instead of serving forever")
+    p_serve.add_argument("--tenants", type=int, default=8, metavar="N",
+                         help="tenant count for the builtin batch "
+                              "(default 8)")
+    p_serve.add_argument("--repeat", type=int, default=2, metavar="N",
+                         help="builtin batch repetitions (default 2)")
+    p_serve.add_argument("--concurrency", type=int, default=16, metavar="N",
+                         help="replay client threads (default 16)")
+    p_serve.add_argument("--check", action="store_true",
+                         help="also verify each dedupe group against a "
+                              "serial in-process run (byte-identical)")
+    p_serve.add_argument("--out", metavar="DIR",
+                         help="write one response CSV per dedupe group "
+                              "(experiments: <name>.csv, diffable against "
+                              "results/)")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_trace = sub.add_parser(
         "trace",

@@ -57,6 +57,7 @@ __all__ = [
     "store_plan",
     "store_tune",
     "store_verify",
+    "sweep_stale_tmp",
     "usage",
 ]
 
@@ -156,6 +157,14 @@ def _store(kind: str, key: tuple, payload: dict) -> None:
     path = _entry_path(kind, key)
     payload = dict(payload)
     payload["version"] = code_version()
+    # The publish protocol for concurrent multi-process (and, under the
+    # experiment service, multi-thread) writers: serialize into a tmp file
+    # that is unique per process *and* per write (pid + a process-global
+    # counter), then atomically rename over the final path.  Two writers
+    # racing on one key each publish a complete payload and the last
+    # rename wins; readers either see the old complete entry or the new
+    # complete entry, never a torn one.
+    tmp = None
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(
@@ -163,10 +172,15 @@ def _store(kind: str, key: tuple, payload: dict) -> None:
         )
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(payload, f)
-        os.replace(tmp, path)  # atomic publish: concurrent writers race
-        # to an identical payload, and readers never see a torn file
+        os.replace(tmp, path)
     except OSError:
         _STATS["errors"] += 1
+        if tmp is not None:
+            # never leave a half-written tmp file behind to accumulate
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 # -- compiled kernels -------------------------------------------------------
@@ -348,4 +362,30 @@ def clear(partition: Optional[str] = None) -> int:
         if pdir.is_dir():
             removed += sum(1 for _ in pdir.rglob("*.json"))
             shutil.rmtree(pdir, ignore_errors=True)
+    return removed
+
+
+def sweep_stale_tmp(max_age_seconds: float = 3600.0) -> int:
+    """Remove orphaned ``*.tmp`` publish files older than ``max_age_seconds``.
+
+    A writer that crashes between serializing and renaming leaves its tmp
+    file behind; they are invisible to loads (only ``*.json`` is read) but
+    would accumulate under a long-lived service.  ``repro serve`` calls
+    this on startup; the age guard means an *in-flight* concurrent write
+    is never swept.  Returns the number of files removed.
+    """
+    import time
+
+    root = cache_dir()
+    if not root.is_dir():
+        return 0
+    removed = 0
+    cutoff = time.time() - max_age_seconds
+    for f in root.rglob("*.tmp"):
+        try:
+            if f.stat().st_mtime < cutoff:
+                f.unlink()
+                removed += 1
+        except OSError:
+            continue
     return removed

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable, Dict, List, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .report import ExperimentResult
 from .experiments import (
@@ -27,8 +28,28 @@ from .experiments import (
     table2_table3,
 )
 
-__all__ = ["EXPERIMENTS", "pool_map", "run_all", "run_experiment",
-           "run_many"]
+__all__ = ["EXPERIMENTS", "WorkerPoolError", "pool_map", "run_all",
+           "run_experiment", "run_many"]
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker pool died mid-run (Ctrl-C or a killed worker process).
+
+    Carries whatever completed before the failure: ``results`` is ordered
+    like the submitted argument tuples, with ``None`` placeholders for
+    tasks that never finished, and ``completed`` counts the non-``None``
+    entries.  Raised instead of hanging: the pool is torn down with every
+    pending task cancelled before this propagates.
+    """
+
+    def __init__(self, message: str, results: List, cause: BaseException):
+        completed = sum(1 for r in results if r is not None)
+        super().__init__(
+            f"{message} after {completed}/{len(results)} task(s) completed"
+        )
+        self.results = results
+        self.completed = completed
+        self.__cause__ = cause
 
 
 def pool_map(fn, argtuples: Sequence[tuple], jobs: int = 1) -> List:
@@ -41,15 +62,39 @@ def pool_map(fn, argtuples: Sequence[tuple], jobs: int = 1) -> List:
     module-level callable (picklable) whose inputs are self-contained.
     Knobs that must reach workers travel via ``REPRO_*`` environment
     variables, which the pool inherits.
+
+    Interruption and worker death are survivable: ``KeyboardInterrupt``
+    and a broken pool (a worker killed by the OOM killer, ``os._exit``, a
+    segfault) drain the pool immediately — every pending task is
+    cancelled, nothing blocks on unfinished futures — and surface as
+    :class:`WorkerPoolError` carrying the partial results.  Ordinary
+    exceptions raised *by* ``fn`` keep their existing contract: they
+    propagate unchanged (first-submitted wins) once the pool is drained.
     """
     argtuples = list(argtuples)
     if jobs <= 1 or len(argtuples) <= 1:
         return [fn(*args) for args in argtuples]
-    with concurrent.futures.ProcessPoolExecutor(
+    pool = concurrent.futures.ProcessPoolExecutor(
         max_workers=min(jobs, len(argtuples))
-    ) as pool:
+    )
+    results: List[Optional[object]] = [None] * len(argtuples)
+    try:
         futures = [pool.submit(fn, *args) for args in argtuples]
-        return [f.result() for f in futures]
+        for i, f in enumerate(futures):
+            results[i] = f.result()
+        return results
+    except (KeyboardInterrupt, BrokenProcessPool) as e:
+        # Drain without waiting: cancel everything still queued and do NOT
+        # join running workers (after Ctrl-C or a dead worker they may
+        # never finish) — a clean, immediate teardown instead of a hang.
+        pool.shutdown(wait=False, cancel_futures=True)
+        reason = (
+            "interrupted" if isinstance(e, KeyboardInterrupt)
+            else "worker process died"
+        )
+        raise WorkerPoolError(f"worker pool {reason}", results, e) from e
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "table1": table1.run,
@@ -130,6 +175,10 @@ def run_many(
     worker finishes first, so parallel and serial runs emit identical
     reports.  Every experiment is deterministic in virtual time and builds
     its own device models, so processes share nothing but code.
+
+    Ctrl-C and worker death raise :class:`WorkerPoolError` (with partial
+    results attached) instead of hanging the pool — long-running callers
+    like ``repro serve`` rely on this for clean shutdown.
     """
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

@@ -9,6 +9,7 @@ import dataclasses
 import json
 import os
 import pathlib
+import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -192,25 +193,28 @@ class DiagnosticTally:
         )
 
 
-#: active collector (installed by :func:`collect_diagnostics`)
-_tally: Optional[DiagnosticTally] = None
+#: active collector per thread (installed by :func:`collect_diagnostics`).
+#: Thread-local rather than a module global so the experiment service can
+#: run several tenants' experiments concurrently without cross-tallying —
+#: each worker thread sees exactly the tally of the experiment it runs.
+_tally_tls = threading.local()
 
 
 @contextlib.contextmanager
 def collect_diagnostics():
     """Verify every kernel launch measured inside the block and tally counts."""
-    global _tally
-    prev = _tally
-    _tally = tally = DiagnosticTally()
+    prev = getattr(_tally_tls, "tally", None)
+    _tally_tls.tally = tally = DiagnosticTally()
     try:
         yield tally
     finally:
-        _tally = prev
+        _tally_tls.tally = prev
 
 
 def _note_launch(bench: Benchmark, global_size, coalesce, local_size) -> None:
-    if _tally is not None:
-        _tally.record(bench, global_size, coalesce, local_size)
+    tally = getattr(_tally_tls, "tally", None)
+    if tally is not None:
+        tally.record(bench, global_size, coalesce, local_size)
 
 
 @dataclasses.dataclass

@@ -168,6 +168,15 @@ class MetricsRegistry:
         for k, v in stats.items():
             self.gauge(f"analysis.{k}").set(v)
 
+    def absorb_serve_stats(self, stats: Optional[dict] = None) -> None:
+        """Pull :func:`repro.serve.service.serve_stats` into gauges."""
+        if stats is None:
+            from ..serve.service import serve_stats
+
+            stats = serve_stats()
+        for k, v in stats.items():
+            self.gauge(f"serve.totals.{k}").set(v)
+
     def absorb_tune_stats(self, stats: Optional[dict] = None) -> None:
         """Pull :func:`repro.tune.tune_stats` into gauges."""
         if stats is None:

@@ -25,11 +25,17 @@ This module provides the one cache primitive every layer shares:
 Cached values are treated as immutable by every consumer: device models
 return the same ``KernelCost`` object for repeated identical launches, and
 the interpreter marks cached id-grid arrays read-only.
+
+Every instance is thread-safe: the experiment service (:mod:`repro.serve`)
+shares one cache across tenants whose requests execute on concurrent
+worker threads, so ``get``/``put``/``invalidate`` serialize on a per-cache
+lock (uncontended in the single-threaded harness path).
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, Optional
@@ -110,6 +116,7 @@ class LaunchPlanCache:
         self.weigher = weigher
         self._data: "OrderedDict[object, object]" = OrderedDict()
         self._weight = 0
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         _STATS.setdefault(name, {"hits": 0, "misses": 0})
@@ -121,16 +128,17 @@ class LaunchPlanCache:
         if not caching_enabled():
             self._miss()
             return None
-        try:
-            value = self._data[key]
-        except (KeyError, TypeError):
-            # TypeError: unhashable key — treated as a permanent miss
-            self._miss()
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        _STATS[self.name]["hits"] += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except (KeyError, TypeError):
+                # TypeError: unhashable key — treated as a permanent miss
+                self._miss()
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            _STATS[self.name]["hits"] += 1
+            return value
 
     def put(self, key, value) -> None:
         """Insert (no-op while caching is disabled)."""
@@ -140,22 +148,24 @@ class LaunchPlanCache:
             hash(key)
         except TypeError:
             return
-        if key in self._data:
-            self._weight -= self._weigh(self._data[key])
-        self._data[key] = value
-        self._data.move_to_end(key)
-        self._weight += self._weigh(value)
-        self._evict()
+        with self._lock:
+            if key in self._data:
+                self._weight -= self._weigh(self._data[key])
+            self._data[key] = value
+            self._data.move_to_end(key)
+            self._weight += self._weigh(value)
+            self._evict()
 
     def invalidate(self, key=None) -> None:
         """Drop one entry (or everything) — e.g. after a spec/model change."""
-        if key is None:
-            self._data.clear()
-            self._weight = 0
-        else:
-            old = self._data.pop(key, None)
-            if old is not None:
-                self._weight -= self._weigh(old)
+        with self._lock:
+            if key is None:
+                self._data.clear()
+                self._weight = 0
+            else:
+                old = self._data.pop(key, None)
+                if old is not None:
+                    self._weight -= self._weigh(old)
 
     # -- bookkeeping ----------------------------------------------------------
     def _miss(self) -> None:

@@ -1,0 +1,70 @@
+"""``repro.serve`` — the multi-tenant experiment service.
+
+The paper's experiments are one-shot CLI runs; this package turns the
+runtime into long-lived infrastructure (the ROADMAP's "millions of users"
+north star): a daemon accepts launch/experiment requests over HTTP (JSON
+in, CSV + per-request trace out), executes them on the existing engine
+substrate — per-session :mod:`repro.minicl` contexts, the OoO event-DAG
+scheduler, the :mod:`repro.workers` pools — and shares every expensive
+artifact across tenants: the in-memory ``LaunchPlanCache`` families, the
+JIT code cache, and the persistent on-disk cache of PR 7 (the pocl
+insight: a shared, persistent kernel cache is what makes a runtime viable
+as a service rather than a per-process tool).
+
+Layers, bottom-up:
+
+* :mod:`repro.serve.protocol` — the request/response schema (validation,
+  dedupe keys, stable CSV rendering);
+* :mod:`repro.serve.service`  — :class:`ExperimentService`: per-tenant
+  sessions, cross-tenant request deduplication keyed on
+  ``Kernel.fingerprint()`` + resolved launch config, fair round-robin
+  scheduling over bounded per-tenant queues, admission control with
+  retry-after backpressure, per-tenant metrics through :mod:`repro.obs`;
+* :mod:`repro.serve.http`     — the thin HTTP front-end
+  (``POST /v1/submit``, ``GET /healthz``, ``GET /v1/metrics``);
+* :mod:`repro.serve.loadgen`  — the load generator / replay client used
+  by ``python -m repro serve --replay``, CI's ``serve-smoke`` job and the
+  soak test.
+
+Everything is protocol-agnostic below :mod:`repro.serve.http`:
+:class:`ExperimentService` is directly callable in-process (that is how
+the unit tests drive it), so another transport (a line-delimited-JSON
+socket, gRPC) is one small adapter away.
+
+See ``docs/SERVE.md`` for the wire schema and the operations runbook.
+"""
+
+from __future__ import annotations
+
+from .protocol import (
+    ExperimentRequest,
+    LaunchRequest,
+    RequestError,
+    parse_request,
+)
+from .service import (
+    BackpressureError,
+    ExecutionError,
+    ExperimentService,
+    ServeConfig,
+    ServiceClosedError,
+    reset_serve_stats,
+    serve_stats,
+)
+from .http import ExperimentHTTPServer, start_server
+
+__all__ = [
+    "BackpressureError",
+    "ExecutionError",
+    "ExperimentHTTPServer",
+    "ExperimentRequest",
+    "ExperimentService",
+    "LaunchRequest",
+    "RequestError",
+    "ServeConfig",
+    "ServiceClosedError",
+    "parse_request",
+    "reset_serve_stats",
+    "serve_stats",
+    "start_server",
+]

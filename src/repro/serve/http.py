@@ -1,0 +1,162 @@
+"""The HTTP transport of the experiment service (stdlib-only).
+
+One :class:`ExperimentHTTPServer` (a ``ThreadingHTTPServer``) fronts one
+:class:`~repro.serve.service.ExperimentService`.  The thread-per-request
+model fits the service's blocking ``submit()``: a handler thread parks on
+the job's completion event while the service's own worker pool (sized by
+``REPRO_SERVE_WORKERS``) does the bounded amount of actual execution, and
+followers of a deduped request park without consuming any worker at all.
+
+Endpoints:
+
+``POST /v1/submit``
+    Body: one request document (see :mod:`repro.serve.protocol`).
+    200 with the response envelope on success; 400 malformed request,
+    429 + ``Retry-After`` on backpressure, 503 while shutting down,
+    500 if execution itself raised.
+
+``GET /healthz``
+    Liveness + queue depth + cumulative stats (the ops poll target).
+
+``GET /v1/metrics``
+    Full metrics snapshot: serve counters, cache families, JIT and disk
+    cache activity, per-tenant latency histograms.
+
+Every response body is JSON (``Content-Type: application/json``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .protocol import RequestError
+from .service import (
+    BackpressureError,
+    ExecutionError,
+    ExperimentService,
+    ServeConfig,
+    ServiceClosedError,
+)
+
+__all__ = ["ExperimentHTTPServer", "start_server"]
+
+#: request bodies above this are rejected outright (64 KiB is ~100x the
+#: largest legitimate request document)
+MAX_BODY_BYTES = 64 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "ExperimentHTTPServer"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence per-request log
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _reply(self, status: int, doc: dict,
+               headers: Optional[dict] = None) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, kind: str, message: str,
+               headers: Optional[dict] = None) -> None:
+        self._reply(status, {"ok": False, "error": kind, "message": message},
+                    headers)
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._reply(200, self.server.service.health())
+        elif self.path == "/v1/metrics":
+            self._reply(200, self.server.service.metrics_snapshot())
+        else:
+            self._error(404, "not_found", f"no route for GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/v1/submit":
+            self._error(404, "not_found", f"no route for POST {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._error(413, "too_large",
+                        f"body must be 0..{MAX_BODY_BYTES} bytes")
+            return
+        try:
+            doc = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as e:
+            self._error(400, "bad_json", f"request body is not JSON: {e}")
+            return
+        try:
+            self._reply(200, self.server.service.submit(doc))
+        except RequestError as e:
+            self._error(400, "bad_request", str(e))
+        except BackpressureError as e:
+            self._error(
+                429, "backpressure", str(e),
+                {"Retry-After": f"{e.retry_after_s:.2f}"},
+            )
+        except ServiceClosedError as e:
+            self._error(503, "closing", str(e))
+        except ExecutionError as e:
+            self._error(500, "execution", str(e))
+
+
+class ExperimentHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ExperimentService`."""
+
+    daemon_threads = True
+
+    def __init__(self, addr: Tuple[str, int],
+                 service: Optional[ExperimentService] = None,
+                 config: Optional[ServeConfig] = None,
+                 verbose: bool = False):
+        self.service = service or ExperimentService(config)
+        self.verbose = verbose
+        super().__init__(addr, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop accepting connections, then drain the service."""
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def start_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Optional[ServeConfig] = None,
+    verbose: bool = False,
+) -> Tuple[ExperimentHTTPServer, threading.Thread]:
+    """Bind, start serving on a daemon thread, return (server, thread).
+
+    ``port=0`` picks a free port (the tests' mode); the chosen address is
+    ``server.server_address``.  The caller owns shutdown via
+    :meth:`ExperimentHTTPServer.close`.
+    """
+    server = ExperimentHTTPServer((host, port), config=config,
+                                  verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return server, thread

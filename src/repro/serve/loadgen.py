@@ -1,0 +1,282 @@
+"""Load generator / replay client for the experiment service.
+
+Drives a service — either in-process (an :class:`ExperimentService`) or
+over HTTP (a base URL) — with a *batch*: a JSON document expanded into
+many concurrent tenant requests.  Used three ways:
+
+* ``python -m repro serve --replay BATCH`` — start a daemon, replay the
+  batch against it over real HTTP, verify, print a summary (CI's
+  ``serve-smoke`` job);
+* the soak test (``tests/serve/test_soak.py``) — >=1000 requests across
+  >=8 tenants, asserting zero dropped/duplicated responses and
+  byte-identical CSVs against serial execution;
+* ad-hoc capacity probing of a running daemon.
+
+Batch schema (``"schema": 1``)::
+
+    {"schema": 1,
+     "tenants": 8,                # int (t0..tN-1) or explicit name list
+     "repeat": 2,                 # whole-batch repetitions (default 1)
+     "requests": [                # tenant-less request documents
+        {"kind": "experiment", "name": "fig1"},
+        {"kind": "launch", "benchmark": "Square", "coalesce": 2}]}
+
+Expansion is deterministic: repetition-major, then tenant, then request,
+with ``request_id`` assigned ``r00000, r00001, ...`` in that order — so a
+replay is reproducible and every response is correlatable.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Union
+
+from .protocol import ExperimentRequest, RequestError, parse_request
+from .service import (
+    BackpressureError,
+    ExecutionError,
+    ExperimentService,
+    ServiceClosedError,
+)
+
+__all__ = [
+    "default_batch",
+    "expand_batch",
+    "replay",
+    "serial_csv",
+    "summarize_report",
+    "verify_replay",
+]
+
+
+def default_batch(tenants: int = 8, repeat: int = 2) -> dict:
+    """The canned batch CI replays: the cheapest real experiments plus a
+    spread of launches, with deliberate cross-tenant duplication so the
+    dedupe/cache counters must move."""
+    return {
+        "schema": 1,
+        "tenants": tenants,
+        "repeat": repeat,
+        "requests": [
+            {"kind": "experiment", "name": "fig1"},
+            {"kind": "experiment", "name": "table1"},
+            {"kind": "launch", "benchmark": "Square"},
+            {"kind": "launch", "benchmark": "Vectoraddition", "coalesce": 2},
+        ],
+    }
+
+
+def expand_batch(spec: dict) -> List[dict]:
+    """Expand one batch document into concrete request documents."""
+    if not isinstance(spec, dict) or spec.get("schema") != 1:
+        raise ValueError(
+            f"batch must be an object with \"schema\": 1, got "
+            f"{spec.get('schema') if isinstance(spec, dict) else spec!r}"
+        )
+    tenants = spec.get("tenants", 8)
+    if isinstance(tenants, int):
+        if tenants < 1:
+            raise ValueError(f"'tenants' must be >= 1, got {tenants}")
+        tenants = [f"t{i}" for i in range(tenants)]
+    if (not isinstance(tenants, list) or not tenants
+            or not all(isinstance(t, str) for t in tenants)):
+        raise ValueError(f"'tenants' must be an int or a list of names")
+    repeat = spec.get("repeat", 1)
+    if not isinstance(repeat, int) or repeat < 1:
+        raise ValueError(f"'repeat' must be an integer >= 1, got {repeat!r}")
+    base = spec.get("requests")
+    if not isinstance(base, list) or not base:
+        raise ValueError("'requests' must be a non-empty list")
+    out: List[dict] = []
+    for _ in range(repeat):
+        for tenant in tenants:
+            for req in base:
+                doc = dict(req)
+                doc["tenant"] = tenant
+                doc["request_id"] = f"r{len(out):05d}"
+                out.append(doc)
+    return out
+
+
+# -- transport --------------------------------------------------------------
+
+
+def _post_http(url: str, doc: dict, timeout: float = 120.0) -> dict:
+    """POST one request document; error statuses return their JSON body."""
+    data = json.dumps(doc).encode("utf-8")
+    req = urllib.request.Request(
+        url.rstrip("/") + "/v1/submit", data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as e:
+        body = e.read().decode("utf-8", errors="replace")
+        try:
+            out = json.loads(body)
+        except ValueError:
+            out = {"ok": False, "error": f"http_{e.code}", "message": body}
+        if e.code == 429 and "retry_after_s" not in out:
+            out["retry_after_s"] = float(e.headers.get("Retry-After", 0.25))
+        return out
+
+
+def _submit_one(target: Union[str, ExperimentService], doc: dict,
+                max_attempts: int) -> dict:
+    """Submit with bounded backpressure retries; never raises."""
+    delay = 0.0
+    for attempt in range(max_attempts):
+        if delay:
+            time.sleep(delay)
+        if isinstance(target, str):
+            out = _post_http(target, doc)
+            if out.get("ok") or out.get("error") != "backpressure":
+                return out
+            delay = min(2.0, max(0.02, float(out.get("retry_after_s", 0.25))))
+        else:
+            try:
+                return target.submit(doc)
+            except BackpressureError as e:
+                delay = min(2.0, max(0.02, e.retry_after_s))
+            except RequestError as e:
+                return {"ok": False, "error": "bad_request",
+                        "message": str(e)}
+            except ServiceClosedError as e:
+                return {"ok": False, "error": "closing", "message": str(e)}
+            except ExecutionError as e:
+                return {"ok": False, "error": "execution", "message": str(e)}
+    return {"ok": False, "error": "backpressure_exhausted",
+            "message": f"still throttled after {max_attempts} attempts",
+            "request_id": doc.get("request_id")}
+
+
+def replay(target: Union[str, ExperimentService], requests: List[dict],
+           concurrency: int = 16, max_attempts: int = 50) -> List[dict]:
+    """Fire every request concurrently; responses in request order.
+
+    ``target`` is a base URL (real HTTP) or a service instance
+    (in-process).  429s are retried with the server's Retry-After hint,
+    so a correctly-provisioned replay drops nothing.
+    """
+    with cf.ThreadPoolExecutor(max_workers=max(1, concurrency),
+                               thread_name_prefix="loadgen") as pool:
+        futures = [
+            pool.submit(_submit_one, target, doc, max_attempts)
+            for doc in requests
+        ]
+        return [f.result() for f in futures]
+
+
+# -- verification -----------------------------------------------------------
+
+
+def _group_key(doc: dict) -> tuple:
+    """Client-side dedupe-group identity of one request document."""
+    req = parse_request(doc)
+    if isinstance(req, ExperimentRequest):
+        return req.work_key()
+    return ("launch", req.benchmark, req.global_size, req.local_size,
+            req.coalesce, req.device)
+
+
+def verify_replay(requests: List[dict], responses: List[dict],
+                  expected: Optional[Dict[tuple, str]] = None) -> dict:
+    """The exactly-once + determinism contract, checked.
+
+    * every request got exactly one ok response, correlated by
+      ``request_id`` (nothing dropped, nothing duplicated);
+    * within each dedupe group, every response's CSV is byte-identical;
+    * when ``expected`` maps group keys to reference CSVs (e.g. from a
+      serial run), each group matches its reference byte-for-byte.
+    """
+    want = {doc["request_id"] for doc in requests}
+    got: Dict[str, int] = {}
+    failed = []
+    for resp in responses:
+        rid = resp.get("request_id")
+        if rid is not None:
+            got[rid] = got.get(rid, 0) + 1
+        if not resp.get("ok"):
+            failed.append(resp)
+    groups: Dict[tuple, List[dict]] = {}
+    for doc, resp in zip(requests, responses):
+        if resp.get("ok"):
+            groups.setdefault(_group_key(doc), []).append(resp)
+    mismatched = []
+    for key, members in groups.items():
+        csvs = {m["csv"] for m in members}
+        if len(csvs) != 1:
+            mismatched.append({"group": list(map(str, key)),
+                               "distinct_csvs": len(csvs)})
+        elif expected is not None and key in expected:
+            if next(iter(csvs)) != expected[key]:
+                mismatched.append({"group": list(map(str, key)),
+                                   "distinct_csvs": "!= serial reference"})
+    dedupe_counts: Dict[str, int] = {}
+    for resp in responses:
+        label = resp.get("dedupe")
+        if label:
+            dedupe_counts[label] = dedupe_counts.get(label, 0) + 1
+    report = {
+        "requests": len(requests),
+        "ok": len(responses) - len(failed),
+        "failed": len(failed),
+        "failures": failed[:10],
+        "dropped": sorted(want - set(got)),
+        "duplicated": sorted(r for r, n in got.items() if n > 1),
+        "groups": len(groups),
+        "mismatched_groups": mismatched,
+        "dedupe": dedupe_counts,
+    }
+    report["passed"] = (
+        not failed and not report["dropped"] and not report["duplicated"]
+        and not mismatched
+    )
+    return report
+
+
+def serial_csv(doc: dict) -> str:
+    """What a one-shot serial CLI run returns for this request document.
+
+    Experiments call :func:`~repro.harness.registry.run_experiment`
+    directly; launches measure on a *fresh private* DUT — the equivalence
+    oracle the soak test compares service responses against.
+    """
+    from ..harness.registry import run_experiment
+    from ..harness.runner import cpu_dut, gpu_dut, measure_kernel
+    from .protocol import known_benchmarks, launch_csv
+
+    req = parse_request(doc)
+    if isinstance(req, ExperimentRequest):
+        return run_experiment(req.name, req.fast).to_csv()
+    bench = known_benchmarks()[req.benchmark]
+    gs = req.global_size or tuple(bench.default_global_sizes[0])
+    dut = cpu_dut() if req.device == "cpu" else gpu_dut()
+    m = measure_kernel(dut, bench, gs, req.local_size, coalesce=req.coalesce)
+    return launch_csv(req, m)
+
+
+def summarize_report(report: dict) -> str:
+    dd = report["dedupe"]
+    shared = dd.get("shared", 0) + dd.get("cached", 0)
+    lines = [
+        f"requests:  {report['requests']} "
+        f"({report['ok']} ok, {report['failed']} failed)",
+        f"delivery:  {len(report['dropped'])} dropped, "
+        f"{len(report['duplicated'])} duplicated",
+        f"dedupe:    {dd.get('leader', 0)} executed, {shared} shared "
+        f"({shared / max(1, report['requests']):.0%} saved), "
+        f"groups: {report['groups']}",
+        f"identity:  {len(report['mismatched_groups'])} mismatched group(s)",
+        f"verdict:   {'PASS' if report['passed'] else 'FAIL'}",
+    ]
+    for m in report["mismatched_groups"][:5]:
+        lines.append(f"  mismatch: {m}")
+    for f in report.get("failures", [])[:5]:
+        lines.append(f"  failure: {f.get('error')}: {f.get('message')}")
+    return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Request/response schema of the experiment service.
+
+A request is one JSON object.  Two kinds exist:
+
+``{"kind": "experiment", "tenant": "acme", "name": "fig1",
+   "fast": false}``
+    Regenerate one paper artifact; the response CSV is byte-identical to
+    what ``python -m repro experiments <name> --csv`` writes.
+
+``{"kind": "launch", "tenant": "acme", "benchmark": "Square",
+   "global_size": [65536], "local_size": null, "coalesce": 1,
+   "device": "cpu"}``
+    Measure one kernel launch through the full minicl path (the paper's
+    Section III-A methodology) and return its virtual-time measurement as
+    a one-row CSV.
+
+Optional on both: ``"request_id"`` (echoed back verbatim — the load
+generator's correlation handle).
+
+The parse step normalizes every field, so two requests that *resolve* to
+the same work produce equal frozen dataclasses — the service's dedupe map
+and result cache key on exactly that identity (for launches, combined
+with ``Kernel.fingerprint()`` + the resolved launch config; see
+:meth:`repro.serve.service.ExperimentService._dedupe_key`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "ExperimentRequest",
+    "LaunchRequest",
+    "RequestError",
+    "known_benchmarks",
+    "known_experiments",
+    "parse_request",
+]
+
+#: tenant ids become metric names (``serve.tenant.<id>.*``), so the
+#: charset is restricted to what every metrics backend tolerates
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+class RequestError(ValueError):
+    """A malformed or unserviceable request (HTTP 400)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentRequest:
+    """Run one registry experiment and return its CSV."""
+
+    tenant: str
+    name: str
+    fast: bool = False
+    request_id: Optional[str] = None
+
+    @property
+    def kind(self) -> str:
+        return "experiment"
+
+    def work_key(self) -> Tuple:
+        """Cross-tenant dedupe identity (tenant and request id excluded)."""
+        return ("experiment", self.name, self.fast)
+
+
+@dataclasses.dataclass(frozen=True)
+class LaunchRequest:
+    """Measure one benchmark kernel launch in virtual time."""
+
+    tenant: str
+    benchmark: str
+    global_size: Optional[Tuple[int, ...]] = None  # None = paper default
+    local_size: Optional[Tuple[int, ...]] = None
+    coalesce: int = 1
+    device: str = "cpu"
+    request_id: Optional[str] = None
+
+    @property
+    def kind(self) -> str:
+        return "launch"
+
+
+def known_experiments():
+    """Registry keys a request may name (import deferred: heavy)."""
+    from ..harness.registry import EXPERIMENTS
+
+    return EXPERIMENTS
+
+
+def known_benchmarks():
+    """Launchable benchmarks: every Table II + Table III application."""
+    from ..tune import suite_benchmarks
+
+    return suite_benchmarks()
+
+
+def _require_tenant(doc: dict) -> str:
+    tenant = doc.get("tenant")
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise RequestError(
+            "field 'tenant' must be a 1-64 char string of [A-Za-z0-9._-], "
+            f"got {tenant!r}"
+        )
+    return tenant
+
+
+def _opt_size(doc: dict, field: str) -> Optional[Tuple[int, ...]]:
+    raw = doc.get(field)
+    if raw is None:
+        return None
+    if (not isinstance(raw, (list, tuple)) or not raw
+            or not all(isinstance(x, int) and x > 0 for x in raw)):
+        raise RequestError(
+            f"field {field!r} must be a non-empty list of positive "
+            f"integers or null, got {raw!r}"
+        )
+    return tuple(int(x) for x in raw)
+
+
+def _opt_request_id(doc: dict) -> Optional[str]:
+    rid = doc.get("request_id")
+    if rid is not None and not isinstance(rid, str):
+        raise RequestError(f"field 'request_id' must be a string, got {rid!r}")
+    return rid
+
+
+def parse_request(doc) -> Union[ExperimentRequest, LaunchRequest]:
+    """Validate one request document into its frozen dataclass.
+
+    Raises :class:`RequestError` (mapped to HTTP 400) with a message
+    precise enough to fix the request — including the known names when an
+    experiment or benchmark lookup fails.
+    """
+    if not isinstance(doc, dict):
+        raise RequestError(f"request must be a JSON object, got {type(doc).__name__}")
+    kind = doc.get("kind")
+    if kind not in ("experiment", "launch"):
+        raise RequestError(
+            f"field 'kind' must be 'experiment' or 'launch', got {kind!r}"
+        )
+    tenant = _require_tenant(doc)
+    rid = _opt_request_id(doc)
+
+    if kind == "experiment":
+        name = doc.get("name")
+        experiments = known_experiments()
+        if name not in experiments:
+            raise RequestError(
+                f"unknown experiment {name!r}; known: "
+                f"{', '.join(sorted(experiments))}"
+            )
+        fast = doc.get("fast", False)
+        if not isinstance(fast, bool):
+            raise RequestError(f"field 'fast' must be a boolean, got {fast!r}")
+        return ExperimentRequest(tenant=tenant, name=name, fast=fast,
+                                 request_id=rid)
+
+    benchmark = doc.get("benchmark")
+    benches = known_benchmarks()
+    if benchmark not in benches:
+        raise RequestError(
+            f"unknown benchmark {benchmark!r}; known: "
+            f"{', '.join(sorted(benches))}"
+        )
+    coalesce = doc.get("coalesce", 1)
+    if not isinstance(coalesce, int) or coalesce < 1:
+        raise RequestError(
+            f"field 'coalesce' must be an integer >= 1, got {coalesce!r}"
+        )
+    device = doc.get("device", "cpu")
+    if device not in ("cpu", "gpu"):
+        raise RequestError(
+            f"field 'device' must be 'cpu' or 'gpu', got {device!r}"
+        )
+    gs = _opt_size(doc, "global_size")
+    ls = _opt_size(doc, "local_size")
+    bench = benches[benchmark]
+    launch_gs = gs or tuple(bench.default_global_sizes[0])
+    if coalesce > 1 and launch_gs[0] % coalesce != 0:
+        raise RequestError(
+            f"global size {launch_gs[0]} is not divisible by coalesce "
+            f"factor {coalesce}"
+        )
+    return LaunchRequest(
+        tenant=tenant, benchmark=benchmark, global_size=gs, local_size=ls,
+        coalesce=coalesce, device=device, request_id=rid,
+    )
+
+
+def launch_csv(req: LaunchRequest, measurement) -> str:
+    """Render one launch measurement as a stable one-row CSV.
+
+    Pure function of (request, measurement) so the service response and a
+    serial re-measurement are byte-comparable — the soak test's
+    equivalence check.
+    """
+    gs = "x".join(str(g) for g in (req.global_size or ()))
+    ls = ("NULL" if req.local_size is None
+          else "x".join(str(l) for l in req.local_size))
+    header = ("benchmark,device,global_size,local_size,coalesce,"
+              "mean_ns,invocations,total_virtual_ns")
+    row = (
+        f"{req.benchmark},{req.device},{gs or 'default'},{ls},"
+        f"{req.coalesce},{measurement.mean_ns!r},{measurement.invocations},"
+        f"{measurement.total_virtual_ns!r}"
+    )
+    return header + "\n" + row + "\n"

@@ -1,0 +1,554 @@
+"""The multi-tenant experiment service core (protocol-agnostic).
+
+One :class:`ExperimentService` owns:
+
+* **per-tenant sessions** — each tenant gets its own
+  :class:`~repro.harness.runner.DeviceUnderTest` pair (one minicl
+  ``Context`` per simulated device, with its own built-program cache),
+  created lazily on first use;
+* **cross-tenant deduplication** — identical work is executed once no
+  matter how many tenants ask: an in-flight map coalesces concurrent
+  identical requests onto one execution (followers share the leader's
+  result), and a shared :class:`~repro.plancache.LaunchPlanCache` of
+  completed responses serves later repeats without queueing at all.
+  Launches dedupe on ``Kernel.fingerprint()`` + the *resolved* launch
+  config (scaled global size, resolved local size, scalar values, buffer
+  sizes, device) — the same identity the harness verify cache uses — so
+  two spellings of the same launch share one execution;
+* **fair scheduling** — admitted jobs land in bounded per-tenant FIFO
+  queues drained round-robin by a fixed pool of worker threads
+  (:func:`repro.workers.serve_worker_count` wide).  A tenant that floods
+  its queue cannot starve the others: each ring pass takes at most one
+  job per tenant;
+* **admission control / backpressure** — a full per-tenant or global
+  queue rejects the request with :class:`BackpressureError` carrying a
+  retry-after estimate (queue depth x recent mean service time / worker
+  count); the HTTP layer maps it to 429 + ``Retry-After``;
+* **per-tenant metrics** — request counters, latency histograms, queue
+  wait and dedupe savings flow into a :class:`repro.obs.metrics.
+  MetricsRegistry` under ``serve.*`` / ``serve.tenant.<id>.*`` names.
+
+Determinism contract: every request kind is a pure function of its
+resolved work identity (virtual-time simulation, fixed data seed), so
+sharing one execution across tenants — or serving a cached response — is
+byte-equivalent to running each request serially.  The soak test
+(``tests/serve/test_soak.py``) asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+import repro
+
+from ..plancache import LaunchPlanCache
+from .protocol import (
+    ExperimentRequest,
+    LaunchRequest,
+    RequestError,
+    known_benchmarks,
+    launch_csv,
+    parse_request,
+)
+
+__all__ = [
+    "BackpressureError",
+    "ExperimentService",
+    "ExecutionError",
+    "ServeConfig",
+    "ServiceClosedError",
+    "TenantSession",
+    "reset_serve_stats",
+    "serve_stats",
+]
+
+#: process-wide counters mirrored into the metrics registry — the same
+#: pattern as ``repro.plancache``/``repro.diskcache``, so ``repro bench``
+#: and the trace exporter can absorb serve activity uniformly
+_STATS = {
+    "requests": 0,
+    "rejected": 0,
+    "executed": 0,
+    "errors": 0,
+    "dedupe_leader": 0,
+    "dedupe_shared": 0,
+    "dedupe_cached": 0,
+}
+_STATS_LOCK = threading.Lock()
+
+
+def serve_stats() -> dict:
+    """This process's serve activity (absorbed by ``repro.obs``)."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_serve_stats() -> None:
+    with _STATS_LOCK:
+        for k in _STATS:
+            _STATS[k] = 0
+
+
+def _bump(name: str, n: int = 1) -> None:
+    with _STATS_LOCK:
+        _STATS[name] += n
+
+
+class BackpressureError(RuntimeError):
+    """Admission control rejected the request (HTTP 429).
+
+    ``retry_after_s`` estimates when a slot should free up: current queue
+    depth x the recent mean service time, divided across the worker
+    threads, clamped to [0.05s, 30s].
+    """
+
+    def __init__(self, scope: str, depth: int, limit: int,
+                 retry_after_s: float):
+        super().__init__(
+            f"{scope} queue full ({depth}/{limit}); "
+            f"retry after {retry_after_s:.2f}s"
+        )
+        self.scope = scope
+        self.depth = depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is shutting down and accepts no new work (HTTP 503)."""
+
+
+class ExecutionError(RuntimeError):
+    """The request was admitted but its execution raised (HTTP 500)."""
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Service sizing; ``0`` defers to the environment/defaults.
+
+    Environment fallbacks: ``REPRO_SERVE_WORKERS`` (then the engine's
+    ``REPRO_WORKERS`` auto-size), ``REPRO_SERVE_TENANT_QUEUE`` (default
+    64) and ``REPRO_SERVE_QUEUE`` (default 256).
+    """
+
+    workers: int = 0
+    tenant_queue_limit: int = 0
+    global_queue_limit: int = 0
+    result_cache_size: int = 4096
+
+    def resolved_workers(self) -> int:
+        if self.workers > 0:
+            return self.workers
+        from .. import workers as workers_mod
+
+        return workers_mod.serve_worker_count()
+
+    def resolved_tenant_limit(self) -> int:
+        if self.tenant_queue_limit > 0:
+            return self.tenant_queue_limit
+        return repro.env_int("REPRO_SERVE_TENANT_QUEUE", 64) or 64
+
+    def resolved_global_limit(self) -> int:
+        if self.global_queue_limit > 0:
+            return self.global_queue_limit
+        return repro.env_int("REPRO_SERVE_QUEUE", 256) or 256
+
+
+class TenantSession:
+    """Per-tenant state: its own minicl contexts and device models.
+
+    Sessions are the isolation boundary — a tenant's contexts, queues and
+    built-program cache are never shared — while everything content-
+    addressed (kernel IR, input data, verify reports, JIT code, disk
+    cache, completed responses) is deliberately cross-tenant.
+    """
+
+    def __init__(self, tenant: str):
+        self.tenant = tenant
+        self.created_monotonic = time.monotonic()
+        self.requests = 0
+        self._duts: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def dut(self, device: str):
+        """The tenant's DeviceUnderTest for ``device`` (lazy, cached)."""
+        from ..harness.runner import cpu_dut, gpu_dut
+
+        with self._lock:
+            dut = self._duts.get(device)
+            if dut is None:
+                dut = cpu_dut() if device == "cpu" else gpu_dut()
+                self._duts[device] = dut
+            return dut
+
+
+class _Job:
+    """One admitted unit of work; followers share it via ``done``."""
+
+    __slots__ = ("request", "key", "session", "done", "payload", "error",
+                 "enqueued_monotonic", "started_monotonic")
+
+    def __init__(self, request, key, session):
+        self.request = request
+        self.key = key
+        self.session = session
+        self.done = threading.Event()
+        self.payload: Optional[dict] = None
+        self.error: Optional[BaseException] = None
+        self.enqueued_monotonic = time.monotonic()
+        self.started_monotonic: Optional[float] = None
+
+
+class ExperimentService:
+    """See the module docstring; one instance per daemon."""
+
+    def __init__(self, config: Optional[ServeConfig] = None, registry=None):
+        from .. import diskcache, obs
+
+        self.config = config or ServeConfig()
+        self.registry = registry if registry is not None else obs.REGISTRY
+        self._results = LaunchPlanCache(
+            "serve.results", maxsize=self.config.result_cache_size
+        )
+        self._cond = threading.Condition()
+        self._queues: Dict[str, Deque[_Job]] = {}
+        self._ring: List[str] = []
+        self._rr = 0
+        self._depth = 0
+        self._inflight: Dict[Tuple, _Job] = {}
+        self._sessions: Dict[str, TenantSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._open = True
+        self._started_monotonic = time.monotonic()
+        #: execution start order (tenant, kind) — fairness observability
+        self.executed_order: Deque[Tuple[str, str]] = collections.deque(
+            maxlen=10000
+        )
+        #: EWMA of service seconds, feeding the retry-after estimate
+        self._service_ewma_s = 0.05
+        # a long-lived service should not inherit a dead writer's litter
+        diskcache.sweep_stale_tmp()
+        n = self.config.resolved_workers()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve_{i}", daemon=True
+            )
+            for i in range(n)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- public entry points ------------------------------------------------
+
+    def submit(self, doc: dict) -> dict:
+        """Parse, admit, execute (or join/serve cached) one request.
+
+        Blocking: returns the response envelope, or raises
+        :class:`~repro.serve.protocol.RequestError`,
+        :class:`BackpressureError`, :class:`ServiceClosedError` or
+        :class:`ExecutionError` for the transport to map onto status
+        codes.
+        """
+        return self.submit_request(parse_request(doc))
+
+    def submit_request(
+        self, req: Union[ExperimentRequest, LaunchRequest]
+    ) -> dict:
+        t0 = time.monotonic()
+        session = self._session(req.tenant)
+        session.requests += 1
+        _bump("requests")
+        self.registry.counter("serve.requests").inc()
+        self.registry.counter(f"serve.tenant.{req.tenant}.requests").inc()
+        key = self._dedupe_key(req)
+
+        # 1. completed-response cache (shared cross-tenant)
+        payload = self._results.get(key)
+        if payload is not None:
+            _bump("dedupe_cached")
+            self.registry.counter("serve.dedupe.cached").inc()
+            self.registry.counter(
+                f"serve.tenant.{req.tenant}.dedupe_hits"
+            ).inc()
+            return self._envelope(req, payload, "cached", t0, wait_ms=0.0)
+
+        # 2. in-flight dedupe or fresh admission
+        with self._cond:
+            if not self._open:
+                raise ServiceClosedError("service is shutting down")
+            job = self._inflight.get(key)
+            if job is None:
+                self._admit_locked(req.tenant)
+                job = _Job(req, key, session)
+                self._inflight[key] = job
+                q = self._queues.get(req.tenant)
+                if q is None:
+                    q = self._queues[req.tenant] = collections.deque()
+                    self._ring.append(req.tenant)
+                q.append(job)
+                self._depth += 1
+                self.registry.gauge("serve.queue.depth").set(self._depth)
+                leader = True
+                _bump("dedupe_leader")
+                self.registry.counter("serve.dedupe.leader").inc()
+                self._cond.notify()
+            else:
+                leader = False
+                _bump("dedupe_shared")
+                self.registry.counter("serve.dedupe.shared").inc()
+                self.registry.counter(
+                    f"serve.tenant.{req.tenant}.dedupe_hits"
+                ).inc()
+
+        job.done.wait()
+        if job.error is not None:
+            raise ExecutionError(
+                f"{req.kind} request failed: {job.error}"
+            ) from job.error
+        wait_ms = ((job.started_monotonic or job.enqueued_monotonic)
+                   - job.enqueued_monotonic) * 1e3
+        return self._envelope(
+            req, job.payload, "leader" if leader else "shared", t0,
+            wait_ms=wait_ms,
+        )
+
+    def health(self) -> dict:
+        """The health endpoint's document (cheap, lock-light)."""
+        with self._cond:
+            depth = self._depth
+            open_ = self._open
+        with self._sessions_lock:
+            tenants = len(self._sessions)
+        return {
+            "status": "ok" if open_ else "closing",
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "workers": len(self._threads),
+            "queue_depth": depth,
+            "tenants": tenants,
+            "limits": {
+                "tenant_queue": self.config.resolved_tenant_limit(),
+                "global_queue": self.config.resolved_global_limit(),
+            },
+            "stats": serve_stats(),
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Everything observable in one JSON document (the /v1/metrics body).
+
+        Folds the process-wide cache/JIT/disk/serve stats into the
+        registry first, so the snapshot is self-contained.
+        """
+        self.registry.absorb_cache_stats()
+        self.registry.absorb_jit_stats()
+        self.registry.absorb_disk_cache_stats()
+        self.registry.absorb_serve_stats()
+        return {
+            "schema": 1,
+            "serve": serve_stats(),
+            "results_cache": self._results.stats(),
+            "metrics": self.registry.snapshot(),
+        }
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop accepting work, run the queues dry, join the workers.
+
+        Jobs already admitted complete normally (their submitters are
+        blocked waiting on them); anything submitted after close raises
+        :class:`ServiceClosedError`.
+        """
+        with self._cond:
+            self._open = False
+            self._cond.notify_all()
+        deadline = time.monotonic() + timeout
+        for t in self._threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _session(self, tenant: str) -> TenantSession:
+        with self._sessions_lock:
+            s = self._sessions.get(tenant)
+            if s is None:
+                s = self._sessions[tenant] = TenantSession(tenant)
+                self.registry.gauge("serve.tenants").set(len(self._sessions))
+            return s
+
+    def _admit_locked(self, tenant: str) -> None:
+        """Bounded-queue admission; raises BackpressureError when full."""
+        tenant_limit = self.config.resolved_tenant_limit()
+        global_limit = self.config.resolved_global_limit()
+        q = self._queues.get(tenant)
+        tenant_depth = len(q) if q is not None else 0
+        if self._depth >= global_limit:
+            scope, depth, limit = "global", self._depth, global_limit
+        elif tenant_depth >= tenant_limit:
+            scope, depth, limit = "tenant", tenant_depth, tenant_limit
+        else:
+            return
+        _bump("rejected")
+        self.registry.counter("serve.rejected").inc()
+        self.registry.counter(f"serve.tenant.{tenant}.rejected").inc()
+        workers = max(1, len(self._threads))
+        retry = min(30.0, max(0.05, depth * self._service_ewma_s / workers))
+        raise BackpressureError(scope, depth, limit, retry)
+
+    def _next_job_locked(self) -> Optional[_Job]:
+        """Round-robin over tenants: at most one job per tenant per pass."""
+        n = len(self._ring)
+        for i in range(n):
+            tenant = self._ring[(self._rr + i) % n]
+            q = self._queues[tenant]
+            if q:
+                self._rr = (self._rr + i + 1) % n
+                self._depth -= 1
+                self.registry.gauge("serve.queue.depth").set(self._depth)
+                return q.popleft()
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while self._open and self._depth == 0:
+                    self._cond.wait()
+                if not self._open and self._depth == 0:
+                    return
+                job = self._next_job_locked()
+            if job is not None:
+                self._run_job(job)
+
+    def _run_job(self, job: _Job) -> None:
+        job.started_monotonic = time.monotonic()
+        req = job.request
+        self.executed_order.append((req.tenant, req.kind))
+        try:
+            job.payload = self._execute_request(req, job.session)
+            _bump("executed")
+            self.registry.counter("serve.executed").inc()
+        except BaseException as e:  # noqa: BLE001 - surfaced to submitters
+            job.error = e
+            _bump("errors")
+            self.registry.counter("serve.errors").inc()
+        finally:
+            elapsed = time.monotonic() - job.started_monotonic
+            self._service_ewma_s = (
+                0.8 * self._service_ewma_s + 0.2 * elapsed
+            )
+            self.registry.histogram("serve.service_ms").observe(
+                elapsed * 1e3
+            )
+            self.registry.histogram("serve.queue.wait_ms").observe(
+                (job.started_monotonic - job.enqueued_monotonic) * 1e3
+            )
+            with self._cond:
+                self._inflight.pop(job.key, None)
+            if job.error is None and job.payload is not None:
+                self._results.put(job.key, job.payload)
+            job.done.set()
+
+    # -- execution -----------------------------------------------------------
+
+    def _dedupe_key(self, req) -> Tuple:
+        """Cross-tenant work identity.
+
+        Experiments: (name, fast).  Launches: the issue's contract —
+        ``Kernel.fingerprint()`` + the resolved launch configuration
+        (scaled global size, resolved local size, scalar values, buffer
+        sizes) + target device, mirroring the harness verify cache key so
+        differently-spelled but identical launches coalesce.
+        """
+        if isinstance(req, ExperimentRequest):
+            return req.work_key()
+        from ..harness.runner import bench_data, kernel_ir
+
+        bench = known_benchmarks()[req.benchmark]
+        gs = req.global_size or tuple(bench.default_global_sizes[0])
+        kernel, launch_gs, resolved_ls = bench.resolved_launch(
+            gs, coalesce=req.coalesce, local_size=req.local_size,
+            kernel=kernel_ir(bench, req.coalesce),
+        )
+        host, scalars = bench_data(bench, gs)
+        scalars = {**scalars, **bench.scalars_for(req.coalesce)}
+        return (
+            "launch",
+            req.device,
+            kernel.fingerprint(),
+            launch_gs,
+            resolved_ls,
+            tuple(sorted((k, float(v)) for k, v in scalars.items())),
+            tuple(sorted((k, int(v.shape[0])) for k, v in host.items())),
+        )
+
+    def _execute_request(self, req, session: TenantSession) -> dict:
+        """Run one admitted request; returns the cacheable result payload."""
+        if isinstance(req, ExperimentRequest):
+            from ..harness.registry import run_experiment
+
+            result = run_experiment(req.name, req.fast)
+            return {
+                "csv": result.to_csv(),
+                "notes": list(result.notes),
+                "title": result.title,
+            }
+        return self._execute_launch(req, session)
+
+    def _execute_launch(self, req: LaunchRequest,
+                        session: TenantSession) -> dict:
+        from ..harness.runner import measure_kernel
+
+        bench = known_benchmarks()[req.benchmark]
+        gs = req.global_size or tuple(bench.default_global_sizes[0])
+        dut = session.dut(req.device)
+        m = measure_kernel(
+            dut, bench, gs,
+            req.local_size, coalesce=req.coalesce,
+        )
+        return {
+            "csv": launch_csv(req, m),
+            "launch": {
+                "benchmark": req.benchmark,
+                "device": req.device,
+                "global_size": list(gs),
+                "local_size": (None if req.local_size is None
+                               else list(req.local_size)),
+                "coalesce": req.coalesce,
+                "mean_ns": m.mean_ns,
+                "invocations": m.invocations,
+                "total_virtual_ns": m.total_virtual_ns,
+            },
+        }
+
+    # -- response assembly ---------------------------------------------------
+
+    def _envelope(self, req, payload: dict, dedupe: str, t0: float,
+                  wait_ms: float) -> dict:
+        total_ms = (time.monotonic() - t0) * 1e3
+        self.registry.histogram("serve.latency_ms").observe(total_ms)
+        self.registry.histogram(
+            f"serve.tenant.{req.tenant}.latency_ms"
+        ).observe(total_ms)
+        out = {
+            "ok": True,
+            "kind": req.kind,
+            "tenant": req.tenant,
+            "dedupe": dedupe,
+            "csv": payload["csv"],
+            "trace": {
+                "queue_wait_ms": round(wait_ms, 3),
+                "total_ms": round(total_ms, 3),
+            },
+        }
+        if req.request_id is not None:
+            out["request_id"] = req.request_id
+        if isinstance(req, ExperimentRequest):
+            out["name"] = req.name
+            out["fast"] = req.fast
+            out["notes"] = payload.get("notes", [])
+            out["title"] = payload.get("title")
+        else:
+            out["benchmark"] = req.benchmark
+            out["launch"] = payload.get("launch")
+        return out

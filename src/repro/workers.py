@@ -9,6 +9,11 @@ scheduler) separates command retirement from data-parallel kernel work:
   (:mod:`repro.kernelir.compile`) — NumPy releases the GIL on array ops,
   so chunks of a fused launch genuinely overlap on host cores.
 
+A third **serve pool** executes whole tenant requests for the experiment
+service (:mod:`repro.serve`).  It sits *above* the other two: a serve
+worker may retire commands through the command pool and fan a kernel over
+the chunk pool, so it must never share slots with either.
+
 Keeping them separate avoids the classic nested-pool deadlock: a command
 node that itself fans a kernel out over workers must never wait on a slot
 in its own pool.
@@ -34,6 +39,7 @@ __all__ = [
     "chunk_pool",
     "command_pool",
     "ooo_enabled",
+    "serve_worker_count",
     "set_worker_count",
     "shutdown_pools",
     "worker_count",
@@ -61,6 +67,17 @@ def set_worker_count(n: Optional[int]) -> None:
     """In-process override of ``REPRO_WORKERS`` (``None`` restores it)."""
     global _override
     _override = None if n is None else int(n)
+
+
+def serve_worker_count() -> int:
+    """Concurrent request executors for the experiment service.
+
+    ``REPRO_SERVE_WORKERS`` overrides; unset/``0`` follows
+    :func:`worker_count` so the service defaults to the same width as the
+    engine pools it feeds.
+    """
+    n = repro.env_int("REPRO_SERVE_WORKERS", 0)
+    return n if n > 0 else worker_count()
 
 
 def ooo_enabled() -> bool:

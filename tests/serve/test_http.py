@@ -1,0 +1,170 @@
+"""The HTTP transport (:mod:`repro.serve.http`).
+
+Exercises every route and every status-code mapping against a live
+``ThreadingHTTPServer`` on an ephemeral port, with the service's
+execution stubbed where the test is about transport, and real where the
+test is about end-to-end behavior.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ExperimentService, ServeConfig, reset_serve_stats
+from repro.serve.http import MAX_BODY_BYTES, ExperimentHTTPServer
+from repro.serve.service import BackpressureError, ExecutionError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_serve_stats()
+    yield
+    reset_serve_stats()
+
+
+@pytest.fixture
+def stub_server():
+    import threading
+
+    svc = ExperimentService(ServeConfig(workers=1),
+                            registry=MetricsRegistry())
+    svc._execute_request = lambda req, session: {
+        "csv": "h\n1\n", "notes": [], "title": "stub",
+    }
+    server = ExperimentHTTPServer(("127.0.0.1", 0), service=svc)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+
+
+def _post(server, doc, raw=None):
+    data = raw if raw is not None else json.dumps(doc).encode()
+    req = urllib.request.Request(
+        server.url + "/v1/submit", data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _expect_error(server, status, doc=None, raw=None, path="/v1/submit",
+                  method="POST"):
+    try:
+        if method == "GET":
+            urllib.request.urlopen(server.url + path, timeout=30)
+        else:
+            _post(server, doc, raw=raw)
+    except urllib.error.HTTPError as e:
+        assert e.code == status
+        return e, json.loads(e.read())
+    raise AssertionError(f"expected HTTP {status}")
+
+
+class TestRoutes:
+    def test_submit_ok(self, stub_server):
+        status, body = _post(stub_server, {
+            "kind": "experiment", "tenant": "acme", "name": "fig1",
+            "request_id": "r1",
+        })
+        assert status == 200
+        assert body["ok"] and body["csv"] == "h\n1\n"
+        assert body["request_id"] == "r1"
+        assert body["dedupe"] == "leader"
+        assert body["trace"]["total_ms"] >= 0
+
+    def test_healthz_and_metrics(self, stub_server):
+        _post(stub_server, {"kind": "experiment", "tenant": "acme",
+                            "name": "fig1"})
+        status, health = _get(stub_server, "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["stats"]["requests"] == 1
+        status, metrics = _get(stub_server, "/v1/metrics")
+        assert status == 200
+        assert metrics["schema"] == 1
+        assert metrics["metrics"]["counters"]["serve.requests"] == 1
+
+    def test_unknown_routes_404(self, stub_server):
+        _, body = _expect_error(stub_server, 404, path="/nope", method="GET")
+        assert body["error"] == "not_found"
+        # posting to an unknown path also 404s
+        try:
+            urllib.request.urlopen(urllib.request.Request(
+                stub_server.url + "/v2/submit", data=b"{}"), timeout=30)
+            raise AssertionError("expected 404")
+        except urllib.error.HTTPError as e:
+            assert e.code == 404
+
+
+class TestErrorMapping:
+    def test_bad_json_400(self, stub_server):
+        _, body = _expect_error(stub_server, 400, raw=b"{not json")
+        assert body["error"] == "bad_json"
+
+    def test_bad_request_400(self, stub_server):
+        _, body = _expect_error(stub_server, 400,
+                                doc={"kind": "bogus", "tenant": "a"})
+        assert body["error"] == "bad_request"
+        assert "kind" in body["message"]
+
+    def test_oversized_body_413(self, stub_server):
+        raw = b"[" + b"1," * MAX_BODY_BYTES + b"1]"
+        _, body = _expect_error(stub_server, 413, raw=raw)
+        assert body["error"] == "too_large"
+
+    def test_backpressure_429_with_retry_after(self, stub_server):
+        def throttled(doc):
+            raise BackpressureError("tenant", 5, 4, 1.25)
+
+        stub_server.service.submit = throttled
+        err, body = _expect_error(stub_server, 429,
+                                  doc={"kind": "experiment", "tenant": "a",
+                                       "name": "fig1"})
+        assert body["error"] == "backpressure"
+        assert float(err.headers["Retry-After"]) == pytest.approx(1.25)
+
+    def test_execution_failure_500(self, stub_server):
+        def broken(doc):
+            raise ExecutionError("experiment request failed: boom")
+
+        stub_server.service.submit = broken
+        _, body = _expect_error(stub_server, 500,
+                                doc={"kind": "experiment", "tenant": "a",
+                                     "name": "fig1"})
+        assert body["error"] == "execution"
+        assert "boom" in body["message"]
+
+
+class TestEndToEnd:
+    def test_real_launch_over_http(self):
+        server = ExperimentHTTPServer(
+            ("127.0.0.1", 0), config=ServeConfig(workers=2))
+        import threading
+
+        t = threading.Thread(target=server.serve_forever, daemon=True)
+        t.start()
+        try:
+            status, body = _post(server, {
+                "kind": "launch", "tenant": "e2e", "benchmark": "Square",
+            })
+            assert status == 200
+            assert body["ok"]
+            assert body["launch"]["benchmark"] == "Square"
+            assert body["csv"].startswith("benchmark,device,")
+            # same request again: served from the shared result cache
+            status, again = _post(server, {
+                "kind": "launch", "tenant": "other", "benchmark": "Square",
+            })
+            assert again["dedupe"] == "cached"
+            assert again["csv"] == body["csv"]
+        finally:
+            server.close()

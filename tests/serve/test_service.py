@@ -1,0 +1,366 @@
+"""The experiment service core (:mod:`repro.serve.service`).
+
+Covers the four properties the service layer adds over the engine:
+request validation (protocol), cross-tenant dedupe (one execution per
+identity, leader/shared/cached labels), fair round-robin scheduling
+(no tenant starves another), and admission control (bounded queues,
+retry-after, clean shutdown).  Stubbed-execution services make the
+scheduling tests deterministic; a final section runs real requests and
+asserts byte-identity against serial execution.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    BackpressureError,
+    ExperimentRequest,
+    ExperimentService,
+    RequestError,
+    ServeConfig,
+    ServiceClosedError,
+    parse_request,
+    reset_serve_stats,
+    serve_stats,
+)
+from repro.serve.protocol import LaunchRequest, launch_csv
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_serve_stats()
+    yield
+    reset_serve_stats()
+
+
+class GatedService(ExperimentService):
+    """Execution replaced by a gate + recorder: scheduling tests only."""
+
+    def __init__(self, config):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.executions = []
+        self._exec_lock = threading.Lock()
+        super().__init__(config, registry=MetricsRegistry())
+
+    def _execute_request(self, req, session):
+        self.started.set()
+        assert self.gate.wait(timeout=30), "test gate never opened"
+        with self._exec_lock:
+            self.executions.append((req.tenant, req.name))
+        return {"csv": f"csv-for-{req.name}\n", "notes": [], "title": req.name}
+
+
+def _submit_async(svc, req):
+    """Fire submit_request on a thread; returns (thread, box-of-result)."""
+    box = {}
+
+    def run():
+        try:
+            box["resp"] = svc.submit_request(req)
+        except Exception as e:  # noqa: BLE001 - surfaced via box
+            box["err"] = e
+
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    return t, box
+
+
+def _wait_depth(svc, depth, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if svc.health()["queue_depth"] == depth:
+            return
+        time.sleep(0.005)
+    raise AssertionError(
+        f"queue depth never reached {depth} "
+        f"(now {svc.health()['queue_depth']})"
+    )
+
+
+class TestProtocol:
+    def test_rejects_bad_kind_and_tenant(self):
+        with pytest.raises(RequestError, match="kind"):
+            parse_request({"kind": "nope", "tenant": "a"})
+        with pytest.raises(RequestError, match="tenant"):
+            parse_request({"kind": "experiment", "tenant": "bad tenant!",
+                           "name": "fig1"})
+        with pytest.raises(RequestError, match="JSON object"):
+            parse_request([1, 2])
+
+    def test_unknown_names_list_known(self):
+        with pytest.raises(RequestError, match="known:.*fig1"):
+            parse_request({"kind": "experiment", "tenant": "a",
+                           "name": "fig99"})
+        with pytest.raises(RequestError, match="known:.*Square"):
+            parse_request({"kind": "launch", "tenant": "a",
+                           "benchmark": "NoSuchBench"})
+
+    def test_launch_validation(self):
+        req = parse_request({"kind": "launch", "tenant": "a",
+                             "benchmark": "Square", "coalesce": 2,
+                             "request_id": "r1"})
+        assert isinstance(req, LaunchRequest)
+        assert req.request_id == "r1"
+        with pytest.raises(RequestError, match="divisible"):
+            parse_request({"kind": "launch", "tenant": "a",
+                           "benchmark": "Square", "global_size": [30],
+                           "coalesce": 7})
+        with pytest.raises(RequestError, match="global_size"):
+            parse_request({"kind": "launch", "tenant": "a",
+                           "benchmark": "Square", "global_size": [0]})
+        with pytest.raises(RequestError, match="device"):
+            parse_request({"kind": "launch", "tenant": "a",
+                           "benchmark": "Square", "device": "tpu"})
+
+    def test_work_key_excludes_tenant_and_request_id(self):
+        a = ExperimentRequest(tenant="t1", name="fig1", request_id="x")
+        b = ExperimentRequest(tenant="t2", name="fig1", request_id="y")
+        assert a.work_key() == b.work_key()
+
+    def test_launch_csv_shape(self):
+        class M:
+            mean_ns = 123.5
+            invocations = 7
+            total_virtual_ns = 864.5
+
+        req = LaunchRequest(tenant="a", benchmark="Square")
+        text = launch_csv(req, M())
+        header, row, tail = text.split("\n")
+        assert tail == ""
+        assert header.startswith("benchmark,device,global_size")
+        assert row == "Square,cpu,default,NULL,1,123.5,7,864.5"
+
+
+class TestDedupe:
+    def test_concurrent_identical_requests_execute_once(self):
+        svc = GatedService(ServeConfig(workers=2))
+        try:
+            reqs = [ExperimentRequest(tenant=f"t{i}", name="same")
+                    for i in range(8)]
+            pending = [_submit_async(svc, r) for r in reqs]
+            svc.started.wait(timeout=10)
+            # all 8 are in (leader executing, followers parked on the job)
+            deadline = time.monotonic() + 10
+            while serve_stats()["requests"] < 8:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            svc.gate.set()
+            for t, _ in pending:
+                t.join(timeout=30)
+            resps = [box["resp"] for _, box in pending]
+            assert len(svc.executions) == 1
+            labels = sorted(r["dedupe"] for r in resps)
+            assert labels.count("leader") == 1
+            assert labels.count("shared") == 7
+            assert {r["csv"] for r in resps} == {"csv-for-same\n"}
+            # a later identical request is served from the result cache
+            again = svc.submit_request(
+                ExperimentRequest(tenant="t9", name="same"))
+            assert again["dedupe"] == "cached"
+            assert again["csv"] == "csv-for-same\n"
+            assert len(svc.executions) == 1
+            s = serve_stats()
+            assert s["executed"] == 1
+            assert s["dedupe_leader"] == 1
+            assert s["dedupe_shared"] == 7
+            assert s["dedupe_cached"] == 1
+        finally:
+            svc.gate.set()
+            svc.close()
+
+    def test_distinct_requests_all_execute(self):
+        svc = GatedService(ServeConfig(workers=4))
+        svc.gate.set()
+        try:
+            names = [f"exp{i}" for i in range(5)]
+            for n in names:
+                svc.submit_request(ExperimentRequest(tenant="t0", name=n))
+            assert sorted(n for _, n in svc.executions) == names
+        finally:
+            svc.close()
+
+
+class TestFairness:
+    def test_round_robin_interleaves_tenants(self):
+        svc = GatedService(ServeConfig(workers=1))
+        try:
+            # occupy the single worker, then stack 3 jobs per tenant
+            blocker = ExperimentRequest(tenant="z", name="blocker")
+            pending = [_submit_async(svc, blocker)]
+            assert svc.started.wait(timeout=10)
+            for i in range(3):
+                for tenant in ("alpha", "beta"):
+                    pending.append(_submit_async(
+                        svc,
+                        ExperimentRequest(tenant=tenant, name=f"{tenant}{i}"),
+                    ))
+            _wait_depth(svc, 6)
+            svc.gate.set()
+            for t, _ in pending:
+                t.join(timeout=30)
+            tenants = [t for t, _ in svc.executions]
+            assert tenants[0] == "z"
+            # round-robin: the two backlogged tenants strictly alternate
+            tail = tenants[1:]
+            assert sorted(tail) == ["alpha"] * 3 + ["beta"] * 3
+            for a, b in zip(tail, tail[1:]):
+                assert a != b, f"tenant {a} ran twice in a row: {tenants}"
+        finally:
+            svc.gate.set()
+            svc.close()
+
+
+class TestAdmission:
+    def test_tenant_queue_limit_rejects_with_retry_after(self):
+        svc = GatedService(ServeConfig(workers=1, tenant_queue_limit=2,
+                                       global_queue_limit=100))
+        try:
+            pending = [_submit_async(
+                svc, ExperimentRequest(tenant="hog", name="blocker"))]
+            assert svc.started.wait(timeout=10)
+            for i in range(2):
+                pending.append(_submit_async(
+                    svc, ExperimentRequest(tenant="hog", name=f"q{i}")))
+            _wait_depth(svc, 2)
+            with pytest.raises(BackpressureError) as ei:
+                svc.submit_request(
+                    ExperimentRequest(tenant="hog", name="overflow"))
+            assert ei.value.scope == "tenant"
+            assert ei.value.retry_after_s > 0
+            # another tenant is unaffected by the hog's full queue
+            pending.append(_submit_async(
+                svc, ExperimentRequest(tenant="quiet", name="fine")))
+            _wait_depth(svc, 3)
+            assert serve_stats()["rejected"] == 1
+            svc.gate.set()
+            for t, box in pending:
+                t.join(timeout=30)
+                assert "resp" in box
+        finally:
+            svc.gate.set()
+            svc.close()
+
+    def test_global_queue_limit(self):
+        svc = GatedService(ServeConfig(workers=1, tenant_queue_limit=100,
+                                       global_queue_limit=2))
+        try:
+            pending = [_submit_async(
+                svc, ExperimentRequest(tenant="a", name="blocker"))]
+            assert svc.started.wait(timeout=10)
+            for tenant in ("b", "c"):
+                pending.append(_submit_async(
+                    svc, ExperimentRequest(tenant=tenant, name=tenant)))
+            _wait_depth(svc, 2)
+            with pytest.raises(BackpressureError) as ei:
+                svc.submit_request(ExperimentRequest(tenant="d", name="d"))
+            assert ei.value.scope == "global"
+            svc.gate.set()
+            for t, _ in pending:
+                t.join(timeout=30)
+        finally:
+            svc.gate.set()
+            svc.close()
+
+    def test_close_drains_then_rejects(self):
+        svc = GatedService(ServeConfig(workers=2))
+        svc.gate.set()
+        resp = svc.submit_request(ExperimentRequest(tenant="a", name="x"))
+        assert resp["ok"]
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit_request(ExperimentRequest(tenant="a", name="y"))
+
+
+class TestMetrics:
+    def test_per_tenant_isolation(self):
+        svc = GatedService(ServeConfig(workers=2))
+        svc.gate.set()
+        try:
+            for _ in range(3):
+                svc.submit_request(ExperimentRequest(tenant="tA", name="n1"))
+            svc.submit_request(ExperimentRequest(tenant="tB", name="n2"))
+            reg = svc.registry
+            assert reg.counter("serve.tenant.tA.requests").value == 3
+            assert reg.counter("serve.tenant.tB.requests").value == 1
+            # tA's repeats were cache hits; tB executed fresh
+            assert reg.counter("serve.tenant.tA.dedupe_hits").value == 2
+            assert reg.counter("serve.tenant.tB.dedupe_hits").value == 0
+            assert reg.histogram("serve.tenant.tA.latency_ms").count == 3
+            assert reg.histogram("serve.tenant.tB.latency_ms").count == 1
+        finally:
+            svc.close()
+
+    def test_snapshot_and_health_shape(self):
+        svc = GatedService(ServeConfig(workers=1))
+        svc.gate.set()
+        try:
+            svc.submit_request(ExperimentRequest(tenant="t", name="n"))
+            h = svc.health()
+            assert h["status"] == "ok"
+            assert h["workers"] == 1
+            assert h["tenants"] == 1
+            assert h["stats"]["requests"] == 1
+            snap = svc.metrics_snapshot()
+            assert snap["schema"] == 1
+            assert snap["serve"]["executed"] == 1
+            assert "serve.requests" in snap["metrics"]["counters"]
+            assert snap["metrics"]["gauges"]["serve.totals.requests"] == 1
+        finally:
+            svc.close()
+
+
+class TestRealExecution:
+    """Unstubbed requests: service responses match serial execution."""
+
+    def test_launch_matches_serial(self):
+        from repro.serve.loadgen import serial_csv
+
+        doc = {"kind": "launch", "tenant": "real", "benchmark": "Square"}
+        svc = ExperimentService(ServeConfig(workers=2),
+                                registry=MetricsRegistry())
+        try:
+            resp = svc.submit(dict(doc))
+            assert resp["ok"] and resp["dedupe"] == "leader"
+            assert resp["csv"] == serial_csv(doc)
+            assert resp["launch"]["invocations"] >= 1
+            # identical re-submission from another tenant: cached, same bytes
+            resp2 = svc.submit({**doc, "tenant": "other"})
+            assert resp2["dedupe"] == "cached"
+            assert resp2["csv"] == resp["csv"]
+        finally:
+            svc.close()
+
+    def test_spelled_out_default_launch_shares_the_dedupe_group(self):
+        """An explicit global size equal to the default resolves to the
+        same fingerprint + launch config, so it never re-executes."""
+        from repro.serve.protocol import known_benchmarks
+
+        gs = list(known_benchmarks()["Square"].default_global_sizes[0])
+        svc = ExperimentService(ServeConfig(workers=2),
+                                registry=MetricsRegistry())
+        try:
+            a = svc.submit({"kind": "launch", "tenant": "t1",
+                            "benchmark": "Square"})
+            b = svc.submit({"kind": "launch", "tenant": "t2",
+                            "benchmark": "Square", "global_size": gs})
+            assert a["dedupe"] == "leader"
+            assert b["dedupe"] == "cached"
+        finally:
+            svc.close()
+
+    def test_experiment_matches_serial_cli(self):
+        from repro.harness.registry import run_experiment
+
+        svc = ExperimentService(ServeConfig(workers=2),
+                                registry=MetricsRegistry())
+        try:
+            resp = svc.submit({"kind": "experiment", "tenant": "real",
+                               "name": "fig1", "fast": True})
+            assert resp["ok"]
+            assert resp["csv"] == run_experiment("fig1", True).to_csv()
+        finally:
+            svc.close()

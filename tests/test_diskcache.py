@@ -178,6 +178,71 @@ class TestConcurrency:
         assert diskcache.load_kernel(key)["source"] == payload["source"]
 
 
+class TestMultiProcessConcurrency:
+    """Two *processes* racing writers on one key (the serve-hot path).
+
+    The thread test above shares one ``_tmp_counter``; separate processes
+    do not, so this is the real atomic-rename contract: each writer loops
+    publishing its own complete payload, a reader in the parent loads
+    concurrently, and every load must be either a miss or one of the two
+    complete payloads — never a torn or mixed entry.
+    """
+
+    def test_two_process_writers_race_one_key(self, cache_root):
+        import subprocess
+        import sys
+        import textwrap
+
+        key = ("mp-race",)
+        script = textwrap.dedent("""
+            import sys
+            from repro import diskcache
+            tag = sys.argv[1]
+            payload = {"source": tag * 2000}
+            for _ in range(150):
+                diskcache.store_kernel(("mp-race",), payload)
+        """)
+        import os
+
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(cache_root)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script, tag], env=env)
+            for tag in ("A", "B")
+        ]
+        valid = {"A" * 2000, "B" * 2000}
+        torn = []
+        while any(p.poll() is None for p in procs):
+            p = diskcache.load_kernel(key)
+            if p is not None and p.get("source") not in valid:
+                torn.append(p)
+        for p in procs:
+            assert p.wait() == 0
+        assert not torn
+        final = diskcache.load_kernel(key)
+        assert final is not None and final["source"] in valid
+        assert not list(cache_root.rglob("*.tmp"))
+
+    def test_sweep_stale_tmp_removes_only_old_orphans(self, cache_root):
+        import os
+        import time
+
+        diskcache.store_kernel(("sweep",), {"source": "x = 1"})
+        vdir = next(p for p in cache_root.iterdir() if p.is_dir())
+        stale = vdir / "kernels" / ".dead.json.1.0.tmp"
+        fresh = vdir / "kernels" / ".live.json.2.0.tmp"
+        stale.write_text("{")
+        fresh.write_text("{")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        assert diskcache.sweep_stale_tmp(max_age_seconds=3600) == 1
+        assert not stale.exists()
+        assert fresh.exists()  # an in-flight write is never swept
+        # the published entry is untouched
+        assert diskcache.load_kernel(("sweep",)) is not None
+
+
 class TestMaintenance:
     def test_usage_and_clear(self, cache_root):
         diskcache.store_kernel(("u1",), {"source": "x = 1"})
