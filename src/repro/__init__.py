@@ -52,8 +52,10 @@ anything else means *on*:
 switches; they get the value-parsing helpers :func:`env_int` and
 :func:`env_value` next to :func:`env_flag`.  The experiment service
 (:mod:`repro.serve`, ``python -m repro serve``) adds the value-carrying
-``REPRO_SERVE_{HOST,PORT,WORKERS,QUEUE,TENANT_QUEUE}`` family, documented
-in ``docs/SERVE.md``.
+``REPRO_SERVE_{HOST,PORT,WORKERS,QUEUE,TENANT_QUEUE,PERSIST}`` family,
+documented in ``docs/SERVE.md``.  The zero-copy data plane
+(:mod:`repro.shm`, documented in ``docs/PERF.md``) adds ``REPRO_SHM``
+(kill switch, default on) and ``REPRO_SHM_MAX_MB`` (per-segment cap).
 """
 
 from __future__ import annotations
@@ -77,6 +79,11 @@ ENV_VARS = {
     "REPRO_SERVE_WORKERS": "service execution threads (0/unset = engine auto)",
     "REPRO_SERVE_QUEUE": "service global admission queue limit (default 256)",
     "REPRO_SERVE_TENANT_QUEUE": "service per-tenant queue limit (default 64)",
+    "REPRO_SERVE_PERSIST": "persist serve results to the disk cache "
+                           "(daemon default on; 0 = off)",
+    "REPRO_SHM": "zero-copy shared-memory data plane (default on; 0 = off)",
+    "REPRO_SHM_MAX_MB": "per-segment shared-memory size cap in MB "
+                        "(default 512)",
 }
 
 

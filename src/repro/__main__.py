@@ -188,6 +188,7 @@ def _finish_trace(tracer, path) -> None:
     obs.REGISTRY.absorb_scheduler_stats()
     obs.REGISTRY.absorb_analysis_stats()
     obs.REGISTRY.absorb_tune_stats()
+    obs.REGISTRY.absorb_data_plane_stats()
     out = obs.write_trace(tracer, path, registry=obs.REGISTRY)
     msg = f"[trace] wrote {out} ({len(tracer.events)} events)"
     if tracer.dropped:
@@ -272,6 +273,7 @@ def cmd_bench(args) -> int:
             workers=args.workers or 1,
             queue=args.queue or "inorder",
             tuned=getattr(args, "tuned", None),
+            profile=getattr(args, "profile", False),
         )
     finally:
         if tracer is not None:
@@ -644,13 +646,14 @@ def cmd_tune(args) -> int:
     return 0
 
 
-def _serve_config(args):
+def _serve_config(args, persistent=None):
     from .serve import ServeConfig
 
     return ServeConfig(
         workers=args.workers or 0,
         tenant_queue_limit=args.tenant_queue or 0,
         global_queue_limit=args.queue_limit or 0,
+        persistent=persistent,
     )
 
 
@@ -683,8 +686,16 @@ def cmd_serve(args) -> int:
     if args.replay is None:
         port = (args.port if args.port is not None
                 else repro_mod.env_int("REPRO_SERVE_PORT", 8752))
+        # the long-lived daemon persists its result cache across restarts
+        # (the serve partition); --no-persist or REPRO_SERVE_PERSIST=0
+        # turn it off, --replay's ephemeral daemon stays process-local
+        persistent = (
+            False if args.no_persist
+            else repro_mod.env_value("REPRO_SERVE_PERSIST") != "0"
+        )
         server, thread = start_server(
-            host, port, config=_serve_config(args), verbose=args.verbose
+            host, port, config=_serve_config(args, persistent=persistent),
+            verbose=args.verbose,
         )
         print(f"[serve] listening on {server.url} "
               f"(POST /v1/submit, GET /healthz, GET /v1/metrics)")
@@ -881,6 +892,10 @@ def main(argv=None) -> int:
     p_bench.add_argument("--tuned", metavar="FILE",
                          help="add a tuned-vs-default virtual-time section "
                               "from a 'repro tune' output file")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="cProfile each phase (warm suite, uncached "
+                              "suite, microbench) and print the top-20 "
+                              "cumulative frames")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_tune = sub.add_parser(
@@ -1001,7 +1016,8 @@ def main(argv=None) -> int:
         "clear", help="delete every cached entry (all code versions)"
     )
     c_clear.add_argument("--partition",
-                         choices=("kernels", "plans", "verify", "tune"),
+                         choices=("kernels", "plans", "verify", "tune",
+                                  "analysis", "serve"),
                          help="only clear this partition (e.g. reset sweep "
                               "stores without nuking compiled kernels)")
     c_clear.set_defaults(fn=cmd_cache)
@@ -1031,6 +1047,11 @@ def main(argv=None) -> int:
                               "(env: REPRO_QUEUE)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log each HTTP request to stderr")
+    p_serve.add_argument("--no-persist", action="store_true",
+                         help="do not persist the daemon's result cache to "
+                              "the disk cache's serve partition (persistence "
+                              "is on for the daemon by default; env: "
+                              "REPRO_SERVE_PERSIST=0)")
     p_serve.add_argument("--replay", metavar="BATCH",
                          help="replay a batch JSON file ('builtin' = the "
                               "canned CI batch) instead of serving forever")

@@ -18,7 +18,14 @@ Two entry kinds live under ``~/.cache/repro`` (override with
   abstract-interpretation fixpoint and the race rules entirely;
 * **tune** — the auto-tuner's measured objective for one (kernel, knob
   point) pair, so repeated or widened sweeps re-run only new points
-  (see :mod:`repro.tune.store`).
+  (see :mod:`repro.tune.store`);
+* **analysis** — one serialized dataflow verdict bundle per
+  (kernel fingerprint, launch shape, referenced scalars) — the replayable
+  form of :class:`repro.kernelir.dataflow.KernelDataflow`, so warm runs
+  skip the abstract-interpretation fixpoint entirely;
+* **serve** — one experiment-service result payload per dedupe key
+  (:mod:`repro.serve.service`), so the response cache survives daemon
+  restarts and is shared between ``serve`` and CLI runs.
 
 Entries are partitioned by a **code version** — a hash over the source of
 every module that defines generated-code semantics — so upgrading the repo
@@ -48,13 +55,17 @@ __all__ = [
     "code_version",
     "disk_cache_stats",
     "enabled",
+    "load_analysis",
     "load_kernel",
     "load_plan",
+    "load_serve",
     "load_tune",
     "load_verify",
     "reset_disk_cache_stats",
+    "store_analysis",
     "store_kernel",
     "store_plan",
+    "store_serve",
     "store_tune",
     "store_verify",
     "sweep_stale_tmp",
@@ -62,7 +73,7 @@ __all__ = [
 ]
 
 #: the entry kinds (subdirectories) a version directory may contain
-PARTITIONS = ("kernels", "plans", "verify", "tune")
+PARTITIONS = ("kernels", "plans", "verify", "tune", "analysis", "serve")
 
 #: modules whose source defines the semantics of generated code and of the
 #: cached plan verdicts; any edit to them must invalidate the cache
@@ -91,6 +102,12 @@ _STATS = {
     "tune_hits": 0,
     "tune_misses": 0,
     "tune_stores": 0,
+    "analysis_hits": 0,
+    "analysis_misses": 0,
+    "analysis_stores": 0,
+    "serve_hits": 0,
+    "serve_misses": 0,
+    "serve_stores": 0,
     "errors": 0,
 }
 
@@ -280,6 +297,63 @@ def store_tune(key: tuple, payload: dict) -> None:
         return
     _STATS["tune_stores"] += 1
     _store("tune", key, payload)
+
+
+# -- dataflow analysis verdicts ---------------------------------------------
+
+
+def load_analysis(key: tuple) -> Optional[dict]:
+    """Cached serialized dataflow bundle for one launch key, or ``None``.
+
+    Payloads carry the replayable fact groups of one
+    :class:`~repro.kernelir.dataflow.KernelDataflow` (findings, access
+    rows, vectorizer facts); the deserializer treats anything it cannot
+    reconstruct as a miss, so a corrupt entry re-analyzes instead of
+    crashing.
+    """
+    if not enabled():
+        return None
+    payload = _load("analysis", key)
+    if payload is None or not isinstance(payload.get("accesses"), list):
+        _STATS["analysis_misses"] += 1
+        return None
+    _STATS["analysis_hits"] += 1
+    return payload
+
+
+def store_analysis(key: tuple, payload: dict) -> None:
+    if not enabled():
+        return
+    _STATS["analysis_stores"] += 1
+    _store("analysis", key, payload)
+
+
+# -- experiment-service results ---------------------------------------------
+
+
+def load_serve(key: tuple) -> Optional[dict]:
+    """Cached ``{"result": {...}}`` payload for one service dedupe key.
+
+    The key is the service's cross-tenant dedupe identity (kernel
+    fingerprint + resolved launch config), so a restarted daemon — or a
+    CLI run on the same machine — answers repeat requests from disk
+    without executing anything.
+    """
+    if not enabled():
+        return None
+    payload = _load("serve", key)
+    if payload is None or not isinstance(payload.get("result"), dict):
+        _STATS["serve_misses"] += 1
+        return None
+    _STATS["serve_hits"] += 1
+    return payload
+
+
+def store_serve(key: tuple, payload: dict) -> None:
+    if not enabled():
+        return
+    _STATS["serve_stores"] += 1
+    _store("serve", key, payload)
 
 
 # -- maintenance / reporting ------------------------------------------------

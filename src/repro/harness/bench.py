@@ -22,10 +22,13 @@ beyond a threshold — the CI bench smoke job fails on that.
 
 from __future__ import annotations
 
-import concurrent.futures
+import cProfile
+import contextlib
+import io
 import json
 import os
 import pathlib
+import pstats
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,37 +39,111 @@ __all__ = ["SCHEMA", "compare", "load_baseline", "merge_run", "run_bench",
 
 SCHEMA = 1
 
+#: per-experiment analysis counters summed into the suite aggregate
+_ANALYSIS_KEYS = ("analysis_requests", "kernels_analyzed",
+                  "analysis_disk_hits")
+#: per-experiment shared-memory counters, aggregated the same way
+_SHM_KEYS = ("published", "attach_hits", "attach_misses", "publish_races",
+             "bytes_mapped")
 
-def _timed_run(name: str, fast: bool) -> Tuple[str, float]:
-    """Module-level so worker processes can unpickle the task."""
+
+def _timed_run(name: str, fast: bool) -> Tuple[str, float, dict]:
+    """Module-level so worker processes can unpickle the task.
+
+    Returns the analysis- and SHM-counter *deltas* of the run alongside
+    the wall time: persistent pool workers accumulate process-wide
+    counters across many tasks, so per-task deltas are the only numbers
+    that sum cleanly into a suite-wide figure regardless of how tasks
+    landed on workers.
+    """
+    from .. import shm
+    from ..kernelir import dataflow
     from .registry import run_experiment
 
+    before = dataflow.analysis_stats()
+    shm_before = shm.shm_stats()
     t0 = time.perf_counter()
     run_experiment(name, fast=fast)
-    return name, time.perf_counter() - t0
+    dt = time.perf_counter() - t0
+    after = dataflow.analysis_stats()
+    shm_after = shm.shm_stats()
+    delta = {k: after.get(k, 0) - before.get(k, 0) for k in _ANALYSIS_KEYS}
+    for k in _SHM_KEYS:
+        delta[k] = shm_after.get(k, 0) - shm_before.get(k, 0)
+    return name, dt, delta
+
+
+def _warm_worker(names: Sequence[str], fast: bool) -> Tuple[dict, dict]:
+    """Run the whole suite inside one pool worker (broadcast warmup).
+
+    Each worker executes every experiment once so the timed pass hits
+    warm in-process caches no matter which worker a task lands on.
+    Returns (per-name seconds, summed stat deltas) for LPT ordering and
+    the suite-wide data-plane aggregate.
+    """
+    times: dict = {}
+    agg = {k: 0 for k in _ANALYSIS_KEYS + _SHM_KEYS}
+    for n in names:
+        _, dt, delta = _timed_run(n, fast)
+        times[n] = dt
+        for k in agg:
+            agg[k] += int(delta.get(k, 0))
+    return times, agg
 
 
 def _time_suite(
     names: Sequence[str], fast: bool, workers: int = 1
-) -> Tuple[Dict[str, float], float]:
-    """(per-experiment seconds, suite wall-clock seconds).
+) -> Tuple[Dict[str, float], float, dict]:
+    """(per-experiment seconds, suite wall-clock seconds, analysis agg).
 
     Serial (``workers <= 1``) runs in-process; otherwise experiments fan
-    out over a process pool and per-experiment numbers come back from the
-    workers while the wall clock is measured here.
+    out over the repo's persistent worker pool (``registry.pool_map`` —
+    batched dispatch, shared-memory datasets) and per-experiment numbers
+    come back from the workers while the wall clock is measured here.
+    The third element aggregates the per-task analysis-counter deltas, so
+    the suite's fixpoint-skip rate is visible even when the work ran in
+    worker processes.
     """
+    from .registry import pool_map
+
     t0 = time.perf_counter()
-    if workers <= 1 or len(names) <= 1:
-        out: Dict[str, float] = {}
-        for name in names:
-            out[name] = _timed_run(name, fast)[1]
-        return out, time.perf_counter() - t0
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(workers, len(names))
-    ) as pool:
-        futures = [pool.submit(_timed_run, n, fast) for n in names]
-        out = dict(f.result() for f in futures)
-    return out, time.perf_counter() - t0
+    rows = pool_map(_timed_run, [(n, fast) for n in names], jobs=workers)
+    wall = time.perf_counter() - t0
+    out = {name: dt for name, dt, _ in rows}
+    agg = {k: 0 for k in _ANALYSIS_KEYS + _SHM_KEYS}
+    for _, _, delta in rows:
+        for k in _ANALYSIS_KEYS + _SHM_KEYS:
+            agg[k] += int(delta.get(k, 0))
+    req = agg["analysis_requests"]
+    agg["cache_hit_rate"] = (
+        round(max(0, req - agg["kernels_analyzed"]) / req, 4) if req else 0.0
+    )
+    return out, wall, agg
+
+
+@contextlib.contextmanager
+def _profiled(label: str, enabled: bool, log):
+    """cProfile one bench phase and log its top-20 cumulative frames.
+
+    Profiles *this* process: with worker fan-out the suite phases mostly
+    show pool supervision (the real work is in the workers — profile a
+    serial run to see it), while the microbench phase always runs here.
+    """
+    if not enabled:
+        yield
+        return
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        buf = io.StringIO()
+        pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(20)
+        log(f"[bench] profile: {label} (top 20 by cumulative time)")
+        for line in buf.getvalue().splitlines():
+            if line.strip():
+                log(f"[bench]   {line}")
 
 
 def _microbench() -> Dict[str, dict]:
@@ -261,6 +338,7 @@ def run_bench(
     workers: int = 1,
     queue: str = "inorder",
     tuned: Optional[str] = None,
+    profile: bool = False,
     log=print,
 ) -> dict:
     """Run the wall-clock benchmark and return one JSON-ready *run* dict.
@@ -273,6 +351,8 @@ def run_bench(
     ``tuned`` names a ``repro tune`` output file; the run dict then gains
     a ``tuned`` section comparing tuned vs paper-default virtual time per
     benchmark in the file (virtual time, so it composes with any mode).
+    ``profile=True`` wraps each phase (warm suite, uncached suite,
+    microbench) in cProfile and logs its top-20 cumulative frames.
     """
     from .registry import EXPERIMENTS
 
@@ -307,7 +387,38 @@ def run_bench(
     if queue == "ooo":
         os.environ["REPRO_QUEUE"] = "ooo"
     try:
-        timings, wall = _time_suite(names, fast, workers)
+        warmup_wall = None
+        warmup_agg: dict = {}
+        timed_names = names
+        if workers > 1:
+            # parallel mode measures steady-state pool throughput: an
+            # untimed broadcast pass runs the whole suite in *every*
+            # worker, warming each one's in-process caches (JIT plans,
+            # datasets via shared memory, analysis LRU) so the timed pass
+            # is warm no matter where a task lands; the timed pass then
+            # runs longest-task-first (LPT) so the makespan is not
+            # hostage to a long tail scheduled last
+            from .registry import pool_map
+
+            with _profiled("warmup suite", profile, log):
+                t0 = time.perf_counter()
+                warm_rows = pool_map(
+                    _warm_worker, [(names, fast)] * workers, jobs=workers
+                )
+                warmup_wall = time.perf_counter() - t0
+            warm_t: Dict[str, float] = {}
+            warmup_agg = {k: 0 for k in _SHM_KEYS}
+            for times, agg_part in warm_rows:
+                for n, dt in times.items():
+                    warm_t[n] = max(warm_t.get(n, 0.0), dt)
+                for k in _SHM_KEYS:
+                    warmup_agg[k] += int(agg_part.get(k, 0))
+            timed_names = sorted(names, key=lambda n: -warm_t.get(n, 0.0))
+            log(f"[bench] worker warmup: {warmup_wall:.2f}s")
+        with _profiled("warm suite", profile, log):
+            timings, wall, suite_analysis = _time_suite(
+                timed_names, fast, workers
+            )
         total = wall if workers > 1 else sum(timings.values())
         stats = plancache.cache_stats()
         jit = klcompile.compile_stats()
@@ -330,12 +441,39 @@ def run_bench(
             "jit": jit,
         }
         run["analysis"] = dataflow.analysis_stats()
+        # cross-process aggregate of the warm suite's per-task deltas —
+        # accurate whether the experiments ran here or in pool workers
+        run["suite_analysis"] = {
+            k: suite_analysis[k]
+            for k in _ANALYSIS_KEYS + ("cache_hit_rate",)
+        }
+        log(
+            f"[bench] warm-suite analysis: "
+            f"{suite_analysis['analysis_requests']} request(s), "
+            f"{suite_analysis['kernels_analyzed']} fixpoint run(s), "
+            f"hit rate {suite_analysis['cache_hit_rate']}"
+        )
         run["disk_cache"] = diskcache.disk_cache_stats()
+        from .. import shm, workers as workers_mod
+
+        # SHM counters live in whichever processes ran the tasks; the
+        # per-task deltas (warmup + timed pass) aggregate them correctly
+        suite_shm = {
+            k: int(warmup_agg.get(k, 0)) + int(suite_analysis.get(k, 0))
+            for k in _SHM_KEYS
+        }
+        run["data_plane"] = {
+            "pool": workers_mod.pool_stats(),
+            "shm": suite_shm,
+        }
+        if warmup_wall is not None:
+            run["warmup_seconds"] = round(warmup_wall, 4)
         if clschedule is not None:
             run["scheduler"] = clschedule.scheduler_stats()
         if workers > 1:
             # stats above are in-process; the parallel suite ran in worker
             # processes, so record that they describe this process only
+            # (suite_analysis is the cross-process exception)
             run["stats_scope"] = "main process (suite ran in workers)"
 
         if measure_speedup:
@@ -347,8 +485,10 @@ def run_bench(
             prev_nc = os.environ.get("REPRO_NO_CACHE")
             os.environ["REPRO_NO_CACHE"] = "1"  # reaches worker processes
             try:
-                with plancache.caching_disabled():
-                    uncached, uwall = _time_suite(names, fast, workers)
+                with plancache.caching_disabled(), _profiled(
+                    "uncached suite", profile, log
+                ):
+                    uncached, uwall, _ = _time_suite(names, fast, workers)
             finally:
                 if prev_nc is None:
                     os.environ.pop("REPRO_NO_CACHE", None)
@@ -365,8 +505,11 @@ def run_bench(
             )
 
         if microbench:
-            run["microbench"] = _microbench()
-            run["analysis"] = dataflow.analysis_stats()
+            with _profiled("microbench", profile, log):
+                run["microbench"] = _microbench()
+            # NB: run["analysis"] deliberately keeps the warm-suite
+            # snapshot — re-snapshotting here used to fold the uncached
+            # rerun's forced misses into the reported hit rate
             if clschedule is not None:
                 # the microbench exercises the DAG engine, so re-snapshot
                 run["scheduler"] = clschedule.scheduler_stats()

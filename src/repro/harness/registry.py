@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import concurrent.futures
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -61,7 +60,15 @@ def pool_map(fn, argtuples: Sequence[tuple], jobs: int = 1) -> List:
     and serial runs produce identical output, and ``fn`` must be a
     module-level callable (picklable) whose inputs are self-contained.
     Knobs that must reach workers travel via ``REPRO_*`` environment
-    variables, which the pool inherits.
+    variables, snapshotted per batch so mid-process flips (the bench
+    harness's cache-off phase) reach the long-lived workers too.
+
+    Execution goes through :func:`repro.workers.process_pool` — persistent
+    forked workers with batched dispatch and shared-memory result spill —
+    so consecutive calls reuse warm processes instead of paying fork +
+    import + dataset pickling per call.  The pool survives successful
+    calls and ordinary task exceptions; it is torn down (and lazily
+    rebuilt) only on interruption or worker death.
 
     Interruption and worker death are survivable: ``KeyboardInterrupt``
     and a broken pool (a worker killed by the OOM killer, ``os._exit``, a
@@ -71,15 +78,15 @@ def pool_map(fn, argtuples: Sequence[tuple], jobs: int = 1) -> List:
     exceptions raised *by* ``fn`` keep their existing contract: they
     propagate unchanged (first-submitted wins) once the pool is drained.
     """
+    from .. import workers
+
     argtuples = list(argtuples)
     if jobs <= 1 or len(argtuples) <= 1:
         return [fn(*args) for args in argtuples]
-    pool = concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(jobs, len(argtuples))
-    )
+    pool = workers.process_pool(min(jobs, len(argtuples)))
     results: List[Optional[object]] = [None] * len(argtuples)
     try:
-        futures = [pool.submit(fn, *args) for args in argtuples]
+        futures = pool.submit_batch(fn, argtuples)
         for i, f in enumerate(futures):
             results[i] = f.result()
         return results
@@ -93,8 +100,6 @@ def pool_map(fn, argtuples: Sequence[tuple], jobs: int = 1) -> List:
             else "worker process died"
         )
         raise WorkerPoolError(f"worker pool {reason}", results, e) from e
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
 
 EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "table1": table1.run,

@@ -37,7 +37,37 @@ __all__ = [
     "analyze_kernel",
     "affine_index",
     "AffineIndex",
+    "referenced_names",
 ]
+
+
+#: per-fingerprint cache for :func:`referenced_names` (kernel IR is
+#: immutable once fingerprinted, so the scan never goes stale)
+_REFERENCED_NAMES: dict = {}
+
+
+def referenced_names(kernel: "ir.Kernel") -> frozenset:
+    """Every variable name the kernel's expressions can read.
+
+    The static analyses resolve scalar kernel arguments by *name* lookups
+    into ``LaunchContext.scalars`` — nothing else in the context's scalar
+    dict can influence a verdict.  Cache keys built from launches therefore
+    only need the scalars this set names: two launches differing in an
+    unreferenced scalar (common in the harness, which passes every
+    benchmark scalar to every kernel of a family) share one analysis.
+    """
+    fp = kernel.fingerprint()
+    names = _REFERENCED_NAMES.get(fp)
+    if names is None:
+        found = set()
+        for s in ir.walk_stmts(kernel.body):
+            for root in ir.stmt_exprs(s):
+                for e in ir.walk_exprs(root):
+                    if isinstance(e, ir.Var):
+                        found.add(e.name)
+        names = frozenset(found)
+        _REFERENCED_NAMES[fp] = names
+    return names
 
 
 @dataclasses.dataclass(frozen=True)

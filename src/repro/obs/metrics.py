@@ -177,6 +177,24 @@ class MetricsRegistry:
         for k, v in stats.items():
             self.gauge(f"serve.totals.{k}").set(v)
 
+    def absorb_data_plane_stats(self, pool: Optional[dict] = None,
+                                shm: Optional[dict] = None) -> None:
+        """Pull the zero-copy data plane's counters into gauges —
+        :func:`repro.workers.pool_stats` under ``pool.*`` and
+        :func:`repro.shm.shm_stats` under ``shm.*``."""
+        if pool is None:
+            from .. import workers
+
+            pool = workers.pool_stats()
+        if shm is None:
+            from .. import shm as shm_mod
+
+            shm = shm_mod.shm_stats()
+        for k, v in pool.items():
+            self.gauge(f"pool.{k}").set(v)
+        for k, v in shm.items():
+            self.gauge(f"shm.{k}").set(v)
+
     def absorb_tune_stats(self, stats: Optional[dict] = None) -> None:
         """Pull :func:`repro.tune.tune_stats` into gauges."""
         if stats is None:

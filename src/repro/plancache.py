@@ -119,7 +119,11 @@ class LaunchPlanCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
-        _STATS.setdefault(name, {"hits": 0, "misses": 0})
+        self.evictions = 0
+        _STATS.setdefault(name, {"hits": 0, "misses": 0, "evictions": 0})
+        # older entries (pickled stats from other processes) may predate
+        # the evictions counter
+        _STATS[name].setdefault("evictions", 0)
         _INSTANCES.add(self)
 
     # -- core -----------------------------------------------------------------
@@ -179,10 +183,16 @@ class LaunchPlanCache:
         while self.maxsize is not None and len(self._data) > self.maxsize:
             _, old = self._data.popitem(last=False)
             self._weight -= self._weigh(old)
+            self._evicted()
         if self.max_weight is not None:
             while self._weight > self.max_weight and len(self._data) > 1:
                 _, old = self._data.popitem(last=False)
                 self._weight -= self._weigh(old)
+                self._evicted()
+
+    def _evicted(self) -> None:
+        self.evictions += 1
+        _STATS[self.name]["evictions"] += 1
 
     # -- introspection --------------------------------------------------------
     def __len__(self) -> int:
@@ -202,6 +212,7 @@ class LaunchPlanCache:
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
             "entries": len(self._data),
+            "evictions": self.evictions,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -220,6 +231,7 @@ def cache_stats() -> Dict[str, dict]:
             "hits": c["hits"],
             "misses": c["misses"],
             "hit_rate": round(c["hits"] / total, 4) if total else 0.0,
+            "evictions": c.get("evictions", 0),
         }
     return out
 
@@ -229,6 +241,7 @@ def reset_stats() -> None:
     for c in _STATS.values():
         c["hits"] = 0
         c["misses"] = 0
+        c["evictions"] = 0
 
 
 def invalidate_all() -> None:

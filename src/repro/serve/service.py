@@ -77,6 +77,7 @@ _STATS = {
     "dedupe_leader": 0,
     "dedupe_shared": 0,
     "dedupe_cached": 0,
+    "dedupe_persistent": 0,
 }
 _STATS_LOCK = threading.Lock()
 
@@ -139,6 +140,17 @@ class ServeConfig:
     tenant_queue_limit: int = 0
     global_queue_limit: int = 0
     result_cache_size: int = 4096
+    #: persist completed responses to the disk cache's ``serve`` partition
+    #: so dedupe survives daemon restarts and is shared with CLI runs.
+    #: ``None`` defers to ``REPRO_SERVE_PERSIST`` (default off — embedded
+    #: services, like the test suite's, stay process-local); the ``repro
+    #: serve`` daemon turns it on.
+    persistent: Optional[bool] = None
+
+    def resolved_persistent(self) -> bool:
+        if self.persistent is not None:
+            return self.persistent
+        return repro.env_flag("REPRO_SERVE_PERSIST")
 
     def resolved_workers(self) -> int:
         if self.workers > 0:
@@ -275,6 +287,22 @@ class ExperimentService:
                 f"serve.tenant.{req.tenant}.dedupe_hits"
             ).inc()
             return self._envelope(req, payload, "cached", t0, wait_ms=0.0)
+
+        # 1b. persistent result cache (shared across daemon restarts and
+        # with CLI runs; opt-in via ServeConfig.persistent / REPRO_SERVE_PERSIST)
+        if self.config.resolved_persistent():
+            from .. import diskcache
+
+            stored = diskcache.load_serve(key)
+            if stored is not None:
+                payload = stored["result"]
+                self._results.put(key, payload)
+                _bump("dedupe_persistent")
+                self.registry.counter("serve.dedupe.persistent").inc()
+                self.registry.counter(
+                    f"serve.tenant.{req.tenant}.dedupe_hits"
+                ).inc()
+                return self._envelope(req, payload, "cached", t0, wait_ms=0.0)
 
         # 2. in-flight dedupe or fresh admission
         with self._cond:
@@ -447,6 +475,15 @@ class ExperimentService:
                 self._inflight.pop(job.key, None)
             if job.error is None and job.payload is not None:
                 self._results.put(job.key, job.payload)
+                if self.config.resolved_persistent():
+                    from .. import diskcache
+
+                    try:
+                        diskcache.store_serve(
+                            job.key, {"result": job.payload}
+                        )
+                    except Exception:
+                        pass  # persistence is an optimization, never fatal
             job.done.set()
 
     # -- execution -----------------------------------------------------------

@@ -1,0 +1,528 @@
+"""Content-addressed shared-memory segments: the zero-copy data plane.
+
+``registry.pool_map`` used to re-pickle every input dataset into every
+worker process on every call; for the Table II benchmarks that is ~130 MB
+of host arrays serialized per job.  This module gives the repo what a CPU
+OpenCL runtime gets from mapping one ``clCreateBuffer`` allocation into
+every device thread: a dataset is **materialized once per machine**, placed
+in a POSIX shared-memory segment whose name is a content address of the
+producing key, and every other process maps it read-only with zero copies.
+
+Two segment kinds share the machinery:
+
+* **array segments** (:func:`publish_arrays` / :func:`attach_arrays`) hold
+  one ``harness.bench_data`` entry — named numpy arrays plus the pickled
+  scalar dict — keyed exactly like the in-memory data cache
+  (``(_bench_key(bench), global_size)`` + the suite-source digest);
+* **blob segments** (:func:`publish_blob` / :func:`take_blob`) spill one
+  large pickled worker result; the consumer unlinks after reading, so a
+  blob lives for exactly one parent/worker handoff.
+
+Ownership and cleanup mirror :func:`repro.diskcache.sweep_stale_tmp`:
+
+* the *creator* of a segment immediately takes manual ownership away from
+  :mod:`multiprocessing.resource_tracker` (forked workers share the
+  parent's tracker process, so the default register/unregister accounting
+  double-counts and must not be trusted) and records a JSON sidecar under
+  ``cache_dir()/shm/`` naming the owning pid;
+* clean exits unlink every segment this pid created
+  (:func:`release_all`, hooked into ``workers.shutdown_pools`` and
+  ``atexit``);
+* :func:`sweep_stale_segments` reclaims segments whose owner pid is dead
+  (a killed worker) — it runs on every pool start.  Unlinking only removes
+  the name: processes that already mapped the segment keep a valid view,
+  so sweeping can never corrupt a live reader.
+
+``REPRO_SHM=0`` disables the plane entirely (callers fall back to their
+per-process paths); ``REPRO_SHM_MAX_MB`` caps the size of any single
+segment (default 512).
+"""
+
+from __future__ import annotations
+
+import atexit
+import errno
+import hashlib
+import json
+import os
+import pickle
+import struct
+import time
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "attach_arrays",
+    "module_digest",
+    "publish_arrays",
+    "publish_blob",
+    "release_all",
+    "reset_shm_stats",
+    "shm_enabled",
+    "shm_stats",
+    "sweep_stale_segments",
+    "take_blob",
+]
+
+#: every segment name starts with this (the sweep and the CI leak check
+#: match on it; never shorten it to something another tool could own)
+_PREFIX = "repro-shm-"
+
+_HEADER_LEN = struct.Struct("<Q")
+
+#: segments created by this process: name -> (SharedMemory, owner pid).
+#: The pid guard matters under fork: a worker inherits the parent's dict
+#: and must not unlink the parent's segments at its own exit.
+_owned: Dict[str, Tuple[object, int]] = {}
+
+#: segments this process mapped (kept open for the process lifetime —
+#: numpy views into the mapping may outlive any cache entry)
+_attached: Dict[str, object] = {}
+
+#: in-process attach refcounts per segment (diagnostics; views share maps)
+_refs: Dict[str, int] = {}
+
+_STATS = {
+    "published": 0,
+    "publish_races": 0,
+    "attach_hits": 0,
+    "attach_misses": 0,
+    "bytes_mapped": 0,
+    "blobs_published": 0,
+    "blobs_taken": 0,
+    "segments_swept": 0,
+    "errors": 0,
+}
+
+
+def shm_enabled() -> bool:
+    """The zero-copy plane honors its own kill switch (default on)."""
+    import repro
+
+    return repro.env_value("REPRO_SHM") != "0"
+
+
+_IS_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Flag this process as a pool worker (set right after fork).
+
+    Dataset *publishing* only pays off when sibling processes can attach;
+    callers use :func:`is_worker_process` to skip the publish memcpy in
+    single-process runs.
+    """
+    global _IS_WORKER
+    _IS_WORKER = True
+
+
+def is_worker_process() -> bool:
+    return _IS_WORKER
+
+
+def max_segment_bytes() -> int:
+    """Per-segment size cap from ``REPRO_SHM_MAX_MB`` (default 512 MB)."""
+    import repro
+
+    mb = repro.env_int("REPRO_SHM_MAX_MB", 512)
+    return max(1, mb) * (1 << 20)
+
+
+def shm_stats() -> dict:
+    out = dict(_STATS)
+    out["owned"] = len(_owned)
+    out["attached"] = len(_attached)
+    return out
+
+
+def reset_shm_stats() -> None:
+    for k in _STATS:
+        _STATS[k] = 0
+
+
+@lru_cache(maxsize=None)
+def module_digest(modname: str) -> str:
+    """Short digest of a module's source file — folded into dataset keys so
+    an edited ``make_data`` never aliases a stale segment published by an
+    older checkout (same discipline as ``diskcache.code_version``)."""
+    import importlib
+
+    try:
+        mod = importlib.import_module(modname)
+        data = Path(mod.__file__).read_bytes()
+    except Exception:
+        data = modname.encode()
+    return hashlib.sha1(data).hexdigest()[:12]
+
+
+def _segment_name(key: tuple) -> str:
+    return _PREFIX + hashlib.sha1(repr(key).encode()).hexdigest()[:24]
+
+
+def _sidecar_dir() -> Path:
+    from . import diskcache
+
+    return diskcache.cache_dir() / "shm"
+
+
+def _write_sidecar(name: str, kind: str) -> None:
+    try:
+        d = _sidecar_dir()
+        d.mkdir(parents=True, exist_ok=True)
+        tmp = d / f".{name}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump({"pid": os.getpid(), "kind": kind,
+                       "created": time.time()}, f)
+        os.replace(tmp, d / f"{name}.json")
+    except OSError:
+        _STATS["errors"] += 1
+
+
+def _remove_sidecar(name: str) -> None:
+    try:
+        (_sidecar_dir() / f"{name}.json").unlink()
+    except OSError:
+        pass
+
+
+def _untrack(seg) -> None:
+    """Take ownership away from the (fork-shared) resource tracker."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _create(name: str, size: int, kind: str):
+    """Create + claim one segment, or ``None`` when it already exists."""
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+    except FileExistsError:
+        _STATS["publish_races"] += 1
+        return None
+    except OSError:
+        _STATS["errors"] += 1
+        return None
+    _untrack(seg)
+    _owned[name] = (seg, os.getpid())
+    _write_sidecar(name, kind)
+    return seg
+
+
+def _attach(name: str):
+    """Map an existing segment (cached for the process lifetime)."""
+    seg = _attached.get(name)
+    if seg is not None:
+        _refs[name] = _refs.get(name, 0) + 1
+        return seg
+    entry = _owned.get(name)
+    if entry is not None:
+        _refs[name] = _refs.get(name, 0) + 1
+        return entry[0]
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return None
+    except ValueError:
+        # racing publisher: segment created but not yet sized (mmap of an
+        # empty file) — treat as a miss, the caller generates its own copy
+        return None
+    _untrack(seg)
+    _attached[name] = seg
+    _refs[name] = _refs.get(name, 0) + 1
+    _STATS["bytes_mapped"] += seg.size
+    return seg
+
+
+# -- array segments (bench input datasets) ----------------------------------
+
+
+def publish_arrays(key: tuple, arrays: Dict[str, "object"],
+                   scalars=None) -> bool:
+    """Place named arrays + a pickled scalar dict into one shared segment.
+
+    Returns True when the dataset is available under ``key`` afterwards
+    (freshly published *or* already present); False when the plane is off,
+    the dataset exceeds the segment cap, or a non-array value slips in.
+    """
+    import numpy as np
+
+    if not shm_enabled():
+        return False
+    table = []
+    offset = 0
+    blob = pickle.dumps(scalars if scalars is not None else {})
+    for aname, a in arrays.items():
+        if not isinstance(a, np.ndarray):
+            return False
+        a = np.ascontiguousarray(a)
+        offset = (offset + 63) & ~63
+        table.append({"name": aname, "dtype": a.dtype.str,
+                      "shape": list(a.shape), "offset": offset,
+                      "nbytes": int(a.nbytes)})
+        offset += a.nbytes
+    offset = (offset + 63) & ~63
+    header = json.dumps({"arrays": table,
+                         "pickle": [offset, len(blob)]}).encode()
+    base = _HEADER_LEN.size + len(header)
+    total = base + offset + len(blob)
+    if total > max_segment_bytes():
+        return False
+    name = _segment_name(key)
+    seg = _create(name, total, "data")
+    if seg is None:
+        # racing publisher (or a previous run) already materialized it
+        return name in _owned or _probe(name)
+    try:
+        buf = seg.buf
+        buf[_HEADER_LEN.size:base] = header
+        for rec, a in zip(table, arrays.values()):
+            a = np.ascontiguousarray(a)
+            start = base + rec["offset"]
+            buf[start:start + rec["nbytes"]] = a.tobytes()
+        pstart = base + offset
+        buf[pstart:pstart + len(blob)] = blob
+        # the length field is the publication barrier: written last, so a
+        # concurrent attacher seeing it nonzero sees complete content
+        buf[:_HEADER_LEN.size] = _HEADER_LEN.pack(len(header))
+    except Exception:
+        _STATS["errors"] += 1
+        _release_owned(name)
+        return False
+    _STATS["published"] += 1
+    return True
+
+
+def _probe(name: str) -> bool:
+    return _attach(name) is not None
+
+
+def attach_arrays(key: tuple):
+    """Zero-copy read-only views of a published dataset, or ``None``.
+
+    Returns ``(arrays, scalars)`` with every array a read-only numpy view
+    into the mapping — no bytes are copied.  The mapping stays open for
+    the process lifetime, so views are safe to cache and hand out.
+    """
+    import numpy as np
+
+    if not shm_enabled():
+        return None
+    seg = _attach(_segment_name(key))
+    if seg is None:
+        _STATS["attach_misses"] += 1
+        return None
+    try:
+        buf = seg.buf
+        (hlen,) = _HEADER_LEN.unpack(bytes(buf[:_HEADER_LEN.size]))
+        if hlen == 0:
+            # publisher still copying (the length field is written last)
+            _STATS["attach_misses"] += 1
+            return None
+        base = _HEADER_LEN.size + hlen
+        header = json.loads(bytes(buf[_HEADER_LEN.size:base]))
+        arrays = {}
+        for rec in header["arrays"]:
+            v = np.ndarray(tuple(rec["shape"]), dtype=np.dtype(rec["dtype"]),
+                           buffer=buf, offset=base + rec["offset"])
+            v.setflags(write=False)
+            arrays[rec["name"]] = v
+        poff, plen = header["pickle"]
+        scalars = pickle.loads(bytes(buf[base + poff:base + poff + plen]))
+    except Exception:
+        _STATS["errors"] += 1
+        _STATS["attach_misses"] += 1
+        return None
+    _STATS["attach_hits"] += 1
+    return arrays, scalars
+
+
+# -- blob segments (large worker-result spill) ------------------------------
+
+
+def publish_blob(data: bytes) -> Optional[str]:
+    """Spill one byte payload; returns the segment name or ``None``.
+
+    Content-addressed: two workers producing identical payloads share one
+    segment.  The consumer (:func:`take_blob`) unlinks after reading.
+    """
+    if not shm_enabled() or len(data) > max_segment_bytes():
+        return None
+    name = _PREFIX + "b" + hashlib.sha1(data).hexdigest()[:24]
+    total = _HEADER_LEN.size + len(data)
+    seg = _create(name, total, "blob")
+    if seg is None:
+        return name if _probe(name) else None
+    try:
+        seg.buf[:_HEADER_LEN.size] = _HEADER_LEN.pack(len(data))
+        seg.buf[_HEADER_LEN.size:total] = data
+    except Exception:
+        _STATS["errors"] += 1
+        _release_owned(name)
+        return None
+    # a blob must outlive its creator until the consumer takes it: drop it
+    # from this process's exit cleanup and let take_blob / the sweep unlink
+    _owned.pop(name, None)
+    _STATS["blobs_published"] += 1
+    return name
+
+
+def take_blob(name: str) -> Optional[bytes]:
+    """Read a spilled payload and unlink the segment (consume-once)."""
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return None
+    # no _untrack here: attach registered the name, unlink unregisters it —
+    # the pair keeps the fork-shared resource tracker's cache balanced
+    try:
+        (n,) = _HEADER_LEN.unpack(bytes(seg.buf[:_HEADER_LEN.size]))
+        data = bytes(seg.buf[_HEADER_LEN.size:_HEADER_LEN.size + n])
+    except Exception:
+        _STATS["errors"] += 1
+        data = None
+    try:
+        seg.close()
+        seg.unlink()
+    except OSError:
+        pass
+    _remove_sidecar(name)
+    if data is not None:
+        _STATS["blobs_taken"] += 1
+    return data
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def _release_owned(name: str) -> None:
+    entry = _owned.pop(name, None)
+    if entry is None:
+        return
+    seg, pid = entry
+    if pid != os.getpid():
+        return
+    try:
+        seg.close()
+    except BufferError:
+        pass  # live views exist; unlink alone removes the name
+    except OSError:
+        pass
+    try:
+        # balance the tracker cache: unlink() sends an unregister, but the
+        # name was untracked at create — re-register first so the shared
+        # resource-tracker process doesn't log a KeyError
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(seg._name, "shared_memory")
+    except Exception:
+        pass
+    try:
+        seg.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+    _remove_sidecar(name)
+
+
+def release_all() -> None:
+    """Unlink every segment this pid created and drop attachments.
+
+    Called by ``workers.shutdown_pools()`` and at interpreter exit; safe to
+    call repeatedly.  Attached mappings with exported numpy views survive
+    (closing them would invalidate live arrays); only the names go away.
+    """
+    for name in [n for n, (_, pid) in list(_owned.items())
+                 if pid == os.getpid()]:
+        _release_owned(name)
+    for name, seg in list(_attached.items()):
+        try:
+            seg.close()
+        except BufferError:
+            continue  # numpy views still alive: keep the mapping
+        except OSError:
+            pass
+        _attached.pop(name, None)
+        _refs.pop(name, None)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError as e:
+        return e.errno != errno.ESRCH
+    return True
+
+
+def sweep_stale_segments(max_age_seconds: float = 3600.0) -> int:
+    """Reclaim segments whose owning process is gone.
+
+    The SHM mirror of :func:`repro.diskcache.sweep_stale_tmp`: a worker
+    killed between create and exit leaves its segment behind; the next
+    pool start sweeps it.  Segments with a live owner are never touched,
+    and sidecar-less ``/dev/shm`` residue is removed once old enough (a
+    crash exactly between create and sidecar publish).  Returns the number
+    of segments unlinked.
+    """
+    from multiprocessing import shared_memory
+
+    removed = 0
+    d = _sidecar_dir()
+    if d.is_dir():
+        for sc in list(d.glob("*.json")):
+            name = sc.stem
+            try:
+                with open(sc, "r", encoding="utf-8") as f:
+                    meta = json.load(f)
+                pid = int(meta.get("pid", -1))
+            except (OSError, ValueError):
+                pid = -1
+            if pid == os.getpid() or (pid > 0 and _pid_alive(pid)):
+                continue
+            try:
+                # attach registers with the tracker; unlink unregisters —
+                # a balanced pair, so no _untrack in between
+                seg = shared_memory.SharedMemory(name=name)
+                seg.close()
+                seg.unlink()
+                removed += 1
+            except (FileNotFoundError, OSError):
+                pass
+            _remove_sidecar(name)
+        for tmp in list(d.glob("*.tmp")):
+            try:
+                if tmp.stat().st_mtime < time.time() - max_age_seconds:
+                    tmp.unlink()
+            except OSError:
+                pass
+    devshm = Path("/dev/shm")
+    if devshm.is_dir():
+        cutoff = time.time() - max_age_seconds
+        for f in devshm.glob(_PREFIX + "*"):
+            if f.name in _owned or f.name in _attached:
+                continue
+            if (d / f"{f.name}.json").exists():
+                continue  # has an owner record; handled above
+            try:
+                if f.stat().st_mtime < cutoff:
+                    f.unlink()
+                    removed += 1
+            except OSError:
+                pass
+    _STATS["segments_swept"] += removed
+    return removed
+
+
+atexit.register(release_all)

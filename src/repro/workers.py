@@ -24,21 +24,39 @@ environment in-process (the CLI's ``--workers`` writes the environment
 variable instead so the choice survives into ``--jobs`` subprocesses).
 Pools are created lazily and rebuilt when the effective count changes, so
 tests can flip the count mid-process.
+
+A fourth pool is a **persistent process pool** (:func:`process_pool`,
+:class:`BatchedProcessPool`): long-lived forked workers fed over queues in
+**batches** so IPC round-trips amortize across jobs, with large results
+spilled through :mod:`repro.shm` instead of the result pipe.  It replaces
+the throwaway ``ProcessPoolExecutor`` that ``registry.pool_map`` used to
+build per call (fork + warm-up + full dataset pickling on every call).
+Stale shared-memory segments from crashed runs are swept on every pool
+start, and ``shutdown_pools()``/``atexit`` release everything on clean
+exits.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
+import pickle
+import queue as _queue
 import threading
+import concurrent.futures as cf
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence
 
 import repro
 
 __all__ = [
+    "BatchedProcessPool",
     "chunk_pool",
     "command_pool",
     "ooo_enabled",
+    "pool_stats",
+    "process_pool",
     "serve_worker_count",
     "set_worker_count",
     "shutdown_pools",
@@ -126,8 +144,342 @@ def worker_index() -> int:
 
 
 def shutdown_pools() -> None:
-    """Tear down both pools (tests; pools re-create lazily afterwards)."""
+    """Tear down every pool (tests; pools re-create lazily afterwards).
+
+    Also releases this process's shared-memory segments, so a clean exit
+    never leaves ``/dev/shm`` residue behind.
+    """
+    global _PROC_POOL
     with _lock:
         for pool, _ in _pools.values():
             pool.shutdown(wait=True)
         _pools.clear()
+    with _proc_lock:
+        if _PROC_POOL is not None:
+            _PROC_POOL.shutdown(wait=True)
+            _PROC_POOL = None
+    from . import shm
+
+    shm.release_all()
+
+
+# ---------------------------------------------------------------------------
+# The persistent batched process pool (the zero-copy data plane's engine)
+# ---------------------------------------------------------------------------
+
+#: results whose pickle exceeds this spill through a shared-memory blob
+#: instead of the result pipe (the pipe serializes; the blob is one map)
+_SPILL_BYTES = 256 * 1024
+
+_proc_lock = threading.Lock()
+_PROC_POOL: Optional["BatchedProcessPool"] = None
+
+_POOL_STATS = {
+    "pools_started": 0,
+    "batches_dispatched": 0,
+    "tasks_dispatched": 0,
+    "tasks_completed": 0,
+    "results_spilled": 0,
+    "workers_lost": 0,
+}
+
+
+def pool_stats() -> dict:
+    """Process-pool activity counters (absorbed by ``repro.obs``)."""
+    out = dict(_POOL_STATS)
+    pool = _PROC_POOL
+    out["workers"] = pool.size if pool is not None and pool.alive else 0
+    return out
+
+
+def reset_pool_stats() -> None:
+    for k in _POOL_STATS:
+        _POOL_STATS[k] = 0
+
+
+def _env_snapshot() -> Dict[str, str]:
+    """The ``REPRO_*`` environment a batch must run under.
+
+    Captured at submit time (not fork time): the bench harness flips
+    ``REPRO_NO_CACHE`` between phases of one process's lifetime, and the
+    long-lived workers must follow.
+    """
+    return {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+
+
+def _apply_env(env: Dict[str, str]) -> None:
+    for k in [k for k in os.environ if k.startswith("REPRO_")]:
+        if k not in env:
+            del os.environ[k]
+    os.environ.update(env)
+
+
+def _reset_after_fork() -> None:
+    """Make a freshly forked worker self-consistent.
+
+    Thread pools do not survive fork (their threads exist only in the
+    parent) and the inherited process-pool handle shares the parent's
+    queues; both must be discarded before the worker runs any task.
+    """
+    global _PROC_POOL
+    _pools.clear()
+    _PROC_POOL = None
+
+
+def _send_result(result_q, gen: int, idx: int, value) -> None:
+    from . import shm
+
+    try:
+        data = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+    except Exception as e:
+        result_q.put((gen, idx, "err", RuntimeError(
+            f"result of task {idx} is not picklable: {e!r}")))
+        return
+    if len(data) > _SPILL_BYTES and shm.shm_enabled():
+        name = shm.publish_blob(data)
+        if name is not None:
+            result_q.put((gen, idx, "blob", name))
+            return
+    result_q.put((gen, idx, "okb", data))
+
+
+def _worker_main(task_q, result_q) -> None:
+    from . import shm
+
+    _reset_after_fork()
+    shm.mark_worker_process()
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            # clean sentinel exit: forked children skip atexit, so the
+            # worker must unlink its own published segments here
+            shm.release_all()
+            break
+        gen, fn, items, env = msg
+        _apply_env(env)
+        for idx, args in items:
+            try:
+                value = fn(*args)
+            except BaseException as e:
+                try:
+                    result_q.put((gen, idx, "err", e))
+                except Exception:
+                    result_q.put((gen, idx, "err",
+                                  RuntimeError(f"task {idx} raised {e!r}")))
+                continue
+            _send_result(result_q, gen, idx, value)
+
+
+class BatchedProcessPool:
+    """Persistent forked workers fed in batches over one task queue.
+
+    The contract ``registry.pool_map`` relies on:
+
+    * :meth:`submit_batch` returns real :class:`concurrent.futures.Future`
+      objects, resolved in arrival order by a collector thread — callers
+      block on ``f.result()`` exactly as with a stock executor;
+    * a dead worker fails every unresolved future of the active batch with
+      :class:`BrokenProcessPool` and marks the pool broken (the next
+      :func:`process_pool` call builds a fresh one);
+    * :meth:`shutdown` with ``cancel_futures=True`` is safe mid-batch
+      (``KeyboardInterrupt`` drain) — workers are terminated, nothing
+      blocks.
+
+    Tasks of one batch run in submission order within a worker; workers
+    pull whole sub-batches dynamically, so slow tasks still load-balance.
+    """
+
+    def __init__(self, size: int):
+        import multiprocessing as mp
+
+        self.size = max(1, int(size))
+        self._mp = mp.get_context("fork")
+        self._task_q = self._mp.Queue()
+        self._result_q = self._mp.Queue()
+        self._lock = threading.Lock()
+        self._gen = 0
+        self._futures: List[cf.Future] = []
+        self._pending = 0
+        self._broken = False
+        self._stopping = False
+        self._procs = [
+            self._mp.Process(
+                target=_worker_main, args=(self._task_q, self._result_q),
+                daemon=True, name=f"repro-proc_{i}",
+            )
+            for i in range(self.size)
+        ]
+        for p in self._procs:
+            p.start()
+        self._collector = threading.Thread(
+            target=self._collect, daemon=True, name="repro-proc-collector"
+        )
+        self._collector.start()
+        _POOL_STATS["pools_started"] += 1
+
+    @property
+    def alive(self) -> bool:
+        return not self._broken and not self._stopping
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    # -- submission -----------------------------------------------------------
+    def submit_batch(self, fn, argtuples: Sequence[tuple]) -> List[cf.Future]:
+        """Dispatch one ordered batch; returns one future per argtuple."""
+        argtuples = list(argtuples)
+        with self._lock:
+            if not self.alive:
+                raise BrokenProcessPool("process pool is not running")
+            self._gen += 1
+            gen = self._gen
+            self._futures = [cf.Future() for _ in argtuples]
+            self._pending = len(argtuples)
+            futures = list(self._futures)
+        env = _env_snapshot()
+        step = max(1, len(argtuples) // (self.size * 4))
+        indexed = list(enumerate(argtuples))
+        for start in range(0, len(indexed), step):
+            chunk = indexed[start:start + step]
+            self._task_q.put((gen, fn, chunk, env))
+            _POOL_STATS["batches_dispatched"] += 1
+        _POOL_STATS["tasks_dispatched"] += len(argtuples)
+        return futures
+
+    # -- collection -----------------------------------------------------------
+    def _resolve(self, fut: cf.Future, value=None, exc=None) -> None:
+        try:
+            if exc is not None:
+                fut.set_exception(exc)
+            else:
+                fut.set_result(value)
+        except cf.InvalidStateError:
+            pass  # cancelled or already failed by a break/drain
+
+    def _collect(self) -> None:
+        from . import shm
+
+        while not self._stopping:
+            try:
+                msg = self._result_q.get(timeout=0.1)
+            except (_queue.Empty, OSError, EOFError):
+                if self._stopping:
+                    return
+                self._check_workers()
+                continue
+            gen, idx, status, payload = msg
+            with self._lock:
+                if gen != self._gen or self._broken:
+                    continue
+                fut = self._futures[idx]
+                self._pending -= 1
+            if status == "okb":
+                try:
+                    self._resolve(fut, pickle.loads(payload))
+                except Exception as e:
+                    self._resolve(fut, exc=e)
+            elif status == "blob":
+                data = shm.take_blob(payload)
+                _POOL_STATS["results_spilled"] += 1
+                if data is None:
+                    self._resolve(fut, exc=BrokenProcessPool(
+                        f"spilled result segment {payload!r} disappeared"))
+                else:
+                    try:
+                        self._resolve(fut, pickle.loads(data))
+                    except Exception as e:
+                        self._resolve(fut, exc=e)
+            else:
+                self._resolve(fut, exc=payload)
+            _POOL_STATS["tasks_completed"] += 1
+
+    def _check_workers(self) -> None:
+        dead = [p for p in self._procs if not p.is_alive()]
+        if not dead:
+            return
+        with self._lock:
+            if self._broken:
+                return
+            self._broken = True
+            _POOL_STATS["workers_lost"] += len(dead)
+            exc = BrokenProcessPool(
+                f"{len(dead)} worker process(es) terminated abruptly "
+                f"(exit codes {[p.exitcode for p in dead]})"
+            )
+            unresolved = [f for f in self._futures if not f.done()]
+        for f in unresolved:
+            self._resolve(f, exc=exc)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+
+    # -- teardown -------------------------------------------------------------
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            unresolved = [f for f in self._futures if not f.done()]
+        if cancel_futures:
+            exc = cf.CancelledError()
+            for f in unresolved:
+                self._resolve(f, exc=exc)
+        clean = wait and not self._broken and not cancel_futures
+        if clean:
+            for _ in self._procs:
+                try:
+                    self._task_q.put(None)
+                except Exception:
+                    clean = False
+                    break
+        for p in self._procs:
+            if clean:
+                p.join(timeout=5.0)
+            if p.is_alive():
+                p.terminate()
+        for p in self._procs:
+            p.join(timeout=1.0)
+        for q in (self._task_q, self._result_q):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        if wait:
+            self._collector.join(timeout=1.0)
+
+
+def process_pool(size: int) -> BatchedProcessPool:
+    """The persistent process pool, rebuilt on size change or breakage.
+
+    Every (re)start first sweeps shared-memory segments orphaned by dead
+    processes — the SHM mirror of ``diskcache.sweep_stale_tmp()``.
+    """
+    global _PROC_POOL
+    with _proc_lock:
+        pool = _PROC_POOL
+        if pool is not None and (not pool.alive or pool.size != size):
+            pool.shutdown(wait=False, cancel_futures=True)
+            _PROC_POOL = pool = None
+        if pool is None:
+            from . import shm
+
+            shm.sweep_stale_segments()
+            pool = BatchedProcessPool(size)
+            _PROC_POOL = pool
+        return pool
+
+
+def _shutdown_at_exit() -> None:
+    pool = _PROC_POOL
+    if pool is not None:
+        # wait=True runs the sentinel path, giving live workers the chance
+        # to release their own segments before the stale sweep below
+        pool.shutdown(wait=True)
+    from . import shm
+
+    shm.sweep_stale_segments()
+
+
+atexit.register(_shutdown_at_exit)

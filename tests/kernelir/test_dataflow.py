@@ -553,6 +553,112 @@ class TestCacheAndStats:
 
 
 # ---------------------------------------------------------------------------
+# Persistent analysis partition: round-trip and corrupt-entry fallback
+# ---------------------------------------------------------------------------
+
+
+def _unique_kernel(name):
+    kb = KernelBuilder(name)
+    a = kb.buffer("a", F32, access="r")
+    out = kb.buffer("out", F32, access="w")
+    g = kb.global_id(0)
+    out[g] = a[g] + a[g]
+    return kb.finish()
+
+
+class TestAnalysisPersistence:
+    """The disk ``analysis`` partition must replay bit-for-bit and fall back
+    to a fresh fixpoint (never crash) on torn or structurally corrupt
+    entries."""
+
+    @staticmethod
+    def _findings(df):
+        # exercise both replay scanners: flag mismatches and OOB escapes
+        return (
+            df.findings({"a": 64, "out": 64}, {"a": "r", "out": "w"}),
+            df.findings({"a": 1, "out": 1}, {"a": "w", "out": "r"}),
+        )
+
+    @staticmethod
+    def _analyze_tracking_entry(kernel, ctx):
+        """Analyze ``kernel`` fresh and return (df, the disk entry it
+        stored)."""
+        from repro import diskcache
+
+        part = diskcache.cache_dir() / diskcache.code_version()[:16] / "analysis"
+        before = set(part.glob("*.json")) if part.is_dir() else set()
+        df = analyze_launch(kernel, ctx)
+        added = sorted(set(part.glob("*.json")) - before)
+        assert len(added) == 1, "fresh analysis should store exactly one entry"
+        return df, added[0]
+
+    def test_disk_round_trip_replays_identically(self):
+        from repro import diskcache
+        from repro.kernelir import dataflow
+
+        assert diskcache.enabled()
+        k = _unique_kernel("persist_rt")
+        ctx = _ctx()
+        fresh, _entry = self._analyze_tracking_entry(k, ctx)
+        want = self._findings(fresh)
+
+        dataflow._ANALYSIS_CACHE.invalidate()
+        hits = analysis_stats()["analysis_disk_hits"]
+        warm = analyze_launch(k, ctx)
+        assert analysis_stats()["analysis_disk_hits"] == hits + 1
+        assert isinstance(warm, dataflow.CachedDataflow)
+        assert self._findings(warm) == want
+
+    def test_torn_entry_falls_back_to_fresh_analysis(self):
+        from repro.kernelir import dataflow
+
+        k = _unique_kernel("persist_torn")
+        ctx = _ctx()
+        fresh, entry = self._analyze_tracking_entry(k, ctx)
+        want = self._findings(fresh)
+
+        entry.write_text("{\"version\": \"torn", encoding="utf-8")
+        dataflow._ANALYSIS_CACHE.invalidate()
+        analyzed = analysis_stats()["kernels_analyzed"]
+        df = analyze_launch(k, ctx)
+        assert analysis_stats()["kernels_analyzed"] == analyzed + 1
+        assert not isinstance(df, dataflow.CachedDataflow)
+        assert self._findings(df) == want
+
+    def test_structurally_corrupt_entry_is_reanalyzed_and_overwritten(self):
+        import json
+
+        from repro import diskcache
+        from repro.kernelir import dataflow
+
+        k = _unique_kernel("persist_bad_rows")
+        ctx = _ctx()
+        fresh, entry = self._analyze_tracking_entry(k, ctx)
+        want = self._findings(fresh)
+
+        # valid JSON with the right version and an ``accesses`` list, so it
+        # survives diskcache validation — but rows CachedDataflow can't replay
+        entry.write_text(
+            json.dumps({"version": diskcache.code_version(),
+                        "accesses": [["only-a-name"]]}),
+            encoding="utf-8",
+        )
+        dataflow._ANALYSIS_CACHE.invalidate()
+        analyzed = analysis_stats()["kernels_analyzed"]
+        df = analyze_launch(k, ctx)
+        assert analysis_stats()["kernels_analyzed"] == analyzed + 1
+        assert self._findings(df) == want
+
+        # the fresh fixpoint wrote the entry back: next cold lookup disk-hits
+        dataflow._ANALYSIS_CACHE.invalidate()
+        hits = analysis_stats()["analysis_disk_hits"]
+        again = analyze_launch(k, ctx)
+        assert analysis_stats()["analysis_disk_hits"] == hits + 1
+        assert isinstance(again, dataflow.CachedDataflow)
+        assert self._findings(again) == want
+
+
+# ---------------------------------------------------------------------------
 # Differential fuzzer smoke
 # ---------------------------------------------------------------------------
 

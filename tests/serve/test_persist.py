@@ -1,0 +1,78 @@
+"""Persistent serve result cache: dedupe across daemon *processes*.
+
+Two fresh Python processes share one ``REPRO_CACHE_DIR``.  The first
+daemon executes a launch and writes the response through to the disk
+cache's ``serve`` partition; the second daemon — a cold process with an
+empty in-memory result cache — must serve the identical bytes from disk
+(``dedupe: "cached"``, counted as ``dedupe_persistent``) without
+executing anything.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[2]
+
+_DAEMON = """\
+import json, sys
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ExperimentService, ServeConfig, serve_stats
+from repro.serve.protocol import LaunchRequest
+
+svc = ExperimentService(ServeConfig(workers=1, persistent=True),
+                        registry=MetricsRegistry())
+try:
+    resp = svc.submit_request(LaunchRequest(
+        tenant="persist", benchmark="Square", global_size=(256,)))
+finally:
+    svc.close()
+print(json.dumps({"csv": resp["csv"], "dedupe": resp["dedupe"],
+                  "stats": serve_stats()}))
+"""
+
+
+def _run_daemon(cache_dir):
+    env = dict(os.environ, PYTHONPATH="src", REPRO_CACHE_DIR=str(cache_dir))
+    proc = subprocess.run(
+        [sys.executable, "-c", _DAEMON], env=env, cwd=str(_REPO),
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_result_cache_survives_daemon_restart(tmp_path):
+    cache = tmp_path / "cache"
+
+    first = _run_daemon(cache)
+    assert first["dedupe"] == "leader"
+    assert first["stats"]["executed"] == 1
+    assert first["stats"]["dedupe_persistent"] == 0
+
+    second = _run_daemon(cache)
+    assert second["dedupe"] == "cached"
+    assert second["stats"]["executed"] == 0
+    assert second["stats"]["dedupe_persistent"] >= 1
+    # the restarted daemon serves byte-identical output
+    assert second["csv"] == first["csv"]
+
+
+def test_persistence_defaults_off_for_embedded_services(tmp_path):
+    # without persistent=True / REPRO_SERVE_PERSIST, nothing is written
+    # through, so a second process re-executes
+    cache = tmp_path / "cache"
+    script = _DAEMON.replace("persistent=True", "persistent=None")
+    env = dict(os.environ, PYTHONPATH="src", REPRO_CACHE_DIR=str(cache))
+    env.pop("REPRO_SERVE_PERSIST", None)
+    for expect_executed in (1, 1):
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, cwd=str(_REPO),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        out = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert out["stats"]["executed"] == expect_executed
+        assert out["stats"]["dedupe_persistent"] == 0

@@ -116,4 +116,5 @@ class TestStats:
         c.get("k")
         assert c.stats() == {
             "hits": 1, "misses": 1, "hit_rate": 0.5, "entries": 1,
+            "evictions": 0,
         }

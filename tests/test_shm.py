@@ -1,0 +1,221 @@
+"""The zero-copy data plane: shared-memory segments and the batched pool.
+
+Contracts under test (``src/repro/shm.py`` + ``src/repro/workers.py``):
+
+* published datasets round-trip bit-for-bit through shared memory and come
+  back as *read-only views*, not copies;
+* blob spill is consume-once: the segment disappears after ``take_blob``;
+* segment cleanup survives the ugly exits — a killed worker's segments are
+  reclaimed by the next sweep (pid-sidecar based), a ``KeyboardInterrupt``
+  teardown leaks nothing into ``/dev/shm``;
+* batched dispatch returns results in submission order, byte-identical to
+  the serial path, for batches much larger than the worker count.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import diskcache, shm, workers
+from repro.harness.registry import WorkerPoolError, pool_map
+
+
+def _segments() -> set:
+    return {p.name for p in Path("/dev/shm").glob("repro-shm-*")}
+
+
+def _square(x):
+    return x * x
+
+
+def _big_result(n):
+    # well past the spill threshold, so the payload travels via a blob
+    return np.arange(n, dtype=np.float64)
+
+
+def _crash_holding_segment(i):
+    if i == 1:
+        shm.publish_arrays(("crash-owned", os.getpid(), time.time_ns()),
+                          {"x": np.ones(32, np.float32)})
+        os._exit(13)
+    time.sleep(0.05)
+    return i
+
+
+pytestmark = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="no POSIX shared memory"
+)
+
+
+@pytest.fixture(autouse=True)
+def baseline():
+    """Release this process's segments, then yield the set of segments other
+    owners (earlier tests' dead workers, unrelated processes) left behind —
+    leak assertions compare against it instead of demanding an empty
+    ``/dev/shm``."""
+    shm.release_all()
+    shm.sweep_stale_segments()
+    yield _segments()
+    shm.release_all()
+    workers.shutdown_pools()
+
+
+class TestArraySegments:
+    def test_publish_attach_round_trip(self):
+        rng = np.random.default_rng(7)
+        arrays = {
+            "a": rng.standard_normal(257).astype(np.float32),
+            "b": np.arange(33, dtype=np.int64).reshape(3, 11),
+        }
+        scalars = {"n": 257, "alpha": 0.5}
+        key = ("round-trip", os.getpid())
+        assert shm.publish_arrays(key, arrays, scalars)
+        got_arrays, got_scalars = shm.attach_arrays(key)
+        assert got_scalars == scalars
+        for name, a in arrays.items():
+            np.testing.assert_array_equal(got_arrays[name], a)
+            assert not got_arrays[name].flags.writeable
+        # zero-copy: the views alias the mapping, not a fresh allocation
+        assert got_arrays["a"].base is not None
+
+    def test_attach_miss_returns_none(self):
+        assert shm.attach_arrays(("never-published", 1)) is None
+
+    def test_publish_is_idempotent(self):
+        key = ("race", os.getpid())
+        arrays = {"x": np.zeros(8, np.float32)}
+        assert shm.publish_arrays(key, arrays)
+        # second publisher of the same content address wins by attaching
+        assert shm.publish_arrays(key, arrays)
+
+    def test_kill_switch_disables_the_plane(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        key = ("disabled", os.getpid())
+        assert not shm.publish_arrays(key, {"x": np.zeros(4, np.float32)})
+        assert shm.attach_arrays(key) is None
+
+    def test_oversized_dataset_is_refused(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MAX_MB", "1")
+        key = ("too-big", os.getpid())
+        assert not shm.publish_arrays(
+            key, {"x": np.zeros(2 << 20, np.float64)}
+        )
+
+    def test_release_all_unlinks_owned_segments(self, baseline):
+        key = ("release", os.getpid())
+        shm.publish_arrays(key, {"x": np.zeros(4, np.float32)})
+        assert _segments() - baseline, "publish left no segment"
+        shm.release_all()
+        assert not (_segments() - baseline)
+
+
+class TestBlobSegments:
+    def test_blob_is_consume_once(self):
+        data = pickle.dumps(list(range(1000)))
+        name = shm.publish_blob(data)
+        assert name is not None
+        assert shm.take_blob(name) == data
+        # consumed: the name is gone from /dev/shm and a re-take misses
+        assert name not in _segments()
+        assert shm.take_blob(name) is None
+
+
+class TestSweep:
+    def test_dead_owner_segment_is_reclaimed(self, baseline):
+        # a subprocess publishes a segment and hard-exits without cleanup
+        code = (
+            "import numpy as np, sys; sys.path.insert(0, 'src');"
+            "from repro import shm; import os;"
+            "shm.publish_arrays(('sweep-test', os.getpid()),"
+            " {'x': np.ones(16, np.float32)});"
+            "os._exit(11)"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        subprocess.run([sys.executable, "-c", code], env=env,
+                       cwd=str(Path(__file__).resolve().parents[1]))
+        leaked = _segments() - baseline
+        assert leaked, "crashed publisher left nothing to sweep"
+        sidecars = list((diskcache.cache_dir() / "shm").glob("*.json"))
+        assert sidecars, "publisher recorded no ownership sidecar"
+        removed = shm.sweep_stale_segments()
+        assert removed >= 1
+        assert not (_segments() & leaked)
+
+    def test_live_owner_segment_is_never_swept(self):
+        key = ("alive", os.getpid())
+        shm.publish_arrays(key, {"x": np.zeros(4, np.float32)})
+        mine = _segments()
+        shm.sweep_stale_segments()
+        assert mine <= _segments()
+
+
+class TestBatchedPool:
+    def test_large_batch_keeps_submission_order(self):
+        args = [(i,) for i in range(100)]
+        serial = pool_map(_square, args, jobs=1)
+        pooled = pool_map(_square, args, jobs=4)
+        assert pooled == serial
+
+    def test_pool_persists_across_calls(self):
+        args = [(i,) for i in range(8)]
+        pool_map(_square, args, jobs=2)
+        first = workers.process_pool(2)
+        pool_map(_square, args, jobs=2)
+        assert workers.process_pool(2) is first
+
+    def test_large_results_spill_through_shm(self, baseline):
+        workers.reset_pool_stats()
+        n = 200_000  # 1.6 MB of float64 — far beyond the spill threshold
+        out = pool_map(_big_result, [(n,), (n + 1,)], jobs=2)
+        np.testing.assert_array_equal(out[0], np.arange(n, dtype=np.float64))
+        np.testing.assert_array_equal(
+            out[1], np.arange(n + 1, dtype=np.float64)
+        )
+        assert workers.pool_stats()["results_spilled"] >= 2
+        # consume-once blobs: nothing left behind
+        assert not any(
+            s.startswith("repro-shm-b") for s in _segments() - baseline
+        )
+
+    def test_worker_crash_leaves_no_segments_after_sweep(self, baseline):
+        with pytest.raises(WorkerPoolError):
+            pool_map(_crash_holding_segment, [(i,) for i in range(4)], jobs=2)
+        workers.shutdown_pools()
+        # the victim died owning a published segment; the next pool start
+        # (or an explicit sweep) must reclaim it
+        shm.sweep_stale_segments()
+        assert not (_segments() - baseline)
+
+    def test_interrupt_teardown_leaks_nothing(self, baseline, monkeypatch):
+        import concurrent.futures as cf
+
+        real_result = cf.Future.result
+        fired = {"n": 0}
+
+        def interrupting_result(self, timeout=None):
+            if fired["n"] == 1:
+                fired["n"] += 1
+                raise KeyboardInterrupt
+            fired["n"] += 1
+            return real_result(self, timeout)
+
+        monkeypatch.setattr(cf.Future, "result", interrupting_result)
+        with pytest.raises(WorkerPoolError, match="interrupted"):
+            pool_map(_square, [(i,) for i in range(16)], jobs=2)
+        workers.shutdown_pools()
+        shm.sweep_stale_segments()
+        assert not (_segments() - baseline)
+
+    def test_shutdown_pools_releases_everything(self, baseline):
+        pool_map(_square, [(i,) for i in range(4)], jobs=2)
+        shm.publish_arrays(("shutdown", os.getpid()),
+                          {"x": np.zeros(4, np.float32)})
+        workers.shutdown_pools()
+        assert not (_segments() - baseline)
+        workers.shutdown_pools()  # idempotent
